@@ -1,0 +1,58 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! copy-on-write perturbation overlays vs full graph rebuilds, and
+//! pruned vs exhaustive factual feature spaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exes_bench::scenario::{DatasetKind, HarnessConfig, Scenario};
+use exes_core::ExpertRelevanceTask;
+use exes_graph::{GraphView, Perturbation, PerturbationSet};
+
+fn bench_overlay_vs_rebuild(c: &mut Criterion) {
+    let harness = HarnessConfig::quick();
+    let scenario = Scenario::build(DatasetKind::Github, &harness);
+    let graph = &scenario.dataset.graph;
+    let skill = graph.vocab().ids().next().unwrap();
+    let delta = PerturbationSet::singleton(Perturbation::AddSkill {
+        person: exes_graph::PersonId(0),
+        skill,
+    });
+
+    let mut group = c.benchmark_group("perturbation_apply");
+    group.sample_size(30);
+    group.bench_function("copy_on_write_overlay", |b| {
+        b.iter(|| {
+            let view = delta.apply_to_graph(graph);
+            view.num_edges()
+        })
+    });
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            let rebuilt = delta.materialize(graph);
+            rebuilt.num_edges()
+        })
+    });
+    group.finish();
+}
+
+fn bench_pruned_vs_exhaustive_factual(c: &mut Criterion) {
+    let mut harness = HarnessConfig::quick();
+    harness.shap_permutations = 2;
+    let scenario = Scenario::build(DatasetKind::Github, &harness);
+    let graph = &scenario.dataset.graph;
+    let (experts, _) = scenario.sample_experts_and_non_experts(1);
+    let (query, person) = experts[0].clone();
+    let task = ExpertRelevanceTask::new(&scenario.ranker, person, scenario.exes.config().k);
+
+    let mut group = c.benchmark_group("factual_skills");
+    group.sample_size(10);
+    group.bench_function("pruned_neighborhood", |b| {
+        b.iter(|| scenario.exes.factual_skills(&task, graph, &query, true))
+    });
+    group.bench_function("exhaustive_all_features", |b| {
+        b.iter(|| scenario.exes.factual_skills(&task, graph, &query, false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlay_vs_rebuild, bench_pruned_vs_exhaustive_factual);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Micro-benchmarks of the expert-search rankers (the `T_ranking` term that
+//! dominates every complexity expression in Tables 4 and 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exes_bench::scenario::{DatasetKind, HarnessConfig, Scenario};
+use exes_expert_search::{ExpertRanker, GcnRanker, PersonalizedPageRank, PropagationRanker, TfIdfRanker};
+
+fn bench_rankers(c: &mut Criterion) {
+    let harness = HarnessConfig::quick();
+    let scenario = Scenario::build(DatasetKind::Github, &harness);
+    let graph = &scenario.dataset.graph;
+    let query = &scenario.workload.queries()[0];
+
+    let mut group = c.benchmark_group("rank_all");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("tfidf", "github"), |b| {
+        let r = TfIdfRanker::default();
+        b.iter(|| r.rank_all(graph, query))
+    });
+    group.bench_function(BenchmarkId::new("propagation", "github"), |b| {
+        let r = PropagationRanker::default();
+        b.iter(|| r.rank_all(graph, query))
+    });
+    group.bench_function(BenchmarkId::new("pagerank", "github"), |b| {
+        let r = PersonalizedPageRank::default();
+        b.iter(|| r.rank_all(graph, query))
+    });
+    group.bench_function(BenchmarkId::new("gcn", "github"), |b| {
+        let r = GcnRanker::default();
+        b.iter(|| r.rank_all(graph, query))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rankers);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Figure 9 (a–h): parameter-sensitivity sweeps.
+//!
+//! Pass `--param beam|t|d|tau` to run a single sweep; without it all four run.
+
+use exes_bench::experiments::sensitivity::{self, SweepParam};
+use exes_bench::scenario::HarnessConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let harness = HarnessConfig::from_args(args.clone());
+    let requested: Vec<SweepParam> = match args
+        .iter()
+        .position(|a| a == "--param")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| SweepParam::parse(v))
+    {
+        Some(p) => vec![p],
+        None => SweepParam::all().to_vec(),
+    };
+    for (i, param) in requested.into_iter().enumerate() {
+        let table = sensitivity::run(&harness, param);
+        let _ = table.save_json(&format!("fig09_{i}"));
+        print!("{}", table.render());
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Runs every table and figure experiment in sequence and writes a combined
+//! Markdown report to `target/experiments/ALL.md` (the source of EXPERIMENTS.md).
+
+use exes_bench::experiments::{counterfactual, datasets_table, factual, sensitivity, TaskMode};
+use exes_bench::scenario::HarnessConfig;
+use std::fs;
+
+fn main() {
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
+    let mut md = String::from("# ExES reproduction — measured tables\n\n");
+    let mut emit = |table: &exes_bench::Table| {
+        print!("{}", table.render());
+        println!();
+        md.push_str(&table.render_markdown());
+        md.push('\n');
+    };
+
+    emit(&datasets_table::run(&harness));
+    let (t7, t9) = factual::run(&harness, TaskMode::ExpertSearch);
+    emit(&t7);
+    emit(&t9);
+    let (t8, t10) = counterfactual::run(&harness, TaskMode::ExpertSearch);
+    emit(&t8);
+    emit(&t10);
+    let (t11, t13) = factual::run(&harness, TaskMode::TeamFormation);
+    emit(&t11);
+    emit(&t13);
+    let (t12, t14) = counterfactual::run(&harness, TaskMode::TeamFormation);
+    emit(&t12);
+    emit(&t14);
+    for param in sensitivity::SweepParam::all() {
+        emit(&sensitivity::run(&harness, param));
+    }
+
+    let _ = fs::create_dir_all("target/experiments");
+    let _ = fs::write("target/experiments/ALL.md", md);
+    eprintln!("wrote target/experiments/ALL.md");
+}

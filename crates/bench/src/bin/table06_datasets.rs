@@ -1,0 +1,11 @@
+//! Regenerates Table 6 (dataset statistics).
+
+use exes_bench::experiments::datasets_table;
+use exes_bench::scenario::HarnessConfig;
+
+fn main() {
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
+    let table = datasets_table::run(&harness);
+    let _ = table.save_json("table06");
+    print!("{}", table.render());
+}

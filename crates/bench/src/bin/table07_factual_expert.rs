@@ -1,0 +1,14 @@
+//! Regenerates Tables 07 and 09 (expert search, factual explanations).
+
+use exes_bench::experiments::{factual, TaskMode};
+use exes_bench::scenario::HarnessConfig;
+
+fn main() {
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
+    let (latency, precision) = factual::run(&harness, TaskMode::ExpertSearch);
+    let _ = latency.save_json("table07");
+    let _ = precision.save_json("table09");
+    print!("{}", latency.render());
+    println!();
+    print!("{}", precision.render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Tables 08 and 10 (expert search, counterfactual explanations).
+
+use exes_bench::experiments::{counterfactual, TaskMode};
+use exes_bench::scenario::HarnessConfig;
+
+fn main() {
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
+    let (latency, precision) = counterfactual::run(&harness, TaskMode::ExpertSearch);
+    let _ = latency.save_json("table08");
+    let _ = precision.save_json("table10");
+    print!("{}", latency.render());
+    println!();
+    print!("{}", precision.render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 9 (factual explanation precision, expert search).
+
+use exes_bench::experiments::{factual, TaskMode};
+use exes_bench::scenario::HarnessConfig;
+
+fn main() {
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
+    let (_, precision) = factual::run(&harness, TaskMode::ExpertSearch);
+    let _ = precision.save_json("table09");
+    print!("{}", precision.render());
+}

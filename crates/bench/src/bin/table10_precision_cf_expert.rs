@@ -1,0 +1,11 @@
+//! Regenerates Table 10 (counterfactual explanation precision, expert search).
+
+use exes_bench::experiments::{counterfactual, TaskMode};
+use exes_bench::scenario::HarnessConfig;
+
+fn main() {
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
+    let (_, precision) = counterfactual::run(&harness, TaskMode::ExpertSearch);
+    let _ = precision.save_json("table10");
+    print!("{}", precision.render());
+}

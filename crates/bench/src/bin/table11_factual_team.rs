@@ -1,0 +1,14 @@
+//! Regenerates Tables 11 and 13 (team formation, factual explanations).
+
+use exes_bench::experiments::{factual, TaskMode};
+use exes_bench::scenario::HarnessConfig;
+
+fn main() {
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
+    let (latency, precision) = factual::run(&harness, TaskMode::TeamFormation);
+    let _ = latency.save_json("table11");
+    let _ = precision.save_json("table13");
+    print!("{}", latency.render());
+    println!();
+    print!("{}", precision.render());
+}

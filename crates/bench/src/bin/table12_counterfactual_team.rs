@@ -1,0 +1,14 @@
+//! Regenerates Tables 12 and 14 (team formation, counterfactual explanations).
+
+use exes_bench::experiments::{counterfactual, TaskMode};
+use exes_bench::scenario::HarnessConfig;
+
+fn main() {
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
+    let (latency, precision) = counterfactual::run(&harness, TaskMode::TeamFormation);
+    let _ = latency.save_json("table12");
+    let _ = precision.save_json("table14");
+    print!("{}", latency.render());
+    println!();
+    print!("{}", precision.render());
+}

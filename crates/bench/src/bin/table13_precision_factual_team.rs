@@ -1,0 +1,11 @@
+//! Regenerates Table 13 (factual explanation precision, team formation).
+
+use exes_bench::experiments::{factual, TaskMode};
+use exes_bench::scenario::HarnessConfig;
+
+fn main() {
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
+    let (_, precision) = factual::run(&harness, TaskMode::TeamFormation);
+    let _ = precision.save_json("table13");
+    print!("{}", precision.render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 14 (counterfactual explanation precision, team formation).
+
+use exes_bench::experiments::{counterfactual, TaskMode};
+use exes_bench::scenario::HarnessConfig;
+
+fn main() {
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
+    let (_, precision) = counterfactual::run(&harness, TaskMode::TeamFormation);
+    let _ = precision.save_json("table14");
+    print!("{}", precision.render());
+}

@@ -1,0 +1,31 @@
+//! Experiment drivers: one module per family of tables/figures.
+//!
+//! * [`datasets_table`] — Table 6 (dataset statistics).
+//! * [`factual`] — Tables 7 & 9 (expert search) and 11 & 13 (team formation).
+//! * [`counterfactual`] — Tables 8 & 10 (expert search) and 12 & 14 (team formation).
+//! * [`sensitivity`] — Figure 9 (a–h) parameter sweeps.
+
+pub mod counterfactual;
+pub mod datasets_table;
+pub mod factual;
+pub mod sensitivity;
+
+/// Whether an experiment explains the expert-search system or the
+/// team-formation system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskMode {
+    /// Explain relevance status of an expert-search ranker (Sections 4.2, Tables 7–10).
+    ExpertSearch,
+    /// Explain membership status of a team former (Section 4.3, Tables 11–14).
+    TeamFormation,
+}
+
+impl TaskMode {
+    /// Human-readable label used in titles.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskMode::ExpertSearch => "expert search",
+            TaskMode::TeamFormation => "team formation",
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # exes-bench
+//!
+//! The reproduction harness for every table and figure in the ExES evaluation
+//! (Section 4), plus shared scenario plumbing used by the Criterion
+//! micro-benchmarks.
+//!
+//! Each `table*`/`fig*` binary in `src/bin/` is a thin wrapper around a
+//! function in [`experiments`]; the functions return structured rows so that
+//! integration tests can assert on their schema and the binaries only handle
+//! argument parsing and printing.
+//!
+//! Run `cargo run -p exes-bench --release --bin table07_factual_expert` (etc.)
+//! to regenerate a table. All binaries accept `--full` for a larger,
+//! closer-to-paper-scale run and `--scale <f>` / `--subjects <n>` to interpolate.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+pub mod timing;
+
+pub use report::Table;
+pub use scenario::{HarnessConfig, Scenario};

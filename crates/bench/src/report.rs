@@ -1,0 +1,141 @@
+//! Table assembly and printing for experiment output.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned table mirroring the paper's result tables.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title (e.g. "Table 7: Factual explanation results: expert search").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let _ = writeln!(out, "{rule}");
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!(" {:<width$} ", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("|"));
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("|"));
+        }
+        let _ = writeln!(out, "{rule}");
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown (used by EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Writes the table (as JSON) under `target/experiments/<name>.json`, so
+    /// that EXPERIMENTS.md can be regenerated without re-running experiments.
+    pub fn save_json(&self, name: &str) -> std::io::Result<()> {
+        let dir = Path::new("target").join("experiments");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        fs::write(path, serde_json::to_string_pretty(self).expect("table serialises"))
+    }
+}
+
+/// Formats a duration in seconds with sensible precision for table cells.
+pub fn fmt_secs(seconds: f64) -> String {
+    if seconds < 0.01 {
+        format!("{:.4}", seconds)
+    } else {
+        format!("{:.2}", seconds)
+    }
+}
+
+/// Formats a mean size / count cell.
+pub fn fmt_num(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_cells() {
+        let mut t = Table::new("Table X: demo", &["Dataset", "Latency (s)"]);
+        t.push_row(vec!["DBLP".into(), "1.23".into()]);
+        t.push_row(vec!["GitHub".into(), "0.45".into()]);
+        let text = t.render();
+        assert!(text.contains("Table X: demo"));
+        assert!(text.contains("DBLP"));
+        assert!(text.contains("0.45"));
+        let md = t.render_markdown();
+        assert!(md.contains("| DBLP | 1.23 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_secs(0.001234), "0.0012");
+        assert_eq!(fmt_secs(12.345), "12.35");
+        assert_eq!(fmt_num(3.14159), "3.14");
+    }
+}

@@ -1,0 +1,223 @@
+//! Incremental construction of [`CollabGraph`]s.
+
+use crate::graph::PersonRecord;
+use crate::{CollabGraph, PersonId, SkillId, SkillVocab};
+use rustc_hash::FxHashSet;
+
+/// Builder for [`CollabGraph`].
+///
+/// People are added with their skill names (interned into the shared vocabulary),
+/// then edges between previously added people. Duplicate edges and self-loops are
+/// ignored during building so that noisy generators and loaders do not need to
+/// de-duplicate up front.
+#[derive(Debug, Default)]
+pub struct CollabGraphBuilder {
+    people: Vec<PersonRecord>,
+    adjacency: Vec<Vec<PersonId>>,
+    edges: Vec<(PersonId, PersonId)>,
+    edge_set: FxHashSet<(u32, u32)>,
+    vocab: SkillVocab,
+}
+
+impl CollabGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder that will intern skills into an existing vocabulary.
+    pub fn with_vocab(vocab: SkillVocab) -> Self {
+        Self {
+            vocab,
+            ..Self::default()
+        }
+    }
+
+    /// Adds a person with the given display name and skill names, returning its id.
+    ///
+    /// Empty skill tokens are ignored; duplicates are collapsed.
+    pub fn add_person<I, S>(&mut self, name: &str, skills: I) -> PersonId
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut ids: Vec<SkillId> = skills
+            .into_iter()
+            .filter(|s| !s.as_ref().trim().is_empty())
+            .map(|s| self.vocab.intern(s.as_ref()))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let id = PersonId::from_index(self.people.len());
+        self.people.push(PersonRecord {
+            name: name.to_string(),
+            skills: ids,
+        });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds a person that already carries interned skill ids.
+    ///
+    /// # Panics
+    /// Panics if any skill id is outside the builder's vocabulary.
+    pub fn add_person_with_skill_ids(&mut self, name: &str, skills: Vec<SkillId>) -> PersonId {
+        for s in &skills {
+            assert!(
+                s.index() < self.vocab.len(),
+                "skill id {s} outside vocabulary (len {})",
+                self.vocab.len()
+            );
+        }
+        let mut ids = skills;
+        ids.sort_unstable();
+        ids.dedup();
+        let id = PersonId::from_index(self.people.len());
+        self.people.push(PersonRecord {
+            name: name.to_string(),
+            skills: ids,
+        });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Interns a skill name without attaching it to anyone, returning its id.
+    pub fn intern_skill(&mut self, name: &str) -> SkillId {
+        self.vocab.intern(name)
+    }
+
+    /// Adds an undirected collaboration edge. Self-loops and duplicates are
+    /// silently ignored; unknown endpoints panic (programming error).
+    pub fn add_edge(&mut self, a: PersonId, b: PersonId) -> bool {
+        assert!(
+            a.index() < self.people.len() && b.index() < self.people.len(),
+            "edge endpoints must be added before the edge"
+        );
+        if a == b {
+            return false;
+        }
+        let key = CollabGraph::edge_key(a, b);
+        if !self.edge_set.insert(key) {
+            return false;
+        }
+        self.edges.push((PersonId(key.0), PersonId(key.1)));
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+        true
+    }
+
+    /// Number of people added so far.
+    pub fn num_people(&self) -> usize {
+        self.people.len()
+    }
+
+    /// Number of (deduplicated) edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Read access to the vocabulary being built.
+    pub fn vocab(&self) -> &SkillVocab {
+        &self.vocab
+    }
+
+    /// Finalises the graph: sorts adjacency lists and builds the inverted
+    /// skill-holder index.
+    pub fn build(mut self) -> CollabGraph {
+        for adj in &mut self.adjacency {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        let mut holders: Vec<Vec<PersonId>> = vec![Vec::new(); self.vocab.len()];
+        for (i, rec) in self.people.iter().enumerate() {
+            for s in &rec.skills {
+                holders[s.index()].push(PersonId::from_index(i));
+            }
+        }
+        CollabGraph {
+            people: self.people,
+            adjacency: self.adjacency,
+            edges: self.edges,
+            edge_set: self.edge_set,
+            holders,
+            vocab: self.vocab,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    #[test]
+    fn duplicate_edges_and_self_loops_are_ignored() {
+        let mut b = CollabGraphBuilder::new();
+        let x = b.add_person("x", ["a"]);
+        let y = b.add_person("y", ["b"]);
+        assert!(b.add_edge(x, y));
+        assert!(!b.add_edge(y, x));
+        assert!(!b.add_edge(x, x));
+        assert_eq!(b.num_edges(), 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(x), 1);
+    }
+
+    #[test]
+    fn duplicate_skills_are_collapsed_and_empty_ignored() {
+        let mut b = CollabGraphBuilder::new();
+        let p = b.add_person("p", ["ml", "ML", "  ", "db"]);
+        let g = b.build();
+        assert_eq!(g.person_skills(p).len(), 2);
+        assert_eq!(g.vocab().len(), 2);
+    }
+
+    #[test]
+    fn add_person_with_skill_ids_sorts_and_dedups() {
+        let mut b = CollabGraphBuilder::new();
+        let s1 = b.intern_skill("a");
+        let s2 = b.intern_skill("b");
+        let p = b.add_person_with_skill_ids("p", vec![s2, s1, s2]);
+        let g = b.build();
+        assert_eq!(g.person_skills(p), vec![s1, s2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn add_person_with_unknown_skill_id_panics() {
+        let mut b = CollabGraphBuilder::new();
+        b.add_person_with_skill_ids("p", vec![SkillId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must be added")]
+    fn edge_to_unknown_person_panics() {
+        let mut b = CollabGraphBuilder::new();
+        let x = b.add_person("x", ["a"]);
+        b.add_edge(x, PersonId(5));
+    }
+
+    #[test]
+    fn with_vocab_preserves_existing_ids() {
+        let mut v = SkillVocab::new();
+        let pre = v.intern("preexisting");
+        let mut b = CollabGraphBuilder::with_vocab(v);
+        let p = b.add_person("p", ["preexisting", "new"]);
+        let g = b.build();
+        assert!(g.person_has_skill(p, pre));
+        assert_eq!(g.vocab().id("preexisting"), Some(pre));
+        assert_eq!(g.vocab().len(), 2);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_after_build() {
+        let mut b = CollabGraphBuilder::new();
+        let p: Vec<_> = (0..5).map(|i| b.add_person(&format!("p{i}"), ["s"])).collect();
+        b.add_edge(p[0], p[4]);
+        b.add_edge(p[0], p[2]);
+        b.add_edge(p[0], p[1]);
+        let g = b.build();
+        assert_eq!(g.neighbors(p[0]), vec![p[1], p[2], p[4]]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for graph construction and lookup failures.
+
+use crate::{PersonId, SkillId};
+use std::fmt;
+
+/// Errors produced by the collaboration-network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A person id was out of range for the graph it was used with.
+    UnknownPerson(PersonId),
+    /// A skill id was out of range for the vocabulary it was used with.
+    UnknownSkill(SkillId),
+    /// A skill name was not present in the vocabulary.
+    UnknownSkillName(String),
+    /// A self-loop edge was requested; collaborations are between distinct people.
+    SelfLoop(PersonId),
+    /// An edge that was expected to exist does not.
+    MissingEdge(PersonId, PersonId),
+    /// An edge that was expected to be absent already exists.
+    DuplicateEdge(PersonId, PersonId),
+    /// A query was constructed without any recognised skill keywords.
+    EmptyQuery,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownPerson(p) => write!(f, "unknown person id {p}"),
+            GraphError::UnknownSkill(s) => write!(f, "unknown skill id {s}"),
+            GraphError::UnknownSkillName(name) => write!(f, "unknown skill name {name:?}"),
+            GraphError::SelfLoop(p) => write!(f, "self-loop edge on {p} is not allowed"),
+            GraphError::MissingEdge(a, b) => write!(f, "edge ({a}, {b}) does not exist"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "edge ({a}, {b}) already exists"),
+            GraphError::EmptyQuery => write!(f, "query contains no recognised skill keywords"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(GraphError::UnknownPerson(PersonId(3)).to_string().contains("p3"));
+        assert!(GraphError::UnknownSkill(SkillId(5)).to_string().contains("s5"));
+        assert!(GraphError::UnknownSkillName("rust".into())
+            .to_string()
+            .contains("rust"));
+        assert!(GraphError::SelfLoop(PersonId(1)).to_string().contains("self-loop"));
+        assert!(GraphError::MissingEdge(PersonId(0), PersonId(1))
+            .to_string()
+            .contains("does not exist"));
+        assert!(GraphError::DuplicateEdge(PersonId(0), PersonId(1))
+            .to_string()
+            .contains("already exists"));
+        assert!(GraphError::EmptyQuery.to_string().contains("query"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GraphError>();
+    }
+}

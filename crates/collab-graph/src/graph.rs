@@ -1,0 +1,404 @@
+//! The immutable base collaboration network.
+
+use crate::view::GraphView;
+use crate::{GraphError, PersonId, Result, SkillId, SkillVocab};
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an undirected edge, indexing into [`CollabGraph::edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct PersonRecord {
+    pub(crate) name: String,
+    /// Sorted, deduplicated skill ids.
+    pub(crate) skills: Vec<SkillId>,
+}
+
+/// Summary statistics of a collaboration network (Table 6 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of people (nodes).
+    pub num_people: usize,
+    /// Number of collaborations (undirected edges).
+    pub num_edges: usize,
+    /// Number of distinct skills in the vocabulary.
+    pub num_skills: usize,
+    /// Average number of skills per person.
+    pub avg_skills_per_person: f64,
+    /// Average degree.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+}
+
+/// An immutable, skill-labelled, undirected collaboration network.
+///
+/// Built with [`crate::CollabGraphBuilder`]. Edges are stored both as a sorted
+/// adjacency list (for neighbourhood traversal) and as a canonical edge list
+/// (for exhaustive explanation baselines); a hash set supports O(1) edge tests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollabGraph {
+    pub(crate) people: Vec<PersonRecord>,
+    pub(crate) adjacency: Vec<Vec<PersonId>>,
+    /// Canonical edge list: each undirected edge appears once with `a < b`.
+    pub(crate) edges: Vec<(PersonId, PersonId)>,
+    #[serde(skip)]
+    pub(crate) edge_set: FxHashSet<(u32, u32)>,
+    /// Inverted index: skill id -> people holding it (sorted).
+    pub(crate) holders: Vec<Vec<PersonId>>,
+    pub(crate) vocab: SkillVocab,
+}
+
+impl CollabGraph {
+    /// Canonical (min, max) key for an undirected edge.
+    #[inline]
+    pub(crate) fn edge_key(a: PersonId, b: PersonId) -> (u32, u32) {
+        if a.0 <= b.0 {
+            (a.0, b.0)
+        } else {
+            (b.0, a.0)
+        }
+    }
+
+    /// The skill vocabulary of this network.
+    pub fn vocab(&self) -> &SkillVocab {
+        &self.vocab
+    }
+
+    /// Returns the display name of a person.
+    pub fn person_name(&self, p: PersonId) -> &str {
+        &self.people[p.index()].name
+    }
+
+    /// Checks that a person id is valid for this graph.
+    pub fn check_person(&self, p: PersonId) -> Result<()> {
+        if p.index() < self.people.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownPerson(p))
+        }
+    }
+
+    /// Looks up a person by (exact) display name. O(n); intended for examples
+    /// and tests, not hot paths.
+    pub fn person_by_name(&self, name: &str) -> Option<PersonId> {
+        self.people
+            .iter()
+            .position(|r| r.name == name)
+            .map(PersonId::from_index)
+    }
+
+    /// The sorted skill set of a person, as stored (no perturbations).
+    pub fn base_skills(&self, p: PersonId) -> &[SkillId] {
+        &self.people[p.index()].skills
+    }
+
+    /// The sorted adjacency list of a person, as stored (no perturbations).
+    pub fn base_neighbors(&self, p: PersonId) -> &[PersonId] {
+        &self.adjacency[p.index()]
+    }
+
+    /// People holding `skill` (sorted). Empty slice for skills nobody holds.
+    pub fn holders_of(&self, skill: SkillId) -> &[PersonId] {
+        self.holders
+            .get(skill.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The canonical edge with a given id.
+    pub fn edge(&self, e: EdgeId) -> (PersonId, PersonId) {
+        self.edges[e.index()]
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterates over all people ids.
+    pub fn people(&self) -> impl Iterator<Item = PersonId> {
+        (0..self.people.len()).map(PersonId::from_index)
+    }
+
+    /// Summary statistics (reproduces Table 6 rows).
+    pub fn stats(&self) -> GraphStats {
+        let num_people = self.people.len();
+        let num_edges = self.edges.len();
+        let total_skills: usize = self.people.iter().map(|p| p.skills.len()).sum();
+        let max_degree = self.adjacency.iter().map(Vec::len).max().unwrap_or(0);
+        GraphStats {
+            num_people,
+            num_edges,
+            num_skills: self.vocab.len(),
+            avg_skills_per_person: if num_people == 0 {
+                0.0
+            } else {
+                total_skills as f64 / num_people as f64
+            },
+            avg_degree: if num_people == 0 {
+                0.0
+            } else {
+                2.0 * num_edges as f64 / num_people as f64
+            },
+            max_degree,
+        }
+    }
+
+    /// Rebuilds the derived indices (edge hash set). Needed after
+    /// deserialisation because the set is not serialised.
+    pub fn rebuild_indices(&mut self) {
+        self.edge_set = self
+            .edges
+            .iter()
+            .map(|&(a, b)| Self::edge_key(a, b))
+            .collect();
+        self.vocab.rebuild_index();
+    }
+
+    /// Produces a new graph with the edge `(a, b)` added. Intended for tests and
+    /// for materialising perturbations; hot paths should use
+    /// [`crate::PerturbedGraph`] instead.
+    pub fn with_edge_added(&self, a: PersonId, b: PersonId) -> Result<CollabGraph> {
+        self.check_person(a)?;
+        self.check_person(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if self.edge_set.contains(&Self::edge_key(a, b)) {
+            return Err(GraphError::DuplicateEdge(a, b));
+        }
+        let mut g = self.clone();
+        let key = Self::edge_key(a, b);
+        g.edge_set.insert(key);
+        g.edges.push((PersonId(key.0), PersonId(key.1)));
+        g.adjacency[a.index()].push(b);
+        g.adjacency[a.index()].sort_unstable();
+        g.adjacency[b.index()].push(a);
+        g.adjacency[b.index()].sort_unstable();
+        Ok(g)
+    }
+
+    /// Produces a new graph with the edge `(a, b)` removed.
+    pub fn with_edge_removed(&self, a: PersonId, b: PersonId) -> Result<CollabGraph> {
+        self.check_person(a)?;
+        self.check_person(b)?;
+        let key = Self::edge_key(a, b);
+        if !self.edge_set.contains(&key) {
+            return Err(GraphError::MissingEdge(a, b));
+        }
+        let mut g = self.clone();
+        g.edge_set.remove(&key);
+        g.edges
+            .retain(|&(x, y)| Self::edge_key(x, y) != key);
+        g.adjacency[a.index()].retain(|&n| n != b);
+        g.adjacency[b.index()].retain(|&n| n != a);
+        Ok(g)
+    }
+
+    /// Produces a new graph with `skill` added to `person`'s label set.
+    pub fn with_skill_added(&self, person: PersonId, skill: SkillId) -> Result<CollabGraph> {
+        self.check_person(person)?;
+        if skill.index() >= self.vocab.len() {
+            return Err(GraphError::UnknownSkill(skill));
+        }
+        let mut g = self.clone();
+        let skills = &mut g.people[person.index()].skills;
+        if let Err(pos) = skills.binary_search(&skill) {
+            skills.insert(pos, skill);
+            let holders = &mut g.holders[skill.index()];
+            if let Err(hpos) = holders.binary_search(&person) {
+                holders.insert(hpos, person);
+            }
+        }
+        Ok(g)
+    }
+
+    /// Produces a new graph with `skill` removed from `person`'s label set.
+    pub fn with_skill_removed(&self, person: PersonId, skill: SkillId) -> Result<CollabGraph> {
+        self.check_person(person)?;
+        let mut g = self.clone();
+        g.people[person.index()].skills.retain(|&s| s != skill);
+        if let Some(holders) = g.holders.get_mut(skill.index()) {
+            holders.retain(|&p| p != person);
+        }
+        Ok(g)
+    }
+}
+
+impl GraphView for CollabGraph {
+    fn num_people(&self) -> usize {
+        self.people.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn vocab(&self) -> &SkillVocab {
+        &self.vocab
+    }
+
+    fn person_has_skill(&self, p: PersonId, s: SkillId) -> bool {
+        self.people[p.index()].skills.binary_search(&s).is_ok()
+    }
+
+    fn person_skills(&self, p: PersonId) -> Vec<SkillId> {
+        self.people[p.index()].skills.clone()
+    }
+
+    fn neighbors(&self, p: PersonId) -> Vec<PersonId> {
+        self.adjacency[p.index()].clone()
+    }
+
+    fn degree(&self, p: PersonId) -> usize {
+        self.adjacency[p.index()].len()
+    }
+
+    fn has_edge(&self, a: PersonId, b: PersonId) -> bool {
+        a != b && self.edge_set.contains(&Self::edge_key(a, b))
+    }
+
+    fn edges(&self) -> Vec<(PersonId, PersonId)> {
+        self.edges.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CollabGraphBuilder;
+
+    fn toy() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let a = b.add_person("A", ["db", "ml"]);
+        let c = b.add_person("B", ["ml"]);
+        let d = b.add_person("C", ["vision"]);
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.build()
+    }
+
+    #[test]
+    fn stats_match_construction() {
+        let g = toy();
+        let s = g.stats();
+        assert_eq!(s.num_people, 3);
+        assert_eq!(s.num_edges, 2);
+        assert_eq!(s.num_skills, 3);
+        assert!((s.avg_skills_per_person - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.avg_degree - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn edge_queries_are_symmetric() {
+        let g = toy();
+        assert!(g.has_edge(PersonId(0), PersonId(1)));
+        assert!(g.has_edge(PersonId(1), PersonId(0)));
+        assert!(!g.has_edge(PersonId(0), PersonId(2)));
+        assert!(!g.has_edge(PersonId(0), PersonId(0)));
+    }
+
+    #[test]
+    fn holders_index_is_consistent() {
+        let g = toy();
+        let ml = g.vocab().id("ml").unwrap();
+        assert_eq!(g.holders_of(ml), &[PersonId(0), PersonId(1)]);
+        let vision = g.vocab().id("vision").unwrap();
+        assert_eq!(g.holders_of(vision), &[PersonId(2)]);
+    }
+
+    #[test]
+    fn with_edge_added_and_removed_roundtrip() {
+        let g = toy();
+        let g2 = g.with_edge_added(PersonId(0), PersonId(2)).unwrap();
+        assert!(g2.has_edge(PersonId(0), PersonId(2)));
+        assert_eq!(g2.num_edges(), 3);
+        let g3 = g2.with_edge_removed(PersonId(2), PersonId(0)).unwrap();
+        assert!(!g3.has_edge(PersonId(0), PersonId(2)));
+        assert_eq!(g3.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_mutation_errors() {
+        let g = toy();
+        assert_eq!(
+            g.with_edge_added(PersonId(0), PersonId(0)).unwrap_err(),
+            GraphError::SelfLoop(PersonId(0))
+        );
+        assert_eq!(
+            g.with_edge_added(PersonId(0), PersonId(1)).unwrap_err(),
+            GraphError::DuplicateEdge(PersonId(0), PersonId(1))
+        );
+        assert_eq!(
+            g.with_edge_removed(PersonId(0), PersonId(2)).unwrap_err(),
+            GraphError::MissingEdge(PersonId(0), PersonId(2))
+        );
+        assert!(matches!(
+            g.with_edge_added(PersonId(9), PersonId(0)).unwrap_err(),
+            GraphError::UnknownPerson(_)
+        ));
+    }
+
+    #[test]
+    fn skill_mutation_roundtrip() {
+        let g = toy();
+        let vision = g.vocab().id("vision").unwrap();
+        let g2 = g.with_skill_added(PersonId(0), vision).unwrap();
+        assert!(g2.person_has_skill(PersonId(0), vision));
+        assert!(g2.holders_of(vision).contains(&PersonId(0)));
+        let g3 = g2.with_skill_removed(PersonId(0), vision).unwrap();
+        assert!(!g3.person_has_skill(PersonId(0), vision));
+        assert!(!g3.holders_of(vision).contains(&PersonId(0)));
+    }
+
+    #[test]
+    fn skill_addition_is_idempotent() {
+        let g = toy();
+        let ml = g.vocab().id("ml").unwrap();
+        let g2 = g.with_skill_added(PersonId(0), ml).unwrap();
+        assert_eq!(g2.base_skills(PersonId(0)).len(), 2);
+        assert_eq!(g2.holders_of(ml).len(), 2);
+    }
+
+    #[test]
+    fn person_by_name_lookup() {
+        let g = toy();
+        assert_eq!(g.person_by_name("B"), Some(PersonId(1)));
+        assert_eq!(g.person_by_name("nope"), None);
+        assert_eq!(g.person_name(PersonId(2)), "C");
+    }
+
+    #[test]
+    fn serde_roundtrip_and_rebuild() {
+        let g = toy();
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: CollabGraph = serde_json::from_str(&json).unwrap();
+        // Derived indices are skipped during serialisation.
+        assert!(back.edge_set.is_empty());
+        back.rebuild_indices();
+        assert!(back.has_edge(PersonId(0), PersonId(1)));
+        assert_eq!(back.vocab().id("db"), g.vocab().id("db"));
+        assert_eq!(back.stats(), g.stats());
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = CollabGraphBuilder::new().build();
+        let s = g.stats();
+        assert_eq!(s.num_people, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.avg_skills_per_person, 0.0);
+    }
+}

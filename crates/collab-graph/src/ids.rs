@@ -1,0 +1,130 @@
+//! Dense integer identifiers for people and skills.
+//!
+//! Both id types are thin `u32` newtypes: they index into contiguous arrays
+//! inside [`crate::CollabGraph`] and [`crate::SkillVocab`], are `Copy`, and hash
+//! quickly with `FxHash`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a person (node) in a collaboration network.
+///
+/// Ids are dense: a graph with `n` people uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PersonId(pub u32);
+
+/// Identifier of a skill (node label / query keyword) in a [`crate::SkillVocab`].
+///
+/// Ids are dense: a vocabulary with `l` skills uses ids `0..l`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SkillId(pub u32);
+
+impl PersonId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `PersonId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        PersonId(u32::try_from(idx).expect("person index exceeds u32::MAX"))
+    }
+}
+
+impl SkillId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `SkillId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        SkillId(u32::try_from(idx).expect("skill index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for PersonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PersonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for SkillId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SkillId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for PersonId {
+    fn from(v: u32) -> Self {
+        PersonId(v)
+    }
+}
+
+impl From<u32> for SkillId {
+    fn from(v: u32) -> Self {
+        SkillId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn person_id_roundtrip() {
+        let p = PersonId::from_index(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(p, PersonId(42));
+        assert_eq!(format!("{p}"), "p42");
+        assert_eq!(format!("{p:?}"), "p42");
+    }
+
+    #[test]
+    fn skill_id_roundtrip() {
+        let s = SkillId::from_index(7);
+        assert_eq!(s.index(), 7);
+        assert_eq!(s, SkillId(7));
+        assert_eq!(format!("{s}"), "s7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(PersonId(1) < PersonId(2));
+        assert!(SkillId(0) < SkillId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "person index exceeds")]
+    fn person_id_overflow_panics() {
+        let _ = PersonId::from_index(usize::MAX);
+    }
+
+    #[test]
+    fn from_u32_conversions() {
+        assert_eq!(PersonId::from(3u32), PersonId(3));
+        assert_eq!(SkillId::from(9u32), SkillId(9));
+    }
+}

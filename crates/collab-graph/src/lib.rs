@@ -1,0 +1,63 @@
+//! # exes-graph
+//!
+//! The collaboration-network substrate used throughout the ExES reproduction.
+//!
+//! A collaboration network is an undirected, node-labelled graph:
+//!
+//! * nodes are **people** ([`PersonId`]) carrying a set of **skills** ([`SkillId`]),
+//! * edges denote **collaborations** (paper co-authorship, shared repositories, ...),
+//! * a shared [`SkillVocab`] maps skill names to dense integer ids.
+//!
+//! ExES explains black-box systems by probing them with *perturbed* inputs, so the
+//! central abstraction here is the [`GraphView`] trait: both the base
+//! [`CollabGraph`] and the copy-on-write [`PerturbedGraph`] overlay implement it,
+//! letting rankers and team builders run unchanged on either. Perturbations are
+//! small [`PerturbationSet`] deltas (skill add/remove, edge add/remove, query
+//! keyword add/remove), which keeps the cost of each probe proportional to the
+//! delta instead of the graph size.
+//!
+//! ```
+//! use exes_graph::{CollabGraphBuilder, Query, GraphView, Perturbation, PerturbationSet};
+//!
+//! let mut b = CollabGraphBuilder::new();
+//! let alice = b.add_person("Alice", ["databases", "xai"]);
+//! let bob = b.add_person("Bob", ["graphs"]);
+//! b.add_edge(alice, bob);
+//! let g = b.build();
+//!
+//! let q = Query::parse("xai graphs", g.vocab()).unwrap();
+//! assert!(g.person_has_skill(alice, q.skills()[0]));
+//!
+//! // Probe a counterfactual world where Alice lost her "xai" skill.
+//! let xai = g.vocab().id("xai").unwrap();
+//! let mut delta = PerturbationSet::new();
+//! delta.push(Perturbation::RemoveSkill { person: alice, skill: xai });
+//! let world = delta.apply_to_graph(&g);
+//! assert!(!world.person_has_skill(alice, xai));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod ids;
+mod neighborhood;
+mod perturbation;
+mod query;
+mod view;
+mod vocab;
+
+pub use builder::CollabGraphBuilder;
+pub use error::GraphError;
+pub use graph::{CollabGraph, EdgeId, GraphStats};
+pub use ids::{PersonId, SkillId};
+pub use neighborhood::{Neighborhood, NeighborhoodSkills};
+pub use perturbation::{Perturbation, PerturbationSet};
+pub use query::Query;
+pub use view::{GraphView, PerturbedGraph};
+pub use vocab::SkillVocab;
+
+/// Convenience result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,277 @@
+//! Radius-`d` neighbourhoods — the heart of Pruning Strategy 1 (network locality).
+
+use crate::{GraphView, PersonId, SkillId};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// The induced subgraph of nodes within distance `d` of a centre node `N(p_i)`.
+///
+/// The paper's pruning strategies restrict factual feature scoring and
+/// counterfactual candidate generation to this neighbourhood.
+#[derive(Debug, Clone)]
+pub struct Neighborhood {
+    center: PersonId,
+    radius: usize,
+    /// Members sorted by id (always includes the centre, even for `d = 0`).
+    members: Vec<PersonId>,
+    /// Hop distance of each member from the centre.
+    distances: FxHashMap<PersonId, usize>,
+}
+
+/// The multiset of `(person, skill)` pairs inside a neighbourhood, `S_N(p_i)`.
+#[derive(Debug, Clone)]
+pub struct NeighborhoodSkills {
+    pairs: Vec<(PersonId, SkillId)>,
+}
+
+impl Neighborhood {
+    /// Breadth-first computation of the radius-`d` neighbourhood of `center`.
+    pub fn compute<G: GraphView + ?Sized>(view: &G, center: PersonId, radius: usize) -> Self {
+        let mut distances = FxHashMap::default();
+        distances.insert(center, 0usize);
+        let mut queue = VecDeque::new();
+        queue.push_back(center);
+        while let Some(p) = queue.pop_front() {
+            let dist = distances[&p];
+            if dist == radius {
+                continue;
+            }
+            for n in view.neighbors(p) {
+                if !distances.contains_key(&n) {
+                    distances.insert(n, dist + 1);
+                    queue.push_back(n);
+                }
+            }
+        }
+        let mut members: Vec<PersonId> = distances.keys().copied().collect();
+        members.sort_unstable();
+        Neighborhood {
+            center,
+            radius,
+            members,
+            distances,
+        }
+    }
+
+    /// The centre node `p_i`.
+    pub fn center(&self) -> PersonId {
+        self.center
+    }
+
+    /// The radius `d` used to compute this neighbourhood.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Members, sorted by id (includes the centre).
+    pub fn members(&self) -> &[PersonId] {
+        &self.members
+    }
+
+    /// Number of members `|N(p_i)|`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// A neighbourhood always contains at least its centre.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: PersonId) -> bool {
+        self.distances.contains_key(&p)
+    }
+
+    /// Hop distance from the centre, if `p` is a member.
+    pub fn distance(&self, p: PersonId) -> Option<usize> {
+        self.distances.get(&p).copied()
+    }
+
+    /// All `(person, skill)` pairs held by members — the feature space
+    /// `S_N(p_i)` used for skill factual explanations and skill counterfactuals.
+    pub fn skills<G: GraphView + ?Sized>(&self, view: &G) -> NeighborhoodSkills {
+        let mut pairs = Vec::new();
+        for &p in &self.members {
+            for s in view.person_skills(p) {
+                pairs.push((p, s));
+            }
+        }
+        NeighborhoodSkills { pairs }
+    }
+
+    /// Edges whose *both* endpoints lie inside the neighbourhood, canonically
+    /// ordered — the feature space for collaboration factual explanations.
+    pub fn edges_within<G: GraphView + ?Sized>(&self, view: &G) -> Vec<(PersonId, PersonId)> {
+        let mut edges = Vec::new();
+        for &a in &self.members {
+            for b in view.neighbors(a) {
+                if a < b && self.contains(b) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges
+    }
+
+    /// Pairs of neighbourhood members that are *not* connected — candidate edge
+    /// additions for collaboration counterfactuals. The centre is always one of
+    /// the endpoints when `centered_only` is true (the paper adds collaborations
+    /// *to* the explained individual's neighbourhood).
+    pub fn missing_edges<G: GraphView + ?Sized>(
+        &self,
+        view: &G,
+        centered_only: bool,
+    ) -> Vec<(PersonId, PersonId)> {
+        let mut missing = Vec::new();
+        if centered_only {
+            for &b in &self.members {
+                if b != self.center && !view.has_edge(self.center, b) {
+                    let (x, y) = if self.center < b {
+                        (self.center, b)
+                    } else {
+                        (b, self.center)
+                    };
+                    missing.push((x, y));
+                }
+            }
+        } else {
+            for (i, &a) in self.members.iter().enumerate() {
+                for &b in &self.members[i + 1..] {
+                    if !view.has_edge(a, b) {
+                        missing.push((a, b));
+                    }
+                }
+            }
+        }
+        missing.sort_unstable();
+        missing
+    }
+}
+
+impl NeighborhoodSkills {
+    /// The `(person, skill)` pairs.
+    pub fn pairs(&self) -> &[(PersonId, SkillId)] {
+        &self.pairs
+    }
+
+    /// Number of pairs `|S_N(p_i)|`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no member holds any skill.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The distinct skills appearing in the neighbourhood, sorted.
+    pub fn distinct_skills(&self) -> Vec<SkillId> {
+        let mut s: Vec<SkillId> = self.pairs.iter().map(|&(_, s)| s).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollabGraph, CollabGraphBuilder};
+
+    /// Path graph p0 - p1 - p2 - p3 - p4.
+    fn path() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let ps: Vec<_> = (0..5)
+            .map(|i| b.add_person(&format!("p{i}"), [format!("skill{i}")]))
+            .collect();
+        for w in ps.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn radius_zero_is_just_the_center() {
+        let g = path();
+        let n = Neighborhood::compute(&g, PersonId(2), 0);
+        assert_eq!(n.members(), &[PersonId(2)]);
+        assert_eq!(n.distance(PersonId(2)), Some(0));
+        assert!(!n.is_empty());
+    }
+
+    #[test]
+    fn radius_one_and_two_on_a_path() {
+        let g = path();
+        let n1 = Neighborhood::compute(&g, PersonId(2), 1);
+        assert_eq!(n1.members(), &[PersonId(1), PersonId(2), PersonId(3)]);
+        let n2 = Neighborhood::compute(&g, PersonId(2), 2);
+        assert_eq!(n2.len(), 5);
+        assert_eq!(n2.distance(PersonId(0)), Some(2));
+        assert_eq!(n2.distance(PersonId(4)), Some(2));
+    }
+
+    #[test]
+    fn neighborhood_is_monotone_in_radius() {
+        let g = path();
+        for d in 0..4 {
+            let smaller = Neighborhood::compute(&g, PersonId(0), d);
+            let larger = Neighborhood::compute(&g, PersonId(0), d + 1);
+            for &m in smaller.members() {
+                assert!(larger.contains(m));
+            }
+        }
+    }
+
+    #[test]
+    fn skills_collects_member_pairs() {
+        let g = path();
+        let n = Neighborhood::compute(&g, PersonId(2), 1);
+        let sk = n.skills(&g);
+        assert_eq!(sk.len(), 3);
+        assert_eq!(sk.distinct_skills().len(), 3);
+        assert!(!sk.is_empty());
+        assert!(sk
+            .pairs()
+            .iter()
+            .all(|&(p, _)| n.contains(p)));
+    }
+
+    #[test]
+    fn edges_within_only_keeps_internal_edges() {
+        let g = path();
+        let n = Neighborhood::compute(&g, PersonId(2), 1);
+        // Edges (1,2) and (2,3) are internal; (0,1) and (3,4) cross the boundary.
+        assert_eq!(
+            n.edges_within(&g),
+            vec![(PersonId(1), PersonId(2)), (PersonId(2), PersonId(3))]
+        );
+    }
+
+    #[test]
+    fn missing_edges_centered_and_full() {
+        let g = path();
+        let n = Neighborhood::compute(&g, PersonId(2), 2);
+        let centered = n.missing_edges(&g, true);
+        // Centre p2 is not connected to p0 and p4.
+        assert_eq!(
+            centered,
+            vec![(PersonId(0), PersonId(2)), (PersonId(2), PersonId(4))]
+        );
+        let full = n.missing_edges(&g, false);
+        // All non-adjacent pairs among 5 path nodes: total pairs 10, edges 4 => 6.
+        assert_eq!(full.len(), 6);
+        assert!(centered.iter().all(|e| full.contains(e)));
+    }
+
+    #[test]
+    fn disconnected_node_has_singleton_neighborhood() {
+        let mut b = CollabGraphBuilder::new();
+        let lone = b.add_person("lone", ["x"]);
+        b.add_person("other", ["y"]);
+        let g = b.build();
+        let n = Neighborhood::compute(&g, lone, 3);
+        assert_eq!(n.members(), &[lone]);
+    }
+}

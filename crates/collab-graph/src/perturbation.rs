@@ -1,0 +1,388 @@
+//! Feature perturbations: the atomic edits ExES explores when explaining.
+
+use crate::{CollabGraph, PersonId, PerturbedGraph, Query, SkillId};
+use serde::{Deserialize, Serialize};
+
+/// An atomic edit to the input of an expert-search / team-formation system.
+///
+/// Counterfactual explanations are sets of these ([`PerturbationSet`]); factual
+/// explanations score the *features* these edits act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Perturbation {
+    /// Give `person` a new `skill` label.
+    AddSkill {
+        /// Person receiving the skill.
+        person: PersonId,
+        /// Skill being added.
+        skill: SkillId,
+    },
+    /// Remove an existing `skill` label from `person`.
+    RemoveSkill {
+        /// Person losing the skill.
+        person: PersonId,
+        /// Skill being removed.
+        skill: SkillId,
+    },
+    /// Add a collaboration edge between `a` and `b`.
+    AddEdge {
+        /// First endpoint.
+        a: PersonId,
+        /// Second endpoint.
+        b: PersonId,
+    },
+    /// Remove the collaboration edge between `a` and `b`.
+    RemoveEdge {
+        /// First endpoint.
+        a: PersonId,
+        /// Second endpoint.
+        b: PersonId,
+    },
+    /// Add a keyword to the query.
+    AddQueryTerm {
+        /// Skill keyword appended to the query.
+        skill: SkillId,
+    },
+    /// Remove a keyword from the query.
+    RemoveQueryTerm {
+        /// Skill keyword dropped from the query.
+        skill: SkillId,
+    },
+}
+
+impl Perturbation {
+    /// True for perturbations that edit the query rather than the graph.
+    pub fn is_query_perturbation(&self) -> bool {
+        matches!(
+            self,
+            Perturbation::AddQueryTerm { .. } | Perturbation::RemoveQueryTerm { .. }
+        )
+    }
+
+    /// True for perturbations that edit skills (node labels).
+    pub fn is_skill_perturbation(&self) -> bool {
+        matches!(
+            self,
+            Perturbation::AddSkill { .. } | Perturbation::RemoveSkill { .. }
+        )
+    }
+
+    /// True for perturbations that edit collaboration edges.
+    pub fn is_edge_perturbation(&self) -> bool {
+        matches!(
+            self,
+            Perturbation::AddEdge { .. } | Perturbation::RemoveEdge { .. }
+        )
+    }
+
+    /// Human-readable description, e.g. for case-study output.
+    pub fn describe(&self, graph: &CollabGraph) -> String {
+        let vocab = graph.vocab();
+        let skill_name = |s: SkillId| vocab.name(s).unwrap_or("<unknown skill>").to_string();
+        let person_name = |p: PersonId| {
+            if p.index() < graph.num_people_internal() {
+                graph.person_name(p).to_string()
+            } else {
+                format!("{p}")
+            }
+        };
+        match *self {
+            Perturbation::AddSkill { person, skill } => {
+                format!("add skill '{}' to {}", skill_name(skill), person_name(person))
+            }
+            Perturbation::RemoveSkill { person, skill } => {
+                format!(
+                    "remove skill '{}' from {}",
+                    skill_name(skill),
+                    person_name(person)
+                )
+            }
+            Perturbation::AddEdge { a, b } => {
+                format!(
+                    "add collaboration between {} and {}",
+                    person_name(a),
+                    person_name(b)
+                )
+            }
+            Perturbation::RemoveEdge { a, b } => {
+                format!(
+                    "remove collaboration between {} and {}",
+                    person_name(a),
+                    person_name(b)
+                )
+            }
+            Perturbation::AddQueryTerm { skill } => {
+                format!("add '{}' to the query", skill_name(skill))
+            }
+            Perturbation::RemoveQueryTerm { skill } => {
+                format!("remove '{}' from the query", skill_name(skill))
+            }
+        }
+    }
+}
+
+impl CollabGraph {
+    pub(crate) fn num_people_internal(&self) -> usize {
+        self.people.len()
+    }
+}
+
+/// An ordered set of perturbations (a candidate counterfactual explanation).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PerturbationSet {
+    items: Vec<Perturbation>,
+}
+
+impl PerturbationSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set holding a single perturbation.
+    pub fn singleton(p: Perturbation) -> Self {
+        PerturbationSet { items: vec![p] }
+    }
+
+    /// Appends a perturbation if it is not already present. Returns whether it
+    /// was inserted.
+    pub fn push(&mut self, p: Perturbation) -> bool {
+        if self.items.contains(&p) {
+            false
+        } else {
+            self.items.push(p);
+            true
+        }
+    }
+
+    /// Returns a new set with `p` appended (no-op clone when already present).
+    pub fn with(&self, p: Perturbation) -> Self {
+        let mut s = self.clone();
+        s.push(p);
+        s
+    }
+
+    /// Number of perturbations (the explanation *size* in the paper's tables).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no perturbations are present.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: &Perturbation) -> bool {
+        self.items.contains(p)
+    }
+
+    /// True when `other` contains every perturbation of `self`.
+    pub fn is_subset_of(&self, other: &PerturbationSet) -> bool {
+        self.items.iter().all(|p| other.contains(p))
+    }
+
+    /// Iterates over the perturbations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Perturbation> {
+        self.items.iter()
+    }
+
+    /// Applies the graph-side edits, producing a cheap overlay view.
+    pub fn apply_to_graph<'a>(&self, base: &'a CollabGraph) -> PerturbedGraph<'a> {
+        PerturbedGraph::new(base, self)
+    }
+
+    /// Applies the query-side edits, producing the perturbed query.
+    pub fn apply_to_query(&self, query: &Query) -> Query {
+        let mut q = query.clone();
+        for p in &self.items {
+            match *p {
+                Perturbation::AddQueryTerm { skill } => q = q.with_added(skill),
+                Perturbation::RemoveQueryTerm { skill } => q = q.with_removed(skill),
+                _ => {}
+            }
+        }
+        q
+    }
+
+    /// Applies both graph- and query-side edits (line 10 of Algorithm 1).
+    pub fn apply<'a>(
+        &self,
+        base: &'a CollabGraph,
+        query: &Query,
+    ) -> (PerturbedGraph<'a>, Query) {
+        (self.apply_to_graph(base), self.apply_to_query(query))
+    }
+
+    /// Materialises the graph-side edits into a fully rebuilt [`CollabGraph`].
+    ///
+    /// Slow path used by tests and the exhaustive baselines to check that the
+    /// overlay and a real rebuild agree; redundant edits are skipped.
+    pub fn materialize(&self, base: &CollabGraph) -> CollabGraph {
+        let mut g = base.clone();
+        for p in &self.items {
+            let next = match *p {
+                Perturbation::AddSkill { person, skill } => g.with_skill_added(person, skill),
+                Perturbation::RemoveSkill { person, skill } => g.with_skill_removed(person, skill),
+                Perturbation::AddEdge { a, b } => g.with_edge_added(a, b),
+                Perturbation::RemoveEdge { a, b } => g.with_edge_removed(a, b),
+                Perturbation::AddQueryTerm { .. } | Perturbation::RemoveQueryTerm { .. } => {
+                    continue
+                }
+            };
+            if let Ok(next) = next {
+                g = next;
+            }
+        }
+        g
+    }
+
+    /// Human-readable multi-line description.
+    pub fn describe(&self, graph: &CollabGraph) -> String {
+        self.items
+            .iter()
+            .map(|p| p.describe(graph))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+impl FromIterator<Perturbation> for PerturbationSet {
+    fn from_iter<T: IntoIterator<Item = Perturbation>>(iter: T) -> Self {
+        let mut s = PerturbationSet::new();
+        for p in iter {
+            s.push(p);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollabGraphBuilder, GraphView};
+
+    fn toy() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let p0 = b.add_person("Ada", ["db", "ml"]);
+        let p1 = b.add_person("Bo", ["ml"]);
+        let p2 = b.add_person("Cy", ["vision"]);
+        b.add_edge(p0, p1);
+        b.add_edge(p1, p2);
+        b.build()
+    }
+
+    #[test]
+    fn push_deduplicates() {
+        let g = toy();
+        let ml = g.vocab().id("ml").unwrap();
+        let p = Perturbation::RemoveSkill {
+            person: PersonId(0),
+            skill: ml,
+        };
+        let mut set = PerturbationSet::new();
+        assert!(set.push(p));
+        assert!(!set.push(p));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.with(p).len(), 1);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let p = Perturbation::AddQueryTerm { skill: SkillId(0) };
+        assert!(p.is_query_perturbation());
+        assert!(!p.is_skill_perturbation());
+        let q = Perturbation::AddSkill {
+            person: PersonId(0),
+            skill: SkillId(0),
+        };
+        assert!(q.is_skill_perturbation());
+        let e = Perturbation::RemoveEdge {
+            a: PersonId(0),
+            b: PersonId(1),
+        };
+        assert!(e.is_edge_perturbation());
+    }
+
+    #[test]
+    fn apply_to_query_handles_add_and_remove() {
+        let g = toy();
+        let q = Query::parse("ml", g.vocab()).unwrap();
+        let db = g.vocab().id("db").unwrap();
+        let ml = g.vocab().id("ml").unwrap();
+        let set: PerturbationSet = [
+            Perturbation::AddQueryTerm { skill: db },
+            Perturbation::RemoveQueryTerm { skill: ml },
+        ]
+        .into_iter()
+        .collect();
+        let q2 = set.apply_to_query(&q);
+        assert!(q2.contains(db));
+        assert!(!q2.contains(ml));
+    }
+
+    #[test]
+    fn overlay_agrees_with_materialized_graph() {
+        let g = toy();
+        let vision = g.vocab().id("vision").unwrap();
+        let set: PerturbationSet = [
+            Perturbation::AddSkill {
+                person: PersonId(0),
+                skill: vision,
+            },
+            Perturbation::AddEdge {
+                a: PersonId(0),
+                b: PersonId(2),
+            },
+            Perturbation::RemoveEdge {
+                a: PersonId(1),
+                b: PersonId(2),
+            },
+        ]
+        .into_iter()
+        .collect();
+        let overlay = set.apply_to_graph(&g);
+        let rebuilt = set.materialize(&g);
+        assert_eq!(overlay.num_edges(), rebuilt.num_edges());
+        for p in g.people() {
+            assert_eq!(overlay.person_skills(p), rebuilt.person_skills(p));
+            assert_eq!(overlay.neighbors(p), rebuilt.neighbors(p));
+        }
+    }
+
+    #[test]
+    fn describe_mentions_names() {
+        let g = toy();
+        let ml = g.vocab().id("ml").unwrap();
+        let set: PerturbationSet = [
+            Perturbation::RemoveSkill {
+                person: PersonId(0),
+                skill: ml,
+            },
+            Perturbation::AddEdge {
+                a: PersonId(0),
+                b: PersonId(2),
+            },
+        ]
+        .into_iter()
+        .collect();
+        let text = set.describe(&g);
+        assert!(text.contains("Ada"));
+        assert!(text.contains("Cy"));
+        assert!(text.contains("ml"));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a: PerturbationSet =
+            [Perturbation::AddQueryTerm { skill: SkillId(1) }].into_iter().collect();
+        let b: PerturbationSet = [
+            Perturbation::AddQueryTerm { skill: SkillId(1) },
+            Perturbation::AddQueryTerm { skill: SkillId(2) },
+        ]
+        .into_iter()
+        .collect();
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(PerturbationSet::new().is_subset_of(&a));
+    }
+}

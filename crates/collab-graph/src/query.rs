@@ -1,0 +1,158 @@
+//! Keyword queries: the user-supplied set of desired skills.
+
+use crate::{GraphError, Result, SkillId, SkillVocab};
+use serde::{Deserialize, Serialize};
+
+/// A keyword query `q ⊂ S`: the set of skills an expert (or team) should cover.
+///
+/// The order of keywords is preserved (it only matters for display); membership
+/// checks use a sorted copy internally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Query {
+    skills: Vec<SkillId>,
+}
+
+impl Query {
+    /// Creates a query from skill ids, de-duplicating while preserving first
+    /// occurrence order. Returns an error when the resulting query is empty.
+    pub fn new<I: IntoIterator<Item = SkillId>>(skills: I) -> Result<Self> {
+        let mut seen = Vec::new();
+        for s in skills {
+            if !seen.contains(&s) {
+                seen.push(s);
+            }
+        }
+        if seen.is_empty() {
+            return Err(GraphError::EmptyQuery);
+        }
+        Ok(Query { skills: seen })
+    }
+
+    /// Parses a whitespace-separated keyword string against a vocabulary.
+    ///
+    /// Unknown keywords are skipped (mirroring how a search box would ignore
+    /// out-of-vocabulary terms); the query is an error only if *no* keyword is
+    /// recognised.
+    pub fn parse(text: &str, vocab: &SkillVocab) -> Result<Self> {
+        let ids = text.split_whitespace().filter_map(|tok| vocab.id(tok));
+        Query::new(ids)
+    }
+
+    /// Parses a keyword string, returning an error if *any* keyword is unknown.
+    pub fn parse_strict(text: &str, vocab: &SkillVocab) -> Result<Self> {
+        let mut ids = Vec::new();
+        for tok in text.split_whitespace() {
+            ids.push(vocab.require(tok)?);
+        }
+        Query::new(ids)
+    }
+
+    /// The query keywords, in the order they were supplied.
+    pub fn skills(&self) -> &[SkillId] {
+        &self.skills
+    }
+
+    /// Number of keywords `|q|`.
+    pub fn len(&self) -> usize {
+        self.skills.len()
+    }
+
+    /// True when the query has no keywords (never the case for constructed queries).
+    pub fn is_empty(&self) -> bool {
+        self.skills.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: SkillId) -> bool {
+        self.skills.contains(&s)
+    }
+
+    /// Returns a new query with `s` appended (no-op if already present).
+    pub fn with_added(&self, s: SkillId) -> Query {
+        let mut q = self.clone();
+        if !q.skills.contains(&s) {
+            q.skills.push(s);
+        }
+        q
+    }
+
+    /// Returns a new query with `s` removed. The result may be empty, which is
+    /// allowed for perturbed queries (a system receiving an empty query simply
+    /// has nothing to match).
+    pub fn with_removed(&self, s: SkillId) -> Query {
+        let mut q = self.clone();
+        q.skills.retain(|&x| x != s);
+        q
+    }
+
+    /// Renders the query as a human-readable keyword string.
+    pub fn display(&self, vocab: &SkillVocab) -> String {
+        self.skills
+            .iter()
+            .map(|&s| vocab.name(s).unwrap_or("<unknown>"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> SkillVocab {
+        ["xai", "ai", "data", "mining"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn parse_skips_unknown_keywords() {
+        let v = vocab();
+        let q = Query::parse("xai quantum mining", &v).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.display(&v), "xai mining");
+    }
+
+    #[test]
+    fn parse_strict_rejects_unknown_keywords() {
+        let v = vocab();
+        let err = Query::parse_strict("xai quantum", &v).unwrap_err();
+        assert_eq!(err, GraphError::UnknownSkillName("quantum".into()));
+    }
+
+    #[test]
+    fn all_unknown_keywords_is_an_error() {
+        let v = vocab();
+        assert_eq!(Query::parse("quantum blockchain", &v).unwrap_err(), GraphError::EmptyQuery);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed_preserving_order() {
+        let v = vocab();
+        let q = Query::parse("mining xai mining", &v).unwrap();
+        assert_eq!(q.display(&v), "mining xai");
+    }
+
+    #[test]
+    fn with_added_and_removed() {
+        let v = vocab();
+        let q = Query::parse("xai", &v).unwrap();
+        let ai = v.id("ai").unwrap();
+        let q2 = q.with_added(ai);
+        assert!(q2.contains(ai));
+        assert_eq!(q2.len(), 2);
+        // Adding again is a no-op.
+        assert_eq!(q2.with_added(ai).len(), 2);
+        let q3 = q2.with_removed(v.id("xai").unwrap());
+        assert_eq!(q3.len(), 1);
+        assert!(q3.contains(ai));
+        // Removing the last keyword yields an (allowed) empty perturbed query.
+        assert!(q3.with_removed(ai).is_empty());
+    }
+
+    #[test]
+    fn new_from_ids_errors_on_empty() {
+        assert_eq!(Query::new([]).unwrap_err(), GraphError::EmptyQuery);
+    }
+}

@@ -1,0 +1,390 @@
+//! Read-only views over (possibly perturbed) collaboration networks.
+
+use crate::{CollabGraph, PersonId, PerturbationSet, Query, SkillId, SkillVocab};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// A read-only view of a collaboration network.
+///
+/// Expert-search and team-formation systems are written against this trait so
+/// that ExES can probe them with perturbed inputs ([`PerturbedGraph`]) without
+/// copying the whole graph for each probe.
+pub trait GraphView {
+    /// Number of people `|P|`.
+    fn num_people(&self) -> usize;
+
+    /// Number of collaboration edges `|E|`.
+    fn num_edges(&self) -> usize;
+
+    /// The shared skill vocabulary.
+    fn vocab(&self) -> &SkillVocab;
+
+    /// Whether person `p` holds skill `s` in this view.
+    fn person_has_skill(&self, p: PersonId, s: SkillId) -> bool;
+
+    /// The skills of person `p` in this view (sorted ascending).
+    fn person_skills(&self, p: PersonId) -> Vec<SkillId>;
+
+    /// The collaborators of person `p` in this view (sorted ascending).
+    fn neighbors(&self, p: PersonId) -> Vec<PersonId>;
+
+    /// Degree of `p` in this view.
+    fn degree(&self, p: PersonId) -> usize {
+        self.neighbors(p).len()
+    }
+
+    /// Whether an edge exists between `a` and `b` in this view.
+    fn has_edge(&self, a: PersonId, b: PersonId) -> bool;
+
+    /// All edges of the view, canonically ordered (`a < b`), each once.
+    fn edges(&self) -> Vec<(PersonId, PersonId)>;
+
+    /// Iterator over all person ids.
+    fn people_ids(&self) -> Vec<PersonId> {
+        (0..self.num_people()).map(PersonId::from_index).collect()
+    }
+
+    /// Number of the query's keywords held by `p` in this view.
+    fn query_match_count(&self, p: PersonId, query: &Query) -> usize {
+        query
+            .skills()
+            .iter()
+            .filter(|&&s| self.person_has_skill(p, s))
+            .count()
+    }
+}
+
+/// A copy-on-write overlay applying a [`PerturbationSet`] to a base graph.
+///
+/// Construction cost and memory are proportional to the number of perturbations,
+/// not to the graph size, which is what makes beam search over thousands of
+/// candidate perturbations feasible (Pruning Strategy 3 relies on cheap probes).
+#[derive(Debug, Clone)]
+pub struct PerturbedGraph<'a> {
+    base: &'a CollabGraph,
+    added_skills: FxHashSet<(u32, u32)>,
+    removed_skills: FxHashSet<(u32, u32)>,
+    added_edges: FxHashSet<(u32, u32)>,
+    removed_edges: FxHashSet<(u32, u32)>,
+    /// Extra neighbours induced by added edges, per endpoint.
+    extra_neighbors: FxHashMap<u32, Vec<PersonId>>,
+}
+
+impl<'a> PerturbedGraph<'a> {
+    /// Wraps `base` with an empty delta (behaves identically to `base`).
+    pub fn identity(base: &'a CollabGraph) -> Self {
+        PerturbedGraph {
+            base,
+            added_skills: FxHashSet::default(),
+            removed_skills: FxHashSet::default(),
+            added_edges: FxHashSet::default(),
+            removed_edges: FxHashSet::default(),
+            extra_neighbors: FxHashMap::default(),
+        }
+    }
+
+    /// Wraps `base` applying the graph-side perturbations of `delta`.
+    ///
+    /// Query-side perturbations in `delta` are ignored here; apply them with
+    /// [`PerturbationSet::apply_to_query`].
+    pub fn new(base: &'a CollabGraph, delta: &PerturbationSet) -> Self {
+        let mut view = PerturbedGraph::identity(base);
+        for p in delta.iter() {
+            view.apply(p);
+        }
+        view
+    }
+
+    /// The underlying unperturbed graph.
+    pub fn base(&self) -> &'a CollabGraph {
+        self.base
+    }
+
+    fn apply(&mut self, p: &crate::Perturbation) {
+        use crate::Perturbation::*;
+        match *p {
+            AddSkill { person, skill } => {
+                let key = (person.0, skill.0);
+                if !self.removed_skills.remove(&key) && !self.base.person_has_skill(person, skill)
+                {
+                    self.added_skills.insert(key);
+                }
+            }
+            RemoveSkill { person, skill } => {
+                let key = (person.0, skill.0);
+                if !self.added_skills.remove(&key) && self.base.person_has_skill(person, skill) {
+                    self.removed_skills.insert(key);
+                }
+            }
+            AddEdge { a, b } => {
+                if a == b {
+                    return;
+                }
+                let key = CollabGraph::edge_key(a, b);
+                if self.removed_edges.remove(&key) {
+                    return;
+                }
+                if !self.base.has_edge(a, b) && self.added_edges.insert(key) {
+                    self.extra_neighbors.entry(a.0).or_default().push(b);
+                    self.extra_neighbors.entry(b.0).or_default().push(a);
+                }
+            }
+            RemoveEdge { a, b } => {
+                if a == b {
+                    return;
+                }
+                let key = CollabGraph::edge_key(a, b);
+                if self.added_edges.remove(&key) {
+                    if let Some(v) = self.extra_neighbors.get_mut(&a.0) {
+                        v.retain(|&n| n != b);
+                    }
+                    if let Some(v) = self.extra_neighbors.get_mut(&b.0) {
+                        v.retain(|&n| n != a);
+                    }
+                    return;
+                }
+                if self.base.has_edge(a, b) {
+                    self.removed_edges.insert(key);
+                }
+            }
+            AddQueryTerm { .. } | RemoveQueryTerm { .. } => {}
+        }
+    }
+
+    /// Number of graph-side changes in this overlay.
+    pub fn delta_size(&self) -> usize {
+        self.added_skills.len()
+            + self.removed_skills.len()
+            + self.added_edges.len()
+            + self.removed_edges.len()
+    }
+}
+
+impl GraphView for PerturbedGraph<'_> {
+    fn num_people(&self) -> usize {
+        self.base.num_people()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.base.num_edges() + self.added_edges.len() - self.removed_edges.len()
+    }
+
+    fn vocab(&self) -> &SkillVocab {
+        self.base.vocab()
+    }
+
+    fn person_has_skill(&self, p: PersonId, s: SkillId) -> bool {
+        let key = (p.0, s.0);
+        if self.removed_skills.contains(&key) {
+            return false;
+        }
+        if self.added_skills.contains(&key) {
+            return true;
+        }
+        self.base.person_has_skill(p, s)
+    }
+
+    fn person_skills(&self, p: PersonId) -> Vec<SkillId> {
+        let mut skills: Vec<SkillId> = self
+            .base
+            .base_skills(p)
+            .iter()
+            .copied()
+            .filter(|s| !self.removed_skills.contains(&(p.0, s.0)))
+            .collect();
+        for &(person, skill) in &self.added_skills {
+            if person == p.0 {
+                skills.push(SkillId(skill));
+            }
+        }
+        skills.sort_unstable();
+        skills.dedup();
+        skills
+    }
+
+    fn neighbors(&self, p: PersonId) -> Vec<PersonId> {
+        let mut ns: Vec<PersonId> = self
+            .base
+            .base_neighbors(p)
+            .iter()
+            .copied()
+            .filter(|&n| !self.removed_edges.contains(&CollabGraph::edge_key(p, n)))
+            .collect();
+        if let Some(extra) = self.extra_neighbors.get(&p.0) {
+            ns.extend_from_slice(extra);
+        }
+        ns.sort_unstable();
+        ns.dedup();
+        ns
+    }
+
+    fn has_edge(&self, a: PersonId, b: PersonId) -> bool {
+        if a == b {
+            return false;
+        }
+        let key = CollabGraph::edge_key(a, b);
+        if self.removed_edges.contains(&key) {
+            return false;
+        }
+        if self.added_edges.contains(&key) {
+            return true;
+        }
+        self.base.has_edge(a, b)
+    }
+
+    fn edges(&self) -> Vec<(PersonId, PersonId)> {
+        let mut es: Vec<(PersonId, PersonId)> = self
+            .base
+            .edges()
+            .into_iter()
+            .filter(|&(a, b)| !self.removed_edges.contains(&CollabGraph::edge_key(a, b)))
+            .collect();
+        for &(a, b) in &self.added_edges {
+            es.push((PersonId(a), PersonId(b)));
+        }
+        es.sort_unstable();
+        es
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollabGraphBuilder, Perturbation};
+
+    fn toy() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let p0 = b.add_person("p0", ["db", "ml"]);
+        let p1 = b.add_person("p1", ["ml"]);
+        let p2 = b.add_person("p2", ["vision"]);
+        b.add_edge(p0, p1);
+        b.add_edge(p1, p2);
+        b.build()
+    }
+
+    #[test]
+    fn identity_overlay_matches_base() {
+        let g = toy();
+        let v = PerturbedGraph::identity(&g);
+        assert_eq!(v.num_people(), g.num_people());
+        assert_eq!(v.num_edges(), g.num_edges());
+        assert_eq!(v.edges(), g.edges());
+        for p in g.people() {
+            assert_eq!(v.person_skills(p), g.person_skills(p));
+            assert_eq!(v.neighbors(p), g.neighbors(p));
+        }
+    }
+
+    #[test]
+    fn skill_add_and_remove_overlay() {
+        let g = toy();
+        let vision = g.vocab().id("vision").unwrap();
+        let ml = g.vocab().id("ml").unwrap();
+        let mut d = PerturbationSet::new();
+        d.push(Perturbation::AddSkill {
+            person: PersonId(0),
+            skill: vision,
+        });
+        d.push(Perturbation::RemoveSkill {
+            person: PersonId(1),
+            skill: ml,
+        });
+        let v = PerturbedGraph::new(&g, &d);
+        assert!(v.person_has_skill(PersonId(0), vision));
+        assert!(!v.person_has_skill(PersonId(1), ml));
+        assert!(v.person_skills(PersonId(1)).is_empty());
+        assert_eq!(v.person_skills(PersonId(0)).len(), 3);
+        // Base graph is untouched.
+        assert!(!g.person_has_skill(PersonId(0), vision));
+    }
+
+    #[test]
+    fn edge_add_and_remove_overlay() {
+        let g = toy();
+        let mut d = PerturbationSet::new();
+        d.push(Perturbation::AddEdge {
+            a: PersonId(0),
+            b: PersonId(2),
+        });
+        d.push(Perturbation::RemoveEdge {
+            a: PersonId(0),
+            b: PersonId(1),
+        });
+        let v = PerturbedGraph::new(&g, &d);
+        assert!(v.has_edge(PersonId(0), PersonId(2)));
+        assert!(!v.has_edge(PersonId(0), PersonId(1)));
+        assert_eq!(v.num_edges(), 2);
+        assert_eq!(v.neighbors(PersonId(0)), vec![PersonId(2)]);
+        assert_eq!(v.neighbors(PersonId(2)), vec![PersonId(0), PersonId(1)]);
+        assert_eq!(v.edges().len(), 2);
+    }
+
+    #[test]
+    fn inverse_perturbations_cancel() {
+        let g = toy();
+        let mut d = PerturbationSet::new();
+        d.push(Perturbation::AddEdge {
+            a: PersonId(0),
+            b: PersonId(2),
+        });
+        d.push(Perturbation::RemoveEdge {
+            a: PersonId(2),
+            b: PersonId(0),
+        });
+        let v = PerturbedGraph::new(&g, &d);
+        assert!(!v.has_edge(PersonId(0), PersonId(2)));
+        assert_eq!(v.num_edges(), g.num_edges());
+        assert_eq!(v.delta_size(), 0);
+
+        let ml = g.vocab().id("ml").unwrap();
+        let mut d2 = PerturbationSet::new();
+        d2.push(Perturbation::RemoveSkill {
+            person: PersonId(0),
+            skill: ml,
+        });
+        d2.push(Perturbation::AddSkill {
+            person: PersonId(0),
+            skill: ml,
+        });
+        let v2 = PerturbedGraph::new(&g, &d2);
+        assert!(v2.person_has_skill(PersonId(0), ml));
+        assert_eq!(v2.delta_size(), 0);
+    }
+
+    #[test]
+    fn redundant_perturbations_are_no_ops() {
+        let g = toy();
+        let ml = g.vocab().id("ml").unwrap();
+        let mut d = PerturbationSet::new();
+        // Adding a skill the person already has, removing a missing edge.
+        d.push(Perturbation::AddSkill {
+            person: PersonId(0),
+            skill: ml,
+        });
+        d.push(Perturbation::RemoveEdge {
+            a: PersonId(0),
+            b: PersonId(2),
+        });
+        d.push(Perturbation::AddEdge {
+            a: PersonId(1),
+            b: PersonId(1),
+        });
+        let v = PerturbedGraph::new(&g, &d);
+        assert_eq!(v.delta_size(), 0);
+        assert_eq!(v.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn query_match_count_reflects_overlay() {
+        let g = toy();
+        let q = Query::parse("ml vision", g.vocab()).unwrap();
+        assert_eq!(g.query_match_count(PersonId(0), &q), 1);
+        let vision = g.vocab().id("vision").unwrap();
+        let mut d = PerturbationSet::new();
+        d.push(Perturbation::AddSkill {
+            person: PersonId(0),
+            skill: vision,
+        });
+        let v = PerturbedGraph::new(&g, &d);
+        assert_eq!(v.query_match_count(PersonId(0), &q), 2);
+    }
+}

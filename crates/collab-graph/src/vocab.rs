@@ -1,0 +1,189 @@
+//! Skill vocabulary: interning of skill names to dense [`SkillId`]s.
+
+use crate::{GraphError, Result, SkillId};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// The universe of skills `S` shared by a collaboration network and its queries.
+///
+/// Skill names are normalised to lowercase ASCII on insertion so that lookups are
+/// case-insensitive; ids are assigned densely in insertion order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SkillVocab {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: FxHashMap<String, SkillId>,
+}
+
+impl SkillVocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalises a raw skill token: lowercase and trimmed.
+    pub fn normalize(raw: &str) -> String {
+        raw.trim().to_lowercase()
+    }
+
+    /// Interns `name`, returning its id. Existing names return their existing id.
+    ///
+    /// Empty (after trimming) names are rejected silently by returning the id of
+    /// the empty string only if it was already interned; callers should filter
+    /// empty tokens before interning. In practice [`crate::CollabGraphBuilder`]
+    /// does that filtering.
+    pub fn intern(&mut self, name: &str) -> SkillId {
+        let norm = Self::normalize(name);
+        if let Some(&id) = self.index.get(&norm) {
+            return id;
+        }
+        let id = SkillId::from_index(self.names.len());
+        self.index.insert(norm.clone(), id);
+        self.names.push(norm);
+        id
+    }
+
+    /// Looks up the id of a skill name, if present.
+    pub fn id(&self, name: &str) -> Option<SkillId> {
+        self.index.get(&Self::normalize(name)).copied()
+    }
+
+    /// Looks up the id of a skill name, returning an error naming the token.
+    pub fn require(&self, name: &str) -> Result<SkillId> {
+        self.id(name)
+            .ok_or_else(|| GraphError::UnknownSkillName(name.to_string()))
+    }
+
+    /// Returns the name of a skill id.
+    pub fn name(&self, id: SkillId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Returns the name of a skill id, panicking on out-of-range ids.
+    ///
+    /// Intended for display code paths where the id is known to be valid.
+    pub fn name_or_panic(&self, id: SkillId) -> &str {
+        self.name(id).expect("skill id out of range for vocabulary")
+    }
+
+    /// Number of distinct skills `|S|`.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the vocabulary contains no skills.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SkillId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SkillId::from_index(i), n.as_str()))
+    }
+
+    /// Iterates over all skill ids.
+    pub fn ids(&self) -> impl Iterator<Item = SkillId> {
+        (0..self.names.len()).map(SkillId::from_index)
+    }
+
+    /// Rebuilds the name → id index; needed after deserialisation because the
+    /// index is not serialised.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), SkillId::from_index(i)))
+            .collect();
+    }
+}
+
+impl FromIterator<String> for SkillVocab {
+    fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
+        let mut v = SkillVocab::new();
+        for name in iter {
+            v.intern(&name);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = SkillVocab::new();
+        let a = v.intern("Databases");
+        let b = v.intern("databases ");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.name(a), Some("databases"));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = SkillVocab::new();
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|s| v.intern(s)).collect();
+        assert_eq!(ids, vec![SkillId(0), SkillId(1), SkillId(2)]);
+        assert_eq!(v.ids().count(), 3);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut v = SkillVocab::new();
+        v.intern("Machine Learning");
+        assert!(v.id("machine learning").is_some());
+        assert!(v.id("MACHINE LEARNING").is_some());
+        assert!(v.id("vision").is_none());
+    }
+
+    #[test]
+    fn require_reports_the_missing_token() {
+        let v = SkillVocab::new();
+        let err = v.require("rust").unwrap_err();
+        assert_eq!(err, GraphError::UnknownSkillName("rust".into()));
+    }
+
+    #[test]
+    fn name_out_of_range_is_none() {
+        let v = SkillVocab::new();
+        assert_eq!(v.name(SkillId(0)), None);
+    }
+
+    #[test]
+    fn from_iterator_and_iter_roundtrip() {
+        let v: SkillVocab = ["x", "y", "x"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(v.len(), 2);
+        let names: Vec<_> = v.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut v = SkillVocab::new();
+        v.intern("alpha");
+        v.intern("beta");
+        // Simulate a deserialised vocabulary with an empty index.
+        let mut restored = SkillVocab {
+            names: v.names.clone(),
+            index: FxHashMap::default(),
+        };
+        assert_eq!(restored.id("alpha"), None);
+        restored.rebuild_index();
+        assert_eq!(restored.id("alpha"), Some(SkillId(0)));
+        assert_eq!(restored.id("beta"), Some(SkillId(1)));
+    }
+
+    #[test]
+    fn empty_vocab_properties() {
+        let v = SkillVocab::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.iter().count(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Generator configuration and the two paper-dataset presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a synthetic collaboration-network dataset.
+///
+/// The two presets mirror the statistics of Table 6 in the paper; use
+/// [`DatasetConfig::scaled`] to shrink them proportionally for fast experiments
+/// (relative measurements — speed-ups, precision — are preserved).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Dataset display name (appears in experiment tables).
+    pub name: String,
+    /// Number of people (nodes).
+    pub num_people: usize,
+    /// Number of distinct skills in the vocabulary.
+    pub num_skills: usize,
+    /// Number of topical communities.
+    pub num_topics: usize,
+    /// Edges attached per newly arriving node (preferential attachment `m`).
+    pub edges_per_node: usize,
+    /// Probability that a new edge stays inside the node's own topic.
+    pub intra_topic_prob: f64,
+    /// Mean number of skills per person (Poisson-ish around this value).
+    pub mean_skills_per_person: usize,
+    /// Fraction of the vocabulary reserved as "general" skills shared across topics.
+    pub general_skill_fraction: f64,
+    /// Number of corpus documents generated per person (papers / repositories).
+    pub docs_per_person: usize,
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// DBLP-like preset: 17,630 nodes, ~128,809 edges, 1,829 skills, ~15 skills/person.
+    pub fn dblp_sim() -> Self {
+        DatasetConfig {
+            name: "DBLP".to_string(),
+            num_people: 17_630,
+            num_skills: 1_829,
+            num_topics: 40,
+            edges_per_node: 7,
+            intra_topic_prob: 0.8,
+            mean_skills_per_person: 15,
+            general_skill_fraction: 0.1,
+            docs_per_person: 3,
+            seed: 0x0D_B1_97,
+        }
+    }
+
+    /// GitHub-like preset: 3,278 nodes, ~15,502 edges, 863 skills, sparser skill sets.
+    pub fn github_sim() -> Self {
+        DatasetConfig {
+            name: "GitHub".to_string(),
+            num_people: 3_278,
+            num_skills: 863,
+            num_topics: 24,
+            edges_per_node: 5,
+            intra_topic_prob: 0.75,
+            mean_skills_per_person: 8,
+            general_skill_fraction: 0.12,
+            docs_per_person: 2,
+            seed: 0x617_488,
+        }
+    }
+
+    /// Scales the node/skill counts by `factor` (minimum sizes are enforced so a
+    /// tiny factor still yields a usable graph). Edge density and skill density
+    /// per person are preserved.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let scale = |v: usize, min: usize| ((v as f64 * factor).round() as usize).max(min);
+        self.num_people = scale(self.num_people, 60);
+        self.num_skills = scale(self.num_skills, 40);
+        self.num_topics = self.num_topics.min(self.num_skills / 4).max(4);
+        self
+    }
+
+    /// A small config suitable for unit and integration tests (runs in milliseconds).
+    pub fn tiny(name: &str, seed: u64) -> Self {
+        DatasetConfig {
+            name: name.to_string(),
+            num_people: 120,
+            num_skills: 60,
+            num_topics: 6,
+            edges_per_node: 4,
+            intra_topic_prob: 0.8,
+            mean_skills_per_person: 6,
+            general_skill_fraction: 0.1,
+            docs_per_person: 2,
+            seed,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_table6() {
+        let dblp = DatasetConfig::dblp_sim();
+        assert_eq!(dblp.num_people, 17_630);
+        assert_eq!(dblp.num_skills, 1_829);
+        assert_eq!(dblp.mean_skills_per_person, 15);
+        let gh = DatasetConfig::github_sim();
+        assert_eq!(gh.num_people, 3_278);
+        assert_eq!(gh.num_skills, 863);
+    }
+
+    #[test]
+    fn scaling_preserves_minimums() {
+        let cfg = DatasetConfig::dblp_sim().scaled(0.0001);
+        assert!(cfg.num_people >= 60);
+        assert!(cfg.num_skills >= 40);
+        assert!(cfg.num_topics >= 4);
+    }
+
+    #[test]
+    fn scaling_is_roughly_proportional() {
+        let cfg = DatasetConfig::dblp_sim().scaled(0.1);
+        assert_eq!(cfg.num_people, 1763);
+        assert_eq!(cfg.num_skills, 183);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = DatasetConfig::dblp_sim().scaled(0.0);
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = DatasetConfig::tiny("t", 1);
+        let b = a.clone().with_seed(2);
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.num_people, b.num_people);
+    }
+}

@@ -1,0 +1,86 @@
+//! The textual expertise corpus accompanying a synthetic network.
+//!
+//! The paper extracts skills from paper titles/abstracts (DBLP) and repository
+//! descriptions (GitHub) and trains a Word2Vec model on that corpus (Pruning
+//! Strategy 4). Our synthetic corpus is a list of *documents*, each a bag of
+//! skill tokens; the embedding crate consumes skill–skill co-occurrence counts
+//! from it.
+
+use exes_graph::{PersonId, SkillId};
+use serde::{Deserialize, Serialize};
+
+/// A corpus of skill-token documents attributed to people.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    documents: Vec<Document>,
+}
+
+/// A single document (paper, repository description, ...) of the corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Document {
+    /// Authors / owners of this document.
+    pub authors: Vec<PersonId>,
+    /// Skill tokens appearing in the document (with repetition allowed).
+    pub tokens: Vec<SkillId>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a document.
+    pub fn push(&mut self, authors: Vec<PersonId>, tokens: Vec<SkillId>) {
+        self.documents.push(Document { authors, tokens });
+    }
+
+    /// All documents.
+    pub fn documents(&self) -> &[Document] {
+        &self.documents
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True when the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Total number of tokens across all documents.
+    pub fn total_tokens(&self) -> usize {
+        self.documents.iter().map(|d| d.tokens.len()).sum()
+    }
+
+    /// Iterates over the token bags (what the embedding trainer consumes).
+    pub fn token_bags(&self) -> impl Iterator<Item = &[SkillId]> {
+        self.documents.iter().map(|d| d.tokens.as_slice())
+    }
+
+    /// Documents authored by `p`.
+    pub fn documents_of(&self, p: PersonId) -> impl Iterator<Item = &Document> {
+        self.documents.iter().filter(move |d| d.authors.contains(&p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut c = Corpus::new();
+        assert!(c.is_empty());
+        c.push(vec![PersonId(0)], vec![SkillId(1), SkillId(2)]);
+        c.push(vec![PersonId(0), PersonId(1)], vec![SkillId(2)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_tokens(), 3);
+        assert_eq!(c.documents_of(PersonId(0)).count(), 2);
+        assert_eq!(c.documents_of(PersonId(1)).count(), 1);
+        assert_eq!(c.documents_of(PersonId(9)).count(), 0);
+        assert_eq!(c.token_bags().count(), 2);
+    }
+}

@@ -1,0 +1,310 @@
+//! The synthetic collaboration-network generator.
+
+use crate::names;
+use crate::{Corpus, DatasetConfig};
+use exes_graph::{CollabGraph, CollabGraphBuilder, GraphView, PersonId, SkillId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A generated dataset: the collaboration network, the accompanying textual
+/// corpus, and the ground-truth topic assignments (useful for tests and for
+/// sanity-checking homophily).
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The configuration that produced this dataset.
+    pub config: DatasetConfig,
+    /// The collaboration network.
+    pub graph: CollabGraph,
+    /// The expertise corpus (for embedding training).
+    pub corpus: Corpus,
+    /// Topic of each person (index parallel to person ids).
+    pub topic_of_person: Vec<usize>,
+    /// Topic of each skill; `None` for general-purpose skills.
+    pub topic_of_skill: Vec<Option<usize>>,
+}
+
+impl SyntheticDataset {
+    /// Generates a dataset deterministically from `config`.
+    pub fn generate(config: &DatasetConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let cfg = config.clone();
+
+        // --- 1. Skill vocabulary and topic pools ------------------------------
+        let general_count = ((cfg.num_skills as f64) * cfg.general_skill_fraction).round() as usize;
+        let general_count = general_count.clamp(1, cfg.num_skills.saturating_sub(cfg.num_topics));
+        let mut topic_of_skill: Vec<Option<usize>> = Vec::with_capacity(cfg.num_skills);
+        let mut topic_pools: Vec<Vec<SkillId>> = vec![Vec::new(); cfg.num_topics];
+        let mut general_pool: Vec<SkillId> = Vec::new();
+        for i in 0..cfg.num_skills {
+            let id = SkillId::from_index(i);
+            if i < general_count {
+                topic_of_skill.push(None);
+                general_pool.push(id);
+            } else {
+                let topic = (i - general_count) % cfg.num_topics;
+                topic_of_skill.push(Some(topic));
+                topic_pools[topic].push(id);
+            }
+        }
+
+        let mut builder = CollabGraphBuilder::new();
+        for i in 0..cfg.num_skills {
+            builder.intern_skill(&names::skill_name(i));
+        }
+
+        // --- 2. People, topics and skill assignment ---------------------------
+        let mut topic_of_person = Vec::with_capacity(cfg.num_people);
+        for i in 0..cfg.num_people {
+            let topic = rng.gen_range(0..cfg.num_topics);
+            topic_of_person.push(topic);
+            let skills = sample_person_skills(
+                &mut rng,
+                &topic_pools[topic],
+                &general_pool,
+                cfg.num_skills,
+                cfg.mean_skills_per_person,
+            );
+            let id = builder.add_person_with_skill_ids(&names::person_name(i), skills);
+            debug_assert_eq!(id.index(), i);
+        }
+
+        // --- 3. Edges: community-aware preferential attachment ----------------
+        // `endpoints` holds one entry per edge endpoint (the classic BA trick so
+        // that sampling an entry is sampling proportionally to degree);
+        // `topic_endpoints[t]` restricts the same trick to topic `t`.
+        let mut endpoints: Vec<PersonId> = Vec::new();
+        let mut topic_endpoints: Vec<Vec<PersonId>> = vec![Vec::new(); cfg.num_topics];
+        let m = cfg.edges_per_node.max(1);
+        for i in 0..cfg.num_people {
+            let p = PersonId::from_index(i);
+            let my_topic = topic_of_person[i];
+            if i == 0 {
+                continue;
+            }
+            let targets = m.min(i);
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < targets && attempts < targets * 20 {
+                attempts += 1;
+                let use_intra =
+                    rng.gen_bool(cfg.intra_topic_prob) && !topic_endpoints[my_topic].is_empty();
+                let candidate = if use_intra {
+                    *topic_endpoints[my_topic].choose(&mut rng).expect("non-empty")
+                } else if !endpoints.is_empty() && rng.gen_bool(0.7) {
+                    *endpoints.choose(&mut rng).expect("non-empty")
+                } else {
+                    PersonId::from_index(rng.gen_range(0..i))
+                };
+                if candidate == p {
+                    continue;
+                }
+                if builder.add_edge(p, candidate) {
+                    added += 1;
+                    endpoints.push(p);
+                    endpoints.push(candidate);
+                    topic_endpoints[my_topic].push(p);
+                    topic_endpoints[topic_of_person[candidate.index()]].push(candidate);
+                }
+            }
+        }
+
+        let graph = builder.build();
+
+        // --- 4. Corpus ---------------------------------------------------------
+        let corpus = generate_corpus(&mut rng, &graph, &topic_of_person, &topic_pools, &cfg);
+
+        SyntheticDataset {
+            config: cfg,
+            graph,
+            corpus,
+            topic_of_person,
+            topic_of_skill,
+        }
+    }
+
+    /// Fraction of edges whose endpoints share a topic (a homophily sanity metric).
+    pub fn intra_topic_edge_fraction(&self) -> f64 {
+        let edges = self.graph.edges();
+        if edges.is_empty() {
+            return 0.0;
+        }
+        let same = edges
+            .iter()
+            .filter(|&&(a, b)| self.topic_of_person[a.index()] == self.topic_of_person[b.index()])
+            .count();
+        same as f64 / edges.len() as f64
+    }
+}
+
+fn sample_person_skills(
+    rng: &mut StdRng,
+    topic_pool: &[SkillId],
+    general_pool: &[SkillId],
+    num_skills: usize,
+    mean_skills: usize,
+) -> Vec<SkillId> {
+    // Skill count: mean +/- ~30%, at least 2.
+    let lo = (mean_skills as f64 * 0.7).floor() as usize;
+    let hi = (mean_skills as f64 * 1.3).ceil() as usize;
+    let count = rng.gen_range(lo.max(2)..=hi.max(lo.max(2) + 1));
+    let mut skills = Vec::with_capacity(count);
+    for _ in 0..count {
+        let r: f64 = rng.gen();
+        let skill = if r < 0.75 && !topic_pool.is_empty() {
+            // Zipf-like preference for the first skills of the topic pool, so
+            // some skills become "popular" within a topic.
+            let z: f64 = rng.gen::<f64>().powi(2);
+            topic_pool[(z * topic_pool.len() as f64) as usize % topic_pool.len()]
+        } else if r < 0.9 && !general_pool.is_empty() {
+            *general_pool.choose(rng).expect("non-empty")
+        } else {
+            SkillId::from_index(rng.gen_range(0..num_skills))
+        };
+        skills.push(skill);
+    }
+    skills.sort_unstable();
+    skills.dedup();
+    skills
+}
+
+fn generate_corpus(
+    rng: &mut StdRng,
+    graph: &CollabGraph,
+    topic_of_person: &[usize],
+    topic_pools: &[Vec<SkillId>],
+    cfg: &DatasetConfig,
+) -> Corpus {
+    let mut corpus = Corpus::new();
+    for p in graph.people() {
+        let own_skills = graph.person_skills(p);
+        if own_skills.is_empty() {
+            continue;
+        }
+        let neighbors = graph.neighbors(p);
+        for _ in 0..cfg.docs_per_person {
+            let mut authors = vec![p];
+            let mut token_pool = own_skills.clone();
+            // Roughly half the documents are co-authored with a collaborator,
+            // mixing both skill sets — this is what lets the embedding model
+            // learn cross-person, intra-topic similarity.
+            if !neighbors.is_empty() && rng.gen_bool(0.5) {
+                let co = *neighbors.choose(rng).expect("non-empty");
+                authors.push(co);
+                token_pool.extend(graph.person_skills(co));
+            }
+            // Add a couple of topic-pool tokens for context.
+            let topic = topic_of_person[p.index()];
+            if !topic_pools[topic].is_empty() {
+                for _ in 0..2 {
+                    token_pool.push(*topic_pools[topic].choose(rng).expect("non-empty"));
+                }
+            }
+            let doc_len = rng.gen_range(4..=(4 + token_pool.len().min(8)));
+            let mut tokens = Vec::with_capacity(doc_len);
+            for _ in 0..doc_len {
+                tokens.push(*token_pool.choose(rng).expect("non-empty"));
+            }
+            corpus.push(authors, tokens);
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::tiny("test", 7))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.graph.stats(), b.graph.stats());
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.topic_of_person, b.topic_of_person);
+        assert_eq!(a.corpus.len(), b.corpus.len());
+    }
+
+    #[test]
+    fn different_seeds_give_different_graphs() {
+        let a = SyntheticDataset::generate(&DatasetConfig::tiny("a", 1));
+        let b = SyntheticDataset::generate(&DatasetConfig::tiny("b", 2));
+        assert_ne!(a.graph.edges(), b.graph.edges());
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let ds = tiny();
+        let cfg = &ds.config;
+        assert_eq!(ds.graph.num_people(), cfg.num_people);
+        assert_eq!(ds.graph.vocab().len(), cfg.num_skills);
+        assert_eq!(ds.topic_of_person.len(), cfg.num_people);
+        assert_eq!(ds.topic_of_skill.len(), cfg.num_skills);
+        // Roughly m edges per node (bounded above by n*m).
+        assert!(ds.graph.num_edges() > cfg.num_people);
+        assert!(ds.graph.num_edges() <= cfg.num_people * cfg.edges_per_node);
+    }
+
+    #[test]
+    fn skill_counts_are_near_the_mean() {
+        let ds = tiny();
+        let stats = ds.graph.stats();
+        let mean = ds.config.mean_skills_per_person as f64;
+        assert!(
+            stats.avg_skills_per_person > mean * 0.4
+                && stats.avg_skills_per_person < mean * 1.4,
+            "avg skills {} too far from configured mean {}",
+            stats.avg_skills_per_person,
+            mean
+        );
+    }
+
+    #[test]
+    fn edges_show_topic_homophily() {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny("h", 3));
+        let frac = ds.intra_topic_edge_fraction();
+        // With 6 topics, random wiring would give ~1/6 ≈ 0.17; the generator
+        // targets 0.8 intra-topic probability so we should be far above chance.
+        assert!(frac > 0.4, "intra-topic fraction {frac} too low");
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let ds = tiny();
+        let stats = ds.graph.stats();
+        assert!(
+            stats.max_degree as f64 > 2.5 * stats.avg_degree,
+            "max degree {} not much larger than average {}",
+            stats.max_degree,
+            stats.avg_degree
+        );
+    }
+
+    #[test]
+    fn corpus_is_nonempty_and_attributed() {
+        let ds = tiny();
+        assert!(!ds.corpus.is_empty());
+        assert!(ds.corpus.total_tokens() > ds.corpus.len() * 3);
+        assert!(ds
+            .corpus
+            .documents()
+            .iter()
+            .all(|d| !d.authors.is_empty() && !d.tokens.is_empty()));
+    }
+
+    #[test]
+    fn graph_has_no_isolated_center_for_most_nodes() {
+        let ds = tiny();
+        let isolated = ds
+            .graph
+            .people()
+            .filter(|&p| ds.graph.degree(p) == 0)
+            .count();
+        // Only the very first node can end up isolated in pathological cases.
+        assert!(isolated <= 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # exes-datasets
+//!
+//! Synthetic collaboration-network generators standing in for the DBLP and
+//! GitHub datasets used in the ExES paper (Table 6), plus the query workload
+//! generator used by every experiment.
+//!
+//! The real datasets are not redistributable, so we build *simulated* networks
+//! that preserve the structural properties the ExES pruning strategies rely on:
+//!
+//! * a heavy-tailed degree distribution (preferential attachment),
+//! * community structure with **skill homophily** (people collaborate mostly
+//!   inside their topic, and topics share a coherent skill pool),
+//! * an average of roughly 15 skills per node for the DBLP-like network and a
+//!   smaller, sparser GitHub-like network,
+//! * a textual corpus whose co-occurrence statistics let the embedding model
+//!   (Pruning Strategy 4) learn that intra-topic skills are similar.
+//!
+//! ```
+//! use exes_datasets::{DatasetConfig, SyntheticDataset};
+//!
+//! let ds = SyntheticDataset::generate(&DatasetConfig::dblp_sim().scaled(0.05));
+//! let stats = ds.graph.stats();
+//! assert!(stats.num_people > 0);
+//! assert!(stats.avg_degree > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod corpus;
+mod generator;
+mod names;
+mod workload;
+
+pub use config::DatasetConfig;
+pub use corpus::Corpus;
+pub use generator::SyntheticDataset;
+pub use workload::QueryWorkload;

@@ -1,0 +1,121 @@
+//! Deterministic synthetic people and skill names.
+//!
+//! The names only matter for human-readable case-study output (the paper's
+//! examples name real researchers, which we obviously cannot reproduce from a
+//! synthetic generator), so we synthesise plausible-looking unique names.
+
+const GIVEN: &[&str] = &[
+    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edsger", "Frances", "Grace", "Hedy", "Ivan",
+    "John", "Katherine", "Leslie", "Margaret", "Niklaus", "Olga", "Peter", "Radia", "Shafi",
+    "Tim", "Ursula", "Vint", "Whitfield", "Xiao", "Yann", "Zara",
+];
+
+const FAMILY: &[&str] = &[
+    "Almeida", "Baker", "Chen", "Dietrich", "Edwards", "Fischer", "Garcia", "Hansen", "Ito",
+    "Jensen", "Kumar", "Larsen", "Moreau", "Nakamura", "Olsen", "Petrov", "Quinn", "Rossi",
+    "Schmidt", "Tanaka", "Ueda", "Vasquez", "Weber", "Xu", "Yamada", "Zhang",
+];
+
+const SKILL_ROOTS: &[&str] = &[
+    "graph", "neural", "database", "query", "index", "stream", "privacy", "vision", "language",
+    "retrieval", "ranking", "cluster", "embedding", "transformer", "crypto", "network",
+    "distributed", "storage", "compiler", "kernel", "scheduling", "cache", "consensus",
+    "replication", "search", "mining", "learning", "inference", "optimization", "sampling",
+    "recommendation", "classification", "segmentation", "detection", "parsing", "reasoning",
+    "knowledge", "ontology", "provenance", "workflow", "benchmark", "hardware", "quantum",
+    "robotics", "simulation", "visualization", "fairness", "explainability", "causality",
+    "federated",
+];
+
+const SKILL_SUFFIXES: &[&str] = &[
+    "analysis", "systems", "models", "theory", "engineering", "design", "processing",
+    "architecture", "algorithms", "evaluation", "management", "integration", "compression",
+    "synthesis", "verification", "testing", "security", "quality", "scaling", "tuning",
+];
+
+/// Deterministic display name for person `i`.
+pub(crate) fn person_name(i: usize) -> String {
+    let given = GIVEN[i % GIVEN.len()];
+    let family = FAMILY[(i / GIVEN.len()) % FAMILY.len()];
+    let gen = i / (GIVEN.len() * FAMILY.len());
+    if gen == 0 {
+        format!("{given} {family}")
+    } else {
+        format!("{given} {family} {}", roman(gen + 1))
+    }
+}
+
+/// Deterministic skill token for skill `i` (single lowercase token so that
+/// queries can be written as whitespace-separated keyword strings).
+pub(crate) fn skill_name(i: usize) -> String {
+    let root = SKILL_ROOTS[i % SKILL_ROOTS.len()];
+    let suffix_idx = i / SKILL_ROOTS.len();
+    if suffix_idx == 0 {
+        root.to_string()
+    } else if suffix_idx <= SKILL_SUFFIXES.len() {
+        format!("{root}-{}", SKILL_SUFFIXES[suffix_idx - 1])
+    } else {
+        format!("{root}-{}", suffix_idx)
+    }
+}
+
+fn roman(mut n: usize) -> String {
+    // Small deterministic roman-numeral suffix (II, III, ...); capped values are fine.
+    const TABLE: &[(usize, &str)] = &[
+        (1000, "M"),
+        (900, "CM"),
+        (500, "D"),
+        (400, "CD"),
+        (100, "C"),
+        (90, "XC"),
+        (50, "L"),
+        (40, "XL"),
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
+    ];
+    let mut out = String::new();
+    for &(v, s) in TABLE {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn person_names_are_unique_for_large_ranges() {
+        let names: HashSet<_> = (0..5000).map(person_name).collect();
+        assert_eq!(names.len(), 5000);
+    }
+
+    #[test]
+    fn skill_names_are_unique_and_single_token() {
+        let names: Vec<_> = (0..2000).map(skill_name).collect();
+        let set: HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 2000);
+        assert!(names.iter().all(|n| !n.contains(' ')));
+    }
+
+    #[test]
+    fn later_generations_get_roman_suffixes() {
+        let big = person_name(GIVEN.len() * FAMILY.len() + 3);
+        assert!(big.ends_with("II"), "expected generation suffix, got {big}");
+    }
+
+    #[test]
+    fn roman_numerals() {
+        assert_eq!(roman(2), "II");
+        assert_eq!(roman(4), "IV");
+        assert_eq!(roman(9), "IX");
+        assert_eq!(roman(14), "XIV");
+    }
+}

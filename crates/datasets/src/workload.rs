@@ -1,0 +1,174 @@
+//! Random query workloads (Section 4.1 of the paper).
+//!
+//! The paper evaluates on 100 random queries per dataset, each sampling between
+//! 3 and 5 keywords uniformly from the skill universe `S`.
+
+use exes_graph::{CollabGraph, Query, SkillId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible batch of random keyword queries.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    queries: Vec<Query>,
+}
+
+impl QueryWorkload {
+    /// Samples `count` queries with between `min_keywords` and `max_keywords`
+    /// keywords drawn uniformly (without replacement) from the graph's skill
+    /// universe.
+    ///
+    /// # Panics
+    /// Panics if the vocabulary has fewer skills than `min_keywords` or if
+    /// `min_keywords == 0` or `min_keywords > max_keywords`.
+    pub fn uniform(
+        graph: &CollabGraph,
+        count: usize,
+        min_keywords: usize,
+        max_keywords: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(min_keywords >= 1, "queries need at least one keyword");
+        assert!(min_keywords <= max_keywords, "min must not exceed max");
+        assert!(
+            graph.vocab().len() >= min_keywords,
+            "vocabulary smaller than the minimum query length"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all_skills: Vec<SkillId> = graph.vocab().ids().collect();
+        let mut queries = Vec::with_capacity(count);
+        while queries.len() < count {
+            let len = rng.gen_range(min_keywords..=max_keywords.min(all_skills.len()));
+            let sample: Vec<SkillId> = all_skills
+                .choose_multiple(&mut rng, len)
+                .copied()
+                .collect();
+            if let Ok(q) = Query::new(sample) {
+                queries.push(q);
+            }
+        }
+        QueryWorkload { queries }
+    }
+
+    /// Samples queries biased towards skills that at least `min_holders` people
+    /// actually hold, producing "answerable" queries. Used by experiments that
+    /// need a reasonable number of genuine experts per query.
+    pub fn answerable(
+        graph: &CollabGraph,
+        count: usize,
+        min_keywords: usize,
+        max_keywords: usize,
+        min_holders: usize,
+        seed: u64,
+    ) -> Self {
+        let popular: Vec<SkillId> = graph
+            .vocab()
+            .ids()
+            .filter(|&s| graph.holders_of(s).len() >= min_holders)
+            .collect();
+        assert!(
+            popular.len() >= min_keywords,
+            "not enough popular skills ({}) for {min_keywords}-keyword queries",
+            popular.len()
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut queries = Vec::with_capacity(count);
+        while queries.len() < count {
+            let len = rng.gen_range(min_keywords..=max_keywords.min(popular.len()));
+            let sample: Vec<SkillId> =
+                popular.choose_multiple(&mut rng, len).copied().collect();
+            if let Ok(q) = Query::new(sample) {
+                queries.push(q);
+            }
+        }
+        QueryWorkload { queries }
+    }
+
+    /// The queries of the workload.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the workload contains no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetConfig, SyntheticDataset};
+
+    fn graph() -> CollabGraph {
+        SyntheticDataset::generate(&DatasetConfig::tiny("w", 11)).graph
+    }
+
+    #[test]
+    fn uniform_workload_respects_bounds() {
+        let g = graph();
+        let w = QueryWorkload::uniform(&g, 50, 3, 5, 42);
+        assert_eq!(w.len(), 50);
+        assert!(w.queries().iter().all(|q| (3..=5).contains(&q.len())));
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let g = graph();
+        let a = QueryWorkload::uniform(&g, 20, 3, 5, 1);
+        let b = QueryWorkload::uniform(&g, 20, 3, 5, 1);
+        let c = QueryWorkload::uniform(&g, 20, 3, 5, 2);
+        assert_eq!(a.queries(), b.queries());
+        assert_ne!(a.queries(), c.queries());
+    }
+
+    #[test]
+    fn answerable_workload_uses_held_skills() {
+        let g = graph();
+        let w = QueryWorkload::answerable(&g, 20, 2, 4, 2, 9);
+        for q in w.queries() {
+            for &s in q.skills() {
+                assert!(g.holders_of(s).len() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one keyword")]
+    fn zero_minimum_is_rejected() {
+        let g = graph();
+        let _ = QueryWorkload::uniform(&g, 1, 0, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn inverted_bounds_are_rejected() {
+        let g = graph();
+        let _ = QueryWorkload::uniform(&g, 1, 4, 3, 0);
+    }
+
+    #[test]
+    fn queries_have_no_duplicate_keywords() {
+        let g = graph();
+        let w = QueryWorkload::uniform(&g, 30, 3, 5, 77);
+        for q in w.queries() {
+            let mut sk = q.skills().to_vec();
+            sk.sort_unstable();
+            sk.dedup();
+            assert_eq!(sk.len(), q.len());
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_possible() {
+        let g = graph();
+        let w = QueryWorkload::uniform(&g, 0, 3, 5, 1);
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Sparse symmetric co-occurrence counting over token bags.
+
+use exes_graph::SkillId;
+use rustc_hash::FxHashMap;
+
+/// A sparse, symmetric co-occurrence matrix over a dense token vocabulary.
+///
+/// `count(i, j)` is the number of (unordered) times tokens `i` and `j` appeared
+/// in the same bag; `count(i, i)` counts pairs of occurrences of `i` within a
+/// bag (so repeated mentions strengthen a token's marginal).
+#[derive(Debug, Clone)]
+pub struct CooccurrenceMatrix {
+    size: usize,
+    rows: Vec<FxHashMap<u32, f64>>,
+    row_sums: Vec<f64>,
+    total: f64,
+}
+
+impl CooccurrenceMatrix {
+    /// Creates an empty matrix over a vocabulary of `size` tokens.
+    pub fn new(size: usize) -> Self {
+        CooccurrenceMatrix {
+            size,
+            rows: vec![FxHashMap::default(); size],
+            row_sums: vec![0.0; size],
+            total: 0.0,
+        }
+    }
+
+    /// Builds the matrix from bags of tokens (documents).
+    ///
+    /// Tokens outside the vocabulary (`>= size`) are ignored. Every unordered
+    /// pair of distinct positions in a bag contributes one count.
+    pub fn from_bags<'a, I>(bags: I, size: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a [SkillId]>,
+    {
+        let mut m = CooccurrenceMatrix::new(size);
+        for bag in bags {
+            m.add_bag(bag);
+        }
+        m
+    }
+
+    /// Adds a single bag of tokens.
+    pub fn add_bag(&mut self, bag: &[SkillId]) {
+        let valid: Vec<u32> = bag
+            .iter()
+            .filter(|s| s.index() < self.size)
+            .map(|s| s.0)
+            .collect();
+        for (i, &a) in valid.iter().enumerate() {
+            for &b in valid.iter().skip(i + 1) {
+                self.add_pair(a, b, 1.0);
+            }
+        }
+    }
+
+    /// Adds `weight` to the (symmetric) pair `(a, b)`.
+    pub fn add_pair(&mut self, a: u32, b: u32, weight: f64) {
+        debug_assert!((a as usize) < self.size && (b as usize) < self.size);
+        *self.rows[a as usize].entry(b).or_insert(0.0) += weight;
+        self.row_sums[a as usize] += weight;
+        if a != b {
+            *self.rows[b as usize].entry(a).or_insert(0.0) += weight;
+            self.row_sums[b as usize] += weight;
+            self.total += 2.0 * weight;
+        } else {
+            self.total += weight;
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Count of the pair `(a, b)`.
+    pub fn count(&self, a: u32, b: u32) -> f64 {
+        self.rows
+            .get(a as usize)
+            .and_then(|r| r.get(&b))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Marginal count of token `a` (its row sum).
+    pub fn row_sum(&self, a: u32) -> f64 {
+        self.row_sums.get(a as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Grand total of all counts.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of stored non-zero entries (counting each symmetric pair twice).
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(FxHashMap::len).sum()
+    }
+
+    /// Iterates over the non-zero entries of row `a`.
+    pub fn row_iter(&self, a: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.rows[a as usize].iter().map(|(&c, &v)| (c, v))
+    }
+
+    /// Sparse matrix–dense matrix product `self * other` where `other` is
+    /// `size × k`. Used by the randomized SVD.
+    pub fn matmul_dense(&self, other: &crate::linalg::DenseMatrix) -> crate::linalg::DenseMatrix {
+        assert_eq!(other.rows(), self.size, "dimension mismatch");
+        let k = other.cols();
+        let mut out = crate::linalg::DenseMatrix::zeros(self.size, k);
+        for (r, row) in self.rows.iter().enumerate() {
+            for (&c, &v) in row {
+                for j in 0..k {
+                    out.set(r, j, out.get(r, j) + v * other.get(c as usize, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies an element-wise transform to the stored values, keeping sparsity.
+    /// Entries mapped to zero or below are dropped. Row sums and totals are
+    /// recomputed.
+    pub fn map_values(&self, f: impl Fn(u32, u32, f64) -> f64) -> CooccurrenceMatrix {
+        let mut out = CooccurrenceMatrix::new(self.size);
+        for (r, row) in self.rows.iter().enumerate() {
+            for (&c, &v) in row {
+                // Only visit each symmetric pair once (r <= c) to avoid double counting.
+                if (r as u32) <= c {
+                    let t = f(r as u32, c, v);
+                    if t > 0.0 {
+                        out.add_pair(r as u32, c, t);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(v: u32) -> SkillId {
+        SkillId(v)
+    }
+
+    #[test]
+    fn counts_pairs_within_bags() {
+        let bags = vec![vec![sid(0), sid(1), sid(2)], vec![sid(0), sid(1)]];
+        let m = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 3);
+        assert_eq!(m.count(0, 1), 2.0);
+        assert_eq!(m.count(1, 0), 2.0);
+        assert_eq!(m.count(0, 2), 1.0);
+        assert_eq!(m.count(1, 2), 1.0);
+        assert_eq!(m.count(2, 2), 0.0);
+    }
+
+    #[test]
+    fn out_of_vocabulary_tokens_are_ignored() {
+        let bag = vec![sid(0), sid(9)];
+        let m = CooccurrenceMatrix::from_bags([bag.as_slice()], 2);
+        assert_eq!(m.total(), 0.0);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn repeated_tokens_contribute_diagonal_counts() {
+        let bag = vec![sid(0), sid(0)];
+        let m = CooccurrenceMatrix::from_bags([bag.as_slice()], 1);
+        assert_eq!(m.count(0, 0), 1.0);
+        assert_eq!(m.total(), 1.0);
+    }
+
+    #[test]
+    fn row_sums_and_total_are_consistent() {
+        let bags = vec![vec![sid(0), sid(1), sid(2)], vec![sid(1), sid(2)]];
+        let m = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 3);
+        let sum_of_rows: f64 = (0..3).map(|i| m.row_sum(i)).sum();
+        assert!((sum_of_rows - m.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_dense_matches_manual_computation() {
+        let bags = vec![vec![sid(0), sid(1)]];
+        let m = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 2);
+        // M = [[0,1],[1,0]]
+        let x = crate::linalg::DenseMatrix::from_fn(2, 1, |r, _| (r + 1) as f64); // [1,2]
+        let y = m.matmul_dense(&x);
+        assert_eq!(y.get(0, 0), 2.0);
+        assert_eq!(y.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn map_values_preserves_symmetry_and_drops_zeros() {
+        let bags = vec![vec![sid(0), sid(1)], vec![sid(1), sid(2)], vec![sid(1), sid(2)]];
+        let m = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 3);
+        // Keep only counts >= 2.
+        let filtered = m.map_values(|_, _, v| if v >= 2.0 { v } else { 0.0 });
+        assert_eq!(filtered.count(0, 1), 0.0);
+        assert_eq!(filtered.count(1, 2), 2.0);
+        assert_eq!(filtered.count(2, 1), 2.0);
+    }
+
+    #[test]
+    fn row_iter_yields_all_entries() {
+        let bags = vec![vec![sid(0), sid(1), sid(2)]];
+        let m = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 3);
+        let row0: Vec<(u32, f64)> = m.row_iter(0).collect();
+        assert_eq!(row0.len(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # exes-embedding
+//!
+//! The skill-embedding substrate used by ExES **Pruning Strategy 4** (word
+//! embeddings guide which skills to add or remove in counterfactual search).
+//!
+//! The paper trains Word2Vec on the textual expertise corpus. We substitute the
+//! classical count-based pipeline — skill–skill co-occurrence counts → positive
+//! pointwise mutual information (PPMI) → truncated SVD — which is a
+//! well-established equivalent of skip-gram with negative sampling for the only
+//! property ExES needs: *skills that co-occur in the same documents end up close
+//! in the embedding space*.
+//!
+//! The crate exposes its building blocks ([`CooccurrenceMatrix`], [`ppmi`],
+//! [`svd`], [`linalg`]) because the link-prediction crate reuses them to embed
+//! graph nodes from random-walk co-occurrences.
+//!
+//! ```
+//! use exes_embedding::{EmbeddingConfig, SkillEmbedding};
+//! use exes_graph::SkillId;
+//!
+//! // Two "topics": {0,1,2} co-occur, {3,4} co-occur.
+//! let bags: Vec<Vec<SkillId>> = vec![
+//!     vec![SkillId(0), SkillId(1), SkillId(2)],
+//!     vec![SkillId(0), SkillId(1)],
+//!     vec![SkillId(1), SkillId(2)],
+//!     vec![SkillId(3), SkillId(4)],
+//!     vec![SkillId(3), SkillId(4)],
+//! ];
+//! let emb = SkillEmbedding::train(bags.iter().map(|b| b.as_slice()), 5, &EmbeddingConfig::default());
+//! assert!(emb.similarity(SkillId(0), SkillId(1)) > emb.similarity(SkillId(0), SkillId(4)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cooccurrence;
+pub mod linalg;
+pub mod model;
+pub mod ppmi;
+pub mod svd;
+
+pub use cooccurrence::CooccurrenceMatrix;
+pub use model::{EmbeddingConfig, SkillEmbedding};

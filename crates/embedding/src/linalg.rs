@@ -1,0 +1,325 @@
+//! Minimal dense linear algebra used by the truncated-SVD embedding pipeline.
+//!
+//! Only what the randomized subspace iteration needs: a row-major dense matrix,
+//! matrix products, modified Gram–Schmidt orthonormalisation, and a Jacobi
+//! eigen-solver for small symmetric matrices. Everything is `f64` and plain
+//! `Vec`-backed; the matrices involved are `n × k` with small `k` (embedding
+//! dimension plus oversampling), so cache-friendly simplicity beats cleverness.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self * other`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in matmul");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * other`.
+    pub fn transpose_matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, other.rows, "dimension mismatch in transpose_matmul");
+        let mut out = DenseMatrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.get(k, i);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// In-place modified Gram–Schmidt: orthonormalises the columns.
+    /// Columns with (near-)zero norm after projection are set to zero.
+    pub fn orthonormalize_columns(&mut self) {
+        for c in 0..self.cols {
+            // Project out previous columns.
+            for prev in 0..c {
+                let mut dot = 0.0;
+                for r in 0..self.rows {
+                    dot += self.get(r, c) * self.get(r, prev);
+                }
+                for r in 0..self.rows {
+                    let v = self.get(r, c) - dot * self.get(r, prev);
+                    self.set(r, c, v);
+                }
+            }
+            let mut norm = 0.0;
+            for r in 0..self.rows {
+                norm += self.get(r, c) * self.get(r, c);
+            }
+            let norm = norm.sqrt();
+            if norm > 1e-12 {
+                for r in 0..self.rows {
+                    let v = self.get(r, c) / norm;
+                    self.set(r, c, v);
+                }
+            } else {
+                for r in 0..self.rows {
+                    self.set(r, c, 0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Jacobi eigen-decomposition of a small symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` where `eigenvectors` holds the
+/// eigenvectors as **columns**, sorted by descending absolute eigenvalue.
+pub fn symmetric_eigen(mat: &DenseMatrix) -> (Vec<f64>, DenseMatrix) {
+    assert_eq!(mat.rows(), mat.cols(), "eigen-decomposition needs a square matrix");
+    let n = mat.rows();
+    let mut a = mat.clone();
+    let mut v = DenseMatrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 });
+
+    for _sweep in 0..100 {
+        // Largest off-diagonal magnitude.
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += a.get(r, c) * a.get(r, c);
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a.get(p, q);
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = a.get(p, p);
+                let aqq = a.get(q, q);
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        a.get(j, j)
+            .abs()
+            .partial_cmp(&a.get(i, i).abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| a.get(i, i)).collect();
+    let eigenvectors = DenseMatrix::from_fn(n, n, |r, c| v.get(r, order[c]));
+    (eigenvalues, eigenvectors)
+}
+
+/// Cosine similarity between two equal-length vectors; 0 when either is zero.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na <= 1e-24 || nb <= 1e-24 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Dot product of two equal-length vectors.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_example() {
+        let a = DenseMatrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64); // [[0,1,2],[3,4,5]]
+        let b = DenseMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64); // [[0,1],[2,3],[4,5]]
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.get(0, 0), 10.0);
+        assert_eq!(c.get(0, 1), 13.0);
+        assert_eq!(c.get(1, 0), 28.0);
+        assert_eq!(c.get(1, 1), 40.0);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit_transpose() {
+        let a = DenseMatrix::from_fn(3, 2, |r, c| (r + c) as f64);
+        let b = DenseMatrix::from_fn(3, 2, |r, c| (r * c + 1) as f64);
+        let via_helper = a.transpose_matmul(&b);
+        let at = DenseMatrix::from_fn(2, 3, |r, c| a.get(c, r));
+        let expected = at.matmul(&b);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((via_helper.get(r, c) - expected.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_schmidt_produces_orthonormal_columns() {
+        let mut m = DenseMatrix::from_fn(4, 3, |r, c| ((r + 1) * (c + 2)) as f64 + (r as f64) * 0.3);
+        m.set(2, 1, 7.0);
+        m.set(3, 2, -1.0);
+        m.orthonormalize_columns();
+        for c1 in 0..3 {
+            for c2 in 0..3 {
+                let mut dot = 0.0;
+                for r in 0..4 {
+                    dot += m.get(r, c1) * m.get(r, c2);
+                }
+                let expected = if c1 == c2 { 1.0 } else { 0.0 };
+                assert!(
+                    (dot - expected).abs() < 1e-9,
+                    "columns {c1},{c2} dot {dot} != {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gram_schmidt_zeroes_dependent_columns() {
+        // Second column is a multiple of the first.
+        let mut m = DenseMatrix::from_fn(3, 2, |r, c| if c == 0 { (r + 1) as f64 } else { 2.0 * (r + 1) as f64 });
+        m.orthonormalize_columns();
+        let norm2: f64 = (0..3).map(|r| m.get(r, 1) * m.get(r, 1)).sum();
+        assert!(norm2 < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_recovers_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = DenseMatrix::from_fn(2, 2, |r, c| if r == c { 2.0 } else { 1.0 });
+        let (vals, vecs) = symmetric_eigen(&m);
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+        // Check A v = λ v for the first eigenvector.
+        for col in 0..2 {
+            for r in 0..2 {
+                let av: f64 = (0..2).map(|k| m.get(r, k) * vecs.get(k, col)).sum();
+                assert!((av - vals[col] * vecs.get(r, col)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_sorts_by_absolute_value() {
+        let mut m = DenseMatrix::zeros(3, 3);
+        m.set(0, 0, -5.0);
+        m.set(1, 1, 2.0);
+        m.set(2, 2, 0.5);
+        let (vals, _) = symmetric_eigen(&m);
+        assert_eq!(vals, vec![-5.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+}

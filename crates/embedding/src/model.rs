@@ -1,0 +1,268 @@
+//! The trained skill-embedding model (`W` in the paper's Algorithm 1).
+
+use crate::linalg::{cosine, DenseMatrix};
+use crate::ppmi::ppmi;
+use crate::svd::{truncated_symmetric_embedding, SvdOptions};
+use crate::CooccurrenceMatrix;
+use exes_graph::SkillId;
+
+/// Training configuration for [`SkillEmbedding`].
+#[derive(Debug, Clone, Copy)]
+pub struct EmbeddingConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// PPMI shift (`ln k` of the emulated negative-sampling constant).
+    pub ppmi_shift: f64,
+    /// Power iterations for the truncated decomposition.
+    pub power_iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        EmbeddingConfig {
+            dim: 32,
+            ppmi_shift: 0.0,
+            power_iterations: 2,
+            seed: 0xE_B0D,
+        }
+    }
+}
+
+/// A dense vector embedding of every skill in the vocabulary.
+///
+/// This is the word-embedding model `W` used by Pruning Strategy 4 to propose
+/// which skills to add to (or remove from) a person or a query.
+#[derive(Debug, Clone)]
+pub struct SkillEmbedding {
+    vectors: DenseMatrix,
+}
+
+impl SkillEmbedding {
+    /// Trains the embedding from bags of skill tokens (documents).
+    pub fn train<'a, I>(bags: I, vocab_size: usize, config: &EmbeddingConfig) -> Self
+    where
+        I: IntoIterator<Item = &'a [SkillId]>,
+    {
+        let counts = CooccurrenceMatrix::from_bags(bags, vocab_size);
+        Self::from_counts(&counts, config)
+    }
+
+    /// Trains the embedding from a pre-computed co-occurrence matrix.
+    pub fn from_counts(counts: &CooccurrenceMatrix, config: &EmbeddingConfig) -> Self {
+        let weights = ppmi(counts, config.ppmi_shift);
+        let vectors = truncated_symmetric_embedding(
+            &weights,
+            &SvdOptions {
+                dim: config.dim,
+                oversample: 8,
+                power_iterations: config.power_iterations,
+                seed: config.seed,
+            },
+        );
+        SkillEmbedding { vectors }
+    }
+
+    /// Number of skills covered by the model.
+    pub fn vocab_size(&self) -> usize {
+        self.vectors.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.vectors.cols()
+    }
+
+    /// The embedding vector of a skill (all zeros for skills never observed).
+    pub fn vector(&self, s: SkillId) -> &[f64] {
+        self.vectors.row(s.index())
+    }
+
+    /// Cosine similarity between two skills.
+    pub fn similarity(&self, a: SkillId, b: SkillId) -> f64 {
+        if a.index() >= self.vocab_size() || b.index() >= self.vocab_size() {
+            return 0.0;
+        }
+        cosine(self.vector(a), self.vector(b))
+    }
+
+    /// Mean embedding of a set of skills (the "centroid" of a query or a skill set).
+    pub fn centroid(&self, skills: &[SkillId]) -> Vec<f64> {
+        let dim = self.dim();
+        let mut acc = vec![0.0; dim];
+        let mut n = 0.0;
+        for &s in skills {
+            if s.index() < self.vocab_size() {
+                for (a, v) in acc.iter_mut().zip(self.vector(s)) {
+                    *a += v;
+                }
+                n += 1.0;
+            }
+        }
+        if n > 0.0 {
+            for a in &mut acc {
+                *a /= n;
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity between a skill and a set of reference skills.
+    pub fn similarity_to_set(&self, s: SkillId, reference: &[SkillId]) -> f64 {
+        if s.index() >= self.vocab_size() {
+            return 0.0;
+        }
+        cosine(self.vector(s), &self.centroid(reference))
+    }
+
+    /// The `t` skills most similar to the reference set, excluding any skill in
+    /// `exclude`. This is the candidate generator of Pruning Strategy 4.
+    pub fn most_similar(
+        &self,
+        reference: &[SkillId],
+        t: usize,
+        exclude: &[SkillId],
+    ) -> Vec<(SkillId, f64)> {
+        let centroid = self.centroid(reference);
+        let mut scored: Vec<(SkillId, f64)> = (0..self.vocab_size())
+            .map(SkillId::from_index)
+            .filter(|s| !exclude.contains(s))
+            .map(|s| (s, cosine(self.vector(s), &centroid)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(t);
+        scored
+    }
+
+    /// The `t` skills *least* similar to the reference set (used to propose
+    /// query augmentations that push an expert out of the top-k), excluding
+    /// skills in `exclude`.
+    pub fn least_similar(
+        &self,
+        reference: &[SkillId],
+        t: usize,
+        exclude: &[SkillId],
+    ) -> Vec<(SkillId, f64)> {
+        let centroid = self.centroid(reference);
+        let mut scored: Vec<(SkillId, f64)> = (0..self.vocab_size())
+            .map(SkillId::from_index)
+            .filter(|s| !exclude.contains(s))
+            .map(|s| (s, cosine(self.vector(s), &centroid)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(t);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(v: u32) -> SkillId {
+        SkillId(v)
+    }
+
+    /// Bags with two topical clusters: {0,1,2} and {3,4,5}; skill 6 never appears.
+    fn clustered_bags() -> Vec<Vec<SkillId>> {
+        let mut bags = Vec::new();
+        for _ in 0..30 {
+            bags.push(vec![sid(0), sid(1), sid(2)]);
+            bags.push(vec![sid(0), sid(2)]);
+            bags.push(vec![sid(3), sid(4), sid(5)]);
+            bags.push(vec![sid(4), sid(5)]);
+        }
+        bags
+    }
+
+    fn model() -> SkillEmbedding {
+        let bags = clustered_bags();
+        SkillEmbedding::train(
+            bags.iter().map(|b| b.as_slice()),
+            7,
+            &EmbeddingConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn intra_cluster_similarity_beats_cross_cluster() {
+        let m = model();
+        assert!(m.similarity(sid(0), sid(1)) > m.similarity(sid(0), sid(4)));
+        assert!(m.similarity(sid(3), sid(5)) > m.similarity(sid(1), sid(5)));
+    }
+
+    #[test]
+    fn most_similar_returns_cluster_mates_first() {
+        let m = model();
+        let top = m.most_similar(&[sid(0)], 3, &[sid(0)]);
+        assert_eq!(top.len(), 3);
+        let top_ids: Vec<SkillId> = top.iter().map(|&(s, _)| s).collect();
+        assert!(top_ids.contains(&sid(1)));
+        assert!(top_ids.contains(&sid(2)));
+        // Scores are sorted descending.
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn least_similar_prefers_the_other_cluster() {
+        let m = model();
+        let bottom = m.least_similar(&[sid(0), sid(1)], 2, &[]);
+        for (s, _) in &bottom {
+            assert!(
+                [sid(3), sid(4), sid(5), sid(6)].contains(s),
+                "unexpected least-similar skill {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exclusions_are_respected() {
+        let m = model();
+        let top = m.most_similar(&[sid(0)], 6, &[sid(1), sid(2)]);
+        assert!(top.iter().all(|&(s, _)| s != sid(1) && s != sid(2)));
+    }
+
+    #[test]
+    fn unseen_skill_has_zero_vector_and_zero_similarity() {
+        let m = model();
+        assert!(m.vector(sid(6)).iter().all(|&v| v == 0.0));
+        assert_eq!(m.similarity(sid(6), sid(0)), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_skills_are_handled_gracefully() {
+        let m = model();
+        assert_eq!(m.similarity(sid(100), sid(0)), 0.0);
+        assert_eq!(m.similarity_to_set(sid(100), &[sid(0)]), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let m = model();
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                assert!((m.similarity(sid(a), sid(b)) - m.similarity(sid(b), sid(a))).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn centroid_of_empty_set_is_zero() {
+        let m = model();
+        assert!(m.centroid(&[]).iter().all(|&v| v == 0.0));
+        assert_eq!(m.similarity_to_set(sid(0), &[]), 0.0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = model();
+        let b = model();
+        for s in 0..7u32 {
+            assert_eq!(a.vector(sid(s)), b.vector(sid(s)));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Positive pointwise mutual information (PPMI) transform.
+//!
+//! PMI(i, j) = log( P(i, j) / (P(i) P(j)) ); PPMI keeps only the positive part.
+//! A shifted variant (`shift = log k`) mirrors the negative-sampling constant of
+//! skip-gram, which is the theoretical bridge between count-based embeddings and
+//! Word2Vec (Levy & Goldberg, 2014).
+
+use crate::CooccurrenceMatrix;
+
+/// Transforms raw co-occurrence counts into a (shifted) PPMI matrix.
+///
+/// `shift` is subtracted from the PMI before clamping at zero; `0.0` gives plain
+/// PPMI, `ln(k)` emulates skip-gram with `k` negative samples.
+pub fn ppmi(counts: &CooccurrenceMatrix, shift: f64) -> CooccurrenceMatrix {
+    let total = counts.total();
+    if total <= 0.0 {
+        return CooccurrenceMatrix::new(counts.size());
+    }
+    counts.map_values(|a, b, v| {
+        let pa = counts.row_sum(a) / total;
+        let pb = counts.row_sum(b) / total;
+        if pa <= 0.0 || pb <= 0.0 {
+            return 0.0;
+        }
+        let pab = v / total;
+        let pmi = (pab / (pa * pb)).ln() - shift;
+        pmi.max(0.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::SkillId;
+
+    fn sid(v: u32) -> SkillId {
+        SkillId(v)
+    }
+
+    #[test]
+    fn ppmi_is_nonnegative_and_symmetric() {
+        let bags = vec![
+            vec![sid(0), sid(1)],
+            vec![sid(0), sid(1)],
+            vec![sid(2), sid(3)],
+            vec![sid(0), sid(3)],
+        ];
+        let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 4);
+        let p = ppmi(&counts, 0.0);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(p.count(a, b) >= 0.0);
+                assert!((p.count(a, b) - p.count(b, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_pairs_score_higher_than_rare_cross_pairs() {
+        let bags = vec![
+            vec![sid(0), sid(1)],
+            vec![sid(0), sid(1)],
+            vec![sid(0), sid(1)],
+            vec![sid(2), sid(3)],
+            vec![sid(2), sid(3)],
+            vec![sid(2), sid(3)],
+            vec![sid(1), sid(2)],
+        ];
+        let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 4);
+        let p = ppmi(&counts, 0.0);
+        assert!(p.count(0, 1) > p.count(1, 2));
+        assert!(p.count(2, 3) > p.count(1, 2));
+    }
+
+    #[test]
+    fn shift_reduces_scores() {
+        let bags = vec![vec![sid(0), sid(1)], vec![sid(0), sid(1)], vec![sid(2), sid(3)]];
+        let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 4);
+        let plain = ppmi(&counts, 0.0);
+        let shifted = ppmi(&counts, 1.0);
+        assert!(shifted.count(0, 1) <= plain.count(0, 1));
+    }
+
+    #[test]
+    fn empty_counts_give_empty_ppmi() {
+        let counts = CooccurrenceMatrix::new(3);
+        let p = ppmi(&counts, 0.0);
+        assert_eq!(p.nnz(), 0);
+        assert_eq!(p.total(), 0.0);
+    }
+
+    #[test]
+    fn independent_pairs_get_zero_ppmi() {
+        // Construct counts where pair (0,1) occurs exactly as often as expected
+        // under independence: with 4 tokens all co-occurring uniformly, PMI ~ 0.
+        let bags = vec![
+            vec![sid(0), sid(1)],
+            vec![sid(0), sid(2)],
+            vec![sid(0), sid(3)],
+            vec![sid(1), sid(2)],
+            vec![sid(1), sid(3)],
+            vec![sid(2), sid(3)],
+        ];
+        let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 4);
+        let p = ppmi(&counts, 0.0);
+        // Perfectly uniform co-occurrence: PMI = ln( (1/6) / (1/4 * 1/4) ) = ln(8/3) > 0,
+        // but all pairs get the *same* value — check uniformity rather than zero.
+        let v01 = p.count(0, 1);
+        for a in 0..4u32 {
+            for b in (a + 1)..4u32 {
+                assert!((p.count(a, b) - v01).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Truncated symmetric eigen-embedding via randomized subspace iteration.
+//!
+//! Given a (sparse, symmetric) matrix `M` we compute an approximate rank-`k`
+//! factorisation and return the embedding `Q · V · |Λ|^{1/2}` where `Q V Λ Vᵀ Qᵀ
+//! ≈ M`. For a symmetric PPMI matrix this is exactly the classical
+//! "SVD of PPMI" word-embedding construction.
+
+use crate::linalg::{symmetric_eigen, DenseMatrix};
+use crate::CooccurrenceMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for the randomized truncated decomposition.
+#[derive(Debug, Clone, Copy)]
+pub struct SvdOptions {
+    /// Target embedding dimension `k`.
+    pub dim: usize,
+    /// Oversampling columns added to the random sketch (improves accuracy).
+    pub oversample: usize,
+    /// Number of power iterations (each sharpens the spectrum separation).
+    pub power_iterations: usize,
+    /// RNG seed for the Gaussian sketch.
+    pub seed: u64,
+}
+
+impl Default for SvdOptions {
+    fn default() -> Self {
+        SvdOptions {
+            dim: 32,
+            oversample: 8,
+            power_iterations: 2,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Computes a rank-`dim` embedding of the rows of the symmetric matrix `m`.
+///
+/// Returns an `n × dim` dense matrix whose rows are the embedding vectors. If
+/// the matrix is empty (all zeros) the embedding is all zeros.
+pub fn truncated_symmetric_embedding(m: &CooccurrenceMatrix, opts: &SvdOptions) -> DenseMatrix {
+    let n = m.size();
+    let k = opts.dim.min(n.max(1));
+    if n == 0 {
+        return DenseMatrix::zeros(0, opts.dim);
+    }
+    if m.total() <= 0.0 {
+        return DenseMatrix::zeros(n, k);
+    }
+    let sketch_cols = (k + opts.oversample).min(n);
+
+    // Gaussian random sketch (Box–Muller from uniform draws keeps us independent
+    // of rand_distr).
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut omega = DenseMatrix::zeros(n, sketch_cols);
+    for r in 0..n {
+        for c in 0..sketch_cols {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            omega.set(r, c, g);
+        }
+    }
+
+    // Subspace iteration: Q ≈ orthonormal basis of the dominant eigenspace.
+    let mut q = m.matmul_dense(&omega);
+    q.orthonormalize_columns();
+    for _ in 0..opts.power_iterations {
+        q = m.matmul_dense(&q);
+        q.orthonormalize_columns();
+    }
+
+    // Small projected matrix B = Qᵀ M Q (sketch_cols × sketch_cols, symmetric).
+    let mq = m.matmul_dense(&q);
+    let b = q.transpose_matmul(&mq);
+    let (eigenvalues, eigenvectors) = symmetric_eigen(&b);
+
+    // Embedding = Q · V_k · Λ_k^{1/2}, keeping the k *largest* (most positive)
+    // eigenvalues and clamping negatives to zero (a PSD truncation: for PPMI
+    // inputs the dominant spectrum is positive and the negative tail only adds
+    // noise to cosine similarities).
+    let mut order: Vec<usize> = (0..eigenvalues.len()).collect();
+    order.sort_by(|&i, &j| {
+        eigenvalues[j]
+            .partial_cmp(&eigenvalues[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut scaled = DenseMatrix::zeros(sketch_cols, k);
+    for (c, &src) in order.iter().take(k).enumerate() {
+        let scale = eigenvalues[src].max(0.0).sqrt();
+        for r in 0..sketch_cols {
+            scaled.set(r, c, eigenvectors.get(r, src) * scale);
+        }
+    }
+    q.matmul(&scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::cosine;
+    use exes_graph::SkillId;
+
+    fn sid(v: u32) -> SkillId {
+        SkillId(v)
+    }
+
+    /// Two disjoint cliques of tokens must embed into two separated clusters.
+    #[test]
+    fn block_structure_is_recovered() {
+        let mut bags = Vec::new();
+        for _ in 0..20 {
+            bags.push(vec![sid(0), sid(1), sid(2)]);
+            bags.push(vec![sid(3), sid(4), sid(5)]);
+        }
+        let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 6);
+        let emb = truncated_symmetric_embedding(
+            &counts,
+            &SvdOptions {
+                dim: 4,
+                oversample: 2,
+                power_iterations: 3,
+                seed: 1,
+            },
+        );
+        let sim_within = cosine(emb.row(0), emb.row(1));
+        let sim_across = cosine(emb.row(0), emb.row(4));
+        assert!(
+            sim_within > sim_across + 0.5,
+            "within {sim_within} across {sim_across}"
+        );
+    }
+
+    #[test]
+    fn rank_one_pattern_collapses_to_identical_directions() {
+        // A single repeated pair: the dominant (positive) eigenvector assigns both
+        // tokens the same embedding direction.
+        let mut bags = Vec::new();
+        for _ in 0..10 {
+            bags.push(vec![sid(0), sid(1)]);
+        }
+        let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 2);
+        let emb = truncated_symmetric_embedding(
+            &counts,
+            &SvdOptions {
+                dim: 2,
+                oversample: 0,
+                power_iterations: 2,
+                seed: 3,
+            },
+        );
+        assert!(
+            cosine(emb.row(0), emb.row(1)) > 0.99,
+            "expected identical directions, got cosine {}",
+            cosine(emb.row(0), emb.row(1))
+        );
+        // The dominant eigenvalue is 10 with eigenvector [1,1]/√2, so the PSD
+        // truncation reconstructs λ·v₀·v₁ = 10 · ½ = 5 for the off-diagonal.
+        let dot01: f64 = (0..2).map(|c| emb.get(0, c) * emb.get(1, c)).sum();
+        assert!((dot01 - 5.0).abs() < 0.5, "reconstructed off-diagonal {dot01}");
+    }
+
+    #[test]
+    fn empty_matrix_gives_zero_embedding() {
+        let counts = CooccurrenceMatrix::new(4);
+        let emb = truncated_symmetric_embedding(&counts, &SvdOptions::default());
+        assert_eq!(emb.rows(), 4);
+        for r in 0..4 {
+            assert!(emb.row(r).iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn dimension_is_capped_by_matrix_size() {
+        let mut bags = Vec::new();
+        bags.push(vec![sid(0), sid(1)]);
+        let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 2);
+        let emb = truncated_symmetric_embedding(
+            &counts,
+            &SvdOptions {
+                dim: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(emb.rows(), 2);
+        assert_eq!(emb.cols(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bags = vec![vec![sid(0), sid(1), sid(2)], vec![sid(1), sid(2)]];
+        let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 3);
+        let a = truncated_symmetric_embedding(&counts, &SvdOptions::default());
+        let b = truncated_symmetric_embedding(&counts, &SvdOptions::default());
+        assert_eq!(a, b);
+    }
+}

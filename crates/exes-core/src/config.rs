@@ -1,0 +1,179 @@
+//! ExES configuration: the paper's tunables (Table 3 and Section 4.1 defaults).
+
+use exes_shap::ShapConfig;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How the black box's answer is turned into the scalar that SHAP attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputMode {
+    /// The paper's formulation: the binary relevance / membership status
+    /// (`1.0` if the person is selected, `0.0` otherwise).
+    Binary,
+    /// A smoothed variant, `sigmoid((k + ½ − rank) / τ)`: still anchored at the
+    /// decision boundary but with informative magnitudes for force plots and
+    /// case studies. Factual explanation *sizes* are reported with
+    /// [`OutputMode::Binary`] in the benchmark harness to stay comparable with
+    /// the paper.
+    SmoothRank,
+}
+
+/// All ExES tunables. Field names follow the paper's symbols (Table 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExesConfig {
+    /// Top-`k` cutoff defining the relevance status for expert search.
+    pub k: usize,
+    /// Neighbourhood radius `d` for skill factuals, skill counterfactuals and
+    /// collaboration-addition counterfactuals (paper default: 1).
+    pub skill_radius: usize,
+    /// Neighbourhood radius for collaboration factuals and collaboration-removal
+    /// counterfactuals (paper default: 2).
+    pub collab_radius: usize,
+    /// Beam width `b` (paper default: 30).
+    pub beam_width: usize,
+    /// Maximum perturbation (explanation) size `γ` (paper default: 5).
+    pub max_explanation_size: usize,
+    /// Number of counterfactual explanations requested, `e` (paper default: 5).
+    pub num_explanations: usize,
+    /// Number of candidate features `t` selected by the embedding / link
+    /// predictor (paper default: 10).
+    pub num_candidates: usize,
+    /// SHAP threshold `τ` used by the influential-collaboration expansion
+    /// (paper default: 0.1).
+    pub tau: f64,
+    /// Wall-clock budget for a single explanation request; `None` means no limit.
+    /// The paper uses 1000 s for its (much larger) datasets.
+    pub timeout: Option<Duration>,
+    /// How the decision is scalarised for SHAP.
+    pub output_mode: OutputMode,
+    /// Shapley estimator configuration.
+    #[serde(skip)]
+    pub shap: ShapConfig,
+}
+
+impl Default for ExesConfig {
+    fn default() -> Self {
+        ExesConfig {
+            k: 10,
+            skill_radius: 1,
+            collab_radius: 2,
+            beam_width: 30,
+            max_explanation_size: 5,
+            num_explanations: 5,
+            num_candidates: 10,
+            tau: 0.1,
+            timeout: Some(Duration::from_secs(1000)),
+            output_mode: OutputMode::Binary,
+            shap: ShapConfig::default(),
+        }
+    }
+}
+
+impl ExesConfig {
+    /// The paper's default configuration (identical to [`Default`]).
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// A configuration scaled down for unit tests and examples on tiny graphs.
+    pub fn fast() -> Self {
+        ExesConfig {
+            k: 5,
+            beam_width: 8,
+            max_explanation_size: 3,
+            num_explanations: 3,
+            num_candidates: 5,
+            timeout: Some(Duration::from_secs(30)),
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        self.k = k;
+        self
+    }
+
+    /// Builder-style setter for the beam width `b`.
+    pub fn with_beam_width(mut self, b: usize) -> Self {
+        assert!(b >= 1, "beam width must be at least 1");
+        self.beam_width = b;
+        self
+    }
+
+    /// Builder-style setter for the candidate count `t`.
+    pub fn with_num_candidates(mut self, t: usize) -> Self {
+        assert!(t >= 1, "candidate count must be at least 1");
+        self.num_candidates = t;
+        self
+    }
+
+    /// Builder-style setter for the skill-neighbourhood radius `d`.
+    pub fn with_skill_radius(mut self, d: usize) -> Self {
+        self.skill_radius = d;
+        self
+    }
+
+    /// Builder-style setter for the SHAP expansion threshold `τ`.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        assert!(tau >= 0.0, "tau must be non-negative");
+        self.tau = tau;
+        self
+    }
+
+    /// Builder-style setter for the output mode.
+    pub fn with_output_mode(mut self, mode: OutputMode) -> Self {
+        self.output_mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ExesConfig::paper_defaults();
+        assert_eq!(c.k, 10);
+        assert_eq!(c.beam_width, 30);
+        assert_eq!(c.max_explanation_size, 5);
+        assert_eq!(c.num_explanations, 5);
+        assert_eq!(c.num_candidates, 10);
+        assert_eq!(c.skill_radius, 1);
+        assert_eq!(c.collab_radius, 2);
+        assert!((c.tau - 0.1).abs() < 1e-12);
+        assert_eq!(c.timeout, Some(Duration::from_secs(1000)));
+        assert_eq!(c.output_mode, OutputMode::Binary);
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let c = ExesConfig::fast()
+            .with_k(3)
+            .with_beam_width(4)
+            .with_num_candidates(2)
+            .with_skill_radius(2)
+            .with_tau(0.05)
+            .with_output_mode(OutputMode::SmoothRank);
+        assert_eq!(c.k, 3);
+        assert_eq!(c.beam_width, 4);
+        assert_eq!(c.num_candidates, 2);
+        assert_eq!(c.skill_radius, 2);
+        assert!((c.tau - 0.05).abs() < 1e-12);
+        assert_eq!(c.output_mode, OutputMode::SmoothRank);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_is_rejected() {
+        let _ = ExesConfig::default().with_k(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beam width")]
+    fn zero_beam_is_rejected() {
+        let _ = ExesConfig::default().with_beam_width(0);
+    }
+}

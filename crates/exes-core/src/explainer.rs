@@ -1,0 +1,419 @@
+//! The `Exes` facade: one entry point per explanation type, pruned and exhaustive.
+
+use crate::config::ExesConfig;
+use crate::counterfactual::{
+    beam::beam_search,
+    candidates,
+    exhaustive::{
+        all_link_additions, all_link_removals, all_query_augmentations, all_skill_removals,
+        exhaustive_search, skill_additions_all_people, skill_additions_all_skills,
+    },
+    CounterfactualKind, CounterfactualResult,
+};
+use crate::factual::{explain_collaborations, explain_query_terms, explain_skills, FactualExplanation};
+use crate::tasks::DecisionModel;
+use exes_embedding::SkillEmbedding;
+use exes_graph::{CollabGraph, Query};
+use exes_linkpred::LinkPredictor;
+use std::time::Instant;
+
+/// Which of the two skill-addition exhaustive baselines to run (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkillAdditionBaseline {
+    /// "Exhaustive neighbourhood" (N): all people × the pruned candidate skills.
+    AllPeople,
+    /// "Exhaustive skills" (S): the subject's neighbourhood × the full skill universe.
+    AllSkills,
+}
+
+/// The ExES explainer: bundles the configuration with the two auxiliary models
+/// the pruning strategies need — the skill embedding `W` (Pruning Strategy 4)
+/// and the link predictor `L` (Pruning Strategy 5).
+///
+/// Every method is generic over the [`DecisionModel`], so the same explainer
+/// instance serves expert-search relevance and team-membership questions.
+#[derive(Debug, Clone)]
+pub struct Exes<L> {
+    config: ExesConfig,
+    embedding: SkillEmbedding,
+    link_predictor: L,
+}
+
+impl<L: LinkPredictor> Exes<L> {
+    /// Assembles an explainer.
+    pub fn new(config: ExesConfig, embedding: SkillEmbedding, link_predictor: L) -> Self {
+        Exes {
+            config,
+            embedding,
+            link_predictor,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExesConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (used by parameter-sensitivity sweeps).
+    pub fn config_mut(&mut self) -> &mut ExesConfig {
+        &mut self.config
+    }
+
+    /// The skill embedding used for Pruning Strategy 4.
+    pub fn embedding(&self) -> &SkillEmbedding {
+        &self.embedding
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        self.config.timeout.map(|t| Instant::now() + t)
+    }
+
+    // ------------------------------------------------------------------
+    // Factual explanations
+    // ------------------------------------------------------------------
+
+    /// Skill factual explanation (Pruning Strategy 1 when `pruned`).
+    pub fn factual_skills<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+        pruned: bool,
+    ) -> FactualExplanation {
+        explain_skills(task, graph, query, &self.config, pruned)
+    }
+
+    /// Query-term factual explanation (no pruning applies).
+    pub fn factual_query_terms<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+    ) -> FactualExplanation {
+        explain_query_terms(task, graph, query, &self.config)
+    }
+
+    /// Collaboration factual explanation (Pruning Strategy 2 when `pruned`).
+    pub fn factual_collaborations<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+        pruned: bool,
+    ) -> FactualExplanation {
+        explain_collaborations(task, graph, query, &self.config, pruned)
+    }
+
+    // ------------------------------------------------------------------
+    // Counterfactual explanations — pruned (beam search + strategies 4/5)
+    // ------------------------------------------------------------------
+
+    /// Skill counterfactuals: removals when the subject is currently selected,
+    /// additions otherwise (Section 3.3.1).
+    pub fn counterfactual_skills<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+    ) -> CounterfactualResult {
+        let initially_selected = task.probe(graph, query).positive;
+        let (candidates, kind) = if initially_selected {
+            (
+                candidates::skill_removal_candidates(
+                    graph,
+                    query,
+                    task.subject(),
+                    &self.embedding,
+                    &self.config,
+                ),
+                CounterfactualKind::SkillRemoval,
+            )
+        } else {
+            (
+                candidates::skill_addition_candidates(
+                    graph,
+                    query,
+                    task.subject(),
+                    &self.embedding,
+                    &self.config,
+                ),
+                CounterfactualKind::SkillAddition,
+            )
+        };
+        let mut result = beam_search(task, graph, query, &candidates, kind, &self.config, self.deadline());
+        result.probes += 1; // the initial probe above
+        result
+    }
+
+    /// Query-augmentation counterfactuals (Section 3.3.2).
+    pub fn counterfactual_query<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+    ) -> CounterfactualResult {
+        let initially_selected = task.probe(graph, query).positive;
+        let candidates = candidates::query_augmentation_candidates(
+            graph,
+            query,
+            task.subject(),
+            initially_selected,
+            &self.embedding,
+            &self.config,
+        );
+        let mut result = beam_search(
+            task,
+            graph,
+            query,
+            &candidates,
+            CounterfactualKind::QueryAugmentation,
+            &self.config,
+            self.deadline(),
+        );
+        result.probes += 1;
+        result
+    }
+
+    /// Collaboration counterfactuals: link removals when the subject is selected,
+    /// link additions otherwise (Section 3.3.3, Pruning Strategy 5).
+    pub fn counterfactual_links<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+    ) -> CounterfactualResult {
+        let initially_selected = task.probe(graph, query).positive;
+        let (candidates, kind, extra_probes) = if initially_selected {
+            let (cands, probes) =
+                candidates::link_removal_candidates(task, graph, query, &self.config);
+            (cands, CounterfactualKind::LinkRemoval, probes)
+        } else {
+            (
+                candidates::link_addition_candidates(
+                    graph,
+                    task.subject(),
+                    &self.link_predictor,
+                    &self.config,
+                ),
+                CounterfactualKind::LinkAddition,
+                0,
+            )
+        };
+        let mut result = beam_search(task, graph, query, &candidates, kind, &self.config, self.deadline());
+        result.probes += extra_probes + 1;
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Counterfactual explanations — exhaustive baselines
+    // ------------------------------------------------------------------
+
+    /// Exhaustive skill counterfactuals. For selected subjects this searches all
+    /// skill removals in the network; for unselected subjects the
+    /// `addition_baseline` chooses between the paper's N and S baselines.
+    pub fn counterfactual_skills_exhaustive<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+        addition_baseline: SkillAdditionBaseline,
+    ) -> CounterfactualResult {
+        let initially_selected = task.probe(graph, query).positive;
+        let (candidates, kind) = if initially_selected {
+            (all_skill_removals(graph), CounterfactualKind::SkillRemoval)
+        } else {
+            let cands = match addition_baseline {
+                SkillAdditionBaseline::AllPeople => {
+                    let skills = candidates::candidate_skills_for_addition(
+                        query,
+                        &self.embedding,
+                        self.config.num_candidates,
+                    );
+                    skill_additions_all_people(graph, &skills)
+                }
+                SkillAdditionBaseline::AllSkills => {
+                    skill_additions_all_skills(graph, task.subject(), self.config.skill_radius)
+                }
+            };
+            (cands, CounterfactualKind::SkillAddition)
+        };
+        let mut result = exhaustive_search(task, graph, query, &candidates, kind, &self.config, self.deadline());
+        result.probes += 1;
+        result
+    }
+
+    /// Exhaustive query-augmentation counterfactuals (every skill not in the query).
+    pub fn counterfactual_query_exhaustive<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+    ) -> CounterfactualResult {
+        let candidates = all_query_augmentations(graph, query);
+        let mut result = exhaustive_search(
+            task,
+            graph,
+            query,
+            &candidates,
+            CounterfactualKind::QueryAugmentation,
+            &self.config,
+            self.deadline(),
+        );
+        result.probes += 1;
+        result
+    }
+
+    /// Exhaustive collaboration counterfactuals: all edge removals (selected
+    /// subjects) or all missing edges incident to the subject (unselected).
+    pub fn counterfactual_links_exhaustive<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+    ) -> CounterfactualResult {
+        let initially_selected = task.probe(graph, query).positive;
+        let (candidates, kind) = if initially_selected {
+            (all_link_removals(graph), CounterfactualKind::LinkRemoval)
+        } else {
+            (
+                all_link_additions(graph, task.subject()),
+                CounterfactualKind::LinkAddition,
+            )
+        };
+        let mut result = exhaustive_search(task, graph, query, &candidates, kind, &self.config, self.deadline());
+        result.probes += 1;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OutputMode;
+    use crate::tasks::ExpertRelevanceTask;
+    use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
+    use exes_embedding::EmbeddingConfig;
+    use exes_expert_search::{ExpertRanker, PropagationRanker};
+    use exes_graph::GraphView;
+    use exes_linkpred::CommonNeighbors;
+    use exes_graph::PersonId;
+
+    struct Fixture {
+        ds: SyntheticDataset,
+        exes: Exes<CommonNeighbors>,
+        ranker: PropagationRanker,
+    }
+
+    fn fixture() -> Fixture {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny("exes", 33));
+        let embedding = SkillEmbedding::train(
+            ds.corpus.token_bags(),
+            ds.graph.vocab().len(),
+            &EmbeddingConfig { dim: 16, ..Default::default() },
+        );
+        let cfg = ExesConfig::fast()
+            .with_k(5)
+            .with_num_candidates(6)
+            .with_output_mode(OutputMode::SmoothRank);
+        Fixture {
+            ds,
+            exes: Exes::new(cfg, embedding, CommonNeighbors),
+            ranker: PropagationRanker::default(),
+        }
+    }
+
+    /// A query someone actually matches, plus one person inside the top-k and one outside.
+    fn query_and_subjects(f: &Fixture) -> (Query, PersonId, PersonId) {
+        let workload = QueryWorkload::answerable(&f.ds.graph, 5, 2, 3, 3, 7);
+        for q in workload.queries() {
+            let ranking = f.ranker.rank_all(&f.ds.graph, q);
+            let top = ranking.top_k(f.exes.config().k);
+            let inside = top[0];
+            let outside = ranking.entries()[f.exes.config().k + 2].0;
+            return (q.clone(), inside, outside);
+        }
+        unreachable!("workload is non-empty");
+    }
+
+    #[test]
+    fn factual_explanations_run_end_to_end() {
+        let f = fixture();
+        let (q, inside, _) = query_and_subjects(&f);
+        let task = ExpertRelevanceTask::new(&f.ranker, inside, f.exes.config().k);
+        let skills = f.exes.factual_skills(&task, &f.ds.graph, &q, true);
+        assert!(skills.num_features() > 0);
+        let query_terms = f.exes.factual_query_terms(&task, &f.ds.graph, &q);
+        assert_eq!(query_terms.num_features(), q.len());
+        let collabs = f.exes.factual_collaborations(&task, &f.ds.graph, &q, true);
+        assert!(collabs.num_features() <= f.ds.graph.num_edges());
+    }
+
+    #[test]
+    fn counterfactual_skill_explanations_flip_the_decision() {
+        let f = fixture();
+        let (q, inside, outside) = query_and_subjects(&f);
+        let k = f.exes.config().k;
+
+        let expert_task = ExpertRelevanceTask::new(&f.ranker, inside, k);
+        let removal = f.exes.counterfactual_skills(&expert_task, &f.ds.graph, &q);
+        for e in &removal.explanations {
+            let (view, pq) = e.perturbations.apply(&f.ds.graph, &q);
+            assert!(!expert_task.probe(&view, &pq).positive);
+            assert_eq!(e.kind, CounterfactualKind::SkillRemoval);
+        }
+
+        let non_expert_task = ExpertRelevanceTask::new(&f.ranker, outside, k);
+        let addition = f.exes.counterfactual_skills(&non_expert_task, &f.ds.graph, &q);
+        for e in &addition.explanations {
+            let (view, pq) = e.perturbations.apply(&f.ds.graph, &q);
+            assert!(non_expert_task.probe(&view, &pq).positive);
+            assert_eq!(e.kind, CounterfactualKind::SkillAddition);
+        }
+    }
+
+    #[test]
+    fn counterfactual_query_and_link_explanations_flip_the_decision() {
+        let f = fixture();
+        let (q, inside, outside) = query_and_subjects(&f);
+        let k = f.exes.config().k;
+
+        for (subject, expect_positive_after) in [(inside, false), (outside, true)] {
+            let task = ExpertRelevanceTask::new(&f.ranker, subject, k);
+            for result in [
+                f.exes.counterfactual_query(&task, &f.ds.graph, &q),
+                f.exes.counterfactual_links(&task, &f.ds.graph, &q),
+            ] {
+                for e in &result.explanations {
+                    let (view, pq) = e.perturbations.apply(&f.ds.graph, &q);
+                    assert_eq!(task.probe(&view, &pq).positive, expect_positive_after);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_baselines_agree_on_flip_validity() {
+        let f = fixture();
+        let (q, inside, _) = query_and_subjects(&f);
+        let task = ExpertRelevanceTask::new(&f.ranker, inside, f.exes.config().k);
+        let exhaustive = f.exes.counterfactual_query_exhaustive(&task, &f.ds.graph, &q);
+        for e in &exhaustive.explanations {
+            let (view, pq) = e.perturbations.apply(&f.ds.graph, &q);
+            assert!(!task.probe(&view, &pq).positive);
+        }
+        // Exhaustive minimality: if both found explanations, the baseline's
+        // minimum can never exceed the pruned search's minimum.
+        let pruned = f.exes.counterfactual_query(&task, &f.ds.graph, &q);
+        if let (Some(b), Some(p)) = (exhaustive.minimal_size(), pruned.minimal_size()) {
+            assert!(b <= p);
+        }
+    }
+
+    #[test]
+    fn config_mut_allows_parameter_sweeps() {
+        let mut f = fixture();
+        f.exes.config_mut().beam_width = 2;
+        assert_eq!(f.exes.config().beam_width, 2);
+        assert!(f.exes.embedding().vocab_size() > 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Factual explanations: SHAP attributions over input features (Section 3.2).
+
+mod collaboration;
+mod query;
+mod skill;
+
+pub use collaboration::{collaboration_features_exhaustive, explain_collaborations};
+pub use query::explain_query_terms;
+pub use skill::{explain_skills, skill_features_exhaustive, skill_features_pruned};
+
+use crate::config::{ExesConfig, OutputMode};
+use crate::features::Feature;
+use crate::tasks::DecisionModel;
+use exes_graph::{CollabGraph, PerturbationSet, Query};
+use exes_shap::{MaskedModel, ShapValues};
+
+/// A factual explanation: one SHAP value per scored feature.
+#[derive(Debug, Clone)]
+pub struct FactualExplanation {
+    features: Vec<Feature>,
+    shap: ShapValues,
+    /// Number of probes issued to the underlying system while computing it.
+    probes: usize,
+}
+
+impl FactualExplanation {
+    pub(crate) fn new(features: Vec<Feature>, shap: ShapValues, probes: usize) -> Self {
+        debug_assert_eq!(features.len(), shap.len());
+        FactualExplanation {
+            features,
+            shap,
+            probes,
+        }
+    }
+
+    /// The scored features, in scoring order.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// The raw SHAP values (parallel to [`FactualExplanation::features`]).
+    pub fn shap_values(&self) -> &ShapValues {
+        &self.shap
+    }
+
+    /// Iterates over `(feature, shap value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Feature, f64)> + '_ {
+        self.features
+            .iter()
+            .copied()
+            .zip(self.shap.values().iter().copied())
+    }
+
+    /// The SHAP value of a specific feature, if it was scored.
+    pub fn value_of(&self, feature: &Feature) -> Option<f64> {
+        self.features
+            .iter()
+            .position(|f| f == feature)
+            .map(|i| self.shap.value(i))
+    }
+
+    /// The paper's "explanation size": number of features with non-zero SHAP value.
+    pub fn size(&self) -> usize {
+        self.shap.explanation_size()
+    }
+
+    /// Number of scored features (the SHAP feature space after pruning).
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Number of black-box probes issued while computing the explanation.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// The `k` most influential features by |SHAP|, most influential first.
+    pub fn top_k(&self, k: usize) -> Vec<(Feature, f64)> {
+        self.shap
+            .top_k(k)
+            .into_iter()
+            .map(|i| (self.features[i], self.shap.value(i)))
+            .collect()
+    }
+
+    /// Features with positive SHAP value (supporting the positive decision),
+    /// sorted by descending value.
+    pub fn supporting(&self) -> Vec<(Feature, f64)> {
+        let mut v: Vec<(Feature, f64)> = self
+            .iter()
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Features with negative SHAP value (working against the positive
+    /// decision), sorted by ascending value (most harmful first).
+    pub fn opposing(&self) -> Vec<(Feature, f64)> {
+        let mut v: Vec<(Feature, f64)> = self
+            .iter()
+            .filter(|&(_, s)| s < 0.0)
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// A plain-text force-plot-like rendering (used by the examples to mirror
+    /// the paper's Figures 3 and 10).
+    pub fn render(&self, graph: &CollabGraph, max_rows: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "base value = {:.3}, f(input) = {:.3}\n",
+            self.shap.base_value(),
+            self.shap.full_value()
+        ));
+        for (feature, value) in self.top_k(max_rows) {
+            let bar_len = (value.abs() * 40.0).round() as usize;
+            let bar: String = std::iter::repeat(if value >= 0.0 { '+' } else { '-' })
+                .take(bar_len.clamp(1, 40))
+                .collect();
+            out.push_str(&format!(
+                "{value:>8.3}  {bar:<40}  {}\n",
+                feature.describe(graph)
+            ));
+        }
+        out
+    }
+}
+
+/// The masked model handed to the Shapley engine: masking a feature out applies
+/// its removal perturbation to the graph/query before probing the black box.
+pub(crate) struct FeatureMaskModel<'a, D> {
+    task: &'a D,
+    graph: &'a CollabGraph,
+    query: &'a Query,
+    features: &'a [Feature],
+    output_mode: OutputMode,
+    k: usize,
+}
+
+impl<'a, D: DecisionModel> FeatureMaskModel<'a, D> {
+    pub(crate) fn new(
+        task: &'a D,
+        graph: &'a CollabGraph,
+        query: &'a Query,
+        features: &'a [Feature],
+        cfg: &ExesConfig,
+    ) -> Self {
+        FeatureMaskModel {
+            task,
+            graph,
+            query,
+            features,
+            output_mode: cfg.output_mode,
+            k: cfg.k,
+        }
+    }
+}
+
+impl<D: DecisionModel> MaskedModel for FeatureMaskModel<'_, D> {
+    fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    fn evaluate(&self, mask: &[bool]) -> f64 {
+        let mut delta = PerturbationSet::new();
+        for (i, &present) in mask.iter().enumerate() {
+            if !present {
+                delta.push(self.features[i].removal());
+            }
+        }
+        let (view, perturbed_query) = delta.apply(self.graph, self.query);
+        let probe = self.task.probe(&view, &perturbed_query);
+        match self.output_mode {
+            OutputMode::Binary => {
+                if probe.positive {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            OutputMode::SmoothRank => {
+                let temperature = (self.k as f64 / 4.0).max(0.5);
+                let margin = self.k as f64 + 0.5 - probe.signal;
+                1.0 / (1.0 + (-margin / temperature).exp())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::ExpertRelevanceTask;
+    use exes_expert_search::TfIdfRanker;
+    use exes_graph::{CollabGraphBuilder, PersonId};
+    use exes_shap::ShapValues;
+
+    fn graph() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let a = b.add_person("Ada", ["db", "ml"]);
+        let c = b.add_person("Bob", ["db"]);
+        let d = b.add_person("Cig", ["vision"]);
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.build()
+    }
+
+    #[test]
+    fn explanation_accessors_and_ordering() {
+        let g = graph();
+        let db = g.vocab().id("db").unwrap();
+        let ml = g.vocab().id("ml").unwrap();
+        let features = vec![
+            Feature::Skill(PersonId(0), db),
+            Feature::Skill(PersonId(0), ml),
+            Feature::QueryTerm(db),
+        ];
+        let shap = ShapValues::new(vec![0.4, -0.1, 0.0], 0.0, 0.3);
+        let exp = FactualExplanation::new(features.clone(), shap, 12);
+        assert_eq!(exp.num_features(), 3);
+        assert_eq!(exp.size(), 2);
+        assert_eq!(exp.probes(), 12);
+        assert_eq!(exp.value_of(&features[0]), Some(0.4));
+        assert_eq!(exp.value_of(&Feature::QueryTerm(ml)), None);
+        assert_eq!(exp.top_k(1)[0].0, features[0]);
+        assert_eq!(exp.supporting().len(), 1);
+        assert_eq!(exp.opposing().len(), 1);
+        let text = exp.render(&g, 3);
+        assert!(text.contains("Ada's skill 'db'"));
+    }
+
+    #[test]
+    fn mask_model_binary_output_tracks_the_decision() {
+        let g = graph();
+        let q = Query::parse("db ml", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 1);
+        let db = g.vocab().id("db").unwrap();
+        let ml = g.vocab().id("ml").unwrap();
+        let features = vec![
+            Feature::Skill(PersonId(0), db),
+            Feature::Skill(PersonId(0), ml),
+        ];
+        let cfg = ExesConfig::fast().with_k(1);
+        let model = FeatureMaskModel::new(&task, &g, &q, &features, &cfg);
+        assert_eq!(model.num_features(), 2);
+        assert_eq!(model.evaluate(&[true, true]), 1.0);
+        // Remove both of Ada's matching skills: Bob overtakes her for k = 1.
+        assert_eq!(model.evaluate(&[false, false]), 0.0);
+    }
+
+    #[test]
+    fn mask_model_smooth_output_is_monotone_in_rank() {
+        let g = graph();
+        let q = Query::parse("db ml", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 1);
+        let db = g.vocab().id("db").unwrap();
+        let ml = g.vocab().id("ml").unwrap();
+        let features = vec![
+            Feature::Skill(PersonId(0), db),
+            Feature::Skill(PersonId(0), ml),
+        ];
+        let cfg = ExesConfig::fast()
+            .with_k(1)
+            .with_output_mode(OutputMode::SmoothRank);
+        let model = FeatureMaskModel::new(&task, &g, &q, &features, &cfg);
+        let full = model.evaluate(&[true, true]);
+        let none = model.evaluate(&[false, false]);
+        assert!(full > 0.5);
+        assert!(none < full);
+    }
+}

@@ -1,0 +1,132 @@
+//! The explanation feature space: query terms, node skills, and collaborations.
+
+use exes_graph::{CollabGraph, Perturbation, PersonId, SkillId};
+use serde::{Deserialize, Serialize};
+
+/// A feature of the (query, collaboration network) input whose influence on the
+/// decision can be scored factually or perturbed counterfactually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Feature {
+    /// A keyword of the query.
+    QueryTerm(SkillId),
+    /// A skill held by a person in the network.
+    Skill(PersonId, SkillId),
+    /// A collaboration edge.
+    Edge(PersonId, PersonId),
+}
+
+impl Feature {
+    /// The perturbation that *removes* this feature from the input (what masking
+    /// the feature out means for factual SHAP values).
+    pub fn removal(&self) -> Perturbation {
+        match *self {
+            Feature::QueryTerm(skill) => Perturbation::RemoveQueryTerm { skill },
+            Feature::Skill(person, skill) => Perturbation::RemoveSkill { person, skill },
+            Feature::Edge(a, b) => Perturbation::RemoveEdge { a, b },
+        }
+    }
+
+    /// The perturbation that *adds* this feature to the input.
+    pub fn addition(&self) -> Perturbation {
+        match *self {
+            Feature::QueryTerm(skill) => Perturbation::AddQueryTerm { skill },
+            Feature::Skill(person, skill) => Perturbation::AddSkill { person, skill },
+            Feature::Edge(a, b) => Perturbation::AddEdge { a, b },
+        }
+    }
+
+    /// Human-readable description against a concrete graph.
+    pub fn describe(&self, graph: &CollabGraph) -> String {
+        let vocab = graph.vocab();
+        match *self {
+            Feature::QueryTerm(skill) => {
+                format!("query term '{}'", vocab.name(skill).unwrap_or("<unknown>"))
+            }
+            Feature::Skill(person, skill) => format!(
+                "{}'s skill '{}'",
+                graph.person_name(person),
+                vocab.name(skill).unwrap_or("<unknown>")
+            ),
+            Feature::Edge(a, b) => format!(
+                "collaboration {} — {}",
+                graph.person_name(a),
+                graph.person_name(b)
+            ),
+        }
+    }
+
+    /// True if this feature concerns the given person (as skill holder or edge
+    /// endpoint). Query terms concern nobody.
+    pub fn involves(&self, p: PersonId) -> bool {
+        match *self {
+            Feature::QueryTerm(_) => false,
+            Feature::Skill(person, _) => person == p,
+            Feature::Edge(a, b) => a == p || b == p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::CollabGraphBuilder;
+
+    fn graph() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let a = b.add_person("Ada", ["db"]);
+        let c = b.add_person("Bob", ["ml"]);
+        b.add_edge(a, c);
+        b.build()
+    }
+
+    #[test]
+    fn removal_and_addition_are_inverses_in_kind() {
+        let g = graph();
+        let db = g.vocab().id("db").unwrap();
+        let features = [
+            Feature::QueryTerm(db),
+            Feature::Skill(PersonId(0), db),
+            Feature::Edge(PersonId(0), PersonId(1)),
+        ];
+        for f in features {
+            let rem = f.removal();
+            let add = f.addition();
+            assert_ne!(rem, add);
+            match f {
+                Feature::QueryTerm(_) => {
+                    assert!(rem.is_query_perturbation() && add.is_query_perturbation())
+                }
+                Feature::Skill(..) => {
+                    assert!(rem.is_skill_perturbation() && add.is_skill_perturbation())
+                }
+                Feature::Edge(..) => {
+                    assert!(rem.is_edge_perturbation() && add.is_edge_perturbation())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn describe_names_people_and_skills() {
+        let g = graph();
+        let db = g.vocab().id("db").unwrap();
+        assert_eq!(Feature::QueryTerm(db).describe(&g), "query term 'db'");
+        assert_eq!(
+            Feature::Skill(PersonId(0), db).describe(&g),
+            "Ada's skill 'db'"
+        );
+        assert_eq!(
+            Feature::Edge(PersonId(0), PersonId(1)).describe(&g),
+            "collaboration Ada — Bob"
+        );
+    }
+
+    #[test]
+    fn involvement_checks() {
+        let db = SkillId(0);
+        assert!(Feature::Skill(PersonId(2), db).involves(PersonId(2)));
+        assert!(!Feature::Skill(PersonId(2), db).involves(PersonId(3)));
+        assert!(Feature::Edge(PersonId(0), PersonId(1)).involves(PersonId(1)));
+        assert!(!Feature::QueryTerm(db).involves(PersonId(0)));
+    }
+}

@@ -1,0 +1,201 @@
+//! The binary decisions ExES explains: relevance status and team membership.
+
+use exes_expert_search::ExpertRanker;
+use exes_graph::{GraphView, PersonId, Query};
+use exes_team::TeamFormer;
+
+/// The result of probing the black box on one (possibly perturbed) input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probe {
+    /// The binary decision: was the subject selected (top-`k` / on the team)?
+    pub positive: bool,
+    /// A monotone "how close to being selected" signal — **lower is better**
+    /// (for expert search it is the subject's 1-based rank). Beam search uses
+    /// it to order candidate perturbations (line 21 of Algorithm 1).
+    pub signal: f64,
+}
+
+/// A black-box binary decision about one person, probeable on perturbed inputs.
+///
+/// Implementations must be deterministic functions of the graph view and query.
+pub trait DecisionModel {
+    /// The person whose selection is being explained (`p_i`).
+    fn subject(&self) -> PersonId;
+
+    /// Evaluates the black box on the given input.
+    fn probe<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> Probe;
+}
+
+/// Expert-search relevance: is the subject ranked within the top-`k`?
+#[derive(Debug, Clone, Copy)]
+pub struct ExpertRelevanceTask<'a, R> {
+    ranker: &'a R,
+    subject: PersonId,
+    k: usize,
+}
+
+impl<'a, R: ExpertRanker> ExpertRelevanceTask<'a, R> {
+    /// Creates the task for `subject` with cutoff `k`.
+    pub fn new(ranker: &'a R, subject: PersonId, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        ExpertRelevanceTask { ranker, subject, k }
+    }
+
+    /// The cutoff `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The wrapped ranker.
+    pub fn ranker(&self) -> &'a R {
+        self.ranker
+    }
+}
+
+impl<R: ExpertRanker> DecisionModel for ExpertRelevanceTask<'_, R> {
+    fn subject(&self) -> PersonId {
+        self.subject
+    }
+
+    fn probe<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> Probe {
+        let rank = self.ranker.rank_of(graph, query, self.subject);
+        Probe {
+            positive: rank <= self.k,
+            signal: rank as f64,
+        }
+    }
+}
+
+/// Team membership: is the subject part of the team formed for the query?
+///
+/// Team formers return a set rather than a ranking, so the beam-search ordering
+/// signal comes from an auxiliary expert ranker (`signal_ranker`): perturbations
+/// that improve the subject's expert rank are explored first. The *decision*
+/// itself always comes from the team former.
+#[derive(Debug, Clone, Copy)]
+pub struct TeamMembershipTask<'a, F, R> {
+    former: &'a F,
+    signal_ranker: &'a R,
+    subject: PersonId,
+    seed: Option<PersonId>,
+}
+
+impl<'a, F: TeamFormer, R: ExpertRanker> TeamMembershipTask<'a, F, R> {
+    /// Creates the task. `seed` is the main team member handed to the former
+    /// (the paper's evaluated former requires one).
+    pub fn new(
+        former: &'a F,
+        signal_ranker: &'a R,
+        subject: PersonId,
+        seed: Option<PersonId>,
+    ) -> Self {
+        TeamMembershipTask {
+            former,
+            signal_ranker,
+            subject,
+            seed,
+        }
+    }
+
+    /// The seed (main member) used when forming teams.
+    pub fn seed(&self) -> Option<PersonId> {
+        self.seed
+    }
+
+    /// The wrapped team former.
+    pub fn former(&self) -> &'a F {
+        self.former
+    }
+}
+
+impl<F: TeamFormer, R: ExpertRanker> DecisionModel for TeamMembershipTask<'_, F, R> {
+    fn subject(&self) -> PersonId {
+        self.subject
+    }
+
+    fn probe<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> Probe {
+        let member = self
+            .former
+            .is_member(graph, query, self.seed, self.subject);
+        let rank = self.signal_ranker.rank_of(graph, query, self.subject);
+        Probe {
+            positive: member,
+            signal: rank as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_expert_search::TfIdfRanker;
+    use exes_graph::{CollabGraph, CollabGraphBuilder, Perturbation, PerturbationSet};
+    use exes_team::GreedyCoverTeamFormer;
+
+    fn toy() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let a = b.add_person("a", ["db", "ml"]);
+        let c = b.add_person("c", ["db"]);
+        let d = b.add_person("d", ["vision"]);
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.build()
+    }
+
+    #[test]
+    fn expert_relevance_probe_reports_rank_and_status() {
+        let g = toy();
+        let q = Query::parse("db ml", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 1);
+        let probe = task.probe(&g, &q);
+        assert!(probe.positive);
+        assert_eq!(probe.signal, 1.0);
+        let task2 = ExpertRelevanceTask::new(&ranker, PersonId(2), 1);
+        let probe2 = task2.probe(&g, &q);
+        assert!(!probe2.positive);
+        assert!(probe2.signal > 1.0);
+        assert_eq!(task.k(), 1);
+        assert_eq!(task.subject(), PersonId(0));
+    }
+
+    #[test]
+    fn expert_relevance_probe_reacts_to_perturbations() {
+        let g = toy();
+        let q = Query::parse("db ml", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 1);
+        let ml = g.vocab().id("ml").unwrap();
+        let db = g.vocab().id("db").unwrap();
+        let delta: PerturbationSet = [
+            Perturbation::RemoveSkill { person: PersonId(0), skill: ml },
+            Perturbation::RemoveSkill { person: PersonId(0), skill: db },
+        ]
+        .into_iter()
+        .collect();
+        let view = delta.apply_to_graph(&g);
+        assert!(!task.probe(&view, &q).positive);
+    }
+
+    #[test]
+    fn team_membership_probe() {
+        let g = toy();
+        let q = Query::parse("db vision", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let former = GreedyCoverTeamFormer::new(TfIdfRanker::default());
+        let task = TeamMembershipTask::new(&former, &ranker, PersonId(2), Some(PersonId(0)));
+        let probe = task.probe(&g, &q);
+        assert!(probe.positive, "vision holder should be on the team");
+        assert_eq!(task.seed(), Some(PersonId(0)));
+
+        let not_needed = TeamMembershipTask::new(&former, &ranker, PersonId(1), Some(PersonId(0)));
+        assert!(!not_needed.probe(&g, &q).positive);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_task_is_rejected() {
+        let ranker = TfIdfRanker::default();
+        let _ = ExpertRelevanceTask::new(&ranker, PersonId(0), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # exes-expert-search
+//!
+//! Expert-search systems over skill-labelled collaboration networks: the
+//! black boxes that ExES explains.
+//!
+//! The paper evaluates ExES against a pre-trained graph-convolutional expert
+//! ranker that combines "its skills, the skills of its collaborators and the
+//! network structure around it". This crate implements four rankers from
+//! scratch that expose exactly those signal families behind one trait,
+//! [`ExpertRanker`]:
+//!
+//! * [`TfIdfRanker`] — document-style ranking on a person's own skills only,
+//! * [`PropagationRanker`] — Balog-style expertise propagation from collaborators,
+//! * [`PersonalizedPageRank`] — random-walk relevance propagation over the whole
+//!   network,
+//! * [`GcnRanker`] — a deterministic two-layer graph-convolution scorer with
+//!   seeded weights standing in for the paper's pre-trained GCN.
+//!
+//! ExES is model-agnostic: it only calls [`ExpertRanker::rank_of`] on perturbed
+//! inputs, so anything implementing the trait can be explained.
+//!
+//! ```
+//! use exes_datasets::{DatasetConfig, SyntheticDataset, QueryWorkload};
+//! use exes_expert_search::{ExpertRanker, GcnRanker};
+//! use exes_graph::GraphView;
+//!
+//! let ds = SyntheticDataset::generate(&DatasetConfig::tiny("es", 1));
+//! let ranker = GcnRanker::with_seed(7);
+//! let workload = QueryWorkload::answerable(&ds.graph, 1, 2, 3, 2, 5);
+//! let q = &workload.queries()[0];
+//! let ranking = ranker.rank_all(&ds.graph, q);
+//! assert_eq!(ranking.len(), ds.graph.num_people());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gcn;
+mod pagerank;
+mod propagation;
+mod ranker;
+mod tfidf;
+
+pub use gcn::GcnRanker;
+pub use pagerank::PersonalizedPageRank;
+pub use propagation::PropagationRanker;
+pub use ranker::{ExpertRanker, RankedList};
+pub use tfidf::TfIdfRanker;

@@ -1,0 +1,238 @@
+//! Expertise-propagation ranking: a person inherits part of their collaborators'
+//! relevance (the "expertise propagates" signal the paper's footnote 1 describes).
+
+use crate::ranker::{smoothed_idf, ExpertRanker};
+use crate::RankedList;
+use exes_graph::{GraphView, PersonId, Query};
+
+/// Two-hop expertise-propagation ranker.
+///
+/// The base relevance of a person is the IDF-weighted match between their own
+/// skills and the query (as in [`crate::TfIdfRanker`] without length
+/// normalisation); the final score mixes in the *average* base relevance of
+/// their collaborators and, with a smaller weight, of their collaborators'
+/// collaborators:
+///
+/// `score(p) = base(p) + α · mean_{n∈N(p)} base(n) + β · mean_{m∈N²(p)} base(m)`
+///
+/// Averaging (rather than summing) keeps hubs from dominating purely by degree,
+/// while still letting a well-connected non-expert rank above an isolated
+/// non-expert — the behaviour ExES's collaboration explanations must surface.
+#[derive(Debug, Clone, Copy)]
+pub struct PropagationRanker {
+    /// Weight of the 1-hop neighbourhood contribution.
+    pub alpha: f64,
+    /// Weight of the 2-hop neighbourhood contribution.
+    pub beta: f64,
+}
+
+impl Default for PropagationRanker {
+    fn default() -> Self {
+        PropagationRanker {
+            alpha: 0.5,
+            beta: 0.15,
+        }
+    }
+}
+
+impl PropagationRanker {
+    fn base_scores<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> Vec<f64> {
+        let idfs: Vec<(exes_graph::SkillId, f64)> = query
+            .skills()
+            .iter()
+            .map(|&s| (s, smoothed_idf(graph, s)))
+            .collect();
+        graph
+            .people_ids()
+            .into_iter()
+            .map(|p| {
+                idfs.iter()
+                    .filter(|&&(s, _)| graph.person_has_skill(p, s))
+                    .map(|&(_, idf)| idf)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+impl ExpertRanker for PropagationRanker {
+    fn score<G: GraphView + ?Sized>(&self, graph: &G, query: &Query, person: PersonId) -> f64 {
+        // Per-person scoring recomputes the local base scores only.
+        let idfs: Vec<(exes_graph::SkillId, f64)> = query
+            .skills()
+            .iter()
+            .map(|&s| (s, smoothed_idf(graph, s)))
+            .collect();
+        let base = |p: PersonId| -> f64 {
+            idfs.iter()
+                .filter(|&&(s, _)| graph.person_has_skill(p, s))
+                .map(|&(_, idf)| idf)
+                .sum()
+        };
+        let own = base(person);
+        let neighbors = graph.neighbors(person);
+        let one_hop = mean(neighbors.iter().map(|&n| base(n)));
+        let mut two_hop_nodes = Vec::new();
+        for &n in &neighbors {
+            for m in graph.neighbors(n) {
+                if m != person && !neighbors.contains(&m) {
+                    two_hop_nodes.push(m);
+                }
+            }
+        }
+        two_hop_nodes.sort_unstable();
+        two_hop_nodes.dedup();
+        let two_hop = mean(two_hop_nodes.iter().map(|&m| base(m)));
+        own + self.alpha * one_hop + self.beta * two_hop
+    }
+
+    fn name(&self) -> &'static str {
+        "expertise-propagation"
+    }
+
+    fn rank_all<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> RankedList {
+        let base = self.base_scores(graph, query);
+        let n = graph.num_people();
+        // 1-hop averages.
+        let mut one_hop = vec![0.0; n];
+        let mut neighbor_lists: Vec<Vec<PersonId>> = Vec::with_capacity(n);
+        for p in graph.people_ids() {
+            let ns = graph.neighbors(p);
+            one_hop[p.index()] = mean(ns.iter().map(|&x| base[x.index()]));
+            neighbor_lists.push(ns);
+        }
+        // 2-hop averages (excluding self and direct neighbours).
+        let scores = graph
+            .people_ids()
+            .into_iter()
+            .map(|p| {
+                let ns = &neighbor_lists[p.index()];
+                let mut two_hop_nodes = Vec::new();
+                for &nb in ns {
+                    for &m in &neighbor_lists[nb.index()] {
+                        if m != p && !ns.contains(&m) {
+                            two_hop_nodes.push(m);
+                        }
+                    }
+                }
+                two_hop_nodes.sort_unstable();
+                two_hop_nodes.dedup();
+                let two_hop = mean(two_hop_nodes.iter().map(|&m| base[m.index()]));
+                (
+                    p,
+                    base[p.index()] + self.alpha * one_hop[p.index()] + self.beta * two_hop,
+                )
+            })
+            .collect();
+        RankedList::from_scores(scores)
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::{CollabGraph, CollabGraphBuilder, Perturbation, PerturbationSet};
+
+    /// p0 holds the skill; p1 collaborates with p0; p2 is isolated; p3 is two
+    /// hops away from p0 (via p1).
+    fn toy() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let p0 = b.add_person("expert", ["ml"]);
+        let p1 = b.add_person("collaborator", ["other"]);
+        let p2 = b.add_person("isolated", ["other"]);
+        let p3 = b.add_person("second-hop", ["other"]);
+        b.add_edge(p0, p1);
+        b.add_edge(p1, p3);
+        let _ = p2;
+        b.build()
+    }
+
+    #[test]
+    fn collaborating_with_an_expert_beats_isolation() {
+        let g = toy();
+        let q = Query::parse("ml", g.vocab()).unwrap();
+        let r = PropagationRanker::default();
+        let collaborator = r.score(&g, &q, PersonId(1));
+        let isolated = r.score(&g, &q, PersonId(2));
+        let second_hop = r.score(&g, &q, PersonId(3));
+        assert!(collaborator > isolated);
+        assert!(second_hop > isolated);
+        assert!(collaborator > second_hop);
+    }
+
+    #[test]
+    fn the_expert_still_ranks_first() {
+        let g = toy();
+        let q = Query::parse("ml", g.vocab()).unwrap();
+        let r = PropagationRanker::default();
+        assert_eq!(r.rank_of(&g, &q, PersonId(0)), 1);
+    }
+
+    #[test]
+    fn rank_all_agrees_with_score() {
+        let g = toy();
+        let q = Query::parse("ml", g.vocab()).unwrap();
+        let r = PropagationRanker::default();
+        let list = r.rank_all(&g, &q);
+        for &(p, s) in list.entries() {
+            assert!(
+                (s - r.score(&g, &q, p)).abs() < 1e-9,
+                "mismatch for {p}: {s} vs {}",
+                r.score(&g, &q, p)
+            );
+        }
+    }
+
+    #[test]
+    fn removing_the_expert_edge_hurts_the_collaborator() {
+        let g = toy();
+        let q = Query::parse("ml", g.vocab()).unwrap();
+        let r = PropagationRanker::default();
+        let before = r.score(&g, &q, PersonId(1));
+        let delta = PerturbationSet::singleton(Perturbation::RemoveEdge {
+            a: PersonId(0),
+            b: PersonId(1),
+        });
+        let view = delta.apply_to_graph(&g);
+        let after = r.score(&view, &q, PersonId(1));
+        assert!(after < before);
+    }
+
+    #[test]
+    fn adding_an_edge_to_an_expert_helps() {
+        let g = toy();
+        let q = Query::parse("ml", g.vocab()).unwrap();
+        let r = PropagationRanker::default();
+        let before = r.score(&g, &q, PersonId(2));
+        let delta = PerturbationSet::singleton(Perturbation::AddEdge {
+            a: PersonId(2),
+            b: PersonId(0),
+        });
+        let view = delta.apply_to_graph(&g);
+        let after = r.score(&view, &q, PersonId(2));
+        assert!(after > before);
+    }
+
+    #[test]
+    fn zero_weights_reduce_to_pure_skill_match() {
+        let g = toy();
+        let q = Query::parse("ml", g.vocab()).unwrap();
+        let r = PropagationRanker { alpha: 0.0, beta: 0.0 };
+        assert_eq!(r.score(&g, &q, PersonId(1)), 0.0);
+        assert!(r.score(&g, &q, PersonId(0)) > 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The expert-ranker interface and ranked-list utilities.
+
+use exes_graph::{GraphView, PersonId, Query};
+
+/// A ranked list of people with their scores, sorted by descending score
+/// (ties broken by ascending person id for determinism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedList {
+    entries: Vec<(PersonId, f64)>,
+}
+
+impl RankedList {
+    /// Builds a ranked list from unsorted `(person, score)` pairs.
+    pub fn from_scores(mut scores: Vec<(PersonId, f64)>) -> Self {
+        scores.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        RankedList { entries: scores }
+    }
+
+    /// The entries in rank order.
+    pub fn entries(&self) -> &[(PersonId, f64)] {
+        &self.entries
+    }
+
+    /// Number of ranked people.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was ranked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// 1-based rank of a person (`None` if the person was not ranked).
+    pub fn rank_of(&self, p: PersonId) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|&(q, _)| q == p)
+            .map(|i| i + 1)
+    }
+
+    /// Score of a person, if ranked.
+    pub fn score_of(&self, p: PersonId) -> Option<f64> {
+        self.entries.iter().find(|&&(q, _)| q == p).map(|&(_, s)| s)
+    }
+
+    /// The top-`k` people.
+    pub fn top_k(&self, k: usize) -> Vec<PersonId> {
+        self.entries.iter().take(k).map(|&(p, _)| p).collect()
+    }
+
+    /// Whether `p` is ranked within the top-`k`.
+    pub fn in_top_k(&self, p: PersonId, k: usize) -> bool {
+        matches!(self.rank_of(p), Some(r) if r <= k)
+    }
+}
+
+/// An expert-search system `R` to be explained.
+///
+/// Implementations must be *pure functions* of the graph view and the query so
+/// that ExES's perturbation probes are meaningful (same input, same ranking).
+pub trait ExpertRanker {
+    /// Relevance score of `person` for `query` over `graph`. Higher is better.
+    fn score<G: GraphView + ?Sized>(&self, graph: &G, query: &Query, person: PersonId) -> f64;
+
+    /// Short model name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Ranks every person in the graph for `query`.
+    ///
+    /// The default implementation scores each person independently via
+    /// [`ExpertRanker::score`]; rankers whose scoring shares work across people
+    /// (propagation models) should override this.
+    fn rank_all<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> RankedList {
+        let scores = graph
+            .people_ids()
+            .into_iter()
+            .map(|p| (p, self.score(graph, query, p)))
+            .collect();
+        RankedList::from_scores(scores)
+    }
+
+    /// 1-based rank of `person` for `query` (`R_{p_i}(q, G)` in the paper).
+    fn rank_of<G: GraphView + ?Sized>(&self, graph: &G, query: &Query, person: PersonId) -> usize {
+        self.rank_all(graph, query)
+            .rank_of(person)
+            .expect("person is part of the ranked graph")
+    }
+
+    /// The binary relevance status `C_{p_i}(q, G)`: is `person` in the top-`k`?
+    fn is_relevant<G: GraphView + ?Sized>(
+        &self,
+        graph: &G,
+        query: &Query,
+        person: PersonId,
+        k: usize,
+    ) -> bool {
+        self.rank_of(graph, query, person) <= k
+    }
+}
+
+/// Inverse document frequency of a skill over a graph view:
+/// `ln((N + 1) / (holders + 1)) + 1`, the standard smoothed form.
+///
+/// Holder counts are recomputed from the view so that perturbations (skill
+/// additions/removals) are reflected, which is what lets skill perturbations
+/// influence every ranker built on this helper.
+pub(crate) fn smoothed_idf<G: GraphView + ?Sized>(graph: &G, skill: exes_graph::SkillId) -> f64 {
+    let n = graph.num_people() as f64;
+    let holders = graph
+        .people_ids()
+        .into_iter()
+        .filter(|&p| graph.person_has_skill(p, skill))
+        .count() as f64;
+    ((n + 1.0) / (holders + 1.0)).ln() + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::{CollabGraphBuilder, SkillId};
+
+    struct MatchCount;
+
+    impl ExpertRanker for MatchCount {
+        fn score<G: GraphView + ?Sized>(&self, graph: &G, query: &Query, person: PersonId) -> f64 {
+            graph.query_match_count(person, query) as f64
+        }
+        fn name(&self) -> &'static str {
+            "match-count"
+        }
+    }
+
+    fn toy() -> exes_graph::CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        b.add_person("a", ["db", "ml", "xai"]);
+        b.add_person("b", ["db", "ml"]);
+        b.add_person("c", ["db"]);
+        b.add_person("d", ["vision"]);
+        b.build()
+    }
+
+    #[test]
+    fn ranked_list_orders_by_score_then_id() {
+        let list = RankedList::from_scores(vec![
+            (PersonId(2), 1.0),
+            (PersonId(0), 3.0),
+            (PersonId(1), 1.0),
+            (PersonId(3), 2.0),
+        ]);
+        let order: Vec<u32> = list.entries().iter().map(|&(p, _)| p.0).collect();
+        assert_eq!(order, vec![0, 3, 1, 2]);
+        assert_eq!(list.rank_of(PersonId(0)), Some(1));
+        assert_eq!(list.rank_of(PersonId(2)), Some(4));
+        assert_eq!(list.rank_of(PersonId(9)), None);
+        assert_eq!(list.score_of(PersonId(3)), Some(2.0));
+        assert_eq!(list.top_k(2), vec![PersonId(0), PersonId(3)]);
+        assert!(list.in_top_k(PersonId(3), 2));
+        assert!(!list.in_top_k(PersonId(1), 2));
+    }
+
+    #[test]
+    fn default_rank_all_and_rank_of_are_consistent() {
+        let g = toy();
+        let q = Query::parse("db ml xai", g.vocab()).unwrap();
+        let ranker = MatchCount;
+        let list = ranker.rank_all(&g, &q);
+        assert_eq!(list.len(), 4);
+        assert_eq!(ranker.rank_of(&g, &q, PersonId(0)), 1);
+        assert_eq!(ranker.rank_of(&g, &q, PersonId(3)), 4);
+        assert!(ranker.is_relevant(&g, &q, PersonId(1), 2));
+        assert!(!ranker.is_relevant(&g, &q, PersonId(3), 2));
+    }
+
+    #[test]
+    fn smoothed_idf_is_higher_for_rarer_skills() {
+        let g = toy();
+        let db = g.vocab().id("db").unwrap();
+        let xai = g.vocab().id("xai").unwrap();
+        assert!(smoothed_idf(&g, xai) > smoothed_idf(&g, db));
+        // Unknown-but-valid skill id held by nobody gets the maximum idf.
+        let vision = g.vocab().id("vision").unwrap();
+        assert!(smoothed_idf(&g, vision) <= smoothed_idf(&g, SkillId(xai.0)) + 1.0);
+    }
+
+    #[test]
+    fn empty_ranked_list() {
+        let list = RankedList::from_scores(vec![]);
+        assert!(list.is_empty());
+        assert_eq!(list.top_k(3), Vec::<PersonId>::new());
+    }
+}

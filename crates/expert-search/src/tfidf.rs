@@ -1,0 +1,153 @@
+//! Document-style TF-IDF expert ranking (the classic profile-centric baseline).
+
+use crate::ranker::{smoothed_idf, ExpertRanker};
+use exes_graph::{GraphView, PersonId, Query};
+
+/// Ranks experts by the IDF-weighted overlap between their own skills and the
+/// query, with a mild length normalisation — a faithful stand-in for the
+/// document-based / profile-centric systems in the paper's Table 1.
+///
+/// This ranker deliberately ignores the network, which makes it a useful
+/// contrast case: ExES collaboration explanations over it should come out empty
+/// or near-empty, and the tests assert exactly that further up the stack.
+#[derive(Debug, Clone, Copy)]
+pub struct TfIdfRanker {
+    /// Exponent of the length normalisation (0 = none, 0.5 = BM25-ish dampening).
+    pub length_norm: f64,
+}
+
+impl Default for TfIdfRanker {
+    fn default() -> Self {
+        TfIdfRanker { length_norm: 0.25 }
+    }
+}
+
+impl ExpertRanker for TfIdfRanker {
+    fn score<G: GraphView + ?Sized>(&self, graph: &G, query: &Query, person: PersonId) -> f64 {
+        let mut score = 0.0;
+        for &s in query.skills() {
+            if graph.person_has_skill(person, s) {
+                score += smoothed_idf(graph, s);
+            }
+        }
+        if score == 0.0 {
+            return 0.0;
+        }
+        let len = graph.person_skills(person).len() as f64;
+        score / (1.0 + len).powf(self.length_norm)
+    }
+
+    fn name(&self) -> &'static str {
+        "tf-idf"
+    }
+
+    fn rank_all<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> crate::RankedList {
+        // Precompute the IDF of each query term once per ranking call instead of
+        // once per (person, term) pair.
+        let idfs: Vec<(exes_graph::SkillId, f64)> = query
+            .skills()
+            .iter()
+            .map(|&s| (s, smoothed_idf(graph, s)))
+            .collect();
+        let scores = graph
+            .people_ids()
+            .into_iter()
+            .map(|p| {
+                let mut score = 0.0;
+                for &(s, idf) in &idfs {
+                    if graph.person_has_skill(p, s) {
+                        score += idf;
+                    }
+                }
+                if score > 0.0 {
+                    let len = graph.person_skills(p).len() as f64;
+                    score /= (1.0 + len).powf(self.length_norm);
+                }
+                (p, score)
+            })
+            .collect();
+        crate::RankedList::from_scores(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::{CollabGraph, CollabGraphBuilder};
+
+    fn toy() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        b.add_person("full-match", ["db", "xai"]);
+        b.add_person("partial", ["db"]);
+        b.add_person("none", ["vision"]);
+        b.add_person("diluted", ["db", "xai", "a", "b", "c", "d", "e", "f", "g", "h"]);
+        b.build()
+    }
+
+    #[test]
+    fn full_match_beats_partial_beats_none() {
+        let g = toy();
+        let q = Query::parse("db xai", g.vocab()).unwrap();
+        let r = TfIdfRanker::default();
+        let s_full = r.score(&g, &q, PersonId(0));
+        let s_partial = r.score(&g, &q, PersonId(1));
+        let s_none = r.score(&g, &q, PersonId(2));
+        assert!(s_full > s_partial);
+        assert!(s_partial > s_none);
+        assert_eq!(s_none, 0.0);
+    }
+
+    #[test]
+    fn length_normalisation_penalises_diluted_profiles() {
+        let g = toy();
+        let q = Query::parse("db xai", g.vocab()).unwrap();
+        let r = TfIdfRanker::default();
+        assert!(r.score(&g, &q, PersonId(0)) > r.score(&g, &q, PersonId(3)));
+        // Without normalisation the two tie.
+        let flat = TfIdfRanker { length_norm: 0.0 };
+        assert!((flat.score(&g, &q, PersonId(0)) - flat.score(&g, &q, PersonId(3))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_all_matches_per_person_scores() {
+        let g = toy();
+        let q = Query::parse("db xai", g.vocab()).unwrap();
+        let r = TfIdfRanker::default();
+        let list = r.rank_all(&g, &q);
+        for &(p, s) in list.entries() {
+            assert!((s - r.score(&g, &q, p)).abs() < 1e-12);
+        }
+        assert_eq!(list.rank_of(PersonId(0)), Some(1));
+    }
+
+    #[test]
+    fn rare_query_terms_weigh_more() {
+        let mut b = CollabGraphBuilder::new();
+        b.add_person("rare-holder", ["rare"]);
+        b.add_person("common-holder", ["common"]);
+        for i in 0..8 {
+            b.add_person(&format!("filler{i}"), ["common"]);
+        }
+        let g = b.build();
+        let q = Query::parse("rare common", g.vocab()).unwrap();
+        let r = TfIdfRanker { length_norm: 0.0 };
+        assert!(r.score(&g, &q, PersonId(0)) > r.score(&g, &q, PersonId(1)));
+    }
+
+    #[test]
+    fn ranking_reacts_to_skill_perturbations() {
+        use exes_graph::{Perturbation, PerturbationSet};
+        let g = toy();
+        let q = Query::parse("db xai", g.vocab()).unwrap();
+        let r = TfIdfRanker::default();
+        assert_eq!(r.rank_of(&g, &q, PersonId(2)), 4);
+        // Give "none" both query skills: they should overtake the diluted profile.
+        let xai = g.vocab().id("xai").unwrap();
+        let db = g.vocab().id("db").unwrap();
+        let mut delta = PerturbationSet::new();
+        delta.push(Perturbation::AddSkill { person: PersonId(2), skill: xai });
+        delta.push(Perturbation::AddSkill { person: PersonId(2), skill: db });
+        let view = delta.apply_to_graph(&g);
+        assert!(r.rank_of(&view, &q, PersonId(2)) < 4);
+    }
+}

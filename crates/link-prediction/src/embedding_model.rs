@@ -1,0 +1,174 @@
+//! The GAE-style embedding link predictor (DeepWalk encoder + inner-product decoder).
+
+use crate::walks::{generate_walks, windowed_pairs, WalkParams};
+use crate::LinkPredictor;
+use exes_embedding::linalg::dot;
+use exes_embedding::svd::{truncated_symmetric_embedding, SvdOptions};
+use exes_embedding::{cooccurrence::CooccurrenceMatrix, ppmi::ppmi};
+use exes_graph::{CollabGraph, GraphView, PersonId};
+
+/// Training configuration for [`EmbeddingLinkPredictor`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalkConfig {
+    /// Random-walk corpus parameters.
+    pub walks: WalkParams,
+    /// Node-embedding dimension.
+    pub dim: usize,
+    /// PPMI shift applied to walk co-occurrences.
+    pub ppmi_shift: f64,
+    /// Power iterations for the truncated decomposition.
+    pub power_iterations: usize,
+    /// RNG seed for the decomposition sketch.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            walks: WalkParams::default(),
+            dim: 32,
+            ppmi_shift: 0.0,
+            power_iterations: 2,
+            seed: 0x6AE,
+        }
+    }
+}
+
+/// Node-embedding link predictor: DeepWalk-style encoder, inner-product decoder.
+///
+/// This is the stand-in for the paper's Graph Auto-Encoder (`L` in Algorithm 1):
+/// it recommends which new collaborations are structurally plausible, so that
+/// collaboration-addition counterfactuals only explore promising edges.
+#[derive(Debug, Clone)]
+pub struct EmbeddingLinkPredictor {
+    vectors: Vec<Vec<f64>>,
+}
+
+impl EmbeddingLinkPredictor {
+    /// Trains node embeddings on the given collaboration network.
+    pub fn train(graph: &CollabGraph, config: &WalkConfig) -> Self {
+        let walks = generate_walks(graph, &config.walks);
+        let pairs = windowed_pairs(&walks, config.walks.window);
+        let mut counts = CooccurrenceMatrix::new(graph.num_people());
+        for (a, b, w) in pairs {
+            counts.add_pair(a, b, w);
+        }
+        let weights = ppmi(&counts, config.ppmi_shift);
+        let emb = truncated_symmetric_embedding(
+            &weights,
+            &SvdOptions {
+                dim: config.dim,
+                oversample: 8,
+                power_iterations: config.power_iterations,
+                seed: config.seed,
+            },
+        );
+        let vectors = (0..graph.num_people()).map(|i| emb.row(i).to_vec()).collect();
+        EmbeddingLinkPredictor { vectors }
+    }
+
+    /// The embedding vector of a node.
+    pub fn vector(&self, p: PersonId) -> &[f64] {
+        &self.vectors[p.index()]
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.vectors.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Inner-product decoder passed through a logistic squashing, as in the GAE.
+    pub fn edge_probability(&self, a: PersonId, b: PersonId) -> f64 {
+        let raw = dot(self.vector(a), self.vector(b));
+        1.0 / (1.0 + (-raw).exp())
+    }
+}
+
+impl LinkPredictor for EmbeddingLinkPredictor {
+    fn score<G: GraphView + ?Sized>(&self, _graph: &G, a: PersonId, b: PersonId) -> f64 {
+        if a.index() >= self.vectors.len() || b.index() >= self.vectors.len() {
+            return 0.0;
+        }
+        self.edge_probability(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "gae-embedding"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::CollabGraphBuilder;
+
+    /// Two 4-cliques bridged by a single edge.
+    fn two_cliques() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let ps: Vec<_> = (0..8).map(|i| b.add_person(&format!("p{i}"), ["s"])).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(ps[i], ps[j]);
+                b.add_edge(ps[i + 4], ps[j + 4]);
+            }
+        }
+        b.add_edge(ps[0], ps[4]);
+        b.build()
+    }
+
+    #[test]
+    fn intra_cluster_pairs_score_higher_than_cross_cluster() {
+        let g = two_cliques();
+        let model = EmbeddingLinkPredictor::train(&g, &WalkConfig::default());
+        // (1,2) are in the same clique; (1,6) are not.
+        let intra = model.score(&g, PersonId(1), PersonId(2));
+        let cross = model.score(&g, PersonId(1), PersonId(6));
+        assert!(
+            intra > cross,
+            "intra-cluster score {intra} should exceed cross-cluster {cross}"
+        );
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        let g = two_cliques();
+        let model = EmbeddingLinkPredictor::train(&g, &WalkConfig::default());
+        for a in g.people() {
+            for b in g.people() {
+                let s = model.score(&g, a, b);
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let g = two_cliques();
+        let a = EmbeddingLinkPredictor::train(&g, &WalkConfig::default());
+        let b = EmbeddingLinkPredictor::train(&g, &WalkConfig::default());
+        for p in g.people() {
+            assert_eq!(a.vector(p), b.vector(p));
+        }
+    }
+
+    #[test]
+    fn dimensions_match_config() {
+        let g = two_cliques();
+        let model = EmbeddingLinkPredictor::train(
+            &g,
+            &WalkConfig {
+                dim: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(model.dim(), 4);
+        assert_eq!(model.vector(PersonId(0)).len(), 4);
+    }
+
+    #[test]
+    fn out_of_range_ids_score_zero() {
+        let g = two_cliques();
+        let model = EmbeddingLinkPredictor::train(&g, &WalkConfig::default());
+        assert_eq!(model.score(&g, PersonId(100), PersonId(0)), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Classical neighbourhood-overlap link-prediction heuristics.
+//!
+//! These serve both as baselines for the embedding model and as cheap,
+//! training-free predictors for small graphs.
+
+use crate::LinkPredictor;
+use exes_graph::{GraphView, PersonId};
+use rustc_hash::FxHashSet;
+
+fn neighbor_set<G: GraphView + ?Sized>(graph: &G, p: PersonId) -> FxHashSet<PersonId> {
+    graph.neighbors(p).into_iter().collect()
+}
+
+/// Common-neighbours score: `|N(a) ∩ N(b)|`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommonNeighbors;
+
+impl LinkPredictor for CommonNeighbors {
+    fn score<G: GraphView + ?Sized>(&self, graph: &G, a: PersonId, b: PersonId) -> f64 {
+        let na = neighbor_set(graph, a);
+        graph
+            .neighbors(b)
+            .into_iter()
+            .filter(|n| na.contains(n))
+            .count() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "common-neighbors"
+    }
+}
+
+/// Adamic–Adar score: `Σ_{z ∈ N(a) ∩ N(b)} 1 / ln(deg(z))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdamicAdar;
+
+impl LinkPredictor for AdamicAdar {
+    fn score<G: GraphView + ?Sized>(&self, graph: &G, a: PersonId, b: PersonId) -> f64 {
+        let na = neighbor_set(graph, a);
+        graph
+            .neighbors(b)
+            .into_iter()
+            .filter(|n| na.contains(n))
+            .map(|z| {
+                let d = graph.degree(z) as f64;
+                if d > 1.0 {
+                    1.0 / d.ln()
+                } else {
+                    // Degree-1 common neighbours are maximally informative; use a
+                    // large finite weight instead of dividing by ln(1) = 0.
+                    2.0
+                }
+            })
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "adamic-adar"
+    }
+}
+
+/// Jaccard coefficient: `|N(a) ∩ N(b)| / |N(a) ∪ N(b)|`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jaccard;
+
+impl LinkPredictor for Jaccard {
+    fn score<G: GraphView + ?Sized>(&self, graph: &G, a: PersonId, b: PersonId) -> f64 {
+        let na = neighbor_set(graph, a);
+        let nb = neighbor_set(graph, b);
+        let inter = na.intersection(&nb).count() as f64;
+        let union = na.union(&nb).count() as f64;
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+}
+
+/// Preferential-attachment score: `deg(a) · deg(b)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreferentialAttachment;
+
+impl LinkPredictor for PreferentialAttachment {
+    fn score<G: GraphView + ?Sized>(&self, graph: &G, a: PersonId, b: PersonId) -> f64 {
+        (graph.degree(a) * graph.degree(b)) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "preferential-attachment"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::{CollabGraph, CollabGraphBuilder};
+
+    /// Triangle 0-1-2 plus pendant 3 attached to 0, isolated 4.
+    fn fixture() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let p: Vec<_> = (0..5).map(|i| b.add_person(&format!("p{i}"), ["s"])).collect();
+        b.add_edge(p[0], p[1]);
+        b.add_edge(p[1], p[2]);
+        b.add_edge(p[0], p[2]);
+        b.add_edge(p[0], p[3]);
+        b.build()
+    }
+
+    #[test]
+    fn common_neighbors_counts_shared_collaborators() {
+        let g = fixture();
+        assert_eq!(CommonNeighbors.score(&g, PersonId(1), PersonId(2)), 1.0); // via 0
+        assert_eq!(CommonNeighbors.score(&g, PersonId(1), PersonId(3)), 1.0); // via 0
+        assert_eq!(CommonNeighbors.score(&g, PersonId(1), PersonId(4)), 0.0);
+    }
+
+    #[test]
+    fn adamic_adar_downweights_hubs() {
+        let g = fixture();
+        // Pair (1,3): common neighbour 0 has degree 3 -> weight 1/ln(3).
+        let s13 = AdamicAdar.score(&g, PersonId(1), PersonId(3));
+        assert!((s13 - 1.0 / 3f64.ln()).abs() < 1e-12);
+        // Pair (2,3) has the same single common neighbour.
+        assert!((AdamicAdar.score(&g, PersonId(2), PersonId(3)) - s13).abs() < 1e-12);
+        assert_eq!(AdamicAdar.score(&g, PersonId(3), PersonId(4)), 0.0);
+    }
+
+    #[test]
+    fn adamic_adar_handles_degree_one_common_neighbor() {
+        // Path a - z - b where z has degree 2? Build a - z, z - b only: z degree 2.
+        // For a true degree-1 shared neighbour we need a weird multigraph; instead
+        // verify the guard directly on a star where the centre is the candidate pair.
+        let mut b = CollabGraphBuilder::new();
+        let a = b.add_person("a", ["s"]);
+        let z = b.add_person("z", ["s"]);
+        let c = b.add_person("c", ["s"]);
+        b.add_edge(a, z);
+        b.add_edge(c, z);
+        let g = b.build();
+        // z has degree 2 -> 1/ln 2.
+        assert!((AdamicAdar.score(&g, a, c) - 1.0 / 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_symmetry() {
+        let g = fixture();
+        for a in g.people() {
+            for b in g.people() {
+                let s = Jaccard.score(&g, a, b);
+                assert!((0.0..=1.0).contains(&s));
+                assert!((s - Jaccard.score(&g, b, a)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(Jaccard.score(&g, PersonId(4), PersonId(3)), 0.0);
+    }
+
+    #[test]
+    fn preferential_attachment_prefers_hubs() {
+        let g = fixture();
+        let hub_pair = PreferentialAttachment.score(&g, PersonId(0), PersonId(1));
+        let leaf_pair = PreferentialAttachment.score(&g, PersonId(3), PersonId(4));
+        assert!(hub_pair > leaf_pair);
+        assert_eq!(leaf_pair, 0.0);
+    }
+
+    #[test]
+    fn all_heuristics_are_symmetric() {
+        let g = fixture();
+        let pairs = [(PersonId(1), PersonId(3)), (PersonId(2), PersonId(3))];
+        for (a, b) in pairs {
+            assert_eq!(
+                CommonNeighbors.score(&g, a, b),
+                CommonNeighbors.score(&g, b, a)
+            );
+            assert_eq!(AdamicAdar.score(&g, a, b), AdamicAdar.score(&g, b, a));
+            assert_eq!(
+                PreferentialAttachment.score(&g, a, b),
+                PreferentialAttachment.score(&g, b, a)
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            CommonNeighbors.name(),
+            AdamicAdar.name(),
+            Jaccard.name(),
+            PreferentialAttachment.name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

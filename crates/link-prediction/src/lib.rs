@@ -1,0 +1,37 @@
+//! # exes-linkpred
+//!
+//! Link prediction over collaboration networks — the model `L` behind ExES
+//! **Pruning Strategy 5** (which candidate collaborations to add when searching
+//! for counterfactual explanations).
+//!
+//! The paper uses a Graph Auto-Encoder (GAE). A GAE is an encoder that produces
+//! node embeddings plus an inner-product decoder `σ(zᵢ·zⱼ)`. We keep the decoder
+//! exactly and substitute the encoder with a DeepWalk-style pipeline built from
+//! this repository's own primitives: truncated random walks → node co-occurrence
+//! counts → PPMI → truncated SVD (reusing `exes-embedding`). Classical
+//! neighbourhood heuristics (common neighbours, Adamic–Adar, Jaccard) are
+//! provided as baselines and as cheap fallbacks.
+//!
+//! ```
+//! use exes_datasets::{DatasetConfig, SyntheticDataset};
+//! use exes_linkpred::{EmbeddingLinkPredictor, LinkPredictor, WalkConfig};
+//!
+//! let ds = SyntheticDataset::generate(&DatasetConfig::tiny("lp", 3));
+//! let model = EmbeddingLinkPredictor::train(&ds.graph, &WalkConfig::default());
+//! let people: Vec<_> = ds.graph.people().collect();
+//! let _score = model.score(&ds.graph, people[0], people[1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod embedding_model;
+mod evaluate;
+mod heuristics;
+mod predictor;
+mod walks;
+
+pub use embedding_model::{EmbeddingLinkPredictor, WalkConfig};
+pub use evaluate::{auc, sample_evaluation_pairs};
+pub use heuristics::{AdamicAdar, CommonNeighbors, Jaccard, PreferentialAttachment};
+pub use predictor::LinkPredictor;

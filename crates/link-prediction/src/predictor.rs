@@ -1,0 +1,91 @@
+//! The model-agnostic link-predictor interface.
+
+use exes_graph::{GraphView, PersonId};
+
+/// A link-prediction model: scores how plausible a (missing) collaboration is.
+///
+/// Higher scores mean "more likely to be a real / future collaboration". The
+/// scale is model-specific; only the *ordering* of candidates matters to ExES.
+pub trait LinkPredictor {
+    /// Plausibility score for the (undirected) pair `(a, b)`.
+    fn score<G: GraphView + ?Sized>(&self, graph: &G, a: PersonId, b: PersonId) -> f64;
+
+    /// Short human-readable model name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Ranks `candidates` as potential new collaborators of `center`, returning
+    /// the top `t` by score (ties broken by ascending id for determinism).
+    /// Existing neighbours and `center` itself are skipped.
+    fn top_candidates<G: GraphView + ?Sized>(
+        &self,
+        graph: &G,
+        center: PersonId,
+        candidates: &[PersonId],
+        t: usize,
+    ) -> Vec<(PersonId, f64)> {
+        let mut scored: Vec<(PersonId, f64)> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| c != center && !graph.has_edge(center, c))
+            .map(|c| (c, self.score(graph, center, c)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(t);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::{CollabGraph, CollabGraphBuilder};
+
+    /// A predictor that scores pairs by the sum of their ids (for testing the
+    /// default `top_candidates` implementation).
+    struct IdSum;
+
+    impl LinkPredictor for IdSum {
+        fn score<G: GraphView + ?Sized>(&self, _graph: &G, a: PersonId, b: PersonId) -> f64 {
+            (a.0 + b.0) as f64
+        }
+        fn name(&self) -> &'static str {
+            "id-sum"
+        }
+    }
+
+    fn star() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let hub = b.add_person("hub", ["x"]);
+        for i in 0..4 {
+            let leaf = b.add_person(&format!("leaf{i}"), ["x"]);
+            if i == 0 {
+                b.add_edge(hub, leaf);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn top_candidates_skips_center_and_existing_neighbors() {
+        let g = star();
+        let hub = PersonId(0);
+        let all: Vec<PersonId> = g.people().collect();
+        let top = IdSum.top_candidates(&g, hub, &all, 10);
+        // Person 1 is already a neighbour; hub itself excluded.
+        let ids: Vec<u32> = top.iter().map(|&(p, _)| p.0).collect();
+        assert_eq!(ids, vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn top_candidates_truncates_to_t() {
+        let g = star();
+        let all: Vec<PersonId> = g.people().collect();
+        let top = IdSum.top_candidates(&g, PersonId(0), &all, 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1 >= top[1].1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Truncated random walks over a collaboration network (the DeepWalk corpus).
+
+use exes_graph::{GraphView, PersonId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Parameters of the random-walk corpus generator.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkParams {
+    /// Number of walks started from every node.
+    pub walks_per_node: usize,
+    /// Length (number of nodes) of each walk.
+    pub walk_length: usize,
+    /// Co-occurrence window radius when counting pairs along a walk.
+    pub window: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WalkParams {
+    fn default() -> Self {
+        WalkParams {
+            walks_per_node: 6,
+            walk_length: 12,
+            window: 4,
+            seed: 0x77A1_C5,
+        }
+    }
+}
+
+/// Generates truncated random walks from every node of the graph.
+///
+/// Isolated nodes produce singleton walks (just themselves), which contribute no
+/// co-occurrence pairs but keep the node present in downstream vocabularies.
+pub fn generate_walks<G: GraphView + ?Sized>(graph: &G, params: &WalkParams) -> Vec<Vec<PersonId>> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut walks = Vec::with_capacity(graph.num_people() * params.walks_per_node);
+    for start in graph.people_ids() {
+        for _ in 0..params.walks_per_node {
+            let mut walk = Vec::with_capacity(params.walk_length);
+            walk.push(start);
+            let mut current = start;
+            for _ in 1..params.walk_length {
+                let neighbors = graph.neighbors(current);
+                match neighbors.choose(&mut rng) {
+                    Some(&next) => {
+                        walk.push(next);
+                        current = next;
+                    }
+                    None => break,
+                }
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+/// Converts walks into windowed co-occurrence pairs `(a, b, weight)` with
+/// canonical ordering `a <= b`. The weight of a pair is the number of times the
+/// two nodes appeared within `window` positions of each other.
+pub fn windowed_pairs(walks: &[Vec<PersonId>], window: usize) -> Vec<(u32, u32, f64)> {
+    use rustc_hash::FxHashMap;
+    let mut counts: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    for walk in walks {
+        for (i, &a) in walk.iter().enumerate() {
+            let end = (i + window + 1).min(walk.len());
+            for &b in &walk[i + 1..end] {
+                if a == b {
+                    continue;
+                }
+                let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+                *counts.entry(key).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    let mut out: Vec<(u32, u32, f64)> = counts.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+    out.sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::{CollabGraph, CollabGraphBuilder};
+
+    fn path(n: usize) -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let ps: Vec<_> = (0..n).map(|i| b.add_person(&format!("p{i}"), ["s"])).collect();
+        for w in ps.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn walk_counts_and_lengths() {
+        let g = path(5);
+        let params = WalkParams {
+            walks_per_node: 3,
+            walk_length: 6,
+            window: 2,
+            seed: 1,
+        };
+        let walks = generate_walks(&g, &params);
+        assert_eq!(walks.len(), 5 * 3);
+        assert!(walks.iter().all(|w| w.len() <= 6 && !w.is_empty()));
+        // Consecutive nodes in a walk must be connected.
+        for w in &walks {
+            for pair in w.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_yield_singleton_walks() {
+        let mut b = CollabGraphBuilder::new();
+        b.add_person("alone", ["s"]);
+        let g = b.build();
+        let walks = generate_walks(&g, &WalkParams::default());
+        assert!(walks.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn walks_are_deterministic_per_seed() {
+        let g = path(6);
+        let p = WalkParams::default();
+        assert_eq!(generate_walks(&g, &p), generate_walks(&g, &p));
+        let p2 = WalkParams { seed: 99, ..p };
+        assert_ne!(generate_walks(&g, &p), generate_walks(&g, &p2));
+    }
+
+    #[test]
+    fn windowed_pairs_respect_window_and_are_canonical() {
+        let walk = vec![vec![PersonId(0), PersonId(1), PersonId(2), PersonId(3)]];
+        let pairs = windowed_pairs(&walk, 1);
+        // Window 1: only adjacent pairs.
+        let keys: Vec<(u32, u32)> = pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert_eq!(keys, vec![(0, 1), (1, 2), (2, 3)]);
+        let wide = windowed_pairs(&walk, 3);
+        assert_eq!(wide.len(), 6);
+        assert!(wide.iter().all(|&(a, b, w)| a <= b && w >= 1.0));
+    }
+
+    #[test]
+    fn repeated_visits_accumulate_weight() {
+        let walk = vec![
+            vec![PersonId(0), PersonId(1)],
+            vec![PersonId(1), PersonId(0)],
+        ];
+        let pairs = windowed_pairs(&walk, 2);
+        assert_eq!(pairs, vec![(0, 1, 2.0)]);
+    }
+}

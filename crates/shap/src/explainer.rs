@@ -1,0 +1,155 @@
+//! The estimator-selecting front end used by ExES.
+
+use crate::{exact_shapley, kernel_shap, permutation_shapley, MaskedModel, ShapValues};
+
+/// Which Shapley estimator to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapMethod {
+    /// Full enumeration (only for small feature counts).
+    Exact,
+    /// Permutation sampling with the given number of permutations.
+    Permutation {
+        /// Number of random feature orderings.
+        permutations: usize,
+    },
+    /// KernelSHAP weighted regression with the given number of sampled coalitions.
+    Kernel {
+        /// Number of sampled coalitions.
+        samples: usize,
+    },
+    /// Pick automatically: exact below `exact_threshold`, permutation sampling above.
+    Auto,
+}
+
+/// Configuration of a [`ShapExplainer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShapConfig {
+    /// Estimation method.
+    pub method: ShapMethod,
+    /// Feature count up to which `Auto` uses exact enumeration.
+    pub exact_threshold: usize,
+    /// Sampling budget used by `Auto` (permutations).
+    pub auto_permutations: usize,
+    /// RNG seed for the sampling estimators.
+    pub seed: u64,
+}
+
+impl Default for ShapConfig {
+    fn default() -> Self {
+        ShapConfig {
+            method: ShapMethod::Auto,
+            exact_threshold: 10,
+            auto_permutations: 32,
+            seed: 0x5A4B,
+        }
+    }
+}
+
+/// Computes Shapley values for masked models according to a [`ShapConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShapExplainer {
+    config: ShapConfig,
+}
+
+impl ShapExplainer {
+    /// Creates an explainer with the given configuration.
+    pub fn new(config: ShapConfig) -> Self {
+        ShapExplainer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShapConfig {
+        &self.config
+    }
+
+    /// Computes Shapley values for `model`.
+    pub fn explain<M: MaskedModel>(&self, model: &M) -> ShapValues {
+        match self.config.method {
+            ShapMethod::Exact => exact_shapley(model),
+            ShapMethod::Permutation { permutations } => {
+                permutation_shapley(model, permutations, self.config.seed)
+            }
+            ShapMethod::Kernel { samples } => kernel_shap(model, samples, self.config.seed),
+            ShapMethod::Auto => {
+                if model.num_features() <= self.config.exact_threshold {
+                    exact_shapley(model)
+                } else {
+                    permutation_shapley(model, self.config.auto_permutations, self.config.seed)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CachingModel, FnModel};
+
+    fn linear_model(n: usize) -> FnModel<impl Fn(&[bool]) -> f64> {
+        FnModel::new(n, move |mask: &[bool]| {
+            mask.iter()
+                .enumerate()
+                .map(|(i, &b)| (i + 1) as f64 * f64::from(b))
+                .sum()
+        })
+    }
+
+    #[test]
+    fn auto_uses_exact_for_small_models() {
+        let model = CachingModel::new(linear_model(4));
+        let explainer = ShapExplainer::new(ShapConfig::default());
+        let v = explainer.explain(&model);
+        // Exact enumeration of 4 features = 16 distinct coalitions.
+        assert_eq!(model.distinct_evaluations(), 16);
+        assert!((v.value(3) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auto_switches_to_sampling_for_large_models() {
+        let model = CachingModel::new(linear_model(16));
+        let explainer = ShapExplainer::new(ShapConfig {
+            auto_permutations: 8,
+            ..Default::default()
+        });
+        let v = explainer.explain(&model);
+        // Sampling evaluates far fewer coalitions than 2^16.
+        assert!(model.distinct_evaluations() < 2000);
+        // Linear model is still recovered exactly by permutation sampling.
+        assert!((v.value(0) - 1.0).abs() < 1e-9);
+        assert!((v.value(15) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_methods_are_honoured() {
+        let model = linear_model(5);
+        for method in [
+            ShapMethod::Exact,
+            ShapMethod::Permutation { permutations: 20 },
+            ShapMethod::Kernel { samples: 200 },
+        ] {
+            let v = ShapExplainer::new(ShapConfig {
+                method,
+                ..Default::default()
+            })
+            .explain(&model);
+            assert_eq!(v.len(), 5);
+            assert!(
+                (v.value(4) - 5.0).abs() < 0.2,
+                "{method:?} estimate {}",
+                v.value(4)
+            );
+        }
+    }
+
+    #[test]
+    fn config_accessor_roundtrips() {
+        let cfg = ShapConfig {
+            method: ShapMethod::Exact,
+            exact_threshold: 3,
+            auto_permutations: 5,
+            seed: 9,
+        };
+        assert_eq!(ShapExplainer::new(cfg).config().exact_threshold, 3);
+    }
+}

@@ -1,0 +1,234 @@
+//! KernelSHAP: weighted-least-squares estimation of Shapley values.
+
+use crate::{MaskedModel, ShapValues};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Estimates Shapley values with the KernelSHAP weighted regression.
+///
+/// Coalitions are sampled (plus the empty and full coalitions, which receive a
+/// very large weight as in the reference implementation), each weighted by the
+/// Shapley kernel `(M−1) / (C(M,|z|) · |z| · (M−|z|))`, and a weighted linear
+/// model is fitted whose coefficients are the Shapley values. The intercept is
+/// pinned to `f(∅)` and the efficiency constraint is enforced by regressing on
+/// `f(z) − f(∅) − (|z|/M)·(f(full) − f(∅))` residual form? No — we use the
+/// standard unconstrained WLS with the two anchor points heavily weighted,
+/// which approximates both constraints well in practice.
+pub fn kernel_shap<M: MaskedModel>(model: &M, samples: usize, seed: u64) -> ShapValues {
+    let m = model.num_features();
+    if m == 0 {
+        let v = model.evaluate(&[]);
+        return ShapValues::new(Vec::new(), v, v);
+    }
+    let base_value = model.base_value();
+    let full_value = model.full_value();
+    if m == 1 {
+        return ShapValues::new(vec![full_value - base_value], base_value, full_value);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = samples.max(2 * m);
+
+    // Design matrix rows: (mask, weight, output). Anchors first.
+    let mut rows: Vec<(Vec<bool>, f64, f64)> = Vec::with_capacity(samples + 2);
+    const ANCHOR_WEIGHT: f64 = 1e6;
+    rows.push((vec![false; m], ANCHOR_WEIGHT, base_value));
+    rows.push((vec![true; m], ANCHOR_WEIGHT, full_value));
+
+    for _ in 0..samples {
+        // Sample a coalition size in 1..m-1 proportionally to the kernel mass,
+        // then a uniform coalition of that size.
+        let size = sample_size(&mut rng, m);
+        let mut mask = vec![false; m];
+        let mut chosen = 0usize;
+        while chosen < size {
+            let i = rng.gen_range(0..m);
+            if !mask[i] {
+                mask[i] = true;
+                chosen += 1;
+            }
+        }
+        let weight = shapley_kernel_weight(m, size);
+        let output = model.evaluate(&mask);
+        rows.push((mask, weight, output));
+    }
+
+    // Weighted least squares: solve (Xᵀ W X) β = Xᵀ W y with X = [1 | mask].
+    let dim = m + 1;
+    let mut xtx = vec![0.0; dim * dim];
+    let mut xty = vec![0.0; dim];
+    for (mask, w, y) in &rows {
+        let mut x = Vec::with_capacity(dim);
+        x.push(1.0);
+        x.extend(mask.iter().map(|&b| f64::from(b)));
+        for i in 0..dim {
+            xty[i] += w * x[i] * y;
+            for j in 0..dim {
+                xtx[i * dim + j] += w * x[i] * x[j];
+            }
+        }
+    }
+    // Ridge regularisation keeps the system solvable when sampling misses some
+    // feature combinations.
+    for i in 1..dim {
+        xtx[i * dim + i] += 1e-9;
+    }
+    let beta = solve_linear_system(&mut xtx, &mut xty, dim);
+    let values = beta[1..].to_vec();
+    ShapValues::new(values, base_value, full_value)
+}
+
+/// Shapley kernel weight for a coalition of `size` out of `m` features.
+fn shapley_kernel_weight(m: usize, size: usize) -> f64 {
+    if size == 0 || size == m {
+        return 1e6;
+    }
+    let binom = binomial(m, size);
+    (m - 1) as f64 / (binom * (size * (m - size)) as f64)
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut result = 1.0;
+    for i in 0..k {
+        result *= (n - i) as f64 / (i + 1) as f64;
+    }
+    result
+}
+
+/// Samples a coalition size from `1..m-1` proportionally to the total kernel
+/// mass of that size (kernel weight × number of coalitions of that size).
+fn sample_size(rng: &mut StdRng, m: usize) -> usize {
+    // Mass ∝ (m-1) / (s (m - s)).
+    let masses: Vec<f64> = (1..m).map(|s| 1.0 / (s * (m - s)) as f64).collect();
+    let total: f64 = masses.iter().sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for (i, &mass) in masses.iter().enumerate() {
+        if draw < mass {
+            return i + 1;
+        }
+        draw -= mass;
+    }
+    m - 1
+}
+
+/// Gaussian elimination with partial pivoting; consumes the inputs.
+fn solve_linear_system(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot * n + col].abs() < 1e-15 {
+            continue; // Singular column; leave as-is (regularisation should prevent this).
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for k in (col + 1)..n {
+            sum -= a[col * n + k] * x[k];
+        }
+        let diag = a[col * n + col];
+        x[col] = if diag.abs() < 1e-15 { 0.0 } else { sum / diag };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact_shapley, FnModel};
+
+    #[test]
+    fn additive_model_recovers_coefficients() {
+        let model = FnModel::new(4, |mask: &[bool]| {
+            1.0 + 2.0 * f64::from(mask[0]) - 3.0 * f64::from(mask[1]) + 0.5 * f64::from(mask[3])
+        });
+        let v = kernel_shap(&model, 400, 1);
+        assert!((v.value(0) - 2.0).abs() < 0.05, "{}", v.value(0));
+        assert!((v.value(1) + 3.0).abs() < 0.05, "{}", v.value(1));
+        assert!(v.value(2).abs() < 0.05);
+        assert!((v.value(3) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn approximates_exact_values_on_interacting_model() {
+        let model = FnModel::new(6, |mask: &[bool]| {
+            let x: Vec<f64> = mask.iter().map(|&b| f64::from(b)).collect();
+            x[0] * x[1] * 4.0 + x[2] - x[3] * 2.0 + x[4] * x[5]
+        });
+        let exact = exact_shapley(&model);
+        let approx = kernel_shap(&model, 3000, 5);
+        for i in 0..6 {
+            assert!(
+                (exact.value(i) - approx.value(i)).abs() < 0.25,
+                "feature {i}: exact {} vs kernel {}",
+                exact.value(i),
+                approx.value(i)
+            );
+        }
+    }
+
+    #[test]
+    fn single_feature_shortcut() {
+        let model = FnModel::new(1, |mask: &[bool]| if mask[0] { 7.0 } else { 2.0 });
+        let v = kernel_shap(&model, 10, 1);
+        assert!((v.value(0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = FnModel::new(5, |mask: &[bool]| {
+            mask.iter().filter(|&&b| b).count() as f64
+        });
+        assert_eq!(kernel_shap(&model, 100, 9), kernel_shap(&model, 100, 9));
+    }
+
+    #[test]
+    fn kernel_weights_are_symmetric_and_positive() {
+        let m = 8;
+        for s in 1..m {
+            let w = shapley_kernel_weight(m, s);
+            assert!(w > 0.0);
+            assert!((w - shapley_kernel_weight(m, m - s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_solver_solves_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  => x = 1, y = 3.
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut b = vec![5.0, 10.0];
+        let x = solve_linear_system(&mut a, &mut b, 2);
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_features_are_handled() {
+        let model = FnModel::new(0, |_: &[bool]| 1.0);
+        assert!(kernel_shap(&model, 10, 0).is_empty());
+    }
+}

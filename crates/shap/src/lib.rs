@@ -1,0 +1,51 @@
+//! # exes-shap
+//!
+//! A from-scratch Shapley-value engine for models over **binary feature masks**,
+//! standing in for the SHAP library the ExES paper uses for factual
+//! explanations.
+//!
+//! A "model" here is anything implementing [`MaskedModel`]: it maps a mask
+//! (`true` = the feature keeps its original value, `false` = the feature is
+//! removed / reverted to baseline) to a real-valued output. ExES instantiates
+//! this with "rank the perturbed collaboration network and report the relevance
+//! or membership status of one person".
+//!
+//! Three estimators are provided:
+//!
+//! * [`exact_shapley`] — full enumeration of all `2^M` coalitions (used when `M`
+//!   is small, and as the ground truth in tests),
+//! * [`permutation_shapley`] — Monte-Carlo estimation over random feature
+//!   orderings (the workhorse; unbiased, exactly efficient per sample),
+//! * [`kernel_shap`] — the weighted-least-squares KernelSHAP estimator.
+//!
+//! [`ShapExplainer`] picks an estimator automatically based on the feature
+//! count and a sampling budget.
+//!
+//! ```
+//! use exes_shap::{FnModel, ShapConfig, ShapExplainer};
+//!
+//! // A simple additive model: f(mask) = 3*x0 + 1*x1.
+//! let model = FnModel::new(2, |mask: &[bool]| {
+//!     3.0 * f64::from(mask[0]) + f64::from(mask[1])
+//! });
+//! let values = ShapExplainer::new(ShapConfig::default()).explain(&model);
+//! assert!((values.value(0) - 3.0).abs() < 1e-9);
+//! assert!((values.value(1) - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exact;
+mod explainer;
+mod kernel;
+mod model;
+mod permutation;
+mod values;
+
+pub use exact::exact_shapley;
+pub use explainer::{ShapConfig, ShapExplainer, ShapMethod};
+pub use kernel::kernel_shap;
+pub use model::{CachingModel, FnModel, MaskedModel};
+pub use permutation::permutation_shapley;
+pub use values::ShapValues;

@@ -1,0 +1,140 @@
+//! The masked-model abstraction that Shapley estimators evaluate.
+
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+
+/// A model defined over `M` binary features.
+///
+/// `mask[i] == true` means feature `i` is *present* (keeps its original value);
+/// `false` means it is *absent* (masked out / reverted to a baseline). The
+/// Shapley value of feature `i` measures its average marginal contribution to
+/// the model output across all coalitions of the other features.
+pub trait MaskedModel {
+    /// Number of features `M`.
+    fn num_features(&self) -> usize;
+
+    /// Evaluates the model under the given mask. `mask.len() == num_features()`.
+    fn evaluate(&self, mask: &[bool]) -> f64;
+
+    /// Model output with every feature present.
+    fn full_value(&self) -> f64 {
+        self.evaluate(&vec![true; self.num_features()])
+    }
+
+    /// Model output with every feature absent (the base value of a force plot).
+    fn base_value(&self) -> f64 {
+        self.evaluate(&vec![false; self.num_features()])
+    }
+}
+
+/// A [`MaskedModel`] backed by a closure.
+pub struct FnModel<F> {
+    num_features: usize,
+    f: F,
+}
+
+impl<F: Fn(&[bool]) -> f64> FnModel<F> {
+    /// Wraps a closure over masks.
+    pub fn new(num_features: usize, f: F) -> Self {
+        FnModel { num_features, f }
+    }
+}
+
+impl<F: Fn(&[bool]) -> f64> MaskedModel for FnModel<F> {
+    fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    fn evaluate(&self, mask: &[bool]) -> f64 {
+        debug_assert_eq!(mask.len(), self.num_features);
+        (self.f)(mask)
+    }
+}
+
+/// A memoising wrapper: caches evaluations keyed by the mask bits.
+///
+/// Shapley estimators evaluate many repeated coalitions (the empty and full
+/// coalitions in particular); when the underlying model is an expensive
+/// ranking call this cache is the difference between seconds and minutes.
+pub struct CachingModel<M> {
+    inner: M,
+    cache: Mutex<FxHashMap<Vec<bool>, f64>>,
+    calls: Mutex<usize>,
+}
+
+impl<M: MaskedModel> CachingModel<M> {
+    /// Wraps a model with a memo table.
+    pub fn new(inner: M) -> Self {
+        CachingModel {
+            inner,
+            cache: Mutex::new(FxHashMap::default()),
+            calls: Mutex::new(0),
+        }
+    }
+
+    /// Number of *distinct* evaluations forwarded to the wrapped model.
+    pub fn distinct_evaluations(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Total number of evaluation requests (cache hits included).
+    pub fn total_requests(&self) -> usize {
+        *self.calls.lock()
+    }
+
+    /// Consumes the wrapper, returning the inner model.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: MaskedModel> MaskedModel for CachingModel<M> {
+    fn num_features(&self) -> usize {
+        self.inner.num_features()
+    }
+
+    fn evaluate(&self, mask: &[bool]) -> f64 {
+        *self.calls.lock() += 1;
+        if let Some(&v) = self.cache.lock().get(mask) {
+            return v;
+        }
+        let v = self.inner.evaluate(mask);
+        self.cache.lock().insert(mask.to_vec(), v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_model_evaluates_closure() {
+        let m = FnModel::new(3, |mask: &[bool]| mask.iter().filter(|&&b| b).count() as f64);
+        assert_eq!(m.num_features(), 3);
+        assert_eq!(m.evaluate(&[true, false, true]), 2.0);
+        assert_eq!(m.full_value(), 3.0);
+        assert_eq!(m.base_value(), 0.0);
+    }
+
+    #[test]
+    fn caching_model_deduplicates_calls() {
+        let m = CachingModel::new(FnModel::new(2, |mask: &[bool]| {
+            f64::from(mask[0]) * 2.0 + f64::from(mask[1])
+        }));
+        assert_eq!(m.evaluate(&[true, false]), 2.0);
+        assert_eq!(m.evaluate(&[true, false]), 2.0);
+        assert_eq!(m.evaluate(&[false, true]), 1.0);
+        assert_eq!(m.distinct_evaluations(), 2);
+        assert_eq!(m.total_requests(), 3);
+    }
+
+    #[test]
+    fn caching_model_is_transparent() {
+        let inner = FnModel::new(2, |mask: &[bool]| if mask[0] && mask[1] { 5.0 } else { 0.0 });
+        let cached = CachingModel::new(inner);
+        assert_eq!(cached.full_value(), 5.0);
+        assert_eq!(cached.base_value(), 0.0);
+        assert_eq!(cached.num_features(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Monte-Carlo Shapley estimation over random feature permutations.
+
+use crate::{MaskedModel, ShapValues};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Estimates Shapley values by averaging marginal contributions along random
+/// feature orderings (Castro et al.'s sampling estimator).
+///
+/// Each permutation costs `M + 1` model evaluations and produces a telescoping
+/// sum, so the efficiency axiom (`Σφ = f(full) − f(∅)`) holds *exactly* for the
+/// estimate regardless of the number of permutations; only per-feature variance
+/// shrinks with more samples.
+pub fn permutation_shapley<M: MaskedModel>(
+    model: &M,
+    permutations: usize,
+    seed: u64,
+) -> ShapValues {
+    let m = model.num_features();
+    if m == 0 {
+        let v = model.evaluate(&[]);
+        return ShapValues::new(Vec::new(), v, v);
+    }
+    let permutations = permutations.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base_value = model.base_value();
+    let full_value = model.full_value();
+
+    let mut sums = vec![0.0; m];
+    let mut order: Vec<usize> = (0..m).collect();
+    let mut mask = vec![false; m];
+    for _ in 0..permutations {
+        order.shuffle(&mut rng);
+        for slot in mask.iter_mut() {
+            *slot = false;
+        }
+        let mut previous = base_value;
+        for &feature in &order {
+            mask[feature] = true;
+            let current = model.evaluate(&mask);
+            sums[feature] += current - previous;
+            previous = current;
+        }
+    }
+    let values = sums.into_iter().map(|s| s / permutations as f64).collect();
+    ShapValues::new(values, base_value, full_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact_shapley, FnModel};
+
+    fn interacting_model() -> FnModel<impl Fn(&[bool]) -> f64> {
+        FnModel::new(5, |mask: &[bool]| {
+            let x: Vec<f64> = mask.iter().map(|&b| f64::from(b)).collect();
+            3.0 * x[0] + x[1] * x[2] * 2.0 - x[3] + 0.5 * x[4] * x[0]
+        })
+    }
+
+    #[test]
+    fn estimates_converge_to_exact_values() {
+        let model = interacting_model();
+        let exact = exact_shapley(&model);
+        let approx = permutation_shapley(&model, 2000, 7);
+        for i in 0..5 {
+            assert!(
+                (exact.value(i) - approx.value(i)).abs() < 0.1,
+                "feature {i}: exact {} vs approx {}",
+                exact.value(i),
+                approx.value(i)
+            );
+        }
+    }
+
+    #[test]
+    fn efficiency_holds_even_with_one_permutation() {
+        let model = interacting_model();
+        let v = permutation_shapley(&model, 1, 3);
+        assert!(v.efficiency_gap() < 1e-9);
+    }
+
+    #[test]
+    fn additive_model_is_exact_with_any_sample_count() {
+        let model = FnModel::new(3, |mask: &[bool]| {
+            4.0 * f64::from(mask[0]) - 2.0 * f64::from(mask[1]) + f64::from(mask[2])
+        });
+        let v = permutation_shapley(&model, 1, 11);
+        assert!((v.value(0) - 4.0).abs() < 1e-12);
+        assert!((v.value(1) + 2.0).abs() < 1e-12);
+        assert!((v.value(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = interacting_model();
+        let a = permutation_shapley(&model, 50, 5);
+        let b = permutation_shapley(&model, 50, 5);
+        assert_eq!(a, b);
+        let c = permutation_shapley(&model, 50, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_features_are_handled() {
+        let model = FnModel::new(0, |_: &[bool]| 3.0);
+        let v = permutation_shapley(&model, 10, 1);
+        assert!(v.is_empty());
+        assert_eq!(v.base_value(), 3.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The team-formation interface explained by ExES.
+
+use crate::Team;
+use exes_graph::{GraphView, PersonId, Query};
+
+/// A team-formation system `F` to be explained.
+///
+/// Like [`exes_expert_search::ExpertRanker`], implementations must be pure
+/// functions of the graph view, query and seed, so that perturbation probes are
+/// meaningful.
+pub trait TeamFormer {
+    /// Forms a team for `query` on `graph`, optionally around a required seed
+    /// (main member). Returns an empty team when no useful team exists.
+    fn form_team<G: GraphView + ?Sized>(
+        &self,
+        graph: &G,
+        query: &Query,
+        seed: Option<PersonId>,
+    ) -> Team;
+
+    /// Short model name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// The binary membership status `M_{p_i}(q, G)`: is `person` on the team?
+    fn is_member<G: GraphView + ?Sized>(
+        &self,
+        graph: &G,
+        query: &Query,
+        seed: Option<PersonId>,
+        person: PersonId,
+    ) -> bool {
+        self.form_team(graph, query, seed).contains(person)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::CollabGraphBuilder;
+
+    /// A trivial former that always returns the seed alone.
+    struct SeedOnly;
+
+    impl TeamFormer for SeedOnly {
+        fn form_team<G: GraphView + ?Sized>(
+            &self,
+            _graph: &G,
+            _query: &Query,
+            seed: Option<PersonId>,
+        ) -> Team {
+            match seed {
+                Some(s) => Team::new(vec![s], Some(s)),
+                None => Team::empty(),
+            }
+        }
+        fn name(&self) -> &'static str {
+            "seed-only"
+        }
+    }
+
+    #[test]
+    fn default_is_member_delegates_to_form_team() {
+        let mut b = CollabGraphBuilder::new();
+        let a = b.add_person("a", ["x"]);
+        let c = b.add_person("c", ["x"]);
+        let g = b.build();
+        let q = Query::parse("x", g.vocab()).unwrap();
+        assert!(SeedOnly.is_member(&g, &q, Some(a), a));
+        assert!(!SeedOnly.is_member(&g, &q, Some(a), c));
+        assert!(!SeedOnly.is_member(&g, &q, None, a));
+    }
+}

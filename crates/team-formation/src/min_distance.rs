@@ -1,0 +1,190 @@
+//! Minimum-distance team formation (Lappas-style rarest-skill heuristic).
+
+use crate::{Team, TeamFormer};
+use exes_graph::{GraphView, PersonId, Query, SkillId};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// Covers the query one skill at a time, always choosing the holder closest to
+/// the seed in the collaboration network (graph-optimisation family of Table 2).
+///
+/// Skills are processed from rarest to most common, mirroring the classical
+/// RarestFirst heuristic; distance ties are broken by person id. People
+/// unreachable from the seed are treated as being at a large-but-finite
+/// distance so that disconnected holders can still be recruited as a last
+/// resort (the paper's systems operate on largely connected networks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinDistanceTeamFormer {
+    /// Hard cap on team size.
+    pub max_team_size: usize,
+}
+
+impl MinDistanceTeamFormer {
+    /// Creates the former with the default team-size cap of 10.
+    pub fn new() -> Self {
+        MinDistanceTeamFormer { max_team_size: 10 }
+    }
+}
+
+fn bfs_distances<G: GraphView + ?Sized>(graph: &G, source: PersonId) -> FxHashMap<PersonId, usize> {
+    let mut dist = FxHashMap::default();
+    dist.insert(source, 0);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(p) = queue.pop_front() {
+        let d = dist[&p];
+        for n in graph.neighbors(p) {
+            if !dist.contains_key(&n) {
+                dist.insert(n, d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+impl TeamFormer for MinDistanceTeamFormer {
+    fn form_team<G: GraphView + ?Sized>(
+        &self,
+        graph: &G,
+        query: &Query,
+        seed: Option<PersonId>,
+    ) -> Team {
+        if graph.num_people() == 0 {
+            return Team::empty();
+        }
+        let max_size = if self.max_team_size == 0 { 10 } else { self.max_team_size };
+        // Without a seed, start from the person holding the most query skills.
+        let seed = seed.unwrap_or_else(|| {
+            graph
+                .people_ids()
+                .into_iter()
+                .max_by_key(|&p| (graph.query_match_count(p, query), std::cmp::Reverse(p)))
+                .expect("non-empty graph")
+        });
+        let distances = bfs_distances(graph, seed);
+        let far = graph.num_people() + 1;
+
+        // Sort query skills rarest first (fewest holders).
+        let mut skills: Vec<(SkillId, usize)> = query
+            .skills()
+            .iter()
+            .map(|&s| {
+                let holders = graph
+                    .people_ids()
+                    .into_iter()
+                    .filter(|&p| graph.person_has_skill(p, s))
+                    .count();
+                (s, holders)
+            })
+            .collect();
+        skills.sort_by_key(|&(s, holders)| (holders, s));
+
+        let mut members = vec![seed];
+        for (skill, holders) in skills {
+            if holders == 0 {
+                continue; // Nobody can cover this skill.
+            }
+            if members.iter().any(|&m| graph.person_has_skill(m, skill)) {
+                continue; // Already covered.
+            }
+            if members.len() >= max_size {
+                break;
+            }
+            let best = graph
+                .people_ids()
+                .into_iter()
+                .filter(|&p| graph.person_has_skill(p, skill))
+                .min_by_key(|&p| (distances.get(&p).copied().unwrap_or(far), p));
+            if let Some(p) = best {
+                if !members.contains(&p) {
+                    members.push(p);
+                }
+            }
+        }
+        Team::new(members, Some(seed))
+    }
+
+    fn name(&self) -> &'static str {
+        "min-distance"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::{CollabGraph, CollabGraphBuilder};
+
+    /// seed(db) - near(ml) ; far(ml) is three hops away; visiononly holds vision
+    /// and is disconnected.
+    fn toy() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let seed = b.add_person("seed", ["db"]);
+        let near = b.add_person("near", ["ml"]);
+        let mid = b.add_person("mid", ["other"]);
+        let far = b.add_person("far", ["ml"]);
+        let _vision = b.add_person("visiononly", ["vision"]);
+        b.add_edge(seed, near);
+        b.add_edge(near, mid);
+        b.add_edge(mid, far);
+        b.build()
+    }
+
+    #[test]
+    fn closest_holder_is_selected() {
+        let g = toy();
+        let q = Query::parse("db ml", g.vocab()).unwrap();
+        let team = MinDistanceTeamFormer::new().form_team(&g, &q, Some(PersonId(0)));
+        assert!(team.contains(PersonId(1)));
+        assert!(!team.contains(PersonId(3)));
+        assert!(team.covers(&g, &q));
+    }
+
+    #[test]
+    fn disconnected_holders_are_recruited_as_last_resort() {
+        let g = toy();
+        let q = Query::parse("db vision", g.vocab()).unwrap();
+        let team = MinDistanceTeamFormer::new().form_team(&g, &q, Some(PersonId(0)));
+        assert!(team.contains(PersonId(4)));
+        assert!(team.covers(&g, &q));
+    }
+
+    #[test]
+    fn default_seed_is_the_best_matching_person() {
+        let g = toy();
+        let q = Query::parse("ml", g.vocab()).unwrap();
+        let team = MinDistanceTeamFormer::new().form_team(&g, &q, None);
+        // Both p1 and p3 hold "ml"; the tie-break picks the lower id.
+        assert_eq!(team.seed(), Some(PersonId(1)));
+    }
+
+    #[test]
+    fn uncoverable_skills_are_skipped() {
+        let mut b = CollabGraphBuilder::new();
+        b.intern_skill("ghost");
+        let p = b.add_person("only", ["db"]);
+        let g = b.build();
+        let q = Query::parse("db ghost", g.vocab()).unwrap();
+        let team = MinDistanceTeamFormer::new().form_team(&g, &q, Some(p));
+        assert_eq!(team.members(), &[p]);
+    }
+
+    #[test]
+    fn team_size_cap_is_respected() {
+        let g = toy();
+        let q = Query::parse("db ml vision", g.vocab()).unwrap();
+        let former = MinDistanceTeamFormer { max_team_size: 2 };
+        let team = former.form_team(&g, &q, Some(PersonId(0)));
+        assert!(team.len() <= 2);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_team() {
+        let g = CollabGraphBuilder::new().build();
+        let mut vb = CollabGraphBuilder::new();
+        vb.add_person("x", ["db"]);
+        let vg = vb.build();
+        let q = Query::parse("db", vg.vocab()).unwrap();
+        assert!(MinDistanceTeamFormer::new().form_team(&g, &q, None).is_empty());
+    }
+}

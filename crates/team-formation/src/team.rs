@@ -1,0 +1,128 @@
+//! The team type returned by team-formation systems.
+
+use exes_graph::{GraphView, PersonId, Query, SkillId};
+
+/// A team of experts assembled for a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Team {
+    members: Vec<PersonId>,
+    seed: Option<PersonId>,
+}
+
+impl Team {
+    /// Creates a team from members (deduplicated, kept in insertion order) and
+    /// an optional seed (main member).
+    pub fn new(members: Vec<PersonId>, seed: Option<PersonId>) -> Self {
+        let mut seen = Vec::new();
+        for m in members {
+            if !seen.contains(&m) {
+                seen.push(m);
+            }
+        }
+        Team { members: seen, seed }
+    }
+
+    /// An empty team (produced when a former cannot cover anything).
+    pub fn empty() -> Self {
+        Team {
+            members: Vec::new(),
+            seed: None,
+        }
+    }
+
+    /// The team members in the order they were recruited.
+    pub fn members(&self) -> &[PersonId] {
+        &self.members
+    }
+
+    /// The seed (main member) the team was built around, if any.
+    pub fn seed(&self) -> Option<PersonId> {
+        self.seed
+    }
+
+    /// Team size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the team has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership test (`M_{p_i}` in the paper).
+    pub fn contains(&self, p: PersonId) -> bool {
+        self.members.contains(&p)
+    }
+
+    /// The set of query skills covered by the team on the given graph view.
+    pub fn covered_skills<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> Vec<SkillId> {
+        query
+            .skills()
+            .iter()
+            .copied()
+            .filter(|&s| self.members.iter().any(|&m| graph.person_has_skill(m, s)))
+            .collect()
+    }
+
+    /// Whether the team covers every query skill.
+    pub fn covers<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> bool {
+        self.covered_skills(graph, query).len() == query.len()
+    }
+
+    /// Human-readable member list.
+    pub fn describe(&self, graph: &exes_graph::CollabGraph) -> String {
+        self.members
+            .iter()
+            .map(|&m| graph.person_name(m).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::CollabGraphBuilder;
+
+    #[test]
+    fn construction_dedups_and_preserves_order() {
+        let t = Team::new(
+            vec![PersonId(2), PersonId(0), PersonId(2), PersonId(1)],
+            Some(PersonId(2)),
+        );
+        assert_eq!(t.members(), &[PersonId(2), PersonId(0), PersonId(1)]);
+        assert_eq!(t.seed(), Some(PersonId(2)));
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(PersonId(0)));
+        assert!(!t.contains(PersonId(5)));
+    }
+
+    #[test]
+    fn coverage_checks() {
+        let mut b = CollabGraphBuilder::new();
+        let a = b.add_person("a", ["db"]);
+        let c = b.add_person("c", ["ml"]);
+        let _d = b.add_person("d", ["vision"]);
+        let g = b.build();
+        let q = Query::parse("db ml", g.vocab()).unwrap();
+        let full = Team::new(vec![a, c], Some(a));
+        assert!(full.covers(&g, &q));
+        assert_eq!(full.covered_skills(&g, &q).len(), 2);
+        let partial = Team::new(vec![a], Some(a));
+        assert!(!partial.covers(&g, &q));
+        assert_eq!(partial.covered_skills(&g, &q), vec![g.vocab().id("db").unwrap()]);
+        assert!(Team::empty().is_empty());
+        assert!(!Team::empty().covers(&g, &q));
+    }
+
+    #[test]
+    fn describe_lists_names() {
+        let mut b = CollabGraphBuilder::new();
+        let a = b.add_person("Alice", ["db"]);
+        let c = b.add_person("Bob", ["ml"]);
+        let g = b.build();
+        let t = Team::new(vec![a, c], None);
+        assert_eq!(t.describe(&g), "Alice, Bob");
+    }
+}

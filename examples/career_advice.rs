@@ -1,0 +1,96 @@
+//! Career-advancement advice from counterfactual explanations.
+//!
+//! The paper motivates counterfactuals as actionable guidance: "the fewest new
+//! skills one would have to acquire to be a highly-ranked expert for a given
+//! query" (Section 3.3) and Figures 5, 6 and 12. This example picks a
+//! researcher ranked *just outside* the top-k for a query and asks ExES what
+//! minimal changes — new skills, new collaborations, or a refined query — would
+//! bring them in.
+//!
+//! Run with: `cargo run --release --example career_advice`
+
+use exes::prelude::*;
+
+fn main() {
+    let dataset = SyntheticDataset::generate(&DatasetConfig::github_sim().scaled(0.06));
+    let graph = &dataset.graph;
+    println!(
+        "Synthetic GitHub network: {} users, {} collaborations",
+        graph.stats().num_people,
+        graph.stats().num_edges
+    );
+
+    let ranker = GcnRanker::default();
+    let k = 10;
+    let workload = QueryWorkload::answerable(graph, 5, 3, 4, 3, 7);
+
+    // Find a query where someone sits between rank k+1 and 2k (a near-miss).
+    let mut chosen: Option<(Query, PersonId, usize)> = None;
+    for query in workload.queries() {
+        let ranking = ranker.rank_all(graph, query);
+        if ranking.len() > 2 * k {
+            let (person, _) = ranking.entries()[k];
+            chosen = Some((query.clone(), person, k + 1));
+            break;
+        }
+    }
+    let (query, subject, rank) = chosen.expect("workload contains a usable query");
+    println!(
+        "\nQuery '{}': {} is currently ranked #{rank} (outside the top-{k}).",
+        query.display(graph.vocab()),
+        graph.person_name(subject)
+    );
+
+    let embedding = SkillEmbedding::train(
+        dataset.corpus.token_bags(),
+        graph.vocab().len(),
+        &EmbeddingConfig::default(),
+    );
+    let link_predictor = EmbeddingLinkPredictor::train(graph, &WalkConfig::default());
+    let config = ExesConfig::paper_defaults().with_k(k);
+    let exes = Exes::new(config, embedding, link_predictor);
+    let task = ExpertRelevanceTask::new(&ranker, subject, k);
+
+    // --- Skill additions (Figure 5 / 12 analogue) -------------------------------
+    println!("\n== Skills to acquire (counterfactual skill additions) ==");
+    let skills = exes.counterfactual_skills(&task, graph, &query);
+    if skills.is_empty() {
+        println!("  (no skill-based route into the top-{k} was found within the budget)");
+    }
+    for explanation in skills.explanations.iter().take(3) {
+        println!("  - {}", explanation.describe(graph));
+    }
+
+    // --- New collaborations (Figure 6 analogue) ----------------------------------
+    println!("\n== Collaborations to seek (counterfactual link additions) ==");
+    let links = exes.counterfactual_links(&task, graph, &query);
+    if links.is_empty() {
+        println!("  (no collaboration-based route was found within the budget)");
+    }
+    for explanation in links.explanations.iter().take(3) {
+        println!("  - {}", explanation.describe(graph));
+    }
+
+    // --- Query refinements -------------------------------------------------------
+    println!("\n== Query refinements that would surface this person ==");
+    let queries = exes.counterfactual_query(&task, graph, &query);
+    for explanation in queries.explanations.iter().take(3) {
+        println!("  - {}", explanation.describe(graph));
+    }
+
+    // Verify the first suggestion end-to-end, the way a user would.
+    if let Some(best) = skills
+        .explanations
+        .first()
+        .or_else(|| links.explanations.first())
+        .or_else(|| queries.explanations.first())
+    {
+        let (view, new_query) = best.perturbations.apply(graph, &query);
+        let new_rank = ranker.rank_of(&view, &new_query, subject);
+        println!(
+            "\nApplying the first suggestion moves {} from rank #{rank} to rank #{new_rank}.",
+            graph.person_name(subject)
+        );
+        assert!(new_rank <= k);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! * perturbation overlays behave exactly like materialised graph rebuilds,
+//! * Shapley values satisfy the efficiency axiom,
+//! * neighbourhoods are monotone in the radius,
+//! * rankers produce complete, consistent rankings on arbitrary graphs,
+//! * beam-search counterfactuals always flip the decision they claim to flip.
+
+use exes::prelude::*;
+use exes::shap::{exact_shapley, permutation_shapley, FnModel};
+use proptest::prelude::*;
+
+/// Strategy: a random small collaboration network plus a random query.
+fn arbitrary_graph() -> impl Strategy<Value = (CollabGraph, Query)> {
+    (3usize..10, 2usize..6, proptest::collection::vec(any::<u32>(), 1..40))
+        .prop_map(|(people, skills, noise)| {
+            let mut builder = CollabGraphBuilder::new();
+            let skill_names: Vec<String> = (0..skills).map(|i| format!("skill{i}")).collect();
+            for name in &skill_names {
+                builder.intern_skill(name);
+            }
+            for p in 0..people {
+                // Deterministic-but-varied skill assignment from the noise vector.
+                let mut own = Vec::new();
+                for (j, name) in skill_names.iter().enumerate() {
+                    let v = noise.get((p * skills + j) % noise.len()).copied().unwrap_or(0);
+                    if v % 3 == 0 {
+                        own.push(name.clone());
+                    }
+                }
+                if own.is_empty() {
+                    own.push(skill_names[p % skills].clone());
+                }
+                builder.add_person(&format!("p{p}"), own);
+            }
+            for (i, v) in noise.iter().enumerate() {
+                let a = PersonId::from_index((*v as usize) % people);
+                let b = PersonId::from_index((i + 1) % people);
+                if a != b {
+                    builder.add_edge(a, b);
+                }
+            }
+            let graph = builder.build();
+            let qskills: Vec<SkillId> = (0..2.min(skills))
+                .map(|i| graph.vocab().id(&format!("skill{i}")).unwrap())
+                .collect();
+            let query = Query::new(qskills).unwrap();
+            (graph, query)
+        })
+}
+
+/// Strategy: a random perturbation valid for the given graph.
+fn arbitrary_perturbations(graph: &CollabGraph, noise: &[u32]) -> PerturbationSet {
+    let n = graph.num_people() as u32;
+    let s = graph.vocab().len() as u32;
+    let mut set = PerturbationSet::new();
+    for chunk in noise.chunks(3) {
+        if chunk.len() < 3 {
+            break;
+        }
+        let a = PersonId(chunk[0] % n);
+        let b = PersonId(chunk[1] % n);
+        let skill = SkillId(chunk[2] % s);
+        let p = match chunk[2] % 4 {
+            0 => Perturbation::AddSkill { person: a, skill },
+            1 => Perturbation::RemoveSkill { person: a, skill },
+            2 => Perturbation::AddEdge { a, b },
+            _ => Perturbation::RemoveEdge { a, b },
+        };
+        set.push(p);
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn overlay_matches_materialized_rebuild(
+        (graph, _query) in arbitrary_graph(),
+        noise in proptest::collection::vec(any::<u32>(), 3..24),
+    ) {
+        let delta = arbitrary_perturbations(&graph, &noise);
+        let overlay = delta.apply_to_graph(&graph);
+        let rebuilt = delta.materialize(&graph);
+        prop_assert_eq!(overlay.num_edges(), rebuilt.num_edges());
+        for p in graph.people() {
+            prop_assert_eq!(overlay.person_skills(p), rebuilt.person_skills(p));
+            prop_assert_eq!(overlay.neighbors(p), rebuilt.neighbors(p));
+        }
+    }
+
+    #[test]
+    fn neighborhoods_grow_monotonically(
+        (graph, _query) in arbitrary_graph(),
+        center_raw in 0usize..10,
+        radius in 0usize..4,
+    ) {
+        let center = PersonId::from_index(center_raw % graph.num_people());
+        let small = Neighborhood::compute(&graph, center, radius);
+        let large = Neighborhood::compute(&graph, center, radius + 1);
+        prop_assert!(small.contains(center));
+        for &m in small.members() {
+            prop_assert!(large.contains(m));
+        }
+        // Pruned skill feature count never exceeds the whole-graph count.
+        let pruned: usize = small.skills(&graph).len();
+        let total: usize = graph.people().map(|p| graph.person_skills(p).len()).sum();
+        prop_assert!(pruned <= total);
+    }
+
+    #[test]
+    fn shapley_efficiency_axiom_holds(
+        weights in proptest::collection::vec(-5.0f64..5.0, 2..7),
+        interaction in -3.0f64..3.0,
+    ) {
+        let n = weights.len();
+        let w = weights.clone();
+        let model = FnModel::new(n, move |mask: &[bool]| {
+            let mut acc = 0.0;
+            for (i, &b) in mask.iter().enumerate() {
+                if b { acc += w[i]; }
+            }
+            if mask[0] && mask[n - 1] { acc += interaction; }
+            acc
+        });
+        let exact = exact_shapley(&model);
+        prop_assert!(exact.efficiency_gap() < 1e-9);
+        let sampled = permutation_shapley(&model, 10, 7);
+        prop_assert!(sampled.efficiency_gap() < 1e-9);
+        // Additive part: non-endpoint features get exactly their weight.
+        for i in 1..n.saturating_sub(1) {
+            prop_assert!((exact.value(i) - weights[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rankers_produce_complete_consistent_rankings(
+        (graph, query) in arbitrary_graph(),
+    ) {
+        let rankers: Vec<Box<dyn Fn(&CollabGraph, &Query) -> RankedList>> = vec![
+            Box::new(|g, q| TfIdfRanker::default().rank_all(g, q)),
+            Box::new(|g, q| PropagationRanker::default().rank_all(g, q)),
+            Box::new(|g, q| GcnRanker::default().rank_all(g, q)),
+        ];
+        for rank in rankers {
+            let list = rank(&graph, &query);
+            prop_assert_eq!(list.len(), graph.num_people());
+            // Every person appears exactly once, scores are non-increasing.
+            let mut seen: Vec<PersonId> = list.entries().iter().map(|&(p, _)| p).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), graph.num_people());
+            for pair in list.entries().windows(2) {
+                prop_assert!(pair[0].1 >= pair[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn beam_search_counterfactuals_always_flip(
+        (graph, query) in arbitrary_graph(),
+        subject_raw in 0usize..10,
+    ) {
+        let subject = PersonId::from_index(subject_raw % graph.num_people());
+        let ranker = PropagationRanker::default();
+        let k = 2.min(graph.num_people());
+        let task = ExpertRelevanceTask::new(&ranker, subject, k);
+        let bags: Vec<Vec<SkillId>> = graph.people().map(|p| graph.person_skills(p)).collect();
+        let embedding = SkillEmbedding::train(
+            bags.iter().map(|b| b.as_slice()),
+            graph.vocab().len(),
+            &EmbeddingConfig { dim: 4, ..Default::default() },
+        );
+        let exes = Exes::new(
+            ExesConfig::fast().with_k(k).with_num_candidates(3),
+            embedding,
+            CommonNeighbors,
+        );
+        let initially = ranker.is_relevant(&graph, &query, subject, k);
+        let result = exes.counterfactual_skills(&task, &graph, &query);
+        for explanation in &result.explanations {
+            let (view, pq) = explanation.perturbations.apply(&graph, &query);
+            prop_assert_ne!(ranker.is_relevant(&view, &pq, subject, k), initially);
+            prop_assert!(explanation.size() >= 1);
+        }
+    }
+}
