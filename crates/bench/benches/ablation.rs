@@ -54,5 +54,9 @@ fn bench_pruned_vs_exhaustive_factual(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_overlay_vs_rebuild, bench_pruned_vs_exhaustive_factual);
+criterion_group!(
+    benches,
+    bench_overlay_vs_rebuild,
+    bench_pruned_vs_exhaustive_factual
+);
 criterion_main!(benches);

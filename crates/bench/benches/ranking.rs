@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exes_bench::scenario::{DatasetKind, HarnessConfig, Scenario};
-use exes_expert_search::{ExpertRanker, GcnRanker, PersonalizedPageRank, PropagationRanker, TfIdfRanker};
+use exes_expert_search::{
+    ExpertRanker, GcnRanker, PersonalizedPageRank, PropagationRanker, TfIdfRanker,
+};
 
 fn bench_rankers(c: &mut Criterion) {
     let harness = HarnessConfig::quick();

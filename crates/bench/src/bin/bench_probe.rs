@@ -1,0 +1,171 @@
+//! Emits `BENCH_probe.json`: the probe-engine performance baseline.
+//!
+//! Times, at three graph scales:
+//! * one full GCN ranking pass (the cost of a single probe),
+//! * a 256-probe batch through [`exes_core::probe::ProbeBatch`], sequential
+//!   and parallel,
+//! * a full pruned counterfactual skill search, sequential and parallel.
+//!
+//! Later PRs compare against this file to keep a perf trajectory. Run with
+//! `cargo run -p exes-bench --release --bin bench_probe` from the repo root.
+
+use exes_bench::timing::timed;
+use exes_core::counterfactual::{beam::beam_search, CounterfactualKind};
+use exes_core::probe::ProbeBatch;
+use exes_core::{ExesConfig, ExpertRelevanceTask};
+use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
+use exes_expert_search::{ExpertRanker, GcnRanker};
+use exes_graph::{GraphView, Perturbation, PerturbationSet};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const SCALES: &[(&str, usize)] = &[("small", 150), ("medium", 600), ("large", 1500)];
+const BATCH: usize = 256;
+const REPS: usize = 3;
+
+struct Row {
+    scale: &'static str,
+    people: usize,
+    edges: usize,
+    rank_all_ms: f64,
+    batch_seq_ms: f64,
+    batch_par_ms: f64,
+    beam_seq_ms: f64,
+    beam_par_ms: f64,
+    beam_probes: usize,
+}
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let (mut value, mut best) = timed(&mut f);
+    for _ in 1..reps {
+        let (v, d) = timed(&mut f);
+        if d < best {
+            best = d;
+            value = v;
+        }
+    }
+    (value, best)
+}
+
+fn measure(scale: &'static str, people: usize) -> Row {
+    let base = DatasetConfig::github_sim();
+    let factor = people as f64 / base.num_people as f64;
+    let ds = SyntheticDataset::generate(&base.scaled(factor).with_seed(0xBE7C));
+    let workload = QueryWorkload::answerable(&ds.graph, 1, 3, 5, 3, 0x51);
+    let query = workload.queries()[0].clone();
+    let ranker = GcnRanker::default();
+    let subject = ds.graph.people().next().expect("non-empty graph");
+    let task = ExpertRelevanceTask::new(&ranker, subject, 10);
+
+    let (_, rank_time) = best_of(REPS, || ranker.rank_all(&ds.graph, &query));
+
+    let mut sets: Vec<PerturbationSet> = Vec::with_capacity(BATCH);
+    'outer: for p in ds.graph.people() {
+        for &s in ds.graph.person_skills(p) {
+            sets.push(PerturbationSet::singleton(Perturbation::RemoveSkill {
+                person: p,
+                skill: s,
+            }));
+            if sets.len() >= BATCH {
+                break 'outer;
+            }
+        }
+    }
+    let seq_engine = ProbeBatch::new(&task, &ds.graph, &query, false);
+    let par_engine = ProbeBatch::new(&task, &ds.graph, &query, true);
+    let (seq_probes, batch_seq) = best_of(REPS, || seq_engine.score(&sets));
+    let (par_probes, batch_par) = best_of(REPS, || par_engine.score(&sets));
+    assert_eq!(seq_probes, par_probes, "engine determinism violated");
+
+    let candidates: Vec<Perturbation> = ds
+        .graph
+        .person_skills(subject)
+        .iter()
+        .map(|&s| Perturbation::RemoveSkill {
+            person: subject,
+            skill: s,
+        })
+        .chain(
+            ds.graph
+                .vocab()
+                .ids()
+                .take(20)
+                .map(|skill| Perturbation::AddQueryTerm { skill }),
+        )
+        .collect();
+    let beam = |parallel: bool| {
+        let cfg = ExesConfig::fast().with_k(10).with_parallel_probes(parallel);
+        beam_search(
+            &task,
+            &ds.graph,
+            &query,
+            &candidates,
+            CounterfactualKind::SkillRemoval,
+            &cfg,
+            None,
+        )
+    };
+    let (seq_result, beam_seq) = best_of(REPS, || beam(false));
+    let (par_result, beam_par) = best_of(REPS, || beam(true));
+    assert_eq!(
+        seq_result.explanations, par_result.explanations,
+        "beam determinism violated"
+    );
+
+    Row {
+        scale,
+        people: ds.graph.num_people(),
+        edges: ds.graph.num_edges(),
+        rank_all_ms: rank_time.as_secs_f64() * 1e3,
+        batch_seq_ms: batch_seq.as_secs_f64() * 1e3,
+        batch_par_ms: batch_par.as_secs_f64() * 1e3,
+        beam_seq_ms: beam_seq.as_secs_f64() * 1e3,
+        beam_par_ms: beam_par.as_secs_f64() * 1e3,
+        beam_probes: seq_result.probes,
+    }
+}
+
+fn main() {
+    let threads = exes_parallel::thread_count(usize::MAX);
+    let mut rows = Vec::new();
+    for &(scale, people) in SCALES {
+        eprintln!("measuring scale '{scale}' ({people} people)...");
+        rows.push(measure(scale, people));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"probe_engine\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"probe_batch_size\": {BATCH},");
+    json.push_str("  \"scales\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup_batch = r.batch_seq_ms / r.batch_par_ms.max(1e-9);
+        let speedup_beam = r.beam_seq_ms / r.beam_par_ms.max(1e-9);
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"scale\": \"{}\", \"people\": {}, \"edges\": {}, \
+             \"rank_all_ms\": {:.3}, \"probe_batch_seq_ms\": {:.3}, \
+             \"probe_batch_par_ms\": {:.3}, \"probe_batch_speedup\": {:.2}, \
+             \"beam_seq_ms\": {:.3}, \"beam_par_ms\": {:.3}, \
+             \"beam_speedup\": {:.2}, \"beam_probes\": {}}}{comma}",
+            r.scale,
+            r.people,
+            r.edges,
+            r.rank_all_ms,
+            r.batch_seq_ms,
+            r.batch_par_ms,
+            speedup_batch,
+            r.beam_seq_ms,
+            r.beam_par_ms,
+            speedup_beam,
+            r.beam_probes,
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_probe.json", &json).expect("write BENCH_probe.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_probe.json");
+}

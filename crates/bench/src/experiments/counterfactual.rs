@@ -8,10 +8,9 @@ use crate::timing::{timed, Mean};
 use exes_core::counterfactual::CounterfactualResult;
 use exes_core::explainer::SkillAdditionBaseline;
 use exes_core::{counterfactual_precision, DecisionModel, ExpertRelevanceTask, TeamMembershipTask};
-use serde::Serialize;
 
 /// Aggregated measurements for one (explanation method, dataset) cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CounterfactualCell {
     /// Explanation method label (e.g. "Skill Removal (Experts)").
     pub method: String,
@@ -123,7 +122,12 @@ fn measure_selected<D: DecisionModel>(
     for (query, task) in subjects {
         let (pruned, t1) = timed(|| exes.counterfactual_skills(task, graph, query));
         let (baseline, t2) = timed(|| {
-            exes.counterfactual_skills_exhaustive(task, graph, query, SkillAdditionBaseline::AllPeople)
+            exes.counterfactual_skills_exhaustive(
+                task,
+                graph,
+                query,
+                SkillAdditionBaseline::AllPeople,
+            )
         });
         skill.record(&pruned, t1.as_secs_f64(), &baseline, t2.as_secs_f64());
 
@@ -157,10 +161,20 @@ fn measure_unselected<D: DecisionModel>(
     for (query, task) in subjects {
         let (pruned, t1) = timed(|| exes.counterfactual_skills(task, graph, query));
         let (baseline_n, t2) = timed(|| {
-            exes.counterfactual_skills_exhaustive(task, graph, query, SkillAdditionBaseline::AllPeople)
+            exes.counterfactual_skills_exhaustive(
+                task,
+                graph,
+                query,
+                SkillAdditionBaseline::AllPeople,
+            )
         });
         let (_baseline_s, t3) = timed(|| {
-            exes.counterfactual_skills_exhaustive(task, graph, query, SkillAdditionBaseline::AllSkills)
+            exes.counterfactual_skills_exhaustive(
+                task,
+                graph,
+                query,
+                SkillAdditionBaseline::AllSkills,
+            )
         });
         skill.record(&pruned, t1.as_secs_f64(), &baseline_n, t2.as_secs_f64());
         skill.base_s_lat.add(t3.as_secs_f64());
@@ -196,7 +210,11 @@ pub fn run_scenario(scenario: &Scenario, mode: TaskMode) -> Vec<CounterfactualCe
                 .map(|(q, p)| (q, ExpertRelevanceTask::new(&scenario.ranker, p, k)))
                 .collect();
             let mut cells = measure_selected(scenario, &expert_tasks, "Experts");
-            cells.extend(measure_unselected(scenario, &non_expert_tasks, "Non-experts"));
+            cells.extend(measure_unselected(
+                scenario,
+                &non_expert_tasks,
+                "Non-experts",
+            ));
             cells
         }
         TaskMode::TeamFormation => {
@@ -220,7 +238,11 @@ pub fn run_scenario(scenario: &Scenario, mode: TaskMode) -> Vec<CounterfactualCe
                 })
                 .collect();
             let mut cells = measure_selected(scenario, &member_tasks, "Members");
-            cells.extend(measure_unselected(scenario, &non_member_tasks, "Non-members"));
+            cells.extend(measure_unselected(
+                scenario,
+                &non_member_tasks,
+                "Non-members",
+            ));
             cells
         }
     }

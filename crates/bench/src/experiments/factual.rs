@@ -6,10 +6,9 @@ use crate::report::{fmt_num, fmt_secs, Table};
 use crate::scenario::{DatasetKind, HarnessConfig, Scenario};
 use crate::timing::{timed, Mean};
 use exes_core::{factual_precision_at_k, DecisionModel, ExpertRelevanceTask, TeamMembershipTask};
-use serde::Serialize;
 
 /// Aggregated measurements for one (dataset, feature family) cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FactualCell {
     /// Dataset name.
     pub dataset: String,
@@ -35,7 +34,8 @@ pub struct FactualCell {
 pub fn run_scenario(scenario: &Scenario, mode: TaskMode) -> Vec<FactualCell> {
     match mode {
         TaskMode::ExpertSearch => {
-            let (experts, _) = scenario.sample_experts_and_non_experts(scenario.harness.num_subjects);
+            let (experts, _) =
+                scenario.sample_experts_and_non_experts(scenario.harness.num_subjects);
             let subjects: Vec<_> = experts
                 .into_iter()
                 .map(|(q, p)| {
@@ -187,9 +187,13 @@ pub fn run(harness: &HarnessConfig, mode: TaskMode) -> (Table, Table) {
                 cell.features.clone(),
                 cell.dataset.clone(),
                 fmt_secs(cell.exes_latency),
-                cell.baseline_latency.map(fmt_secs).unwrap_or_else(|| "—".into()),
+                cell.baseline_latency
+                    .map(fmt_secs)
+                    .unwrap_or_else(|| "—".into()),
                 fmt_num(cell.exes_size),
-                cell.baseline_size.map(fmt_num).unwrap_or_else(|| "—".into()),
+                cell.baseline_size
+                    .map(fmt_num)
+                    .unwrap_or_else(|| "—".into()),
             ]);
             if let (Some(p1), Some(p5)) = (cell.precision_at_1, cell.precision_at_5) {
                 precision_table.push_row(vec![

@@ -128,7 +128,8 @@ fn sweep_point(scenario: &mut Scenario, param: SweepParam, value: f64) -> SweepP
             // Skill removal for experts.
             for (query, person) in &experts {
                 let task = ExpertRelevanceTask::new(&scenario.ranker, *person, k);
-                let (pruned, t) = timed(|| scenario.exes.counterfactual_skills(&task, graph, query));
+                let (pruned, t) =
+                    timed(|| scenario.exes.counterfactual_skills(&task, graph, query));
                 let baseline = scenario.exes.counterfactual_skills_exhaustive(
                     &task,
                     graph,
@@ -148,7 +149,9 @@ fn sweep_point(scenario: &mut Scenario, param: SweepParam, value: f64) -> SweepP
             for (query, person) in &non_experts {
                 let task = ExpertRelevanceTask::new(&scenario.ranker, *person, k);
                 let (pruned, t) = timed(|| scenario.exes.counterfactual_query(&task, graph, query));
-                let baseline = scenario.exes.counterfactual_query_exhaustive(&task, graph, query);
+                let baseline = scenario
+                    .exes
+                    .counterfactual_query_exhaustive(&task, graph, query);
                 latency.add_duration(t);
                 explanations += pruned.len();
                 size.add(pruned.mean_size());
@@ -161,7 +164,8 @@ fn sweep_point(scenario: &mut Scenario, param: SweepParam, value: f64) -> SweepP
             // Skill addition for non-experts.
             for (query, person) in &non_experts {
                 let task = ExpertRelevanceTask::new(&scenario.ranker, *person, k);
-                let (pruned, t) = timed(|| scenario.exes.counterfactual_skills(&task, graph, query));
+                let (pruned, t) =
+                    timed(|| scenario.exes.counterfactual_skills(&task, graph, query));
                 let baseline = scenario.exes.counterfactual_skills_exhaustive(
                     &task,
                     graph,
@@ -180,8 +184,11 @@ fn sweep_point(scenario: &mut Scenario, param: SweepParam, value: f64) -> SweepP
             // Collaboration factual explanation size.
             for (query, person) in &experts {
                 let task = ExpertRelevanceTask::new(&scenario.ranker, *person, k);
-                let (exp, t) =
-                    timed(|| scenario.exes.factual_collaborations(&task, graph, query, true));
+                let (exp, t) = timed(|| {
+                    scenario
+                        .exes
+                        .factual_collaborations(&task, graph, query, true)
+                });
                 latency.add_duration(t);
                 size.add(exp.size() as f64);
                 explanations += 1;

@@ -1,12 +1,11 @@
 //! Table assembly and printing for experiment output.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
 /// A simple column-aligned table mirroring the paper's result tables.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (e.g. "Table 7: Factual explanation results: expert search").
     pub title: String,
@@ -46,7 +45,11 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.title);
-        let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
         let _ = writeln!(out, "{rule}");
         let header_line: Vec<String> = self
             .headers
@@ -76,11 +79,40 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
+        out
+    }
+
+    /// Renders the table as a JSON object (hand-rolled: the offline build
+    /// carries no serialisation framework).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        let _ = writeln!(
+            out,
+            "  \"headers\": [{}],",
+            self.headers
+                .iter()
+                .map(|h| json_string(h))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    [{}]{comma}", cells.join(", "));
+        }
+        out.push_str("  ]\n}\n");
         out
     }
 
@@ -90,8 +122,29 @@ impl Table {
         let dir = Path::new("target").join("experiments");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{name}.json"));
-        fs::write(path, serde_json::to_string_pretty(self).expect("table serialises"))
+        fs::write(path, self.to_json())
     }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a duration in seconds with sensible precision for table cells.
@@ -133,9 +186,20 @@ mod tests {
     }
 
     #[test]
+    fn json_rendering_escapes_and_structures() {
+        let mut t = Table::new("t \"x\"", &["a"]);
+        t.push_row(vec!["v1".into()]);
+        t.push_row(vec!["line\nbreak".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"t \\\"x\\\"\""));
+        assert!(json.contains("\"v1\""));
+        assert!(json.contains("line\\nbreak"));
+    }
+
+    #[test]
     fn number_formatting() {
         assert_eq!(fmt_secs(0.001234), "0.0012");
         assert_eq!(fmt_secs(12.345), "12.35");
-        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(4.5678), "4.57");
     }
 }

@@ -4,15 +4,14 @@ use exes_core::{Exes, ExesConfig, OutputMode};
 use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
 use exes_embedding::{EmbeddingConfig, SkillEmbedding};
 use exes_expert_search::{ExpertRanker, GcnRanker};
+use exes_graph::{PersonId, Query};
 use exes_linkpred::{EmbeddingLinkPredictor, WalkConfig};
 use exes_shap::{ShapConfig, ShapMethod};
 use exes_team::GreedyCoverTeamFormer;
-use exes_graph::{PersonId, Query};
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Which of the two paper datasets a scenario simulates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetKind {
     /// The DBLP-like academic network.
     Dblp,
@@ -41,7 +40,7 @@ impl DatasetKind {
 /// suite regenerates in minutes on a laptop; `--full` scales the graphs and
 /// subject counts up. Relative results (ExES vs exhaustive) are what the paper's
 /// claims are about and they are preserved across scales.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HarnessConfig {
     /// Fraction of the paper-scale dataset to generate.
     pub dblp_scale: f64,
@@ -144,6 +143,12 @@ impl HarnessConfig {
     }
 }
 
+/// A sampled explanation subject: the query plus the person to explain.
+pub type SubjectSample = (Query, PersonId);
+
+/// A sampled team case: the query, the team seed, and the person to explain.
+pub type TeamSample = (Query, PersonId, PersonId);
+
 /// Everything one experiment needs: dataset, workload, embedding, link
 /// predictor, ranker, team former, and a ready-to-use [`Exes`] explainer.
 pub struct Scenario {
@@ -168,14 +173,8 @@ impl Scenario {
     pub fn build(kind: DatasetKind, harness: &HarnessConfig) -> Scenario {
         let dataset = SyntheticDataset::generate(&harness.dataset_config(kind));
         let graph = &dataset.graph;
-        let workload = QueryWorkload::answerable(
-            graph,
-            harness.num_queries,
-            3,
-            5,
-            3,
-            harness.seed ^ 0x51,
-        );
+        let workload =
+            QueryWorkload::answerable(graph, harness.num_queries, 3, 5, 3, harness.seed ^ 0x51);
         let embedding = SkillEmbedding::train(
             dataset.corpus.token_bags(),
             graph.vocab().len(),
@@ -205,7 +204,7 @@ impl Scenario {
     pub fn sample_experts_and_non_experts(
         &self,
         limit: usize,
-    ) -> (Vec<(Query, PersonId)>, Vec<(Query, PersonId)>) {
+    ) -> (Vec<SubjectSample>, Vec<SubjectSample>) {
         let k = self.exes.config().k;
         let mut experts = Vec::new();
         let mut non_experts = Vec::new();
@@ -240,10 +239,7 @@ impl Scenario {
     pub fn sample_team_members_and_non_members(
         &self,
         limit: usize,
-    ) -> (
-        Vec<(Query, PersonId, PersonId)>,
-        Vec<(Query, PersonId, PersonId)>,
-    ) {
+    ) -> (Vec<TeamSample>, Vec<TeamSample>) {
         use exes_graph::GraphView;
         use exes_team::TeamFormer;
         let k = self.exes.config().k;
@@ -254,10 +250,12 @@ impl Scenario {
                 break;
             }
             let ranking = self.ranker.rank_all(&self.dataset.graph, query);
-            let Some(&(seed, _)) = ranking.entries().iter().take(k).last() else {
+            let Some(&(seed, _)) = ranking.entries().iter().take(k).next_back() else {
                 continue;
             };
-            let team = self.former.form_team(&self.dataset.graph, query, Some(seed));
+            let team = self
+                .former
+                .form_team(&self.dataset.graph, query, Some(seed));
             if members.len() < limit {
                 if let Some(&m) = team.members().iter().find(|&&m| m != seed) {
                     members.push((query.clone(), seed, m));
@@ -270,8 +268,9 @@ impl Scenario {
                     .dataset
                     .graph
                     .neighbors(seed)
-                    .into_iter()
-                    .find(|p| !team.contains(*p));
+                    .iter()
+                    .copied()
+                    .find(|&p| !team.contains(p));
                 if let Some(p) = candidate {
                     non_members.push((query.clone(), seed, p));
                 }
@@ -326,10 +325,14 @@ mod tests {
         assert!(!non_experts.is_empty());
         let k = scenario.exes.config().k;
         for (q, p) in &experts {
-            assert!(scenario.ranker.is_relevant(&scenario.dataset.graph, q, *p, k));
+            assert!(scenario
+                .ranker
+                .is_relevant(&scenario.dataset.graph, q, *p, k));
         }
         for (q, p) in &non_experts {
-            assert!(!scenario.ranker.is_relevant(&scenario.dataset.graph, q, *p, k));
+            assert!(!scenario
+                .ranker
+                .is_relevant(&scenario.dataset.graph, q, *p, k));
         }
     }
 

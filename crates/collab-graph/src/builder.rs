@@ -1,6 +1,5 @@
 //! Incremental construction of [`CollabGraph`]s.
 
-use crate::graph::PersonRecord;
 use crate::{CollabGraph, PersonId, SkillId, SkillVocab};
 use rustc_hash::FxHashSet;
 
@@ -9,11 +8,12 @@ use rustc_hash::FxHashSet;
 /// People are added with their skill names (interned into the shared vocabulary),
 /// then edges between previously added people. Duplicate edges and self-loops are
 /// ignored during building so that noisy generators and loaders do not need to
-/// de-duplicate up front.
+/// de-duplicate up front. `build` packs everything into the graph's CSR arrays.
 #[derive(Debug, Default)]
 pub struct CollabGraphBuilder {
-    people: Vec<PersonRecord>,
-    adjacency: Vec<Vec<PersonId>>,
+    names: Vec<String>,
+    skill_rows: Vec<Vec<SkillId>>,
+    adj_rows: Vec<Vec<PersonId>>,
     edges: Vec<(PersonId, PersonId)>,
     edge_set: FxHashSet<(u32, u32)>,
     vocab: SkillVocab,
@@ -48,12 +48,10 @@ impl CollabGraphBuilder {
             .collect();
         ids.sort_unstable();
         ids.dedup();
-        let id = PersonId::from_index(self.people.len());
-        self.people.push(PersonRecord {
-            name: name.to_string(),
-            skills: ids,
-        });
-        self.adjacency.push(Vec::new());
+        let id = PersonId::from_index(self.names.len());
+        self.names.push(name.to_string());
+        self.skill_rows.push(ids);
+        self.adj_rows.push(Vec::new());
         id
     }
 
@@ -72,12 +70,10 @@ impl CollabGraphBuilder {
         let mut ids = skills;
         ids.sort_unstable();
         ids.dedup();
-        let id = PersonId::from_index(self.people.len());
-        self.people.push(PersonRecord {
-            name: name.to_string(),
-            skills: ids,
-        });
-        self.adjacency.push(Vec::new());
+        let id = PersonId::from_index(self.names.len());
+        self.names.push(name.to_string());
+        self.skill_rows.push(ids);
+        self.adj_rows.push(Vec::new());
         id
     }
 
@@ -90,7 +86,7 @@ impl CollabGraphBuilder {
     /// silently ignored; unknown endpoints panic (programming error).
     pub fn add_edge(&mut self, a: PersonId, b: PersonId) -> bool {
         assert!(
-            a.index() < self.people.len() && b.index() < self.people.len(),
+            a.index() < self.names.len() && b.index() < self.names.len(),
             "edge endpoints must be added before the edge"
         );
         if a == b {
@@ -101,14 +97,14 @@ impl CollabGraphBuilder {
             return false;
         }
         self.edges.push((PersonId(key.0), PersonId(key.1)));
-        self.adjacency[a.index()].push(b);
-        self.adjacency[b.index()].push(a);
+        self.adj_rows[a.index()].push(b);
+        self.adj_rows[b.index()].push(a);
         true
     }
 
     /// Number of people added so far.
     pub fn num_people(&self) -> usize {
-        self.people.len()
+        self.names.len()
     }
 
     /// Number of (deduplicated) edges added so far.
@@ -121,27 +117,21 @@ impl CollabGraphBuilder {
         &self.vocab
     }
 
-    /// Finalises the graph: sorts adjacency lists and builds the inverted
-    /// skill-holder index.
+    /// Finalises the graph: sorts adjacency rows and packs all per-person data
+    /// into the CSR arrays (including the inverted skill-holder index).
     pub fn build(mut self) -> CollabGraph {
-        for adj in &mut self.adjacency {
+        for adj in &mut self.adj_rows {
             adj.sort_unstable();
             adj.dedup();
         }
-        let mut holders: Vec<Vec<PersonId>> = vec![Vec::new(); self.vocab.len()];
-        for (i, rec) in self.people.iter().enumerate() {
-            for s in &rec.skills {
-                holders[s.index()].push(PersonId::from_index(i));
-            }
-        }
-        CollabGraph {
-            people: self.people,
-            adjacency: self.adjacency,
-            edges: self.edges,
-            edge_set: self.edge_set,
-            holders,
-            vocab: self.vocab,
-        }
+        CollabGraph::from_rows(
+            self.names,
+            self.skill_rows,
+            self.adj_rows,
+            self.edges,
+            self.edge_set,
+            self.vocab,
+        )
     }
 }
 
@@ -180,7 +170,7 @@ mod tests {
         let s2 = b.intern_skill("b");
         let p = b.add_person_with_skill_ids("p", vec![s2, s1, s2]);
         let g = b.build();
-        assert_eq!(g.person_skills(p), vec![s1, s2]);
+        assert_eq!(g.person_skills(p), &[s1, s2]);
     }
 
     #[test]
@@ -213,11 +203,13 @@ mod tests {
     #[test]
     fn adjacency_is_sorted_after_build() {
         let mut b = CollabGraphBuilder::new();
-        let p: Vec<_> = (0..5).map(|i| b.add_person(&format!("p{i}"), ["s"])).collect();
+        let p: Vec<_> = (0..5)
+            .map(|i| b.add_person(&format!("p{i}"), ["s"]))
+            .collect();
         b.add_edge(p[0], p[4]);
         b.add_edge(p[0], p[2]);
         b.add_edge(p[0], p[1]);
         let g = b.build();
-        assert_eq!(g.neighbors(p[0]), vec![p[1], p[2], p[4]]);
+        assert_eq!(g.neighbors(p[0]), &[p[1], p[2], p[4]]);
     }
 }

@@ -1,0 +1,248 @@
+//! Plain-text serialisation of [`CollabGraph`]s.
+//!
+//! The format is deliberately simple and line-oriented — graphs ship between
+//! services and bench runs without pulling a serialisation framework into the
+//! offline build:
+//!
+//! ```text
+//! exes-graph v1
+//! vocab <num_skills>
+//! <one skill name per line>
+//! people <num_people>
+//! <display name>\t<comma-separated skill ids>
+//! edges <num_edges>
+//! <a> <b>
+//! ```
+//!
+//! Person display names may contain spaces; tabs and line breaks are encoded
+//! as spaces (display names are not identifiers, so the lossiness is benign).
+
+use crate::{CollabGraph, GraphError, PersonId, Result, SkillId, SkillVocab};
+use rustc_hash::FxHashSet;
+
+const MAGIC: &str = "exes-graph v1";
+
+fn codec_err(msg: impl Into<String>) -> GraphError {
+    GraphError::Codec(msg.into())
+}
+
+impl CollabGraph {
+    /// Encodes the graph in the `exes-graph v1` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("vocab {}\n", self.vocab.len()));
+        for (_, name) in self.vocab.iter() {
+            out.push_str(name);
+            out.push('\n');
+        }
+        out.push_str(&format!("people {}\n", self.names.len()));
+        for p in self.people() {
+            let ids: Vec<String> = self
+                .base_skills(p)
+                .iter()
+                .map(|s| s.0.to_string())
+                .collect();
+            // Tabs and line breaks would corrupt the line structure; encode
+            // them as spaces (names are display-only, so this is acceptable
+            // lossiness rather than a decode failure later).
+            let name: String = self
+                .person_name(p)
+                .chars()
+                .map(|c| {
+                    if matches!(c, '\t' | '\n' | '\r') {
+                        ' '
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+            out.push_str(&format!("{}\t{}\n", name, ids.join(",")));
+        }
+        out.push_str(&format!("edges {}\n", self.edges.len()));
+        for &(a, b) in &self.edges {
+            out.push_str(&format!("{} {}\n", a.0, b.0));
+        }
+        out
+    }
+
+    /// Decodes a graph from the `exes-graph v1` text format, rebuilding every
+    /// derived index (CSR arrays, holder index, edge set, vocabulary index).
+    pub fn from_text(text: &str) -> Result<CollabGraph> {
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(codec_err("missing 'exes-graph v1' header"));
+        }
+        let expect_section = |line: Option<&str>, keyword: &str| -> Result<usize> {
+            let line = line.ok_or_else(|| codec_err(format!("missing '{keyword}' section")))?;
+            let rest = line
+                .strip_prefix(keyword)
+                .ok_or_else(|| codec_err(format!("expected '{keyword} <count>', got {line:?}")))?;
+            rest.trim()
+                .parse::<usize>()
+                .map_err(|_| codec_err(format!("bad count in '{keyword}' section: {line:?}")))
+        };
+
+        let num_skills = expect_section(lines.next(), "vocab")?;
+        let mut vocab = SkillVocab::new();
+        for i in 0..num_skills {
+            let name = lines
+                .next()
+                .ok_or_else(|| codec_err(format!("vocab truncated at entry {i}")))?;
+            vocab.intern(name);
+        }
+        if vocab.len() != num_skills {
+            return Err(codec_err("duplicate skill names in vocab section"));
+        }
+
+        let num_people = expect_section(lines.next(), "people")?;
+        let mut names = Vec::with_capacity(num_people);
+        let mut skill_rows = Vec::with_capacity(num_people);
+        for i in 0..num_people {
+            let line = lines
+                .next()
+                .ok_or_else(|| codec_err(format!("people truncated at entry {i}")))?;
+            let (name, ids) = line
+                .split_once('\t')
+                .ok_or_else(|| codec_err(format!("person line {i} missing tab separator")))?;
+            let mut row: Vec<SkillId> = Vec::new();
+            for tok in ids.split(',').filter(|t| !t.is_empty()) {
+                let id: u32 = tok
+                    .parse()
+                    .map_err(|_| codec_err(format!("bad skill id {tok:?} for person {i}")))?;
+                if id as usize >= num_skills {
+                    return Err(GraphError::UnknownSkill(SkillId(id)));
+                }
+                row.push(SkillId(id));
+            }
+            row.sort_unstable();
+            row.dedup();
+            names.push(name.to_string());
+            skill_rows.push(row);
+        }
+
+        let num_edges = expect_section(lines.next(), "edges")?;
+        let mut edges = Vec::with_capacity(num_edges);
+        let mut edge_set = FxHashSet::default();
+        let mut adj_rows: Vec<Vec<PersonId>> = vec![Vec::new(); num_people];
+        for i in 0..num_edges {
+            let line = lines
+                .next()
+                .ok_or_else(|| codec_err(format!("edges truncated at entry {i}")))?;
+            let mut parts = line.split_whitespace();
+            let parse_endpoint = |tok: Option<&str>| -> Result<PersonId> {
+                let tok = tok.ok_or_else(|| codec_err(format!("edge line {i} too short")))?;
+                let id: u32 = tok
+                    .parse()
+                    .map_err(|_| codec_err(format!("bad person id {tok:?} on edge line {i}")))?;
+                if id as usize >= num_people {
+                    return Err(GraphError::UnknownPerson(PersonId(id)));
+                }
+                Ok(PersonId(id))
+            };
+            let a = parse_endpoint(parts.next())?;
+            let b = parse_endpoint(parts.next())?;
+            if a == b {
+                return Err(GraphError::SelfLoop(a));
+            }
+            let key = CollabGraph::edge_key(a, b);
+            if !edge_set.insert(key) {
+                return Err(GraphError::DuplicateEdge(a, b));
+            }
+            edges.push((PersonId(key.0), PersonId(key.1)));
+            adj_rows[a.index()].push(b);
+            adj_rows[b.index()].push(a);
+        }
+        for row in &mut adj_rows {
+            row.sort_unstable();
+        }
+
+        Ok(CollabGraph::from_rows(
+            names, skill_rows, adj_rows, edges, edge_set, vocab,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollabGraphBuilder, GraphView};
+
+    fn toy() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let a = b.add_person("Ada Lovelace", ["db", "ml"]);
+        let c = b.add_person("Bob", ["ml"]);
+        let d = b.add_person("Cleo", Vec::<String>::new());
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = toy();
+        let back = CollabGraph::from_text(&g.to_text()).unwrap();
+        assert_eq!(back.stats(), g.stats());
+        assert_eq!(back.person_name(PersonId(0)), "Ada Lovelace");
+        assert!(back.person_skills(PersonId(2)).is_empty());
+        assert_eq!(back.holders_of(g.vocab().id("ml").unwrap()).len(), 2);
+        assert!(back.has_edge(PersonId(1), PersonId(2)));
+    }
+
+    #[test]
+    fn header_is_required() {
+        assert!(matches!(
+            CollabGraph::from_text("nope"),
+            Err(GraphError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_sections_are_rejected() {
+        let g = toy();
+        let text = g.to_text();
+        let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(CollabGraph::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn bad_ids_are_rejected() {
+        let text = "exes-graph v1\nvocab 1\ns\npeople 1\np\t7\nedges 0\n";
+        assert!(matches!(
+            CollabGraph::from_text(text),
+            Err(GraphError::UnknownSkill(_))
+        ));
+        let text = "exes-graph v1\nvocab 0\npeople 2\na\t\nb\t\nedges 1\n0 5\n";
+        assert!(matches!(
+            CollabGraph::from_text(text),
+            Err(GraphError::UnknownPerson(_))
+        ));
+        let text = "exes-graph v1\nvocab 0\npeople 2\na\t\nb\t\nedges 1\n1 1\n";
+        assert!(matches!(
+            CollabGraph::from_text(text),
+            Err(GraphError::SelfLoop(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_names_still_roundtrip() {
+        let mut b = CollabGraphBuilder::new();
+        b.add_person("Ada\tTab", ["db"]);
+        b.add_person("New\nLine", ["db"]);
+        let g = b.build();
+        let back = CollabGraph::from_text(&g.to_text()).unwrap();
+        assert_eq!(back.num_people(), 2);
+        assert_eq!(back.person_name(PersonId(0)), "Ada Tab");
+        assert_eq!(back.person_name(PersonId(1)), "New Line");
+        assert_eq!(back.base_skills(PersonId(1)).len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = CollabGraphBuilder::new().build();
+        let back = CollabGraph::from_text(&g.to_text()).unwrap();
+        assert_eq!(back.num_people(), 0);
+        assert_eq!(back.num_edges(), 0);
+    }
+}

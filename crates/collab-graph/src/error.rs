@@ -20,6 +20,8 @@ pub enum GraphError {
     DuplicateEdge(PersonId, PersonId),
     /// A query was constructed without any recognised skill keywords.
     EmptyQuery,
+    /// A serialised graph could not be decoded.
+    Codec(String),
 }
 
 impl fmt::Display for GraphError {
@@ -32,6 +34,7 @@ impl fmt::Display for GraphError {
             GraphError::MissingEdge(a, b) => write!(f, "edge ({a}, {b}) does not exist"),
             GraphError::DuplicateEdge(a, b) => write!(f, "edge ({a}, {b}) already exists"),
             GraphError::EmptyQuery => write!(f, "query contains no recognised skill keywords"),
+            GraphError::Codec(msg) => write!(f, "graph decode failed: {msg}"),
         }
     }
 }
@@ -44,12 +47,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(GraphError::UnknownPerson(PersonId(3)).to_string().contains("p3"));
-        assert!(GraphError::UnknownSkill(SkillId(5)).to_string().contains("s5"));
+        assert!(GraphError::UnknownPerson(PersonId(3))
+            .to_string()
+            .contains("p3"));
+        assert!(GraphError::UnknownSkill(SkillId(5))
+            .to_string()
+            .contains("s5"));
         assert!(GraphError::UnknownSkillName("rust".into())
             .to_string()
             .contains("rust"));
-        assert!(GraphError::SelfLoop(PersonId(1)).to_string().contains("self-loop"));
+        assert!(GraphError::SelfLoop(PersonId(1))
+            .to_string()
+            .contains("self-loop"));
         assert!(GraphError::MissingEdge(PersonId(0), PersonId(1))
             .to_string()
             .contains("does not exist"));
@@ -57,6 +66,9 @@ mod tests {
             .to_string()
             .contains("already exists"));
         assert!(GraphError::EmptyQuery.to_string().contains("query"));
+        assert!(GraphError::Codec("bad header".into())
+            .to_string()
+            .contains("bad header"));
     }
 
     #[test]

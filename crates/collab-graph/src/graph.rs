@@ -1,12 +1,16 @@
-//! The immutable base collaboration network.
+//! The immutable base collaboration network, stored in CSR form.
+//!
+//! All per-person data (skill labels, adjacency, skill-holder inverted index)
+//! lives in contiguous offset-indexed arrays, so the [`GraphView`] accessors
+//! on the probe hot path hand out borrowed slices without touching the
+//! allocator and with cache-friendly locality.
 
-use crate::view::GraphView;
+use crate::view::{EdgesIter, GraphView, PersonIds};
 use crate::{GraphError, PersonId, Result, SkillId, SkillVocab};
 use rustc_hash::FxHashSet;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an undirected edge, indexing into [`CollabGraph::edge`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -17,15 +21,8 @@ impl EdgeId {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub(crate) struct PersonRecord {
-    pub(crate) name: String,
-    /// Sorted, deduplicated skill ids.
-    pub(crate) skills: Vec<SkillId>,
-}
-
 /// Summary statistics of a collaboration network (Table 6 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GraphStats {
     /// Number of people (nodes).
     pub num_people: usize,
@@ -43,20 +40,46 @@ pub struct GraphStats {
 
 /// An immutable, skill-labelled, undirected collaboration network.
 ///
-/// Built with [`crate::CollabGraphBuilder`]. Edges are stored both as a sorted
-/// adjacency list (for neighbourhood traversal) and as a canonical edge list
-/// (for exhaustive explanation baselines); a hash set supports O(1) edge tests.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Built with [`crate::CollabGraphBuilder`]. Storage is CSR-style throughout:
+///
+/// * `skill_offsets`/`skill_labels` — each person's sorted skill ids,
+/// * `adj_offsets`/`adjacency` — each person's sorted collaborator ids,
+/// * `holder_offsets`/`holder_people` — each skill's sorted holders,
+///
+/// plus a canonical edge list (for exhaustive baselines) and an edge hash set
+/// (O(1) edge tests).
+#[derive(Debug, Clone)]
 pub struct CollabGraph {
-    pub(crate) people: Vec<PersonRecord>,
-    pub(crate) adjacency: Vec<Vec<PersonId>>,
+    pub(crate) names: Vec<String>,
+    /// CSR offsets into `skill_labels`; length `num_people + 1`.
+    pub(crate) skill_offsets: Vec<u32>,
+    /// Concatenated per-person sorted skill ids.
+    pub(crate) skill_labels: Vec<SkillId>,
+    /// CSR offsets into `adjacency`; length `num_people + 1`.
+    pub(crate) adj_offsets: Vec<u32>,
+    /// Concatenated per-person sorted collaborator ids.
+    pub(crate) adjacency: Vec<PersonId>,
     /// Canonical edge list: each undirected edge appears once with `a < b`.
     pub(crate) edges: Vec<(PersonId, PersonId)>,
-    #[serde(skip)]
     pub(crate) edge_set: FxHashSet<(u32, u32)>,
-    /// Inverted index: skill id -> people holding it (sorted).
-    pub(crate) holders: Vec<Vec<PersonId>>,
+    /// CSR offsets into `holder_people`; length `vocab.len() + 1`.
+    pub(crate) holder_offsets: Vec<u32>,
+    /// Concatenated per-skill sorted holder ids.
+    pub(crate) holder_people: Vec<PersonId>,
     pub(crate) vocab: SkillVocab,
+}
+
+/// Packs per-row vectors into a CSR (offsets, values) pair.
+fn pack_csr<T: Copy>(rows: &[Vec<T>]) -> (Vec<u32>, Vec<T>) {
+    let total: usize = rows.iter().map(Vec::len).sum();
+    let mut offsets = Vec::with_capacity(rows.len() + 1);
+    let mut values = Vec::with_capacity(total);
+    offsets.push(0u32);
+    for row in rows {
+        values.extend_from_slice(row);
+        offsets.push(u32::try_from(values.len()).expect("CSR payload exceeds u32::MAX"));
+    }
+    (offsets, values)
 }
 
 impl CollabGraph {
@@ -70,6 +93,55 @@ impl CollabGraph {
         }
     }
 
+    /// Assembles a graph from per-person rows, building all CSR arrays and the
+    /// inverted holder index. Rows must already be sorted and deduplicated.
+    pub(crate) fn from_rows(
+        names: Vec<String>,
+        skill_rows: Vec<Vec<SkillId>>,
+        adj_rows: Vec<Vec<PersonId>>,
+        edges: Vec<(PersonId, PersonId)>,
+        edge_set: FxHashSet<(u32, u32)>,
+        vocab: SkillVocab,
+    ) -> CollabGraph {
+        debug_assert_eq!(names.len(), skill_rows.len());
+        debug_assert_eq!(names.len(), adj_rows.len());
+        let mut holder_rows: Vec<Vec<PersonId>> = vec![Vec::new(); vocab.len()];
+        for (i, row) in skill_rows.iter().enumerate() {
+            for s in row {
+                holder_rows[s.index()].push(PersonId::from_index(i));
+            }
+        }
+        let (skill_offsets, skill_labels) = pack_csr(&skill_rows);
+        let (adj_offsets, adjacency) = pack_csr(&adj_rows);
+        let (holder_offsets, holder_people) = pack_csr(&holder_rows);
+        CollabGraph {
+            names,
+            skill_offsets,
+            skill_labels,
+            adj_offsets,
+            adjacency,
+            edges,
+            edge_set,
+            holder_offsets,
+            holder_people,
+            vocab,
+        }
+    }
+
+    /// The per-person skill rows as owned vectors (slow path for mutation).
+    fn skill_rows(&self) -> Vec<Vec<SkillId>> {
+        (0..self.names.len())
+            .map(|i| self.base_skills(PersonId::from_index(i)).to_vec())
+            .collect()
+    }
+
+    /// The per-person adjacency rows as owned vectors (slow path for mutation).
+    fn adj_rows(&self) -> Vec<Vec<PersonId>> {
+        (0..self.names.len())
+            .map(|i| self.base_neighbors(PersonId::from_index(i)).to_vec())
+            .collect()
+    }
+
     /// The skill vocabulary of this network.
     pub fn vocab(&self) -> &SkillVocab {
         &self.vocab
@@ -77,12 +149,12 @@ impl CollabGraph {
 
     /// Returns the display name of a person.
     pub fn person_name(&self, p: PersonId) -> &str {
-        &self.people[p.index()].name
+        &self.names[p.index()]
     }
 
     /// Checks that a person id is valid for this graph.
     pub fn check_person(&self, p: PersonId) -> Result<()> {
-        if p.index() < self.people.len() {
+        if p.index() < self.names.len() {
             Ok(())
         } else {
             Err(GraphError::UnknownPerson(p))
@@ -92,28 +164,40 @@ impl CollabGraph {
     /// Looks up a person by (exact) display name. O(n); intended for examples
     /// and tests, not hot paths.
     pub fn person_by_name(&self, name: &str) -> Option<PersonId> {
-        self.people
+        self.names
             .iter()
-            .position(|r| r.name == name)
+            .position(|n| n == name)
             .map(PersonId::from_index)
     }
 
     /// The sorted skill set of a person, as stored (no perturbations).
+    #[inline]
     pub fn base_skills(&self, p: PersonId) -> &[SkillId] {
-        &self.people[p.index()].skills
+        let i = p.index();
+        &self.skill_labels[self.skill_offsets[i] as usize..self.skill_offsets[i + 1] as usize]
     }
 
     /// The sorted adjacency list of a person, as stored (no perturbations).
+    #[inline]
     pub fn base_neighbors(&self, p: PersonId) -> &[PersonId] {
-        &self.adjacency[p.index()]
+        let i = p.index();
+        &self.adjacency[self.adj_offsets[i] as usize..self.adj_offsets[i + 1] as usize]
     }
 
     /// People holding `skill` (sorted). Empty slice for skills nobody holds.
+    #[inline]
     pub fn holders_of(&self, skill: SkillId) -> &[PersonId] {
-        self.holders
-            .get(skill.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let i = skill.index();
+        if i + 1 >= self.holder_offsets.len() {
+            return &[];
+        }
+        &self.holder_people[self.holder_offsets[i] as usize..self.holder_offsets[i + 1] as usize]
+    }
+
+    /// The canonical edge list, in storage order.
+    #[inline]
+    pub fn edge_list(&self) -> &[(PersonId, PersonId)] {
+        &self.edges
     }
 
     /// The canonical edge with a given id.
@@ -128,15 +212,20 @@ impl CollabGraph {
 
     /// Iterates over all people ids.
     pub fn people(&self) -> impl Iterator<Item = PersonId> {
-        (0..self.people.len()).map(PersonId::from_index)
+        (0..self.names.len()).map(PersonId::from_index)
     }
 
     /// Summary statistics (reproduces Table 6 rows).
     pub fn stats(&self) -> GraphStats {
-        let num_people = self.people.len();
+        let num_people = self.names.len();
         let num_edges = self.edges.len();
-        let total_skills: usize = self.people.iter().map(|p| p.skills.len()).sum();
-        let max_degree = self.adjacency.iter().map(Vec::len).max().unwrap_or(0);
+        let total_skills = self.skill_labels.len();
+        let max_degree = self
+            .adj_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0);
         GraphStats {
             num_people,
             num_edges,
@@ -155,8 +244,8 @@ impl CollabGraph {
         }
     }
 
-    /// Rebuilds the derived indices (edge hash set). Needed after
-    /// deserialisation because the set is not serialised.
+    /// Rebuilds the derived indices (edge hash set, vocabulary index). Needed
+    /// after decoding a graph whose derived state was not serialised.
     pub fn rebuild_indices(&mut self) {
         self.edge_set = self
             .edges
@@ -175,18 +264,27 @@ impl CollabGraph {
         if a == b {
             return Err(GraphError::SelfLoop(a));
         }
-        if self.edge_set.contains(&Self::edge_key(a, b)) {
+        let key = Self::edge_key(a, b);
+        if self.edge_set.contains(&key) {
             return Err(GraphError::DuplicateEdge(a, b));
         }
-        let mut g = self.clone();
-        let key = Self::edge_key(a, b);
-        g.edge_set.insert(key);
-        g.edges.push((PersonId(key.0), PersonId(key.1)));
-        g.adjacency[a.index()].push(b);
-        g.adjacency[a.index()].sort_unstable();
-        g.adjacency[b.index()].push(a);
-        g.adjacency[b.index()].sort_unstable();
-        Ok(g)
+        let mut edge_set = self.edge_set.clone();
+        edge_set.insert(key);
+        let mut edges = self.edges.clone();
+        edges.push((PersonId(key.0), PersonId(key.1)));
+        let mut adj_rows = self.adj_rows();
+        adj_rows[a.index()].push(b);
+        adj_rows[a.index()].sort_unstable();
+        adj_rows[b.index()].push(a);
+        adj_rows[b.index()].sort_unstable();
+        Ok(Self::from_rows(
+            self.names.clone(),
+            self.skill_rows(),
+            adj_rows,
+            edges,
+            edge_set,
+            self.vocab.clone(),
+        ))
     }
 
     /// Produces a new graph with the edge `(a, b)` removed.
@@ -197,13 +295,21 @@ impl CollabGraph {
         if !self.edge_set.contains(&key) {
             return Err(GraphError::MissingEdge(a, b));
         }
-        let mut g = self.clone();
-        g.edge_set.remove(&key);
-        g.edges
-            .retain(|&(x, y)| Self::edge_key(x, y) != key);
-        g.adjacency[a.index()].retain(|&n| n != b);
-        g.adjacency[b.index()].retain(|&n| n != a);
-        Ok(g)
+        let mut edge_set = self.edge_set.clone();
+        edge_set.remove(&key);
+        let mut edges = self.edges.clone();
+        edges.retain(|&(x, y)| Self::edge_key(x, y) != key);
+        let mut adj_rows = self.adj_rows();
+        adj_rows[a.index()].retain(|&n| n != b);
+        adj_rows[b.index()].retain(|&n| n != a);
+        Ok(Self::from_rows(
+            self.names.clone(),
+            self.skill_rows(),
+            adj_rows,
+            edges,
+            edge_set,
+            self.vocab.clone(),
+        ))
     }
 
     /// Produces a new graph with `skill` added to `person`'s label set.
@@ -212,33 +318,40 @@ impl CollabGraph {
         if skill.index() >= self.vocab.len() {
             return Err(GraphError::UnknownSkill(skill));
         }
-        let mut g = self.clone();
-        let skills = &mut g.people[person.index()].skills;
-        if let Err(pos) = skills.binary_search(&skill) {
-            skills.insert(pos, skill);
-            let holders = &mut g.holders[skill.index()];
-            if let Err(hpos) = holders.binary_search(&person) {
-                holders.insert(hpos, person);
-            }
+        let mut skill_rows = self.skill_rows();
+        let row = &mut skill_rows[person.index()];
+        if let Err(pos) = row.binary_search(&skill) {
+            row.insert(pos, skill);
         }
-        Ok(g)
+        Ok(Self::from_rows(
+            self.names.clone(),
+            skill_rows,
+            self.adj_rows(),
+            self.edges.clone(),
+            self.edge_set.clone(),
+            self.vocab.clone(),
+        ))
     }
 
     /// Produces a new graph with `skill` removed from `person`'s label set.
     pub fn with_skill_removed(&self, person: PersonId, skill: SkillId) -> Result<CollabGraph> {
         self.check_person(person)?;
-        let mut g = self.clone();
-        g.people[person.index()].skills.retain(|&s| s != skill);
-        if let Some(holders) = g.holders.get_mut(skill.index()) {
-            holders.retain(|&p| p != person);
-        }
-        Ok(g)
+        let mut skill_rows = self.skill_rows();
+        skill_rows[person.index()].retain(|&s| s != skill);
+        Ok(Self::from_rows(
+            self.names.clone(),
+            skill_rows,
+            self.adj_rows(),
+            self.edges.clone(),
+            self.edge_set.clone(),
+            self.vocab.clone(),
+        ))
     }
 }
 
 impl GraphView for CollabGraph {
     fn num_people(&self) -> usize {
-        self.people.len()
+        self.names.len()
     }
 
     fn num_edges(&self) -> usize {
@@ -250,27 +363,33 @@ impl GraphView for CollabGraph {
     }
 
     fn person_has_skill(&self, p: PersonId, s: SkillId) -> bool {
-        self.people[p.index()].skills.binary_search(&s).is_ok()
+        self.base_skills(p).binary_search(&s).is_ok()
     }
 
-    fn person_skills(&self, p: PersonId) -> Vec<SkillId> {
-        self.people[p.index()].skills.clone()
+    #[inline]
+    fn person_skills(&self, p: PersonId) -> &[SkillId] {
+        self.base_skills(p)
     }
 
-    fn neighbors(&self, p: PersonId) -> Vec<PersonId> {
-        self.adjacency[p.index()].clone()
+    #[inline]
+    fn neighbors(&self, p: PersonId) -> &[PersonId] {
+        self.base_neighbors(p)
     }
 
     fn degree(&self, p: PersonId) -> usize {
-        self.adjacency[p.index()].len()
+        self.base_neighbors(p).len()
     }
 
     fn has_edge(&self, a: PersonId, b: PersonId) -> bool {
         a != b && self.edge_set.contains(&Self::edge_key(a, b))
     }
 
-    fn edges(&self) -> Vec<(PersonId, PersonId)> {
-        self.edges.clone()
+    fn edges(&self) -> EdgesIter<'_> {
+        EdgesIter::base(&self.edges)
+    }
+
+    fn people_ids(&self) -> PersonIds {
+        PersonIds::up_to(self.names.len())
     }
 }
 
@@ -302,6 +421,19 @@ mod tests {
     }
 
     #[test]
+    fn csr_slices_are_sorted_and_consistent() {
+        let g = toy();
+        for p in g.people() {
+            let skills = g.base_skills(p);
+            assert!(skills.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(g.person_skills(p), skills);
+            let ns = g.base_neighbors(p);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(g.neighbors(p), ns);
+        }
+    }
+
+    #[test]
     fn edge_queries_are_symmetric() {
         let g = toy();
         assert!(g.has_edge(PersonId(0), PersonId(1)));
@@ -317,6 +449,7 @@ mod tests {
         assert_eq!(g.holders_of(ml), &[PersonId(0), PersonId(1)]);
         let vision = g.vocab().id("vision").unwrap();
         assert_eq!(g.holders_of(vision), &[PersonId(2)]);
+        assert!(g.holders_of(SkillId(99)).is_empty());
     }
 
     #[test]
@@ -325,6 +458,7 @@ mod tests {
         let g2 = g.with_edge_added(PersonId(0), PersonId(2)).unwrap();
         assert!(g2.has_edge(PersonId(0), PersonId(2)));
         assert_eq!(g2.num_edges(), 3);
+        assert_eq!(g2.base_neighbors(PersonId(0)), &[PersonId(1), PersonId(2)]);
         let g3 = g2.with_edge_removed(PersonId(2), PersonId(0)).unwrap();
         assert!(!g3.has_edge(PersonId(0), PersonId(2)));
         assert_eq!(g3.num_edges(), 2);
@@ -381,16 +515,18 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_and_rebuild() {
+    fn codec_roundtrip_preserves_everything() {
         let g = toy();
-        let json = serde_json::to_string(&g).unwrap();
-        let mut back: CollabGraph = serde_json::from_str(&json).unwrap();
-        // Derived indices are skipped during serialisation.
-        assert!(back.edge_set.is_empty());
-        back.rebuild_indices();
+        let text = g.to_text();
+        let back = CollabGraph::from_text(&text).unwrap();
+        assert_eq!(back.stats(), g.stats());
         assert!(back.has_edge(PersonId(0), PersonId(1)));
         assert_eq!(back.vocab().id("db"), g.vocab().id("db"));
-        assert_eq!(back.stats(), g.stats());
+        for p in g.people() {
+            assert_eq!(back.base_skills(p), g.base_skills(p));
+            assert_eq!(back.base_neighbors(p), g.base_neighbors(p));
+            assert_eq!(back.person_name(p), g.person_name(p));
+        }
     }
 
     #[test]

@@ -4,19 +4,18 @@
 //! inside [`crate::CollabGraph`] and [`crate::SkillVocab`], are `Copy`, and hash
 //! quickly with `FxHash`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a person (node) in a collaboration network.
 ///
 /// Ids are dense: a graph with `n` people uses ids `0..n`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PersonId(pub u32);
 
 /// Identifier of a skill (node label / query keyword) in a [`crate::SkillVocab`].
 ///
 /// Ids are dense: a vocabulary with `l` skills uses ids `0..l`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SkillId(pub u32);
 
 impl PersonId {

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod codec;
 mod error;
 mod graph;
 mod ids;
@@ -56,7 +57,7 @@ pub use ids::{PersonId, SkillId};
 pub use neighborhood::{Neighborhood, NeighborhoodSkills};
 pub use perturbation::{Perturbation, PerturbationSet};
 pub use query::Query;
-pub use view::{GraphView, PerturbedGraph};
+pub use view::{EdgesIter, GraphView, PersonIds, PerturbedGraph};
 pub use vocab::SkillVocab;
 
 /// Convenience result alias for fallible graph operations.

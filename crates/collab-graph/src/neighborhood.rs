@@ -36,9 +36,9 @@ impl Neighborhood {
             if dist == radius {
                 continue;
             }
-            for n in view.neighbors(p) {
-                if !distances.contains_key(&n) {
-                    distances.insert(n, dist + 1);
+            for &n in view.neighbors(p) {
+                if let std::collections::hash_map::Entry::Vacant(e) = distances.entry(n) {
+                    e.insert(dist + 1);
                     queue.push_back(n);
                 }
             }
@@ -93,7 +93,7 @@ impl Neighborhood {
     pub fn skills<G: GraphView + ?Sized>(&self, view: &G) -> NeighborhoodSkills {
         let mut pairs = Vec::new();
         for &p in &self.members {
-            for s in view.person_skills(p) {
+            for &s in view.person_skills(p) {
                 pairs.push((p, s));
             }
         }
@@ -105,7 +105,7 @@ impl Neighborhood {
     pub fn edges_within<G: GraphView + ?Sized>(&self, view: &G) -> Vec<(PersonId, PersonId)> {
         let mut edges = Vec::new();
         for &a in &self.members {
-            for b in view.neighbors(a) {
+            for &b in view.neighbors(a) {
                 if a < b && self.contains(b) {
                     edges.push((a, b));
                 }
@@ -232,10 +232,7 @@ mod tests {
         assert_eq!(sk.len(), 3);
         assert_eq!(sk.distinct_skills().len(), 3);
         assert!(!sk.is_empty());
-        assert!(sk
-            .pairs()
-            .iter()
-            .all(|&(p, _)| n.contains(p)));
+        assert!(sk.pairs().iter().all(|&(p, _)| n.contains(p)));
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! Feature perturbations: the atomic edits ExES explores when explaining.
 
 use crate::{CollabGraph, PersonId, PerturbedGraph, Query, SkillId};
-use serde::{Deserialize, Serialize};
 
 /// An atomic edit to the input of an expert-search / team-formation system.
 ///
 /// Counterfactual explanations are sets of these ([`PerturbationSet`]); factual
 /// explanations score the *features* these edits act on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Perturbation {
     /// Give `person` a new `skill` label.
     AddSkill {
@@ -87,7 +86,11 @@ impl Perturbation {
         };
         match *self {
             Perturbation::AddSkill { person, skill } => {
-                format!("add skill '{}' to {}", skill_name(skill), person_name(person))
+                format!(
+                    "add skill '{}' to {}",
+                    skill_name(skill),
+                    person_name(person)
+                )
             }
             Perturbation::RemoveSkill { person, skill } => {
                 format!(
@@ -122,12 +125,12 @@ impl Perturbation {
 
 impl CollabGraph {
     pub(crate) fn num_people_internal(&self) -> usize {
-        self.people.len()
+        self.names.len()
     }
 }
 
 /// An ordered set of perturbations (a candidate counterfactual explanation).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct PerturbationSet {
     items: Vec<Perturbation>,
 }
@@ -205,11 +208,7 @@ impl PerturbationSet {
     }
 
     /// Applies both graph- and query-side edits (line 10 of Algorithm 1).
-    pub fn apply<'a>(
-        &self,
-        base: &'a CollabGraph,
-        query: &Query,
-    ) -> (PerturbedGraph<'a>, Query) {
+    pub fn apply<'a>(&self, base: &'a CollabGraph, query: &Query) -> (PerturbedGraph<'a>, Query) {
         (self.apply_to_graph(base), self.apply_to_query(query))
     }
 
@@ -373,8 +372,9 @@ mod tests {
 
     #[test]
     fn subset_relation() {
-        let a: PerturbationSet =
-            [Perturbation::AddQueryTerm { skill: SkillId(1) }].into_iter().collect();
+        let a: PerturbationSet = [Perturbation::AddQueryTerm { skill: SkillId(1) }]
+            .into_iter()
+            .collect();
         let b: PerturbationSet = [
             Perturbation::AddQueryTerm { skill: SkillId(1) },
             Perturbation::AddQueryTerm { skill: SkillId(2) },

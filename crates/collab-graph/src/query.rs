@@ -1,13 +1,12 @@
 //! Keyword queries: the user-supplied set of desired skills.
 
 use crate::{GraphError, Result, SkillId, SkillVocab};
-use serde::{Deserialize, Serialize};
 
 /// A keyword query `q ⊂ S`: the set of skills an expert (or team) should cover.
 ///
 /// The order of keywords is preserved (it only matters for display); membership
 /// checks use a sorted copy internally.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Query {
     skills: Vec<SkillId>,
 }
@@ -124,7 +123,10 @@ mod tests {
     #[test]
     fn all_unknown_keywords_is_an_error() {
         let v = vocab();
-        assert_eq!(Query::parse("quantum blockchain", &v).unwrap_err(), GraphError::EmptyQuery);
+        assert_eq!(
+            Query::parse("quantum blockchain", &v).unwrap_err(),
+            GraphError::EmptyQuery
+        );
     }
 
     #[test]

@@ -1,13 +1,112 @@
 //! Read-only views over (possibly perturbed) collaboration networks.
+//!
+//! This is the probe hot path: every counterfactual candidate evaluation ranks
+//! the whole graph through these accessors, so they must not allocate.
+//! [`CollabGraph`] answers straight from its CSR arrays; [`PerturbedGraph`]
+//! resolves its small sorted delta at *construction* time into per-person
+//! patched rows, after which every accessor is a borrow too.
 
 use crate::{CollabGraph, PersonId, PerturbationSet, Query, SkillId, SkillVocab};
-use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Iterator over all person ids of a view, in ascending order.
+#[derive(Debug, Clone)]
+pub struct PersonIds {
+    range: std::ops::Range<u32>,
+}
+
+impl PersonIds {
+    /// Ids `0..n`.
+    pub fn up_to(n: usize) -> Self {
+        PersonIds {
+            range: 0..u32::try_from(n).expect("person count exceeds u32::MAX"),
+        }
+    }
+}
+
+impl Iterator for PersonIds {
+    type Item = PersonId;
+
+    #[inline]
+    fn next(&mut self) -> Option<PersonId> {
+        self.range.next().map(PersonId)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for PersonIds {}
+
+impl DoubleEndedIterator for PersonIds {
+    fn next_back(&mut self) -> Option<PersonId> {
+        self.range.next_back().map(PersonId)
+    }
+}
+
+/// Iterator over the edges of a view: the base edge list (in storage order)
+/// minus removed edges, followed by added edges (in canonical sorted order).
+///
+/// Yielding from borrowed slices keeps [`GraphView::edges`] allocation-free
+/// for both the base graph and perturbed overlays.
+#[derive(Debug, Clone)]
+pub struct EdgesIter<'a> {
+    base: std::slice::Iter<'a, (PersonId, PersonId)>,
+    /// Sorted canonical keys of removed edges; empty for base graphs.
+    removed: &'a [(u32, u32)],
+    /// Sorted canonical keys of added edges; empty for base graphs.
+    added: std::slice::Iter<'a, (u32, u32)>,
+}
+
+impl<'a> EdgesIter<'a> {
+    /// Iterates a plain edge slice.
+    pub fn base(edges: &'a [(PersonId, PersonId)]) -> Self {
+        EdgesIter {
+            base: edges.iter(),
+            removed: &[],
+            added: [].iter(),
+        }
+    }
+
+    /// Iterates a base edge slice under a sorted add/remove delta.
+    pub fn overlay(
+        edges: &'a [(PersonId, PersonId)],
+        removed: &'a [(u32, u32)],
+        added: &'a [(u32, u32)],
+    ) -> Self {
+        EdgesIter {
+            base: edges.iter(),
+            removed,
+            added: added.iter(),
+        }
+    }
+}
+
+impl Iterator for EdgesIter<'_> {
+    type Item = (PersonId, PersonId);
+
+    fn next(&mut self) -> Option<(PersonId, PersonId)> {
+        for &(a, b) in self.base.by_ref() {
+            if self.removed.is_empty()
+                || self
+                    .removed
+                    .binary_search(&CollabGraph::edge_key(a, b))
+                    .is_err()
+            {
+                return Some((a, b));
+            }
+        }
+        self.added.next().map(|&(a, b)| (PersonId(a), PersonId(b)))
+    }
+}
 
 /// A read-only view of a collaboration network.
 ///
 /// Expert-search and team-formation systems are written against this trait so
 /// that ExES can probe them with perturbed inputs ([`PerturbedGraph`]) without
-/// copying the whole graph for each probe.
+/// copying the whole graph for each probe. All accessors on the hot path
+/// return borrowed slices or iterators — implementations must not build a
+/// fresh collection per call.
 pub trait GraphView {
     /// Number of people `|P|`.
     fn num_people(&self) -> usize;
@@ -22,10 +121,10 @@ pub trait GraphView {
     fn person_has_skill(&self, p: PersonId, s: SkillId) -> bool;
 
     /// The skills of person `p` in this view (sorted ascending).
-    fn person_skills(&self, p: PersonId) -> Vec<SkillId>;
+    fn person_skills(&self, p: PersonId) -> &[SkillId];
 
     /// The collaborators of person `p` in this view (sorted ascending).
-    fn neighbors(&self, p: PersonId) -> Vec<PersonId>;
+    fn neighbors(&self, p: PersonId) -> &[PersonId];
 
     /// Degree of `p` in this view.
     fn degree(&self, p: PersonId) -> usize {
@@ -35,12 +134,13 @@ pub trait GraphView {
     /// Whether an edge exists between `a` and `b` in this view.
     fn has_edge(&self, a: PersonId, b: PersonId) -> bool;
 
-    /// All edges of the view, canonically ordered (`a < b`), each once.
-    fn edges(&self) -> Vec<(PersonId, PersonId)>;
+    /// Iterator over the edges of the view, each undirected edge once with
+    /// canonical endpoint order (`a < b`).
+    fn edges(&self) -> EdgesIter<'_>;
 
     /// Iterator over all person ids.
-    fn people_ids(&self) -> Vec<PersonId> {
-        (0..self.num_people()).map(PersonId::from_index).collect()
+    fn people_ids(&self) -> PersonIds {
+        PersonIds::up_to(self.num_people())
     }
 
     /// Number of the query's keywords held by `p` in this view.
@@ -53,20 +153,29 @@ pub trait GraphView {
     }
 }
 
-/// A copy-on-write overlay applying a [`PerturbationSet`] to a base graph.
+/// A thin delta overlay applying a [`PerturbationSet`] to a base graph.
 ///
-/// Construction cost and memory are proportional to the number of perturbations,
-/// not to the graph size, which is what makes beam search over thousands of
-/// candidate perturbations feasible (Pruning Strategy 3 relies on cheap probes).
+/// Construction cost and memory are proportional to the number of
+/// perturbations, not to the graph size: the delta is kept as four small
+/// *sorted* add/remove key sets consulted on top of the base CSR arrays, plus
+/// fully merged skill/neighbor rows for the handful of people the delta
+/// touches. After construction every accessor is a borrow — probing thousands
+/// of candidate perturbations allocates nothing per probe call.
 #[derive(Debug, Clone)]
 pub struct PerturbedGraph<'a> {
     base: &'a CollabGraph,
-    added_skills: FxHashSet<(u32, u32)>,
-    removed_skills: FxHashSet<(u32, u32)>,
-    added_edges: FxHashSet<(u32, u32)>,
-    removed_edges: FxHashSet<(u32, u32)>,
-    /// Extra neighbours induced by added edges, per endpoint.
-    extra_neighbors: FxHashMap<u32, Vec<PersonId>>,
+    /// Sorted `(person, skill)` additions.
+    added_skills: Vec<(u32, u32)>,
+    /// Sorted `(person, skill)` removals.
+    removed_skills: Vec<(u32, u32)>,
+    /// Sorted canonical `(a, b)` edge additions.
+    added_edges: Vec<(u32, u32)>,
+    /// Sorted canonical `(a, b)` edge removals.
+    removed_edges: Vec<(u32, u32)>,
+    /// Merged skill rows for people with skill deltas, sorted by person id.
+    patched_skills: Vec<(u32, Vec<SkillId>)>,
+    /// Merged adjacency rows for people with edge deltas, sorted by person id.
+    patched_neighbors: Vec<(u32, Vec<PersonId>)>,
 }
 
 impl<'a> PerturbedGraph<'a> {
@@ -74,11 +183,12 @@ impl<'a> PerturbedGraph<'a> {
     pub fn identity(base: &'a CollabGraph) -> Self {
         PerturbedGraph {
             base,
-            added_skills: FxHashSet::default(),
-            removed_skills: FxHashSet::default(),
-            added_edges: FxHashSet::default(),
-            removed_edges: FxHashSet::default(),
-            extra_neighbors: FxHashMap::default(),
+            added_skills: Vec::new(),
+            removed_skills: Vec::new(),
+            added_edges: Vec::new(),
+            removed_edges: Vec::new(),
+            patched_skills: Vec::new(),
+            patched_neighbors: Vec::new(),
         }
     }
 
@@ -91,6 +201,7 @@ impl<'a> PerturbedGraph<'a> {
         for p in delta.iter() {
             view.apply(p);
         }
+        view.finalize();
         view
     }
 
@@ -104,15 +215,20 @@ impl<'a> PerturbedGraph<'a> {
         match *p {
             AddSkill { person, skill } => {
                 let key = (person.0, skill.0);
-                if !self.removed_skills.remove(&key) && !self.base.person_has_skill(person, skill)
-                {
-                    self.added_skills.insert(key);
+                if remove_key(&mut self.removed_skills, key) {
+                    return;
+                }
+                if !self.base.person_has_skill(person, skill) {
+                    insert_key(&mut self.added_skills, key);
                 }
             }
             RemoveSkill { person, skill } => {
                 let key = (person.0, skill.0);
-                if !self.added_skills.remove(&key) && self.base.person_has_skill(person, skill) {
-                    self.removed_skills.insert(key);
+                if remove_key(&mut self.added_skills, key) {
+                    return;
+                }
+                if self.base.person_has_skill(person, skill) {
+                    insert_key(&mut self.removed_skills, key);
                 }
             }
             AddEdge { a, b } => {
@@ -120,12 +236,11 @@ impl<'a> PerturbedGraph<'a> {
                     return;
                 }
                 let key = CollabGraph::edge_key(a, b);
-                if self.removed_edges.remove(&key) {
+                if remove_key(&mut self.removed_edges, key) {
                     return;
                 }
-                if !self.base.has_edge(a, b) && self.added_edges.insert(key) {
-                    self.extra_neighbors.entry(a.0).or_default().push(b);
-                    self.extra_neighbors.entry(b.0).or_default().push(a);
+                if !self.base.has_edge(a, b) {
+                    insert_key(&mut self.added_edges, key);
                 }
             }
             RemoveEdge { a, b } => {
@@ -133,21 +248,94 @@ impl<'a> PerturbedGraph<'a> {
                     return;
                 }
                 let key = CollabGraph::edge_key(a, b);
-                if self.added_edges.remove(&key) {
-                    if let Some(v) = self.extra_neighbors.get_mut(&a.0) {
-                        v.retain(|&n| n != b);
-                    }
-                    if let Some(v) = self.extra_neighbors.get_mut(&b.0) {
-                        v.retain(|&n| n != a);
-                    }
+                if remove_key(&mut self.added_edges, key) {
                     return;
                 }
                 if self.base.has_edge(a, b) {
-                    self.removed_edges.insert(key);
+                    insert_key(&mut self.removed_edges, key);
                 }
             }
             AddQueryTerm { .. } | RemoveQueryTerm { .. } => {}
         }
+    }
+
+    /// Sorts the delta sets and materialises merged rows for every touched
+    /// person. O(delta · log + Σ touched row lengths).
+    fn finalize(&mut self) {
+        self.added_skills.sort_unstable();
+        self.removed_skills.sort_unstable();
+        self.added_edges.sort_unstable();
+        self.removed_edges.sort_unstable();
+
+        // People whose skill rows change.
+        let mut touched: Vec<u32> = self
+            .added_skills
+            .iter()
+            .chain(self.removed_skills.iter())
+            .map(|&(p, _)| p)
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        self.patched_skills = touched
+            .into_iter()
+            .map(|p| {
+                let mut row: Vec<SkillId> = self
+                    .base
+                    .base_skills(PersonId(p))
+                    .iter()
+                    .copied()
+                    .filter(|s| self.removed_skills.binary_search(&(p, s.0)).is_err())
+                    .collect();
+                row.extend(
+                    self.added_skills
+                        .iter()
+                        .filter(|&&(person, _)| person == p)
+                        .map(|&(_, s)| SkillId(s)),
+                );
+                row.sort_unstable();
+                row.dedup();
+                (p, row)
+            })
+            .collect();
+
+        // People whose adjacency rows change.
+        let mut touched: Vec<u32> = self
+            .added_edges
+            .iter()
+            .chain(self.removed_edges.iter())
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        self.patched_neighbors = touched
+            .into_iter()
+            .map(|p| {
+                let pid = PersonId(p);
+                let mut row: Vec<PersonId> = self
+                    .base
+                    .base_neighbors(pid)
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        self.removed_edges
+                            .binary_search(&CollabGraph::edge_key(pid, n))
+                            .is_err()
+                    })
+                    .collect();
+                row.extend(self.added_edges.iter().filter_map(|&(a, b)| {
+                    if a == p {
+                        Some(PersonId(b))
+                    } else if b == p {
+                        Some(PersonId(a))
+                    } else {
+                        None
+                    }
+                }));
+                row.sort_unstable();
+                row.dedup();
+                (p, row)
+            })
+            .collect();
     }
 
     /// Number of graph-side changes in this overlay.
@@ -156,6 +344,23 @@ impl<'a> PerturbedGraph<'a> {
             + self.removed_skills.len()
             + self.added_edges.len()
             + self.removed_edges.len()
+    }
+}
+
+/// Inserts into a small sorted-on-finalize key vector, ignoring duplicates.
+fn insert_key(keys: &mut Vec<(u32, u32)>, key: (u32, u32)) {
+    if !keys.contains(&key) {
+        keys.push(key);
+    }
+}
+
+/// Removes a key if present, reporting whether it was.
+fn remove_key(keys: &mut Vec<(u32, u32)>, key: (u32, u32)) -> bool {
+    if let Some(pos) = keys.iter().position(|&k| k == key) {
+        keys.swap_remove(pos);
+        true
+    } else {
+        false
     }
 }
 
@@ -174,47 +379,33 @@ impl GraphView for PerturbedGraph<'_> {
 
     fn person_has_skill(&self, p: PersonId, s: SkillId) -> bool {
         let key = (p.0, s.0);
-        if self.removed_skills.contains(&key) {
+        if self.removed_skills.binary_search(&key).is_ok() {
             return false;
         }
-        if self.added_skills.contains(&key) {
+        if self.added_skills.binary_search(&key).is_ok() {
             return true;
         }
         self.base.person_has_skill(p, s)
     }
 
-    fn person_skills(&self, p: PersonId) -> Vec<SkillId> {
-        let mut skills: Vec<SkillId> = self
-            .base
-            .base_skills(p)
-            .iter()
-            .copied()
-            .filter(|s| !self.removed_skills.contains(&(p.0, s.0)))
-            .collect();
-        for &(person, skill) in &self.added_skills {
-            if person == p.0 {
-                skills.push(SkillId(skill));
-            }
+    fn person_skills(&self, p: PersonId) -> &[SkillId] {
+        match self
+            .patched_skills
+            .binary_search_by_key(&p.0, |&(id, _)| id)
+        {
+            Ok(i) => &self.patched_skills[i].1,
+            Err(_) => self.base.base_skills(p),
         }
-        skills.sort_unstable();
-        skills.dedup();
-        skills
     }
 
-    fn neighbors(&self, p: PersonId) -> Vec<PersonId> {
-        let mut ns: Vec<PersonId> = self
-            .base
-            .base_neighbors(p)
-            .iter()
-            .copied()
-            .filter(|&n| !self.removed_edges.contains(&CollabGraph::edge_key(p, n)))
-            .collect();
-        if let Some(extra) = self.extra_neighbors.get(&p.0) {
-            ns.extend_from_slice(extra);
+    fn neighbors(&self, p: PersonId) -> &[PersonId] {
+        match self
+            .patched_neighbors
+            .binary_search_by_key(&p.0, |&(id, _)| id)
+        {
+            Ok(i) => &self.patched_neighbors[i].1,
+            Err(_) => self.base.base_neighbors(p),
         }
-        ns.sort_unstable();
-        ns.dedup();
-        ns
     }
 
     fn has_edge(&self, a: PersonId, b: PersonId) -> bool {
@@ -222,27 +413,21 @@ impl GraphView for PerturbedGraph<'_> {
             return false;
         }
         let key = CollabGraph::edge_key(a, b);
-        if self.removed_edges.contains(&key) {
+        if self.removed_edges.binary_search(&key).is_ok() {
             return false;
         }
-        if self.added_edges.contains(&key) {
+        if self.added_edges.binary_search(&key).is_ok() {
             return true;
         }
         self.base.has_edge(a, b)
     }
 
-    fn edges(&self) -> Vec<(PersonId, PersonId)> {
-        let mut es: Vec<(PersonId, PersonId)> = self
-            .base
-            .edges()
-            .into_iter()
-            .filter(|&(a, b)| !self.removed_edges.contains(&CollabGraph::edge_key(a, b)))
-            .collect();
-        for &(a, b) in &self.added_edges {
-            es.push((PersonId(a), PersonId(b)));
-        }
-        es.sort_unstable();
-        es
+    fn edges(&self) -> EdgesIter<'_> {
+        EdgesIter::overlay(
+            self.base.edge_list(),
+            &self.removed_edges,
+            &self.added_edges,
+        )
     }
 }
 
@@ -267,7 +452,10 @@ mod tests {
         let v = PerturbedGraph::identity(&g);
         assert_eq!(v.num_people(), g.num_people());
         assert_eq!(v.num_edges(), g.num_edges());
-        assert_eq!(v.edges(), g.edges());
+        assert_eq!(
+            v.edges().collect::<Vec<_>>(),
+            GraphView::edges(&g).collect::<Vec<_>>()
+        );
         for p in g.people() {
             assert_eq!(v.person_skills(p), g.person_skills(p));
             assert_eq!(v.neighbors(p), g.neighbors(p));
@@ -295,6 +483,8 @@ mod tests {
         assert_eq!(v.person_skills(PersonId(0)).len(), 3);
         // Base graph is untouched.
         assert!(!g.person_has_skill(PersonId(0), vision));
+        // Untouched people borrow straight from the base CSR.
+        assert_eq!(v.person_skills(PersonId(2)), g.base_skills(PersonId(2)));
     }
 
     #[test]
@@ -313,9 +503,15 @@ mod tests {
         assert!(v.has_edge(PersonId(0), PersonId(2)));
         assert!(!v.has_edge(PersonId(0), PersonId(1)));
         assert_eq!(v.num_edges(), 2);
-        assert_eq!(v.neighbors(PersonId(0)), vec![PersonId(2)]);
-        assert_eq!(v.neighbors(PersonId(2)), vec![PersonId(0), PersonId(1)]);
-        assert_eq!(v.edges().len(), 2);
+        assert_eq!(v.neighbors(PersonId(0)), &[PersonId(2)][..]);
+        assert_eq!(v.neighbors(PersonId(2)), &[PersonId(0), PersonId(1)][..]);
+        assert_eq!(v.edges().count(), 2);
+        let mut collected: Vec<_> = v.edges().collect();
+        collected.sort_unstable();
+        assert_eq!(
+            collected,
+            vec![(PersonId(0), PersonId(2)), (PersonId(1), PersonId(2))]
+        );
     }
 
     #[test]
@@ -386,5 +582,14 @@ mod tests {
         });
         let v = PerturbedGraph::new(&g, &d);
         assert_eq!(v.query_match_count(PersonId(0), &q), 2);
+    }
+
+    #[test]
+    fn person_ids_iterator_behaves_like_a_range() {
+        let ids: Vec<PersonId> = PersonIds::up_to(3).collect();
+        assert_eq!(ids, vec![PersonId(0), PersonId(1), PersonId(2)]);
+        assert_eq!(PersonIds::up_to(5).len(), 5);
+        assert_eq!(PersonIds::up_to(2).next_back(), Some(PersonId(1)));
+        assert_eq!(PersonIds::up_to(0).count(), 0);
     }
 }

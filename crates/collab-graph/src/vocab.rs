@@ -2,16 +2,14 @@
 
 use crate::{GraphError, Result, SkillId};
 use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// The universe of skills `S` shared by a collaboration network and its queries.
 ///
 /// Skill names are normalised to lowercase ASCII on insertion so that lookups are
 /// case-insensitive; ids are assigned densely in insertion order.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SkillVocab {
     names: Vec<String>,
-    #[serde(skip)]
     index: FxHashMap<String, SkillId>,
 }
 

@@ -1,13 +1,11 @@
 //! Generator configuration and the two paper-dataset presets.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of a synthetic collaboration-network dataset.
 ///
 /// The two presets mirror the statistics of Table 6 in the paper; use
 /// [`DatasetConfig::scaled`] to shrink them proportionally for fast experiments
 /// (relative measurements — speed-ups, precision — are preserved).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetConfig {
     /// Dataset display name (appears in experiment tables).
     pub name: String,

@@ -7,16 +7,15 @@
 //! from it.
 
 use exes_graph::{PersonId, SkillId};
-use serde::{Deserialize, Serialize};
 
 /// A corpus of skill-token documents attributed to people.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Corpus {
     documents: Vec<Document>,
 }
 
 /// A single document (paper, repository description, ...) of the corpus.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Document {
     /// Authors / owners of this document.
     pub authors: Vec<PersonId>,
@@ -62,7 +61,9 @@ impl Corpus {
 
     /// Documents authored by `p`.
     pub fn documents_of(&self, p: PersonId) -> impl Iterator<Item = &Document> {
-        self.documents.iter().filter(move |d| d.authors.contains(&p))
+        self.documents
+            .iter()
+            .filter(move |d| d.authors.contains(&p))
     }
 }
 

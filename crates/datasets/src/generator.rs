@@ -90,7 +90,9 @@ impl SyntheticDataset {
                 let use_intra =
                     rng.gen_bool(cfg.intra_topic_prob) && !topic_endpoints[my_topic].is_empty();
                 let candidate = if use_intra {
-                    *topic_endpoints[my_topic].choose(&mut rng).expect("non-empty")
+                    *topic_endpoints[my_topic]
+                        .choose(&mut rng)
+                        .expect("non-empty")
                 } else if !endpoints.is_empty() && rng.gen_bool(0.7) {
                     *endpoints.choose(&mut rng).expect("non-empty")
                 } else {
@@ -125,7 +127,7 @@ impl SyntheticDataset {
 
     /// Fraction of edges whose endpoints share a topic (a homophily sanity metric).
     pub fn intra_topic_edge_fraction(&self) -> f64 {
-        let edges = self.graph.edges();
+        let edges = self.graph.edge_list();
         if edges.is_empty() {
             return 0.0;
         }
@@ -184,7 +186,7 @@ fn generate_corpus(
         let neighbors = graph.neighbors(p);
         for _ in 0..cfg.docs_per_person {
             let mut authors = vec![p];
-            let mut token_pool = own_skills.clone();
+            let mut token_pool = own_skills.to_vec();
             // Roughly half the documents are co-authored with a collaborator,
             // mixing both skill sets — this is what lets the embedding model
             // learn cross-person, intra-topic similarity.
@@ -224,7 +226,7 @@ mod tests {
         let a = tiny();
         let b = tiny();
         assert_eq!(a.graph.stats(), b.graph.stats());
-        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.graph.edge_list(), b.graph.edge_list());
         assert_eq!(a.topic_of_person, b.topic_of_person);
         assert_eq!(a.corpus.len(), b.corpus.len());
     }
@@ -233,7 +235,7 @@ mod tests {
     fn different_seeds_give_different_graphs() {
         let a = SyntheticDataset::generate(&DatasetConfig::tiny("a", 1));
         let b = SyntheticDataset::generate(&DatasetConfig::tiny("b", 2));
-        assert_ne!(a.graph.edges(), b.graph.edges());
+        assert_ne!(a.graph.edge_list(), b.graph.edge_list());
     }
 
     #[test]
@@ -255,8 +257,7 @@ mod tests {
         let stats = ds.graph.stats();
         let mean = ds.config.mean_skills_per_person as f64;
         assert!(
-            stats.avg_skills_per_person > mean * 0.4
-                && stats.avg_skills_per_person < mean * 1.4,
+            stats.avg_skills_per_person > mean * 0.4 && stats.avg_skills_per_person < mean * 1.4,
             "avg skills {} too far from configured mean {}",
             stats.avg_skills_per_person,
             mean

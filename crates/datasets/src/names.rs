@@ -5,9 +5,32 @@
 //! synthetic generator), so we synthesise plausible-looking unique names.
 
 const GIVEN: &[&str] = &[
-    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edsger", "Frances", "Grace", "Hedy", "Ivan",
-    "John", "Katherine", "Leslie", "Margaret", "Niklaus", "Olga", "Peter", "Radia", "Shafi",
-    "Tim", "Ursula", "Vint", "Whitfield", "Xiao", "Yann", "Zara",
+    "Ada",
+    "Alan",
+    "Barbara",
+    "Claude",
+    "Donald",
+    "Edsger",
+    "Frances",
+    "Grace",
+    "Hedy",
+    "Ivan",
+    "John",
+    "Katherine",
+    "Leslie",
+    "Margaret",
+    "Niklaus",
+    "Olga",
+    "Peter",
+    "Radia",
+    "Shafi",
+    "Tim",
+    "Ursula",
+    "Vint",
+    "Whitfield",
+    "Xiao",
+    "Yann",
+    "Zara",
 ];
 
 const FAMILY: &[&str] = &[
@@ -17,20 +40,79 @@ const FAMILY: &[&str] = &[
 ];
 
 const SKILL_ROOTS: &[&str] = &[
-    "graph", "neural", "database", "query", "index", "stream", "privacy", "vision", "language",
-    "retrieval", "ranking", "cluster", "embedding", "transformer", "crypto", "network",
-    "distributed", "storage", "compiler", "kernel", "scheduling", "cache", "consensus",
-    "replication", "search", "mining", "learning", "inference", "optimization", "sampling",
-    "recommendation", "classification", "segmentation", "detection", "parsing", "reasoning",
-    "knowledge", "ontology", "provenance", "workflow", "benchmark", "hardware", "quantum",
-    "robotics", "simulation", "visualization", "fairness", "explainability", "causality",
+    "graph",
+    "neural",
+    "database",
+    "query",
+    "index",
+    "stream",
+    "privacy",
+    "vision",
+    "language",
+    "retrieval",
+    "ranking",
+    "cluster",
+    "embedding",
+    "transformer",
+    "crypto",
+    "network",
+    "distributed",
+    "storage",
+    "compiler",
+    "kernel",
+    "scheduling",
+    "cache",
+    "consensus",
+    "replication",
+    "search",
+    "mining",
+    "learning",
+    "inference",
+    "optimization",
+    "sampling",
+    "recommendation",
+    "classification",
+    "segmentation",
+    "detection",
+    "parsing",
+    "reasoning",
+    "knowledge",
+    "ontology",
+    "provenance",
+    "workflow",
+    "benchmark",
+    "hardware",
+    "quantum",
+    "robotics",
+    "simulation",
+    "visualization",
+    "fairness",
+    "explainability",
+    "causality",
     "federated",
 ];
 
 const SKILL_SUFFIXES: &[&str] = &[
-    "analysis", "systems", "models", "theory", "engineering", "design", "processing",
-    "architecture", "algorithms", "evaluation", "management", "integration", "compression",
-    "synthesis", "verification", "testing", "security", "quality", "scaling", "tuning",
+    "analysis",
+    "systems",
+    "models",
+    "theory",
+    "engineering",
+    "design",
+    "processing",
+    "architecture",
+    "algorithms",
+    "evaluation",
+    "management",
+    "integration",
+    "compression",
+    "synthesis",
+    "verification",
+    "testing",
+    "security",
+    "quality",
+    "scaling",
+    "tuning",
 ];
 
 /// Deterministic display name for person `i`.

@@ -40,10 +40,7 @@ impl QueryWorkload {
         let mut queries = Vec::with_capacity(count);
         while queries.len() < count {
             let len = rng.gen_range(min_keywords..=max_keywords.min(all_skills.len()));
-            let sample: Vec<SkillId> = all_skills
-                .choose_multiple(&mut rng, len)
-                .copied()
-                .collect();
+            let sample: Vec<SkillId> = all_skills.choose_multiple(&mut rng, len).copied().collect();
             if let Ok(q) = Query::new(sample) {
                 queries.push(q);
             }
@@ -76,8 +73,7 @@ impl QueryWorkload {
         let mut queries = Vec::with_capacity(count);
         while queries.len() < count {
             let len = rng.gen_range(min_keywords..=max_keywords.min(popular.len()));
-            let sample: Vec<SkillId> =
-                popular.choose_multiple(&mut rng, len).copied().collect();
+            let sample: Vec<SkillId> = popular.choose_multiple(&mut rng, len).copied().collect();
             if let Ok(q) = Query::new(sample) {
                 queries.push(q);
             }

@@ -150,7 +150,7 @@ mod tests {
 
     #[test]
     fn counts_pairs_within_bags() {
-        let bags = vec![vec![sid(0), sid(1), sid(2)], vec![sid(0), sid(1)]];
+        let bags = [vec![sid(0), sid(1), sid(2)], vec![sid(0), sid(1)]];
         let m = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 3);
         assert_eq!(m.count(0, 1), 2.0);
         assert_eq!(m.count(1, 0), 2.0);
@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn row_sums_and_total_are_consistent() {
-        let bags = vec![vec![sid(0), sid(1), sid(2)], vec![sid(1), sid(2)]];
+        let bags = [vec![sid(0), sid(1), sid(2)], vec![sid(1), sid(2)]];
         let m = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 3);
         let sum_of_rows: f64 = (0..3).map(|i| m.row_sum(i)).sum();
         assert!((sum_of_rows - m.total()).abs() < 1e-12);
@@ -185,7 +185,7 @@ mod tests {
 
     #[test]
     fn matmul_dense_matches_manual_computation() {
-        let bags = vec![vec![sid(0), sid(1)]];
+        let bags = [vec![sid(0), sid(1)]];
         let m = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 2);
         // M = [[0,1],[1,0]]
         let x = crate::linalg::DenseMatrix::from_fn(2, 1, |r, _| (r + 1) as f64); // [1,2]
@@ -196,7 +196,11 @@ mod tests {
 
     #[test]
     fn map_values_preserves_symmetry_and_drops_zeros() {
-        let bags = vec![vec![sid(0), sid(1)], vec![sid(1), sid(2)], vec![sid(1), sid(2)]];
+        let bags = [
+            vec![sid(0), sid(1)],
+            vec![sid(1), sid(2)],
+            vec![sid(1), sid(2)],
+        ];
         let m = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 3);
         // Keep only counts >= 2.
         let filtered = m.map_values(|_, _, v| if v >= 2.0 { v } else { 0.0 });
@@ -207,7 +211,7 @@ mod tests {
 
     #[test]
     fn row_iter_yields_all_entries() {
-        let bags = vec![vec![sid(0), sid(1), sid(2)]];
+        let bags = [vec![sid(0), sid(1), sid(2)]];
         let m = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 3);
         let row0: Vec<(u32, f64)> = m.row_iter(0).collect();
         assert_eq!(row0.len(), 2);

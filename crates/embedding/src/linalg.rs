@@ -82,7 +82,10 @@ impl DenseMatrix {
 
     /// `selfᵀ * other`.
     pub fn transpose_matmul(&self, other: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(self.rows, other.rows, "dimension mismatch in transpose_matmul");
+        assert_eq!(
+            self.rows, other.rows,
+            "dimension mismatch in transpose_matmul"
+        );
         let mut out = DenseMatrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
             for i in 0..self.cols {
@@ -137,7 +140,11 @@ impl DenseMatrix {
 /// Returns `(eigenvalues, eigenvectors)` where `eigenvectors` holds the
 /// eigenvectors as **columns**, sorted by descending absolute eigenvalue.
 pub fn symmetric_eigen(mat: &DenseMatrix) -> (Vec<f64>, DenseMatrix) {
-    assert_eq!(mat.rows(), mat.cols(), "eigen-decomposition needs a square matrix");
+    assert_eq!(
+        mat.rows(),
+        mat.cols(),
+        "eigen-decomposition needs a square matrix"
+    );
     let n = mat.rows();
     let mut a = mat.clone();
     let mut v = DenseMatrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 });
@@ -256,7 +263,8 @@ mod tests {
 
     #[test]
     fn gram_schmidt_produces_orthonormal_columns() {
-        let mut m = DenseMatrix::from_fn(4, 3, |r, c| ((r + 1) * (c + 2)) as f64 + (r as f64) * 0.3);
+        let mut m =
+            DenseMatrix::from_fn(4, 3, |r, c| ((r + 1) * (c + 2)) as f64 + (r as f64) * 0.3);
         m.set(2, 1, 7.0);
         m.set(3, 2, -1.0);
         m.orthonormalize_columns();
@@ -278,7 +286,13 @@ mod tests {
     #[test]
     fn gram_schmidt_zeroes_dependent_columns() {
         // Second column is a multiple of the first.
-        let mut m = DenseMatrix::from_fn(3, 2, |r, c| if c == 0 { (r + 1) as f64 } else { 2.0 * (r + 1) as f64 });
+        let mut m = DenseMatrix::from_fn(3, 2, |r, c| {
+            if c == 0 {
+                (r + 1) as f64
+            } else {
+                2.0 * (r + 1) as f64
+            }
+        });
         m.orthonormalize_columns();
         let norm2: f64 = (0..3).map(|r| m.get(r, 1) * m.get(r, 1)).sum();
         assert!(norm2 < 1e-12);
@@ -291,11 +305,11 @@ mod tests {
         let (vals, vecs) = symmetric_eigen(&m);
         assert!((vals[0] - 3.0).abs() < 1e-9);
         assert!((vals[1] - 1.0).abs() < 1e-9);
-        // Check A v = λ v for the first eigenvector.
-        for col in 0..2 {
+        // Check A v = λ v for both eigenvectors.
+        for (col, &val) in vals.iter().enumerate().take(2) {
             for r in 0..2 {
                 let av: f64 = (0..2).map(|k| m.get(r, k) * vecs.get(k, col)).sum();
-                assert!((av - vals[col] * vecs.get(r, col)).abs() < 1e-8);
+                assert!((av - val * vecs.get(r, col)).abs() < 1e-8);
             }
         }
     }

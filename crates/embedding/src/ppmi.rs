@@ -39,7 +39,7 @@ mod tests {
 
     #[test]
     fn ppmi_is_nonnegative_and_symmetric() {
-        let bags = vec![
+        let bags = [
             vec![sid(0), sid(1)],
             vec![sid(0), sid(1)],
             vec![sid(2), sid(3)],
@@ -57,7 +57,7 @@ mod tests {
 
     #[test]
     fn frequent_pairs_score_higher_than_rare_cross_pairs() {
-        let bags = vec![
+        let bags = [
             vec![sid(0), sid(1)],
             vec![sid(0), sid(1)],
             vec![sid(0), sid(1)],
@@ -74,7 +74,11 @@ mod tests {
 
     #[test]
     fn shift_reduces_scores() {
-        let bags = vec![vec![sid(0), sid(1)], vec![sid(0), sid(1)], vec![sid(2), sid(3)]];
+        let bags = [
+            vec![sid(0), sid(1)],
+            vec![sid(0), sid(1)],
+            vec![sid(2), sid(3)],
+        ];
         let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 4);
         let plain = ppmi(&counts, 0.0);
         let shifted = ppmi(&counts, 1.0);
@@ -93,7 +97,7 @@ mod tests {
     fn independent_pairs_get_zero_ppmi() {
         // Construct counts where pair (0,1) occurs exactly as often as expected
         // under independence: with 4 tokens all co-occurring uniformly, PMI ~ 0.
-        let bags = vec![
+        let bags = [
             vec![sid(0), sid(1)],
             vec![sid(0), sid(2)],
             vec![sid(0), sid(3)],

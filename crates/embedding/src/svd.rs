@@ -157,7 +157,10 @@ mod tests {
         // The dominant eigenvalue is 10 with eigenvector [1,1]/√2, so the PSD
         // truncation reconstructs λ·v₀·v₁ = 10 · ½ = 5 for the off-diagonal.
         let dot01: f64 = (0..2).map(|c| emb.get(0, c) * emb.get(1, c)).sum();
-        assert!((dot01 - 5.0).abs() < 0.5, "reconstructed off-diagonal {dot01}");
+        assert!(
+            (dot01 - 5.0).abs() < 0.5,
+            "reconstructed off-diagonal {dot01}"
+        );
     }
 
     #[test]
@@ -172,8 +175,7 @@ mod tests {
 
     #[test]
     fn dimension_is_capped_by_matrix_size() {
-        let mut bags = Vec::new();
-        bags.push(vec![sid(0), sid(1)]);
+        let bags = [vec![sid(0), sid(1)]];
         let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 2);
         let emb = truncated_symmetric_embedding(
             &counts,
@@ -188,7 +190,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let bags = vec![vec![sid(0), sid(1), sid(2)], vec![sid(1), sid(2)]];
+        let bags = [vec![sid(0), sid(1), sid(2)], vec![sid(1), sid(2)]];
         let counts = CooccurrenceMatrix::from_bags(bags.iter().map(|b| b.as_slice()), 3);
         let a = truncated_symmetric_embedding(&counts, &SvdOptions::default());
         let b = truncated_symmetric_embedding(&counts, &SvdOptions::default());

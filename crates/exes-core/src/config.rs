@@ -1,11 +1,10 @@
 //! ExES configuration: the paper's tunables (Table 3 and Section 4.1 defaults).
 
 use exes_shap::ShapConfig;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// How the black box's answer is turned into the scalar that SHAP attributes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OutputMode {
     /// The paper's formulation: the binary relevance / membership status
     /// (`1.0` if the person is selected, `0.0` otherwise).
@@ -19,7 +18,7 @@ pub enum OutputMode {
 }
 
 /// All ExES tunables. Field names follow the paper's symbols (Table 3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExesConfig {
     /// Top-`k` cutoff defining the relevance status for expert search.
     pub k: usize,
@@ -46,8 +45,11 @@ pub struct ExesConfig {
     pub timeout: Option<Duration>,
     /// How the decision is scalarised for SHAP.
     pub output_mode: OutputMode,
+    /// Whether probe batches (counterfactual candidate scoring and factual
+    /// SHAP coalitions) run on all cores. Results are byte-identical either
+    /// way; disable for differential testing or single-core deployments.
+    pub parallel_probes: bool,
     /// Shapley estimator configuration.
-    #[serde(skip)]
     pub shap: ShapConfig,
 }
 
@@ -64,6 +66,7 @@ impl Default for ExesConfig {
             tau: 0.1,
             timeout: Some(Duration::from_secs(1000)),
             output_mode: OutputMode::Binary,
+            parallel_probes: true,
             shap: ShapConfig::default(),
         }
     }
@@ -127,6 +130,12 @@ impl ExesConfig {
         self.output_mode = mode;
         self
     }
+
+    /// Builder-style setter for parallel probe scoring.
+    pub fn with_parallel_probes(mut self, parallel: bool) -> Self {
+        self.parallel_probes = parallel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +155,7 @@ mod tests {
         assert!((c.tau - 0.1).abs() < 1e-12);
         assert_eq!(c.timeout, Some(Duration::from_secs(1000)));
         assert_eq!(c.output_mode, OutputMode::Binary);
+        assert!(c.parallel_probes);
     }
 
     #[test]

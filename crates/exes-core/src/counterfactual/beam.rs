@@ -1,7 +1,15 @@
-//! Beam search over perturbation sets — Algorithm 1 (Pruning Strategy 3).
+//! Beam search over perturbation sets — Algorithm 1 (Pruning Strategy 3),
+//! rebuilt around the batched probe engine.
+//!
+//! Each beam level expands every state by every candidate feature, dedups the
+//! expansions, and scores them through [`ProbeBatch`] in fixed-size chunks.
+//! Chunks are processed strictly in generation order, so the search is fully
+//! deterministic and its results are byte-identical whether probes run on one
+//! thread or many (`cfg.parallel_probes`).
 
 use super::{CounterfactualExplanation, CounterfactualKind, CounterfactualResult};
 use crate::config::ExesConfig;
+use crate::probe::{ProbeBatch, PROBE_CHUNK};
 use crate::tasks::DecisionModel;
 use exes_graph::{CollabGraph, Perturbation, PerturbationSet, Query};
 use rustc_hash::FxHashSet;
@@ -13,8 +21,9 @@ use std::time::Instant;
 ///
 /// * `candidates` — the pruned candidate features produced by Pruning
 ///   Strategies 4/5 (or an unpruned list, for ablations).
-/// * `deadline` — optional wall-clock cutoff; when reached, whatever has been
-///   found so far is returned with `timed_out = true`.
+/// * `deadline` — optional wall-clock cutoff, checked between probe chunks;
+///   when reached, whatever has been found so far is returned with
+///   `timed_out = true`.
 pub fn beam_search<D: DecisionModel>(
     task: &D,
     graph: &CollabGraph,
@@ -25,7 +34,8 @@ pub fn beam_search<D: DecisionModel>(
     deadline: Option<Instant>,
 ) -> CounterfactualResult {
     let mut result = CounterfactualResult::default();
-    let initial = task.probe(graph, query);
+    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes);
+    let initial = engine.score_identity();
     result.probes += 1;
     let initial_relevance = initial.positive;
 
@@ -34,7 +44,8 @@ pub fn beam_search<D: DecisionModel>(
     let mut seen: FxHashSet<Vec<Perturbation>> = FxHashSet::default();
 
     'outer: while result.explanations.len() < cfg.num_explanations && !queue.is_empty() {
-        let mut expanded_queue: Vec<(f64, PerturbationSet)> = Vec::new();
+        // Generate this level's novel expansions, in deterministic beam order.
+        let mut pending: Vec<PerturbationSet> = Vec::new();
         for (_, state) in &queue {
             for &feature in candidates {
                 if state.contains(&feature) {
@@ -46,49 +57,73 @@ pub fn beam_search<D: DecisionModel>(
                 if !seen.insert(key) {
                     continue;
                 }
-                // Skip supersets of explanations we already found: they cannot be
-                // minimal.
-                if result
-                    .explanations
-                    .iter()
-                    .any(|e| e.perturbations.is_subset_of(&expanded))
-                {
-                    continue;
+                pending.push(expanded);
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+
+        let mut expanded_queue: Vec<(f64, PerturbationSet)> = Vec::new();
+        for raw_chunk in pending.chunks(PROBE_CHUNK) {
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    result.timed_out = true;
+                    break 'outer;
                 }
-                let (view, perturbed_query) = expanded.apply(graph, query);
-                let probe = task.probe(&view, &perturbed_query);
-                result.probes += 1;
+            }
+            if result.explanations.len() >= cfg.num_explanations {
+                break 'outer;
+            }
+            // Supersets of explanations found in earlier chunks cannot be
+            // minimal; drop them before spending probes.
+            let chunk: Vec<PerturbationSet> = raw_chunk
+                .iter()
+                .filter(|set| {
+                    !result
+                        .explanations
+                        .iter()
+                        .any(|e| e.perturbations.is_subset_of(set))
+                })
+                .cloned()
+                .collect();
+            if chunk.is_empty() {
+                continue;
+            }
+            let probes = engine.score(&chunk);
+            result.probes += chunk.len();
+            for (set, probe) in chunk.into_iter().zip(probes) {
                 if probe.positive != initial_relevance {
+                    // In-order minimality guard within the chunk: a set whose
+                    // subset already flipped is not minimal.
+                    if result.explanations.len() >= cfg.num_explanations
+                        || result
+                            .explanations
+                            .iter()
+                            .any(|e| e.perturbations.is_subset_of(&set))
+                    {
+                        continue;
+                    }
                     result.explanations.push(CounterfactualExplanation {
-                        perturbations: expanded.clone(),
+                        perturbations: set,
                         new_signal: probe.signal,
                         kind,
                     });
-                    if result.explanations.len() >= cfg.num_explanations {
-                        break 'outer;
-                    }
-                } else if expanded.len() < cfg.max_explanation_size {
-                    expanded_queue.push((probe.signal, expanded));
-                }
-                if let Some(deadline) = deadline {
-                    if Instant::now() >= deadline {
-                        result.timed_out = true;
-                        break 'outer;
-                    }
+                } else if set.len() < cfg.max_explanation_size {
+                    expanded_queue.push((probe.signal, set));
                 }
             }
         }
+
         // Keep the b most promising states. If the subject is currently selected
         // we want perturbations that push it *out* (higher signal first);
         // otherwise perturbations that pull it *in* (lower signal first).
         if initial_relevance {
-            expanded_queue.sort_by(|a, b| {
-                b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            expanded_queue
+                .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         } else {
-            expanded_queue.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            expanded_queue
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         }
         expanded_queue.truncate(cfg.beam_width);
         queue = expanded_queue;
@@ -104,7 +139,7 @@ mod tests {
     use super::*;
     use crate::tasks::ExpertRelevanceTask;
     use exes_expert_search::{ExpertRanker, TfIdfRanker};
-    use exes_graph::{CollabGraphBuilder, PersonId};
+    use exes_graph::{CollabGraphBuilder, GraphView, PersonId};
 
     /// Ada(db, ml) leads; Bob(db) is second; Cig(vision) is last.
     fn graph() -> CollabGraph {
@@ -130,8 +165,14 @@ mod tests {
         let ml = g.vocab().id("ml").unwrap();
         let db = g.vocab().id("db").unwrap();
         let candidates = vec![
-            Perturbation::RemoveSkill { person: PersonId(0), skill: ml },
-            Perturbation::RemoveSkill { person: PersonId(0), skill: db },
+            Perturbation::RemoveSkill {
+                person: PersonId(0),
+                skill: ml,
+            },
+            Perturbation::RemoveSkill {
+                person: PersonId(0),
+                skill: db,
+            },
         ];
         let result = beam_search(
             &task,
@@ -164,8 +205,14 @@ mod tests {
         let db = g.vocab().id("db").unwrap();
         let vision = g.vocab().id("vision").unwrap();
         let candidates = vec![
-            Perturbation::AddSkill { person: PersonId(2), skill: ml },
-            Perturbation::AddSkill { person: PersonId(2), skill: db },
+            Perturbation::AddSkill {
+                person: PersonId(2),
+                skill: ml,
+            },
+            Perturbation::AddSkill {
+                person: PersonId(2),
+                skill: db,
+            },
             Perturbation::AddQueryTerm { skill: vision },
         ];
         let result = beam_search(
@@ -190,8 +237,6 @@ mod tests {
         let q = Query::parse("db ml", g.vocab()).unwrap();
         let ranker = TfIdfRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(2), 1);
-        // Only useless candidates: no explanation should be found and the search
-        // must terminate (bounded by γ).
         let vision = g.vocab().id("vision").unwrap();
         let candidates = vec![Perturbation::AddQueryTerm { skill: vision }];
         let mut config = cfg();
@@ -205,8 +250,6 @@ mod tests {
             &config,
             None,
         );
-        // Adding "vision" to the query actually helps Cig, so either it is found
-        // as an explanation or nothing is; in both cases sizes stay within γ.
         for e in &result.explanations {
             assert!(e.size() <= 2);
         }
@@ -221,8 +264,15 @@ mod tests {
         let candidates: Vec<Perturbation> = g
             .vocab()
             .ids()
-            .map(|s| Perturbation::RemoveSkill { person: PersonId(0), skill: s })
-            .chain(g.vocab().ids().map(|s| Perturbation::AddQueryTerm { skill: s }))
+            .map(|s| Perturbation::RemoveSkill {
+                person: PersonId(0),
+                skill: s,
+            })
+            .chain(
+                g.vocab()
+                    .ids()
+                    .map(|s| Perturbation::AddQueryTerm { skill: s }),
+            )
             .collect();
         let mut config = cfg();
         config.num_explanations = 2;
@@ -245,7 +295,10 @@ mod tests {
         let ranker = TfIdfRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 1);
         let ml = g.vocab().id("ml").unwrap();
-        let candidates = vec![Perturbation::RemoveSkill { person: PersonId(0), skill: ml }];
+        let candidates = vec![Perturbation::RemoveSkill {
+            person: PersonId(0),
+            skill: ml,
+        }];
         let deadline = Some(Instant::now());
         let result = beam_search(
             &task,
@@ -268,7 +321,10 @@ mod tests {
         let candidates: Vec<Perturbation> = g
             .vocab()
             .ids()
-            .map(|s| Perturbation::RemoveSkill { person: PersonId(0), skill: s })
+            .map(|s| Perturbation::RemoveSkill {
+                person: PersonId(0),
+                skill: s,
+            })
             .collect();
         let result = beam_search(
             &task,
@@ -285,5 +341,60 @@ mod tests {
         assert_eq!(sizes, sorted);
         // Sanity: the initial ranking really has Ada on top for this query.
         assert_eq!(ranker.rank_of(&g, &q, PersonId(0)), 1);
+    }
+
+    #[test]
+    fn parallel_and_sequential_paths_are_byte_identical() {
+        // A graph large enough that each beam level exceeds the parallel
+        // threshold, with query-term and skill candidates mixed in.
+        let mut b = CollabGraphBuilder::new();
+        let people: Vec<_> = (0..20)
+            .map(|i| {
+                b.add_person(
+                    &format!("p{i}"),
+                    [format!("s{}", i % 6), format!("s{}", (i + 1) % 6)],
+                )
+            })
+            .collect();
+        for w in people.windows(3) {
+            b.add_edge(w[0], w[2]);
+            b.add_edge(w[0], w[1]);
+        }
+        let g = b.build();
+        let q = Query::parse("s0 s1", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, people[0], 3);
+        let candidates: Vec<Perturbation> = g
+            .people()
+            .flat_map(|p| {
+                g.person_skills(p)
+                    .iter()
+                    .map(move |&s| Perturbation::RemoveSkill {
+                        person: p,
+                        skill: s,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut parallel_cfg = ExesConfig::fast().with_k(3).with_beam_width(6);
+        parallel_cfg.parallel_probes = true;
+        let mut sequential_cfg = parallel_cfg.clone();
+        sequential_cfg.parallel_probes = false;
+        let run = |config: &ExesConfig| {
+            beam_search(
+                &task,
+                &g,
+                &q,
+                &candidates,
+                CounterfactualKind::SkillRemoval,
+                config,
+                None,
+            )
+        };
+        let par = run(&parallel_cfg);
+        let seq = run(&sequential_cfg);
+        assert_eq!(par.probes, seq.probes);
+        assert_eq!(par.timed_out, seq.timed_out);
+        assert_eq!(par.explanations, seq.explanations);
     }
 }

@@ -5,7 +5,7 @@ use crate::config::ExesConfig;
 use crate::tasks::DecisionModel;
 use exes_embedding::SkillEmbedding;
 use exes_graph::{
-    CollabGraph, GraphView, Neighborhood, Perturbation, PerturbationSet, PersonId, Query, SkillId,
+    CollabGraph, GraphView, Neighborhood, PersonId, Perturbation, PerturbationSet, Query, SkillId,
 };
 use exes_linkpred::LinkPredictor;
 
@@ -24,8 +24,8 @@ pub fn skill_removal_candidates(
     for &person in neighborhood.members() {
         let mut scored: Vec<(SkillId, f64)> = graph
             .person_skills(person)
-            .into_iter()
-            .map(|s| (s, embedding.similarity_to_set(s, query.skills())))
+            .iter()
+            .map(|&s| (s, embedding.similarity_to_set(s, query.skills())))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         for (skill, _) in scored.into_iter().take(cfg.num_candidates) {
@@ -93,19 +93,18 @@ pub fn query_augmentation_candidates(
 ) -> Vec<Perturbation> {
     let subject_skills = graph.person_skills(subject);
     let mut exclude: Vec<SkillId> = query.skills().to_vec();
-    let reference: Vec<SkillId>;
-    if currently_selected {
+    let reference: Vec<SkillId> = if currently_selected {
         // Similar to the query but *not* held by the subject.
         exclude.extend(subject_skills.iter().copied());
-        reference = query.skills().to_vec();
+        query.skills().to_vec()
     } else {
         // Similar to both the subject's profile and the query.
-        reference = subject_skills
+        subject_skills
             .iter()
             .copied()
             .chain(query.skills().iter().copied())
-            .collect();
-    }
+            .collect()
+    };
     embedding
         .most_similar(&reference, cfg.num_candidates, &exclude)
         .into_iter()
@@ -174,7 +173,10 @@ pub fn link_addition_candidates<L: LinkPredictor>(
     link_predictor
         .top_candidates(graph, subject, &pool, cfg.num_candidates)
         .into_iter()
-        .map(|(other, _)| Perturbation::AddEdge { a: subject, b: other })
+        .map(|(other, _)| Perturbation::AddEdge {
+            a: subject,
+            b: other,
+        })
         .collect()
 }
 
@@ -206,7 +208,13 @@ mod tests {
     }
 
     fn any_query(ds: &SyntheticDataset) -> Query {
-        let skills: Vec<SkillId> = ds.graph.person_skills(PersonId(3)).into_iter().take(3).collect();
+        let skills: Vec<SkillId> = ds
+            .graph
+            .person_skills(PersonId(3))
+            .iter()
+            .copied()
+            .take(3)
+            .collect();
         Query::new(skills).unwrap()
     }
 

@@ -1,9 +1,13 @@
-//! Exhaustive counterfactual search — the no-pruning baseline of Tables 8/10/12/14.
+//! Exhaustive counterfactual search — the no-pruning baseline of Tables
+//! 8/10/12/14, rebuilt around the batched probe engine.
 
 use super::{CounterfactualExplanation, CounterfactualKind, CounterfactualResult};
 use crate::config::ExesConfig;
+use crate::probe::{ProbeBatch, PROBE_CHUNK};
 use crate::tasks::DecisionModel;
-use exes_graph::{CollabGraph, GraphView, Neighborhood, Perturbation, PerturbationSet, PersonId, Query, SkillId};
+use exes_graph::{
+    CollabGraph, GraphView, Neighborhood, PersonId, Perturbation, PerturbationSet, Query, SkillId,
+};
 use std::time::Instant;
 
 /// Enumerates perturbation subsets in order of increasing size (1, then 2, ...)
@@ -13,7 +17,10 @@ use std::time::Instant;
 ///
 /// This is the paper's exhaustive baseline: no beam, no embedding/link-prediction
 /// guidance — only the subset-size ordering that guarantees minimality of the
-/// returned explanations.
+/// returned explanations. Combinations are buffered into fixed-size chunks and
+/// scored through [`ProbeBatch`] (in parallel when `cfg.parallel_probes`);
+/// chunks are processed in enumeration order, so results are byte-identical to
+/// the sequential path. The deadline is checked between chunks.
 pub fn exhaustive_search<D: DecisionModel>(
     task: &D,
     graph: &CollabGraph,
@@ -24,41 +31,62 @@ pub fn exhaustive_search<D: DecisionModel>(
     deadline: Option<Instant>,
 ) -> CounterfactualResult {
     let mut result = CounterfactualResult::default();
-    let initial = task.probe(graph, query);
+    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes);
+    let initial = engine.score_identity();
     result.probes += 1;
     let initial_relevance = initial.positive;
 
-    let max_size = cfg.max_explanation_size.min(candidates.len());
-    'sizes: for size in 1..=max_size {
-        let mut indices: Vec<usize> = (0..size).collect();
-        loop {
-            // Evaluate the current combination.
-            let set: PerturbationSet = indices.iter().map(|&i| candidates[i]).collect();
-            if set.len() == size {
-                let (view, perturbed_query) = set.apply(graph, query);
-                let probe = task.probe(&view, &perturbed_query);
-                result.probes += 1;
-                if probe.positive != initial_relevance {
+    // Scores a buffered chunk in enumeration order; returns false when the
+    // search must stop (budget reached or deadline passed).
+    let score_chunk =
+        |chunk: &mut Vec<PerturbationSet>, result: &mut CounterfactualResult| -> bool {
+            if chunk.is_empty() {
+                return true;
+            }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    result.timed_out = true;
+                    chunk.clear();
+                    return false;
+                }
+            }
+            let probes = engine.score(chunk);
+            result.probes += chunk.len();
+            for (set, probe) in chunk.drain(..).zip(probes) {
+                if probe.positive != initial_relevance
+                    && result.explanations.len() < cfg.num_explanations
+                {
                     result.explanations.push(CounterfactualExplanation {
                         perturbations: set,
                         new_signal: probe.signal,
                         kind,
                     });
-                    if result.explanations.len() >= cfg.num_explanations {
-                        break 'sizes;
-                    }
                 }
-                if let Some(deadline) = deadline {
-                    if Instant::now() >= deadline {
-                        result.timed_out = true;
-                        break 'sizes;
-                    }
+            }
+            result.explanations.len() < cfg.num_explanations
+        };
+
+    let max_size = cfg.max_explanation_size.min(candidates.len());
+    'sizes: for size in 1..=max_size {
+        let mut indices: Vec<usize> = (0..size).collect();
+        let mut chunk: Vec<PerturbationSet> = Vec::with_capacity(PROBE_CHUNK);
+        loop {
+            // Buffer the current combination (duplicate candidates can collapse
+            // below the target size; those sets are skipped, as before).
+            let set: PerturbationSet = indices.iter().map(|&i| candidates[i]).collect();
+            if set.len() == size {
+                chunk.push(set);
+                if chunk.len() >= PROBE_CHUNK && !score_chunk(&mut chunk, &mut result) {
+                    break 'sizes;
                 }
             }
             // Advance to the next combination of `size` indices.
             if !next_combination(&mut indices, candidates.len()) {
                 break;
             }
+        }
+        if !score_chunk(&mut chunk, &mut result) {
+            break 'sizes;
         }
         // Minimality: once any explanation of this size exists, larger sizes
         // cannot be minimal.
@@ -100,8 +128,11 @@ pub fn all_skill_removals(graph: &CollabGraph) -> Vec<Perturbation> {
         .flat_map(|p| {
             graph
                 .person_skills(p)
-                .into_iter()
-                .map(move |s| Perturbation::RemoveSkill { person: p, skill: s })
+                .iter()
+                .map(move |&s| Perturbation::RemoveSkill {
+                    person: p,
+                    skill: s,
+                })
         })
         .collect()
 }
@@ -119,7 +150,10 @@ pub fn skill_additions_all_people(
                 .iter()
                 .copied()
                 .filter(move |&s| !graph.person_has_skill(p, s))
-                .map(move |s| Perturbation::AddSkill { person: p, skill: s })
+                .map(move |s| Perturbation::AddSkill {
+                    person: p,
+                    skill: s,
+                })
         })
         .collect()
 }
@@ -140,7 +174,10 @@ pub fn skill_additions_all_skills(
                 .vocab()
                 .ids()
                 .filter(move |&s| !graph.person_has_skill(p, s))
-                .map(move |s| Perturbation::AddSkill { person: p, skill: s })
+                .map(move |s| Perturbation::AddSkill {
+                    person: p,
+                    skill: s,
+                })
         })
         .collect()
 }
@@ -159,9 +196,9 @@ pub fn all_query_augmentations(graph: &CollabGraph, query: &Query) -> Vec<Pertur
 /// The unpruned candidate space for link removal: every edge of the graph.
 pub fn all_link_removals(graph: &CollabGraph) -> Vec<Perturbation> {
     graph
-        .edges()
-        .into_iter()
-        .map(|(a, b)| Perturbation::RemoveEdge { a, b })
+        .edge_list()
+        .iter()
+        .map(|&(a, b)| Perturbation::RemoveEdge { a, b })
         .collect()
 }
 

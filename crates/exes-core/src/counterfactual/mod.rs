@@ -6,10 +6,9 @@ pub mod candidates;
 pub mod exhaustive;
 
 use exes_graph::{CollabGraph, PerturbationSet};
-use serde::{Deserialize, Serialize};
 
 /// Which family of counterfactual explanation was requested.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CounterfactualKind {
     /// Remove skills from the subject's neighbourhood (turn experts into
     /// non-experts, Section 3.3.1).
@@ -78,7 +77,10 @@ impl CounterfactualResult {
 
     /// The size of the smallest explanation, if any were found.
     pub fn minimal_size(&self) -> Option<usize> {
-        self.explanations.iter().map(CounterfactualExplanation::size).min()
+        self.explanations
+            .iter()
+            .map(CounterfactualExplanation::size)
+            .min()
     }
 
     /// Mean explanation size (the paper reports this per table row).
@@ -86,7 +88,10 @@ impl CounterfactualResult {
         if self.explanations.is_empty() {
             0.0
         } else {
-            self.explanations.iter().map(|e| e.size() as f64).sum::<f64>()
+            self.explanations
+                .iter()
+                .map(|e| e.size() as f64)
+                .sum::<f64>()
                 / self.explanations.len() as f64
         }
     }
@@ -132,7 +137,11 @@ mod tests {
     #[test]
     fn result_statistics() {
         let mut result = CounterfactualResult {
-            explanations: vec![explanation(2, 4.0), explanation(1, 12.0), explanation(3, 2.0)],
+            explanations: vec![
+                explanation(2, 4.0),
+                explanation(1, 12.0),
+                explanation(3, 2.0),
+            ],
             probes: 10,
             timed_out: false,
         };

@@ -4,7 +4,7 @@ use super::{skill::explain_features, FactualExplanation, FeatureMaskModel};
 use crate::config::ExesConfig;
 use crate::features::Feature;
 use crate::tasks::DecisionModel;
-use exes_graph::{CollabGraph, GraphView, Neighborhood, PersonId, Query};
+use exes_graph::{CollabGraph, Neighborhood, PersonId, Query};
 use exes_shap::{CachingModel, ShapExplainer};
 use rustc_hash::FxHashSet;
 use std::collections::VecDeque;
@@ -12,9 +12,9 @@ use std::collections::VecDeque;
 /// The exhaustive collaboration feature space: every edge of the network.
 pub fn collaboration_features_exhaustive(graph: &CollabGraph) -> Vec<Feature> {
     graph
-        .edges()
-        .into_iter()
-        .map(|(a, b)| Feature::Edge(a, b))
+        .edge_list()
+        .iter()
+        .map(|&(a, b)| Feature::Edge(a, b))
         .collect()
 }
 
@@ -184,7 +184,8 @@ mod tests {
         let q = Query::parse("db ml", g.vocab()).unwrap();
         let ranker = PropagationRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 2);
-        let small_tau = explain_collaborations(&task, &g, &q, &cfg().with_k(2).with_tau(0.01), true);
+        let small_tau =
+            explain_collaborations(&task, &g, &q, &cfg().with_k(2).with_tau(0.01), true);
         let large_tau = explain_collaborations(&task, &g, &q, &cfg().with_k(2).with_tau(0.3), true);
         assert!(large_tau.num_features() <= small_tau.num_features());
     }

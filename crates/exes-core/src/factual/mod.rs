@@ -86,10 +86,7 @@ impl FactualExplanation {
     /// Features with positive SHAP value (supporting the positive decision),
     /// sorted by descending value.
     pub fn supporting(&self) -> Vec<(Feature, f64)> {
-        let mut v: Vec<(Feature, f64)> = self
-            .iter()
-            .filter(|&(_, s)| s > 0.0)
-            .collect();
+        let mut v: Vec<(Feature, f64)> = self.iter().filter(|&(_, s)| s > 0.0).collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         v
     }
@@ -97,10 +94,7 @@ impl FactualExplanation {
     /// Features with negative SHAP value (working against the positive
     /// decision), sorted by ascending value (most harmful first).
     pub fn opposing(&self) -> Vec<(Feature, f64)> {
-        let mut v: Vec<(Feature, f64)> = self
-            .iter()
-            .filter(|&(_, s)| s < 0.0)
-            .collect();
+        let mut v: Vec<(Feature, f64)> = self.iter().filter(|&(_, s)| s < 0.0).collect();
         v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         v
     }
@@ -116,9 +110,9 @@ impl FactualExplanation {
         ));
         for (feature, value) in self.top_k(max_rows) {
             let bar_len = (value.abs() * 40.0).round() as usize;
-            let bar: String = std::iter::repeat(if value >= 0.0 { '+' } else { '-' })
-                .take(bar_len.clamp(1, 40))
-                .collect();
+            let bar: String =
+                std::iter::repeat_n(if value >= 0.0 { '+' } else { '-' }, bar_len.clamp(1, 40))
+                    .collect();
             out.push_str(&format!(
                 "{value:>8.3}  {bar:<40}  {}\n",
                 feature.describe(graph)
@@ -130,6 +124,9 @@ impl FactualExplanation {
 
 /// The masked model handed to the Shapley engine: masking a feature out applies
 /// its removal perturbation to the graph/query before probing the black box.
+/// Batched coalition evaluations are routed through the parallel
+/// [`crate::probe::ProbeBatch`] engine, so exact-SHAP enumeration and
+/// KernelSHAP sampling use every core just like counterfactual search.
 pub(crate) struct FeatureMaskModel<'a, D> {
     task: &'a D,
     graph: &'a CollabGraph,
@@ -137,6 +134,7 @@ pub(crate) struct FeatureMaskModel<'a, D> {
     features: &'a [Feature],
     output_mode: OutputMode,
     k: usize,
+    parallel: bool,
 }
 
 impl<'a, D: DecisionModel> FeatureMaskModel<'a, D> {
@@ -154,24 +152,23 @@ impl<'a, D: DecisionModel> FeatureMaskModel<'a, D> {
             features,
             output_mode: cfg.output_mode,
             k: cfg.k,
+            parallel: cfg.parallel_probes,
         }
     }
-}
 
-impl<D: DecisionModel> MaskedModel for FeatureMaskModel<'_, D> {
-    fn num_features(&self) -> usize {
-        self.features.len()
-    }
-
-    fn evaluate(&self, mask: &[bool]) -> f64 {
+    /// The perturbation set that realises a mask (absent features removed).
+    fn delta_for(&self, mask: &[bool]) -> PerturbationSet {
         let mut delta = PerturbationSet::new();
         for (i, &present) in mask.iter().enumerate() {
             if !present {
                 delta.push(self.features[i].removal());
             }
         }
-        let (view, perturbed_query) = delta.apply(self.graph, self.query);
-        let probe = self.task.probe(&view, &perturbed_query);
+        delta
+    }
+
+    /// Scalarises a probe according to the configured output mode.
+    fn scalarise(&self, probe: crate::tasks::Probe) -> f64 {
         match self.output_mode {
             OutputMode::Binary => {
                 if probe.positive {
@@ -186,6 +183,29 @@ impl<D: DecisionModel> MaskedModel for FeatureMaskModel<'_, D> {
                 1.0 / (1.0 + (-margin / temperature).exp())
             }
         }
+    }
+}
+
+impl<D: DecisionModel> MaskedModel for FeatureMaskModel<'_, D> {
+    fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    fn evaluate(&self, mask: &[bool]) -> f64 {
+        let delta = self.delta_for(mask);
+        let (view, perturbed_query) = delta.apply(self.graph, self.query);
+        self.scalarise(self.task.probe(&view, &perturbed_query))
+    }
+
+    fn evaluate_batch(&self, masks: &[Vec<bool>]) -> Vec<f64> {
+        let deltas: Vec<PerturbationSet> = masks.iter().map(|m| self.delta_for(m)).collect();
+        let engine =
+            crate::probe::ProbeBatch::new(self.task, self.graph, self.query, self.parallel);
+        engine
+            .score(&deltas)
+            .into_iter()
+            .map(|probe| self.scalarise(probe))
+            .collect()
     }
 }
 

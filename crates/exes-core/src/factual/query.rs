@@ -17,7 +17,11 @@ pub fn explain_query_terms<D: DecisionModel>(
     query: &Query,
     cfg: &ExesConfig,
 ) -> FactualExplanation {
-    let features: Vec<Feature> = query.skills().iter().map(|&s| Feature::QueryTerm(s)).collect();
+    let features: Vec<Feature> = query
+        .skills()
+        .iter()
+        .map(|&s| Feature::QueryTerm(s))
+        .collect();
     explain_features(task, graph, query, cfg, features)
 }
 
@@ -67,7 +71,10 @@ mod tests {
         let vision = g.vocab().id("vision").unwrap();
         let v_ml = exp.value_of(&Feature::QueryTerm(ml)).unwrap();
         let v_vision = exp.value_of(&Feature::QueryTerm(vision)).unwrap();
-        assert!(v_ml > v_vision, "ml ({v_ml}) should outrank vision ({v_vision})");
+        assert!(
+            v_ml > v_vision,
+            "ml ({v_ml}) should outrank vision ({v_vision})"
+        );
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub fn skill_features_exhaustive(graph: &CollabGraph) -> Vec<Feature> {
         .flat_map(|p| {
             graph
                 .person_skills(p)
-                .into_iter()
-                .map(move |s| Feature::Skill(p, s))
+                .iter()
+                .map(move |&s| Feature::Skill(p, s))
         })
         .collect()
 }
@@ -192,6 +192,9 @@ mod tests {
         // Dot's competing "ml" skill is only visible to the exhaustive variant
         // and should *oppose* Ada's relevance (Dot competes for the top spot).
         let dot_ml = exp.value_of(&Feature::Skill(PersonId(3), ml)).unwrap();
-        assert!(dot_ml <= 0.0, "competitor skill should not support Ada, got {dot_ml}");
+        assert!(
+            dot_ml <= 0.0,
+            "competitor skill should not support Ada, got {dot_ml}"
+        );
     }
 }

@@ -1,11 +1,10 @@
 //! The explanation feature space: query terms, node skills, and collaborations.
 
-use exes_graph::{CollabGraph, Perturbation, PersonId, SkillId};
-use serde::{Deserialize, Serialize};
+use exes_graph::{CollabGraph, PersonId, Perturbation, SkillId};
 
 /// A feature of the (query, collaboration network) input whose influence on the
 /// decision can be scored factually or perturbed counterfactually.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Feature {
     /// A keyword of the query.
     QueryTerm(SkillId),

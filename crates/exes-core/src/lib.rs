@@ -38,6 +38,7 @@ pub mod explainer;
 pub mod factual;
 pub mod features;
 pub mod metrics;
+pub mod probe;
 pub mod tasks;
 
 pub use config::{ExesConfig, OutputMode};
@@ -46,4 +47,5 @@ pub use explainer::Exes;
 pub use factual::FactualExplanation;
 pub use features::Feature;
 pub use metrics::{counterfactual_precision, factual_precision_at_k, PrecisionReport};
+pub use probe::ProbeBatch;
 pub use tasks::{DecisionModel, ExpertRelevanceTask, Probe, TeamMembershipTask};

@@ -3,7 +3,6 @@
 
 use crate::counterfactual::CounterfactualResult;
 use crate::factual::FactualExplanation;
-use serde::{Deserialize, Serialize};
 
 /// Precision@k of a pruned factual explanation against the exhaustive baseline:
 /// the fraction of the top-`k` features (by |SHAP|) found by ExES that also
@@ -38,7 +37,7 @@ pub fn factual_precision_at_k(
 }
 
 /// Counterfactual precision summary for one explained individual.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrecisionReport {
     /// Fraction of ExES explanations whose size equals the minimal size found by
     /// the exhaustive baseline.
@@ -98,7 +97,9 @@ mod tests {
     fn cf(size: usize) -> CounterfactualExplanation {
         CounterfactualExplanation {
             perturbations: (0..size)
-                .map(|i| Perturbation::AddQueryTerm { skill: SkillId(i as u32) })
+                .map(|i| Perturbation::AddQueryTerm {
+                    skill: SkillId(i as u32),
+                })
                 .collect::<PerturbationSet>(),
             new_signal: 1.0,
             kind: CounterfactualKind::QueryAugmentation,

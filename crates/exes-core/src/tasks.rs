@@ -17,8 +17,11 @@ pub struct Probe {
 
 /// A black-box binary decision about one person, probeable on perturbed inputs.
 ///
-/// Implementations must be deterministic functions of the graph view and query.
-pub trait DecisionModel {
+/// Implementations must be deterministic functions of the graph view and
+/// query, and `Sync`: the [`crate::probe::ProbeBatch`] engine probes them from
+/// multiple threads concurrently (which is safe exactly because probing takes
+/// `&self` and must not mutate).
+pub trait DecisionModel: Sync {
     /// The person whose selection is being explained (`p_i`).
     fn subject(&self) -> PersonId;
 
@@ -52,7 +55,7 @@ impl<'a, R: ExpertRanker> ExpertRelevanceTask<'a, R> {
     }
 }
 
-impl<R: ExpertRanker> DecisionModel for ExpertRelevanceTask<'_, R> {
+impl<R: ExpertRanker + Sync> DecisionModel for ExpertRelevanceTask<'_, R> {
     fn subject(&self) -> PersonId {
         self.subject
     }
@@ -108,15 +111,13 @@ impl<'a, F: TeamFormer, R: ExpertRanker> TeamMembershipTask<'a, F, R> {
     }
 }
 
-impl<F: TeamFormer, R: ExpertRanker> DecisionModel for TeamMembershipTask<'_, F, R> {
+impl<F: TeamFormer + Sync, R: ExpertRanker + Sync> DecisionModel for TeamMembershipTask<'_, F, R> {
     fn subject(&self) -> PersonId {
         self.subject
     }
 
     fn probe<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> Probe {
-        let member = self
-            .former
-            .is_member(graph, query, self.seed, self.subject);
+        let member = self.former.is_member(graph, query, self.seed, self.subject);
         let rank = self.signal_ranker.rank_of(graph, query, self.subject);
         Probe {
             positive: member,
@@ -168,8 +169,14 @@ mod tests {
         let ml = g.vocab().id("ml").unwrap();
         let db = g.vocab().id("db").unwrap();
         let delta: PerturbationSet = [
-            Perturbation::RemoveSkill { person: PersonId(0), skill: ml },
-            Perturbation::RemoveSkill { person: PersonId(0), skill: db },
+            Perturbation::RemoveSkill {
+                person: PersonId(0),
+                skill: ml,
+            },
+            Perturbation::RemoveSkill {
+                person: PersonId(0),
+                skill: db,
+            },
         ]
         .into_iter()
         .collect();

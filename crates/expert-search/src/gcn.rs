@@ -50,7 +50,9 @@ impl GcnRanker {
             .map(|_| rng.gen_range(-a1..a1).abs())
             .collect();
         let a2 = (6.0 / (hidden_dim + 1) as f64).sqrt();
-        let w2 = (0..hidden_dim).map(|_| rng.gen_range(-a2..a2).abs()).collect();
+        let w2 = (0..hidden_dim)
+            .map(|_| rng.gen_range(-a2..a2).abs())
+            .collect();
         GcnRanker { hidden_dim, w1, w2 }
     }
 
@@ -66,7 +68,6 @@ impl GcnRanker {
         let qlen = query.len().max(1) as f64;
         graph
             .people_ids()
-            .into_iter()
             .map(|p| {
                 let matched: Vec<&(exes_graph::SkillId, f64)> = idfs
                     .iter()
@@ -87,7 +88,7 @@ impl GcnRanker {
     /// `out_p = Σ_{n ∈ N(p) ∪ {p}} in_n / sqrt((d_p+1)(d_n+1))`.
     fn propagate<G: GraphView + ?Sized>(
         graph: &G,
-        neighbor_lists: &[Vec<PersonId>],
+        neighbor_lists: &[&[PersonId]],
         input: &[Vec<f64>],
     ) -> Vec<Vec<f64>> {
         let dim = input.first().map(Vec::len).unwrap_or(0);
@@ -98,7 +99,7 @@ impl GcnRanker {
             for j in 0..dim {
                 out[p.index()][j] += input[p.index()][j] / dp;
             }
-            for &n in &neighbor_lists[p.index()] {
+            for &n in neighbor_lists[p.index()] {
                 let dn = (neighbor_lists[n.index()].len() + 1) as f64;
                 let norm = (dp * dn).sqrt();
                 for j in 0..dim {
@@ -115,11 +116,8 @@ impl GcnRanker {
         if n == 0 {
             return Vec::new();
         }
-        let neighbor_lists: Vec<Vec<PersonId>> = graph
-            .people_ids()
-            .into_iter()
-            .map(|p| graph.neighbors(p))
-            .collect();
+        let neighbor_lists: Vec<&[PersonId]> =
+            graph.people_ids().map(|p| graph.neighbors(p)).collect();
         let x: Vec<Vec<f64>> = self
             .features(graph, query)
             .into_iter()
@@ -239,11 +237,9 @@ mod tests {
         let r = GcnRanker::default();
         let top = r.rank_all(&ds.graph, q).top_k(5);
         // At least one of the top-5 holds at least one query skill directly.
-        let holds = top.iter().any(|&p| {
-            q.skills()
-                .iter()
-                .any(|&s| ds.graph.person_has_skill(p, s))
-        });
+        let holds = top
+            .iter()
+            .any(|&p| q.skills().iter().any(|&s| ds.graph.person_has_skill(p, s)));
         assert!(holds, "none of the top-5 holds any query skill");
     }
 

@@ -41,7 +41,6 @@ impl PersonalizedPageRank {
             .collect();
         let mut seeds: Vec<f64> = graph
             .people_ids()
-            .into_iter()
             .map(|p| {
                 idfs.iter()
                     .filter(|&&(s, _)| graph.person_has_skill(p, s))
@@ -71,24 +70,19 @@ impl PersonalizedPageRank {
             return Vec::new();
         }
         let seeds = self.seed_vector(graph, query);
-        let neighbor_lists: Vec<Vec<PersonId>> = graph
-            .people_ids()
-            .into_iter()
-            .map(|p| graph.neighbors(p))
-            .collect();
+        let neighbor_lists: Vec<&[PersonId]> =
+            graph.people_ids().map(|p| graph.neighbors(p)).collect();
         let mut rank = seeds.clone();
         let mut next = vec![0.0; n];
         for _ in 0..self.iterations {
-            for v in &mut next {
-                *v = 0.0;
-            }
+            next.fill(0.0);
             let mut dangling = 0.0;
             for (i, ns) in neighbor_lists.iter().enumerate() {
                 if ns.is_empty() {
                     dangling += rank[i];
                 } else {
                     let share = rank[i] / ns.len() as f64;
-                    for &nb in ns {
+                    for &nb in *ns {
                         next[nb.index()] += share;
                     }
                 }

@@ -44,7 +44,6 @@ impl PropagationRanker {
             .collect();
         graph
             .people_ids()
-            .into_iter()
             .map(|p| {
                 idfs.iter()
                     .filter(|&&(s, _)| graph.person_has_skill(p, s))
@@ -73,8 +72,8 @@ impl ExpertRanker for PropagationRanker {
         let neighbors = graph.neighbors(person);
         let one_hop = mean(neighbors.iter().map(|&n| base(n)));
         let mut two_hop_nodes = Vec::new();
-        for &n in &neighbors {
-            for m in graph.neighbors(n) {
+        for &n in neighbors {
+            for &m in graph.neighbors(n) {
                 if m != person && !neighbors.contains(&m) {
                     two_hop_nodes.push(m);
                 }
@@ -95,7 +94,7 @@ impl ExpertRanker for PropagationRanker {
         let n = graph.num_people();
         // 1-hop averages.
         let mut one_hop = vec![0.0; n];
-        let mut neighbor_lists: Vec<Vec<PersonId>> = Vec::with_capacity(n);
+        let mut neighbor_lists: Vec<&[PersonId]> = Vec::with_capacity(n);
         for p in graph.people_ids() {
             let ns = graph.neighbors(p);
             one_hop[p.index()] = mean(ns.iter().map(|&x| base[x.index()]));
@@ -104,12 +103,11 @@ impl ExpertRanker for PropagationRanker {
         // 2-hop averages (excluding self and direct neighbours).
         let scores = graph
             .people_ids()
-            .into_iter()
             .map(|p| {
-                let ns = &neighbor_lists[p.index()];
+                let ns = neighbor_lists[p.index()];
                 let mut two_hop_nodes = Vec::new();
                 for &nb in ns {
-                    for &m in &neighbor_lists[nb.index()] {
+                    for &m in neighbor_lists[nb.index()] {
                         if m != p && !ns.contains(&m) {
                             two_hop_nodes.push(m);
                         }
@@ -231,7 +229,10 @@ mod tests {
     fn zero_weights_reduce_to_pure_skill_match() {
         let g = toy();
         let q = Query::parse("ml", g.vocab()).unwrap();
-        let r = PropagationRanker { alpha: 0.0, beta: 0.0 };
+        let r = PropagationRanker {
+            alpha: 0.0,
+            beta: 0.0,
+        };
         assert_eq!(r.score(&g, &q, PersonId(1)), 0.0);
         assert!(r.score(&g, &q, PersonId(0)) > 0.0);
     }

@@ -78,7 +78,6 @@ pub trait ExpertRanker {
     fn rank_all<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> RankedList {
         let scores = graph
             .people_ids()
-            .into_iter()
             .map(|p| (p, self.score(graph, query, p)))
             .collect();
         RankedList::from_scores(scores)
@@ -113,7 +112,6 @@ pub(crate) fn smoothed_idf<G: GraphView + ?Sized>(graph: &G, skill: exes_graph::
     let n = graph.num_people() as f64;
     let holders = graph
         .people_ids()
-        .into_iter()
         .filter(|&p| graph.person_has_skill(p, skill))
         .count() as f64;
     ((n + 1.0) / (holders + 1.0)).ln() + 1.0

@@ -51,7 +51,6 @@ impl ExpertRanker for TfIdfRanker {
             .collect();
         let scores = graph
             .people_ids()
-            .into_iter()
             .map(|p| {
                 let mut score = 0.0;
                 for &(s, idf) in &idfs {
@@ -80,7 +79,10 @@ mod tests {
         b.add_person("full-match", ["db", "xai"]);
         b.add_person("partial", ["db"]);
         b.add_person("none", ["vision"]);
-        b.add_person("diluted", ["db", "xai", "a", "b", "c", "d", "e", "f", "g", "h"]);
+        b.add_person(
+            "diluted",
+            ["db", "xai", "a", "b", "c", "d", "e", "f", "g", "h"],
+        );
         b.build()
     }
 
@@ -145,8 +147,14 @@ mod tests {
         let xai = g.vocab().id("xai").unwrap();
         let db = g.vocab().id("db").unwrap();
         let mut delta = PerturbationSet::new();
-        delta.push(Perturbation::AddSkill { person: PersonId(2), skill: xai });
-        delta.push(Perturbation::AddSkill { person: PersonId(2), skill: db });
+        delta.push(Perturbation::AddSkill {
+            person: PersonId(2),
+            skill: xai,
+        });
+        delta.push(Perturbation::AddSkill {
+            person: PersonId(2),
+            skill: db,
+        });
         let view = delta.apply_to_graph(&g);
         assert!(r.rank_of(&view, &q, PersonId(2)) < 4);
     }

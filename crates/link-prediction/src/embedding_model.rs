@@ -63,7 +63,9 @@ impl EmbeddingLinkPredictor {
                 seed: config.seed,
             },
         );
-        let vectors = (0..graph.num_people()).map(|i| emb.row(i).to_vec()).collect();
+        let vectors = (0..graph.num_people())
+            .map(|i| emb.row(i).to_vec())
+            .collect();
         EmbeddingLinkPredictor { vectors }
     }
 
@@ -105,7 +107,9 @@ mod tests {
     /// Two 4-cliques bridged by a single edge.
     fn two_cliques() -> CollabGraph {
         let mut b = CollabGraphBuilder::new();
-        let ps: Vec<_> = (0..8).map(|i| b.add_person(&format!("p{i}"), ["s"])).collect();
+        let ps: Vec<_> = (0..8)
+            .map(|i| b.add_person(&format!("p{i}"), ["s"]))
+            .collect();
         for i in 0..4 {
             for j in (i + 1)..4 {
                 b.add_edge(ps[i], ps[j]);

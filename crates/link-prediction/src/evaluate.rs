@@ -5,15 +5,18 @@ use exes_graph::{GraphView, PersonId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// A labelled set of undirected person pairs.
+pub type PairSet = Vec<(PersonId, PersonId)>;
+
 /// Samples `count` positive pairs (existing edges) and `count` negative pairs
 /// (uniformly random non-edges) for evaluation.
 pub fn sample_evaluation_pairs<G: GraphView + ?Sized>(
     graph: &G,
     count: usize,
     seed: u64,
-) -> (Vec<(PersonId, PersonId)>, Vec<(PersonId, PersonId)>) {
+) -> (PairSet, PairSet) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let edges = graph.edges();
+    let edges: Vec<(PersonId, PersonId)> = graph.edges().collect();
     let n = graph.num_people();
     let mut positives = Vec::with_capacity(count);
     for _ in 0..count {

@@ -8,7 +8,7 @@ use exes_graph::{GraphView, PersonId};
 use rustc_hash::FxHashSet;
 
 fn neighbor_set<G: GraphView + ?Sized>(graph: &G, p: PersonId) -> FxHashSet<PersonId> {
-    graph.neighbors(p).into_iter().collect()
+    graph.neighbors(p).iter().copied().collect()
 }
 
 /// Common-neighbours score: `|N(a) ∩ N(b)|`.
@@ -18,11 +18,7 @@ pub struct CommonNeighbors;
 impl LinkPredictor for CommonNeighbors {
     fn score<G: GraphView + ?Sized>(&self, graph: &G, a: PersonId, b: PersonId) -> f64 {
         let na = neighbor_set(graph, a);
-        graph
-            .neighbors(b)
-            .into_iter()
-            .filter(|n| na.contains(n))
-            .count() as f64
+        graph.neighbors(b).iter().filter(|n| na.contains(n)).count() as f64
     }
 
     fn name(&self) -> &'static str {
@@ -39,9 +35,9 @@ impl LinkPredictor for AdamicAdar {
         let na = neighbor_set(graph, a);
         graph
             .neighbors(b)
-            .into_iter()
+            .iter()
             .filter(|n| na.contains(n))
-            .map(|z| {
+            .map(|&z| {
                 let d = graph.degree(z) as f64;
                 if d > 1.0 {
                     1.0 / d.ln()
@@ -103,7 +99,9 @@ mod tests {
     /// Triangle 0-1-2 plus pendant 3 attached to 0, isolated 4.
     fn fixture() -> CollabGraph {
         let mut b = CollabGraphBuilder::new();
-        let p: Vec<_> = (0..5).map(|i| b.add_person(&format!("p{i}"), ["s"])).collect();
+        let p: Vec<_> = (0..5)
+            .map(|i| b.add_person(&format!("p{i}"), ["s"]))
+            .collect();
         b.add_edge(p[0], p[1]);
         b.add_edge(p[1], p[2]);
         b.add_edge(p[0], p[2]);

@@ -24,7 +24,7 @@ impl Default for WalkParams {
             walks_per_node: 6,
             walk_length: 12,
             window: 4,
-            seed: 0x77A1_C5,
+            seed: 0x0077_A1C5,
         }
     }
 }
@@ -76,7 +76,7 @@ pub fn windowed_pairs(walks: &[Vec<PersonId>], window: usize) -> Vec<(u32, u32, 
         }
     }
     let mut out: Vec<(u32, u32, f64)> = counts.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-    out.sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+    out.sort_unstable_by_key(|&(a, b, _)| (a, b));
     out
 }
 
@@ -87,7 +87,9 @@ mod tests {
 
     fn path(n: usize) -> CollabGraph {
         let mut b = CollabGraphBuilder::new();
-        let ps: Vec<_> = (0..n).map(|i| b.add_person(&format!("p{i}"), ["s"])).collect();
+        let ps: Vec<_> = (0..n)
+            .map(|i| b.add_person(&format!("p{i}"), ["s"]))
+            .collect();
         for w in ps.windows(2) {
             b.add_edge(w[0], w[1]);
         }

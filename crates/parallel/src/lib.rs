@@ -1,0 +1,153 @@
+//! # exes-parallel
+//!
+//! Deterministic data parallelism for the ExES probe engine, built on
+//! `std::thread::scope` (the build runs fully offline, so a rayon-style
+//! work-stealing pool is provided from scratch rather than as a dependency).
+//!
+//! The one primitive everything else uses is [`parallel_map`]: apply a pure
+//! function to every element of a slice, on as many threads as the machine
+//! offers, and return the results **in input order**. Output identity with the
+//! sequential `items.iter().map(f).collect()` is the load-bearing guarantee —
+//! the counterfactual beam search requires byte-identical results whether
+//! probes run on one thread or sixteen.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Work items per claim from the shared queue. Small enough to balance uneven
+/// probe costs, large enough to keep contention on the counter negligible.
+const CLAIM_CHUNK: usize = 4;
+
+/// Below this many items the scheduling overhead outweighs any speed-up and
+/// the map runs inline on the calling thread.
+pub const MIN_PARALLEL_ITEMS: usize = 8;
+
+/// Number of worker threads [`parallel_map`] will use for a workload of
+/// `items` elements: the available hardware parallelism, capped by the item
+/// count, and overridable with the `EXES_THREADS` environment variable
+/// (`EXES_THREADS=1` forces sequential execution everywhere).
+pub fn thread_count(items: usize) -> usize {
+    let hw = std::env::var("EXES_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    hw.min(items.div_ceil(CLAIM_CHUNK)).max(1)
+}
+
+/// Applies `f` to every element of `items` and returns the outputs in input
+/// order. Runs on multiple threads when the workload is large enough, falling
+/// back to a plain sequential map otherwise; the results are identical either
+/// way.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with_threads(items, thread_count(items.len()), f)
+}
+
+/// [`parallel_map`] with an explicit worker count — lets tests drive the
+/// multi-thread path even on single-core machines.
+pub fn parallel_map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.len() < MIN_PARALLEL_ITEMS || threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // Each worker pushes (index, result) pairs into its own bucket; buckets are
+    // merged by index afterwards, so scheduling order never leaks into output
+    // order.
+    let buckets: Vec<Mutex<Vec<(usize, R)>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|scope| {
+        for bucket in &buckets {
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + CLAIM_CHUNK).min(items.len());
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        local.push((start + i, f(item)));
+                    }
+                }
+                bucket.lock().expect("bucket poisoned").extend(local);
+            });
+        }
+    });
+
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    for bucket in buckets {
+        indexed.extend(bucket.into_inner().expect("bucket poisoned"));
+    }
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_exactly() {
+        let items: Vec<u64> = (0..1000).collect();
+        let f = |&x: &u64| x * x + 1;
+        let sequential: Vec<u64> = items.iter().map(f).collect();
+        assert_eq!(parallel_map(&items, f), sequential);
+        // Force real multi-threading regardless of the host's core count.
+        for threads in [2, 3, 8] {
+            assert_eq!(parallel_map_with_threads(&items, threads, f), sequential);
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(&items, |&x| x + 1), vec![2, 3, 4]);
+        let empty: [u32; 0] = [];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn uneven_workloads_keep_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map_with_threads(&items, 4, |&i| {
+            // Simulate wildly uneven probe costs.
+            let mut acc = 0u64;
+            for k in 0..(i % 17) * 1000 {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (i, acc)
+        });
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_positive_and_bounded() {
+        assert_eq!(thread_count(0), 1);
+        assert!(thread_count(1) >= 1);
+        assert!(thread_count(10_000) >= 1);
+    }
+}

@@ -23,15 +23,21 @@ pub fn exact_shapley<M: MaskedModel>(model: &M) -> ShapValues {
         return ShapValues::new(Vec::new(), v, v);
     }
 
-    // Evaluate every coalition once.
+    // Evaluate every coalition once, in batches: models whose evaluations are
+    // independent probes (the ExES factual path) parallelise each batch.
+    const BATCH: usize = 2048;
     let num_coalitions = 1usize << m;
-    let mut outputs = vec![0.0; num_coalitions];
-    let mut mask = vec![false; m];
-    for (bits, out) in outputs.iter_mut().enumerate() {
-        for (i, slot) in mask.iter_mut().enumerate() {
-            *slot = bits & (1 << i) != 0;
+    let mut outputs: Vec<f64> = Vec::with_capacity(num_coalitions);
+    let mut masks: Vec<Vec<bool>> = Vec::with_capacity(BATCH.min(num_coalitions));
+    for bits in 0..num_coalitions {
+        masks.push((0..m).map(|i| bits & (1 << i) != 0).collect());
+        if masks.len() == BATCH {
+            outputs.extend(model.evaluate_batch(&masks));
+            masks.clear();
         }
-        *out = model.evaluate(&mask);
+    }
+    if !masks.is_empty() {
+        outputs.extend(model.evaluate_batch(&masks));
     }
 
     // Precompute the Shapley kernel weights w(|S|) = |S|! (M - |S| - 1)! / M!.

@@ -35,6 +35,11 @@ pub fn kernel_shap<M: MaskedModel>(model: &M, samples: usize, seed: u64) -> Shap
     rows.push((vec![false; m], ANCHOR_WEIGHT, base_value));
     rows.push((vec![true; m], ANCHOR_WEIGHT, full_value));
 
+    // Sample every coalition first (sequentially, so the RNG stream is
+    // independent of batch size), then evaluate them in one batch: models with
+    // independent probe evaluations parallelise it.
+    let mut sampled_masks: Vec<Vec<bool>> = Vec::with_capacity(samples);
+    let mut weights: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
         // Sample a coalition size in 1..m-1 proportionally to the kernel mass,
         // then a uniform coalition of that size.
@@ -48,8 +53,11 @@ pub fn kernel_shap<M: MaskedModel>(model: &M, samples: usize, seed: u64) -> Shap
                 chosen += 1;
             }
         }
-        let weight = shapley_kernel_weight(m, size);
-        let output = model.evaluate(&mask);
+        sampled_masks.push(mask);
+        weights.push(shapley_kernel_weight(m, size));
+    }
+    let outputs = model.evaluate_batch(&sampled_masks);
+    for ((mask, weight), output) in sampled_masks.into_iter().zip(weights).zip(outputs) {
         rows.push((mask, weight, output));
     }
 

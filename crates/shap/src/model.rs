@@ -1,7 +1,7 @@
 //! The masked-model abstraction that Shapley estimators evaluate.
 
-use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
+use std::sync::Mutex;
 
 /// A model defined over `M` binary features.
 ///
@@ -15,6 +15,16 @@ pub trait MaskedModel {
 
     /// Evaluates the model under the given mask. `mask.len() == num_features()`.
     fn evaluate(&self, mask: &[bool]) -> f64;
+
+    /// Evaluates many masks at once, returning one output per mask in order.
+    ///
+    /// The default maps [`MaskedModel::evaluate`] sequentially. Models whose
+    /// evaluations are expensive independent probes override this to batch
+    /// them — ExES routes it into the parallel probe engine — but the outputs
+    /// must be identical to per-mask evaluation either way.
+    fn evaluate_batch(&self, masks: &[Vec<bool>]) -> Vec<f64> {
+        masks.iter().map(|m| self.evaluate(m)).collect()
+    }
 
     /// Model output with every feature present.
     fn full_value(&self) -> f64 {
@@ -74,12 +84,12 @@ impl<M: MaskedModel> CachingModel<M> {
 
     /// Number of *distinct* evaluations forwarded to the wrapped model.
     pub fn distinct_evaluations(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().expect("cache poisoned").len()
     }
 
     /// Total number of evaluation requests (cache hits included).
     pub fn total_requests(&self) -> usize {
-        *self.calls.lock()
+        *self.calls.lock().expect("counter poisoned")
     }
 
     /// Consumes the wrapper, returning the inner model.
@@ -94,13 +104,42 @@ impl<M: MaskedModel> MaskedModel for CachingModel<M> {
     }
 
     fn evaluate(&self, mask: &[bool]) -> f64 {
-        *self.calls.lock() += 1;
-        if let Some(&v) = self.cache.lock().get(mask) {
+        *self.calls.lock().expect("counter poisoned") += 1;
+        if let Some(&v) = self.cache.lock().expect("cache poisoned").get(mask) {
             return v;
         }
         let v = self.inner.evaluate(mask);
-        self.cache.lock().insert(mask.to_vec(), v);
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(mask.to_vec(), v);
         v
+    }
+
+    /// Batch evaluation that only forwards cache misses (deduplicated within
+    /// the batch) to the wrapped model's own `evaluate_batch`, so an inner
+    /// parallel implementation sees each distinct coalition exactly once.
+    fn evaluate_batch(&self, masks: &[Vec<bool>]) -> Vec<f64> {
+        *self.calls.lock().expect("counter poisoned") += masks.len();
+        let mut misses: Vec<Vec<bool>> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache poisoned");
+            let mut seen: FxHashMap<&[bool], ()> = FxHashMap::default();
+            for mask in masks {
+                if !cache.contains_key(mask) && seen.insert(mask.as_slice(), ()).is_none() {
+                    misses.push(mask.clone());
+                }
+            }
+        }
+        if !misses.is_empty() {
+            let outputs = self.inner.evaluate_batch(&misses);
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (mask, v) in misses.into_iter().zip(outputs) {
+                cache.insert(mask, v);
+            }
+        }
+        let cache = self.cache.lock().expect("cache poisoned");
+        masks.iter().map(|m| cache[m]).collect()
     }
 }
 
@@ -110,7 +149,9 @@ mod tests {
 
     #[test]
     fn fn_model_evaluates_closure() {
-        let m = FnModel::new(3, |mask: &[bool]| mask.iter().filter(|&&b| b).count() as f64);
+        let m = FnModel::new(3, |mask: &[bool]| {
+            mask.iter().filter(|&&b| b).count() as f64
+        });
         assert_eq!(m.num_features(), 3);
         assert_eq!(m.evaluate(&[true, false, true]), 2.0);
         assert_eq!(m.full_value(), 3.0);
@@ -131,10 +172,34 @@ mod tests {
 
     #[test]
     fn caching_model_is_transparent() {
-        let inner = FnModel::new(2, |mask: &[bool]| if mask[0] && mask[1] { 5.0 } else { 0.0 });
+        let inner = FnModel::new(
+            2,
+            |mask: &[bool]| if mask[0] && mask[1] { 5.0 } else { 0.0 },
+        );
         let cached = CachingModel::new(inner);
         assert_eq!(cached.full_value(), 5.0);
         assert_eq!(cached.base_value(), 0.0);
         assert_eq!(cached.num_features(), 2);
+    }
+
+    #[test]
+    fn batch_evaluation_matches_sequential_and_dedups() {
+        let m = CachingModel::new(FnModel::new(2, |mask: &[bool]| {
+            f64::from(mask[0]) * 2.0 + f64::from(mask[1])
+        }));
+        let masks = vec![
+            vec![true, false],
+            vec![true, false],
+            vec![false, true],
+            vec![true, true],
+        ];
+        let batch = m.evaluate_batch(&masks);
+        assert_eq!(batch, vec![2.0, 2.0, 1.0, 3.0]);
+        // 4 requests, 3 distinct coalitions.
+        assert_eq!(m.total_requests(), 4);
+        assert_eq!(m.distinct_evaluations(), 3);
+        // Repeating the batch is pure cache hits.
+        assert_eq!(m.evaluate_batch(&masks), batch);
+        assert_eq!(m.distinct_evaluations(), 3);
     }
 }

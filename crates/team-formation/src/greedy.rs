@@ -50,7 +50,11 @@ fn uncovered<G: GraphView + ?Sized>(
         .collect()
 }
 
-fn coverage_gain<G: GraphView + ?Sized>(graph: &G, missing: &[SkillId], candidate: PersonId) -> usize {
+fn coverage_gain<G: GraphView + ?Sized>(
+    graph: &G,
+    missing: &[SkillId],
+    candidate: PersonId,
+) -> usize {
     missing
         .iter()
         .filter(|&&s| graph.person_has_skill(candidate, s))
@@ -82,7 +86,7 @@ impl<R: ExpertRanker> TeamFormer for GreedyCoverTeamFormer<R> {
             // Candidate pool: collaborators of current members, then everyone.
             let mut frontier: Vec<PersonId> = Vec::new();
             for &m in &members {
-                for n in graph.neighbors(m) {
+                for &n in graph.neighbors(m) {
                     if !members.contains(&n) && !frontier.contains(&n) {
                         frontier.push(n);
                     }
@@ -109,7 +113,6 @@ impl<R: ExpertRanker> TeamFormer for GreedyCoverTeamFormer<R> {
             let next = pick_from(&frontier).or_else(|| {
                 let everyone: Vec<PersonId> = graph
                     .people_ids()
-                    .into_iter()
                     .filter(|p| !members.contains(p))
                     .collect();
                 pick_from(&everyone)

@@ -33,9 +33,9 @@ fn bfs_distances<G: GraphView + ?Sized>(graph: &G, source: PersonId) -> FxHashMa
     queue.push_back(source);
     while let Some(p) = queue.pop_front() {
         let d = dist[&p];
-        for n in graph.neighbors(p) {
-            if !dist.contains_key(&n) {
-                dist.insert(n, d + 1);
+        for &n in graph.neighbors(p) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                e.insert(d + 1);
                 queue.push_back(n);
             }
         }
@@ -53,12 +53,15 @@ impl TeamFormer for MinDistanceTeamFormer {
         if graph.num_people() == 0 {
             return Team::empty();
         }
-        let max_size = if self.max_team_size == 0 { 10 } else { self.max_team_size };
+        let max_size = if self.max_team_size == 0 {
+            10
+        } else {
+            self.max_team_size
+        };
         // Without a seed, start from the person holding the most query skills.
         let seed = seed.unwrap_or_else(|| {
             graph
                 .people_ids()
-                .into_iter()
                 .max_by_key(|&p| (graph.query_match_count(p, query), std::cmp::Reverse(p)))
                 .expect("non-empty graph")
         });
@@ -72,7 +75,6 @@ impl TeamFormer for MinDistanceTeamFormer {
             .map(|&s| {
                 let holders = graph
                     .people_ids()
-                    .into_iter()
                     .filter(|&p| graph.person_has_skill(p, s))
                     .count();
                 (s, holders)
@@ -93,7 +95,6 @@ impl TeamFormer for MinDistanceTeamFormer {
             }
             let best = graph
                 .people_ids()
-                .into_iter()
                 .filter(|&p| graph.person_has_skill(p, skill))
                 .min_by_key(|&p| (distances.get(&p).copied().unwrap_or(far), p));
             if let Some(p) = best {
@@ -185,6 +186,8 @@ mod tests {
         vb.add_person("x", ["db"]);
         let vg = vb.build();
         let q = Query::parse("db", vg.vocab()).unwrap();
-        assert!(MinDistanceTeamFormer::new().form_team(&g, &q, None).is_empty());
+        assert!(MinDistanceTeamFormer::new()
+            .form_team(&g, &q, None)
+            .is_empty());
     }
 }

@@ -19,7 +19,10 @@ impl Team {
                 seen.push(m);
             }
         }
-        Team { members: seen, seed }
+        Team {
+            members: seen,
+            seed,
+        }
     }
 
     /// An empty team (produced when a former cannot cover anything).
@@ -111,7 +114,10 @@ mod tests {
         assert_eq!(full.covered_skills(&g, &q).len(), 2);
         let partial = Team::new(vec![a], Some(a));
         assert!(!partial.covers(&g, &q));
-        assert_eq!(partial.covered_skills(&g, &q), vec![g.vocab().id("db").unwrap()]);
+        assert_eq!(
+            partial.covered_skills(&g, &q),
+            vec![g.vocab().id("db").unwrap()]
+        );
         assert!(Team::empty().is_empty());
         assert!(!Team::empty().covers(&g, &q));
     }

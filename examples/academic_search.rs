@@ -31,7 +31,11 @@ fn main() {
     let ranking = ranker.rank_all(graph, query);
     println!("Top-{k} researchers:");
     for (i, &(p, score)) in ranking.entries().iter().take(k).enumerate() {
-        println!("  {:>2}. {:<28} score {score:.4}", i + 1, graph.person_name(p));
+        println!(
+            "  {:>2}. {:<28} score {score:.4}",
+            i + 1,
+            graph.person_name(p)
+        );
     }
     let subject = ranking.top_k(1)[0];
 

@@ -43,7 +43,10 @@ fn main() {
 
     // --- ExES setup --------------------------------------------------------------
     // The embedding is trained on each person's skill set as a tiny corpus.
-    let bags: Vec<Vec<SkillId>> = graph.people().map(|p| graph.person_skills(p)).collect();
+    let bags: Vec<Vec<SkillId>> = graph
+        .people()
+        .map(|p| graph.person_skills(p).to_vec())
+        .collect();
     let embedding = SkillEmbedding::train(
         bags.iter().map(|b| b.as_slice()),
         graph.vocab().len(),
@@ -56,7 +59,10 @@ fn main() {
     let task = ExpertRelevanceTask::new(&ranker, top, k);
 
     // --- Factual: why was Weikum selected? ---------------------------------------
-    println!("\n== Factual skill explanation for {} ==", graph.person_name(top));
+    println!(
+        "\n== Factual skill explanation for {} ==",
+        graph.person_name(top)
+    );
     let factual = exes.factual_skills(&task, &graph, &query, true);
     print!("{}", factual.render(&graph, 6));
 

@@ -29,7 +29,11 @@ fn main() {
     );
     println!(
         "Covers the query: {}",
-        if team.covers(graph, query) { "yes" } else { "partially" }
+        if team.covers(graph, query) {
+            "yes"
+        } else {
+            "partially"
+        }
     );
 
     let embedding = SkillEmbedding::train(
@@ -44,11 +48,7 @@ fn main() {
     let exes = Exes::new(config, embedding, link_predictor);
 
     // --- Why is this member on the team? ------------------------------------------
-    let member = *team
-        .members()
-        .iter()
-        .find(|&&m| m != seed)
-        .unwrap_or(&seed);
+    let member = *team.members().iter().find(|&&m| m != seed).unwrap_or(&seed);
     println!("\n== Why is {} on the team? ==", graph.person_name(member));
     let member_task = TeamMembershipTask::new(&former, &ranker, member, Some(seed));
     let factual = exes.factual_skills(&member_task, graph, query, true);
@@ -57,8 +57,9 @@ fn main() {
     // --- What would put an outsider on the team? ----------------------------------
     let outsider = graph
         .neighbors(seed)
-        .into_iter()
-        .find(|p| !team.contains(*p));
+        .iter()
+        .copied()
+        .find(|&p| !team.contains(p));
     let Some(outsider) = outsider else {
         println!("(every collaborator of the seed is already on the team)");
         return;

@@ -58,8 +58,8 @@ pub mod prelude {
         ExpertRanker, GcnRanker, PersonalizedPageRank, PropagationRanker, RankedList, TfIdfRanker,
     };
     pub use exes_graph::{
-        CollabGraph, CollabGraphBuilder, GraphView, Neighborhood, Perturbation, PerturbationSet,
-        PersonId, Query, SkillId, SkillVocab,
+        CollabGraph, CollabGraphBuilder, GraphView, Neighborhood, PersonId, Perturbation,
+        PerturbationSet, Query, SkillId, SkillVocab,
     };
     pub use exes_linkpred::{
         AdamicAdar, CommonNeighbors, EmbeddingLinkPredictor, Jaccard, LinkPredictor, WalkConfig,

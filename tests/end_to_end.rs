@@ -50,7 +50,9 @@ fn expert_search_factual_explanations_are_consistent() {
     let task = ExpertRelevanceTask::new(&p.ranker, expert, p.k);
 
     let skills = p.exes.factual_skills(&task, &p.dataset.graph, &query, true);
-    let exhaustive = p.exes.factual_skills(&task, &p.dataset.graph, &query, false);
+    let exhaustive = p
+        .exes
+        .factual_skills(&task, &p.dataset.graph, &query, false);
     // Pruning reduces the feature space, never enlarges it.
     assert!(skills.num_features() <= exhaustive.num_features());
     assert!(skills.num_features() > 0);
@@ -78,9 +80,12 @@ fn expert_search_counterfactuals_flip_the_decision() {
     // Experts: every explanation must evict them from the top-k.
     let expert_task = ExpertRelevanceTask::new(&p.ranker, expert, p.k);
     for result in [
-        p.exes.counterfactual_skills(&expert_task, &p.dataset.graph, &query),
-        p.exes.counterfactual_query(&expert_task, &p.dataset.graph, &query),
-        p.exes.counterfactual_links(&expert_task, &p.dataset.graph, &query),
+        p.exes
+            .counterfactual_skills(&expert_task, &p.dataset.graph, &query),
+        p.exes
+            .counterfactual_query(&expert_task, &p.dataset.graph, &query),
+        p.exes
+            .counterfactual_links(&expert_task, &p.dataset.graph, &query),
     ] {
         for explanation in &result.explanations {
             let (view, perturbed_query) = explanation.perturbations.apply(&p.dataset.graph, &query);
@@ -96,12 +101,16 @@ fn expert_search_counterfactuals_flip_the_decision() {
     // Non-experts: every explanation must pull them into the top-k.
     let non_expert_task = ExpertRelevanceTask::new(&p.ranker, non_expert, p.k);
     for result in [
-        p.exes.counterfactual_skills(&non_expert_task, &p.dataset.graph, &query),
-        p.exes.counterfactual_links(&non_expert_task, &p.dataset.graph, &query),
+        p.exes
+            .counterfactual_skills(&non_expert_task, &p.dataset.graph, &query),
+        p.exes
+            .counterfactual_links(&non_expert_task, &p.dataset.graph, &query),
     ] {
         for explanation in &result.explanations {
             let (view, perturbed_query) = explanation.perturbations.apply(&p.dataset.graph, &query);
-            assert!(p.ranker.is_relevant(&view, &perturbed_query, non_expert, p.k));
+            assert!(p
+                .ranker
+                .is_relevant(&view, &perturbed_query, non_expert, p.k));
         }
     }
 }
@@ -141,7 +150,9 @@ fn team_membership_explanations_work_end_to_end() {
     // Explain a member's inclusion factually.
     let member = *team.members().last().unwrap();
     let member_task = TeamMembershipTask::new(&p.former, &p.ranker, member, Some(seed));
-    let factual = p.exes.factual_skills(&member_task, &p.dataset.graph, &query, true);
+    let factual = p
+        .exes
+        .factual_skills(&member_task, &p.dataset.graph, &query, true);
     assert!(factual.num_features() > 0);
 
     // Explain a non-member's exclusion counterfactually.
@@ -149,11 +160,14 @@ fn team_membership_explanations_work_end_to_end() {
         .dataset
         .graph
         .neighbors(seed)
-        .into_iter()
-        .find(|x| !team.contains(*x));
+        .iter()
+        .copied()
+        .find(|&x| !team.contains(x));
     if let Some(outsider) = outsider {
         let outsider_task = TeamMembershipTask::new(&p.former, &p.ranker, outsider, Some(seed));
-        let result = p.exes.counterfactual_skills(&outsider_task, &p.dataset.graph, &query);
+        let result = p
+            .exes
+            .counterfactual_skills(&outsider_task, &p.dataset.graph, &query);
         for explanation in &result.explanations {
             let view = explanation.perturbations.apply_to_graph(&p.dataset.graph);
             let new_team = p.former.form_team(&view, &query, Some(seed));

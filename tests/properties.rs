@@ -1,67 +1,70 @@
-//! Property-based tests over the core invariants (proptest).
+//! Property-style tests over the core invariants, driven by a deterministic
+//! in-repo case generator (the offline build carries no proptest):
 //!
-//! * perturbation overlays behave exactly like materialised graph rebuilds,
+//! * perturbation overlays behave exactly like materialised graph rebuilds —
+//!   across *every* `GraphView` accessor, not just the row accessors,
 //! * Shapley values satisfy the efficiency axiom,
 //! * neighbourhoods are monotone in the radius,
 //! * rankers produce complete, consistent rankings on arbitrary graphs,
-//! * beam-search counterfactuals always flip the decision they claim to flip.
+//! * beam-search counterfactuals always flip the decision they claim to flip,
+//!   and do so identically with parallel and sequential probe scoring.
 
 use exes::prelude::*;
 use exes::shap::{exact_shapley, permutation_shapley, FnModel};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random small collaboration network plus a random query.
-fn arbitrary_graph() -> impl Strategy<Value = (CollabGraph, Query)> {
-    (3usize..10, 2usize..6, proptest::collection::vec(any::<u32>(), 1..40))
-        .prop_map(|(people, skills, noise)| {
-            let mut builder = CollabGraphBuilder::new();
-            let skill_names: Vec<String> = (0..skills).map(|i| format!("skill{i}")).collect();
-            for name in &skill_names {
-                builder.intern_skill(name);
-            }
-            for p in 0..people {
-                // Deterministic-but-varied skill assignment from the noise vector.
-                let mut own = Vec::new();
-                for (j, name) in skill_names.iter().enumerate() {
-                    let v = noise.get((p * skills + j) % noise.len()).copied().unwrap_or(0);
-                    if v % 3 == 0 {
-                        own.push(name.clone());
-                    }
-                }
-                if own.is_empty() {
-                    own.push(skill_names[p % skills].clone());
-                }
-                builder.add_person(&format!("p{p}"), own);
-            }
-            for (i, v) in noise.iter().enumerate() {
-                let a = PersonId::from_index((*v as usize) % people);
-                let b = PersonId::from_index((i + 1) % people);
-                if a != b {
-                    builder.add_edge(a, b);
-                }
-            }
-            let graph = builder.build();
-            let qskills: Vec<SkillId> = (0..2.min(skills))
-                .map(|i| graph.vocab().id(&format!("skill{i}")).unwrap())
-                .collect();
-            let query = Query::new(qskills).unwrap();
-            (graph, query)
-        })
+const CASES: u64 = 24;
+
+/// A deterministic random small collaboration network plus a query over it.
+fn arbitrary_graph(seed: u64) -> (CollabGraph, Query) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) ^ 0xA5A5);
+    let people = rng.gen_range(3usize..10);
+    let skills = rng.gen_range(2usize..6);
+    let mut builder = CollabGraphBuilder::new();
+    let skill_names: Vec<String> = (0..skills).map(|i| format!("skill{i}")).collect();
+    for name in &skill_names {
+        builder.intern_skill(name);
+    }
+    for p in 0..people {
+        let mut own: Vec<String> = skill_names
+            .iter()
+            .filter(|_| rng.gen_bool(0.35))
+            .cloned()
+            .collect();
+        if own.is_empty() {
+            own.push(skill_names[p % skills].clone());
+        }
+        builder.add_person(&format!("p{p}"), own);
+    }
+    let edge_attempts = rng.gen_range(people..4 * people);
+    for _ in 0..edge_attempts {
+        let a = PersonId::from_index(rng.gen_range(0..people));
+        let b = PersonId::from_index(rng.gen_range(0..people));
+        if a != b {
+            builder.add_edge(a, b);
+        }
+    }
+    let graph = builder.build();
+    let qlen = rng.gen_range(1usize..=2.min(skills));
+    let qskills: Vec<SkillId> = (0..qlen)
+        .map(|i| graph.vocab().id(&format!("skill{i}")).unwrap())
+        .collect();
+    let query = Query::new(qskills).unwrap();
+    (graph, query)
 }
 
-/// Strategy: a random perturbation valid for the given graph.
-fn arbitrary_perturbations(graph: &CollabGraph, noise: &[u32]) -> PerturbationSet {
+/// A deterministic random perturbation set valid for the given graph.
+fn arbitrary_perturbations(graph: &CollabGraph, rng: &mut StdRng) -> PerturbationSet {
     let n = graph.num_people() as u32;
     let s = graph.vocab().len() as u32;
     let mut set = PerturbationSet::new();
-    for chunk in noise.chunks(3) {
-        if chunk.len() < 3 {
-            break;
-        }
-        let a = PersonId(chunk[0] % n);
-        let b = PersonId(chunk[1] % n);
-        let skill = SkillId(chunk[2] % s);
-        let p = match chunk[2] % 4 {
+    let count = rng.gen_range(1usize..8);
+    for _ in 0..count {
+        let a = PersonId(rng.gen_range(0u32..n));
+        let b = PersonId(rng.gen_range(0u32..n));
+        let skill = SkillId(rng.gen_range(0u32..s));
+        let p = match rng.gen_range(0u32..4) {
             0 => Perturbation::AddSkill { person: a, skill },
             1 => Perturbation::RemoveSkill { person: a, skill },
             2 => Perturbation::AddEdge { a, b },
@@ -72,105 +75,158 @@ fn arbitrary_perturbations(graph: &CollabGraph, noise: &[u32]) -> PerturbationSe
     set
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn overlay_matches_materialized_rebuild(
-        (graph, _query) in arbitrary_graph(),
-        noise in proptest::collection::vec(any::<u32>(), 3..24),
-    ) {
-        let delta = arbitrary_perturbations(&graph, &noise);
+/// The satellite equivalence property: after applying the same
+/// `PerturbationSet`, the delta-overlay `PerturbedGraph` must agree with a
+/// naively rebuilt `CollabGraph` on every `GraphView` accessor.
+#[test]
+fn overlay_accessors_match_materialized_rebuild() {
+    for case in 0..CASES {
+        let (graph, query) = arbitrary_graph(case);
+        let mut rng = StdRng::seed_from_u64(case ^ 0xDE1A);
+        let delta = arbitrary_perturbations(&graph, &mut rng);
         let overlay = delta.apply_to_graph(&graph);
         let rebuilt = delta.materialize(&graph);
-        prop_assert_eq!(overlay.num_edges(), rebuilt.num_edges());
-        for p in graph.people() {
-            prop_assert_eq!(overlay.person_skills(p), rebuilt.person_skills(p));
-            prop_assert_eq!(overlay.neighbors(p), rebuilt.neighbors(p));
-        }
-    }
 
-    #[test]
-    fn neighborhoods_grow_monotonically(
-        (graph, _query) in arbitrary_graph(),
-        center_raw in 0usize..10,
-        radius in 0usize..4,
-    ) {
-        let center = PersonId::from_index(center_raw % graph.num_people());
+        assert_eq!(overlay.num_people(), rebuilt.num_people(), "case {case}");
+        assert_eq!(overlay.num_edges(), rebuilt.num_edges(), "case {case}");
+        for p in graph.people() {
+            assert_eq!(
+                overlay.person_skills(p),
+                rebuilt.person_skills(p),
+                "case {case} skills of {p}"
+            );
+            assert_eq!(
+                overlay.neighbors(p),
+                rebuilt.neighbors(p),
+                "case {case} neighbors of {p}"
+            );
+            assert_eq!(overlay.degree(p), rebuilt.degree(p), "case {case}");
+            assert_eq!(
+                overlay.query_match_count(p, &query),
+                rebuilt.query_match_count(p, &query),
+                "case {case}"
+            );
+            for s in graph.vocab().ids() {
+                assert_eq!(
+                    overlay.person_has_skill(p, s),
+                    rebuilt.person_has_skill(p, s),
+                    "case {case} person_has_skill({p}, {s})"
+                );
+            }
+            for q in graph.people() {
+                assert_eq!(
+                    overlay.has_edge(p, q),
+                    rebuilt.has_edge(p, q),
+                    "case {case} has_edge({p}, {q})"
+                );
+            }
+        }
+        // Edge iterators agree as sets (the overlay yields base order then
+        // additions; the rebuild stores its own order).
+        let mut overlay_edges: Vec<_> = overlay.edges().collect();
+        let mut rebuilt_edges: Vec<_> = GraphView::edges(&rebuilt).collect();
+        overlay_edges.sort_unstable();
+        rebuilt_edges.sort_unstable();
+        assert_eq!(overlay_edges, rebuilt_edges, "case {case}");
+    }
+}
+
+#[test]
+fn neighborhoods_grow_monotonically() {
+    for case in 0..CASES {
+        let (graph, _query) = arbitrary_graph(case);
+        let mut rng = StdRng::seed_from_u64(case ^ 0x717);
+        let center = PersonId::from_index(rng.gen_range(0..graph.num_people()));
+        let radius = rng.gen_range(0usize..4);
         let small = Neighborhood::compute(&graph, center, radius);
         let large = Neighborhood::compute(&graph, center, radius + 1);
-        prop_assert!(small.contains(center));
+        assert!(small.contains(center));
         for &m in small.members() {
-            prop_assert!(large.contains(m));
+            assert!(large.contains(m), "case {case}");
         }
         // Pruned skill feature count never exceeds the whole-graph count.
         let pruned: usize = small.skills(&graph).len();
         let total: usize = graph.people().map(|p| graph.person_skills(p).len()).sum();
-        prop_assert!(pruned <= total);
+        assert!(pruned <= total, "case {case}");
     }
+}
 
-    #[test]
-    fn shapley_efficiency_axiom_holds(
-        weights in proptest::collection::vec(-5.0f64..5.0, 2..7),
-        interaction in -3.0f64..3.0,
-    ) {
-        let n = weights.len();
+#[test]
+fn shapley_efficiency_axiom_holds() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x5AFE);
+        let n = rng.gen_range(2usize..7);
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let interaction: f64 = rng.gen_range(-3.0..3.0);
         let w = weights.clone();
         let model = FnModel::new(n, move |mask: &[bool]| {
             let mut acc = 0.0;
             for (i, &b) in mask.iter().enumerate() {
-                if b { acc += w[i]; }
+                if b {
+                    acc += w[i];
+                }
             }
-            if mask[0] && mask[n - 1] { acc += interaction; }
+            if mask[0] && mask[n - 1] {
+                acc += interaction;
+            }
             acc
         });
         let exact = exact_shapley(&model);
-        prop_assert!(exact.efficiency_gap() < 1e-9);
+        assert!(exact.efficiency_gap() < 1e-9, "case {case}");
         let sampled = permutation_shapley(&model, 10, 7);
-        prop_assert!(sampled.efficiency_gap() < 1e-9);
+        assert!(sampled.efficiency_gap() < 1e-9, "case {case}");
         // Additive part: non-endpoint features get exactly their weight.
-        for i in 1..n.saturating_sub(1) {
-            prop_assert!((exact.value(i) - weights[i]).abs() < 1e-9);
+        for (i, &w) in weights.iter().enumerate().take(n.saturating_sub(1)).skip(1) {
+            assert!((exact.value(i) - w).abs() < 1e-9, "case {case} feature {i}");
         }
     }
+}
 
-    #[test]
-    fn rankers_produce_complete_consistent_rankings(
-        (graph, query) in arbitrary_graph(),
-    ) {
-        let rankers: Vec<Box<dyn Fn(&CollabGraph, &Query) -> RankedList>> = vec![
+#[test]
+fn rankers_produce_complete_consistent_rankings() {
+    for case in 0..CASES {
+        let (graph, query) = arbitrary_graph(case);
+        type RankFn = Box<dyn Fn(&CollabGraph, &Query) -> RankedList>;
+        let rankers: Vec<RankFn> = vec![
             Box::new(|g, q| TfIdfRanker::default().rank_all(g, q)),
             Box::new(|g, q| PropagationRanker::default().rank_all(g, q)),
             Box::new(|g, q| GcnRanker::default().rank_all(g, q)),
         ];
         for rank in rankers {
             let list = rank(&graph, &query);
-            prop_assert_eq!(list.len(), graph.num_people());
+            assert_eq!(list.len(), graph.num_people(), "case {case}");
             // Every person appears exactly once, scores are non-increasing.
             let mut seen: Vec<PersonId> = list.entries().iter().map(|&(p, _)| p).collect();
             seen.sort_unstable();
             seen.dedup();
-            prop_assert_eq!(seen.len(), graph.num_people());
+            assert_eq!(seen.len(), graph.num_people(), "case {case}");
             for pair in list.entries().windows(2) {
-                prop_assert!(pair[0].1 >= pair[1].1);
+                assert!(pair[0].1 >= pair[1].1, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn beam_search_counterfactuals_always_flip(
-        (graph, query) in arbitrary_graph(),
-        subject_raw in 0usize..10,
-    ) {
-        let subject = PersonId::from_index(subject_raw % graph.num_people());
+#[test]
+fn beam_search_counterfactuals_always_flip() {
+    for case in 0..CASES {
+        let (graph, query) = arbitrary_graph(case);
+        let mut rng = StdRng::seed_from_u64(case ^ 0xF11F);
+        let subject = PersonId::from_index(rng.gen_range(0..graph.num_people()));
         let ranker = PropagationRanker::default();
         let k = 2.min(graph.num_people());
         let task = ExpertRelevanceTask::new(&ranker, subject, k);
-        let bags: Vec<Vec<SkillId>> = graph.people().map(|p| graph.person_skills(p)).collect();
+        let bags: Vec<Vec<SkillId>> = graph
+            .people()
+            .map(|p| graph.person_skills(p).to_vec())
+            .collect();
         let embedding = SkillEmbedding::train(
             bags.iter().map(|b| b.as_slice()),
             graph.vocab().len(),
-            &EmbeddingConfig { dim: 4, ..Default::default() },
+            &EmbeddingConfig {
+                dim: 4,
+                ..Default::default()
+            },
         );
         let exes = Exes::new(
             ExesConfig::fast().with_k(k).with_num_candidates(3),
@@ -181,8 +237,50 @@ proptest! {
         let result = exes.counterfactual_skills(&task, &graph, &query);
         for explanation in &result.explanations {
             let (view, pq) = explanation.perturbations.apply(&graph, &query);
-            prop_assert_ne!(ranker.is_relevant(&view, &pq, subject, k), initially);
-            prop_assert!(explanation.size() >= 1);
+            assert_ne!(
+                ranker.is_relevant(&view, &pq, subject, k),
+                initially,
+                "case {case}"
+            );
+            assert!(explanation.size() >= 1, "case {case}");
         }
+    }
+}
+
+/// Parallel probe scoring must not change anything about a counterfactual
+/// search result — explanations, ordering, or probe counts.
+#[test]
+fn parallel_and_sequential_counterfactuals_are_identical() {
+    for case in 0..6 {
+        let (graph, query) = arbitrary_graph(case);
+        let subject = PersonId(0);
+        let ranker = PropagationRanker::default();
+        let k = 2.min(graph.num_people());
+        let task = ExpertRelevanceTask::new(&ranker, subject, k);
+        let bags: Vec<Vec<SkillId>> = graph
+            .people()
+            .map(|p| graph.person_skills(p).to_vec())
+            .collect();
+        let embedding = SkillEmbedding::train(
+            bags.iter().map(|b| b.as_slice()),
+            graph.vocab().len(),
+            &EmbeddingConfig {
+                dim: 4,
+                ..Default::default()
+            },
+        );
+        let run = |parallel: bool| {
+            let exes = Exes::new(
+                ExesConfig::fast()
+                    .with_k(k)
+                    .with_num_candidates(3)
+                    .with_parallel_probes(parallel),
+                embedding.clone(),
+                CommonNeighbors,
+            );
+            let result = exes.counterfactual_skills(&task, &graph, &query);
+            (result.probes, result.timed_out, result.explanations)
+        };
+        assert_eq!(run(true), run(false), "case {case}");
     }
 }

@@ -1,0 +1,254 @@
+//! Vendored, dependency-free stand-in for the subset of the `criterion` API
+//! this workspace uses: benchmark groups, `bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Timing model: each benchmark runs a short warm-up, then `sample_size`
+//! measured samples (one closure call per sample; sub-microsecond bodies are
+//! additionally batched). Mean, median and min wall-clock times are printed,
+//! and every result is appended as a JSON line to
+//! `target/criterion/results.jsonl` so harness binaries can collect baselines
+//! without re-parsing stdout.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark measurement, as recorded into the results file.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/id` label.
+    pub label: String,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Mean time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, in nanoseconds.
+    pub min_ns: f64,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("benchmarking group '{name}'");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Appends all measurements to `target/criterion/results.jsonl`.
+    pub fn persist(&self) {
+        let dir = PathBuf::from("target").join("criterion");
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join("results.jsonl");
+        let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(path) else {
+            return;
+        };
+        for m in &self.results {
+            let _ = writeln!(
+                file,
+                "{{\"label\":\"{}\",\"samples\":{},\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1}}}",
+                m.label.replace('"', "'"),
+                m.samples,
+                m.mean_ns,
+                m.median_ns,
+                m.min_ns
+            );
+        }
+    }
+}
+
+/// Identifier of a parameterised benchmark: `name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds the id from a function name and a parameter value.
+    pub fn new<S: Display, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an identifier.
+pub trait IntoBenchmarkLabel {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a sample-size configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<L: IntoBenchmarkLabel, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: L,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        if samples.is_empty() {
+            return self;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        eprintln!(
+            "  {label}: mean {} | median {} | min {} ({} samples)",
+            fmt_ns(mean),
+            fmt_ns(median),
+            fmt_ns(min),
+            samples.len()
+        );
+        self.criterion.results.push(Measurement {
+            label,
+            samples: samples.len(),
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+        });
+        self
+    }
+
+    /// Ends the group (measurements were already recorded eagerly).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: target >= ~1ms per sample so that
+        // timer resolution never dominates.
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / first.as_nanos()).clamp(1, 10_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let total = start.elapsed();
+            self.samples_ns.push(total.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Entry point: runs every group and persists results.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.persist();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_function(BenchmarkId::new("param", 7), |b| b.iter(|| black_box(7)));
+            g.finish();
+        }
+        assert_eq!(c.measurements().len(), 2);
+        assert!(c.measurements()[0].mean_ns >= 0.0);
+        assert_eq!(c.measurements()[1].label, "unit/param/7");
+    }
+}
