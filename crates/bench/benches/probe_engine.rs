@@ -98,6 +98,7 @@ fn bench_beam_through_engine(c: &mut Criterion) {
                         CounterfactualKind::SkillRemoval,
                         &cfg,
                         None,
+                        None,
                     )
                 })
             });

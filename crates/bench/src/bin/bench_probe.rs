@@ -103,6 +103,7 @@ fn measure(scale: &'static str, people: usize) -> Row {
             CounterfactualKind::SkillRemoval,
             &cfg,
             None,
+            None,
         )
     };
     let (seq_result, beam_seq) = best_of(REPS, || beam(false));

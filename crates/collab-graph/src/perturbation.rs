@@ -6,7 +6,13 @@ use crate::{CollabGraph, PersonId, PerturbedGraph, Query, SkillId};
 ///
 /// Counterfactual explanations are sets of these ([`PerturbationSet`]); factual
 /// explanations score the *features* these edits act on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The derived [`Ord`] (variant order first, then field order within a variant)
+/// is the **canonical order** used wherever a perturbation set must act as a
+/// set-valued key: beam-search deduplication and the probe memo cache both sort
+/// by it, so two sets holding the same edits in different insertion orders
+/// compare and hash identically after canonicalisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Perturbation {
     /// Give `person` a new `skill` label.
     AddSkill {
@@ -182,6 +188,18 @@ impl PerturbationSet {
     /// True when `other` contains every perturbation of `self`.
     pub fn is_subset_of(&self, other: &PerturbationSet) -> bool {
         self.items.iter().all(|p| other.contains(p))
+    }
+
+    /// The canonical key of this set: its perturbations sorted by the derived
+    /// [`Ord`] on [`Perturbation`].
+    ///
+    /// Two sets holding the same edits — regardless of insertion order —
+    /// produce equal keys, which is what beam-search deduplication and the
+    /// probe memo cache rely on.
+    pub fn canonical_key(&self) -> Vec<Perturbation> {
+        let mut key = self.items.clone();
+        key.sort_unstable();
+        key
     }
 
     /// Iterates over the perturbations in insertion order.
@@ -368,6 +386,71 @@ mod tests {
         assert!(text.contains("Ada"));
         assert!(text.contains("Cy"));
         assert!(text.contains("ml"));
+    }
+
+    #[test]
+    fn canonical_key_is_insertion_order_independent() {
+        // Every permutation of the same edits yields the same canonical key.
+        let edits = [
+            Perturbation::RemoveSkill {
+                person: PersonId(1),
+                skill: SkillId(2),
+            },
+            Perturbation::AddQueryTerm { skill: SkillId(0) },
+            Perturbation::AddEdge {
+                a: PersonId(0),
+                b: PersonId(3),
+            },
+            Perturbation::AddSkill {
+                person: PersonId(2),
+                skill: SkillId(1),
+            },
+        ];
+        let reference: PerturbationSet = edits.into_iter().collect();
+        let reference_key = reference.canonical_key();
+        // Walk a handful of distinct permutations deterministically.
+        let permutations: [[usize; 4]; 5] = [
+            [3, 2, 1, 0],
+            [1, 0, 3, 2],
+            [2, 3, 0, 1],
+            [0, 2, 1, 3],
+            [1, 3, 0, 2],
+        ];
+        for perm in permutations {
+            let shuffled: PerturbationSet = perm.into_iter().map(|i| edits[i]).collect();
+            assert_eq!(shuffled.canonical_key(), reference_key, "perm {perm:?}");
+            assert_ne!(
+                shuffled.iter().copied().collect::<Vec<_>>(),
+                reference_key,
+                "permutation {perm:?} should differ in insertion order"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbation_order_is_total_and_by_variant() {
+        let skill = Perturbation::AddSkill {
+            person: PersonId(9),
+            skill: SkillId(9),
+        };
+        let removal = Perturbation::RemoveSkill {
+            person: PersonId(0),
+            skill: SkillId(0),
+        };
+        let query = Perturbation::AddQueryTerm { skill: SkillId(0) };
+        // Variant order dominates field values.
+        assert!(skill < removal);
+        assert!(removal < query);
+        // Within a variant, fields order lexicographically.
+        let a = Perturbation::AddEdge {
+            a: PersonId(1),
+            b: PersonId(2),
+        };
+        let b = Perturbation::AddEdge {
+            a: PersonId(1),
+            b: PersonId(3),
+        };
+        assert!(a < b);
     }
 
     #[test]

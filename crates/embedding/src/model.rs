@@ -130,7 +130,7 @@ impl SkillEmbedding {
             .filter(|s| !exclude.contains(s))
             .map(|s| (s, cosine(self.vector(s), &centroid)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored.truncate(t);
         scored
     }
@@ -150,7 +150,7 @@ impl SkillEmbedding {
             .filter(|s| !exclude.contains(s))
             .map(|s| (s, cosine(self.vector(s), &centroid)))
             .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
         scored.truncate(t);
         scored
     }

@@ -49,6 +49,15 @@ pub struct ExesConfig {
     /// SHAP coalitions) run on all cores. Results are byte-identical either
     /// way; disable for differential testing or single-core deployments.
     pub parallel_probes: bool,
+    /// Maximum number of memoised probes a [`crate::probe::ProbeCache`] built
+    /// from this configuration retains (`0` = unbounded). When the bound is
+    /// exceeded the least-recently-used quarter of the affected shard is
+    /// evicted in bulk, keeping eviction cost amortised O(1) per insert.
+    pub probe_cache_capacity: usize,
+    /// Number of independently locked shards in a
+    /// [`crate::probe::ProbeCache`]; parallel probe workers contend on a shard
+    /// only when their keys hash to it.
+    pub probe_cache_shards: usize,
     /// Shapley estimator configuration.
     pub shap: ShapConfig,
 }
@@ -67,6 +76,8 @@ impl Default for ExesConfig {
             timeout: Some(Duration::from_secs(1000)),
             output_mode: OutputMode::Binary,
             parallel_probes: true,
+            probe_cache_capacity: 1 << 18,
+            probe_cache_shards: 16,
             shap: ShapConfig::default(),
         }
     }
@@ -136,6 +147,20 @@ impl ExesConfig {
         self.parallel_probes = parallel;
         self
     }
+
+    /// Builder-style setter for the probe memo-cache entry bound
+    /// (`0` = unbounded).
+    pub fn with_probe_cache_capacity(mut self, capacity: usize) -> Self {
+        self.probe_cache_capacity = capacity;
+        self
+    }
+
+    /// Builder-style setter for the probe memo-cache shard count.
+    pub fn with_probe_cache_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "cache shard count must be at least 1");
+        self.probe_cache_shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +181,23 @@ mod tests {
         assert_eq!(c.timeout, Some(Duration::from_secs(1000)));
         assert_eq!(c.output_mode, OutputMode::Binary);
         assert!(c.parallel_probes);
+        assert_eq!(c.probe_cache_capacity, 1 << 18);
+        assert_eq!(c.probe_cache_shards, 16);
+    }
+
+    #[test]
+    fn cache_builders_update_fields() {
+        let c = ExesConfig::fast()
+            .with_probe_cache_capacity(128)
+            .with_probe_cache_shards(4);
+        assert_eq!(c.probe_cache_capacity, 128);
+        assert_eq!(c.probe_cache_shards, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache shard count")]
+    fn zero_cache_shards_is_rejected() {
+        let _ = ExesConfig::default().with_probe_cache_shards(0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use super::{CounterfactualExplanation, CounterfactualKind, CounterfactualResult};
 use crate::config::ExesConfig;
-use crate::probe::{ProbeBatch, PROBE_CHUNK};
+use crate::probe::{ProbeBatch, ProbeCache, PROBE_CHUNK};
 use crate::tasks::DecisionModel;
 use exes_graph::{CollabGraph, Perturbation, PerturbationSet, Query};
 use rustc_hash::FxHashSet;
@@ -24,6 +24,10 @@ use std::time::Instant;
 /// * `deadline` — optional wall-clock cutoff, checked between probe chunks;
 ///   when reached, whatever has been found so far is returned with
 ///   `timed_out = true`.
+/// * `cache` — optional probe memo table. A warm cache answers repeated
+///   probes without touching the black box; explanations are byte-identical
+///   either way, only `result.probes` (and the hit/miss counters) change.
+#[allow(clippy::too_many_arguments)]
 pub fn beam_search<D: DecisionModel>(
     task: &D,
     graph: &CollabGraph,
@@ -32,11 +36,19 @@ pub fn beam_search<D: DecisionModel>(
     kind: CounterfactualKind,
     cfg: &ExesConfig,
     deadline: Option<Instant>,
+    cache: Option<&ProbeCache>,
 ) -> CounterfactualResult {
     let mut result = CounterfactualResult::default();
-    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes);
-    let initial = engine.score_identity();
-    result.probes += 1;
+    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes).with_cache_opt(cache);
+    let (initial, initial_hit) = engine.score_identity_counted();
+    if initial_hit {
+        result.cache_hits += 1;
+    } else {
+        result.probes += 1;
+        if cache.is_some() {
+            result.cache_misses += 1;
+        }
+    }
     let initial_relevance = initial.positive;
 
     // Beam of (signal, perturbation set). Starts from the empty perturbation.
@@ -52,9 +64,9 @@ pub fn beam_search<D: DecisionModel>(
                     continue;
                 }
                 let expanded = state.with(feature);
-                let mut key: Vec<Perturbation> = expanded.iter().copied().collect();
-                key.sort_by_key(|p| format!("{p:?}"));
-                if !seen.insert(key) {
+                // Canonical dedup key: sorted by the derived `Ord` on
+                // `Perturbation` — the same order the probe cache keys by.
+                if !seen.insert(expanded.canonical_key()) {
                     continue;
                 }
                 pending.push(expanded);
@@ -90,8 +102,10 @@ pub fn beam_search<D: DecisionModel>(
             if chunk.is_empty() {
                 continue;
             }
-            let probes = engine.score(&chunk);
-            result.probes += chunk.len();
+            let (probes, stats) = engine.score_counted(&chunk);
+            result.probes += stats.probed;
+            result.cache_hits += stats.cache_hits;
+            result.cache_misses += stats.cache_misses;
             for (set, probe) in chunk.into_iter().zip(probes) {
                 if probe.positive != initial_relevance {
                     // In-order minimality guard within the chunk: a set whose
@@ -118,12 +132,12 @@ pub fn beam_search<D: DecisionModel>(
         // Keep the b most promising states. If the subject is currently selected
         // we want perturbations that push it *out* (higher signal first);
         // otherwise perturbations that pull it *in* (lower signal first).
+        // `total_cmp` keeps the order well-defined even if a black box ever
+        // emits a NaN signal (NaN sorts as larger than every number).
         if initial_relevance {
-            expanded_queue
-                .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            expanded_queue.sort_by(|a, b| b.0.total_cmp(&a.0));
         } else {
-            expanded_queue
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            expanded_queue.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
         expanded_queue.truncate(cfg.beam_width);
         queue = expanded_queue;
@@ -182,6 +196,7 @@ mod tests {
             CounterfactualKind::SkillRemoval,
             &cfg(),
             None,
+            None,
         );
         assert!(!result.is_empty());
         // Every returned explanation must genuinely flip the decision.
@@ -223,6 +238,7 @@ mod tests {
             CounterfactualKind::SkillAddition,
             &cfg(),
             None,
+            None,
         );
         assert!(!result.is_empty(), "should find a way to promote Cig");
         for e in &result.explanations {
@@ -248,6 +264,7 @@ mod tests {
             &candidates,
             CounterfactualKind::QueryAugmentation,
             &config,
+            None,
             None,
         );
         for e in &result.explanations {
@@ -284,6 +301,7 @@ mod tests {
             CounterfactualKind::SkillRemoval,
             &config,
             None,
+            None,
         );
         assert!(result.len() <= 2);
     }
@@ -308,6 +326,7 @@ mod tests {
             CounterfactualKind::SkillRemoval,
             &cfg(),
             deadline,
+            None,
         );
         assert!(result.timed_out || !result.is_empty());
     }
@@ -333,6 +352,7 @@ mod tests {
             &candidates,
             CounterfactualKind::SkillRemoval,
             &cfg(),
+            None,
             None,
         );
         let sizes: Vec<usize> = result.explanations.iter().map(|e| e.size()).collect();
@@ -388,6 +408,7 @@ mod tests {
                 &candidates,
                 CounterfactualKind::SkillRemoval,
                 config,
+                None,
                 None,
             )
         };

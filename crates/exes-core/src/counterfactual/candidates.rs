@@ -2,6 +2,7 @@
 //! (`getCandidateFeatures`, line 1 of Algorithm 1): Pruning Strategies 4 and 5.
 
 use crate::config::ExesConfig;
+use crate::probe::{BatchStats, ProbeBatch, ProbeCache};
 use crate::tasks::DecisionModel;
 use exes_embedding::SkillEmbedding;
 use exes_graph::{
@@ -27,7 +28,7 @@ pub fn skill_removal_candidates(
             .iter()
             .map(|&s| (s, embedding.similarity_to_set(s, query.skills())))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (skill, _) in scored.into_iter().take(cfg.num_candidates) {
             candidates.push(Perturbation::RemoveSkill { person, skill });
         }
@@ -114,33 +115,40 @@ pub fn query_augmentation_candidates(
 
 /// Link-removal candidates (Section 3.3.3): the `t` edges inside the subject's
 /// radius-`d` neighbourhood whose individual removal worsens the subject's rank
-/// signal the most (each candidate edge is probed once).
+/// signal the most (each candidate edge is probed once, through the batched —
+/// and, when a cache is given, memoised — probe engine).
 ///
-/// Returns the candidate perturbations and the number of probes spent scoring
-/// them.
+/// Returns the candidate perturbations and the scoring batch's probe
+/// accounting (`probed` is the number of probes that actually reached the
+/// black box).
 pub fn link_removal_candidates<D: DecisionModel>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
     cfg: &ExesConfig,
-) -> (Vec<Perturbation>, usize) {
+    cache: Option<&ProbeCache>,
+) -> (Vec<Perturbation>, BatchStats) {
     let subject = task.subject();
     let neighborhood = Neighborhood::compute(graph, subject, cfg.collab_radius);
     let edges = neighborhood.edges_within(graph);
-    let mut probes = 0usize;
-    let mut scored: Vec<(Perturbation, f64)> = Vec::with_capacity(edges.len());
-    for (a, b) in edges {
-        let perturbation = Perturbation::RemoveEdge { a, b };
-        let delta = PerturbationSet::singleton(perturbation);
-        let view = delta.apply_to_graph(graph);
-        let probe = task.probe(&view, query);
-        probes += 1;
-        scored.push((perturbation, probe.signal));
-    }
+    let perturbations: Vec<Perturbation> = edges
+        .into_iter()
+        .map(|(a, b)| Perturbation::RemoveEdge { a, b })
+        .collect();
+    let sets: Vec<PerturbationSet> = perturbations
+        .iter()
+        .map(|&p| PerturbationSet::singleton(p))
+        .collect();
+    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes).with_cache_opt(cache);
+    let (probes, stats) = engine.score_counted(&sets);
+    let mut scored: Vec<(Perturbation, f64)> = perturbations
+        .into_iter()
+        .zip(probes.into_iter().map(|p| p.signal))
+        .collect();
     // Higher signal = worse rank = more damaging removal; keep the t most damaging.
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     scored.truncate(cfg.num_candidates);
-    (scored.into_iter().map(|(p, _)| p).collect(), probes)
+    (scored.into_iter().map(|(p, _)| p).collect(), stats)
 }
 
 /// Link-addition candidates (Pruning Strategy 5): people within an extended
@@ -312,8 +320,9 @@ mod tests {
         let q = any_query(&f.ds);
         let ranker = PropagationRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(3), 5);
-        let (cands, probes) = link_removal_candidates(&task, &f.ds.graph, &q, &cfg());
-        assert!(probes >= cands.len());
+        let (cands, stats) = link_removal_candidates(&task, &f.ds.graph, &q, &cfg(), None);
+        assert!(stats.probed >= cands.len());
+        assert_eq!(stats.cache_hits, 0);
         assert!(cands.len() <= cfg().num_candidates);
         let neighborhood = Neighborhood::compute(&f.ds.graph, PersonId(3), cfg().collab_radius);
         for c in &cands {

@@ -3,7 +3,7 @@
 
 use super::{CounterfactualExplanation, CounterfactualKind, CounterfactualResult};
 use crate::config::ExesConfig;
-use crate::probe::{ProbeBatch, PROBE_CHUNK};
+use crate::probe::{ProbeBatch, ProbeCache, PROBE_CHUNK};
 use crate::tasks::DecisionModel;
 use exes_graph::{
     CollabGraph, GraphView, Neighborhood, PersonId, Perturbation, PerturbationSet, Query, SkillId,
@@ -21,6 +21,11 @@ use std::time::Instant;
 /// scored through [`ProbeBatch`] (in parallel when `cfg.parallel_probes`);
 /// chunks are processed in enumeration order, so results are byte-identical to
 /// the sequential path. The deadline is checked between chunks.
+///
+/// An optional [`ProbeCache`] memoises probes exactly as in
+/// [`super::beam::beam_search`]: results are byte-identical with or without
+/// it, only `result.probes` and the hit/miss counters change.
+#[allow(clippy::too_many_arguments)]
 pub fn exhaustive_search<D: DecisionModel>(
     task: &D,
     graph: &CollabGraph,
@@ -29,11 +34,19 @@ pub fn exhaustive_search<D: DecisionModel>(
     kind: CounterfactualKind,
     cfg: &ExesConfig,
     deadline: Option<Instant>,
+    cache: Option<&ProbeCache>,
 ) -> CounterfactualResult {
     let mut result = CounterfactualResult::default();
-    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes);
-    let initial = engine.score_identity();
-    result.probes += 1;
+    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes).with_cache_opt(cache);
+    let (initial, initial_hit) = engine.score_identity_counted();
+    if initial_hit {
+        result.cache_hits += 1;
+    } else {
+        result.probes += 1;
+        if cache.is_some() {
+            result.cache_misses += 1;
+        }
+    }
     let initial_relevance = initial.positive;
 
     // Scores a buffered chunk in enumeration order; returns false when the
@@ -50,8 +63,10 @@ pub fn exhaustive_search<D: DecisionModel>(
                     return false;
                 }
             }
-            let probes = engine.score(chunk);
-            result.probes += chunk.len();
+            let (probes, stats) = engine.score_counted(chunk);
+            result.probes += stats.probed;
+            result.cache_hits += stats.cache_hits;
+            result.cache_misses += stats.cache_misses;
             for (set, probe) in chunk.drain(..).zip(probes) {
                 if probe.positive != initial_relevance
                     && result.explanations.len() < cfg.num_explanations
@@ -258,6 +273,7 @@ mod tests {
             CounterfactualKind::SkillRemoval,
             &ExesConfig::fast().with_k(1),
             None,
+            None,
         );
         assert!(!result.is_empty());
         let minimal = result.minimal_size().unwrap();
@@ -304,6 +320,7 @@ mod tests {
             CounterfactualKind::QueryAugmentation,
             &ExesConfig::fast().with_k(1),
             deadline,
+            None,
         );
         assert!(result.timed_out || !result.is_empty());
     }
@@ -321,6 +338,7 @@ mod tests {
             &[],
             CounterfactualKind::SkillRemoval,
             &ExesConfig::fast(),
+            None,
             None,
         );
         assert!(result.is_empty());

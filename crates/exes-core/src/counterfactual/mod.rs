@@ -58,8 +58,17 @@ pub struct CounterfactualResult {
     /// Explanations found, sorted by size and then by how strongly they move the
     /// subject's rank in the desired direction.
     pub explanations: Vec<CounterfactualExplanation>,
-    /// Number of probes issued to the underlying system.
+    /// Number of probes issued to the underlying system. With a
+    /// [`crate::probe::ProbeCache`] attached this counts only the probes that
+    /// actually reached the black box (the cache misses plus any probes issued
+    /// outside the cached engine); a warm cache makes it drop.
     pub probes: usize,
+    /// Probe requests answered by the attached [`crate::probe::ProbeCache`]
+    /// (0 when the search ran uncached).
+    pub cache_hits: usize,
+    /// Probe requests that went through the attached cache and missed
+    /// (0 when the search ran uncached).
+    pub cache_misses: usize,
     /// Whether the search stopped because the configured timeout elapsed.
     pub timed_out: bool,
 }
@@ -96,20 +105,24 @@ impl CounterfactualResult {
         }
     }
 
+    /// Total probe requests the search made, whether served by the black box
+    /// or the memo cache.
+    pub fn probe_requests(&self) -> usize {
+        self.probes + self.cache_hits
+    }
+
     /// Sorts explanations by size, then by the strength of their effect.
     /// `prefer_low_signal` is true when the goal was to *improve* the subject's
     /// rank (bring a non-expert in), false when the goal was to evict them.
+    /// Signals are compared with [`f64::total_cmp`] so a NaN signal cannot
+    /// scramble the order between runs.
     pub(crate) fn sort(&mut self, prefer_low_signal: bool) {
         self.explanations.sort_by(|a, b| {
             a.size().cmp(&b.size()).then_with(|| {
                 if prefer_low_signal {
-                    a.new_signal
-                        .partial_cmp(&b.new_signal)
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    a.new_signal.total_cmp(&b.new_signal)
                 } else {
-                    b.new_signal
-                        .partial_cmp(&a.new_signal)
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    b.new_signal.total_cmp(&a.new_signal)
                 }
             })
         });
@@ -143,9 +156,10 @@ mod tests {
                 explanation(3, 2.0),
             ],
             probes: 10,
-            timed_out: false,
+            ..Default::default()
         };
         assert_eq!(result.len(), 3);
+        assert_eq!(result.probe_requests(), 10);
         assert!(!result.is_empty());
         assert_eq!(result.minimal_size(), Some(1));
         assert!((result.mean_size() - 2.0).abs() < 1e-12);
@@ -158,8 +172,7 @@ mod tests {
     fn sort_breaks_ties_by_effect_direction() {
         let mut result = CounterfactualResult {
             explanations: vec![explanation(1, 5.0), explanation(1, 2.0)],
-            probes: 0,
-            timed_out: false,
+            ..Default::default()
         };
         result.sort(true);
         assert_eq!(result.explanations[0].new_signal, 2.0);

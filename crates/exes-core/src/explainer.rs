@@ -13,10 +13,12 @@ use crate::counterfactual::{
 use crate::factual::{
     explain_collaborations, explain_query_terms, explain_skills, FactualExplanation,
 };
-use crate::tasks::DecisionModel;
+use crate::probe::{BatchStats, ProbeBatch, ProbeCache};
+use crate::tasks::{DecisionModel, Probe};
 use exes_embedding::SkillEmbedding;
 use exes_graph::{CollabGraph, Query};
 use exes_linkpred::LinkPredictor;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which of the two skill-addition exhaustive baselines to run (Section 4.1).
@@ -30,7 +32,8 @@ pub enum SkillAdditionBaseline {
 
 /// The ExES explainer: bundles the configuration with the two auxiliary models
 /// the pruning strategies need — the skill embedding `W` (Pruning Strategy 4)
-/// and the link predictor `L` (Pruning Strategy 5).
+/// and the link predictor `L` (Pruning Strategy 5) — plus an optional probe
+/// memo cache shared by every explanation computed through this instance.
 ///
 /// Every method is generic over the [`DecisionModel`], so the same explainer
 /// instance serves expert-search relevance and team-membership questions.
@@ -39,6 +42,7 @@ pub struct Exes<L> {
     config: ExesConfig,
     embedding: SkillEmbedding,
     link_predictor: L,
+    probe_cache: Option<Arc<ProbeCache>>,
 }
 
 impl<L: LinkPredictor> Exes<L> {
@@ -48,7 +52,32 @@ impl<L: LinkPredictor> Exes<L> {
             config,
             embedding,
             link_predictor,
+            probe_cache: None,
         }
+    }
+
+    /// Attaches a shared probe memo cache. Every subsequent explanation —
+    /// counterfactual searches and factual SHAP coalitions alike — goes
+    /// through it; results are byte-identical to uncached runs, only the
+    /// probe counts change.
+    ///
+    /// The cache keys by (graph, query) context and subject, but **not** by
+    /// the decision model's own parameters (ranker, `k`, team seed): keep one
+    /// cache per model configuration, as [`crate::service::ExesService`] does.
+    pub fn with_probe_cache(mut self, cache: Arc<ProbeCache>) -> Self {
+        self.probe_cache = Some(cache);
+        self
+    }
+
+    /// Detaches the stored probe cache.
+    pub fn without_probe_cache(mut self) -> Self {
+        self.probe_cache = None;
+        self
+    }
+
+    /// The attached probe cache, if any.
+    pub fn probe_cache(&self) -> Option<&ProbeCache> {
+        self.probe_cache.as_deref()
     }
 
     /// The active configuration.
@@ -70,6 +99,33 @@ impl<L: LinkPredictor> Exes<L> {
         self.config.timeout.map(|t| Instant::now() + t)
     }
 
+    /// The initial (unperturbed) decision, routed through the cache when one
+    /// is attached so a warm cache answers it for free. Returns the probe and
+    /// whether it was a cache hit.
+    fn initial_probe<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+        cache: Option<&ProbeCache>,
+    ) -> (Probe, bool) {
+        ProbeBatch::new(task, graph, query, self.config.parallel_probes)
+            .with_cache_opt(cache)
+            .score_identity_counted()
+    }
+
+    /// Folds the initial probe into a finished search result's accounting.
+    fn account_initial(result: &mut CounterfactualResult, hit: bool, cached: bool) {
+        if hit {
+            result.cache_hits += 1;
+        } else {
+            result.probes += 1;
+            if cached {
+                result.cache_misses += 1;
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Factual explanations
     // ------------------------------------------------------------------
@@ -82,7 +138,7 @@ impl<L: LinkPredictor> Exes<L> {
         query: &Query,
         pruned: bool,
     ) -> FactualExplanation {
-        explain_skills(task, graph, query, &self.config, pruned)
+        explain_skills(task, graph, query, &self.config, pruned, self.probe_cache())
     }
 
     /// Query-term factual explanation (no pruning applies).
@@ -92,7 +148,7 @@ impl<L: LinkPredictor> Exes<L> {
         graph: &CollabGraph,
         query: &Query,
     ) -> FactualExplanation {
-        explain_query_terms(task, graph, query, &self.config)
+        explain_query_terms(task, graph, query, &self.config, self.probe_cache())
     }
 
     /// Collaboration factual explanation (Pruning Strategy 2 when `pruned`).
@@ -103,7 +159,7 @@ impl<L: LinkPredictor> Exes<L> {
         query: &Query,
         pruned: bool,
     ) -> FactualExplanation {
-        explain_collaborations(task, graph, query, &self.config, pruned)
+        explain_collaborations(task, graph, query, &self.config, pruned, self.probe_cache())
     }
 
     // ------------------------------------------------------------------
@@ -118,7 +174,21 @@ impl<L: LinkPredictor> Exes<L> {
         graph: &CollabGraph,
         query: &Query,
     ) -> CounterfactualResult {
-        let initially_selected = task.probe(graph, query).positive;
+        self.counterfactual_skills_with(task, graph, query, self.probe_cache())
+    }
+
+    /// [`Exes::counterfactual_skills`] with an explicit probe cache, overriding
+    /// any cache stored on the explainer. [`crate::service::ExesService`] uses
+    /// this to share one cache per (graph, query) request group.
+    pub fn counterfactual_skills_with<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+        cache: Option<&ProbeCache>,
+    ) -> CounterfactualResult {
+        let (initial, initial_hit) = self.initial_probe(task, graph, query, cache);
+        let initially_selected = initial.positive;
         let (candidates, kind) = if initially_selected {
             (
                 candidates::skill_removal_candidates(
@@ -150,8 +220,9 @@ impl<L: LinkPredictor> Exes<L> {
             kind,
             &self.config,
             self.deadline(),
+            cache,
         );
-        result.probes += 1; // the initial probe above
+        Self::account_initial(&mut result, initial_hit, cache.is_some());
         result
     }
 
@@ -162,7 +233,19 @@ impl<L: LinkPredictor> Exes<L> {
         graph: &CollabGraph,
         query: &Query,
     ) -> CounterfactualResult {
-        let initially_selected = task.probe(graph, query).positive;
+        self.counterfactual_query_with(task, graph, query, self.probe_cache())
+    }
+
+    /// [`Exes::counterfactual_query`] with an explicit probe cache.
+    pub fn counterfactual_query_with<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+        cache: Option<&ProbeCache>,
+    ) -> CounterfactualResult {
+        let (initial, initial_hit) = self.initial_probe(task, graph, query, cache);
+        let initially_selected = initial.positive;
         let candidates = candidates::query_augmentation_candidates(
             graph,
             query,
@@ -179,8 +262,9 @@ impl<L: LinkPredictor> Exes<L> {
             CounterfactualKind::QueryAugmentation,
             &self.config,
             self.deadline(),
+            cache,
         );
-        result.probes += 1;
+        Self::account_initial(&mut result, initial_hit, cache.is_some());
         result
     }
 
@@ -192,11 +276,23 @@ impl<L: LinkPredictor> Exes<L> {
         graph: &CollabGraph,
         query: &Query,
     ) -> CounterfactualResult {
-        let initially_selected = task.probe(graph, query).positive;
-        let (candidates, kind, extra_probes) = if initially_selected {
-            let (cands, probes) =
-                candidates::link_removal_candidates(task, graph, query, &self.config);
-            (cands, CounterfactualKind::LinkRemoval, probes)
+        self.counterfactual_links_with(task, graph, query, self.probe_cache())
+    }
+
+    /// [`Exes::counterfactual_links`] with an explicit probe cache.
+    pub fn counterfactual_links_with<D: DecisionModel>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+        cache: Option<&ProbeCache>,
+    ) -> CounterfactualResult {
+        let (initial, initial_hit) = self.initial_probe(task, graph, query, cache);
+        let initially_selected = initial.positive;
+        let (candidates, kind, extra) = if initially_selected {
+            let (cands, stats) =
+                candidates::link_removal_candidates(task, graph, query, &self.config, cache);
+            (cands, CounterfactualKind::LinkRemoval, stats)
         } else {
             (
                 candidates::link_addition_candidates(
@@ -206,7 +302,7 @@ impl<L: LinkPredictor> Exes<L> {
                     &self.config,
                 ),
                 CounterfactualKind::LinkAddition,
-                0,
+                BatchStats::default(),
             )
         };
         let mut result = beam_search(
@@ -217,8 +313,12 @@ impl<L: LinkPredictor> Exes<L> {
             kind,
             &self.config,
             self.deadline(),
+            cache,
         );
-        result.probes += extra_probes + 1;
+        result.probes += extra.probed;
+        result.cache_hits += extra.cache_hits;
+        result.cache_misses += extra.cache_misses;
+        Self::account_initial(&mut result, initial_hit, cache.is_some());
         result
     }
 
@@ -236,7 +336,9 @@ impl<L: LinkPredictor> Exes<L> {
         query: &Query,
         addition_baseline: SkillAdditionBaseline,
     ) -> CounterfactualResult {
-        let initially_selected = task.probe(graph, query).positive;
+        let cache = self.probe_cache();
+        let (initial, initial_hit) = self.initial_probe(task, graph, query, cache);
+        let initially_selected = initial.positive;
         let (candidates, kind) = if initially_selected {
             (all_skill_removals(graph), CounterfactualKind::SkillRemoval)
         } else {
@@ -263,8 +365,9 @@ impl<L: LinkPredictor> Exes<L> {
             kind,
             &self.config,
             self.deadline(),
+            cache,
         );
-        result.probes += 1;
+        Self::account_initial(&mut result, initial_hit, cache.is_some());
         result
     }
 
@@ -275,8 +378,11 @@ impl<L: LinkPredictor> Exes<L> {
         graph: &CollabGraph,
         query: &Query,
     ) -> CounterfactualResult {
+        // No extra initial probe here: unlike the skill/link variants, this
+        // method never asks for the unperturbed decision outside the search,
+        // so only the search's own identity probe is counted.
         let candidates = all_query_augmentations(graph, query);
-        let mut result = exhaustive_search(
+        exhaustive_search(
             task,
             graph,
             query,
@@ -284,9 +390,8 @@ impl<L: LinkPredictor> Exes<L> {
             CounterfactualKind::QueryAugmentation,
             &self.config,
             self.deadline(),
-        );
-        result.probes += 1;
-        result
+            self.probe_cache(),
+        )
     }
 
     /// Exhaustive collaboration counterfactuals: all edge removals (selected
@@ -297,7 +402,9 @@ impl<L: LinkPredictor> Exes<L> {
         graph: &CollabGraph,
         query: &Query,
     ) -> CounterfactualResult {
-        let initially_selected = task.probe(graph, query).positive;
+        let cache = self.probe_cache();
+        let (initial, initial_hit) = self.initial_probe(task, graph, query, cache);
+        let initially_selected = initial.positive;
         let (candidates, kind) = if initially_selected {
             (all_link_removals(graph), CounterfactualKind::LinkRemoval)
         } else {
@@ -314,8 +421,9 @@ impl<L: LinkPredictor> Exes<L> {
             kind,
             &self.config,
             self.deadline(),
+            cache,
         );
-        result.probes += 1;
+        Self::account_initial(&mut result, initial_hit, cache.is_some());
         result
     }
 }

@@ -3,6 +3,7 @@
 use super::{skill::explain_features, FactualExplanation, FeatureMaskModel};
 use crate::config::ExesConfig;
 use crate::features::Feature;
+use crate::probe::ProbeCache;
 use crate::tasks::DecisionModel;
 use exes_graph::{CollabGraph, Neighborhood, PersonId, Query};
 use exes_shap::{CachingModel, ShapExplainer};
@@ -31,10 +32,11 @@ pub fn explain_collaborations<D: DecisionModel>(
     query: &Query,
     cfg: &ExesConfig,
     pruned: bool,
+    cache: Option<&ProbeCache>,
 ) -> FactualExplanation {
     if !pruned {
         let features = collaboration_features_exhaustive(graph);
-        return explain_features(task, graph, query, cfg, features);
+        return explain_features(task, graph, query, cfg, features, cache);
     }
 
     let subject = task.subject();
@@ -45,6 +47,7 @@ pub fn explain_collaborations<D: DecisionModel>(
     let mut queue: VecDeque<PersonId> = VecDeque::new();
     queue.push_back(subject);
     let mut total_probes = 0usize;
+    let mut total_cache_hits = 0usize;
     // Guard against runaway expansion on dense neighbourhoods.
     let max_impactful = 64usize;
 
@@ -73,9 +76,13 @@ pub fn explain_collaborations<D: DecisionModel>(
         if incident.is_empty() {
             continue;
         }
-        let model = CachingModel::new(FeatureMaskModel::new(task, graph, query, &incident, cfg));
+        let model = CachingModel::new(FeatureMaskModel::new(
+            task, graph, query, &incident, cfg, cache,
+        ));
         let shap = ShapExplainer::new(cfg.shap).explain(&model);
-        total_probes += model.distinct_evaluations();
+        let inner = model.into_inner();
+        total_probes += inner.probes_issued();
+        total_cache_hits += inner.cache_hits();
         for (i, &feature) in incident.iter().enumerate() {
             if shap.value(i).abs() >= cfg.tau {
                 if let Feature::Edge(a, b) = feature {
@@ -93,11 +100,12 @@ pub fn explain_collaborations<D: DecisionModel>(
     }
 
     // Final pass: SHAP values over exactly the impactful edge set.
-    let final_explanation = explain_features(task, graph, query, cfg, impactful);
-    FactualExplanation::new(
+    let final_explanation = explain_features(task, graph, query, cfg, impactful, cache);
+    FactualExplanation::with_cache_hits(
         final_explanation.features().to_vec(),
         final_explanation.shap_values().clone(),
         total_probes + final_explanation.probes(),
+        total_cache_hits + final_explanation.cache_hits(),
     )
 }
 
@@ -145,7 +153,7 @@ mod tests {
         let ranker = PropagationRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 2);
         let cfg = cfg().with_k(2);
-        let exp = explain_collaborations(&task, &g, &q, &cfg, true);
+        let exp = explain_collaborations(&task, &g, &q, &cfg, true, None);
         let to_expert = exp.value_of(&Feature::Edge(PersonId(0), PersonId(1)));
         let to_irrelevant = exp.value_of(&Feature::Edge(PersonId(0), PersonId(2)));
         match (to_expert, to_irrelevant) {
@@ -161,7 +169,7 @@ mod tests {
         let q = Query::parse("db ml", g.vocab()).unwrap();
         let ranker = PropagationRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 2);
-        let exp = explain_collaborations(&task, &g, &q, &cfg().with_k(2), true);
+        let exp = explain_collaborations(&task, &g, &q, &cfg().with_k(2), true, None);
         assert!(exp.features().iter().all(|f| f.involves(PersonId(0))
             || f.involves(PersonId(1))
             || f.involves(PersonId(2))));
@@ -174,7 +182,7 @@ mod tests {
         // TF-IDF ignores collaborations entirely, so every edge has zero impact.
         let ranker = TfIdfRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
-        let exp = explain_collaborations(&task, &g, &q, &cfg().with_k(3), true);
+        let exp = explain_collaborations(&task, &g, &q, &cfg().with_k(3), true, None);
         assert_eq!(exp.size(), 0);
     }
 
@@ -185,8 +193,9 @@ mod tests {
         let ranker = PropagationRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 2);
         let small_tau =
-            explain_collaborations(&task, &g, &q, &cfg().with_k(2).with_tau(0.01), true);
-        let large_tau = explain_collaborations(&task, &g, &q, &cfg().with_k(2).with_tau(0.3), true);
+            explain_collaborations(&task, &g, &q, &cfg().with_k(2).with_tau(0.01), true, None);
+        let large_tau =
+            explain_collaborations(&task, &g, &q, &cfg().with_k(2).with_tau(0.3), true, None);
         assert!(large_tau.num_features() <= small_tau.num_features());
     }
 }

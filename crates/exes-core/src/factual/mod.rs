@@ -10,9 +10,11 @@ pub use skill::{explain_skills, skill_features_exhaustive, skill_features_pruned
 
 use crate::config::{ExesConfig, OutputMode};
 use crate::features::Feature;
+use crate::probe::ProbeCache;
 use crate::tasks::DecisionModel;
 use exes_graph::{CollabGraph, PerturbationSet, Query};
 use exes_shap::{MaskedModel, ShapValues};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A factual explanation: one SHAP value per scored feature.
 #[derive(Debug, Clone)]
@@ -21,15 +23,23 @@ pub struct FactualExplanation {
     shap: ShapValues,
     /// Number of probes issued to the underlying system while computing it.
     probes: usize,
+    /// Coalition probes answered by an attached [`ProbeCache`].
+    cache_hits: usize,
 }
 
 impl FactualExplanation {
-    pub(crate) fn new(features: Vec<Feature>, shap: ShapValues, probes: usize) -> Self {
+    pub(crate) fn with_cache_hits(
+        features: Vec<Feature>,
+        shap: ShapValues,
+        probes: usize,
+        cache_hits: usize,
+    ) -> Self {
         debug_assert_eq!(features.len(), shap.len());
         FactualExplanation {
             features,
             shap,
             probes,
+            cache_hits,
         }
     }
 
@@ -70,8 +80,16 @@ impl FactualExplanation {
     }
 
     /// Number of black-box probes issued while computing the explanation.
+    /// With a warm [`ProbeCache`] attached this drops, while the SHAP values
+    /// stay identical.
     pub fn probes(&self) -> usize {
         self.probes
+    }
+
+    /// Number of coalition probes answered by the attached [`ProbeCache`]
+    /// (0 when the explanation was computed uncached).
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
     }
 
     /// The `k` most influential features by |SHAP|, most influential first.
@@ -87,7 +105,7 @@ impl FactualExplanation {
     /// sorted by descending value.
     pub fn supporting(&self) -> Vec<(Feature, f64)> {
         let mut v: Vec<(Feature, f64)> = self.iter().filter(|&(_, s)| s > 0.0).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }
 
@@ -95,7 +113,7 @@ impl FactualExplanation {
     /// decision), sorted by ascending value (most harmful first).
     pub fn opposing(&self) -> Vec<(Feature, f64)> {
         let mut v: Vec<(Feature, f64)> = self.iter().filter(|&(_, s)| s < 0.0).collect();
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v
     }
 
@@ -126,7 +144,9 @@ impl FactualExplanation {
 /// its removal perturbation to the graph/query before probing the black box.
 /// Batched coalition evaluations are routed through the parallel
 /// [`crate::probe::ProbeBatch`] engine, so exact-SHAP enumeration and
-/// KernelSHAP sampling use every core just like counterfactual search.
+/// KernelSHAP sampling use every core just like counterfactual search — and,
+/// when a [`ProbeCache`] is attached, share its memoised probes with the
+/// counterfactual searches of the same (graph, query, subject).
 pub(crate) struct FeatureMaskModel<'a, D> {
     task: &'a D,
     graph: &'a CollabGraph,
@@ -135,6 +155,11 @@ pub(crate) struct FeatureMaskModel<'a, D> {
     output_mode: OutputMode,
     k: usize,
     parallel: bool,
+    cache: Option<&'a ProbeCache>,
+    /// Probes that actually reached the black box through this model.
+    probed: AtomicUsize,
+    /// Probe requests answered by the attached cache.
+    cache_hits: AtomicUsize,
 }
 
 impl<'a, D: DecisionModel> FeatureMaskModel<'a, D> {
@@ -144,6 +169,7 @@ impl<'a, D: DecisionModel> FeatureMaskModel<'a, D> {
         query: &'a Query,
         features: &'a [Feature],
         cfg: &ExesConfig,
+        cache: Option<&'a ProbeCache>,
     ) -> Self {
         FeatureMaskModel {
             task,
@@ -153,7 +179,21 @@ impl<'a, D: DecisionModel> FeatureMaskModel<'a, D> {
             output_mode: cfg.output_mode,
             k: cfg.k,
             parallel: cfg.parallel_probes,
+            cache,
+            probed: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
         }
+    }
+
+    /// Probes that actually reached the black box (cache misses, or every
+    /// evaluation when no cache is attached).
+    pub(crate) fn probes_issued(&self) -> usize {
+        self.probed.load(Ordering::Relaxed)
+    }
+
+    /// Probe requests answered by the attached [`ProbeCache`].
+    pub(crate) fn cache_hits(&self) -> usize {
+        self.cache_hits.load(Ordering::Relaxed)
     }
 
     /// The perturbation set that realises a mask (absent features removed).
@@ -192,17 +232,19 @@ impl<D: DecisionModel> MaskedModel for FeatureMaskModel<'_, D> {
     }
 
     fn evaluate(&self, mask: &[bool]) -> f64 {
-        let delta = self.delta_for(mask);
-        let (view, perturbed_query) = delta.apply(self.graph, self.query);
-        self.scalarise(self.task.probe(&view, &perturbed_query))
+        self.evaluate_batch(std::slice::from_ref(&mask.to_vec()))[0]
     }
 
     fn evaluate_batch(&self, masks: &[Vec<bool>]) -> Vec<f64> {
         let deltas: Vec<PerturbationSet> = masks.iter().map(|m| self.delta_for(m)).collect();
         let engine =
-            crate::probe::ProbeBatch::new(self.task, self.graph, self.query, self.parallel);
-        engine
-            .score(&deltas)
+            crate::probe::ProbeBatch::new(self.task, self.graph, self.query, self.parallel)
+                .with_cache_opt(self.cache);
+        let (probes, stats) = engine.score_counted(&deltas);
+        self.probed.fetch_add(stats.probed, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(stats.cache_hits, Ordering::Relaxed);
+        probes
             .into_iter()
             .map(|probe| self.scalarise(probe))
             .collect()
@@ -238,7 +280,7 @@ mod tests {
             Feature::QueryTerm(db),
         ];
         let shap = ShapValues::new(vec![0.4, -0.1, 0.0], 0.0, 0.3);
-        let exp = FactualExplanation::new(features.clone(), shap, 12);
+        let exp = FactualExplanation::with_cache_hits(features.clone(), shap, 12, 3);
         assert_eq!(exp.num_features(), 3);
         assert_eq!(exp.size(), 2);
         assert_eq!(exp.probes(), 12);
@@ -264,7 +306,7 @@ mod tests {
             Feature::Skill(PersonId(0), ml),
         ];
         let cfg = ExesConfig::fast().with_k(1);
-        let model = FeatureMaskModel::new(&task, &g, &q, &features, &cfg);
+        let model = FeatureMaskModel::new(&task, &g, &q, &features, &cfg, None);
         assert_eq!(model.num_features(), 2);
         assert_eq!(model.evaluate(&[true, true]), 1.0);
         // Remove both of Ada's matching skills: Bob overtakes her for k = 1.
@@ -286,7 +328,7 @@ mod tests {
         let cfg = ExesConfig::fast()
             .with_k(1)
             .with_output_mode(OutputMode::SmoothRank);
-        let model = FeatureMaskModel::new(&task, &g, &q, &features, &cfg);
+        let model = FeatureMaskModel::new(&task, &g, &q, &features, &cfg, None);
         let full = model.evaluate(&[true, true]);
         let none = model.evaluate(&[false, false]);
         assert!(full > 0.5);

@@ -7,22 +7,25 @@
 use super::{skill::explain_features, FactualExplanation};
 use crate::config::ExesConfig;
 use crate::features::Feature;
+use crate::probe::ProbeCache;
 use crate::tasks::DecisionModel;
 use exes_graph::{CollabGraph, Query};
 
-/// Computes SHAP values for every keyword of the query.
+/// Computes SHAP values for every keyword of the query. An optional
+/// [`ProbeCache`] memoises coalition probes across repeated explanations.
 pub fn explain_query_terms<D: DecisionModel>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
     cfg: &ExesConfig,
+    cache: Option<&ProbeCache>,
 ) -> FactualExplanation {
     let features: Vec<Feature> = query
         .skills()
         .iter()
         .map(|&s| Feature::QueryTerm(s))
         .collect();
-    explain_features(task, graph, query, cfg, features)
+    explain_features(task, graph, query, cfg, features, cache)
 }
 
 #[cfg(test)]
@@ -47,7 +50,7 @@ mod tests {
         let q = Query::parse("db ml vision", g.vocab()).unwrap();
         let ranker = TfIdfRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 1);
-        let exp = explain_query_terms(&task, &g, &q, &ExesConfig::fast().with_k(1));
+        let exp = explain_query_terms(&task, &g, &q, &ExesConfig::fast().with_k(1), None);
         assert_eq!(exp.num_features(), 3);
         assert!(exp
             .features()
@@ -66,7 +69,7 @@ mod tests {
         let cfg = ExesConfig::fast()
             .with_k(1)
             .with_output_mode(OutputMode::SmoothRank);
-        let exp = explain_query_terms(&task, &g, &q, &cfg);
+        let exp = explain_query_terms(&task, &g, &q, &cfg, None);
         let ml = g.vocab().id("ml").unwrap();
         let vision = g.vocab().id("vision").unwrap();
         let v_ml = exp.value_of(&Feature::QueryTerm(ml)).unwrap();
@@ -83,7 +86,7 @@ mod tests {
         let q = Query::parse("db", g.vocab()).unwrap();
         let ranker = TfIdfRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 2);
-        let exp = explain_query_terms(&task, &g, &q, &ExesConfig::fast().with_k(2));
+        let exp = explain_query_terms(&task, &g, &q, &ExesConfig::fast().with_k(2), None);
         assert_eq!(exp.num_features(), 1);
         // Efficiency: the single feature carries the full base-to-full gap.
         assert!(exp.shap_values().efficiency_gap() < 1e-9);

@@ -3,6 +3,7 @@
 use super::{FactualExplanation, FeatureMaskModel};
 use crate::config::ExesConfig;
 use crate::features::Feature;
+use crate::probe::ProbeCache;
 use crate::tasks::DecisionModel;
 use exes_graph::{CollabGraph, GraphView, Neighborhood, Query};
 use exes_shap::{CachingModel, ShapExplainer};
@@ -42,35 +43,46 @@ pub fn skill_features_exhaustive(graph: &CollabGraph) -> Vec<Feature> {
 /// With `pruned == true` the feature space is restricted to the subject's
 /// radius-`d` neighbourhood (the paper's Pruning Strategy 1); with `false` every
 /// skill assignment in the network is scored, which is the exhaustive baseline
-/// of Tables 7/9/11/13.
+/// of Tables 7/9/11/13. An optional [`ProbeCache`] memoises coalition probes
+/// across repeated explanations of the same (graph, query, subject); SHAP
+/// values are identical either way.
 pub fn explain_skills<D: DecisionModel>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
     cfg: &ExesConfig,
     pruned: bool,
+    cache: Option<&ProbeCache>,
 ) -> FactualExplanation {
     let features = if pruned {
         skill_features_pruned(graph, task.subject(), cfg.skill_radius)
     } else {
         skill_features_exhaustive(graph)
     };
-    explain_features(task, graph, query, cfg, features)
+    explain_features(task, graph, query, cfg, features, cache)
 }
 
 /// Shared driver: score an arbitrary feature list with the configured Shapley
-/// estimator, counting probes through a caching wrapper.
+/// estimator. A per-explanation coalition-dedup wrapper sits in front of the
+/// mask model regardless, so `probes` counts *distinct* coalitions — and with
+/// a [`ProbeCache`] attached, only the coalitions the cache could not answer.
 pub(crate) fn explain_features<D: DecisionModel>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
     cfg: &ExesConfig,
     features: Vec<Feature>,
+    cache: Option<&ProbeCache>,
 ) -> FactualExplanation {
-    let model = CachingModel::new(FeatureMaskModel::new(task, graph, query, &features, cfg));
+    let model = CachingModel::new(FeatureMaskModel::new(
+        task, graph, query, &features, cfg, cache,
+    ));
     let shap = ShapExplainer::new(cfg.shap).explain(&model);
-    let probes = model.distinct_evaluations();
-    FactualExplanation::new(features, shap, probes)
+    let (probes, cache_hits) = {
+        let inner = model.into_inner();
+        (inner.probes_issued(), inner.cache_hits())
+    };
+    FactualExplanation::with_cache_hits(features, shap, probes, cache_hits)
 }
 
 #[cfg(test)]
@@ -130,7 +142,7 @@ mod tests {
         let cfg = ExesConfig::fast()
             .with_k(1)
             .with_output_mode(OutputMode::SmoothRank);
-        let exp = explain_skills(&task, &g, &q, &cfg, true);
+        let exp = explain_skills(&task, &g, &q, &cfg, true, None);
         let db = g.vocab().id("db").unwrap();
         let ml = g.vocab().id("ml").unwrap();
         assert!(exp.value_of(&Feature::Skill(PersonId(0), db)).unwrap() > 0.0);
@@ -158,7 +170,7 @@ mod tests {
             .with_k(2)
             .with_output_mode(OutputMode::SmoothRank)
             .with_skill_radius(1);
-        let exp = explain_skills(&task, &g, &q, &cfg, true);
+        let exp = explain_skills(&task, &g, &q, &cfg, true, None);
         let ml = g.vocab().id("ml").unwrap();
         let ada_ml = exp.value_of(&Feature::Skill(ada, ml)).unwrap();
         assert!(
@@ -174,7 +186,7 @@ mod tests {
         let ranker = TfIdfRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 1);
         let cfg = ExesConfig::fast().with_k(1);
-        let exp = explain_skills(&task, &g, &q, &cfg, true);
+        let exp = explain_skills(&task, &g, &q, &cfg, true, None);
         assert!(exp.size() <= exp.num_features());
     }
 
@@ -187,7 +199,7 @@ mod tests {
         let cfg = ExesConfig::fast()
             .with_k(1)
             .with_output_mode(OutputMode::SmoothRank);
-        let exp = explain_skills(&task, &g, &q, &cfg, false);
+        let exp = explain_skills(&task, &g, &q, &cfg, false, None);
         let ml = g.vocab().id("ml").unwrap();
         // Dot's competing "ml" skill is only visible to the exhaustive variant
         // and should *oppose* Ada's relevance (Dot competes for the top spot).

@@ -39,6 +39,7 @@ pub mod factual;
 pub mod features;
 pub mod metrics;
 pub mod probe;
+pub mod service;
 pub mod tasks;
 
 pub use config::{ExesConfig, OutputMode};
@@ -47,5 +48,6 @@ pub use explainer::Exes;
 pub use factual::FactualExplanation;
 pub use features::Feature;
 pub use metrics::{counterfactual_precision, factual_precision_at_k, PrecisionReport};
-pub use probe::ProbeBatch;
+pub use probe::{ProbeBatch, ProbeCache};
+pub use service::{ExesService, ExplanationKind, ExplanationRequest, ServiceReport};
 pub use tasks::{DecisionModel, ExpertRelevanceTask, Probe, TeamMembershipTask};

@@ -91,7 +91,7 @@ mod tests {
 
     fn factual(features: Vec<Feature>, values: Vec<f64>) -> FactualExplanation {
         let shap = ShapValues::new(values, 0.0, 1.0);
-        FactualExplanation::new(features, shap, 0)
+        FactualExplanation::with_cache_hits(features, shap, 0, 0)
     }
 
     fn cf(size: usize) -> CounterfactualExplanation {
@@ -109,8 +109,7 @@ mod tests {
     fn result(sizes: &[usize]) -> CounterfactualResult {
         CounterfactualResult {
             explanations: sizes.iter().map(|&s| cf(s)).collect(),
-            probes: 0,
-            timed_out: false,
+            ..Default::default()
         }
     }
 

@@ -1,5 +1,6 @@
 //! The batched probe engine: the one place where candidate perturbation sets
-//! meet the black box.
+//! meet the black box — plus the memo cache that keeps them from meeting it
+//! twice.
 //!
 //! ExES spends essentially all of its time here — every counterfactual
 //! explanation issues hundreds to thousands of probes, each of which ranks the
@@ -9,28 +10,289 @@
 //! guarantee: **the returned probes are identical, in content and order, to
 //! scoring the batch sequentially.** Beam search and the exhaustive baseline
 //! both lean on that guarantee to stay deterministic.
+//!
+//! The same purity makes probes memoisable: [`ProbeCache`] is a sharded,
+//! bounded memo table keyed by the canonical (sorted) perturbation set, shared
+//! freely between parallel workers and across repeated explanation requests.
+//! Attach one with [`ProbeBatch::with_cache`] and repeated probes become hash
+//! lookups — with results still byte-identical to uncached scoring, because a
+//! cached probe *is* the probe that would have been issued.
 
+use crate::config::ExesConfig;
 use crate::tasks::{DecisionModel, Probe};
-use exes_graph::{CollabGraph, PerturbationSet, Query};
+use exes_graph::{CollabGraph, GraphView, PersonId, Perturbation, PerturbationSet, Query};
+use rustc_hash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Number of candidate sets scored per batch by the search loops. Bounds how
 /// much work is in flight between deadline checks and early-exit tests.
 pub const PROBE_CHUNK: usize = 128;
 
+// ---------------------------------------------------------------------------
+// ProbeCache
+// ---------------------------------------------------------------------------
+
+/// A memo key: the probe context fingerprint, the subject being probed, and
+/// the canonical (sorted) perturbation set.
+type CacheKey = (u64, PersonId, Vec<Perturbation>);
+
+/// One shard of the memo table. `tick` is a shard-local logical clock bumped
+/// on every hit/insert; entries carry their last-touched tick so bulk eviction
+/// can drop the least-recently-used quarter.
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<CacheKey, (Probe, u64)>,
+    tick: u64,
+}
+
+/// A sharded, bounded memo table for black-box probes.
+///
+/// Keys are canonical: the perturbation set is sorted by the derived
+/// [`Ord`] on [`Perturbation`] (via [`PerturbationSet::canonical_key`]), so
+/// insertion order never splits cache lines, and the key additionally carries
+///
+/// * the **subject** — a probe answers "is *this person* selected", so probes
+///   of different subjects must never alias, and
+/// * a **context fingerprint** of the (graph, query) pair — guarding against
+///   accidentally reusing one cache across different queries or graphs.
+///
+/// The fingerprint cannot capture every knob of a [`DecisionModel`] (the
+/// ranker, `k`, a team-former's seed member live behind the trait), so one
+/// cache must only be shared between probes of the same model family and
+/// parameters — exactly what [`crate::service::ExesService`] arranges by
+/// building one cache per (graph, query) request group.
+///
+/// Interior locking is sharded: parallel probe workers contend only when their
+/// keys hash to the same shard. Hit/miss counters are global atomics, cheap
+/// enough to keep always-on; the search loops additionally report per-request
+/// counts in [`crate::counterfactual::CounterfactualResult`].
+///
+/// When `capacity` is exceeded, the over-full shard evicts its
+/// least-recently-used quarter in one sweep — O(shard len) per eviction, but
+/// amortised O(1) per insert.
+pub struct ProbeCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProbeCache {
+    /// Creates a cache bounded to `capacity` entries (`0` = unbounded) with a
+    /// default shard count of 16.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, 16)
+    }
+
+    /// Creates a cache with an explicit shard count (`shards >= 1`).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "cache shard count must be at least 1");
+        ProbeCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: capacity.div_ceil(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache sized by the configuration's
+    /// `probe_cache_capacity` / `probe_cache_shards` knobs.
+    pub fn for_config(cfg: &ExesConfig) -> Self {
+        Self::with_shards(cfg.probe_cache_capacity, cfg.probe_cache_shards)
+    }
+
+    /// Fingerprint of the probe context: the query keywords (in order — a
+    /// perturbed query is a different context) plus the graph's *content*
+    /// (every skill row and the edge list), so two same-sized graphs that
+    /// differ in assignments or edges can never alias. O(|V| + |E| + Σ|Sᵢ|),
+    /// computed once per attached engine — negligible next to a single probe,
+    /// which ranks the whole graph.
+    pub(crate) fn context(graph: &CollabGraph, query: &Query) -> u64 {
+        let mut h = FxHasher::default();
+        query.skills().hash(&mut h);
+        graph.num_people().hash(&mut h);
+        graph.vocab().len().hash(&mut h);
+        for p in graph.people() {
+            graph.person_skills(p).hash(&mut h);
+        }
+        graph.edge_list().hash(&mut h);
+        h.finish()
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn lookup_key(&self, key: &CacheKey) -> Option<Probe> {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some((probe, last_used)) => {
+                *last_used = tick;
+                let probe = *probe;
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(probe)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert_key(&self, key: CacheKey, probe: Probe) {
+        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(key, (probe, tick));
+        if self.capacity_per_shard > 0 && shard.map.len() > self.capacity_per_shard {
+            // Evict the least-recently-used quarter in one sweep. Ticks are
+            // unique within a shard, so this removes at least len/4 entries.
+            let mut ticks: Vec<u64> = shard.map.values().map(|&(_, t)| t).collect();
+            ticks.sort_unstable();
+            let cutoff = ticks[ticks.len() / 4];
+            shard.map.retain(|_, &mut (_, t)| t > cutoff);
+        }
+    }
+
+    /// Looks up the memoised probe for `delta` applied on behalf of `subject`
+    /// in the given (graph, query) context. Bumps the hit/miss counters.
+    pub fn lookup(
+        &self,
+        graph: &CollabGraph,
+        query: &Query,
+        subject: PersonId,
+        delta: &PerturbationSet,
+    ) -> Option<Probe> {
+        self.lookup_key(&(Self::context(graph, query), subject, delta.canonical_key()))
+    }
+
+    /// Memoises a probe under the canonical key of `delta`.
+    pub fn insert(
+        &self,
+        graph: &CollabGraph,
+        query: &Query,
+        subject: PersonId,
+        delta: &PerturbationSet,
+        probe: Probe,
+    ) {
+        self.insert_key(
+            (Self::context(graph, query), subject, delta.canonical_key()),
+            probe,
+        );
+    }
+
+    /// Total lookups that found a memoised probe, across the cache's lifetime.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups that missed, across the cache's lifetime.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from memory (`0.0` when nothing was looked
+    /// up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Number of memoised probes currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no probes are memoised.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoised probe and resets the hit/miss counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            shard.map.clear();
+            shard.tick = 0;
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for ProbeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbeCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ProbeBatch
+// ---------------------------------------------------------------------------
+
+/// Per-batch accounting returned by [`ProbeBatch::score_counted`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Probes actually issued to the black box (cache misses, or the whole
+    /// batch when no cache is attached).
+    pub probed: usize,
+    /// Probes answered from the memo cache (always 0 without a cache).
+    pub cache_hits: usize,
+    /// Probes that went through an attached cache and missed (always 0
+    /// without a cache; equal to `probed` with one).
+    pub cache_misses: usize,
+}
+
+impl BatchStats {
+    fn uncached(probed: usize) -> Self {
+        BatchStats {
+            probed,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+}
+
 /// Scores batches of candidate [`PerturbationSet`]s against one decision
-/// model, in parallel when profitable.
+/// model, in parallel when profitable, optionally memoised.
 ///
 /// The engine is deliberately stateless between calls: each probe builds its
 /// own [`exes_graph::PerturbedGraph`] overlay (construction cost proportional
 /// to the delta, not the graph) and ranks through it. Overlay accessors are
 /// allocation-free borrows, so per-probe cost is dominated by the black box
-/// itself — which is what makes spreading probes across threads worthwhile.
+/// itself — which is what makes spreading probes across threads worthwhile,
+/// and skipping repeated probes through a [`ProbeCache`] worthwhile again.
 #[derive(Debug, Clone, Copy)]
 pub struct ProbeBatch<'a, D> {
     task: &'a D,
     graph: &'a CollabGraph,
     query: &'a Query,
     parallel: bool,
+    cache: Option<&'a ProbeCache>,
+    /// Precomputed [`ProbeCache::context`] fingerprint (0 when uncached).
+    ctx: u64,
 }
 
 impl<'a, D: DecisionModel> ProbeBatch<'a, D> {
@@ -43,6 +305,25 @@ impl<'a, D: DecisionModel> ProbeBatch<'a, D> {
             graph,
             query,
             parallel,
+            cache: None,
+            ctx: 0,
+        }
+    }
+
+    /// Attaches a memo cache. Results stay byte-identical to uncached scoring;
+    /// only the number of black-box probes changes.
+    pub fn with_cache(mut self, cache: &'a ProbeCache) -> Self {
+        self.ctx = ProbeCache::context(self.graph, self.query);
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a memo cache when one is provided ([`ProbeBatch::with_cache`]
+    /// otherwise a no-op), keeping call sites free of `match`es.
+    pub fn with_cache_opt(self, cache: Option<&'a ProbeCache>) -> Self {
+        match cache {
+            Some(cache) => self.with_cache(cache),
+            None => self,
         }
     }
 
@@ -51,13 +332,18 @@ impl<'a, D: DecisionModel> ProbeBatch<'a, D> {
         self.parallel
     }
 
-    /// Probes the black box once per candidate set, returning probes in input
-    /// order.
-    pub fn score(&self, sets: &[PerturbationSet]) -> Vec<Probe> {
-        let eval = |set: &PerturbationSet| {
-            let (view, perturbed_query) = set.apply(self.graph, self.query);
-            self.task.probe(&view, &perturbed_query)
-        };
+    /// Whether a memo cache is attached.
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    fn eval(&self, set: &PerturbationSet) -> Probe {
+        let (view, perturbed_query) = set.apply(self.graph, self.query);
+        self.task.probe(&view, &perturbed_query)
+    }
+
+    fn eval_batch(&self, sets: &[PerturbationSet]) -> Vec<Probe> {
+        let eval = |set: &PerturbationSet| self.eval(set);
         if self.parallel {
             exes_parallel::parallel_map(sets, eval)
         } else {
@@ -65,9 +351,79 @@ impl<'a, D: DecisionModel> ProbeBatch<'a, D> {
         }
     }
 
+    /// Probes the black box once per candidate set, returning probes in input
+    /// order. Equivalent to [`ProbeBatch::score_counted`] with the accounting
+    /// discarded.
+    pub fn score(&self, sets: &[PerturbationSet]) -> Vec<Probe> {
+        self.score_counted(sets).0
+    }
+
+    /// Scores a batch and reports how many probes actually reached the black
+    /// box versus were answered by the attached [`ProbeCache`].
+    ///
+    /// The returned probes are byte-identical to an uncached, sequential
+    /// scoring of the same batch: a memoised probe is the value the black box
+    /// returned for that exact canonical key earlier (probes are pure), and
+    /// misses are scored in input order.
+    pub fn score_counted(&self, sets: &[PerturbationSet]) -> (Vec<Probe>, BatchStats) {
+        let Some(cache) = self.cache else {
+            return (self.eval_batch(sets), BatchStats::uncached(sets.len()));
+        };
+        let subject = self.task.subject();
+        let mut out: Vec<Option<Probe>> = vec![None; sets.len()];
+        // Canonicalise each key exactly once; misses keep theirs for the
+        // insert below, and the sets themselves are scored by reference.
+        let mut misses: Vec<(usize, CacheKey)> = Vec::new();
+        for (i, set) in sets.iter().enumerate() {
+            let key = (self.ctx, subject, set.canonical_key());
+            match cache.lookup_key(&key) {
+                Some(probe) => out[i] = Some(probe),
+                None => misses.push((i, key)),
+            }
+        }
+        let stats = BatchStats {
+            probed: misses.len(),
+            cache_hits: sets.len() - misses.len(),
+            cache_misses: misses.len(),
+        };
+        if !misses.is_empty() {
+            let eval = |&(i, _): &(usize, CacheKey)| self.eval(&sets[i]);
+            let probes = if self.parallel {
+                exes_parallel::parallel_map(&misses, eval)
+            } else {
+                misses.iter().map(eval).collect()
+            };
+            for ((i, key), probe) in misses.into_iter().zip(probes) {
+                cache.insert_key(key, probe);
+                out[i] = Some(probe);
+            }
+        }
+        let probes = out
+            .into_iter()
+            .map(|p| p.expect("every batch slot scored"))
+            .collect();
+        (probes, stats)
+    }
+
     /// Probes the unperturbed input (the reference decision).
     pub fn score_identity(&self) -> Probe {
-        self.task.probe(self.graph, self.query)
+        self.score_identity_counted().0
+    }
+
+    /// Probes the unperturbed input, reporting whether the probe was answered
+    /// by the cache (`true`) or issued to the black box (`false`).
+    pub fn score_identity_counted(&self) -> (Probe, bool) {
+        let empty = PerturbationSet::new();
+        if let Some(cache) = self.cache {
+            let key = (self.ctx, self.task.subject(), Vec::new());
+            if let Some(probe) = cache.lookup_key(&key) {
+                return (probe, true);
+            }
+            let probe = self.eval(&empty);
+            cache.insert_key(key, probe);
+            return (probe, false);
+        }
+        (self.task.probe(self.graph, self.query), false)
     }
 }
 
@@ -133,6 +489,7 @@ mod tests {
         let engine = ProbeBatch::new(&task, &g, &q, true);
         assert_eq!(engine.score_identity(), task.probe(&g, &q));
         assert!(engine.is_parallel());
+        assert!(!engine.is_cached());
     }
 
     #[test]
@@ -142,5 +499,106 @@ mod tests {
         let ranker = TfIdfRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
         assert!(ProbeBatch::new(&task, &g, &q, true).score(&[]).is_empty());
+    }
+
+    #[test]
+    fn cached_scores_match_uncached_and_warm_runs_stop_probing() {
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let sets = candidate_sets(&g);
+        let cache = ProbeCache::new(0);
+        let uncached = ProbeBatch::new(&task, &g, &q, false).score(&sets);
+        let engine = ProbeBatch::new(&task, &g, &q, true).with_cache(&cache);
+        assert!(engine.is_cached());
+        let (cold, cold_stats) = engine.score_counted(&sets);
+        assert_eq!(cold, uncached);
+        assert_eq!(cold_stats.probed, sets.len());
+        assert_eq!(cold_stats.cache_hits, 0);
+        let (warm, warm_stats) = engine.score_counted(&sets);
+        assert_eq!(warm, uncached);
+        assert_eq!(warm_stats.probed, 0);
+        assert_eq!(warm_stats.cache_hits, sets.len());
+        assert_eq!(cache.hits(), sets.len() as u64);
+        assert_eq!(cache.misses(), sets.len() as u64);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), sets.len());
+    }
+
+    #[test]
+    fn cache_keys_are_canonical_and_subject_scoped() {
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let s0 = g.vocab().id("s0").unwrap();
+        let common = g.vocab().id("common").unwrap();
+        let a = Perturbation::RemoveSkill {
+            person: PersonId(0),
+            skill: s0,
+        };
+        let b = Perturbation::RemoveSkill {
+            person: PersonId(0),
+            skill: common,
+        };
+        let ab: PerturbationSet = [a, b].into_iter().collect();
+        let ba: PerturbationSet = [b, a].into_iter().collect();
+        let cache = ProbeCache::new(0);
+        let engine = ProbeBatch::new(&task, &g, &q, false).with_cache(&cache);
+        let (_, cold) = engine.score_counted(std::slice::from_ref(&ab));
+        assert_eq!(cold.probed, 1);
+        // Reversed insertion order canonicalises to the same key: pure hit.
+        let (_, warm) = engine.score_counted(std::slice::from_ref(&ba));
+        assert_eq!(warm.probed, 0);
+        assert_eq!(warm.cache_hits, 1);
+        // A different subject must not alias, even with an identical delta.
+        let other_task = ExpertRelevanceTask::new(&ranker, PersonId(5), 3);
+        let other = ProbeBatch::new(&other_task, &g, &q, false).with_cache(&cache);
+        let (_, other_stats) = other.score_counted(std::slice::from_ref(&ab));
+        assert_eq!(other_stats.probed, 1);
+        // A different query changes the context fingerprint: miss again.
+        let q2 = Query::parse("s1", g.vocab()).unwrap();
+        let requeried = ProbeBatch::new(&task, &g, &q2, false).with_cache(&cache);
+        let (_, requeried_stats) = requeried.score_counted(std::slice::from_ref(&ab));
+        assert_eq!(requeried_stats.probed, 1);
+    }
+
+    #[test]
+    fn identity_probe_is_memoised_too() {
+        let g = graph();
+        let q = Query::parse("common", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(2), 3);
+        let cache = ProbeCache::new(0);
+        let engine = ProbeBatch::new(&task, &g, &q, false).with_cache(&cache);
+        let (cold, cold_hit) = engine.score_identity_counted();
+        assert!(!cold_hit);
+        let (warm, warm_hit) = engine.score_identity_counted();
+        assert!(warm_hit);
+        assert_eq!(cold, warm);
+        assert_eq!(cold, task.probe(&g, &q));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_but_stays_correct() {
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let sets = candidate_sets(&g);
+        // Tiny single-shard cache: far smaller than the batch, so it must
+        // evict repeatedly — correctness (output identity) must survive.
+        let cache = ProbeCache::with_shards(4, 1);
+        let uncached = ProbeBatch::new(&task, &g, &q, false).score(&sets);
+        let engine = ProbeBatch::new(&task, &g, &q, false).with_cache(&cache);
+        let (cold, _) = engine.score_counted(&sets);
+        assert_eq!(cold, uncached);
+        assert!(cache.len() <= 4, "capacity bound violated: {}", cache.len());
+        let (warm, _) = engine.score_counted(&sets);
+        assert_eq!(warm, uncached);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
     }
 }

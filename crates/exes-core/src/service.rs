@@ -1,0 +1,389 @@
+//! Multi-subject explanation serving: the batch front-door over the explainer.
+//!
+//! An interactive deployment of ExES does not answer one explanation request
+//! at a time — it answers *floods* of them: every member of a search result
+//! page may ask "why am I (not) in the top-k?", and popular queries repeat
+//! across users. [`ExesService`] is the first step toward that serving story:
+//!
+//! * requests are **grouped by query** (the graph is fixed per batch), and
+//!   each group shares one [`ProbeCache`] — probes memoised for one subject's
+//!   search are reused by every later request for the same subject and by
+//!   repeated identical requests;
+//! * **identical requests are deduplicated** — computed once, answered
+//!   everywhere;
+//! * distinct requests within a group are **sharded across the
+//!   `exes-parallel` pool**, one worker per request (per-probe parallelism is
+//!   disabled inside workers so the pool is not oversubscribed);
+//! * responses are **deterministic and position-stable**: response `i` answers
+//!   request `i`, and its explanations are byte-identical to running that
+//!   request alone, because probes are pure functions and the cache only ever
+//!   returns what the black box would have said.
+//!
+//! The per-request hit/miss *counters* (unlike the explanations) can vary
+//! slightly between runs when concurrent workers race to fill the same cache
+//! entry; [`ServiceReport`] aggregates them per batch.
+
+use crate::config::ExesConfig;
+use crate::counterfactual::CounterfactualResult;
+use crate::explainer::Exes;
+use crate::probe::ProbeCache;
+use crate::tasks::ExpertRelevanceTask;
+use exes_expert_search::ExpertRanker;
+use exes_graph::{CollabGraph, PersonId, Query};
+use exes_linkpred::LinkPredictor;
+use rustc_hash::FxHashMap;
+
+/// Which counterfactual family a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExplanationKind {
+    /// Skill removals/additions (Section 3.3.1).
+    Skills,
+    /// Query augmentations (Section 3.3.2).
+    QueryAugmentation,
+    /// Collaboration link removals/additions (Section 3.3.3).
+    Links,
+}
+
+/// One explanation request: "explain `subject`'s decision for `query`".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ExplanationRequest {
+    /// The person whose selection status is being explained.
+    pub subject: PersonId,
+    /// The query the decision was made for.
+    pub query: Query,
+    /// The counterfactual family requested.
+    pub kind: ExplanationKind,
+}
+
+impl ExplanationRequest {
+    /// A skill-counterfactual request.
+    pub fn skills(subject: PersonId, query: Query) -> Self {
+        ExplanationRequest {
+            subject,
+            query,
+            kind: ExplanationKind::Skills,
+        }
+    }
+
+    /// A query-augmentation request.
+    pub fn query_augmentation(subject: PersonId, query: Query) -> Self {
+        ExplanationRequest {
+            subject,
+            query,
+            kind: ExplanationKind::QueryAugmentation,
+        }
+    }
+
+    /// A collaboration-link request.
+    pub fn links(subject: PersonId, query: Query) -> Self {
+        ExplanationRequest {
+            subject,
+            query,
+            kind: ExplanationKind::Links,
+        }
+    }
+}
+
+/// Aggregate accounting for one [`ExesService::explain_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// Number of requests in the batch.
+    pub requests: usize,
+    /// Number of (graph, query) groups the batch was split into — one probe
+    /// cache is created per group.
+    pub groups: usize,
+    /// Requests answered by cloning another identical request's result
+    /// instead of searching again.
+    pub duplicate_requests: usize,
+    /// Probe lookups answered by the per-group caches.
+    pub cache_hits: u64,
+    /// Probe lookups that missed and went to the black box.
+    pub cache_misses: u64,
+    /// Black-box probes issued while answering the batch (sum of
+    /// [`CounterfactualResult::probes`] over *unique* computations —
+    /// deduplicated responses are clones and issue none).
+    pub probes: usize,
+}
+
+impl ServiceReport {
+    /// Fraction of cache lookups served from memory (0.0 for an empty batch).
+    pub fn hit_rate(&self) -> f64 {
+        let total = (self.cache_hits + self.cache_misses) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total
+        }
+    }
+}
+
+/// A batch explanation server over one graph, one expert ranker, and one
+/// explainer configuration.
+///
+/// The service owns a clone of the explainer with per-probe parallelism
+/// disabled: parallelism comes from sharding *requests* across the
+/// `exes-parallel` pool instead, which scales with batch size and avoids
+/// nested thread pools. Single requests can still be answered through the
+/// plain [`Exes`] facade when intra-request parallelism is preferable.
+#[derive(Debug)]
+pub struct ExesService<'a, L, R> {
+    exes: Exes<L>,
+    ranker: &'a R,
+    graph: &'a CollabGraph,
+}
+
+impl<'a, L, R> ExesService<'a, L, R>
+where
+    L: LinkPredictor + Clone + Sync,
+    R: ExpertRanker + Sync,
+{
+    /// Builds the service from an explainer (cloned; any stored probe cache is
+    /// detached — the service manages one cache per request group itself), the
+    /// expert ranker whose decisions are being explained, and the graph every
+    /// request in this service targets.
+    pub fn new(exes: &Exes<L>, ranker: &'a R, graph: &'a CollabGraph) -> Self {
+        let mut inner = exes.clone().without_probe_cache();
+        inner.config_mut().parallel_probes = false;
+        ExesService {
+            exes: inner,
+            ranker,
+            graph,
+        }
+    }
+
+    /// The service's (request-sharded) configuration.
+    pub fn config(&self) -> &ExesConfig {
+        self.exes.config()
+    }
+
+    /// Answers a batch of requests. Response `i` answers request `i`.
+    ///
+    /// Requests are grouped by query; each group gets a fresh [`ProbeCache`]
+    /// shared by all of the group's workers, and identical requests are
+    /// computed once. Explanations are deterministic — byte-identical to
+    /// answering each request alone, in any batch composition.
+    pub fn explain_batch(
+        &self,
+        requests: &[ExplanationRequest],
+    ) -> (Vec<CounterfactualResult>, ServiceReport) {
+        // Group request indices by query, preserving first-occurrence order.
+        let mut group_of: FxHashMap<&Query, usize> = FxHashMap::default();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            let next = groups.len();
+            let g = *group_of.entry(&request.query).or_insert(next);
+            if g == groups.len() {
+                groups.push(Vec::new());
+            }
+            groups[g].push(i);
+        }
+
+        let mut report = ServiceReport {
+            requests: requests.len(),
+            groups: groups.len(),
+            ..Default::default()
+        };
+        let mut responses: Vec<Option<CounterfactualResult>> = vec![None; requests.len()];
+        for idxs in &groups {
+            // Deduplicate identical requests inside the group: the first
+            // occurrence computes, the rest clone its response.
+            let mut representative: FxHashMap<&ExplanationRequest, usize> = FxHashMap::default();
+            let mut unique: Vec<usize> = Vec::new();
+            let mut duplicate_of: Vec<(usize, usize)> = Vec::new();
+            for &i in idxs {
+                match representative.get(&requests[i]) {
+                    Some(&rep) => duplicate_of.push((i, rep)),
+                    None => {
+                        representative.insert(&requests[i], i);
+                        unique.push(i);
+                    }
+                }
+            }
+            report.duplicate_requests += duplicate_of.len();
+
+            // One memo cache per (graph, query) group, shared by its workers.
+            let cache = ProbeCache::for_config(self.exes.config());
+            let answered =
+                exes_parallel::parallel_map(&unique, |&i| self.answer(&requests[i], &cache));
+            for (&i, result) in unique.iter().zip(answered) {
+                // Only unique computations issue probes; duplicate responses
+                // below are clones and must not be double-counted.
+                report.probes += result.probes;
+                responses[i] = Some(result);
+            }
+            for (i, rep) in duplicate_of {
+                responses[i] = responses[rep].clone();
+            }
+            report.cache_hits += cache.hits();
+            report.cache_misses += cache.misses();
+        }
+
+        let responses: Vec<CounterfactualResult> = responses
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect();
+        (responses, report)
+    }
+
+    /// Answers one request against the group's shared cache.
+    fn answer(&self, request: &ExplanationRequest, cache: &ProbeCache) -> CounterfactualResult {
+        let task = ExpertRelevanceTask::new(self.ranker, request.subject, self.exes.config().k);
+        match request.kind {
+            ExplanationKind::Skills => {
+                self.exes
+                    .counterfactual_skills_with(&task, self.graph, &request.query, Some(cache))
+            }
+            ExplanationKind::QueryAugmentation => {
+                self.exes
+                    .counterfactual_query_with(&task, self.graph, &request.query, Some(cache))
+            }
+            ExplanationKind::Links => {
+                self.exes
+                    .counterfactual_links_with(&task, self.graph, &request.query, Some(cache))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OutputMode;
+    use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
+    use exes_embedding::{EmbeddingConfig, SkillEmbedding};
+    use exes_expert_search::{ExpertRanker, PropagationRanker};
+    use exes_linkpred::CommonNeighbors;
+
+    struct Fixture {
+        ds: SyntheticDataset,
+        exes: Exes<CommonNeighbors>,
+        ranker: PropagationRanker,
+    }
+
+    fn fixture() -> Fixture {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny("service", 7));
+        let embedding = SkillEmbedding::train(
+            ds.corpus.token_bags(),
+            ds.graph.vocab().len(),
+            &EmbeddingConfig {
+                dim: 16,
+                ..Default::default()
+            },
+        );
+        let cfg = ExesConfig::fast()
+            .with_k(4)
+            .with_num_candidates(5)
+            .with_output_mode(OutputMode::SmoothRank);
+        Fixture {
+            ds,
+            exes: Exes::new(cfg, embedding, CommonNeighbors),
+            ranker: PropagationRanker::default(),
+        }
+    }
+
+    fn workload_requests(f: &Fixture) -> Vec<ExplanationRequest> {
+        let workload = QueryWorkload::answerable(&f.ds.graph, 2, 2, 3, 3, 11);
+        let mut requests = Vec::new();
+        for query in workload.queries() {
+            let ranking = f.ranker.rank_all(&f.ds.graph, query);
+            // A few subjects inside and outside the top-k, mixed kinds.
+            for (rank, &(person, _)) in ranking.entries().iter().take(6).enumerate() {
+                let kind = match rank % 3 {
+                    0 => ExplanationKind::Skills,
+                    1 => ExplanationKind::QueryAugmentation,
+                    _ => ExplanationKind::Links,
+                };
+                requests.push(ExplanationRequest {
+                    subject: person,
+                    query: query.clone(),
+                    kind,
+                });
+            }
+        }
+        requests
+    }
+
+    #[test]
+    fn batch_matches_individual_requests_exactly() {
+        let f = fixture();
+        let service = ExesService::new(&f.exes, &f.ranker, &f.ds.graph);
+        let requests = workload_requests(&f);
+        let (responses, report) = service.explain_batch(&requests);
+        assert_eq!(responses.len(), requests.len());
+        assert_eq!(report.requests, requests.len());
+        assert_eq!(report.groups, 2);
+
+        // Each response must be byte-identical to answering its request alone
+        // through a sequential, uncached explainer.
+        let mut solo_exes = f.exes.clone();
+        solo_exes.config_mut().parallel_probes = false;
+        for (request, response) in requests.iter().zip(&responses) {
+            let task = ExpertRelevanceTask::new(&f.ranker, request.subject, solo_exes.config().k);
+            let solo = match request.kind {
+                ExplanationKind::Skills => {
+                    solo_exes.counterfactual_skills(&task, &f.ds.graph, &request.query)
+                }
+                ExplanationKind::QueryAugmentation => {
+                    solo_exes.counterfactual_query(&task, &f.ds.graph, &request.query)
+                }
+                ExplanationKind::Links => {
+                    solo_exes.counterfactual_links(&task, &f.ds.graph, &request.query)
+                }
+            };
+            assert_eq!(response.explanations, solo.explanations);
+            assert_eq!(response.timed_out, solo.timed_out);
+        }
+    }
+
+    #[test]
+    fn repeated_requests_are_deduplicated_and_batches_are_deterministic() {
+        let f = fixture();
+        let service = ExesService::new(&f.exes, &f.ranker, &f.ds.graph);
+        let mut requests = workload_requests(&f);
+        let n = requests.len();
+        // Simulate repeated traffic: the same requests arrive again.
+        requests.extend(requests.clone());
+        let (responses, report) = service.explain_batch(&requests);
+        assert_eq!(report.duplicate_requests, n);
+        for i in 0..n {
+            assert_eq!(responses[i].explanations, responses[n + i].explanations);
+        }
+        // Two identical batches produce identical explanations.
+        let (again, _) = service.explain_batch(&requests);
+        for (a, b) in responses.iter().zip(&again) {
+            assert_eq!(a.explanations, b.explanations);
+        }
+    }
+
+    #[test]
+    fn report_accounting_is_sane_and_duplicates_cost_no_probes() {
+        let f = fixture();
+        let service = ExesService::new(&f.exes, &f.ranker, &f.ds.graph);
+        let requests = workload_requests(&f);
+        let (_, report) = service.explain_batch(&requests);
+        // Cold per-group caches must miss at least once per unique request.
+        assert!(report.cache_misses >= requests.len() as u64);
+        assert!(report.probes > 0);
+        assert!((0.0..=1.0).contains(&report.hit_rate()));
+        assert_eq!(report.duplicate_requests, 0);
+
+        // Duplicated traffic answers from the dedup layer: no extra searches,
+        // so the black-box probe count cannot grow with the duplicates.
+        let mut doubled = requests.clone();
+        doubled.extend(requests.clone());
+        let (_, doubled_report) = service.explain_batch(&doubled);
+        assert_eq!(doubled_report.duplicate_requests, requests.len());
+        assert_eq!(doubled_report.groups, report.groups);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let f = fixture();
+        let service = ExesService::new(&f.exes, &f.ranker, &f.ds.graph);
+        let (responses, report) = service.explain_batch(&[]);
+        assert!(responses.is_empty());
+        assert_eq!(report, ServiceReport::default());
+        assert_eq!(report.hit_rate(), 0.0);
+        assert!(!service.config().parallel_probes);
+    }
+}

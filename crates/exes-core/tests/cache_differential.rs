@@ -1,0 +1,173 @@
+//! Differential tests for the probe memo cache: cached and uncached runs must
+//! return byte-identical explanations, and warm caches must measurably cut
+//! the number of black-box probes (asserted through the hit/miss counters).
+
+use exes_core::counterfactual::beam::beam_search;
+use exes_core::counterfactual::exhaustive::{all_skill_removals, exhaustive_search};
+use exes_core::counterfactual::CounterfactualKind;
+use exes_core::{Exes, ExesConfig, ExpertRelevanceTask, OutputMode, ProbeCache};
+use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
+use exes_embedding::{EmbeddingConfig, SkillEmbedding};
+use exes_expert_search::{ExpertRanker, PropagationRanker};
+use exes_graph::{GraphView, PersonId, Perturbation, Query};
+use exes_linkpred::CommonNeighbors;
+use std::sync::Arc;
+
+struct Fixture {
+    ds: SyntheticDataset,
+    query: Query,
+    ranker: PropagationRanker,
+    cfg: ExesConfig,
+}
+
+fn fixture() -> Fixture {
+    let ds = SyntheticDataset::generate(&DatasetConfig::tiny("cachediff", 19));
+    let workload = QueryWorkload::answerable(&ds.graph, 1, 2, 3, 3, 23);
+    let query = workload.queries()[0].clone();
+    Fixture {
+        ds,
+        query,
+        ranker: PropagationRanker::default(),
+        cfg: ExesConfig::fast().with_k(3),
+    }
+}
+
+/// Skill-removal candidates for a selected subject, unpruned for determinism.
+fn removal_candidates(f: &Fixture, subject: PersonId) -> Vec<Perturbation> {
+    f.ds.graph
+        .person_skills(subject)
+        .iter()
+        .map(|&s| Perturbation::RemoveSkill {
+            person: subject,
+            skill: s,
+        })
+        .chain(
+            f.ds.graph
+                .vocab()
+                .ids()
+                .take(12)
+                .map(|skill| Perturbation::AddQueryTerm { skill }),
+        )
+        .collect()
+}
+
+fn top_subject(f: &Fixture) -> PersonId {
+    f.ranker.rank_all(&f.ds.graph, &f.query).top_k(1)[0]
+}
+
+#[test]
+fn cached_beam_search_is_byte_identical_and_warm_runs_probe_less() {
+    let f = fixture();
+    let subject = top_subject(&f);
+    let task = ExpertRelevanceTask::new(&f.ranker, subject, f.cfg.k);
+    let candidates = removal_candidates(&f, subject);
+    let run = |cache: Option<&ProbeCache>| {
+        beam_search(
+            &task,
+            &f.ds.graph,
+            &f.query,
+            &candidates,
+            CounterfactualKind::SkillRemoval,
+            &f.cfg,
+            None,
+            cache,
+        )
+    };
+
+    let uncached = run(None);
+    assert_eq!(uncached.cache_hits, 0);
+    assert_eq!(uncached.cache_misses, 0);
+    assert!(uncached.probes > 1);
+
+    let cache = ProbeCache::new(0);
+    let cold = run(Some(&cache));
+    // Cold cache: every probe misses, so the black box sees exactly the
+    // uncached workload and the explanations are byte-identical.
+    assert_eq!(cold.explanations, uncached.explanations);
+    assert_eq!(cold.probes, uncached.probes);
+    assert_eq!(cold.cache_misses, cold.probes);
+    assert_eq!(cold.cache_hits, 0);
+
+    let warm = run(Some(&cache));
+    // Warm cache: identical explanations, but the search re-probes nothing —
+    // beam search never generates a duplicate candidate within one run, so
+    // every request is a hit and the black box is not consulted at all.
+    assert_eq!(warm.explanations, uncached.explanations);
+    assert_eq!(warm.cache_hits, cold.cache_misses);
+    assert_eq!(warm.probes, 0);
+    assert!(warm.probes < cold.probes);
+    assert_eq!(warm.probe_requests(), cold.probe_requests());
+}
+
+#[test]
+fn cached_exhaustive_search_is_byte_identical_and_warm_runs_probe_less() {
+    let f = fixture();
+    let subject = top_subject(&f);
+    let task = ExpertRelevanceTask::new(&f.ranker, subject, f.cfg.k);
+    let mut cfg = f.cfg.clone();
+    cfg.max_explanation_size = 2;
+    let candidates = all_skill_removals(&f.ds.graph);
+    let run = |cache: Option<&ProbeCache>| {
+        exhaustive_search(
+            &task,
+            &f.ds.graph,
+            &f.query,
+            &candidates,
+            CounterfactualKind::SkillRemoval,
+            &cfg,
+            None,
+            cache,
+        )
+    };
+
+    let uncached = run(None);
+    let cache = ProbeCache::new(0);
+    let cold = run(Some(&cache));
+    let warm = run(Some(&cache));
+    assert_eq!(cold.explanations, uncached.explanations);
+    assert_eq!(cold.probes, uncached.probes);
+    assert_eq!(warm.explanations, uncached.explanations);
+    assert_eq!(warm.probes, 0);
+    assert!(warm.cache_hits > 0);
+    assert_eq!(warm.probe_requests(), cold.probe_requests());
+}
+
+#[test]
+fn cached_shap_explanations_are_identical_and_warm_runs_probe_less() {
+    let f = fixture();
+    let subject = top_subject(&f);
+    let task = ExpertRelevanceTask::new(&f.ranker, subject, f.cfg.k);
+    let embedding = SkillEmbedding::train(
+        f.ds.corpus.token_bags(),
+        f.ds.graph.vocab().len(),
+        &EmbeddingConfig {
+            dim: 16,
+            ..Default::default()
+        },
+    );
+    let cfg = f.cfg.clone().with_output_mode(OutputMode::SmoothRank);
+    let uncached_exes = Exes::new(cfg.clone(), embedding.clone(), CommonNeighbors);
+    let cache = Arc::new(ProbeCache::for_config(&cfg));
+    let cached_exes = Exes::new(cfg, embedding, CommonNeighbors).with_probe_cache(cache.clone());
+
+    let uncached = uncached_exes.factual_skills(&task, &f.ds.graph, &f.query, true);
+    let cold = cached_exes.factual_skills(&task, &f.ds.graph, &f.query, true);
+    let warm = cached_exes.factual_skills(&task, &f.ds.graph, &f.query, true);
+
+    // SHAP values are byte-identical across uncached, cold and warm runs.
+    assert_eq!(uncached.shap_values().values(), cold.shap_values().values());
+    assert_eq!(uncached.shap_values().values(), warm.shap_values().values());
+    assert_eq!(cold.probes(), uncached.probes());
+    // The warm run answers its coalitions from the cache.
+    assert!(warm.probes() < cold.probes());
+    assert!(warm.cache_hits() > 0);
+    assert!(cache.hits() > 0);
+
+    // The counterfactual search for the same (graph, query, subject) shares
+    // the very same cache through the facade.
+    let before = cache.hits();
+    let cf = cached_exes.counterfactual_skills(&task, &f.ds.graph, &f.query);
+    let cf_uncached = uncached_exes.counterfactual_skills(&task, &f.ds.graph, &f.query);
+    assert_eq!(cf.explanations, cf_uncached.explanations);
+    assert!(cache.hits() >= before);
+}

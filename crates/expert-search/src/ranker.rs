@@ -12,11 +12,7 @@ pub struct RankedList {
 impl RankedList {
     /// Builds a ranked list from unsorted `(person, score)` pairs.
     pub fn from_scores(mut scores: Vec<(PersonId, f64)>) -> Self {
-        scores.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         RankedList { entries: scores }
     }
 

@@ -29,11 +29,7 @@ pub trait LinkPredictor {
             .filter(|&c| c != center && !graph.has_edge(center, c))
             .map(|c| (c, self.score(graph, center, c)))
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(t);
         scored
     }

@@ -10,6 +10,18 @@
 //! sequential `items.iter().map(f).collect()` is the load-bearing guarantee —
 //! the counterfactual beam search requires byte-identical results whether
 //! probes run on one thread or sixteen.
+//!
+//! ## The `EXES_THREADS` environment variable
+//!
+//! `EXES_THREADS` caps the worker count globally:
+//!
+//! * **unset** or **unparseable** — use the hardware parallelism reported by
+//!   the OS;
+//! * **`1`** — force sequential execution everywhere;
+//! * **`0`** — treated identically to `1` (sequential); `0` historically fell
+//!   back to hardware parallelism, which silently turned "disable threading"
+//!   into "use every core";
+//! * **`n ≥ 2`** — use at most `n` worker threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,13 +39,16 @@ pub const MIN_PARALLEL_ITEMS: usize = 8;
 
 /// Number of worker threads [`parallel_map`] will use for a workload of
 /// `items` elements: the available hardware parallelism, capped by the item
-/// count, and overridable with the `EXES_THREADS` environment variable
-/// (`EXES_THREADS=1` forces sequential execution everywhere).
+/// count, and overridable with the `EXES_THREADS` environment variable (see
+/// the crate docs; `EXES_THREADS=0` and `EXES_THREADS=1` both force sequential
+/// execution everywhere).
 pub fn thread_count(items: usize) -> usize {
     let hw = std::env::var("EXES_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+        // 0 means "no extra parallelism", i.e. one (the calling) thread — not
+        // "fall back to every core the hardware has".
+        .map(|n| n.max(1))
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -149,5 +164,23 @@ mod tests {
         assert_eq!(thread_count(0), 1);
         assert!(thread_count(1) >= 1);
         assert!(thread_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn exes_threads_zero_means_sequential() {
+        // `EXES_THREADS=0` must behave like `EXES_THREADS=1` (sequential), not
+        // silently fall back to hardware parallelism. The env var is process
+        // wide, so sibling tests running concurrently may briefly observe
+        // these overrides — that is safe here because no other test in this
+        // crate touches the variable and parallel_map returns input-order
+        // results for *any* thread count, but keep it that way: tests that
+        // read `EXES_THREADS`-dependent behaviour belong in this function.
+        std::env::set_var("EXES_THREADS", "0");
+        assert_eq!(thread_count(10_000), 1);
+        std::env::set_var("EXES_THREADS", "1");
+        assert_eq!(thread_count(10_000), 1);
+        std::env::set_var("EXES_THREADS", "3");
+        assert_eq!(thread_count(10_000), 3);
+        std::env::remove_var("EXES_THREADS");
     }
 }

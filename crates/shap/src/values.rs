@@ -66,8 +66,7 @@ impl ShapValues {
         idx.sort_by(|&a, &b| {
             self.values[b]
                 .abs()
-                .partial_cmp(&self.values[a].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&self.values[a].abs())
                 .then(a.cmp(&b))
         });
         idx

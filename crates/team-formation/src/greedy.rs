@@ -103,11 +103,7 @@ impl<R: ExpertRanker> TeamFormer for GreedyCoverTeamFormer<R> {
                         )
                     })
                     .filter(|&(_, gain, _)| gain > 0)
-                    .max_by(|a, b| {
-                        a.1.cmp(&b.1)
-                            .then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
-                            .then(b.0.cmp(&a.0))
-                    })
+                    .max_by(|a, b| a.1.cmp(&b.1).then(a.2.total_cmp(&b.2)).then(b.0.cmp(&a.0)))
                     .map(|(c, _, _)| c)
             };
             let next = pick_from(&frontier).or_else(|| {

@@ -49,8 +49,8 @@ pub use exes_team as team;
 pub mod prelude {
     pub use exes_core::{
         counterfactual_precision, factual_precision_at_k, CounterfactualKind, DecisionModel, Exes,
-        ExesConfig, ExpertRelevanceTask, FactualExplanation, Feature, OutputMode,
-        TeamMembershipTask,
+        ExesConfig, ExesService, ExpertRelevanceTask, ExplanationKind, ExplanationRequest,
+        FactualExplanation, Feature, OutputMode, ProbeCache, ServiceReport, TeamMembershipTask,
     };
     pub use exes_datasets::{Corpus, DatasetConfig, QueryWorkload, SyntheticDataset};
     pub use exes_embedding::{EmbeddingConfig, SkillEmbedding};

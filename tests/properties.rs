@@ -284,3 +284,47 @@ fn parallel_and_sequential_counterfactuals_are_identical() {
         assert_eq!(run(true), run(false), "case {case}");
     }
 }
+
+/// Probe-cache keys are canonical: a memoised probe is found again no matter
+/// in what order the same perturbations were inserted into the set — and the
+/// canonical key itself is insertion-order independent.
+#[test]
+fn probe_cache_keys_are_insertion_order_independent() {
+    use exes::core::probe::ProbeCache;
+    use exes::core::{DecisionModel, ExpertRelevanceTask};
+
+    for case in 0..CASES {
+        let (graph, query) = arbitrary_graph(case);
+        let mut rng = StdRng::seed_from_u64(case ^ 0xCAC4E);
+        let delta = arbitrary_perturbations(&graph, &mut rng);
+        let items: Vec<Perturbation> = delta.iter().copied().collect();
+
+        // A deterministic shuffle of the insertion order.
+        let mut shuffled_items = items.clone();
+        for i in (1..shuffled_items.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled_items.swap(i, j);
+        }
+        let shuffled: PerturbationSet = shuffled_items.into_iter().collect();
+        assert_eq!(
+            delta.canonical_key(),
+            shuffled.canonical_key(),
+            "case {case}"
+        );
+
+        let ranker = PropagationRanker::default();
+        let subject = PersonId(0);
+        let task = ExpertRelevanceTask::new(&ranker, subject, 2);
+        let (view, pq) = delta.apply(&graph, &query);
+        let probe = task.probe(&view, &pq);
+
+        let cache = ProbeCache::new(0);
+        cache.insert(&graph, &query, subject, &delta, probe);
+        assert_eq!(
+            cache.lookup(&graph, &query, subject, &shuffled),
+            Some(probe),
+            "case {case}: shuffled insertion order must hit the same key"
+        );
+        assert_eq!(cache.hits(), 1, "case {case}");
+    }
+}
