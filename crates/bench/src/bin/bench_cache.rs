@@ -138,7 +138,7 @@ fn measure(scale: &'static str, people: usize) -> Row {
     let mut traffic = requests.clone();
     traffic.extend(requests.clone());
 
-    let service = ExesService::new(&exes, &ranker, &ds.graph);
+    let service = ExesService::from_graph(&exes, ranker.clone(), ds.graph.clone());
     let ((responses, report), service_time) = timed(|| service.explain_batch(&traffic));
     assert_eq!(responses.len(), traffic.len());
 

@@ -1,6 +1,6 @@
 //! Incremental construction of [`CollabGraph`]s.
 
-use crate::{CollabGraph, PersonId, SkillId, SkillVocab};
+use crate::{CollabGraph, GraphError, PersonId, Result, SkillId, SkillVocab};
 use rustc_hash::FxHashSet;
 
 /// Builder for [`CollabGraph`].
@@ -75,6 +75,39 @@ impl CollabGraphBuilder {
         self.skill_rows.push(ids);
         self.adj_rows.push(Vec::new());
         id
+    }
+
+    /// Non-panicking variant of [`CollabGraphBuilder::add_person_with_skill_ids`]:
+    /// rejects out-of-vocabulary skill ids with [`GraphError::UnknownSkill`]
+    /// instead of aborting, leaving the builder untouched on failure.
+    ///
+    /// Untrusted ingest paths (the [`crate::store::GraphStore`] commit and
+    /// rebuild pipeline) route through this so a malformed update stream
+    /// surfaces an error; the panicking API remains for tests and trusted
+    /// loaders where a bad id is a programming error.
+    pub fn try_person(&mut self, name: &str, skills: Vec<SkillId>) -> Result<PersonId> {
+        if let Some(&bad) = skills.iter().find(|s| s.index() >= self.vocab.len()) {
+            return Err(GraphError::UnknownSkill(bad));
+        }
+        Ok(self.add_person_with_skill_ids(name, skills))
+    }
+
+    /// Non-panicking variant of [`CollabGraphBuilder::add_edge`]: unknown
+    /// endpoints and self-loops become [`GraphError`]s instead of a panic or a
+    /// silent drop (untrusted update streams must hear about both). Duplicate
+    /// edges remain a tolerated no-op, returning `Ok(false)` like
+    /// [`CollabGraphBuilder::add_edge`] returns `false`.
+    pub fn try_edge(&mut self, a: PersonId, b: PersonId) -> Result<bool> {
+        if a.index() >= self.names.len() {
+            return Err(GraphError::UnknownPerson(a));
+        }
+        if b.index() >= self.names.len() {
+            return Err(GraphError::UnknownPerson(b));
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        Ok(self.add_edge(a, b))
     }
 
     /// Interns a skill name without attaching it to anyone, returning its id.
@@ -186,6 +219,40 @@ mod tests {
         let mut b = CollabGraphBuilder::new();
         let x = b.add_person("x", ["a"]);
         b.add_edge(x, PersonId(5));
+    }
+
+    #[test]
+    fn try_person_surfaces_bad_skill_ids_without_mutating() {
+        let mut b = CollabGraphBuilder::new();
+        let s = b.intern_skill("a");
+        assert_eq!(
+            b.try_person("p", vec![s, SkillId(7)]).unwrap_err(),
+            GraphError::UnknownSkill(SkillId(7))
+        );
+        assert_eq!(b.num_people(), 0);
+        let p = b.try_person("p", vec![s]).unwrap();
+        assert_eq!(p, PersonId(0));
+        assert_eq!(b.num_people(), 1);
+    }
+
+    #[test]
+    fn try_edge_surfaces_bad_endpoints_and_self_loops() {
+        let mut b = CollabGraphBuilder::new();
+        let x = b.add_person("x", ["a"]);
+        let y = b.add_person("y", ["b"]);
+        assert_eq!(
+            b.try_edge(x, PersonId(9)).unwrap_err(),
+            GraphError::UnknownPerson(PersonId(9))
+        );
+        assert_eq!(
+            b.try_edge(PersonId(9), x).unwrap_err(),
+            GraphError::UnknownPerson(PersonId(9))
+        );
+        assert_eq!(b.try_edge(x, x).unwrap_err(), GraphError::SelfLoop(x));
+        assert_eq!(b.try_edge(x, y), Ok(true));
+        // Duplicates stay a tolerated no-op, mirroring `add_edge`.
+        assert_eq!(b.try_edge(y, x), Ok(false));
+        assert_eq!(b.num_edges(), 1);
     }
 
     #[test]

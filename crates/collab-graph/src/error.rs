@@ -20,6 +20,11 @@ pub enum GraphError {
     DuplicateEdge(PersonId, PersonId),
     /// A query was constructed without any recognised skill keywords.
     EmptyQuery,
+    /// A skill removal targeted a person who does not hold that skill.
+    SkillNotHeld(PersonId, SkillId),
+    /// A skill name was empty after normalisation or contains characters the
+    /// line-oriented codec cannot represent (line breaks).
+    InvalidSkillName(String),
     /// A serialised graph could not be decoded.
     Codec(String),
 }
@@ -34,6 +39,13 @@ impl fmt::Display for GraphError {
             GraphError::MissingEdge(a, b) => write!(f, "edge ({a}, {b}) does not exist"),
             GraphError::DuplicateEdge(a, b) => write!(f, "edge ({a}, {b}) already exists"),
             GraphError::EmptyQuery => write!(f, "query contains no recognised skill keywords"),
+            GraphError::SkillNotHeld(p, s) => write!(f, "person {p} does not hold skill {s}"),
+            GraphError::InvalidSkillName(name) => {
+                write!(
+                    f,
+                    "invalid skill name {name:?} (empty or contains line breaks)"
+                )
+            }
             GraphError::Codec(msg) => write!(f, "graph decode failed: {msg}"),
         }
     }
@@ -66,6 +78,12 @@ mod tests {
             .to_string()
             .contains("already exists"));
         assert!(GraphError::EmptyQuery.to_string().contains("query"));
+        assert!(GraphError::SkillNotHeld(PersonId(2), SkillId(4))
+            .to_string()
+            .contains("does not hold"));
+        assert!(GraphError::InvalidSkillName("a\nb".into())
+            .to_string()
+            .contains("invalid skill name"));
         assert!(GraphError::Codec("bad header".into())
             .to_string()
             .contains("bad header"));

@@ -7,7 +7,8 @@
 
 use crate::view::{EdgesIter, GraphView, PersonIds};
 use crate::{GraphError, PersonId, Result, SkillId, SkillVocab};
-use rustc_hash::FxHashSet;
+use rustc_hash::{FxHashSet, FxHasher};
+use std::hash::{Hash, Hasher};
 
 /// Identifier of an undirected edge, indexing into [`CollabGraph::edge`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -67,6 +68,11 @@ pub struct CollabGraph {
     /// Concatenated per-skill sorted holder ids.
     pub(crate) holder_people: Vec<PersonId>,
     pub(crate) vocab: SkillVocab,
+    /// Content identity token: equal content hashes to an equal fingerprint
+    /// when built through [`CollabGraph::from_rows`]; the epoch-versioned
+    /// store chains it per commit instead of rehashing the whole graph. See
+    /// [`CollabGraph::fingerprint`].
+    pub(crate) fingerprint: u64,
 }
 
 /// Packs per-row vectors into a CSR (offsets, values) pair.
@@ -114,6 +120,13 @@ impl CollabGraph {
         let (skill_offsets, skill_labels) = pack_csr(&skill_rows);
         let (adj_offsets, adjacency) = pack_csr(&adj_rows);
         let (holder_offsets, holder_people) = pack_csr(&holder_rows);
+        let fingerprint = Self::content_fingerprint(
+            names.len(),
+            vocab.len(),
+            &skill_offsets,
+            &skill_labels,
+            &edges,
+        );
         CollabGraph {
             names,
             skill_offsets,
@@ -125,7 +138,41 @@ impl CollabGraph {
             holder_offsets,
             holder_people,
             vocab,
+            fingerprint,
         }
+    }
+
+    /// Hashes the probe-relevant content (sizes, every skill row, the edge
+    /// list) into a 64-bit identity. Display names are excluded: probes only
+    /// observe skills, edges and the vocabulary size.
+    fn content_fingerprint(
+        num_people: usize,
+        num_skills: usize,
+        skill_offsets: &[u32],
+        skill_labels: &[SkillId],
+        edges: &[(PersonId, PersonId)],
+    ) -> u64 {
+        let mut h = FxHasher::default();
+        num_people.hash(&mut h);
+        num_skills.hash(&mut h);
+        skill_offsets.hash(&mut h);
+        skill_labels.hash(&mut h);
+        edges.hash(&mut h);
+        h.finish()
+    }
+
+    /// The graph's content fingerprint.
+    ///
+    /// Two graphs assembled from identical rows (same skill assignments, same
+    /// edge list, same vocabulary size) share a fingerprint; any structural
+    /// difference changes it. [`crate::store::GraphStore`] commits advance the
+    /// fingerprint in O(|batch|) by chaining the previous value with the
+    /// update, so an epoch's identity never requires rehashing the graph —
+    /// this is what keys warm probe caches to one epoch and invalidates them
+    /// on the next.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The per-person skill rows as owned vectors (slow path for mutation).
@@ -527,6 +574,25 @@ mod tests {
             assert_eq!(back.base_neighbors(p), g.base_neighbors(p));
             assert_eq!(back.person_name(p), g.person_name(p));
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_names() {
+        let g = toy();
+        let same = toy();
+        assert_eq!(g.fingerprint(), same.fingerprint());
+        // Structural changes move the fingerprint.
+        let more = g.with_edge_added(PersonId(0), PersonId(2)).unwrap();
+        assert_ne!(g.fingerprint(), more.fingerprint());
+        let ml = g.vocab().id("ml").unwrap();
+        let fewer = g.with_skill_removed(PersonId(0), ml).unwrap();
+        assert_ne!(g.fingerprint(), fewer.fingerprint());
+        // Undoing a change restores the content, hence the fingerprint.
+        let back = more.with_edge_removed(PersonId(0), PersonId(2)).unwrap();
+        assert_eq!(g.fingerprint(), back.fingerprint());
+        // The codec roundtrip preserves content, hence the fingerprint.
+        let decoded = CollabGraph::from_text(&g.to_text()).unwrap();
+        assert_eq!(g.fingerprint(), decoded.fingerprint());
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod ids;
 mod neighborhood;
 mod perturbation;
 mod query;
+pub mod store;
 mod view;
 mod vocab;
 
@@ -57,6 +58,7 @@ pub use ids::{PersonId, SkillId};
 pub use neighborhood::{Neighborhood, NeighborhoodSkills};
 pub use perturbation::{Perturbation, PerturbationSet};
 pub use query::Query;
+pub use store::{GraphSnapshot, GraphStore, StoreConfig, StoreStats, UpdateBatch, UpdateOp};
 pub use view::{EdgesIter, GraphView, PersonIds, PerturbedGraph};
 pub use vocab::SkillVocab;
 

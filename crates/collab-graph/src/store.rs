@@ -1,0 +1,1059 @@
+//! The live, epoch-versioned graph store: mutable collaboration networks for
+//! a long-running serving process.
+//!
+//! The probe engine and explainer operate on an *immutable* [`CollabGraph`] —
+//! and should: probes are pure functions of `(graph, query, delta)`, and the
+//! CSR arrays stay borrow-friendly precisely because nothing mutates them. A
+//! production deployment, however, sees skills learned, collaborations formed
+//! and people hired while requests are in flight. [`GraphStore`] reconciles
+//! the two worlds:
+//!
+//! * writers submit [`UpdateBatch`]es through a **validated, atomic commit
+//!   path** — every op is checked against the current graph (plus the batch's
+//!   own earlier effects) before anything is applied, so a malformed update
+//!   stream returns a [`GraphError`] and changes nothing;
+//! * each successful commit publishes a fresh immutable
+//!   [`Arc<GraphSnapshot>`] **epoch**; readers pin the epoch they started on
+//!   and are never invalidated mid-request;
+//! * small batches apply as **compacted deltas** onto the current CSR arrays:
+//!   only the rows actually touched (a person's skills, a person's adjacency,
+//!   a skill's holders) are re-merged, everything else is bulk-copied, so
+//!   commit cost is O(|batch| + touched rows) of row work rather than a full
+//!   re-sort/re-hash of the graph;
+//! * every `rebuild_interval` delta commits the store runs a **full rebuild**
+//!   through the non-panicking [`CollabGraphBuilder::try_person`] /
+//!   [`CollabGraphBuilder::try_edge`] ingest path, re-validating every row and
+//!   re-grounding the chained content fingerprint (see below).
+//!
+//! Epochs carry identity through [`CollabGraph::fingerprint`]: a commit
+//! advances the fingerprint by hashing the previous one with the batch in
+//! O(|batch|), so downstream probe caches can key on `(fingerprint, query)` —
+//! an unchanged snapshot keeps its warm cache, a committed update naturally
+//! misses into fresh entries.
+//!
+//! ```
+//! use exes_graph::store::{GraphStore, UpdateBatch};
+//! use exes_graph::{CollabGraphBuilder, GraphView};
+//!
+//! let mut b = CollabGraphBuilder::new();
+//! let ada = b.add_person("Ada", ["databases"]);
+//! let bob = b.add_person("Bob", ["graphs"]);
+//! let store = GraphStore::new(b.build());
+//!
+//! let before = store.snapshot();
+//! let mut batch = UpdateBatch::new();
+//! batch.add_skill(ada, "xai");
+//! batch.add_collaboration(ada, bob);
+//! let after = store.commit(&batch).unwrap();
+//!
+//! // The old epoch is untouched; the new one sees the update.
+//! assert_eq!(before.epoch() + 1, after.epoch());
+//! assert!(!before.graph().has_edge(ada, bob));
+//! assert!(after.graph().has_edge(ada, bob));
+//! ```
+
+use crate::{CollabGraph, CollabGraphBuilder, GraphError, PersonId, Result, SkillId, SkillVocab};
+use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, Mutex};
+
+/// One mutation of the live collaboration network.
+///
+/// People are addressed by [`PersonId`]; people added earlier in the same
+/// batch may be addressed by their assigned ids (`num_people + i` for the
+/// `i`-th `AddPerson` of the batch, in order). Skills are addressed by name —
+/// update streams speak names, and `AddPerson`/`AddSkill` intern unseen names
+/// into the vocabulary, while `RemoveSkill` requires a known name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UpdateOp {
+    /// Adds a person with the given display name and skill names.
+    AddPerson {
+        /// Display name of the new person.
+        name: String,
+        /// Skill names; unseen names are interned, duplicates collapsed.
+        skills: Vec<String>,
+    },
+    /// Adds a skill to a person's label set (idempotent: re-adding a held
+    /// skill is a no-op, matching [`CollabGraph::with_skill_added`]).
+    AddSkill {
+        /// The person learning the skill.
+        person: PersonId,
+        /// Skill name; interned if unseen.
+        skill: String,
+    },
+    /// Removes a skill from a person's label set. Removing a skill the person
+    /// does not hold is an error ([`GraphError::SkillNotHeld`]) — update
+    /// streams should never claim to forget what was never known.
+    RemoveSkill {
+        /// The person losing the skill.
+        person: PersonId,
+        /// Skill name; must already be in the vocabulary.
+        skill: String,
+    },
+    /// Adds a collaboration edge. Duplicates and self-loops are errors.
+    AddCollaboration {
+        /// One endpoint.
+        a: PersonId,
+        /// The other endpoint.
+        b: PersonId,
+    },
+    /// Removes a collaboration edge. Missing edges are errors.
+    RemoveCollaboration {
+        /// One endpoint.
+        a: PersonId,
+        /// The other endpoint.
+        b: PersonId,
+    },
+}
+
+/// An ordered list of [`UpdateOp`]s committed atomically.
+///
+/// Ops apply in order, and later ops see earlier ones' effects (a batch may
+/// add a person and immediately wire edges to them). Validation covers the
+/// whole batch before anything is published: a bad op anywhere rejects the
+/// entire batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    ops: Vec<UpdateOp>,
+}
+
+impl UpdateBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an op.
+    pub fn push(&mut self, op: UpdateOp) {
+        self.ops.push(op);
+    }
+
+    /// Appends an `AddPerson` op; the new person's id will be
+    /// `num_people + i` where `i` counts this batch's `AddPerson` ops.
+    pub fn add_person<I, S>(&mut self, name: &str, skills: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.push(UpdateOp::AddPerson {
+            name: name.to_string(),
+            skills: skills.into_iter().map(|s| s.as_ref().to_string()).collect(),
+        });
+    }
+
+    /// Appends an `AddSkill` op.
+    pub fn add_skill(&mut self, person: PersonId, skill: &str) {
+        self.push(UpdateOp::AddSkill {
+            person,
+            skill: skill.to_string(),
+        });
+    }
+
+    /// Appends a `RemoveSkill` op.
+    pub fn remove_skill(&mut self, person: PersonId, skill: &str) {
+        self.push(UpdateOp::RemoveSkill {
+            person,
+            skill: skill.to_string(),
+        });
+    }
+
+    /// Appends an `AddCollaboration` op.
+    pub fn add_collaboration(&mut self, a: PersonId, b: PersonId) {
+        self.push(UpdateOp::AddCollaboration { a, b });
+    }
+
+    /// Appends a `RemoveCollaboration` op.
+    pub fn remove_collaboration(&mut self, a: PersonId, b: PersonId) {
+        self.push(UpdateOp::RemoveCollaboration { a, b });
+    }
+
+    /// The ops in application order.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the batch contains no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl FromIterator<UpdateOp> for UpdateBatch {
+    fn from_iter<T: IntoIterator<Item = UpdateOp>>(iter: T) -> Self {
+        UpdateBatch {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<UpdateOp> for UpdateBatch {
+    fn extend<T: IntoIterator<Item = UpdateOp>>(&mut self, iter: T) {
+        self.ops.extend(iter);
+    }
+}
+
+/// An immutable graph epoch published by a [`GraphStore`].
+///
+/// Snapshots are shared as `Arc<GraphSnapshot>`: readers clone the handle,
+/// work against a graph that can never change under them, and drop it when
+/// done. `Deref`s to [`CollabGraph`] for convenience.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    epoch: u64,
+    graph: CollabGraph,
+}
+
+impl GraphSnapshot {
+    /// The epoch number: 0 for the store's seed graph, +1 per commit.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The graph as of this epoch.
+    pub fn graph(&self) -> &CollabGraph {
+        &self.graph
+    }
+}
+
+impl Deref for GraphSnapshot {
+    type Target = CollabGraph;
+
+    fn deref(&self) -> &CollabGraph {
+        &self.graph
+    }
+}
+
+/// Tunables of a [`GraphStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Run a full rebuild (re-validating every row through the builder's
+    /// `try_*` ingest path and re-grounding the chained fingerprint in graph
+    /// content) after this many delta commits. `0` disables rebuilds.
+    pub rebuild_interval: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            rebuild_interval: 64,
+        }
+    }
+}
+
+/// Commit accounting of a [`GraphStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Successful commits (each published one epoch).
+    pub commits: u64,
+    /// Ops applied across all successful commits.
+    pub ops_applied: u64,
+    /// Full rebuilds triggered by [`StoreConfig::rebuild_interval`].
+    pub rebuilds: u64,
+    /// Batches rejected by validation (no epoch was published).
+    pub rejected: u64,
+}
+
+struct CommitState {
+    since_rebuild: u64,
+    stats: StoreStats,
+}
+
+/// A live graph store publishing immutable [`GraphSnapshot`] epochs.
+///
+/// The store itself is cheap to share (`Arc<GraphStore>`); all methods take
+/// `&self`. Writers serialise on a commit lock that is *not* on the read
+/// path: the published snapshot lives behind its own lock held only long
+/// enough to clone or swap an `Arc`, so readers never stall behind an
+/// in-progress commit — not even one running a full rebuild.
+pub struct GraphStore {
+    config: StoreConfig,
+    /// Serialises commits; held across validation/apply/rebuild.
+    commit: Mutex<CommitState>,
+    /// The published snapshot; locked only to clone or swap the `Arc`.
+    current: Mutex<Arc<GraphSnapshot>>,
+}
+
+impl GraphStore {
+    /// Creates a store seeded with `graph` at epoch 0, with default tunables.
+    pub fn new(graph: CollabGraph) -> Self {
+        Self::with_config(graph, StoreConfig::default())
+    }
+
+    /// Creates a store with explicit tunables.
+    pub fn with_config(graph: CollabGraph, config: StoreConfig) -> Self {
+        GraphStore {
+            config,
+            commit: Mutex::new(CommitState {
+                since_rebuild: 0,
+                stats: StoreStats::default(),
+            }),
+            current: Mutex::new(Arc::new(GraphSnapshot { epoch: 0, graph })),
+        }
+    }
+
+    /// The store's tunables.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// The current epoch's snapshot. O(1): clones an `Arc`.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        self.current.lock().expect("store lock poisoned").clone()
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Commit accounting so far.
+    pub fn stats(&self) -> StoreStats {
+        self.commit.lock().expect("store lock poisoned").stats
+    }
+
+    /// Validates and applies a batch, publishing a new epoch.
+    ///
+    /// On success, returns the new snapshot (also visible to every subsequent
+    /// [`GraphStore::snapshot`] call). On error, nothing changes — the batch
+    /// is rejected as a whole, and readers keep seeing the current epoch.
+    /// Empty batches are a no-op returning the current snapshot unchanged.
+    pub fn commit(&self, batch: &UpdateBatch) -> Result<Arc<GraphSnapshot>> {
+        // Writers serialise here; readers are untouched while the new graph
+        // is built from the (immutable) current snapshot.
+        let mut state = self.commit.lock().expect("store lock poisoned");
+        let base = self.snapshot();
+        if batch.is_empty() {
+            return Ok(base);
+        }
+        let compiled = match compile(&base.graph, batch) {
+            Ok(compiled) => compiled,
+            Err(e) => {
+                state.stats.rejected += 1;
+                return Err(e);
+            }
+        };
+        let fingerprint = chain_fingerprint(base.graph.fingerprint(), batch);
+        let mut graph = apply_compiled(&base.graph, compiled, fingerprint);
+        state.since_rebuild += 1;
+        if self.config.rebuild_interval > 0 && state.since_rebuild >= self.config.rebuild_interval {
+            graph = rebuild(&graph)?;
+            state.since_rebuild = 0;
+            state.stats.rebuilds += 1;
+        }
+        let snapshot = Arc::new(GraphSnapshot {
+            epoch: base.epoch + 1,
+            graph,
+        });
+        *self.current.lock().expect("store lock poisoned") = snapshot.clone();
+        state.stats.commits += 1;
+        state.stats.ops_applied += batch.len() as u64;
+        Ok(snapshot)
+    }
+}
+
+impl std::fmt::Debug for GraphStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snapshot = self.snapshot();
+        let stats = self.stats();
+        f.debug_struct("GraphStore")
+            .field("epoch", &snapshot.epoch)
+            .field("num_people", &snapshot.graph.names.len())
+            .field("num_edges", &snapshot.graph.edges.len())
+            .field("config", &self.config)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+/// Chains the previous fingerprint with the batch: O(|batch|), deterministic,
+/// and guaranteed to move on every non-empty batch (so stale cache entries
+/// can never be revalidated against a changed epoch).
+fn chain_fingerprint(previous: u64, batch: &UpdateBatch) -> u64 {
+    let mut h = FxHasher::default();
+    previous.hash(&mut h);
+    batch.ops().hash(&mut h);
+    h.finish()
+}
+
+/// The net effect of a validated batch, compacted for row-wise application:
+/// per-person skill changes, per-edge changes, appended people, the extended
+/// vocabulary.
+struct CompiledUpdate {
+    vocab: SkillVocab,
+    /// New people in batch order, with sorted, deduplicated, validated rows.
+    new_people: Vec<(String, Vec<SkillId>)>,
+    /// Net skill changes of *existing* people: `(skill, added)` pairs.
+    skill_changes: FxHashMap<u32, Vec<(SkillId, bool)>>,
+    /// Canonical edge keys to append to the edge list, in replay order: the
+    /// canonical list is part of the serialised form, and its order must be
+    /// byte-identical to applying the ops one at a time (a removed-then-re-
+    /// added edge moves to the end of the list, exactly as a replay would
+    /// leave it).
+    edge_appends: Vec<(u32, u32)>,
+    /// Base edges to drop from the edge list (including ones re-appended
+    /// later in the batch — those reappear via `edge_appends`).
+    edge_base_removes: FxHashSet<(u32, u32)>,
+}
+
+/// Rejects skill names the line-oriented codec cannot represent: names that
+/// normalise to nothing, or that keep an interior line break after trimming
+/// (`to_text` writes one skill name per line, unescaped).
+fn check_skill_name(raw: &str) -> Result<()> {
+    let norm = SkillVocab::normalize(raw);
+    if norm.is_empty() || norm.contains(['\n', '\r']) {
+        return Err(GraphError::InvalidSkillName(raw.to_string()));
+    }
+    Ok(())
+}
+
+/// Validates the batch against `graph` plus the batch's own earlier effects,
+/// compacting it into net row changes. Pure: touches nothing on error.
+fn compile(graph: &CollabGraph, batch: &UpdateBatch) -> Result<CompiledUpdate> {
+    let old_n = graph.names.len();
+    let mut vocab = graph.vocab.clone();
+    let mut new_people: Vec<(String, Vec<SkillId>)> = Vec::new();
+    // Pending net state, keyed by (person, skill) / canonical edge. `true`
+    // means present after the batch, `false` absent; absence of a key means
+    // "as in the base graph".
+    let mut pending_skills: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+    let mut pending_edges: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+    // Edge-list bookkeeping in replay order (see `CompiledUpdate`). Appends
+    // are tombstoned (`None`) on removal instead of shifted, with a position
+    // index for O(1) lookup, so compile stays O(|batch|) in edge ops.
+    let mut edge_appends: Vec<Option<(u32, u32)>> = Vec::new();
+    let mut append_pos: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+    let mut edge_base_removes: FxHashSet<(u32, u32)> = FxHashSet::default();
+
+    let person_in_scope = |p: PersonId, new_count: usize| p.index() < old_n + new_count;
+    let holds = |p: PersonId,
+                 s: SkillId,
+                 pending: &FxHashMap<(u32, u32), bool>,
+                 new_people: &[(String, Vec<SkillId>)]| {
+        if let Some(&state) = pending.get(&(p.0, s.0)) {
+            return state;
+        }
+        if p.index() < old_n {
+            graph.base_skills(p).binary_search(&s).is_ok()
+        } else {
+            new_people[p.index() - old_n].1.binary_search(&s).is_ok()
+        }
+    };
+    let edge_present = |a: PersonId, b: PersonId, pending: &FxHashMap<(u32, u32), bool>| {
+        let key = CollabGraph::edge_key(a, b);
+        match pending.get(&key) {
+            Some(&state) => state,
+            // Edges touching batch-new people cannot pre-exist.
+            None => a.index() < old_n && b.index() < old_n && graph.edge_set.contains(&key),
+        }
+    };
+
+    for op in batch.ops() {
+        match op {
+            UpdateOp::AddPerson { name, skills } => {
+                // Empty tokens are tolerated (matching the builder); names
+                // the codec cannot roundtrip are not.
+                let mut row: Vec<SkillId> = Vec::with_capacity(skills.len());
+                for s in skills {
+                    if s.trim().is_empty() {
+                        continue;
+                    }
+                    check_skill_name(s)?;
+                    row.push(vocab.intern(s));
+                }
+                row.sort_unstable();
+                row.dedup();
+                new_people.push((name.clone(), row));
+            }
+            UpdateOp::AddSkill { person, skill } => {
+                if !person_in_scope(*person, new_people.len()) {
+                    return Err(GraphError::UnknownPerson(*person));
+                }
+                check_skill_name(skill)?;
+                let s = vocab.intern(skill);
+                // Idempotent: adding a held skill is a no-op.
+                if !holds(*person, s, &pending_skills, &new_people) {
+                    pending_skills.insert((person.0, s.0), true);
+                }
+            }
+            UpdateOp::RemoveSkill { person, skill } => {
+                if !person_in_scope(*person, new_people.len()) {
+                    return Err(GraphError::UnknownPerson(*person));
+                }
+                let s = vocab.require(skill)?;
+                if !holds(*person, s, &pending_skills, &new_people) {
+                    return Err(GraphError::SkillNotHeld(*person, s));
+                }
+                pending_skills.insert((person.0, s.0), false);
+            }
+            UpdateOp::AddCollaboration { a, b } => {
+                if !person_in_scope(*a, new_people.len()) {
+                    return Err(GraphError::UnknownPerson(*a));
+                }
+                if !person_in_scope(*b, new_people.len()) {
+                    return Err(GraphError::UnknownPerson(*b));
+                }
+                if a == b {
+                    return Err(GraphError::SelfLoop(*a));
+                }
+                if edge_present(*a, *b, &pending_edges) {
+                    return Err(GraphError::DuplicateEdge(*a, *b));
+                }
+                let key = CollabGraph::edge_key(*a, *b);
+                pending_edges.insert(key, true);
+                append_pos.insert(key, edge_appends.len());
+                edge_appends.push(Some(key));
+            }
+            UpdateOp::RemoveCollaboration { a, b } => {
+                if !person_in_scope(*a, new_people.len()) {
+                    return Err(GraphError::UnknownPerson(*a));
+                }
+                if !person_in_scope(*b, new_people.len()) {
+                    return Err(GraphError::UnknownPerson(*b));
+                }
+                if !edge_present(*a, *b, &pending_edges) {
+                    return Err(GraphError::MissingEdge(*a, *b));
+                }
+                let key = CollabGraph::edge_key(*a, *b);
+                pending_edges.insert(key, false);
+                // A batch-appended edge vanishes from the appends; a base
+                // edge is marked for removal from the stored list.
+                match append_pos.remove(&key) {
+                    Some(pos) => edge_appends[pos] = None,
+                    None => {
+                        edge_base_removes.insert(key);
+                    }
+                }
+            }
+        }
+    }
+
+    // Fold pending skill states into net changes, routing changes that target
+    // batch-new people straight into their rows (their CSR rows are built
+    // from scratch anyway).
+    let mut skill_changes: FxHashMap<u32, Vec<(SkillId, bool)>> = FxHashMap::default();
+    for (&(p, s), &present) in &pending_skills {
+        if (p as usize) < old_n {
+            let was = graph
+                .base_skills(PersonId(p))
+                .binary_search(&SkillId(s))
+                .is_ok();
+            if was != present {
+                skill_changes
+                    .entry(p)
+                    .or_default()
+                    .push((SkillId(s), present));
+            }
+        } else {
+            let row = &mut new_people[p as usize - old_n].1;
+            match (row.binary_search(&SkillId(s)), present) {
+                (Err(pos), true) => row.insert(pos, SkillId(s)),
+                (Ok(pos), false) => {
+                    row.remove(pos);
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(CompiledUpdate {
+        vocab,
+        new_people,
+        skill_changes,
+        edge_appends: edge_appends.into_iter().flatten().collect(),
+        edge_base_removes,
+    })
+}
+
+/// Merges a sorted row with `(value, add)` changes, preserving sort order.
+fn merge_row<T: Copy + Ord>(base: &[T], changes: &[(T, bool)]) -> Vec<T> {
+    let mut row = base.to_vec();
+    for &(value, add) in changes {
+        match (row.binary_search(&value), add) {
+            (Err(pos), true) => row.insert(pos, value),
+            (Ok(pos), false) => {
+                row.remove(pos);
+            }
+            _ => {}
+        }
+    }
+    row
+}
+
+/// Applies a compiled update onto the graph's CSR arrays: touched rows are
+/// re-merged in O(row + changes), untouched rows are bulk-copied, and the
+/// derived indices (edge set, holder index) are patched rather than rebuilt.
+/// Consumes the update so the extended vocabulary moves into the new graph
+/// instead of being cloned a second time.
+fn apply_compiled(graph: &CollabGraph, update: CompiledUpdate, fingerprint: u64) -> CollabGraph {
+    let old_n = graph.names.len();
+    let new_n = old_n + update.new_people.len();
+
+    let mut names = graph.names.clone();
+    names.extend(update.new_people.iter().map(|(name, _)| name.clone()));
+
+    // --- Skill CSR -----------------------------------------------------
+    let extra_skills: usize = update.new_people.iter().map(|(_, row)| row.len()).sum();
+    let mut skill_offsets = Vec::with_capacity(new_n + 1);
+    let mut skill_labels = Vec::with_capacity(graph.skill_labels.len() + extra_skills);
+    skill_offsets.push(0u32);
+    for i in 0..old_n {
+        match update.skill_changes.get(&(i as u32)) {
+            None => skill_labels.extend_from_slice(graph.base_skills(PersonId::from_index(i))),
+            Some(changes) => skill_labels.extend(merge_row(
+                graph.base_skills(PersonId::from_index(i)),
+                changes,
+            )),
+        }
+        skill_offsets.push(skill_labels.len() as u32);
+    }
+    for (_, row) in &update.new_people {
+        skill_labels.extend_from_slice(row);
+        skill_offsets.push(skill_labels.len() as u32);
+    }
+
+    // --- Adjacency CSR -------------------------------------------------
+    // Membership deltas: an edge removed from the base list but re-appended
+    // later in the batch only moved position — its endpoints' adjacency and
+    // the edge set are unchanged.
+    let append_set: FxHashSet<(u32, u32)> = update.edge_appends.iter().copied().collect();
+    let net_added: Vec<(u32, u32)> = update
+        .edge_appends
+        .iter()
+        .copied()
+        .filter(|key| !graph.edge_set.contains(key))
+        .collect();
+    let net_removed: Vec<(u32, u32)> = update
+        .edge_base_removes
+        .iter()
+        .copied()
+        .filter(|key| !append_set.contains(key))
+        .collect();
+    let mut adj_changes: FxHashMap<u32, Vec<(PersonId, bool)>> = FxHashMap::default();
+    for &(a, b) in &net_added {
+        adj_changes.entry(a).or_default().push((PersonId(b), true));
+        adj_changes.entry(b).or_default().push((PersonId(a), true));
+    }
+    for &(a, b) in &net_removed {
+        adj_changes.entry(a).or_default().push((PersonId(b), false));
+        adj_changes.entry(b).or_default().push((PersonId(a), false));
+    }
+    let mut adj_offsets = Vec::with_capacity(new_n + 1);
+    let mut adjacency = Vec::with_capacity(graph.adjacency.len() + 2 * update.edge_appends.len());
+    adj_offsets.push(0u32);
+    for i in 0..new_n {
+        let base: &[PersonId] = if i < old_n {
+            graph.base_neighbors(PersonId::from_index(i))
+        } else {
+            &[]
+        };
+        match adj_changes.get(&(i as u32)) {
+            None => adjacency.extend_from_slice(base),
+            Some(changes) => adjacency.extend(merge_row(base, changes)),
+        }
+        adj_offsets.push(adjacency.len() as u32);
+    }
+
+    // --- Edge list + edge set ------------------------------------------
+    let mut edges = if update.edge_base_removes.is_empty() {
+        graph.edges.clone()
+    } else {
+        graph
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(a, b)| !update.edge_base_removes.contains(&(a.0, b.0)))
+            .collect()
+    };
+    edges.extend(
+        update
+            .edge_appends
+            .iter()
+            .map(|&(a, b)| (PersonId(a), PersonId(b))),
+    );
+    let mut edge_set = graph.edge_set.clone();
+    for key in &net_removed {
+        edge_set.remove(key);
+    }
+    edge_set.extend(net_added.iter().copied());
+
+    // --- Holder index ---------------------------------------------------
+    // Touched skills: anything changed on an existing person, plus every
+    // skill a new person holds. Untouched skills bulk-copy their holder rows.
+    let mut holder_changes: FxHashMap<u32, Vec<(PersonId, bool)>> = FxHashMap::default();
+    let mut person_ids: Vec<u32> = update.skill_changes.keys().copied().collect();
+    person_ids.sort_unstable();
+    for p in person_ids {
+        for &(s, add) in &update.skill_changes[&p] {
+            holder_changes
+                .entry(s.0)
+                .or_default()
+                .push((PersonId(p), add));
+        }
+    }
+    for (j, (_, row)) in update.new_people.iter().enumerate() {
+        for &s in row {
+            holder_changes
+                .entry(s.0)
+                .or_default()
+                .push((PersonId::from_index(old_n + j), true));
+        }
+    }
+    let old_vocab_len = graph.vocab.len();
+    let extra_holders: usize = holder_changes.values().map(Vec::len).sum();
+    let mut holder_offsets = Vec::with_capacity(update.vocab.len() + 1);
+    let mut holder_people = Vec::with_capacity(graph.holder_people.len() + extra_holders);
+    holder_offsets.push(0u32);
+    for s in 0..update.vocab.len() {
+        let base: &[PersonId] = if s < old_vocab_len {
+            graph.holders_of(SkillId::from_index(s))
+        } else {
+            &[]
+        };
+        match holder_changes.get(&(s as u32)) {
+            None => holder_people.extend_from_slice(base),
+            Some(changes) => holder_people.extend(merge_row(base, changes)),
+        }
+        holder_offsets.push(holder_people.len() as u32);
+    }
+
+    CollabGraph {
+        names,
+        skill_offsets,
+        skill_labels,
+        adj_offsets,
+        adjacency,
+        edges,
+        edge_set,
+        holder_offsets,
+        holder_people,
+        vocab: update.vocab,
+        fingerprint,
+    }
+}
+
+/// Rebuilds the graph from scratch through the non-panicking builder ingest
+/// path, re-validating every row and re-grounding the fingerprint in content
+/// (an identical-content rebuild therefore reproduces the fingerprint a
+/// from-rows construction would assign).
+fn rebuild(graph: &CollabGraph) -> Result<CollabGraph> {
+    let mut builder = CollabGraphBuilder::with_vocab(graph.vocab.clone());
+    for p in graph.people() {
+        builder.try_person(graph.person_name(p), graph.base_skills(p).to_vec())?;
+    }
+    for &(a, b) in graph.edge_list() {
+        builder.try_edge(a, b)?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    fn seed() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let a = b.add_person("A", ["db", "ml"]);
+        let c = b.add_person("B", ["ml"]);
+        let d = b.add_person("C", ["vision"]);
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.build()
+    }
+
+    /// Replays every committed batch into a fresh builder: the reference the
+    /// delta path must agree with byte-for-byte (via `to_text`).
+    fn replay_from_scratch(base: &CollabGraph, batches: &[UpdateBatch]) -> CollabGraph {
+        let mut graph = base.clone();
+        for batch in batches {
+            let compiled = compile(&graph, batch).expect("replay batch valid");
+            graph = apply_compiled(&graph, compiled, 0);
+            graph = rebuild(&graph).expect("replay rebuild");
+        }
+        graph
+    }
+
+    #[test]
+    fn commit_applies_skills_edges_and_people() {
+        let store = GraphStore::new(seed());
+        let mut batch = UpdateBatch::new();
+        batch.add_skill(PersonId(2), "ml");
+        batch.remove_skill(PersonId(0), "db");
+        batch.add_person("D", ["rust", "ml"]);
+        batch.add_collaboration(PersonId(3), PersonId(0));
+        batch.remove_collaboration(PersonId(1), PersonId(2));
+        let snap = store.commit(&batch).unwrap();
+
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.num_people(), 4);
+        assert!(snap.person_has_skill(PersonId(2), snap.vocab().id("ml").unwrap()));
+        assert!(!snap.person_has_skill(PersonId(0), snap.vocab().id("db").unwrap()));
+        assert_eq!(snap.person_name(PersonId(3)), "D");
+        assert!(snap.has_edge(PersonId(3), PersonId(0)));
+        assert!(!snap.has_edge(PersonId(1), PersonId(2)));
+        // The holder index was patched consistently.
+        let ml = snap.vocab().id("ml").unwrap();
+        assert_eq!(
+            snap.holders_of(ml),
+            &[PersonId(0), PersonId(1), PersonId(2), PersonId(3)]
+        );
+        let rust = snap.vocab().id("rust").unwrap();
+        assert_eq!(snap.holders_of(rust), &[PersonId(3)]);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_epochs() {
+        let store = GraphStore::new(seed());
+        let before = store.snapshot();
+        let mut batch = UpdateBatch::new();
+        batch.add_collaboration(PersonId(0), PersonId(2));
+        let after = store.commit(&batch).unwrap();
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(after.epoch(), 1);
+        assert!(!before.has_edge(PersonId(0), PersonId(2)));
+        assert!(after.has_edge(PersonId(0), PersonId(2)));
+        assert_ne!(before.fingerprint(), after.fingerprint());
+        assert_eq!(store.epoch(), 1);
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected_atomically() {
+        let store = GraphStore::new(seed());
+        let fingerprint = store.snapshot().fingerprint();
+        let mut batch = UpdateBatch::new();
+        batch.add_skill(PersonId(0), "new-skill"); // valid...
+        batch.remove_skill(PersonId(0), "vision"); // ...but A never held vision
+        let err = store.commit(&batch).unwrap_err();
+        assert!(matches!(err, GraphError::SkillNotHeld(_, _)));
+        // Nothing changed: same epoch, same fingerprint, vocab not extended.
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.fingerprint(), fingerprint);
+        assert!(snap.vocab().id("new-skill").is_none());
+        assert_eq!(store.stats().rejected, 1);
+        assert_eq!(store.stats().commits, 0);
+    }
+
+    type ErrCheck = fn(&GraphError) -> bool;
+
+    #[test]
+    fn validation_covers_people_edges_and_vocabulary() {
+        let store = GraphStore::new(seed());
+        let cases: Vec<(UpdateOp, ErrCheck)> = vec![
+            (
+                UpdateOp::AddSkill {
+                    person: PersonId(9),
+                    skill: "ml".into(),
+                },
+                |e| matches!(e, GraphError::UnknownPerson(_)),
+            ),
+            (
+                UpdateOp::RemoveSkill {
+                    person: PersonId(0),
+                    skill: "nope".into(),
+                },
+                |e| matches!(e, GraphError::UnknownSkillName(_)),
+            ),
+            (
+                UpdateOp::AddCollaboration {
+                    a: PersonId(0),
+                    b: PersonId(0),
+                },
+                |e| matches!(e, GraphError::SelfLoop(_)),
+            ),
+            (
+                UpdateOp::AddCollaboration {
+                    a: PersonId(0),
+                    b: PersonId(1),
+                },
+                |e| matches!(e, GraphError::DuplicateEdge(_, _)),
+            ),
+            (
+                UpdateOp::RemoveCollaboration {
+                    a: PersonId(0),
+                    b: PersonId(2),
+                },
+                |e| matches!(e, GraphError::MissingEdge(_, _)),
+            ),
+            (
+                UpdateOp::AddCollaboration {
+                    a: PersonId(0),
+                    b: PersonId(7),
+                },
+                |e| matches!(e, GraphError::UnknownPerson(_)),
+            ),
+        ];
+        for (op, check) in cases {
+            let batch: UpdateBatch = [op.clone()].into_iter().collect();
+            let err = store.commit(&batch).unwrap_err();
+            assert!(check(&err), "op {op:?} produced {err}");
+        }
+        assert_eq!(store.epoch(), 0);
+    }
+
+    #[test]
+    fn hostile_skill_names_are_rejected_not_committed() {
+        let store = GraphStore::new(seed());
+        // Interior line breaks would corrupt the line-oriented codec.
+        let mut batch = UpdateBatch::new();
+        batch.add_skill(PersonId(0), "rust\nsneaky");
+        assert!(matches!(
+            store.commit(&batch).unwrap_err(),
+            GraphError::InvalidSkillName(_)
+        ));
+        // Whitespace-only names normalise to nothing.
+        let mut batch = UpdateBatch::new();
+        batch.add_skill(PersonId(0), "   ");
+        assert!(matches!(
+            store.commit(&batch).unwrap_err(),
+            GraphError::InvalidSkillName(_)
+        ));
+        // The same checks guard AddPerson rows (empty tokens stay tolerated,
+        // matching the builder).
+        let mut batch = UpdateBatch::new();
+        batch.add_person("D", ["ok", "", "bad\r\nname"]);
+        assert!(matches!(
+            store.commit(&batch).unwrap_err(),
+            GraphError::InvalidSkillName(_)
+        ));
+        let mut batch = UpdateBatch::new();
+        batch.add_person("D", ["ok", ""]);
+        let snap = store.commit(&batch).unwrap();
+        assert_eq!(snap.base_skills(PersonId(3)).len(), 1);
+        // Everything committed still roundtrips through the codec.
+        let back = CollabGraph::from_text(&snap.to_text()).unwrap();
+        assert_eq!(back.to_text(), snap.to_text());
+    }
+
+    #[test]
+    fn batch_ops_see_earlier_effects() {
+        let store = GraphStore::new(seed());
+        let mut batch = UpdateBatch::new();
+        // Add two people and wire them to each other and to an existing node,
+        // using their forward-assigned ids.
+        batch.add_person("D", ["rust"]);
+        batch.add_person("E", Vec::<String>::new());
+        batch.add_collaboration(PersonId(3), PersonId(4));
+        batch.add_collaboration(PersonId(4), PersonId(0));
+        batch.add_skill(PersonId(4), "rust");
+        // Add-then-remove inside one batch nets out to nothing.
+        batch.add_skill(PersonId(0), "transient");
+        batch.remove_skill(PersonId(0), "transient");
+        let snap = store.commit(&batch).unwrap();
+        assert_eq!(snap.num_people(), 5);
+        assert!(snap.has_edge(PersonId(3), PersonId(4)));
+        assert!(snap.has_edge(PersonId(4), PersonId(0)));
+        let rust = snap.vocab().id("rust").unwrap();
+        assert_eq!(snap.holders_of(rust), &[PersonId(3), PersonId(4)]);
+        let transient = snap.vocab().id("transient").unwrap();
+        assert!(!snap.person_has_skill(PersonId(0), transient));
+    }
+
+    #[test]
+    fn idempotent_skill_add_is_tolerated() {
+        let store = GraphStore::new(seed());
+        let mut batch = UpdateBatch::new();
+        batch.add_skill(PersonId(0), "ml"); // already held
+        let snap = store.commit(&batch).unwrap();
+        assert_eq!(snap.epoch(), 1);
+        let ml = snap.vocab().id("ml").unwrap();
+        assert_eq!(snap.base_skills(PersonId(0)).len(), 2);
+        assert_eq!(snap.holders_of(ml), &[PersonId(0), PersonId(1)]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let store = GraphStore::new(seed());
+        let before = store.snapshot();
+        let after = store.commit(&UpdateBatch::new()).unwrap();
+        assert_eq!(before.epoch(), after.epoch());
+        assert_eq!(store.stats().commits, 0);
+    }
+
+    #[test]
+    fn delta_path_matches_from_scratch_replay() {
+        let base = seed();
+        let store = GraphStore::with_config(
+            base.clone(),
+            StoreConfig {
+                rebuild_interval: 0,
+            },
+        );
+        let mut batches = Vec::new();
+        let mut batch = UpdateBatch::new();
+        batch.add_person("D", ["db", "rust"]);
+        batch.add_collaboration(PersonId(3), PersonId(1));
+        batches.push(batch);
+        let mut batch = UpdateBatch::new();
+        batch.remove_skill(PersonId(0), "ml");
+        batch.remove_collaboration(PersonId(1), PersonId(2));
+        batch.add_skill(PersonId(2), "db");
+        batches.push(batch);
+        for b in &batches {
+            store.commit(b).unwrap();
+        }
+        let reference = replay_from_scratch(&base, &batches);
+        assert_eq!(store.snapshot().to_text(), reference.to_text());
+    }
+
+    #[test]
+    fn periodic_rebuild_preserves_content_and_regrounds_fingerprint() {
+        let base = seed();
+        let delta_store = GraphStore::with_config(
+            base.clone(),
+            StoreConfig {
+                rebuild_interval: 0,
+            },
+        );
+        let rebuild_store = GraphStore::with_config(
+            base.clone(),
+            StoreConfig {
+                rebuild_interval: 1,
+            },
+        );
+        let mut batch = UpdateBatch::new();
+        batch.add_person("D", ["ml"]);
+        batch.add_collaboration(PersonId(3), PersonId(0));
+        delta_store.commit(&batch).unwrap();
+        rebuild_store.commit(&batch).unwrap();
+        // Same content either way...
+        assert_eq!(
+            delta_store.snapshot().to_text(),
+            rebuild_store.snapshot().to_text()
+        );
+        assert_eq!(rebuild_store.stats().rebuilds, 1);
+        // ...and the rebuild's fingerprint equals a from-rows construction's.
+        let reference = CollabGraph::from_text(&rebuild_store.snapshot().to_text()).unwrap();
+        assert_eq!(
+            rebuild_store.snapshot().fingerprint(),
+            reference.fingerprint()
+        );
+    }
+
+    #[test]
+    fn commit_advances_fingerprint_and_undo_restores_it_after_rebuild() {
+        let store = GraphStore::with_config(
+            seed(),
+            StoreConfig {
+                rebuild_interval: 2,
+            },
+        );
+        let fp0 = store.snapshot().fingerprint();
+        let mut add = UpdateBatch::new();
+        add.add_collaboration(PersonId(0), PersonId(2));
+        let fp1 = store.commit(&add).unwrap().fingerprint();
+        assert_ne!(fp0, fp1);
+        let mut undo = UpdateBatch::new();
+        undo.remove_collaboration(PersonId(0), PersonId(2));
+        // The second commit triggers the rebuild, re-grounding the
+        // fingerprint in content — which now equals the seed's.
+        let fp2 = store.commit(&undo).unwrap().fingerprint();
+        assert_eq!(store.stats().rebuilds, 1);
+        assert_eq!(fp0, fp2);
+    }
+}

@@ -31,9 +31,11 @@ mod config;
 mod corpus;
 mod generator;
 mod names;
+mod update_stream;
 mod workload;
 
 pub use config::DatasetConfig;
 pub use corpus::Corpus;
 pub use generator::SyntheticDataset;
+pub use update_stream::{UpdateStream, UpdateStreamConfig};
 pub use workload::QueryWorkload;

@@ -1,0 +1,424 @@
+//! Deterministic update-stream workloads: the churn side of the serving
+//! story.
+//!
+//! The query workloads in [`crate::QueryWorkload`] model *read* traffic; a
+//! live deployment also sees *write* traffic — skills learned and dropped,
+//! collaborations formed and dissolved, new people joining. [`UpdateStream`]
+//! generates that churn as a sequence of validated-by-construction
+//! [`UpdateBatch`]es against an evolving graph: the generator mirrors the
+//! graph state batch by batch, so every op is legal at the moment it applies
+//! (removals target things that exist, additions target things that don't),
+//! and a [`exes_graph::GraphStore`] can commit the whole stream without a
+//! single rejection. Given the same seed and graph, the stream is byte-for-
+//! byte reproducible.
+
+use exes_graph::store::{UpdateBatch, UpdateOp};
+use exes_graph::{CollabGraph, GraphView, PersonId, SkillId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Shape of a generated update stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStreamConfig {
+    /// Number of batches to generate.
+    pub batches: usize,
+    /// Ops per batch.
+    pub batch_size: usize,
+    /// RNG seed; the stream is fully deterministic given config and graph.
+    pub seed: u64,
+    /// Relative weight of skill-addition ops.
+    pub add_skill_weight: u32,
+    /// Relative weight of skill-removal ops.
+    pub remove_skill_weight: u32,
+    /// Relative weight of collaboration-addition ops.
+    pub add_edge_weight: u32,
+    /// Relative weight of collaboration-removal ops.
+    pub remove_edge_weight: u32,
+    /// Relative weight of new-person ops.
+    pub add_person_weight: u32,
+    /// Probability that a skill addition coins a brand-new skill name
+    /// (exercising vocabulary growth) instead of reusing an existing one.
+    pub fresh_skill_prob: f64,
+}
+
+impl UpdateStreamConfig {
+    /// A balanced churn mix: mostly skill/edge churn, occasional hires.
+    pub fn churn(batches: usize, batch_size: usize, seed: u64) -> Self {
+        UpdateStreamConfig {
+            batches,
+            batch_size,
+            seed,
+            add_skill_weight: 4,
+            remove_skill_weight: 3,
+            add_edge_weight: 4,
+            remove_edge_weight: 3,
+            add_person_weight: 1,
+            fresh_skill_prob: 0.05,
+        }
+    }
+}
+
+/// A reproducible sequence of [`UpdateBatch`]es valid against an evolving
+/// graph (apply them in order).
+#[derive(Debug, Clone)]
+pub struct UpdateStream {
+    batches: Vec<UpdateBatch>,
+}
+
+/// Mirror of the evolving graph state, just rich enough to keep generated
+/// ops valid: per-person sorted skill rows, the edge set (plus a dense list
+/// for sampling), and the growing vocabulary.
+struct Mirror {
+    skills: Vec<Vec<SkillId>>,
+    edges: Vec<(u32, u32)>,
+    edge_set: HashSet<(u32, u32)>,
+    skill_names: Vec<String>,
+    fresh_skills: usize,
+    fresh_people: usize,
+}
+
+impl Mirror {
+    fn of(graph: &CollabGraph) -> Self {
+        Mirror {
+            skills: graph
+                .people()
+                .map(|p| graph.person_skills(p).to_vec())
+                .collect(),
+            edges: graph.edge_list().iter().map(|&(a, b)| (a.0, b.0)).collect(),
+            edge_set: graph.edge_list().iter().map(|&(a, b)| (a.0, b.0)).collect(),
+            skill_names: graph.vocab().iter().map(|(_, n)| n.to_string()).collect(),
+            fresh_skills: 0,
+            fresh_people: 0,
+        }
+    }
+
+    fn num_people(&self) -> usize {
+        self.skills.len()
+    }
+
+    fn holds(&self, p: usize, s: SkillId) -> bool {
+        self.skills[p].binary_search(&s).is_ok()
+    }
+
+    fn add_skill(&mut self, p: usize, s: SkillId) {
+        if let Err(pos) = self.skills[p].binary_search(&s) {
+            self.skills[p].insert(pos, s);
+        }
+    }
+
+    fn remove_skill(&mut self, p: usize, s: SkillId) {
+        if let Ok(pos) = self.skills[p].binary_search(&s) {
+            self.skills[p].remove(pos);
+        }
+    }
+}
+
+/// How many times an op draw retries for a valid target before falling back
+/// to a different op kind (guarantees progress on degenerate graphs, e.g.
+/// removing edges from a graph that has none left).
+const OP_RETRIES: usize = 16;
+
+impl UpdateStream {
+    /// Generates a stream of `cfg.batches` batches valid against `graph` and
+    /// its successive updated states.
+    ///
+    /// # Panics
+    /// Panics if the graph has no people, has an empty skill vocabulary, or
+    /// the config has zero total weight.
+    pub fn generate(graph: &CollabGraph, cfg: &UpdateStreamConfig) -> Self {
+        assert!(
+            graph.num_people() > 0,
+            "update streams need people to churn"
+        );
+        assert!(
+            !graph.vocab().is_empty(),
+            "update streams need a non-empty skill vocabulary to churn"
+        );
+        let weights = [
+            cfg.add_skill_weight,
+            cfg.remove_skill_weight,
+            cfg.add_edge_weight,
+            cfg.remove_edge_weight,
+            cfg.add_person_weight,
+        ];
+        let total_weight: u32 = weights.iter().sum();
+        assert!(total_weight > 0, "op weights must not all be zero");
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5720_u64.rotate_left(17));
+        let mut mirror = Mirror::of(graph);
+        let mut batches = Vec::with_capacity(cfg.batches);
+        for _ in 0..cfg.batches {
+            let mut batch = UpdateBatch::new();
+            while batch.len() < cfg.batch_size {
+                let mut draw = rng.gen_range(0u32..total_weight);
+                let mut kind = 0usize;
+                for (i, &w) in weights.iter().enumerate() {
+                    if draw < w {
+                        kind = i;
+                        break;
+                    }
+                    draw -= w;
+                }
+                // Try op kinds starting from the drawn one so a kind with no
+                // valid target (e.g. no edges left to remove) falls through
+                // instead of spinning.
+                let mut emitted = false;
+                for offset in 0..weights.len() {
+                    let k = (kind + offset) % weights.len();
+                    if weights[k] == 0 && offset > 0 {
+                        continue;
+                    }
+                    if let Some(op) = Self::draw_op(k, &mut rng, &mut mirror, cfg) {
+                        batch.push(op);
+                        emitted = true;
+                        break;
+                    }
+                }
+                assert!(emitted, "no op kind has a valid target");
+            }
+            batches.push(batch);
+        }
+        UpdateStream { batches }
+    }
+
+    /// Draws one valid op of the given kind, applying it to the mirror.
+    /// Returns `None` when no valid target was found within [`OP_RETRIES`].
+    fn draw_op(
+        kind: usize,
+        rng: &mut StdRng,
+        mirror: &mut Mirror,
+        cfg: &UpdateStreamConfig,
+    ) -> Option<UpdateOp> {
+        let n = mirror.num_people();
+        match kind {
+            // Add a skill to someone who lacks it.
+            0 => {
+                if rng.gen_bool(cfg.fresh_skill_prob) {
+                    let p = rng.gen_range(0..n);
+                    // The base vocabulary may already contain churned skills
+                    // from an earlier stream; skip taken names so the mirror
+                    // id matches what the store's interning will assign.
+                    let name = loop {
+                        let candidate = format!("churned-skill-{}", mirror.fresh_skills);
+                        mirror.fresh_skills += 1;
+                        if !mirror.skill_names.contains(&candidate) {
+                            break candidate;
+                        }
+                    };
+                    let s = SkillId(mirror.skill_names.len() as u32);
+                    mirror.skill_names.push(name.clone());
+                    mirror.add_skill(p, s);
+                    return Some(UpdateOp::AddSkill {
+                        person: PersonId(p as u32),
+                        skill: name,
+                    });
+                }
+                for _ in 0..OP_RETRIES {
+                    let p = rng.gen_range(0..n);
+                    let s = rng.gen_range(0..mirror.skill_names.len());
+                    if !mirror.holds(p, SkillId(s as u32)) {
+                        mirror.add_skill(p, SkillId(s as u32));
+                        return Some(UpdateOp::AddSkill {
+                            person: PersonId(p as u32),
+                            skill: mirror.skill_names[s].clone(),
+                        });
+                    }
+                }
+                None
+            }
+            // Remove a skill someone holds.
+            1 => {
+                for _ in 0..OP_RETRIES {
+                    let p = rng.gen_range(0..n);
+                    if mirror.skills[p].is_empty() {
+                        continue;
+                    }
+                    let i = rng.gen_range(0..mirror.skills[p].len());
+                    let s = mirror.skills[p][i];
+                    mirror.remove_skill(p, s);
+                    return Some(UpdateOp::RemoveSkill {
+                        person: PersonId(p as u32),
+                        skill: mirror.skill_names[s.index()].clone(),
+                    });
+                }
+                None
+            }
+            // Add a missing edge.
+            2 => {
+                if n < 2 {
+                    return None;
+                }
+                for _ in 0..OP_RETRIES {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    if a == b {
+                        continue;
+                    }
+                    let key = (a.min(b) as u32, a.max(b) as u32);
+                    if mirror.edge_set.insert(key) {
+                        mirror.edges.push(key);
+                        return Some(UpdateOp::AddCollaboration {
+                            a: PersonId(a as u32),
+                            b: PersonId(b as u32),
+                        });
+                    }
+                }
+                None
+            }
+            // Remove an existing edge.
+            3 => {
+                if mirror.edges.is_empty() {
+                    return None;
+                }
+                let i = rng.gen_range(0..mirror.edges.len());
+                let key = mirror.edges.swap_remove(i);
+                mirror.edge_set.remove(&key);
+                Some(UpdateOp::RemoveCollaboration {
+                    a: PersonId(key.0),
+                    b: PersonId(key.1),
+                })
+            }
+            // Hire a new person with a few existing skills.
+            _ => {
+                let count = rng.gen_range(1usize..=3.min(mirror.skill_names.len()));
+                let ids: Vec<usize> = (0..count)
+                    .map(|_| rng.gen_range(0..mirror.skill_names.len()))
+                    .collect();
+                let skills: Vec<String> =
+                    ids.iter().map(|&s| mirror.skill_names[s].clone()).collect();
+                let name = format!("churn-hire-{}", mirror.fresh_people);
+                mirror.fresh_people += 1;
+                let mut row: Vec<SkillId> = ids.iter().map(|&s| SkillId(s as u32)).collect();
+                row.sort_unstable();
+                row.dedup();
+                mirror.skills.push(row);
+                Some(UpdateOp::AddPerson { name, skills })
+            }
+        }
+    }
+
+    /// The batches, in application order.
+    pub fn batches(&self) -> &[UpdateBatch] {
+        &self.batches
+    }
+
+    /// Number of batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when the stream contains no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Consumes the stream, yielding the batches.
+    pub fn into_batches(self) -> Vec<UpdateBatch> {
+        self.batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetConfig, SyntheticDataset};
+    use exes_graph::GraphStore;
+
+    fn graph() -> CollabGraph {
+        SyntheticDataset::generate(&DatasetConfig::tiny("stream", 3)).graph
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let g = graph();
+        let a = UpdateStream::generate(&g, &UpdateStreamConfig::churn(5, 8, 1));
+        let b = UpdateStream::generate(&g, &UpdateStreamConfig::churn(5, 8, 1));
+        let c = UpdateStream::generate(&g, &UpdateStreamConfig::churn(5, 8, 2));
+        assert_eq!(a.batches(), b.batches());
+        assert_ne!(a.batches(), c.batches());
+    }
+
+    #[test]
+    fn stream_has_requested_shape() {
+        let g = graph();
+        let s = UpdateStream::generate(&g, &UpdateStreamConfig::churn(7, 5, 9));
+        assert_eq!(s.len(), 7);
+        assert!(s.batches().iter().all(|b| b.len() == 5));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn every_batch_commits_without_rejection() {
+        let g = graph();
+        let stream = UpdateStream::generate(&g, &UpdateStreamConfig::churn(10, 12, 42));
+        let store = GraphStore::new(g);
+        for batch in stream.batches() {
+            store.commit(batch).expect("generated batch must be valid");
+        }
+        assert_eq!(store.epoch(), 10);
+        assert_eq!(store.stats().rejected, 0);
+    }
+
+    #[test]
+    fn skill_heavy_mix_still_commits() {
+        let g = graph();
+        let cfg = UpdateStreamConfig {
+            add_skill_weight: 1,
+            remove_skill_weight: 10,
+            add_edge_weight: 0,
+            remove_edge_weight: 10,
+            add_person_weight: 0,
+            ..UpdateStreamConfig::churn(6, 10, 7)
+        };
+        let stream = UpdateStream::generate(&g, &cfg);
+        let store = GraphStore::new(g);
+        for batch in stream.batches() {
+            store.commit(batch).unwrap();
+        }
+        assert_eq!(store.stats().rejected, 0);
+    }
+
+    #[test]
+    fn second_stream_on_a_churned_graph_still_commits() {
+        let g = graph();
+        let cfg = UpdateStreamConfig {
+            fresh_skill_prob: 0.5,
+            ..UpdateStreamConfig::churn(4, 10, 21)
+        };
+        let store = GraphStore::new(g.clone());
+        for batch in UpdateStream::generate(&g, &cfg).batches() {
+            store.commit(batch).unwrap();
+        }
+        // Generate a fresh stream against the churned snapshot: its coined
+        // skill names must not collide with the earlier stream's.
+        let churned = store.snapshot();
+        let again = UpdateStream::generate(churned.graph(), &cfg);
+        for batch in again.batches() {
+            store
+                .commit(batch)
+                .expect("second-generation batch must be valid");
+        }
+        assert_eq!(store.stats().rejected, 0);
+    }
+
+    #[test]
+    fn fresh_skills_and_people_appear_over_time() {
+        let g = graph();
+        let people_before = g.num_people();
+        let cfg = UpdateStreamConfig {
+            add_person_weight: 5,
+            fresh_skill_prob: 0.5,
+            ..UpdateStreamConfig::churn(8, 10, 13)
+        };
+        let stream = UpdateStream::generate(&g, &cfg);
+        let vocab_before = g.vocab().len();
+        let store = GraphStore::new(g);
+        let mut last = store.snapshot();
+        for batch in stream.batches() {
+            last = store.commit(batch).unwrap();
+        }
+        assert!(last.num_people() > people_before);
+        assert!(last.vocab().len() > vocab_before);
+    }
+}

@@ -20,7 +20,7 @@
 
 use crate::config::ExesConfig;
 use crate::tasks::{DecisionModel, Probe};
-use exes_graph::{CollabGraph, GraphView, PersonId, Perturbation, PerturbationSet, Query};
+use exes_graph::{CollabGraph, PersonId, Perturbation, PerturbationSet, Query};
 use rustc_hash::{FxHashMap, FxHasher};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,6 +77,8 @@ pub struct ProbeCache {
     capacity_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evicted: AtomicU64,
+    eviction_sweeps: AtomicU64,
 }
 
 impl ProbeCache {
@@ -94,6 +96,8 @@ impl ProbeCache {
             capacity_per_shard: capacity.div_ceil(shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            eviction_sweeps: AtomicU64::new(0),
         }
     }
 
@@ -104,20 +108,18 @@ impl ProbeCache {
     }
 
     /// Fingerprint of the probe context: the query keywords (in order — a
-    /// perturbed query is a different context) plus the graph's *content*
-    /// (every skill row and the edge list), so two same-sized graphs that
-    /// differ in assignments or edges can never alias. O(|V| + |E| + Σ|Sᵢ|),
-    /// computed once per attached engine — negligible next to a single probe,
-    /// which ranks the whole graph.
+    /// perturbed query is a different context) plus the graph's epoch
+    /// identity, [`CollabGraph::fingerprint`]. The graph fingerprint is
+    /// content-derived (two graphs assembled from identical rows share it;
+    /// any structural difference, or a committed
+    /// [`exes_graph::GraphStore`] epoch, moves it), so the context is O(1)
+    /// to compute per attached engine instead of rehashing the graph — a
+    /// snapshot that hasn't changed keeps its warm cache across requests,
+    /// while an update naturally misses into fresh entries.
     pub(crate) fn context(graph: &CollabGraph, query: &Query) -> u64 {
         let mut h = FxHasher::default();
         query.skills().hash(&mut h);
-        graph.num_people().hash(&mut h);
-        graph.vocab().len().hash(&mut h);
-        for p in graph.people() {
-            graph.person_skills(p).hash(&mut h);
-        }
-        graph.edge_list().hash(&mut h);
+        graph.fingerprint().hash(&mut h);
         h.finish()
     }
 
@@ -155,10 +157,15 @@ impl ProbeCache {
         if self.capacity_per_shard > 0 && shard.map.len() > self.capacity_per_shard {
             // Evict the least-recently-used quarter in one sweep. Ticks are
             // unique within a shard, so this removes at least len/4 entries.
+            let before = shard.map.len();
             let mut ticks: Vec<u64> = shard.map.values().map(|&(_, t)| t).collect();
             ticks.sort_unstable();
             let cutoff = ticks[ticks.len() / 4];
             shard.map.retain(|_, &mut (_, t)| t > cutoff);
+            let dropped = (before - shard.map.len()) as u64;
+            drop(shard);
+            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+            self.eviction_sweeps.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -199,6 +206,19 @@ impl ProbeCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Total memoised probes dropped by bulk evictions — the cache's
+    /// eviction-pressure gauge. A warm cache that keeps evicting is too small
+    /// for its working set (`ExesConfig::probe_cache_capacity`).
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Number of bulk eviction sweeps (each drops the least-recently-used
+    /// quarter of one over-full shard).
+    pub fn eviction_sweeps(&self) -> u64 {
+        self.eviction_sweeps.load(Ordering::Relaxed)
+    }
+
     /// Fraction of lookups served from memory (`0.0` when nothing was looked
     /// up yet).
     pub fn hit_rate(&self) -> f64 {
@@ -224,7 +244,7 @@ impl ProbeCache {
         self.len() == 0
     }
 
-    /// Drops every memoised probe and resets the hit/miss counters.
+    /// Drops every memoised probe and resets the hit/miss/eviction counters.
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut shard = shard.lock().expect("cache shard poisoned");
@@ -233,6 +253,8 @@ impl ProbeCache {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evicted.store(0, Ordering::Relaxed);
+        self.eviction_sweeps.store(0, Ordering::Relaxed);
     }
 }
 
@@ -244,6 +266,8 @@ impl std::fmt::Debug for ProbeCache {
             .field("len", &self.len())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evicted", &self.evicted())
+            .field("eviction_sweeps", &self.eviction_sweeps())
             .finish()
     }
 }
@@ -595,10 +619,52 @@ mod tests {
         let (cold, _) = engine.score_counted(&sets);
         assert_eq!(cold, uncached);
         assert!(cache.len() <= 4, "capacity bound violated: {}", cache.len());
+        // Eviction pressure is visible: the batch overflows the bound many
+        // times over, so entries were dropped in bulk sweeps.
+        assert!(cache.evicted() > 0);
+        assert!(cache.eviction_sweeps() > 0);
+        assert!(format!("{cache:?}").contains("evicted"));
         let (warm, _) = engine.score_counted(&sets);
         assert_eq!(warm, uncached);
+        // clear() resets eviction counters alongside hits/misses.
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.evicted(), 0);
+        assert_eq!(cache.eviction_sweeps(), 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let sets = candidate_sets(&g);
+        let cache = ProbeCache::new(0);
+        let engine = ProbeBatch::new(&task, &g, &q, false).with_cache(&cache);
+        engine.score(&sets);
+        engine.score(&sets);
+        assert_eq!(cache.evicted(), 0);
+        assert_eq!(cache.eviction_sweeps(), 0);
+    }
+
+    #[test]
+    fn context_tracks_graph_fingerprint_and_query() {
+        let g = graph();
+        let q = Query::parse("common", g.vocab()).unwrap();
+        // Same content, separately built: same context (cache survives a
+        // graph reload or an identical rebuild).
+        let same = graph();
+        assert_eq!(ProbeCache::context(&g, &q), ProbeCache::context(&same, &q));
+        // A structural change or a different query moves the context.
+        let changed = g.with_edge_added(PersonId(0), PersonId(5)).unwrap();
+        assert_ne!(
+            ProbeCache::context(&g, &q),
+            ProbeCache::context(&changed, &q)
+        );
+        let q2 = Query::parse("s1", g.vocab()).unwrap();
+        assert_ne!(ProbeCache::context(&g, &q), ProbeCache::context(&g, &q2));
     }
 }

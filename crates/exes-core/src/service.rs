@@ -1,27 +1,37 @@
-//! Multi-subject explanation serving: the batch front-door over the explainer.
+//! Multi-subject explanation serving over a live, epoch-versioned graph.
 //!
 //! An interactive deployment of ExES does not answer one explanation request
-//! at a time — it answers *floods* of them: every member of a search result
-//! page may ask "why am I (not) in the top-k?", and popular queries repeat
-//! across users. [`ExesService`] is the first step toward that serving story:
+//! at a time against a frozen graph — it answers *floods* of requests while
+//! skills are learned, collaborations form, and people join. [`ExesService`]
+//! is that serving layer:
 //!
-//! * requests are **grouped by query** (the graph is fixed per batch), and
-//!   each group shares one [`ProbeCache`] — probes memoised for one subject's
-//!   search are reused by every later request for the same subject and by
-//!   repeated identical requests;
-//! * **identical requests are deduplicated** — computed once, answered
-//!   everywhere;
-//! * distinct requests within a group are **sharded across the
-//!   `exes-parallel` pool**, one worker per request (per-probe parallelism is
-//!   disabled inside workers so the pool is not oversubscribed);
-//! * responses are **deterministic and position-stable**: response `i` answers
-//!   request `i`, and its explanations are byte-identical to running that
-//!   request alone, because probes are pure functions and the cache only ever
-//!   returns what the black box would have said.
+//! * the service owns an [`Arc<GraphStore>`] rather than borrowing a graph,
+//!   so a single long-lived service value can interleave
+//!   [`ExesService::commit`] with [`ExesService::explain_batch`] — no
+//!   lifetime parameter, no invalidated handles;
+//! * each batch pins the **epoch** current at entry ([`GraphSnapshot`]), so
+//!   in-flight requests finish against the graph they started on even if a
+//!   commit lands mid-batch;
+//! * one **persistent [`ProbeCache`]** serves every batch. Keys carry the
+//!   `(fingerprint, query, subject, delta)` context, so an unchanged epoch
+//!   keeps its warm cache across unrelated requests and batches — repeat
+//!   traffic replays entirely from memory, issuing **zero** black-box probes
+//!   — while a committed update moves the fingerprint and naturally misses
+//!   into fresh entries (stale epochs' entries age out via LRU eviction);
+//! * requests are **grouped by query** and **identical requests are
+//!   deduplicated** — computed once, answered everywhere;
+//! * distinct requests are **sharded across the `exes-parallel` pool**, one
+//!   worker per request (per-probe parallelism is disabled inside workers so
+//!   the pool is not oversubscribed);
+//! * responses are **deterministic and position-stable**: response `i`
+//!   answers request `i`, byte-identical to running that request alone,
+//!   because probes are pure functions and the cache only ever returns what
+//!   the black box would have said.
 //!
 //! The per-request hit/miss *counters* (unlike the explanations) can vary
 //! slightly between runs when concurrent workers race to fill the same cache
-//! entry; [`ServiceReport`] aggregates them per batch.
+//! entry; [`ServiceReport`] aggregates them per batch, alongside the epoch
+//! answered and the cache's eviction pressure.
 
 use crate::config::ExesConfig;
 use crate::counterfactual::CounterfactualResult;
@@ -29,9 +39,10 @@ use crate::explainer::Exes;
 use crate::probe::ProbeCache;
 use crate::tasks::ExpertRelevanceTask;
 use exes_expert_search::ExpertRanker;
-use exes_graph::{CollabGraph, PersonId, Query};
+use exes_graph::{CollabGraph, GraphSnapshot, GraphStore, PersonId, Query, UpdateBatch};
 use exes_linkpred::LinkPredictor;
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 /// Which counterfactual family a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,18 +98,26 @@ impl ExplanationRequest {
 /// Aggregate accounting for one [`ExesService::explain_batch`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceReport {
+    /// The graph epoch the batch was answered against.
+    pub epoch: u64,
     /// Number of requests in the batch.
     pub requests: usize,
-    /// Number of (graph, query) groups the batch was split into — one probe
-    /// cache is created per group.
+    /// Number of query groups the batch was split into.
     pub groups: usize,
     /// Requests answered by cloning another identical request's result
     /// instead of searching again.
     pub duplicate_requests: usize,
-    /// Probe lookups answered by the per-group caches.
+    /// Probe lookups answered by the service's persistent cache during this
+    /// batch.
     pub cache_hits: u64,
-    /// Probe lookups that missed and went to the black box.
+    /// Probe lookups that missed and went to the black box during this batch.
     pub cache_misses: u64,
+    /// Memoised probes dropped by bulk evictions over this batch's window —
+    /// the cache's eviction-pressure gauge. Persistent non-zero values mean
+    /// the working set exceeds `ExesConfig::probe_cache_capacity`. Windows
+    /// of concurrently running batches overlap, so do not sum this across
+    /// reports; `ProbeCache::evicted()` holds the exact lifetime total.
+    pub cache_evictions: u64,
     /// Black-box probes issued while answering the batch (sum of
     /// [`CounterfactualResult::probes`] over *unique* computations —
     /// deduplicated responses are clones and issue none).
@@ -117,38 +136,56 @@ impl ServiceReport {
     }
 }
 
-/// A batch explanation server over one graph, one expert ranker, and one
-/// explainer configuration.
+/// A batch explanation server over a live graph store, one expert ranker, and
+/// one explainer configuration.
 ///
-/// The service owns a clone of the explainer with per-probe parallelism
-/// disabled: parallelism comes from sharding *requests* across the
-/// `exes-parallel` pool instead, which scales with batch size and avoids
-/// nested thread pools. Single requests can still be answered through the
-/// plain [`Exes`] facade when intra-request parallelism is preferable.
+/// The service owns everything it needs — explainer clone, ranker, store
+/// handle, probe cache — so it has no graph lifetime parameter: it can be
+/// moved into threads, stored in application state, and kept alive across
+/// arbitrarily many commits. Parallelism comes from sharding *requests*
+/// across the `exes-parallel` pool (per-probe parallelism is disabled
+/// internally to avoid nested pools); single requests can still be answered
+/// through the plain [`Exes`] facade when intra-request parallelism is
+/// preferable.
+///
+/// The persistent probe cache is sound to share across queries, batches and
+/// epochs because every key carries the (graph fingerprint, query) context
+/// and the subject — but it cannot see the ranker or `k` behind the
+/// [`crate::tasks::DecisionModel`] trait, which is why the service owns the
+/// ranker: one service = one model configuration = one cache.
 #[derive(Debug)]
-pub struct ExesService<'a, L, R> {
+pub struct ExesService<L, R> {
     exes: Exes<L>,
-    ranker: &'a R,
-    graph: &'a CollabGraph,
+    ranker: R,
+    store: Arc<GraphStore>,
+    cache: ProbeCache,
 }
 
-impl<'a, L, R> ExesService<'a, L, R>
+impl<L, R> ExesService<L, R>
 where
     L: LinkPredictor + Clone + Sync,
     R: ExpertRanker + Sync,
 {
-    /// Builds the service from an explainer (cloned; any stored probe cache is
-    /// detached — the service manages one cache per request group itself), the
-    /// expert ranker whose decisions are being explained, and the graph every
-    /// request in this service targets.
-    pub fn new(exes: &Exes<L>, ranker: &'a R, graph: &'a CollabGraph) -> Self {
+    /// Builds the service from an explainer (cloned; any stored probe cache
+    /// is detached — the service manages its own persistent cache), the
+    /// expert ranker whose decisions are being explained (owned), and the
+    /// live store every request in this service targets.
+    pub fn new(exes: &Exes<L>, ranker: R, store: Arc<GraphStore>) -> Self {
         let mut inner = exes.clone().without_probe_cache();
         inner.config_mut().parallel_probes = false;
+        let cache = ProbeCache::for_config(inner.config());
         ExesService {
             exes: inner,
             ranker,
-            graph,
+            store,
+            cache,
         }
+    }
+
+    /// Convenience constructor wrapping a static graph in a fresh
+    /// [`GraphStore`] (epoch 0) with default store tunables.
+    pub fn from_graph(exes: &Exes<L>, ranker: R, graph: CollabGraph) -> Self {
+        Self::new(exes, ranker, Arc::new(GraphStore::new(graph)))
     }
 
     /// The service's (request-sharded) configuration.
@@ -156,14 +193,52 @@ where
         self.exes.config()
     }
 
-    /// Answers a batch of requests. Response `i` answers request `i`.
+    /// The live store this service serves from.
+    pub fn store(&self) -> &Arc<GraphStore> {
+        &self.store
+    }
+
+    /// The current epoch's snapshot.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        self.store.snapshot()
+    }
+
+    /// The service's persistent probe cache (for inspection/metrics).
+    pub fn probe_cache(&self) -> &ProbeCache {
+        &self.cache
+    }
+
+    /// Commits an update batch to the store, publishing a new epoch.
     ///
-    /// Requests are grouped by query; each group gets a fresh [`ProbeCache`]
-    /// shared by all of the group's workers, and identical requests are
-    /// computed once. Explanations are deterministic — byte-identical to
-    /// answering each request alone, in any batch composition.
+    /// Subsequent [`ExesService::explain_batch`] calls answer against the new
+    /// epoch; batches already in flight finish against the epoch they pinned
+    /// at entry. The persistent cache needs no flush: the new epoch's
+    /// fingerprint misses into fresh entries while the old epoch's entries
+    /// age out.
+    pub fn commit(&self, batch: &UpdateBatch) -> exes_graph::Result<Arc<GraphSnapshot>> {
+        self.store.commit(batch)
+    }
+
+    /// Answers a batch of requests against the epoch current at entry.
+    /// Response `i` answers request `i`.
+    ///
+    /// Requests are grouped by query and identical requests are computed
+    /// once; all groups share the service's persistent cache. Explanations
+    /// are deterministic — byte-identical to answering each request alone,
+    /// in any batch composition, on any warmth of the cache.
     pub fn explain_batch(
         &self,
+        requests: &[ExplanationRequest],
+    ) -> (Vec<CounterfactualResult>, ServiceReport) {
+        let snapshot = self.store.snapshot();
+        self.explain_batch_on(&snapshot, requests)
+    }
+
+    /// [`ExesService::explain_batch`] against an explicit (e.g. older)
+    /// epoch's snapshot.
+    pub fn explain_batch_on(
+        &self,
+        snapshot: &GraphSnapshot,
         requests: &[ExplanationRequest],
     ) -> (Vec<CounterfactualResult>, ServiceReport) {
         // Group request indices by query, preserving first-occurrence order.
@@ -179,10 +254,13 @@ where
         }
 
         let mut report = ServiceReport {
+            epoch: snapshot.epoch(),
             requests: requests.len(),
             groups: groups.len(),
             ..Default::default()
         };
+        let evicted_before = self.cache.evicted();
+        let graph = snapshot.graph();
         let mut responses: Vec<Option<CounterfactualResult>> = vec![None; requests.len()];
         for idxs in &groups {
             // Deduplicate identical requests inside the group: the first
@@ -201,22 +279,29 @@ where
             }
             report.duplicate_requests += duplicate_of.len();
 
-            // One memo cache per (graph, query) group, shared by its workers.
-            let cache = ProbeCache::for_config(self.exes.config());
             let answered =
-                exes_parallel::parallel_map(&unique, |&i| self.answer(&requests[i], &cache));
+                exes_parallel::parallel_map(&unique, |&i| self.answer(graph, &requests[i]));
             for (&i, result) in unique.iter().zip(answered) {
                 // Only unique computations issue probes; duplicate responses
-                // below are clones and must not be double-counted.
+                // below are clones and must not be double-counted. Hit/miss
+                // counts come from the per-request results, so they stay
+                // exact even when several batches share the service (and its
+                // cache) concurrently.
                 report.probes += result.probes;
+                report.cache_hits += result.cache_hits as u64;
+                report.cache_misses += result.cache_misses as u64;
                 responses[i] = Some(result);
             }
             for (i, rep) in duplicate_of {
                 responses[i] = responses[rep].clone();
             }
-            report.cache_hits += cache.hits();
-            report.cache_misses += cache.misses();
         }
+        // Eviction pressure is a cache-global gauge, reported as the delta
+        // over this batch's window. Windows of concurrent batches overlap,
+        // so the same eviction can appear in several reports: read it as a
+        // pressure gauge, not a summable counter (ProbeCache::evicted() is
+        // the exact cache-lifetime total).
+        report.cache_evictions = self.cache.evicted().saturating_sub(evicted_before);
 
         let responses: Vec<CounterfactualResult> = responses
             .into_iter()
@@ -225,21 +310,22 @@ where
         (responses, report)
     }
 
-    /// Answers one request against the group's shared cache.
-    fn answer(&self, request: &ExplanationRequest, cache: &ProbeCache) -> CounterfactualResult {
-        let task = ExpertRelevanceTask::new(self.ranker, request.subject, self.exes.config().k);
+    /// Answers one request against the persistent cache.
+    fn answer(&self, graph: &CollabGraph, request: &ExplanationRequest) -> CounterfactualResult {
+        let task = ExpertRelevanceTask::new(&self.ranker, request.subject, self.exes.config().k);
+        let cache = Some(&self.cache);
         match request.kind {
             ExplanationKind::Skills => {
                 self.exes
-                    .counterfactual_skills_with(&task, self.graph, &request.query, Some(cache))
+                    .counterfactual_skills_with(&task, graph, &request.query, cache)
             }
             ExplanationKind::QueryAugmentation => {
                 self.exes
-                    .counterfactual_query_with(&task, self.graph, &request.query, Some(cache))
+                    .counterfactual_query_with(&task, graph, &request.query, cache)
             }
             ExplanationKind::Links => {
                 self.exes
-                    .counterfactual_links_with(&task, self.graph, &request.query, Some(cache))
+                    .counterfactual_links_with(&task, graph, &request.query, cache)
             }
         }
     }
@@ -252,6 +338,7 @@ mod tests {
     use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
     use exes_embedding::{EmbeddingConfig, SkillEmbedding};
     use exes_expert_search::{ExpertRanker, PropagationRanker};
+    use exes_graph::GraphView;
     use exes_linkpred::CommonNeighbors;
 
     struct Fixture {
@@ -281,6 +368,10 @@ mod tests {
         }
     }
 
+    fn service(f: &Fixture) -> ExesService<CommonNeighbors, PropagationRanker> {
+        ExesService::from_graph(&f.exes, f.ranker, f.ds.graph.clone())
+    }
+
     fn workload_requests(f: &Fixture) -> Vec<ExplanationRequest> {
         let workload = QueryWorkload::answerable(&f.ds.graph, 2, 2, 3, 3, 11);
         let mut requests = Vec::new();
@@ -306,12 +397,13 @@ mod tests {
     #[test]
     fn batch_matches_individual_requests_exactly() {
         let f = fixture();
-        let service = ExesService::new(&f.exes, &f.ranker, &f.ds.graph);
+        let service = service(&f);
         let requests = workload_requests(&f);
         let (responses, report) = service.explain_batch(&requests);
         assert_eq!(responses.len(), requests.len());
         assert_eq!(report.requests, requests.len());
         assert_eq!(report.groups, 2);
+        assert_eq!(report.epoch, 0);
 
         // Each response must be byte-identical to answering its request alone
         // through a sequential, uncached explainer.
@@ -338,7 +430,7 @@ mod tests {
     #[test]
     fn repeated_requests_are_deduplicated_and_batches_are_deterministic() {
         let f = fixture();
-        let service = ExesService::new(&f.exes, &f.ranker, &f.ds.graph);
+        let service = service(&f);
         let mut requests = workload_requests(&f);
         let n = requests.len();
         // Simulate repeated traffic: the same requests arrive again.
@@ -356,12 +448,89 @@ mod tests {
     }
 
     #[test]
+    fn warm_epoch_replays_from_cache_with_zero_probes() {
+        let f = fixture();
+        let service = service(&f);
+        let requests = workload_requests(&f);
+        let (cold_responses, cold) = service.explain_batch(&requests);
+        assert!(cold.probes > 0);
+        // Same epoch, same requests: the persistent cache answers everything.
+        let (warm_responses, warm) = service.explain_batch(&requests);
+        assert_eq!(warm.probes, 0);
+        assert_eq!(warm.cache_misses, 0);
+        assert!(warm.cache_hits > 0);
+        for (a, b) in cold_responses.iter().zip(&warm_responses) {
+            assert_eq!(a.explanations, b.explanations);
+        }
+    }
+
+    #[test]
+    fn commit_invalidates_the_warm_cache_and_serves_the_new_epoch() {
+        let f = fixture();
+        let service = service(&f);
+        let requests = workload_requests(&f);
+        let (_, cold) = service.explain_batch(&requests);
+        assert_eq!(cold.epoch, 0);
+
+        // Commit a real update: the top subject of the first query loses one
+        // of their skills.
+        let subject = requests[0].subject;
+        let skill = f.ds.graph.person_skills(subject)[0];
+        let name = f.ds.graph.vocab().name(skill).unwrap().to_string();
+        let mut batch = UpdateBatch::new();
+        batch.remove_skill(subject, &name);
+        let snap = service.commit(&batch).unwrap();
+        assert_eq!(snap.epoch(), 1);
+        assert!(!snap.graph().person_has_skill(subject, skill));
+
+        // The new epoch misses into fresh entries (cold again) and answers
+        // against the updated graph.
+        let (responses, after) = service.explain_batch(&requests);
+        assert_eq!(after.epoch, 1);
+        assert!(after.probes > 0);
+        // Responses are byte-identical to a solo uncached run on the new
+        // epoch's graph.
+        let mut solo_exes = f.exes.clone();
+        solo_exes.config_mut().parallel_probes = false;
+        let request = &requests[0];
+        let task = ExpertRelevanceTask::new(&f.ranker, request.subject, solo_exes.config().k);
+        let solo = solo_exes.counterfactual_skills(&task, snap.graph(), &request.query);
+        assert_eq!(responses[0].explanations, solo.explanations);
+
+        // The new epoch warms up in turn: repeating the batch replays it.
+        let (_, warm_new) = service.explain_batch(&requests);
+        assert_eq!(warm_new.epoch, 1);
+        assert_eq!(warm_new.probes, 0);
+    }
+
+    #[test]
+    fn in_flight_snapshot_survives_commits() {
+        let f = fixture();
+        let service = service(&f);
+        let requests = workload_requests(&f);
+        let pinned = service.snapshot();
+        let (before, _) = service.explain_batch_on(&pinned, &requests);
+
+        let mut batch = UpdateBatch::new();
+        batch.add_person("newcomer", ["fresh-skill"]);
+        service.commit(&batch).unwrap();
+        assert_eq!(service.snapshot().epoch(), 1);
+
+        // The pinned epoch-0 snapshot still answers, byte-identically.
+        let (after, report) = service.explain_batch_on(&pinned, &requests);
+        assert_eq!(report.epoch, 0);
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.explanations, b.explanations);
+        }
+    }
+
+    #[test]
     fn report_accounting_is_sane_and_duplicates_cost_no_probes() {
         let f = fixture();
-        let service = ExesService::new(&f.exes, &f.ranker, &f.ds.graph);
+        let service = service(&f);
         let requests = workload_requests(&f);
         let (_, report) = service.explain_batch(&requests);
-        // Cold per-group caches must miss at least once per unique request.
+        // A cold persistent cache must miss at least once per unique request.
         assert!(report.cache_misses >= requests.len() as u64);
         assert!(report.probes > 0);
         assert!((0.0..=1.0).contains(&report.hit_rate()));
@@ -377,9 +546,23 @@ mod tests {
     }
 
     #[test]
+    fn eviction_pressure_is_reported() {
+        let f = fixture();
+        let mut exes = f.exes.clone();
+        // A cache far too small for the workload: evictions must show up.
+        exes.config_mut().probe_cache_capacity = 8;
+        exes.config_mut().probe_cache_shards = 1;
+        let service = ExesService::from_graph(&exes, f.ranker, f.ds.graph.clone());
+        let requests = workload_requests(&f);
+        let (_, report) = service.explain_batch(&requests);
+        assert!(report.cache_evictions > 0);
+        assert_eq!(report.cache_evictions, service.probe_cache().evicted());
+    }
+
+    #[test]
     fn empty_batch_is_fine() {
         let f = fixture();
-        let service = ExesService::new(&f.exes, &f.ranker, &f.ds.graph);
+        let service = service(&f);
         let (responses, report) = service.explain_batch(&[]);
         assert!(responses.is_empty());
         assert_eq!(report, ServiceReport::default());

@@ -5,8 +5,11 @@
 use exes_core::counterfactual::beam::beam_search;
 use exes_core::counterfactual::exhaustive::{all_skill_removals, exhaustive_search};
 use exes_core::counterfactual::CounterfactualKind;
+use exes_core::service::{ExesService, ExplanationKind, ExplanationRequest};
 use exes_core::{Exes, ExesConfig, ExpertRelevanceTask, OutputMode, ProbeCache};
-use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
+use exes_datasets::{
+    DatasetConfig, QueryWorkload, SyntheticDataset, UpdateStream, UpdateStreamConfig,
+};
 use exes_embedding::{EmbeddingConfig, SkillEmbedding};
 use exes_expert_search::{ExpertRanker, PropagationRanker};
 use exes_graph::{GraphView, PersonId, Perturbation, Query};
@@ -170,4 +173,70 @@ fn cached_shap_explanations_are_identical_and_warm_runs_probe_less() {
     let cf_uncached = uncached_exes.counterfactual_skills(&task, &f.ds.graph, &f.query);
     assert_eq!(cf.explanations, cf_uncached.explanations);
     assert!(cache.hits() >= before);
+}
+
+/// The epoch differential: on a live store serving a churn stream, every
+/// explanation answered on an *untouched* epoch is byte-identical warm vs
+/// cold — the warm replay issues zero black-box probes — and every commit
+/// moves the service to answers that match a from-scratch uncached run on
+/// the new epoch's graph.
+#[test]
+fn explanations_on_untouched_epochs_are_identical_warm_vs_cold() {
+    let f = fixture();
+    let embedding = SkillEmbedding::train(
+        f.ds.corpus.token_bags(),
+        f.ds.graph.vocab().len(),
+        &EmbeddingConfig {
+            dim: 16,
+            ..Default::default()
+        },
+    );
+    let cfg = f.cfg.clone().with_output_mode(OutputMode::SmoothRank);
+    let exes = Exes::new(cfg.clone(), embedding, CommonNeighbors);
+    let service = ExesService::from_graph(&exes, f.ranker, f.ds.graph.clone());
+    let stream = UpdateStream::generate(&f.ds.graph, &UpdateStreamConfig::churn(3, 5, 0xE9));
+
+    let subjects: Vec<PersonId> = f.ranker.rank_all(&f.ds.graph, &f.query).top_k(4);
+    let requests: Vec<ExplanationRequest> = subjects
+        .iter()
+        .flat_map(|&s| {
+            [
+                ExplanationRequest::skills(s, f.query.clone()),
+                ExplanationRequest::query_augmentation(s, f.query.clone()),
+            ]
+        })
+        .collect();
+
+    let mut solo = exes.clone();
+    solo.config_mut().parallel_probes = false;
+    for (i, batch) in stream.batches().iter().enumerate() {
+        let (cold, cold_report) = service.explain_batch(&requests);
+        assert_eq!(cold_report.epoch, i as u64);
+        // Warm replay on the untouched epoch: byte-identical, zero probes.
+        let (warm, warm_report) = service.explain_batch(&requests);
+        assert_eq!(warm_report.probes, 0, "epoch {i} replay probed the box");
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.explanations, w.explanations);
+            assert_eq!(c.timed_out, w.timed_out);
+        }
+        // And the cold answers match a from-scratch uncached explainer on
+        // this epoch's graph.
+        let snapshot = service.snapshot();
+        for (request, response) in requests.iter().zip(&cold) {
+            let task = ExpertRelevanceTask::new(&f.ranker, request.subject, cfg.k);
+            let reference = match request.kind {
+                ExplanationKind::Skills => {
+                    solo.counterfactual_skills(&task, snapshot.graph(), &request.query)
+                }
+                ExplanationKind::QueryAugmentation => {
+                    solo.counterfactual_query(&task, snapshot.graph(), &request.query)
+                }
+                ExplanationKind::Links => {
+                    solo.counterfactual_links(&task, snapshot.graph(), &request.query)
+                }
+            };
+            assert_eq!(response.explanations, reference.explanations, "epoch {i}");
+        }
+        service.commit(batch).expect("churn batch commits");
+    }
 }

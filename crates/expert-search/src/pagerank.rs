@@ -10,7 +10,7 @@ use exes_graph::{GraphView, PersonId, Query};
 /// to their IDF-weighted query match; the walk then diffuses that mass over the
 /// collaboration network, so well-connected people near many query-matching
 /// experts rank highly even with partial skill overlap — the PageRank-flavoured
-/// family the paper cites ([8] and footnote 1).
+/// family the paper cites (reference \[8\] and footnote 1).
 #[derive(Debug, Clone, Copy)]
 pub struct PersonalizedPageRank {
     /// Damping factor (probability of following an edge rather than restarting).

@@ -52,14 +52,17 @@ pub mod prelude {
         ExesConfig, ExesService, ExpertRelevanceTask, ExplanationKind, ExplanationRequest,
         FactualExplanation, Feature, OutputMode, ProbeCache, ServiceReport, TeamMembershipTask,
     };
-    pub use exes_datasets::{Corpus, DatasetConfig, QueryWorkload, SyntheticDataset};
+    pub use exes_datasets::{
+        Corpus, DatasetConfig, QueryWorkload, SyntheticDataset, UpdateStream, UpdateStreamConfig,
+    };
     pub use exes_embedding::{EmbeddingConfig, SkillEmbedding};
     pub use exes_expert_search::{
         ExpertRanker, GcnRanker, PersonalizedPageRank, PropagationRanker, RankedList, TfIdfRanker,
     };
     pub use exes_graph::{
-        CollabGraph, CollabGraphBuilder, GraphView, Neighborhood, PersonId, Perturbation,
-        PerturbationSet, Query, SkillId, SkillVocab,
+        CollabGraph, CollabGraphBuilder, GraphSnapshot, GraphStore, GraphView, Neighborhood,
+        PersonId, Perturbation, PerturbationSet, Query, SkillId, SkillVocab, StoreConfig,
+        UpdateBatch, UpdateOp,
     };
     pub use exes_linkpred::{
         AdamicAdar, CommonNeighbors, EmbeddingLinkPredictor, Jaccard, LinkPredictor, WalkConfig,

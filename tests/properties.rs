@@ -285,6 +285,134 @@ fn parallel_and_sequential_counterfactuals_are_identical() {
     }
 }
 
+/// A naive, independent interpreter for update ops: maintains plain row
+/// vectors, applies each op one at a time, and rebuilds the graph from
+/// scratch through the builder. The store's compacted delta path must agree
+/// with this byte-for-byte.
+fn naive_replay(base: &CollabGraph, batches: &[UpdateBatch]) -> CollabGraph {
+    let mut names: Vec<String> = base
+        .people()
+        .map(|p| base.person_name(p).to_string())
+        .collect();
+    let mut skill_names: Vec<String> = base.vocab().iter().map(|(_, n)| n.to_string()).collect();
+    let mut rows: Vec<Vec<String>> = base
+        .people()
+        .map(|p| {
+            base.person_skills(p)
+                .iter()
+                .map(|&s| base.vocab().name(s).unwrap().to_string())
+                .collect()
+        })
+        .collect();
+    let mut edges: Vec<(u32, u32)> = base.edge_list().iter().map(|&(a, b)| (a.0, b.0)).collect();
+    let intern = |skill_names: &mut Vec<String>, name: &str| {
+        let norm = SkillVocab::normalize(name);
+        if !skill_names.contains(&norm) {
+            skill_names.push(norm);
+        }
+    };
+    for batch in batches {
+        for op in batch.ops() {
+            match op {
+                UpdateOp::AddPerson { name, skills } => {
+                    names.push(name.clone());
+                    let mut row = Vec::new();
+                    for s in skills {
+                        if s.trim().is_empty() {
+                            continue;
+                        }
+                        intern(&mut skill_names, s);
+                        let norm = SkillVocab::normalize(s);
+                        if !row.contains(&norm) {
+                            row.push(norm);
+                        }
+                    }
+                    rows.push(row);
+                }
+                UpdateOp::AddSkill { person, skill } => {
+                    intern(&mut skill_names, skill);
+                    let norm = SkillVocab::normalize(skill);
+                    if !rows[person.index()].contains(&norm) {
+                        rows[person.index()].push(norm);
+                    }
+                }
+                UpdateOp::RemoveSkill { person, skill } => {
+                    let norm = SkillVocab::normalize(skill);
+                    rows[person.index()].retain(|s| *s != norm);
+                }
+                UpdateOp::AddCollaboration { a, b } => {
+                    edges.push((a.0.min(b.0), a.0.max(b.0)));
+                }
+                UpdateOp::RemoveCollaboration { a, b } => {
+                    let key = (a.0.min(b.0), a.0.max(b.0));
+                    edges.retain(|&e| e != key);
+                }
+            }
+        }
+    }
+    // Rebuild from scratch; the vocabulary must intern in the same order.
+    let mut builder = CollabGraphBuilder::new();
+    for name in &skill_names {
+        builder.intern_skill(name);
+    }
+    for (name, row) in names.iter().zip(&rows) {
+        builder.add_person(name, row.iter().map(String::as_str));
+    }
+    for &(a, b) in &edges {
+        builder.add_edge(PersonId(a), PersonId(b));
+    }
+    builder.build()
+}
+
+/// The tentpole store property: after a seeded random update stream, every
+/// published snapshot — whether produced by the compacted delta path or by a
+/// periodic full rebuild — is `to_text()`-byte-identical to an independent
+/// from-scratch replay of the same ops.
+#[test]
+fn store_snapshots_match_from_scratch_rebuilds() {
+    for case in 0..8u64 {
+        let (graph, _query) = arbitrary_graph(case);
+        let stream = UpdateStream::generate(&graph, &UpdateStreamConfig::churn(6, 7, case ^ 0x57));
+        // Exercise both commit paths: pure deltas, and rebuild-every-2.
+        for rebuild_interval in [0u64, 2] {
+            let store = GraphStore::with_config(graph.clone(), StoreConfig { rebuild_interval });
+            for upto in 0..stream.len() {
+                store
+                    .commit(&stream.batches()[upto])
+                    .unwrap_or_else(|e| panic!("case {case} batch {upto} rejected: {e}"));
+                let reference = naive_replay(&graph, &stream.batches()[..=upto]);
+                assert_eq!(
+                    store.snapshot().graph().to_text(),
+                    reference.to_text(),
+                    "case {case} rebuild_interval {rebuild_interval} after batch {upto}"
+                );
+            }
+            assert_eq!(store.epoch(), stream.len() as u64);
+        }
+    }
+}
+
+/// Fingerprints are epoch identities: every committed batch moves the
+/// fingerprint, and distinct epochs of one stream never collide.
+#[test]
+fn store_fingerprints_are_unique_per_epoch() {
+    for case in 0..8u64 {
+        let (graph, _query) = arbitrary_graph(case);
+        let stream = UpdateStream::generate(&graph, &UpdateStreamConfig::churn(8, 5, case ^ 0x91));
+        let store = GraphStore::new(graph);
+        let mut seen = vec![store.snapshot().fingerprint()];
+        for batch in stream.batches() {
+            let snap = store.commit(batch).unwrap();
+            assert!(
+                !seen.contains(&snap.fingerprint()),
+                "case {case}: fingerprint collision at epoch {}",
+                snap.epoch()
+            );
+            seen.push(snap.fingerprint());
+        }
+    }
+}
+
 /// Probe-cache keys are canonical: a memoised probe is found again no matter
 /// in what order the same perturbations were inserted into the set — and the
 /// canonical key itself is insertion-order independent.
