@@ -16,13 +16,14 @@
 use exes_bench::timing::timed;
 use exes_core::counterfactual::{beam::beam_search, CounterfactualKind};
 use exes_core::service::{ExesService, ExplanationKind, ExplanationRequest};
-use exes_core::{Exes, ExesConfig, ExpertRelevanceTask, ProbeCache};
+use exes_core::{Exes, ExesConfig, ExpertRelevanceTask, ModelSpec, ProbeCache};
 use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
 use exes_embedding::{EmbeddingConfig, SkillEmbedding};
 use exes_expert_search::{ExpertRanker, GcnRanker};
 use exes_graph::{GraphView, Perturbation};
 use exes_linkpred::CommonNeighbors;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 const SUBJECTS_PER_QUERY: usize = 6;
 const QUERIES: usize = 2;
@@ -113,21 +114,31 @@ fn measure(scale: &'static str, people: usize) -> Row {
         },
     );
     let exes = Exes::new(cfg.clone(), embedding, CommonNeighbors);
+    let mut service = ExesService::from_graph(&exes, ds.graph.clone());
+    let model = service
+        .register("gcn", ModelSpec::expert_ranker(ranker.clone(), cfg.k))
+        .expect("valid model spec");
     let mut requests = Vec::new();
     for query in workload.queries() {
-        let ranking = ranker.rank_all(&ds.graph, query);
+        let query = Arc::new(query.clone());
+        let ranking = ranker.rank_all(&ds.graph, &query);
         for (rank, &(person, _)) in ranking
             .entries()
             .iter()
             .take(SUBJECTS_PER_QUERY)
             .enumerate()
         {
-            requests.push(ExplanationRequest::skills(person, query.clone()));
+            requests.push(ExplanationRequest::counterfactual_skills(
+                model,
+                person,
+                query.clone(),
+            ));
             // Half the subjects also ask for a query-augmentation explanation:
             // both searches share the group cache (identity probe and every
             // query-side perturbation set), exercising cross-request reuse.
             if rank % 2 == 0 {
-                requests.push(ExplanationRequest::query_augmentation(
+                requests.push(ExplanationRequest::counterfactual_query(
+                    model,
                     person,
                     query.clone(),
                 ));
@@ -138,7 +149,6 @@ fn measure(scale: &'static str, people: usize) -> Row {
     let mut traffic = requests.clone();
     traffic.extend(requests.clone());
 
-    let service = ExesService::from_graph(&exes, ranker.clone(), ds.graph.clone());
     let ((responses, report), service_time) = timed(|| service.explain_batch(&traffic));
     assert_eq!(responses.len(), traffic.len());
 
@@ -149,15 +159,10 @@ fn measure(scale: &'static str, people: usize) -> Row {
         for request in &traffic {
             let task = ExpertRelevanceTask::new(&ranker, request.subject, cfg.k);
             let result = match request.kind {
-                ExplanationKind::Skills => {
-                    solo_exes.counterfactual_skills(&task, &ds.graph, &request.query)
-                }
-                ExplanationKind::QueryAugmentation => {
+                ExplanationKind::CounterfactualQuery => {
                     solo_exes.counterfactual_query(&task, &ds.graph, &request.query)
                 }
-                ExplanationKind::Links => {
-                    solo_exes.counterfactual_links(&task, &ds.graph, &request.query)
-                }
+                _ => solo_exes.counterfactual_skills(&task, &ds.graph, &request.query),
             };
             probes += result.probes;
         }

@@ -19,7 +19,7 @@
 
 use exes_bench::timing::{timed, Mean};
 use exes_core::service::{ExesService, ExplanationRequest};
-use exes_core::{Exes, ExesConfig};
+use exes_core::{Exes, ExesConfig, ModelSpec};
 use exes_datasets::{
     DatasetConfig, QueryWorkload, SyntheticDataset, UpdateStream, UpdateStreamConfig,
 };
@@ -121,20 +121,29 @@ fn measure(scale: &'static str, people: usize) -> Row {
     );
     let exes = Exes::new(cfg.clone(), embedding, CommonNeighbors);
     let store = Arc::new(GraphStore::new(ds.graph.clone()));
-    let service = ExesService::new(&exes, ranker.clone(), store.clone());
+    let mut service = ExesService::new(&exes, store.clone());
+    let model = service
+        .register("gcn", ModelSpec::expert_ranker(ranker.clone(), cfg.k))
+        .expect("valid model spec");
 
     let mut requests = Vec::new();
     for query in workload.queries() {
-        let ranking = ranker.rank_all(&ds.graph, query);
+        let query = Arc::new(query.clone());
+        let ranking = ranker.rank_all(&ds.graph, &query);
         for (rank, &(person, _)) in ranking
             .entries()
             .iter()
             .take(SUBJECTS_PER_QUERY)
             .enumerate()
         {
-            requests.push(ExplanationRequest::skills(person, query.clone()));
+            requests.push(ExplanationRequest::counterfactual_skills(
+                model,
+                person,
+                query.clone(),
+            ));
             if rank % 2 == 0 {
-                requests.push(ExplanationRequest::query_augmentation(
+                requests.push(ExplanationRequest::counterfactual_query(
+                    model,
                     person,
                     query.clone(),
                 ));
@@ -149,7 +158,11 @@ fn measure(scale: &'static str, people: usize) -> Row {
         "an unchanged epoch must replay entirely from cache"
     );
     for (a, b) in cold_responses.iter().zip(&warm_responses) {
-        assert_eq!(a.explanations, b.explanations, "cache changed explanations");
+        assert_eq!(
+            a.expect_counterfactual().explanations,
+            b.expect_counterfactual().explanations,
+            "cache changed explanations"
+        );
     }
 
     // Commit a small update touching the first query's top subject, then

@@ -10,7 +10,7 @@
 use super::{CounterfactualExplanation, CounterfactualKind, CounterfactualResult};
 use crate::config::ExesConfig;
 use crate::probe::{ProbeBatch, ProbeCache, PROBE_CHUNK};
-use crate::tasks::DecisionModel;
+use crate::tasks::ErasedDecisionModel;
 use exes_graph::{CollabGraph, Perturbation, PerturbationSet, Query};
 use rustc_hash::FxHashSet;
 use std::time::Instant;
@@ -28,7 +28,7 @@ use std::time::Instant;
 ///   probes without touching the black box; explanations are byte-identical
 ///   either way, only `result.probes` (and the hit/miss counters) change.
 #[allow(clippy::too_many_arguments)]
-pub fn beam_search<D: DecisionModel>(
+pub fn beam_search<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
@@ -151,7 +151,7 @@ pub fn beam_search<D: DecisionModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tasks::ExpertRelevanceTask;
+    use crate::tasks::{DecisionModel, ExpertRelevanceTask};
     use exes_expert_search::{ExpertRanker, TfIdfRanker};
     use exes_graph::{CollabGraphBuilder, GraphView, PersonId};
 

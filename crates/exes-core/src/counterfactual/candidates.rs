@@ -3,7 +3,7 @@
 
 use crate::config::ExesConfig;
 use crate::probe::{BatchStats, ProbeBatch, ProbeCache};
-use crate::tasks::DecisionModel;
+use crate::tasks::ErasedDecisionModel;
 use exes_embedding::SkillEmbedding;
 use exes_graph::{
     CollabGraph, GraphView, Neighborhood, PersonId, Perturbation, PerturbationSet, Query, SkillId,
@@ -121,14 +121,14 @@ pub fn query_augmentation_candidates(
 /// Returns the candidate perturbations and the scoring batch's probe
 /// accounting (`probed` is the number of probes that actually reached the
 /// black box).
-pub fn link_removal_candidates<D: DecisionModel>(
+pub fn link_removal_candidates<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
     cfg: &ExesConfig,
     cache: Option<&ProbeCache>,
 ) -> (Vec<Perturbation>, BatchStats) {
-    let subject = task.subject();
+    let subject = task.subject_id();
     let neighborhood = Neighborhood::compute(graph, subject, cfg.collab_radius);
     let edges = neighborhood.edges_within(graph);
     let perturbations: Vec<Perturbation> = edges

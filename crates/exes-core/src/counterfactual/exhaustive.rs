@@ -4,7 +4,7 @@
 use super::{CounterfactualExplanation, CounterfactualKind, CounterfactualResult};
 use crate::config::ExesConfig;
 use crate::probe::{ProbeBatch, ProbeCache, PROBE_CHUNK};
-use crate::tasks::DecisionModel;
+use crate::tasks::ErasedDecisionModel;
 use exes_graph::{
     CollabGraph, GraphView, Neighborhood, PersonId, Perturbation, PerturbationSet, Query, SkillId,
 };
@@ -26,7 +26,7 @@ use std::time::Instant;
 /// [`super::beam::beam_search`]: results are byte-identical with or without
 /// it, only `result.probes` and the hit/miss counters change.
 #[allow(clippy::too_many_arguments)]
-pub fn exhaustive_search<D: DecisionModel>(
+pub fn exhaustive_search<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
@@ -232,7 +232,7 @@ pub fn all_link_additions(graph: &CollabGraph, subject: PersonId) -> Vec<Perturb
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tasks::ExpertRelevanceTask;
+    use crate::tasks::{DecisionModel, ExpertRelevanceTask};
     use exes_expert_search::TfIdfRanker;
     use exes_graph::CollabGraphBuilder;
     use std::time::Duration;

@@ -14,7 +14,7 @@ use crate::factual::{
     explain_collaborations, explain_query_terms, explain_skills, FactualExplanation,
 };
 use crate::probe::{BatchStats, ProbeBatch, ProbeCache};
-use crate::tasks::{DecisionModel, Probe};
+use crate::tasks::{ErasedDecisionModel, Probe};
 use exes_embedding::SkillEmbedding;
 use exes_graph::{CollabGraph, Query};
 use exes_linkpred::LinkPredictor;
@@ -35,7 +35,9 @@ pub enum SkillAdditionBaseline {
 /// and the link predictor `L` (Pruning Strategy 5) — plus an optional probe
 /// memo cache shared by every explanation computed through this instance.
 ///
-/// Every method is generic over the [`DecisionModel`], so the same explainer
+/// Every method is generic over `D: ErasedDecisionModel + ?Sized` (every
+/// [`crate::tasks::DecisionModel`] qualifies, and so does the boxed
+/// `dyn ErasedDecisionModel` the model registry stores), so the same explainer
 /// instance serves expert-search relevance and team-membership questions.
 #[derive(Debug, Clone)]
 pub struct Exes<L> {
@@ -61,9 +63,12 @@ impl<L: LinkPredictor> Exes<L> {
     /// through it; results are byte-identical to uncached runs, only the
     /// probe counts change.
     ///
-    /// The cache keys by (graph, query) context and subject, but **not** by
-    /// the decision model's own parameters (ranker, `k`, team seed): keep one
-    /// cache per model configuration, as [`crate::service::ExesService`] does.
+    /// The cache keys by (graph, query) context, subject, **and** the
+    /// decision model's fingerprint
+    /// ([`crate::tasks::DecisionModel::model_fingerprint`]: ranker name +
+    /// parameters + `k` + a team former's seed), so one cache is sound to
+    /// share across many model configurations — [`crate::service::ExesService`]
+    /// serves its whole model registry from a single persistent cache.
     pub fn with_probe_cache(mut self, cache: Arc<ProbeCache>) -> Self {
         self.probe_cache = Some(cache);
         self
@@ -102,7 +107,7 @@ impl<L: LinkPredictor> Exes<L> {
     /// The initial (unperturbed) decision, routed through the cache when one
     /// is attached so a warm cache answers it for free. Returns the probe and
     /// whether it was a cache hit.
-    fn initial_probe<D: DecisionModel>(
+    fn initial_probe<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
@@ -131,35 +136,73 @@ impl<L: LinkPredictor> Exes<L> {
     // ------------------------------------------------------------------
 
     /// Skill factual explanation (Pruning Strategy 1 when `pruned`).
-    pub fn factual_skills<D: DecisionModel>(
+    pub fn factual_skills<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
         query: &Query,
         pruned: bool,
     ) -> FactualExplanation {
-        explain_skills(task, graph, query, &self.config, pruned, self.probe_cache())
+        self.factual_skills_with(task, graph, query, pruned, self.probe_cache())
+    }
+
+    /// [`Exes::factual_skills`] with an explicit probe cache, overriding any
+    /// cache stored on the explainer. [`crate::service::ExesService`] routes
+    /// factual requests through this so SHAP coalitions share the service's
+    /// persistent cache.
+    pub fn factual_skills_with<D: ErasedDecisionModel + ?Sized>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+        pruned: bool,
+        cache: Option<&ProbeCache>,
+    ) -> FactualExplanation {
+        explain_skills(task, graph, query, &self.config, pruned, cache)
     }
 
     /// Query-term factual explanation (no pruning applies).
-    pub fn factual_query_terms<D: DecisionModel>(
+    pub fn factual_query_terms<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
         query: &Query,
     ) -> FactualExplanation {
-        explain_query_terms(task, graph, query, &self.config, self.probe_cache())
+        self.factual_query_terms_with(task, graph, query, self.probe_cache())
+    }
+
+    /// [`Exes::factual_query_terms`] with an explicit probe cache.
+    pub fn factual_query_terms_with<D: ErasedDecisionModel + ?Sized>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+        cache: Option<&ProbeCache>,
+    ) -> FactualExplanation {
+        explain_query_terms(task, graph, query, &self.config, cache)
     }
 
     /// Collaboration factual explanation (Pruning Strategy 2 when `pruned`).
-    pub fn factual_collaborations<D: DecisionModel>(
+    pub fn factual_collaborations<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
         query: &Query,
         pruned: bool,
     ) -> FactualExplanation {
-        explain_collaborations(task, graph, query, &self.config, pruned, self.probe_cache())
+        self.factual_collaborations_with(task, graph, query, pruned, self.probe_cache())
+    }
+
+    /// [`Exes::factual_collaborations`] with an explicit probe cache.
+    pub fn factual_collaborations_with<D: ErasedDecisionModel + ?Sized>(
+        &self,
+        task: &D,
+        graph: &CollabGraph,
+        query: &Query,
+        pruned: bool,
+        cache: Option<&ProbeCache>,
+    ) -> FactualExplanation {
+        explain_collaborations(task, graph, query, &self.config, pruned, cache)
     }
 
     // ------------------------------------------------------------------
@@ -168,7 +211,7 @@ impl<L: LinkPredictor> Exes<L> {
 
     /// Skill counterfactuals: removals when the subject is currently selected,
     /// additions otherwise (Section 3.3.1).
-    pub fn counterfactual_skills<D: DecisionModel>(
+    pub fn counterfactual_skills<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
@@ -180,7 +223,7 @@ impl<L: LinkPredictor> Exes<L> {
     /// [`Exes::counterfactual_skills`] with an explicit probe cache, overriding
     /// any cache stored on the explainer. [`crate::service::ExesService`] uses
     /// this to share one cache per (graph, query) request group.
-    pub fn counterfactual_skills_with<D: DecisionModel>(
+    pub fn counterfactual_skills_with<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
@@ -194,7 +237,7 @@ impl<L: LinkPredictor> Exes<L> {
                 candidates::skill_removal_candidates(
                     graph,
                     query,
-                    task.subject(),
+                    task.subject_id(),
                     &self.embedding,
                     &self.config,
                 ),
@@ -205,7 +248,7 @@ impl<L: LinkPredictor> Exes<L> {
                 candidates::skill_addition_candidates(
                     graph,
                     query,
-                    task.subject(),
+                    task.subject_id(),
                     &self.embedding,
                     &self.config,
                 ),
@@ -227,7 +270,7 @@ impl<L: LinkPredictor> Exes<L> {
     }
 
     /// Query-augmentation counterfactuals (Section 3.3.2).
-    pub fn counterfactual_query<D: DecisionModel>(
+    pub fn counterfactual_query<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
@@ -237,7 +280,7 @@ impl<L: LinkPredictor> Exes<L> {
     }
 
     /// [`Exes::counterfactual_query`] with an explicit probe cache.
-    pub fn counterfactual_query_with<D: DecisionModel>(
+    pub fn counterfactual_query_with<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
@@ -249,7 +292,7 @@ impl<L: LinkPredictor> Exes<L> {
         let candidates = candidates::query_augmentation_candidates(
             graph,
             query,
-            task.subject(),
+            task.subject_id(),
             initially_selected,
             &self.embedding,
             &self.config,
@@ -270,7 +313,7 @@ impl<L: LinkPredictor> Exes<L> {
 
     /// Collaboration counterfactuals: link removals when the subject is selected,
     /// link additions otherwise (Section 3.3.3, Pruning Strategy 5).
-    pub fn counterfactual_links<D: DecisionModel>(
+    pub fn counterfactual_links<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
@@ -280,7 +323,7 @@ impl<L: LinkPredictor> Exes<L> {
     }
 
     /// [`Exes::counterfactual_links`] with an explicit probe cache.
-    pub fn counterfactual_links_with<D: DecisionModel>(
+    pub fn counterfactual_links_with<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
@@ -297,7 +340,7 @@ impl<L: LinkPredictor> Exes<L> {
             (
                 candidates::link_addition_candidates(
                     graph,
-                    task.subject(),
+                    task.subject_id(),
                     &self.link_predictor,
                     &self.config,
                 ),
@@ -329,7 +372,7 @@ impl<L: LinkPredictor> Exes<L> {
     /// Exhaustive skill counterfactuals. For selected subjects this searches all
     /// skill removals in the network; for unselected subjects the
     /// `addition_baseline` chooses between the paper's N and S baselines.
-    pub fn counterfactual_skills_exhaustive<D: DecisionModel>(
+    pub fn counterfactual_skills_exhaustive<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
@@ -352,7 +395,7 @@ impl<L: LinkPredictor> Exes<L> {
                     skill_additions_all_people(graph, &skills)
                 }
                 SkillAdditionBaseline::AllSkills => {
-                    skill_additions_all_skills(graph, task.subject(), self.config.skill_radius)
+                    skill_additions_all_skills(graph, task.subject_id(), self.config.skill_radius)
                 }
             };
             (cands, CounterfactualKind::SkillAddition)
@@ -372,7 +415,7 @@ impl<L: LinkPredictor> Exes<L> {
     }
 
     /// Exhaustive query-augmentation counterfactuals (every skill not in the query).
-    pub fn counterfactual_query_exhaustive<D: DecisionModel>(
+    pub fn counterfactual_query_exhaustive<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
@@ -396,7 +439,7 @@ impl<L: LinkPredictor> Exes<L> {
 
     /// Exhaustive collaboration counterfactuals: all edge removals (selected
     /// subjects) or all missing edges incident to the subject (unselected).
-    pub fn counterfactual_links_exhaustive<D: DecisionModel>(
+    pub fn counterfactual_links_exhaustive<D: ErasedDecisionModel + ?Sized>(
         &self,
         task: &D,
         graph: &CollabGraph,
@@ -409,7 +452,7 @@ impl<L: LinkPredictor> Exes<L> {
             (all_link_removals(graph), CounterfactualKind::LinkRemoval)
         } else {
             (
-                all_link_additions(graph, task.subject()),
+                all_link_additions(graph, task.subject_id()),
                 CounterfactualKind::LinkAddition,
             )
         };
@@ -432,7 +475,7 @@ impl<L: LinkPredictor> Exes<L> {
 mod tests {
     use super::*;
     use crate::config::OutputMode;
-    use crate::tasks::ExpertRelevanceTask;
+    use crate::tasks::{DecisionModel, ExpertRelevanceTask};
     use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
     use exes_embedding::EmbeddingConfig;
     use exes_expert_search::{ExpertRanker, PropagationRanker};

@@ -4,7 +4,7 @@ use super::{skill::explain_features, FactualExplanation, FeatureMaskModel};
 use crate::config::ExesConfig;
 use crate::features::Feature;
 use crate::probe::ProbeCache;
-use crate::tasks::DecisionModel;
+use crate::tasks::ErasedDecisionModel;
 use exes_graph::{CollabGraph, Neighborhood, PersonId, Query};
 use exes_shap::{CachingModel, ShapExplainer};
 use rustc_hash::FxHashSet;
@@ -26,7 +26,7 @@ pub fn collaboration_features_exhaustive(graph: &CollabGraph) -> Vec<Feature> {
 /// incident edges (restricted to the radius-`d` neighbourhood), and keep only
 /// edges whose |SHAP| exceeds `τ`; the final explanation re-scores exactly that
 /// impactful set. With `false` every edge of the graph is scored.
-pub fn explain_collaborations<D: DecisionModel>(
+pub fn explain_collaborations<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
@@ -39,7 +39,7 @@ pub fn explain_collaborations<D: DecisionModel>(
         return explain_features(task, graph, query, cfg, features, cache);
     }
 
-    let subject = task.subject();
+    let subject = task.subject_id();
     let neighborhood = Neighborhood::compute(graph, subject, cfg.collab_radius);
     let mut impactful: Vec<Feature> = Vec::new();
     let mut impactful_set: FxHashSet<(u32, u32)> = FxHashSet::default();

@@ -11,7 +11,7 @@ pub use skill::{explain_skills, skill_features_exhaustive, skill_features_pruned
 use crate::config::{ExesConfig, OutputMode};
 use crate::features::Feature;
 use crate::probe::ProbeCache;
-use crate::tasks::DecisionModel;
+use crate::tasks::ErasedDecisionModel;
 use exes_graph::{CollabGraph, PerturbationSet, Query};
 use exes_shap::{MaskedModel, ShapValues};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -147,7 +147,7 @@ impl FactualExplanation {
 /// KernelSHAP sampling use every core just like counterfactual search — and,
 /// when a [`ProbeCache`] is attached, share its memoised probes with the
 /// counterfactual searches of the same (graph, query, subject).
-pub(crate) struct FeatureMaskModel<'a, D> {
+pub(crate) struct FeatureMaskModel<'a, D: ?Sized> {
     task: &'a D,
     graph: &'a CollabGraph,
     query: &'a Query,
@@ -162,7 +162,7 @@ pub(crate) struct FeatureMaskModel<'a, D> {
     cache_hits: AtomicUsize,
 }
 
-impl<'a, D: DecisionModel> FeatureMaskModel<'a, D> {
+impl<'a, D: ErasedDecisionModel + ?Sized> FeatureMaskModel<'a, D> {
     pub(crate) fn new(
         task: &'a D,
         graph: &'a CollabGraph,
@@ -177,7 +177,13 @@ impl<'a, D: DecisionModel> FeatureMaskModel<'a, D> {
             query,
             features,
             output_mode: cfg.output_mode,
-            k: cfg.k,
+            // SmoothRank centres its sigmoid on the *model's* decision
+            // boundary: a task probing a top-k cutoff reports it through
+            // `ErasedDecisionModel::cutoff`, so a model registered at its own
+            // k is attributed against that k, not the explainer-wide default
+            // (models without a rank cutoff, e.g. team membership, keep the
+            // configured smoothing anchor).
+            k: task.cutoff().unwrap_or(cfg.k),
             parallel: cfg.parallel_probes,
             cache,
             probed: AtomicUsize::new(0),
@@ -226,7 +232,7 @@ impl<'a, D: DecisionModel> FeatureMaskModel<'a, D> {
     }
 }
 
-impl<D: DecisionModel> MaskedModel for FeatureMaskModel<'_, D> {
+impl<D: ErasedDecisionModel + ?Sized> MaskedModel for FeatureMaskModel<'_, D> {
     fn num_features(&self) -> usize {
         self.features.len()
     }
@@ -311,6 +317,30 @@ mod tests {
         assert_eq!(model.evaluate(&[true, true]), 1.0);
         // Remove both of Ada's matching skills: Bob overtakes her for k = 1.
         assert_eq!(model.evaluate(&[false, false]), 0.0);
+    }
+
+    #[test]
+    fn smooth_output_is_anchored_at_the_tasks_own_cutoff() {
+        let g = graph();
+        let q = Query::parse("db ml", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        // Bob is ranked 2nd: selected under the task's k = 2, even though the
+        // explainer-wide configuration says k = 1. The smooth scalarisation
+        // must centre on the task's boundary (2.5), not the config's (1.5).
+        let bob = PersonId(1);
+        let task = ExpertRelevanceTask::new(&ranker, bob, 2);
+        assert!(task.probe_graph(&g, &q).positive);
+        let db = g.vocab().id("db").unwrap();
+        let features = vec![Feature::Skill(bob, db)];
+        let cfg = ExesConfig::fast()
+            .with_k(1)
+            .with_output_mode(OutputMode::SmoothRank);
+        let model = FeatureMaskModel::new(&task, &g, &q, &features, &cfg, None);
+        let full = model.evaluate(&[true]);
+        assert!(
+            full > 0.5,
+            "a selected subject must scalarise above the boundary, got {full}"
+        );
     }
 
     #[test]

@@ -8,12 +8,12 @@ use super::{skill::explain_features, FactualExplanation};
 use crate::config::ExesConfig;
 use crate::features::Feature;
 use crate::probe::ProbeCache;
-use crate::tasks::DecisionModel;
+use crate::tasks::ErasedDecisionModel;
 use exes_graph::{CollabGraph, Query};
 
 /// Computes SHAP values for every keyword of the query. An optional
 /// [`ProbeCache`] memoises coalition probes across repeated explanations.
-pub fn explain_query_terms<D: DecisionModel>(
+pub fn explain_query_terms<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,

@@ -4,7 +4,7 @@ use super::{FactualExplanation, FeatureMaskModel};
 use crate::config::ExesConfig;
 use crate::features::Feature;
 use crate::probe::ProbeCache;
-use crate::tasks::DecisionModel;
+use crate::tasks::ErasedDecisionModel;
 use exes_graph::{CollabGraph, GraphView, Neighborhood, Query};
 use exes_shap::{CachingModel, ShapExplainer};
 
@@ -46,7 +46,7 @@ pub fn skill_features_exhaustive(graph: &CollabGraph) -> Vec<Feature> {
 /// of Tables 7/9/11/13. An optional [`ProbeCache`] memoises coalition probes
 /// across repeated explanations of the same (graph, query, subject); SHAP
 /// values are identical either way.
-pub fn explain_skills<D: DecisionModel>(
+pub fn explain_skills<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
@@ -55,7 +55,7 @@ pub fn explain_skills<D: DecisionModel>(
     cache: Option<&ProbeCache>,
 ) -> FactualExplanation {
     let features = if pruned {
-        skill_features_pruned(graph, task.subject(), cfg.skill_radius)
+        skill_features_pruned(graph, task.subject_id(), cfg.skill_radius)
     } else {
         skill_features_exhaustive(graph)
     };
@@ -66,7 +66,7 @@ pub fn explain_skills<D: DecisionModel>(
 /// estimator. A per-explanation coalition-dedup wrapper sits in front of the
 /// mask model regardless, so `probes` counts *distinct* coalitions — and with
 /// a [`ProbeCache`] attached, only the coalitions the cache could not answer.
-pub(crate) fn explain_features<D: DecisionModel>(
+pub(crate) fn explain_features<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,

@@ -38,6 +38,7 @@ pub mod explainer;
 pub mod factual;
 pub mod features;
 pub mod metrics;
+pub mod model;
 pub mod probe;
 pub mod service;
 pub mod tasks;
@@ -48,6 +49,12 @@ pub use explainer::Exes;
 pub use factual::FactualExplanation;
 pub use features::Feature;
 pub use metrics::{counterfactual_precision, factual_precision_at_k, PrecisionReport};
+pub use model::{ModelFamilyKind, ModelId, ModelRegistry, ModelSpec, ModelSpecError, SeedPolicy};
 pub use probe::{ProbeBatch, ProbeCache};
-pub use service::{ExesService, ExplanationKind, ExplanationRequest, ServiceReport};
-pub use tasks::{DecisionModel, ExpertRelevanceTask, Probe, TeamMembershipTask};
+pub use service::{
+    ExesService, ExesServiceBuilder, Explanation, ExplanationKind, ExplanationRequest,
+    ServiceReport,
+};
+pub use tasks::{
+    DecisionModel, ErasedDecisionModel, ExpertRelevanceTask, Probe, TeamMembershipTask,
+};

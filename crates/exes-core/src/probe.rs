@@ -19,7 +19,7 @@
 //! cached probe *is* the probe that would have been issued.
 
 use crate::config::ExesConfig;
-use crate::tasks::{DecisionModel, Probe};
+use crate::tasks::{ErasedDecisionModel, Probe};
 use exes_graph::{CollabGraph, PersonId, Perturbation, PerturbationSet, Query};
 use rustc_hash::{FxHashMap, FxHasher};
 use std::hash::{Hash, Hasher};
@@ -55,14 +55,19 @@ struct Shard {
 ///
 /// * the **subject** — a probe answers "is *this person* selected", so probes
 ///   of different subjects must never alias, and
-/// * a **context fingerprint** of the (graph, query) pair — guarding against
-///   accidentally reusing one cache across different queries or graphs.
+/// * a **context fingerprint** of the (graph, query, model) triple — guarding
+///   against accidentally reusing one cache across different queries, graphs,
+///   or model configurations.
 ///
-/// The fingerprint cannot capture every knob of a [`DecisionModel`] (the
-/// ranker, `k`, a team-former's seed member live behind the trait), so one
-/// cache must only be shared between probes of the same model family and
-/// parameters — exactly what [`crate::service::ExesService`] arranges by
-/// building one cache per (graph, query) request group.
+/// The model component comes from
+/// [`crate::tasks::DecisionModel::model_fingerprint`] (ranker name +
+/// parameters + `k` + a team former's seed), so one cache is sound to share
+/// across *every* model configuration whose tasks fingerprint themselves —
+/// exactly what lets [`crate::service::ExesService`] serve its whole
+/// [`crate::model::ModelRegistry`] from one persistent cache, and what makes
+/// a reconfigured model (say, a changed `k` via
+/// [`crate::explainer::Exes::config_mut`]) miss cold instead of replaying
+/// another configuration's probes.
 ///
 /// Interior locking is sharded: parallel probe workers contend only when their
 /// keys hash to the same shard. Hit/miss counters are global atomics, cheap
@@ -108,18 +113,21 @@ impl ProbeCache {
     }
 
     /// Fingerprint of the probe context: the query keywords (in order — a
-    /// perturbed query is a different context) plus the graph's epoch
-    /// identity, [`CollabGraph::fingerprint`]. The graph fingerprint is
-    /// content-derived (two graphs assembled from identical rows share it;
-    /// any structural difference, or a committed
+    /// perturbed query is a different context), the graph's epoch identity
+    /// ([`CollabGraph::fingerprint`]), and the decision model's identity
+    /// ([`crate::tasks::DecisionModel::model_fingerprint`]). The graph
+    /// fingerprint is content-derived (two graphs assembled from identical
+    /// rows share it; any structural difference, or a committed
     /// [`exes_graph::GraphStore`] epoch, moves it), so the context is O(1)
     /// to compute per attached engine instead of rehashing the graph — a
     /// snapshot that hasn't changed keeps its warm cache across requests,
-    /// while an update naturally misses into fresh entries.
-    pub(crate) fn context(graph: &CollabGraph, query: &Query) -> u64 {
+    /// while an update (or a reconfigured model) naturally misses into fresh
+    /// entries.
+    pub(crate) fn context(graph: &CollabGraph, query: &Query, model: u64) -> u64 {
         let mut h = FxHasher::default();
         query.skills().hash(&mut h);
         graph.fingerprint().hash(&mut h);
+        model.hash(&mut h);
         h.finish()
     }
 
@@ -169,16 +177,21 @@ impl ProbeCache {
         }
     }
 
-    /// Looks up the memoised probe for `delta` applied on behalf of `subject`
-    /// in the given (graph, query) context. Bumps the hit/miss counters.
+    /// Looks up the memoised probe for `delta` applied on behalf of the
+    /// model's subject in the given (graph, query, model) context. Bumps the
+    /// hit/miss counters.
     pub fn lookup(
         &self,
         graph: &CollabGraph,
         query: &Query,
-        subject: PersonId,
+        model: &dyn ErasedDecisionModel,
         delta: &PerturbationSet,
     ) -> Option<Probe> {
-        self.lookup_key(&(Self::context(graph, query), subject, delta.canonical_key()))
+        self.lookup_key(&(
+            Self::context(graph, query, model.fingerprint()),
+            model.subject_id(),
+            delta.canonical_key(),
+        ))
     }
 
     /// Memoises a probe under the canonical key of `delta`.
@@ -186,12 +199,16 @@ impl ProbeCache {
         &self,
         graph: &CollabGraph,
         query: &Query,
-        subject: PersonId,
+        model: &dyn ErasedDecisionModel,
         delta: &PerturbationSet,
         probe: Probe,
     ) {
         self.insert_key(
-            (Self::context(graph, query), subject, delta.canonical_key()),
+            (
+                Self::context(graph, query, model.fingerprint()),
+                model.subject_id(),
+                delta.canonical_key(),
+            ),
             probe,
         );
     }
@@ -308,8 +325,13 @@ impl BatchStats {
 /// allocation-free borrows, so per-probe cost is dominated by the black box
 /// itself — which is what makes spreading probes across threads worthwhile,
 /// and skipping repeated probes through a [`ProbeCache`] worthwhile again.
-#[derive(Debug, Clone, Copy)]
-pub struct ProbeBatch<'a, D> {
+///
+/// The model bound is `D: ErasedDecisionModel + ?Sized`: concrete tasks go
+/// through with static dispatch (every [`crate::tasks::DecisionModel`] is an
+/// [`ErasedDecisionModel`]), while the serving layer's boxed registry models
+/// probe through `ProbeBatch<'_, dyn ErasedDecisionModel>` — same engine,
+/// same guarantees.
+pub struct ProbeBatch<'a, D: ?Sized> {
     task: &'a D,
     graph: &'a CollabGraph,
     query: &'a Query,
@@ -319,7 +341,25 @@ pub struct ProbeBatch<'a, D> {
     ctx: u64,
 }
 
-impl<'a, D: DecisionModel> ProbeBatch<'a, D> {
+impl<D: ?Sized> Clone for ProbeBatch<'_, D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<D: ?Sized> Copy for ProbeBatch<'_, D> {}
+
+impl<D: ?Sized> std::fmt::Debug for ProbeBatch<'_, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbeBatch")
+            .field("parallel", &self.parallel)
+            .field("cached", &self.cache.is_some())
+            .field("ctx", &self.ctx)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, D: ErasedDecisionModel + ?Sized> ProbeBatch<'a, D> {
     /// Creates the engine. `parallel == false` forces sequential scoring
     /// (useful for differential tests and single-core deployments); the
     /// results are identical either way.
@@ -337,7 +377,7 @@ impl<'a, D: DecisionModel> ProbeBatch<'a, D> {
     /// Attaches a memo cache. Results stay byte-identical to uncached scoring;
     /// only the number of black-box probes changes.
     pub fn with_cache(mut self, cache: &'a ProbeCache) -> Self {
-        self.ctx = ProbeCache::context(self.graph, self.query);
+        self.ctx = ProbeCache::context(self.graph, self.query, self.task.fingerprint());
         self.cache = Some(cache);
         self
     }
@@ -363,7 +403,7 @@ impl<'a, D: DecisionModel> ProbeBatch<'a, D> {
 
     fn eval(&self, set: &PerturbationSet) -> Probe {
         let (view, perturbed_query) = set.apply(self.graph, self.query);
-        self.task.probe(&view, &perturbed_query)
+        self.task.probe_overlay(&view, &perturbed_query)
     }
 
     fn eval_batch(&self, sets: &[PerturbationSet]) -> Vec<Probe> {
@@ -393,7 +433,7 @@ impl<'a, D: DecisionModel> ProbeBatch<'a, D> {
         let Some(cache) = self.cache else {
             return (self.eval_batch(sets), BatchStats::uncached(sets.len()));
         };
-        let subject = self.task.subject();
+        let subject = self.task.subject_id();
         let mut out: Vec<Option<Probe>> = vec![None; sets.len()];
         // Canonicalise each key exactly once; misses keep theirs for the
         // insert below, and the sets themselves are scored by reference.
@@ -437,24 +477,23 @@ impl<'a, D: DecisionModel> ProbeBatch<'a, D> {
     /// Probes the unperturbed input, reporting whether the probe was answered
     /// by the cache (`true`) or issued to the black box (`false`).
     pub fn score_identity_counted(&self) -> (Probe, bool) {
-        let empty = PerturbationSet::new();
         if let Some(cache) = self.cache {
-            let key = (self.ctx, self.task.subject(), Vec::new());
+            let key = (self.ctx, self.task.subject_id(), Vec::new());
             if let Some(probe) = cache.lookup_key(&key) {
                 return (probe, true);
             }
-            let probe = self.eval(&empty);
+            let probe = self.task.probe_graph(self.graph, self.query);
             cache.insert_key(key, probe);
             return (probe, false);
         }
-        (self.task.probe(self.graph, self.query), false)
+        (self.task.probe_graph(self.graph, self.query), false)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tasks::ExpertRelevanceTask;
+    use crate::tasks::{DecisionModel, ExpertRelevanceTask};
     use exes_expert_search::TfIdfRanker;
     use exes_graph::{CollabGraph, CollabGraphBuilder, GraphView, PersonId, Perturbation};
 
@@ -651,20 +690,78 @@ mod tests {
     }
 
     #[test]
-    fn context_tracks_graph_fingerprint_and_query() {
+    fn context_tracks_graph_fingerprint_query_and_model() {
         let g = graph();
         let q = Query::parse("common", g.vocab()).unwrap();
         // Same content, separately built: same context (cache survives a
         // graph reload or an identical rebuild).
         let same = graph();
-        assert_eq!(ProbeCache::context(&g, &q), ProbeCache::context(&same, &q));
-        // A structural change or a different query moves the context.
+        assert_eq!(
+            ProbeCache::context(&g, &q, 7),
+            ProbeCache::context(&same, &q, 7)
+        );
+        // A structural change, a different query, or a different model
+        // fingerprint moves the context.
         let changed = g.with_edge_added(PersonId(0), PersonId(5)).unwrap();
         assert_ne!(
-            ProbeCache::context(&g, &q),
-            ProbeCache::context(&changed, &q)
+            ProbeCache::context(&g, &q, 7),
+            ProbeCache::context(&changed, &q, 7)
         );
         let q2 = Query::parse("s1", g.vocab()).unwrap();
-        assert_ne!(ProbeCache::context(&g, &q), ProbeCache::context(&g, &q2));
+        assert_ne!(
+            ProbeCache::context(&g, &q, 7),
+            ProbeCache::context(&g, &q2, 7)
+        );
+        assert_ne!(
+            ProbeCache::context(&g, &q, 7),
+            ProbeCache::context(&g, &q, 8)
+        );
+    }
+
+    #[test]
+    fn caches_isolate_models_by_fingerprint() {
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let sets = candidate_sets(&g);
+        let cache = ProbeCache::new(0);
+        // Same subject, same query, same ranker — but a different cutoff k:
+        // a different model fingerprint, so nothing may alias.
+        let k3 = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let k4 = ExpertRelevanceTask::new(&ranker, PersonId(0), 4);
+        let (_, cold) = ProbeBatch::new(&k3, &g, &q, false)
+            .with_cache(&cache)
+            .score_counted(&sets);
+        assert_eq!(cold.probed, sets.len());
+        let (probes, other) = ProbeBatch::new(&k4, &g, &q, false)
+            .with_cache(&cache)
+            .score_counted(&sets);
+        assert_eq!(other.cache_hits, 0, "k=4 must not replay k=3's probes");
+        assert_eq!(other.probed, sets.len());
+        // And the k=4 answers really are the k=4 model's own.
+        let uncached = ProbeBatch::new(&k4, &g, &q, false).score(&sets);
+        assert_eq!(probes, uncached);
+    }
+
+    #[test]
+    fn dyn_erased_tasks_probe_through_the_same_engine() {
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let sets = candidate_sets(&g);
+        let cache = ProbeCache::new(0);
+        let concrete = ProbeBatch::new(&task, &g, &q, false)
+            .with_cache(&cache)
+            .score(&sets);
+        // The boxed, type-erased view of the same task shares fingerprints
+        // and results with the concrete one — warm from its cache entries.
+        let erased: &dyn crate::tasks::ErasedDecisionModel = &task;
+        let engine: ProbeBatch<'_, dyn crate::tasks::ErasedDecisionModel> =
+            ProbeBatch::new(erased, &g, &q, false).with_cache(&cache);
+        let (probes, stats) = engine.score_counted(&sets);
+        assert_eq!(probes, concrete);
+        assert_eq!(stats.probed, 0, "erased view must hit the concrete entries");
+        assert_eq!(engine.score_identity(), task.probe(&g, &q));
     }
 }

@@ -1,32 +1,42 @@
-//! Multi-subject explanation serving over a live, epoch-versioned graph.
+//! Multi-model explanation serving over a live, epoch-versioned graph.
 //!
 //! An interactive deployment of ExES does not answer one explanation request
-//! at a time against a frozen graph — it answers *floods* of requests while
-//! skills are learned, collaborations form, and people join. [`ExesService`]
-//! is that serving layer:
+//! at a time against a frozen graph and a single hard-wired model — it
+//! answers *floods* of requests, for every explanation family the paper
+//! defines, against many model configurations at once, while skills are
+//! learned, collaborations form, and people join. [`ExesService`] is that
+//! serving layer:
 //!
+//! * a **model registry** ([`crate::model::ModelRegistry`]) hosts any number
+//!   of named decision models — any [`exes_expert_search::ExpertRanker`] at
+//!   any `k`, any [`exes_team::TeamFormer`] with its seed policy and signal
+//!   ranker — behind the sealed [`crate::tasks::ErasedDecisionModel`] erasure
+//!   layer; requests address models by [`ModelId`];
+//! * one [`ExplanationRequest`] enum covers **all five of the paper's
+//!   explanation families** — counterfactual skill edits, query
+//!   augmentations and collaboration edits, plus factual (SHAP)
+//!   skill / query-term / collaboration attributions — answered uniformly as
+//!   [`Explanation`] responses;
 //! * the service owns an [`Arc<GraphStore>`] rather than borrowing a graph,
 //!   so a single long-lived service value can interleave
 //!   [`ExesService::commit`] with [`ExesService::explain_batch`] — no
-//!   lifetime parameter, no invalidated handles;
-//! * each batch pins the **epoch** current at entry ([`GraphSnapshot`]), so
-//!   in-flight requests finish against the graph they started on even if a
-//!   commit lands mid-batch;
-//! * one **persistent [`ProbeCache`]** serves every batch. Keys carry the
-//!   `(fingerprint, query, subject, delta)` context, so an unchanged epoch
-//!   keeps its warm cache across unrelated requests and batches — repeat
-//!   traffic replays entirely from memory, issuing **zero** black-box probes
-//!   — while a committed update moves the fingerprint and naturally misses
-//!   into fresh entries (stale epochs' entries age out via LRU eviction);
-//! * requests are **grouped by query** and **identical requests are
-//!   deduplicated** — computed once, answered everywhere;
-//! * distinct requests are **sharded across the `exes-parallel` pool**, one
-//!   worker per request (per-probe parallelism is disabled inside workers so
-//!   the pool is not oversubscribed);
+//!   lifetime parameter, no invalidated handles; each batch pins the
+//!   **epoch** current at entry ([`GraphSnapshot`]);
+//! * one **persistent [`ProbeCache`]** serves every batch *and every model*:
+//!   keys carry the `(fingerprint, query, model, subject, delta)` context,
+//!   where the model component is the registered configuration's fingerprint
+//!   (ranker name + parameters + `k` + seed) — so repeat traffic on an
+//!   unchanged epoch replays with **zero** black-box probes, while distinct
+//!   model configurations can never answer from each other's entries and a
+//!   committed update (or a reconfigured model) naturally misses cold;
+//! * requests are **grouped by query** (cheaply — queries are [`Arc`]-shared,
+//!   so regrouping a batch never clones or re-hashes a term vector that was
+//!   already seen), **identical requests are deduplicated**, and distinct
+//!   requests are **sharded across the `exes-parallel` pool**;
 //! * responses are **deterministic and position-stable**: response `i`
-//!   answers request `i`, byte-identical to running that request alone,
-//!   because probes are pure functions and the cache only ever returns what
-//!   the black box would have said.
+//!   answers request `i`, byte-identical to running that request alone
+//!   through the [`Exes`] facade, because probes are pure functions and the
+//!   cache only ever returns what the black box would have said.
 //!
 //! The per-request hit/miss *counters* (unlike the explanations) can vary
 //! slightly between runs when concurrent workers race to fill the same cache
@@ -36,61 +46,197 @@
 use crate::config::ExesConfig;
 use crate::counterfactual::CounterfactualResult;
 use crate::explainer::Exes;
+use crate::factual::FactualExplanation;
+use crate::model::{ModelId, ModelRegistry, ModelSpec, ModelSpecError};
 use crate::probe::ProbeCache;
-use crate::tasks::ExpertRelevanceTask;
-use exes_expert_search::ExpertRanker;
 use exes_graph::{CollabGraph, GraphSnapshot, GraphStore, PersonId, Query, UpdateBatch};
 use exes_linkpred::LinkPredictor;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
 
-/// Which counterfactual family a request asks for.
+/// Which explanation family a request asks for — the full menu of Section 3:
+/// three counterfactual families (3.3) and three factual SHAP feature spaces
+/// (3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExplanationKind {
-    /// Skill removals/additions (Section 3.3.1).
-    Skills,
-    /// Query augmentations (Section 3.3.2).
-    QueryAugmentation,
-    /// Collaboration link removals/additions (Section 3.3.3).
-    Links,
+    /// Counterfactual skill removals/additions (Section 3.3.1).
+    CounterfactualSkills,
+    /// Counterfactual query augmentations (Section 3.3.2).
+    CounterfactualQuery,
+    /// Counterfactual collaboration-link removals/additions (Section 3.3.3).
+    CounterfactualLinks,
+    /// Factual SHAP attributions over neighbourhood skills (Section 3.2,
+    /// Pruning Strategy 1).
+    FactualSkills,
+    /// Factual SHAP attributions over the query's keywords (Section 3.2).
+    FactualQueryTerms,
+    /// Factual SHAP attributions over collaborations (Section 3.2, Pruning
+    /// Strategy 2).
+    FactualCollaborations,
 }
 
-/// One explanation request: "explain `subject`'s decision for `query`".
+impl ExplanationKind {
+    /// True for the three factual (SHAP) families.
+    pub fn is_factual(self) -> bool {
+        matches!(
+            self,
+            ExplanationKind::FactualSkills
+                | ExplanationKind::FactualQueryTerms
+                | ExplanationKind::FactualCollaborations
+        )
+    }
+
+    /// True for the three counterfactual families.
+    pub fn is_counterfactual(self) -> bool {
+        !self.is_factual()
+    }
+}
+
+/// One explanation request: "explain `model`'s decision about `subject` for
+/// `query`, as a `kind` explanation".
+///
+/// The query is [`Arc`]-shared: building a batch of hundreds of requests over
+/// a handful of queries clones pointers, not term vectors, and the service's
+/// per-query grouping recognises repeated `Arc`s without re-hashing their
+/// contents.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ExplanationRequest {
+    /// The registered model whose decision is being explained.
+    pub model: ModelId,
     /// The person whose selection status is being explained.
     pub subject: PersonId,
     /// The query the decision was made for.
-    pub query: Query,
-    /// The counterfactual family requested.
+    pub query: Arc<Query>,
+    /// The explanation family requested.
     pub kind: ExplanationKind,
 }
 
 impl ExplanationRequest {
-    /// A skill-counterfactual request.
-    pub fn skills(subject: PersonId, query: Query) -> Self {
+    /// A request with an explicit [`ExplanationKind`].
+    pub fn new(
+        model: ModelId,
+        subject: PersonId,
+        query: impl Into<Arc<Query>>,
+        kind: ExplanationKind,
+    ) -> Self {
         ExplanationRequest {
+            model,
             subject,
-            query,
-            kind: ExplanationKind::Skills,
+            query: query.into(),
+            kind,
         }
     }
 
-    /// A query-augmentation request.
-    pub fn query_augmentation(subject: PersonId, query: Query) -> Self {
-        ExplanationRequest {
+    /// A counterfactual skill-edit request.
+    pub fn counterfactual_skills(
+        model: ModelId,
+        subject: PersonId,
+        query: impl Into<Arc<Query>>,
+    ) -> Self {
+        Self::new(model, subject, query, ExplanationKind::CounterfactualSkills)
+    }
+
+    /// A counterfactual query-augmentation request.
+    pub fn counterfactual_query(
+        model: ModelId,
+        subject: PersonId,
+        query: impl Into<Arc<Query>>,
+    ) -> Self {
+        Self::new(model, subject, query, ExplanationKind::CounterfactualQuery)
+    }
+
+    /// A counterfactual collaboration-edit request.
+    pub fn counterfactual_links(
+        model: ModelId,
+        subject: PersonId,
+        query: impl Into<Arc<Query>>,
+    ) -> Self {
+        Self::new(model, subject, query, ExplanationKind::CounterfactualLinks)
+    }
+
+    /// A factual skill-SHAP request.
+    pub fn factual_skills(model: ModelId, subject: PersonId, query: impl Into<Arc<Query>>) -> Self {
+        Self::new(model, subject, query, ExplanationKind::FactualSkills)
+    }
+
+    /// A factual query-term-SHAP request.
+    pub fn factual_query_terms(
+        model: ModelId,
+        subject: PersonId,
+        query: impl Into<Arc<Query>>,
+    ) -> Self {
+        Self::new(model, subject, query, ExplanationKind::FactualQueryTerms)
+    }
+
+    /// A factual collaboration-SHAP request.
+    pub fn factual_collaborations(
+        model: ModelId,
+        subject: PersonId,
+        query: impl Into<Arc<Query>>,
+    ) -> Self {
+        Self::new(
+            model,
             subject,
             query,
-            kind: ExplanationKind::QueryAugmentation,
+            ExplanationKind::FactualCollaborations,
+        )
+    }
+}
+
+/// A unified explanation response: counterfactual search results and factual
+/// SHAP attributions behind one type, so a mixed batch comes back as one
+/// position-stable `Vec<Explanation>`.
+#[derive(Debug, Clone)]
+pub enum Explanation {
+    /// The answer to a counterfactual request.
+    Counterfactual(CounterfactualResult),
+    /// The answer to a factual (SHAP) request.
+    Factual(FactualExplanation),
+}
+
+impl Explanation {
+    /// The counterfactual result, if this answers a counterfactual request.
+    pub fn as_counterfactual(&self) -> Option<&CounterfactualResult> {
+        match self {
+            Explanation::Counterfactual(r) => Some(r),
+            Explanation::Factual(_) => None,
         }
     }
 
-    /// A collaboration-link request.
-    pub fn links(subject: PersonId, query: Query) -> Self {
-        ExplanationRequest {
-            subject,
-            query,
-            kind: ExplanationKind::Links,
+    /// The factual explanation, if this answers a factual request.
+    pub fn as_factual(&self) -> Option<&FactualExplanation> {
+        match self {
+            Explanation::Counterfactual(_) => None,
+            Explanation::Factual(f) => Some(f),
+        }
+    }
+
+    /// The counterfactual result; panics on a factual response (for callers
+    /// that know their request's kind — response `i` answers request `i`).
+    pub fn expect_counterfactual(&self) -> &CounterfactualResult {
+        self.as_counterfactual()
+            .expect("response answers a factual request, not a counterfactual one")
+    }
+
+    /// The factual explanation; panics on a counterfactual response.
+    pub fn expect_factual(&self) -> &FactualExplanation {
+        self.as_factual()
+            .expect("response answers a counterfactual request, not a factual one")
+    }
+
+    /// Black-box probes issued while computing this explanation.
+    pub fn probes(&self) -> usize {
+        match self {
+            Explanation::Counterfactual(r) => r.probes,
+            Explanation::Factual(f) => f.probes(),
+        }
+    }
+
+    /// Probe requests answered by the service's persistent cache.
+    pub fn cache_hits(&self) -> usize {
+        match self {
+            Explanation::Counterfactual(r) => r.cache_hits,
+            Explanation::Factual(f) => f.cache_hits(),
         }
     }
 }
@@ -118,9 +264,9 @@ pub struct ServiceReport {
     /// of concurrently running batches overlap, so do not sum this across
     /// reports; `ProbeCache::evicted()` holds the exact lifetime total.
     pub cache_evictions: u64,
-    /// Black-box probes issued while answering the batch (sum of
-    /// [`CounterfactualResult::probes`] over *unique* computations —
-    /// deduplicated responses are clones and issue none).
+    /// Black-box probes issued while answering the batch (summed over
+    /// *unique* computations — deduplicated responses are clones and issue
+    /// none).
     pub probes: usize,
 }
 
@@ -136,47 +282,101 @@ impl ServiceReport {
     }
 }
 
-/// A batch explanation server over a live graph store, one expert ranker, and
-/// one explainer configuration.
+/// A batch explanation server over a live graph store and a registry of
+/// decision models.
 ///
-/// The service owns everything it needs — explainer clone, ranker, store
-/// handle, probe cache — so it has no graph lifetime parameter: it can be
-/// moved into threads, stored in application state, and kept alive across
+/// The service owns everything it needs — explainer clone, model registry,
+/// store handle, probe cache — so it has no graph lifetime parameter: it can
+/// be moved into threads, stored in application state, and kept alive across
 /// arbitrarily many commits. Parallelism comes from sharding *requests*
 /// across the `exes-parallel` pool (per-probe parallelism is disabled
 /// internally to avoid nested pools); single requests can still be answered
 /// through the plain [`Exes`] facade when intra-request parallelism is
 /// preferable.
 ///
-/// The persistent probe cache is sound to share across queries, batches and
-/// epochs because every key carries the (graph fingerprint, query) context
-/// and the subject — but it cannot see the ranker or `k` behind the
-/// [`crate::tasks::DecisionModel`] trait, which is why the service owns the
-/// ranker: one service = one model configuration = one cache.
+/// The persistent probe cache is sound to share across queries, batches,
+/// epochs **and registered models** because every key carries the (graph
+/// fingerprint, query, model fingerprint) context and the subject; the model
+/// fingerprint is derived from the registered configuration (ranker name +
+/// parameters + `k` + seed), so one service = one cache = many models,
+/// isolation guaranteed.
+///
+/// Build one with [`ExesService::builder`] (registering models up front) or
+/// [`ExesService::new`] / [`ExesService::from_graph`] plus
+/// [`ExesService::register`].
 #[derive(Debug)]
-pub struct ExesService<L, R> {
+pub struct ExesService<L> {
     exes: Exes<L>,
-    ranker: R,
+    registry: ModelRegistry,
     store: Arc<GraphStore>,
     cache: ProbeCache,
 }
 
-impl<L, R> ExesService<L, R>
+/// Step-wise construction of an [`ExesService`]: attach the explainer and
+/// store, register named models, build.
+///
+/// ```
+/// # use exes_core::{Exes, ExesConfig, ExesService, ModelSpec};
+/// # use exes_datasets::{DatasetConfig, SyntheticDataset};
+/// # use exes_embedding::{EmbeddingConfig, SkillEmbedding};
+/// # use exes_expert_search::TfIdfRanker;
+/// # use exes_linkpred::CommonNeighbors;
+/// # let ds = SyntheticDataset::generate(&DatasetConfig::tiny("builder-doc", 5));
+/// # let embedding = SkillEmbedding::train(
+/// #     ds.corpus.token_bags(),
+/// #     ds.graph.vocab().len(),
+/// #     &EmbeddingConfig { dim: 8, ..Default::default() },
+/// # );
+/// let exes = Exes::new(ExesConfig::fast(), embedding, CommonNeighbors);
+/// let service = ExesService::builder_from_graph(&exes, ds.graph.clone())
+///     .model("tfidf@5", ModelSpec::expert_ranker(TfIdfRanker::default(), 5))
+///     .expect("valid spec")
+///     .build();
+/// assert!(service.model_id("tfidf@5").is_some());
+/// ```
+#[derive(Debug)]
+pub struct ExesServiceBuilder<L> {
+    service: ExesService<L>,
+}
+
+impl<L> ExesServiceBuilder<L>
 where
     L: LinkPredictor + Clone + Sync,
-    R: ExpertRanker + Sync,
+{
+    /// Registers `spec` under `name`; chainable. Fails with a typed
+    /// [`ModelSpecError`] on an invalid spec or duplicate name. Look the id
+    /// up after [`ExesServiceBuilder::build`] with [`ExesService::model_id`],
+    /// or register through [`ExesService::register`] to receive it directly.
+    pub fn model(
+        mut self,
+        name: impl Into<String>,
+        spec: ModelSpec,
+    ) -> Result<Self, ModelSpecError> {
+        self.service.register(name, spec)?;
+        Ok(self)
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> ExesService<L> {
+        self.service
+    }
+}
+
+impl<L> ExesService<L>
+where
+    L: LinkPredictor + Clone + Sync,
 {
     /// Builds the service from an explainer (cloned; any stored probe cache
-    /// is detached — the service manages its own persistent cache), the
-    /// expert ranker whose decisions are being explained (owned), and the
-    /// live store every request in this service targets.
-    pub fn new(exes: &Exes<L>, ranker: R, store: Arc<GraphStore>) -> Self {
+    /// is detached — the service manages its own persistent cache) and the
+    /// live store every request in this service targets. The model registry
+    /// starts empty: add configurations with [`ExesService::register`].
+    pub fn new(exes: &Exes<L>, store: Arc<GraphStore>) -> Self {
         let mut inner = exes.clone().without_probe_cache();
         inner.config_mut().parallel_probes = false;
         let cache = ProbeCache::for_config(inner.config());
         ExesService {
             exes: inner,
-            ranker,
+            registry: ModelRegistry::new(),
             store,
             cache,
         }
@@ -184,8 +384,46 @@ where
 
     /// Convenience constructor wrapping a static graph in a fresh
     /// [`GraphStore`] (epoch 0) with default store tunables.
-    pub fn from_graph(exes: &Exes<L>, ranker: R, graph: CollabGraph) -> Self {
-        Self::new(exes, ranker, Arc::new(GraphStore::new(graph)))
+    pub fn from_graph(exes: &Exes<L>, graph: CollabGraph) -> Self {
+        Self::new(exes, Arc::new(GraphStore::new(graph)))
+    }
+
+    /// Starts an [`ExesServiceBuilder`] over a live store.
+    pub fn builder(exes: &Exes<L>, store: Arc<GraphStore>) -> ExesServiceBuilder<L> {
+        ExesServiceBuilder {
+            service: Self::new(exes, store),
+        }
+    }
+
+    /// Starts an [`ExesServiceBuilder`] over a static graph (epoch 0).
+    pub fn builder_from_graph(exes: &Exes<L>, graph: CollabGraph) -> ExesServiceBuilder<L> {
+        ExesServiceBuilder {
+            service: Self::from_graph(exes, graph),
+        }
+    }
+
+    /// Registers a model configuration under `name`, returning the
+    /// [`ModelId`] requests address it by.
+    ///
+    /// Models can be added at any point in the service's life; the persistent
+    /// cache needs no flush because every entry is scoped by its model's
+    /// fingerprint.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        spec: ModelSpec,
+    ) -> Result<ModelId, ModelSpecError> {
+        self.registry.register(name, spec)
+    }
+
+    /// Looks a registered model up by name.
+    pub fn model_id(&self, name: &str) -> Option<ModelId> {
+        self.registry.id(name)
+    }
+
+    /// The service's model registry (names, families, fingerprints).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
     }
 
     /// The service's (request-sharded) configuration.
@@ -223,13 +461,18 @@ where
     /// Response `i` answers request `i`.
     ///
     /// Requests are grouped by query and identical requests are computed
-    /// once; all groups share the service's persistent cache. Explanations
-    /// are deterministic — byte-identical to answering each request alone,
-    /// in any batch composition, on any warmth of the cache.
+    /// once; all groups and all models share the service's persistent cache.
+    /// Explanations are deterministic — byte-identical to answering each
+    /// request alone, in any batch composition, on any warmth of the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a request addresses a [`ModelId`] this service never
+    /// issued.
     pub fn explain_batch(
         &self,
         requests: &[ExplanationRequest],
-    ) -> (Vec<CounterfactualResult>, ServiceReport) {
+    ) -> (Vec<Explanation>, ServiceReport) {
         let snapshot = self.store.snapshot();
         self.explain_batch_on(&snapshot, requests)
     }
@@ -240,16 +483,29 @@ where
         &self,
         snapshot: &GraphSnapshot,
         requests: &[ExplanationRequest],
-    ) -> (Vec<CounterfactualResult>, ServiceReport) {
+    ) -> (Vec<Explanation>, ServiceReport) {
         // Group request indices by query, preserving first-occurrence order.
+        // Arc-shared queries take the pointer fast path: a term vector is
+        // hashed at most once per distinct Arc, not once per request.
+        let mut group_of_arc: FxHashMap<*const Query, usize> = FxHashMap::default();
         let mut group_of: FxHashMap<&Query, usize> = FxHashMap::default();
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for (i, request) in requests.iter().enumerate() {
-            let next = groups.len();
-            let g = *group_of.entry(&request.query).or_insert(next);
-            if g == groups.len() {
-                groups.push(Vec::new());
-            }
+            let ptr = Arc::as_ptr(&request.query);
+            let g = match group_of_arc.get(&ptr) {
+                Some(&g) => g,
+                None => {
+                    let next = groups.len();
+                    // Content lookup so equal queries behind distinct Arcs
+                    // still share a group (and its dedup scope).
+                    let g = *group_of.entry(&*request.query).or_insert(next);
+                    if g == groups.len() {
+                        groups.push(Vec::new());
+                    }
+                    group_of_arc.insert(ptr, g);
+                    g
+                }
+            };
             groups[g].push(i);
         }
 
@@ -261,18 +517,22 @@ where
         };
         let evicted_before = self.cache.evicted();
         let graph = snapshot.graph();
-        let mut responses: Vec<Option<CounterfactualResult>> = vec![None; requests.len()];
+        let mut responses: Vec<Option<Explanation>> = vec![None; requests.len()];
         for idxs in &groups {
             // Deduplicate identical requests inside the group: the first
-            // occurrence computes, the rest clone its response.
-            let mut representative: FxHashMap<&ExplanationRequest, usize> = FxHashMap::default();
+            // occurrence computes, the rest clone its response. Queries are
+            // equal across the whole group by construction, so the dedup key
+            // is just (model, subject, kind) — no term-vector hashing.
+            let mut representative: FxHashMap<(ModelId, PersonId, ExplanationKind), usize> =
+                FxHashMap::default();
             let mut unique: Vec<usize> = Vec::new();
             let mut duplicate_of: Vec<(usize, usize)> = Vec::new();
             for &i in idxs {
-                match representative.get(&requests[i]) {
+                let r = &requests[i];
+                match representative.get(&(r.model, r.subject, r.kind)) {
                     Some(&rep) => duplicate_of.push((i, rep)),
                     None => {
-                        representative.insert(&requests[i], i);
+                        representative.insert((r.model, r.subject, r.kind), i);
                         unique.push(i);
                     }
                 }
@@ -286,10 +546,15 @@ where
                 // below are clones and must not be double-counted. Hit/miss
                 // counts come from the per-request results, so they stay
                 // exact even when several batches share the service (and its
-                // cache) concurrently.
-                report.probes += result.probes;
-                report.cache_hits += result.cache_hits as u64;
-                report.cache_misses += result.cache_misses as u64;
+                // cache) concurrently. Factual explanations count only the
+                // probes that reached the black box, all of which were cache
+                // misses here (the service always attaches its cache).
+                report.probes += result.probes();
+                report.cache_hits += result.cache_hits() as u64;
+                report.cache_misses += match &result {
+                    Explanation::Counterfactual(r) => r.cache_misses as u64,
+                    Explanation::Factual(f) => f.probes() as u64,
+                };
                 responses[i] = Some(result);
             }
             for (i, rep) in duplicate_of {
@@ -303,7 +568,7 @@ where
         // the exact cache-lifetime total).
         report.cache_evictions = self.cache.evicted().saturating_sub(evicted_before);
 
-        let responses: Vec<CounterfactualResult> = responses
+        let responses: Vec<Explanation> = responses
             .into_iter()
             .map(|r| r.expect("every request answered"))
             .collect();
@@ -311,22 +576,36 @@ where
     }
 
     /// Answers one request against the persistent cache.
-    fn answer(&self, graph: &CollabGraph, request: &ExplanationRequest) -> CounterfactualResult {
-        let task = ExpertRelevanceTask::new(&self.ranker, request.subject, self.exes.config().k);
+    fn answer(&self, graph: &CollabGraph, request: &ExplanationRequest) -> Explanation {
+        let task = self.registry.bind(request.model, request.subject);
+        let task = task.as_ref();
+        let query: &Query = &request.query;
         let cache = Some(&self.cache);
         match request.kind {
-            ExplanationKind::Skills => {
+            ExplanationKind::CounterfactualSkills => Explanation::Counterfactual(
                 self.exes
-                    .counterfactual_skills_with(&task, graph, &request.query, cache)
-            }
-            ExplanationKind::QueryAugmentation => {
+                    .counterfactual_skills_with(task, graph, query, cache),
+            ),
+            ExplanationKind::CounterfactualQuery => Explanation::Counterfactual(
                 self.exes
-                    .counterfactual_query_with(&task, graph, &request.query, cache)
-            }
-            ExplanationKind::Links => {
+                    .counterfactual_query_with(task, graph, query, cache),
+            ),
+            ExplanationKind::CounterfactualLinks => Explanation::Counterfactual(
                 self.exes
-                    .counterfactual_links_with(&task, graph, &request.query, cache)
-            }
+                    .counterfactual_links_with(task, graph, query, cache),
+            ),
+            ExplanationKind::FactualSkills => Explanation::Factual(
+                self.exes
+                    .factual_skills_with(task, graph, query, true, cache),
+            ),
+            ExplanationKind::FactualQueryTerms => Explanation::Factual(
+                self.exes
+                    .factual_query_terms_with(task, graph, query, cache),
+            ),
+            ExplanationKind::FactualCollaborations => Explanation::Factual(
+                self.exes
+                    .factual_collaborations_with(task, graph, query, true, cache),
+            ),
         }
     }
 }
@@ -335,11 +614,14 @@ where
 mod tests {
     use super::*;
     use crate::config::OutputMode;
+    use crate::model::SeedPolicy;
+    use crate::tasks::{ExpertRelevanceTask, TeamMembershipTask};
     use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
     use exes_embedding::{EmbeddingConfig, SkillEmbedding};
     use exes_expert_search::{ExpertRanker, PropagationRanker};
     use exes_graph::GraphView;
     use exes_linkpred::CommonNeighbors;
+    use exes_team::GreedyCoverTeamFormer;
 
     struct Fixture {
         ds: SyntheticDataset,
@@ -368,37 +650,90 @@ mod tests {
         }
     }
 
-    fn service(f: &Fixture) -> ExesService<CommonNeighbors, PropagationRanker> {
-        ExesService::from_graph(&f.exes, f.ranker, f.ds.graph.clone())
+    fn service(f: &Fixture) -> (ExesService<CommonNeighbors>, ModelId) {
+        let mut service = ExesService::from_graph(&f.exes, f.ds.graph.clone());
+        let id = service
+            .register(
+                "propagation",
+                ModelSpec::expert_ranker(f.ranker, f.exes.config().k),
+            )
+            .unwrap();
+        (service, id)
     }
 
-    fn workload_requests(f: &Fixture) -> Vec<ExplanationRequest> {
+    fn workload_requests(f: &Fixture, model: ModelId) -> Vec<ExplanationRequest> {
         let workload = QueryWorkload::answerable(&f.ds.graph, 2, 2, 3, 3, 11);
         let mut requests = Vec::new();
         for query in workload.queries() {
-            let ranking = f.ranker.rank_all(&f.ds.graph, query);
-            // A few subjects inside and outside the top-k, mixed kinds.
+            let query = Arc::new(query.clone());
+            let ranking = f.ranker.rank_all(&f.ds.graph, &query);
+            // A few subjects inside and outside the top-k, cycling through
+            // all six request kinds.
             for (rank, &(person, _)) in ranking.entries().iter().take(6).enumerate() {
-                let kind = match rank % 3 {
-                    0 => ExplanationKind::Skills,
-                    1 => ExplanationKind::QueryAugmentation,
-                    _ => ExplanationKind::Links,
+                let kind = match rank % 6 {
+                    0 => ExplanationKind::CounterfactualSkills,
+                    1 => ExplanationKind::CounterfactualQuery,
+                    2 => ExplanationKind::CounterfactualLinks,
+                    3 => ExplanationKind::FactualSkills,
+                    4 => ExplanationKind::FactualQueryTerms,
+                    _ => ExplanationKind::FactualCollaborations,
                 };
-                requests.push(ExplanationRequest {
-                    subject: person,
-                    query: query.clone(),
-                    kind,
-                });
+                requests.push(ExplanationRequest::new(model, person, query.clone(), kind));
             }
         }
         requests
     }
 
+    /// Answers `request` directly through a sequential, uncached facade.
+    fn solo_answer(
+        exes: &Exes<CommonNeighbors>,
+        ranker: &PropagationRanker,
+        graph: &CollabGraph,
+        request: &ExplanationRequest,
+    ) -> Explanation {
+        let task = ExpertRelevanceTask::new(ranker, request.subject, exes.config().k);
+        let q: &Query = &request.query;
+        match request.kind {
+            ExplanationKind::CounterfactualSkills => {
+                Explanation::Counterfactual(exes.counterfactual_skills(&task, graph, q))
+            }
+            ExplanationKind::CounterfactualQuery => {
+                Explanation::Counterfactual(exes.counterfactual_query(&task, graph, q))
+            }
+            ExplanationKind::CounterfactualLinks => {
+                Explanation::Counterfactual(exes.counterfactual_links(&task, graph, q))
+            }
+            ExplanationKind::FactualSkills => {
+                Explanation::Factual(exes.factual_skills(&task, graph, q, true))
+            }
+            ExplanationKind::FactualQueryTerms => {
+                Explanation::Factual(exes.factual_query_terms(&task, graph, q))
+            }
+            ExplanationKind::FactualCollaborations => {
+                Explanation::Factual(exes.factual_collaborations(&task, graph, q, true))
+            }
+        }
+    }
+
+    fn assert_same_explanation(a: &Explanation, b: &Explanation) {
+        match (a, b) {
+            (Explanation::Counterfactual(a), Explanation::Counterfactual(b)) => {
+                assert_eq!(a.explanations, b.explanations);
+                assert_eq!(a.timed_out, b.timed_out);
+            }
+            (Explanation::Factual(a), Explanation::Factual(b)) => {
+                assert_eq!(a.features(), b.features());
+                assert_eq!(a.shap_values().values(), b.shap_values().values());
+            }
+            _ => panic!("response families differ"),
+        }
+    }
+
     #[test]
-    fn batch_matches_individual_requests_exactly() {
+    fn batch_matches_individual_requests_exactly_across_all_kinds() {
         let f = fixture();
-        let service = service(&f);
-        let requests = workload_requests(&f);
+        let (service, model) = service(&f);
+        let requests = workload_requests(&f, model);
         let (responses, report) = service.explain_batch(&requests);
         assert_eq!(responses.len(), requests.len());
         assert_eq!(report.requests, requests.len());
@@ -410,48 +745,36 @@ mod tests {
         let mut solo_exes = f.exes.clone();
         solo_exes.config_mut().parallel_probes = false;
         for (request, response) in requests.iter().zip(&responses) {
-            let task = ExpertRelevanceTask::new(&f.ranker, request.subject, solo_exes.config().k);
-            let solo = match request.kind {
-                ExplanationKind::Skills => {
-                    solo_exes.counterfactual_skills(&task, &f.ds.graph, &request.query)
-                }
-                ExplanationKind::QueryAugmentation => {
-                    solo_exes.counterfactual_query(&task, &f.ds.graph, &request.query)
-                }
-                ExplanationKind::Links => {
-                    solo_exes.counterfactual_links(&task, &f.ds.graph, &request.query)
-                }
-            };
-            assert_eq!(response.explanations, solo.explanations);
-            assert_eq!(response.timed_out, solo.timed_out);
+            let solo = solo_answer(&solo_exes, &f.ranker, &f.ds.graph, request);
+            assert_same_explanation(response, &solo);
         }
     }
 
     #[test]
     fn repeated_requests_are_deduplicated_and_batches_are_deterministic() {
         let f = fixture();
-        let service = service(&f);
-        let mut requests = workload_requests(&f);
+        let (service, model) = service(&f);
+        let mut requests = workload_requests(&f, model);
         let n = requests.len();
         // Simulate repeated traffic: the same requests arrive again.
         requests.extend(requests.clone());
         let (responses, report) = service.explain_batch(&requests);
         assert_eq!(report.duplicate_requests, n);
         for i in 0..n {
-            assert_eq!(responses[i].explanations, responses[n + i].explanations);
+            assert_same_explanation(&responses[i], &responses[n + i]);
         }
         // Two identical batches produce identical explanations.
         let (again, _) = service.explain_batch(&requests);
         for (a, b) in responses.iter().zip(&again) {
-            assert_eq!(a.explanations, b.explanations);
+            assert_same_explanation(a, b);
         }
     }
 
     #[test]
     fn warm_epoch_replays_from_cache_with_zero_probes() {
         let f = fixture();
-        let service = service(&f);
-        let requests = workload_requests(&f);
+        let (service, model) = service(&f);
+        let requests = workload_requests(&f, model);
         let (cold_responses, cold) = service.explain_batch(&requests);
         assert!(cold.probes > 0);
         // Same epoch, same requests: the persistent cache answers everything.
@@ -460,15 +783,15 @@ mod tests {
         assert_eq!(warm.cache_misses, 0);
         assert!(warm.cache_hits > 0);
         for (a, b) in cold_responses.iter().zip(&warm_responses) {
-            assert_eq!(a.explanations, b.explanations);
+            assert_same_explanation(a, b);
         }
     }
 
     #[test]
     fn commit_invalidates_the_warm_cache_and_serves_the_new_epoch() {
         let f = fixture();
-        let service = service(&f);
-        let requests = workload_requests(&f);
+        let (service, model) = service(&f);
+        let requests = workload_requests(&f, model);
         let (_, cold) = service.explain_batch(&requests);
         assert_eq!(cold.epoch, 0);
 
@@ -492,10 +815,8 @@ mod tests {
         // epoch's graph.
         let mut solo_exes = f.exes.clone();
         solo_exes.config_mut().parallel_probes = false;
-        let request = &requests[0];
-        let task = ExpertRelevanceTask::new(&f.ranker, request.subject, solo_exes.config().k);
-        let solo = solo_exes.counterfactual_skills(&task, snap.graph(), &request.query);
-        assert_eq!(responses[0].explanations, solo.explanations);
+        let solo = solo_answer(&solo_exes, &f.ranker, snap.graph(), &requests[0]);
+        assert_same_explanation(&responses[0], &solo);
 
         // The new epoch warms up in turn: repeating the batch replays it.
         let (_, warm_new) = service.explain_batch(&requests);
@@ -506,8 +827,8 @@ mod tests {
     #[test]
     fn in_flight_snapshot_survives_commits() {
         let f = fixture();
-        let service = service(&f);
-        let requests = workload_requests(&f);
+        let (service, model) = service(&f);
+        let requests = workload_requests(&f, model);
         let pinned = service.snapshot();
         let (before, _) = service.explain_batch_on(&pinned, &requests);
 
@@ -520,15 +841,118 @@ mod tests {
         let (after, report) = service.explain_batch_on(&pinned, &requests);
         assert_eq!(report.epoch, 0);
         for (a, b) in before.iter().zip(&after) {
-            assert_eq!(a.explanations, b.explanations);
+            assert_same_explanation(a, b);
         }
+    }
+
+    #[test]
+    fn two_registered_models_never_share_cache_entries() {
+        let f = fixture();
+        let mut service = ExesService::from_graph(&f.exes, f.ds.graph.clone());
+        let k = f.exes.config().k;
+        let shallow = service
+            .register("prop@k", ModelSpec::expert_ranker(f.ranker, k))
+            .unwrap();
+        // Same ranker, different cutoff: a different model configuration.
+        let deeper = service
+            .register("prop@k+1", ModelSpec::expert_ranker(f.ranker, k + 1))
+            .unwrap();
+
+        let requests = workload_requests(&f, shallow);
+        let (_, cold) = service.explain_batch(&requests);
+        assert!(cold.probes > 0);
+        let (_, warm) = service.explain_batch(&requests);
+        assert_eq!(warm.probes, 0, "same model must replay warm");
+
+        // The same requests re-addressed to the k+1 model must run cold:
+        // per-model fingerprints keep the shallow model's entries invisible.
+        // "Cold" is made precise by comparison with a fresh service that
+        // never saw the shallow model: identical black-box probe counts, so
+        // not a single probe was answered from the other model's entries.
+        let readdressed: Vec<ExplanationRequest> = requests
+            .iter()
+            .map(|r| ExplanationRequest::new(deeper, r.subject, r.query.clone(), r.kind))
+            .collect();
+        let (responses, other) = service.explain_batch(&readdressed);
+        assert!(
+            other.probes > 0,
+            "a different k must not replay the other model's probes"
+        );
+        let mut fresh = ExesService::from_graph(&f.exes, f.ds.graph.clone());
+        let fresh_deeper = fresh
+            .register("prop@k+1", ModelSpec::expert_ranker(f.ranker, k + 1))
+            .unwrap();
+        let fresh_requests: Vec<ExplanationRequest> = requests
+            .iter()
+            .map(|r| ExplanationRequest::new(fresh_deeper, r.subject, r.query.clone(), r.kind))
+            .collect();
+        let (_, fresh_report) = fresh.explain_batch(&fresh_requests);
+        assert_eq!(other.probes, fresh_report.probes);
+        assert_eq!(other.cache_misses, fresh_report.cache_misses);
+
+        // And the answers really are the k+1 model's own.
+        let mut solo_exes = f.exes.clone();
+        solo_exes.config_mut().parallel_probes = false;
+        solo_exes.config_mut().k = k + 1;
+        let solo = solo_answer(&solo_exes, &f.ranker, &f.ds.graph, &readdressed[0]);
+        assert_same_explanation(&responses[0], &solo);
+    }
+
+    #[test]
+    fn mixed_expert_and_team_models_answer_one_batch() {
+        let f = fixture();
+        let k = f.exes.config().k;
+        let mut service = ExesService::from_graph(&f.exes, f.ds.graph.clone());
+        let expert = service
+            .register("expert", ModelSpec::expert_ranker(f.ranker, k))
+            .unwrap();
+        let team = service
+            .register(
+                "team",
+                ModelSpec::team_former(
+                    GreedyCoverTeamFormer::new(f.ranker),
+                    f.ranker,
+                    SeedPolicy::Unseeded,
+                ),
+            )
+            .unwrap();
+
+        let workload = QueryWorkload::answerable(&f.ds.graph, 1, 2, 3, 3, 11);
+        let query = Arc::new(workload.queries()[0].clone());
+        let subject = f.ranker.rank_all(&f.ds.graph, &query).top_k(1)[0];
+        let batch = vec![
+            ExplanationRequest::counterfactual_skills(expert, subject, query.clone()),
+            ExplanationRequest::factual_query_terms(team, subject, query.clone()),
+            ExplanationRequest::counterfactual_skills(team, subject, query.clone()),
+        ];
+        let (responses, report) = service.explain_batch(&batch);
+        assert_eq!(report.groups, 1);
+        assert_eq!(report.duplicate_requests, 0);
+
+        // Team responses match a direct TeamMembershipTask facade call.
+        let mut solo = f.exes.clone();
+        solo.config_mut().parallel_probes = false;
+        let former = GreedyCoverTeamFormer::new(f.ranker);
+        let task = TeamMembershipTask::new(&former, &f.ranker, subject, None);
+        let reference = solo.factual_query_terms(&task, &f.ds.graph, &query);
+        assert_eq!(
+            responses[1].expect_factual().shap_values().values(),
+            reference.shap_values().values()
+        );
+        let reference_cf = solo.counterfactual_skills(&task, &f.ds.graph, &query);
+        assert_eq!(
+            responses[2].expect_counterfactual().explanations,
+            reference_cf.explanations
+        );
+        // The expert response is a counterfactual, and distinct from team's.
+        assert!(responses[0].as_counterfactual().is_some());
     }
 
     #[test]
     fn report_accounting_is_sane_and_duplicates_cost_no_probes() {
         let f = fixture();
-        let service = service(&f);
-        let requests = workload_requests(&f);
+        let (service, model) = service(&f);
+        let requests = workload_requests(&f, model);
         let (_, report) = service.explain_batch(&requests);
         // A cold persistent cache must miss at least once per unique request.
         assert!(report.cache_misses >= requests.len() as u64);
@@ -552,21 +976,82 @@ mod tests {
         // A cache far too small for the workload: evictions must show up.
         exes.config_mut().probe_cache_capacity = 8;
         exes.config_mut().probe_cache_shards = 1;
-        let service = ExesService::from_graph(&exes, f.ranker, f.ds.graph.clone());
-        let requests = workload_requests(&f);
+        let mut service = ExesService::from_graph(&exes, f.ds.graph.clone());
+        let model = service
+            .register(
+                "propagation",
+                ModelSpec::expert_ranker(f.ranker, exes.config().k),
+            )
+            .unwrap();
+        let requests = workload_requests(&f, model);
         let (_, report) = service.explain_batch(&requests);
         assert!(report.cache_evictions > 0);
         assert_eq!(report.cache_evictions, service.probe_cache().evicted());
     }
 
     #[test]
-    fn empty_batch_is_fine() {
+    fn empty_batch_is_fine_and_invalid_specs_are_rejected() {
         let f = fixture();
-        let service = service(&f);
+        let (mut service, _) = service(&f);
         let (responses, report) = service.explain_batch(&[]);
         assert!(responses.is_empty());
         assert_eq!(report, ServiceReport::default());
         assert_eq!(report.hit_rate(), 0.0);
         assert!(!service.config().parallel_probes);
+
+        assert_eq!(
+            service
+                .register("zero-k", ModelSpec::expert_ranker(f.ranker, 0))
+                .err(),
+            Some(ModelSpecError::ZeroK)
+        );
+        assert_eq!(
+            service
+                .register("propagation", ModelSpec::expert_ranker(f.ranker, 2))
+                .err(),
+            Some(ModelSpecError::DuplicateName("propagation".into()))
+        );
+        assert_eq!(service.registry().len(), 1);
+        assert_eq!(
+            service.model_id("propagation"),
+            service.registry().id("propagation")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered here")]
+    fn foreign_model_ids_panic() {
+        let f = fixture();
+        let (_service, model) = service(&f);
+        // `other` never issued `model`.
+        let other = ExesService::from_graph(&f.exes, f.ds.graph.clone());
+        let query =
+            Arc::new(QueryWorkload::answerable(&f.ds.graph, 1, 2, 3, 3, 11).queries()[0].clone());
+        let request = ExplanationRequest::counterfactual_skills(model, PersonId(0), query);
+        let _ = other.explain_batch(&[request]);
+    }
+
+    #[test]
+    fn builder_registers_models_up_front() {
+        let f = fixture();
+        let service = ExesService::builder_from_graph(&f.exes, f.ds.graph.clone())
+            .model("a", ModelSpec::expert_ranker(f.ranker, 2))
+            .unwrap()
+            .model(
+                "b",
+                ModelSpec::team_former(
+                    GreedyCoverTeamFormer::new(f.ranker),
+                    f.ranker,
+                    SeedPolicy::Fixed(PersonId(0)),
+                ),
+            )
+            .unwrap()
+            .build();
+        assert_eq!(service.registry().len(), 2);
+        assert!(service.model_id("a").is_some());
+        assert!(service.model_id("b").is_some());
+        assert!(ExesService::builder_from_graph(&f.exes, f.ds.graph.clone())
+            .model("bad", ModelSpec::expert_ranker(f.ranker, 0))
+            .is_err());
     }
 }

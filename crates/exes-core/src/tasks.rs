@@ -1,8 +1,25 @@
 //! The binary decisions ExES explains: relevance status and team membership.
+//!
+//! Two traits live here. [`DecisionModel`] is the ergonomic, generic interface
+//! implementors write against: `probe` is generic over any [`GraphView`], so a
+//! model written once works on the base graph, perturbed overlays, and any
+//! future view type. That genericity makes the trait non-object-safe — a
+//! `Box<dyn DecisionModel>` cannot exist — which is fine for the single-model
+//! facade but not for a serving layer hosting *many* model configurations
+//! behind one door. [`ErasedDecisionModel`] is the sealed, object-safe twin
+//! that closes the gap: it probes the two concrete graph variants the probe
+//! engine actually constructs ([`CollabGraph`] for the identity probe,
+//! [`PerturbedGraph`] for everything else) and is blanket-implemented for
+//! every [`DecisionModel`], so `Box<dyn ErasedDecisionModel>` is always one
+//! coercion away and the [`crate::model::ModelRegistry`] can store arbitrary
+//! rankers and team formers side by side.
 
+use crate::model::ModelSpecError;
 use exes_expert_search::ExpertRanker;
-use exes_graph::{GraphView, PersonId, Query};
+use exes_graph::{CollabGraph, GraphView, PersonId, PerturbedGraph, Query};
 use exes_team::TeamFormer;
+use rustc_hash::FxHasher;
+use std::hash::{Hash, Hasher};
 
 /// The result of probing the black box on one (possibly perturbed) input.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,12 +38,113 @@ pub struct Probe {
 /// query, and `Sync`: the [`crate::probe::ProbeBatch`] engine probes them from
 /// multiple threads concurrently (which is safe exactly because probing takes
 /// `&self` and must not mutate).
+///
+/// Every `DecisionModel` automatically implements the object-safe
+/// [`ErasedDecisionModel`], so concrete tasks can be boxed into a
+/// [`crate::model::ModelRegistry`] without extra glue.
 pub trait DecisionModel: Sync {
     /// The person whose selection is being explained (`p_i`).
     fn subject(&self) -> PersonId;
 
     /// Evaluates the black box on the given input.
     fn probe<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> Probe;
+
+    /// The top-`k` cutoff anchoring the decision boundary in the model's
+    /// rank signal, when the decision *is* a rank cutoff (`None` otherwise,
+    /// e.g. team membership). Factual SHAP's smooth scalarisation
+    /// ([`crate::config::OutputMode::SmoothRank`]) centres its sigmoid here,
+    /// so a model registered at its own `k` is attributed against its own
+    /// boundary rather than the explainer-wide default.
+    fn rank_cutoff(&self) -> Option<usize> {
+        None
+    }
+
+    /// A fingerprint of the model's *identity and parameters* — everything
+    /// besides the graph, the query and the subject that can change a probe's
+    /// outcome (the ranker and its tunables, the cutoff `k`, a team former's
+    /// seed member, ...). [`crate::probe::ProbeCache`] mixes it into every
+    /// memo key, which is what lets one persistent cache soundly serve many
+    /// registered model configurations: two models with different parameters
+    /// can never alias, and a reconfigured model naturally misses cold.
+    ///
+    /// The default hashes the implementing *type's* name
+    /// ([`std::any::type_name`]): distinct custom model types never alias,
+    /// and instances of one type share entries. That sharing is only sound
+    /// when the type carries no decision-relevant parameters — override this
+    /// (hash the name and every such parameter, as the built-in tasks do)
+    /// whenever differently-parameterised instances of a custom model can
+    /// share a cache.
+    fn model_fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        std::any::type_name::<Self>().hash(&mut h);
+        h.finish()
+    }
+}
+
+mod sealed {
+    /// Seals [`super::ErasedDecisionModel`]: the only way to obtain an
+    /// implementation is through the blanket impl for [`super::DecisionModel`],
+    /// so the erased trait can never diverge from the generic one.
+    pub trait Sealed {}
+    impl<D: super::DecisionModel> Sealed for D {}
+}
+
+/// The object-safe erasure of [`DecisionModel`].
+///
+/// `DecisionModel::probe` is generic over `G: GraphView + ?Sized` and so
+/// cannot go in a vtable. This trait replaces the generic method with one
+/// method per concrete graph variant the probe engine constructs — the base
+/// [`CollabGraph`] (identity probes) and the [`PerturbedGraph`] overlay
+/// (perturbed probes) — which *is* object-safe. It is **sealed**: every
+/// [`DecisionModel`] implements it automatically and nothing else can, so
+/// `&dyn ErasedDecisionModel` and `&ConcreteTask` are guaranteed to probe
+/// identically.
+///
+/// The whole explanation stack ([`crate::probe::ProbeBatch`], beam search,
+/// the exhaustive baselines, factual SHAP) is generic over
+/// `D: ErasedDecisionModel + ?Sized`, so it serves concrete tasks with static
+/// dispatch and boxed registry models with dynamic dispatch through the same
+/// code path.
+pub trait ErasedDecisionModel: sealed::Sealed + Sync {
+    /// The person whose selection is being explained
+    /// ([`DecisionModel::subject`]).
+    fn subject_id(&self) -> PersonId;
+
+    /// Evaluates the black box on the unperturbed base graph.
+    fn probe_graph(&self, graph: &CollabGraph, query: &Query) -> Probe;
+
+    /// Evaluates the black box on a perturbed overlay.
+    fn probe_overlay(&self, graph: &PerturbedGraph<'_>, query: &Query) -> Probe;
+
+    /// The model's cache-isolation fingerprint
+    /// ([`DecisionModel::model_fingerprint`]).
+    fn fingerprint(&self) -> u64;
+
+    /// The model's rank-cutoff boundary, if any
+    /// ([`DecisionModel::rank_cutoff`]).
+    fn cutoff(&self) -> Option<usize>;
+}
+
+impl<D: DecisionModel> ErasedDecisionModel for D {
+    fn subject_id(&self) -> PersonId {
+        self.subject()
+    }
+
+    fn probe_graph(&self, graph: &CollabGraph, query: &Query) -> Probe {
+        self.probe(graph, query)
+    }
+
+    fn probe_overlay(&self, graph: &PerturbedGraph<'_>, query: &Query) -> Probe {
+        self.probe(graph, query)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.model_fingerprint()
+    }
+
+    fn cutoff(&self) -> Option<usize> {
+        self.rank_cutoff()
+    }
 }
 
 /// Expert-search relevance: is the subject ranked within the top-`k`?
@@ -39,9 +157,23 @@ pub struct ExpertRelevanceTask<'a, R> {
 
 impl<'a, R: ExpertRanker> ExpertRelevanceTask<'a, R> {
     /// Creates the task for `subject` with cutoff `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`; use [`ExpertRelevanceTask::try_new`] to handle
+    /// invalid cutoffs without unwinding (untrusted model specs go through
+    /// that path in [`crate::model::ModelRegistry::register`]).
     pub fn new(ranker: &'a R, subject: PersonId, k: usize) -> Self {
-        assert!(k >= 1, "k must be at least 1");
-        ExpertRelevanceTask { ranker, subject, k }
+        Self::try_new(ranker, subject, k).expect("k must be at least 1")
+    }
+
+    /// Creates the task for `subject` with cutoff `k`, rejecting `k == 0`
+    /// with a typed error instead of panicking.
+    pub fn try_new(ranker: &'a R, subject: PersonId, k: usize) -> Result<Self, ModelSpecError> {
+        if k == 0 {
+            return Err(ModelSpecError::ZeroK);
+        }
+        Ok(ExpertRelevanceTask { ranker, subject, k })
     }
 
     /// The cutoff `k`.
@@ -66,6 +198,19 @@ impl<R: ExpertRanker + Sync> DecisionModel for ExpertRelevanceTask<'_, R> {
             positive: rank <= self.k,
             signal: rank as f64,
         }
+    }
+
+    fn rank_cutoff(&self) -> Option<usize> {
+        Some(self.k)
+    }
+
+    fn model_fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        "expert-relevance".hash(&mut h);
+        self.ranker.name().hash(&mut h);
+        self.ranker.hash_params(&mut h);
+        self.k.hash(&mut h);
+        h.finish()
     }
 }
 
@@ -123,6 +268,17 @@ impl<F: TeamFormer + Sync, R: ExpertRanker + Sync> DecisionModel for TeamMembers
             positive: member,
             signal: rank as f64,
         }
+    }
+
+    fn model_fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        "team-membership".hash(&mut h);
+        self.former.name().hash(&mut h);
+        self.former.hash_params(&mut h);
+        self.signal_ranker.name().hash(&mut h);
+        self.signal_ranker.hash_params(&mut h);
+        self.seed.map(|p| p.0).hash(&mut h);
+        h.finish()
     }
 }
 
@@ -204,5 +360,58 @@ mod tests {
     fn zero_k_task_is_rejected() {
         let ranker = TfIdfRanker::default();
         let _ = ExpertRelevanceTask::new(&ranker, PersonId(0), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_k_without_panicking() {
+        let ranker = TfIdfRanker::default();
+        assert_eq!(
+            ExpertRelevanceTask::try_new(&ranker, PersonId(0), 0).err(),
+            Some(ModelSpecError::ZeroK)
+        );
+        assert!(ExpertRelevanceTask::try_new(&ranker, PersonId(0), 3).is_ok());
+    }
+
+    #[test]
+    fn erased_probes_match_generic_probes() {
+        let g = toy();
+        let q = Query::parse("db ml", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 1);
+        let erased: &dyn ErasedDecisionModel = &task;
+        assert_eq!(erased.subject_id(), DecisionModel::subject(&task));
+        assert_eq!(erased.probe_graph(&g, &q), task.probe(&g, &q));
+        let ml = g.vocab().id("ml").unwrap();
+        let delta = PerturbationSet::singleton(Perturbation::RemoveSkill {
+            person: PersonId(0),
+            skill: ml,
+        });
+        let view = delta.apply_to_graph(&g);
+        assert_eq!(erased.probe_overlay(&view, &q), task.probe(&view, &q));
+        assert_eq!(erased.fingerprint(), task.model_fingerprint());
+    }
+
+    #[test]
+    fn model_fingerprints_separate_models_and_parameters() {
+        let ranker = TfIdfRanker::default();
+        let a = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let b = ExpertRelevanceTask::new(&ranker, PersonId(1), 3);
+        // The subject is a separate cache-key component, not part of the
+        // model identity: two subjects of one model share a fingerprint.
+        assert_eq!(a.model_fingerprint(), b.model_fingerprint());
+        // A different cutoff is a different model.
+        let deeper = ExpertRelevanceTask::new(&ranker, PersonId(0), 4);
+        assert_ne!(a.model_fingerprint(), deeper.model_fingerprint());
+        // A different ranker parameterisation is a different model.
+        let tuned = TfIdfRanker { length_norm: 0.75 };
+        let tuned_task = ExpertRelevanceTask::new(&tuned, PersonId(0), 3);
+        assert_ne!(a.model_fingerprint(), tuned_task.model_fingerprint());
+
+        // Team tasks: the seed is part of the model identity.
+        let former = GreedyCoverTeamFormer::new(TfIdfRanker::default());
+        let seeded = TeamMembershipTask::new(&former, &ranker, PersonId(2), Some(PersonId(0)));
+        let unseeded = TeamMembershipTask::new(&former, &ranker, PersonId(2), None);
+        assert_ne!(seeded.model_fingerprint(), unseeded.model_fingerprint());
+        assert_ne!(seeded.model_fingerprint(), a.model_fingerprint());
     }
 }

@@ -6,7 +6,7 @@ use exes_core::counterfactual::beam::beam_search;
 use exes_core::counterfactual::exhaustive::{all_skill_removals, exhaustive_search};
 use exes_core::counterfactual::CounterfactualKind;
 use exes_core::service::{ExesService, ExplanationKind, ExplanationRequest};
-use exes_core::{Exes, ExesConfig, ExpertRelevanceTask, OutputMode, ProbeCache};
+use exes_core::{Exes, ExesConfig, ExpertRelevanceTask, ModelSpec, OutputMode, ProbeCache};
 use exes_datasets::{
     DatasetConfig, QueryWorkload, SyntheticDataset, UpdateStream, UpdateStreamConfig,
 };
@@ -193,16 +193,21 @@ fn explanations_on_untouched_epochs_are_identical_warm_vs_cold() {
     );
     let cfg = f.cfg.clone().with_output_mode(OutputMode::SmoothRank);
     let exes = Exes::new(cfg.clone(), embedding, CommonNeighbors);
-    let service = ExesService::from_graph(&exes, f.ranker, f.ds.graph.clone());
+    let mut service = ExesService::from_graph(&exes, f.ds.graph.clone());
+    let model = service
+        .register("propagation", ModelSpec::expert_ranker(f.ranker, cfg.k))
+        .expect("valid spec");
     let stream = UpdateStream::generate(&f.ds.graph, &UpdateStreamConfig::churn(3, 5, 0xE9));
 
+    let query = Arc::new(f.query.clone());
     let subjects: Vec<PersonId> = f.ranker.rank_all(&f.ds.graph, &f.query).top_k(4);
     let requests: Vec<ExplanationRequest> = subjects
         .iter()
         .flat_map(|&s| {
             [
-                ExplanationRequest::skills(s, f.query.clone()),
-                ExplanationRequest::query_augmentation(s, f.query.clone()),
+                ExplanationRequest::counterfactual_skills(model, s, query.clone()),
+                ExplanationRequest::counterfactual_query(model, s, query.clone()),
+                ExplanationRequest::factual_skills(model, s, query.clone()),
             ]
         })
         .collect();
@@ -216,26 +221,55 @@ fn explanations_on_untouched_epochs_are_identical_warm_vs_cold() {
         let (warm, warm_report) = service.explain_batch(&requests);
         assert_eq!(warm_report.probes, 0, "epoch {i} replay probed the box");
         for (c, w) in cold.iter().zip(&warm) {
-            assert_eq!(c.explanations, w.explanations);
-            assert_eq!(c.timed_out, w.timed_out);
+            match (c, w) {
+                (
+                    exes_core::Explanation::Counterfactual(c),
+                    exes_core::Explanation::Counterfactual(w),
+                ) => {
+                    assert_eq!(c.explanations, w.explanations);
+                    assert_eq!(c.timed_out, w.timed_out);
+                }
+                (exes_core::Explanation::Factual(c), exes_core::Explanation::Factual(w)) => {
+                    assert_eq!(c.shap_values().values(), w.shap_values().values());
+                }
+                _ => panic!("warm replay changed the response family"),
+            }
         }
         // And the cold answers match a from-scratch uncached explainer on
         // this epoch's graph.
         let snapshot = service.snapshot();
         for (request, response) in requests.iter().zip(&cold) {
             let task = ExpertRelevanceTask::new(&f.ranker, request.subject, cfg.k);
-            let reference = match request.kind {
-                ExplanationKind::Skills => {
-                    solo.counterfactual_skills(&task, snapshot.graph(), &request.query)
+            match request.kind {
+                ExplanationKind::CounterfactualSkills => {
+                    let reference =
+                        solo.counterfactual_skills(&task, snapshot.graph(), &request.query);
+                    assert_eq!(
+                        response.expect_counterfactual().explanations,
+                        reference.explanations,
+                        "epoch {i}"
+                    );
                 }
-                ExplanationKind::QueryAugmentation => {
-                    solo.counterfactual_query(&task, snapshot.graph(), &request.query)
+                ExplanationKind::CounterfactualQuery => {
+                    let reference =
+                        solo.counterfactual_query(&task, snapshot.graph(), &request.query);
+                    assert_eq!(
+                        response.expect_counterfactual().explanations,
+                        reference.explanations,
+                        "epoch {i}"
+                    );
                 }
-                ExplanationKind::Links => {
-                    solo.counterfactual_links(&task, snapshot.graph(), &request.query)
+                ExplanationKind::FactualSkills => {
+                    let reference =
+                        solo.factual_skills(&task, snapshot.graph(), &request.query, true);
+                    assert_eq!(
+                        response.expect_factual().shap_values().values(),
+                        reference.shap_values().values(),
+                        "epoch {i}"
+                    );
                 }
-            };
-            assert_eq!(response.explanations, reference.explanations, "epoch {i}");
+                _ => unreachable!("kinds used by this test"),
+            }
         }
         service.commit(batch).expect("churn batch commits");
     }

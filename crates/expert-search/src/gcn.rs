@@ -156,6 +156,13 @@ impl ExpertRanker for GcnRanker {
         "gcn"
     }
 
+    fn hash_params(&self, state: &mut dyn std::hash::Hasher) {
+        state.write_usize(self.hidden_dim);
+        for w in self.w1.iter().chain(&self.w2) {
+            state.write_u64(w.to_bits());
+        }
+    }
+
     fn rank_all<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> RankedList {
         RankedList::from_scores(
             self.forward(graph, query)

@@ -110,6 +110,12 @@ impl ExpertRanker for PersonalizedPageRank {
         "personalized-pagerank"
     }
 
+    fn hash_params(&self, state: &mut dyn std::hash::Hasher) {
+        state.write_u64(self.damping.to_bits());
+        state.write_usize(self.iterations);
+        state.write_u64(self.seed_mix.to_bits());
+    }
+
     fn rank_all<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> RankedList {
         let scores = self.scores(graph, query);
         RankedList::from_scores(

@@ -89,6 +89,11 @@ impl ExpertRanker for PropagationRanker {
         "expertise-propagation"
     }
 
+    fn hash_params(&self, state: &mut dyn std::hash::Hasher) {
+        state.write_u64(self.alpha.to_bits());
+        state.write_u64(self.beta.to_bits());
+    }
+
     fn rank_all<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> RankedList {
         let base = self.base_scores(graph, query);
         let n = graph.num_people();

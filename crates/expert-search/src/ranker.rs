@@ -66,6 +66,20 @@ pub trait ExpertRanker {
     /// Short model name (used in experiment output).
     fn name(&self) -> &'static str;
 
+    /// Feeds every scoring-relevant tunable parameter into `state`.
+    ///
+    /// Together with [`ExpertRanker::name`] this forms the ranker's identity
+    /// in cache keys: ExES memoises black-box probes per model configuration,
+    /// so two differently-parameterised instances of one ranker must hash
+    /// differently or they would answer from each other's cache. The default
+    /// feeds nothing, which is correct only for parameterless rankers;
+    /// implementations with tunables must override it (write each parameter
+    /// through the [`std::hash::Hasher`] methods, e.g. `f64::to_bits` for
+    /// floats).
+    fn hash_params(&self, state: &mut dyn std::hash::Hasher) {
+        let _ = state;
+    }
+
     /// Ranks every person in the graph for `query`.
     ///
     /// The default implementation scores each person independently via

@@ -41,6 +41,10 @@ impl ExpertRanker for TfIdfRanker {
         "tf-idf"
     }
 
+    fn hash_params(&self, state: &mut dyn std::hash::Hasher) {
+        state.write_u64(self.length_norm.to_bits());
+    }
+
     fn rank_all<G: GraphView + ?Sized>(&self, graph: &G, query: &Query) -> crate::RankedList {
         // Precompute the IDF of each query term once per ranking call instead of
         // once per (person, term) pair.

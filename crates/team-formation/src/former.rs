@@ -21,6 +21,17 @@ pub trait TeamFormer {
     /// Short model name used in experiment output.
     fn name(&self) -> &'static str;
 
+    /// Feeds every decision-relevant tunable parameter into `state`.
+    ///
+    /// Together with [`TeamFormer::name`] this forms the former's identity in
+    /// cache keys (ExES memoises black-box probes per model configuration).
+    /// The default feeds nothing, which is correct only for parameterless
+    /// formers; implementations with tunables — including a wrapped ranker's
+    /// parameters — must override it.
+    fn hash_params(&self, state: &mut dyn std::hash::Hasher) {
+        let _ = state;
+    }
+
     /// The binary membership status `M_{p_i}(q, G)`: is `person` on the team?
     fn is_member<G: GraphView + ?Sized>(
         &self,

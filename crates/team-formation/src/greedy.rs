@@ -127,6 +127,12 @@ impl<R: ExpertRanker> TeamFormer for GreedyCoverTeamFormer<R> {
     fn name(&self) -> &'static str {
         "greedy-cover"
     }
+
+    fn hash_params(&self, state: &mut dyn std::hash::Hasher) {
+        state.write_usize(self.max_team_size);
+        state.write(self.ranker.name().as_bytes());
+        self.ranker.hash_params(state);
+    }
 }
 
 #[cfg(test)]

@@ -109,6 +109,10 @@ impl TeamFormer for MinDistanceTeamFormer {
     fn name(&self) -> &'static str {
         "min-distance"
     }
+
+    fn hash_params(&self, state: &mut dyn std::hash::Hasher) {
+        state.write_usize(self.max_team_size);
+    }
 }
 
 #[cfg(test)]

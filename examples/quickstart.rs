@@ -3,11 +3,14 @@
 //! Builds a small academic collaboration network, asks an expert-search system
 //! for "xai ai mining" experts, and then asks ExES *why* the top expert was
 //! chosen (factual explanation) and *what would have to change* for them to no
-//! longer be chosen (counterfactual explanations).
+//! longer be chosen (counterfactual explanations) — first through the direct
+//! `Exes` facade, then through the `ExesService` front door with a registered
+//! model and a mixed batch.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use exes::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // --- A small collaboration network (echoing Figure 1 of the paper) --------
@@ -81,5 +84,45 @@ fn main() {
             println!("  - {}", explanation.describe(&graph));
         }
     }
+
+    // --- The serving layer: register the model once, batch everything ---------------
+    // A production deployment goes through `ExesService`: models are registered
+    // by name, requests address them by `ModelId`, and one mixed batch can ask
+    // for every explanation family at once.
+    let mut service = ExesService::from_graph(&exes, graph.clone());
+    let model = service
+        .register("propagation@1", ModelSpec::expert_ranker(ranker, k))
+        .expect("valid model spec");
+    let query = Arc::new(query);
+    let batch = vec![
+        ExplanationRequest::factual_skills(model, top, query.clone()),
+        ExplanationRequest::counterfactual_skills(model, top, query.clone()),
+        ExplanationRequest::counterfactual_query(model, top, query.clone()),
+    ];
+    let (responses, report) = service.explain_batch(&batch);
+    println!(
+        "\n== Service batch: {} requests against model '{}' ({} probes, {:.0}% cache hits) ==",
+        report.requests,
+        service.registry().name(model).unwrap(),
+        report.probes,
+        report.hit_rate() * 100.0
+    );
+    let factual = responses[0].expect_factual();
+    println!(
+        "factual top feature: {}",
+        factual
+            .top_k(1)
+            .first()
+            .map(|(feature, _)| feature.describe(&graph))
+            .unwrap_or_else(|| "(none)".into())
+    );
+    for response in &responses[1..] {
+        if let Some(result) = response.as_counterfactual() {
+            for explanation in result.explanations.iter().take(1) {
+                println!("counterfactual: {}", explanation.describe(&graph));
+            }
+        }
+    }
+
     println!("\nDone. See `examples/academic_search.rs` for the full synthetic-DBLP scenario.");
 }

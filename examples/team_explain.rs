@@ -7,6 +7,7 @@
 //! Run with: `cargo run --release --example team_explain`
 
 use exes::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let dataset = SyntheticDataset::generate(&DatasetConfig::dblp_sim().scaled(0.012));
@@ -88,4 +89,44 @@ fn main() {
         );
         assert!(new_team.contains(outsider));
     }
+
+    // --- The same questions through the serving front door --------------------------
+    // One `ExesService` hosts the team former and the raw ranker side by side;
+    // a mixed batch asks factual and counterfactual questions of both models
+    // and the answers match the facade calls above byte for byte.
+    let mut service = ExesService::from_graph(&exes, graph.clone());
+    let team_model = service
+        .register(
+            "greedy-cover",
+            ModelSpec::team_former(former.clone(), ranker.clone(), SeedPolicy::Fixed(seed)),
+        )
+        .expect("valid team spec");
+    let expert_model = service
+        .register("gcn@10", ModelSpec::expert_ranker(ranker.clone(), 10))
+        .expect("valid expert spec");
+    let shared_query = Arc::new(query.clone());
+    let batch = vec![
+        ExplanationRequest::factual_skills(team_model, member, shared_query.clone()),
+        ExplanationRequest::counterfactual_skills(team_model, outsider, shared_query.clone()),
+        ExplanationRequest::counterfactual_query(expert_model, outsider, shared_query.clone()),
+    ];
+    let (responses, report) = service.explain_batch(&batch);
+    println!(
+        "\n== Service batch over {} models: {} requests, {} probes ==",
+        service.registry().len(),
+        report.requests,
+        report.probes
+    );
+    let service_factual = responses[0].expect_factual();
+    assert_eq!(
+        service_factual.shap_values().values(),
+        factual.shap_values().values(),
+        "service-routed factual must match the facade call"
+    );
+    let service_additions = responses[1].expect_counterfactual();
+    assert_eq!(
+        service_additions.explanations, additions.explanations,
+        "service-routed counterfactual must match the facade call"
+    );
+    println!("service answers are byte-identical to the direct facade calls");
 }

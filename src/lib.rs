@@ -48,9 +48,11 @@ pub use exes_team as team;
 /// Commonly used items, importable with `use exes::prelude::*`.
 pub mod prelude {
     pub use exes_core::{
-        counterfactual_precision, factual_precision_at_k, CounterfactualKind, DecisionModel, Exes,
-        ExesConfig, ExesService, ExpertRelevanceTask, ExplanationKind, ExplanationRequest,
-        FactualExplanation, Feature, OutputMode, ProbeCache, ServiceReport, TeamMembershipTask,
+        counterfactual_precision, factual_precision_at_k, CounterfactualKind, DecisionModel,
+        ErasedDecisionModel, Exes, ExesConfig, ExesService, ExesServiceBuilder,
+        ExpertRelevanceTask, Explanation, ExplanationKind, ExplanationRequest, FactualExplanation,
+        Feature, ModelFamilyKind, ModelId, ModelRegistry, ModelSpec, ModelSpecError, OutputMode,
+        ProbeCache, SeedPolicy, ServiceReport, TeamMembershipTask,
     };
     pub use exes_datasets::{
         Corpus, DatasetConfig, QueryWorkload, SyntheticDataset, UpdateStream, UpdateStreamConfig,

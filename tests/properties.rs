@@ -447,12 +447,19 @@ fn probe_cache_keys_are_insertion_order_independent() {
         let probe = task.probe(&view, &pq);
 
         let cache = ProbeCache::new(0);
-        cache.insert(&graph, &query, subject, &delta, probe);
+        cache.insert(&graph, &query, &task, &delta, probe);
         assert_eq!(
-            cache.lookup(&graph, &query, subject, &shuffled),
+            cache.lookup(&graph, &query, &task, &shuffled),
             Some(probe),
             "case {case}: shuffled insertion order must hit the same key"
         );
         assert_eq!(cache.hits(), 1, "case {case}");
+        // A different model configuration (k + 1) must not see the entry.
+        let deeper = ExpertRelevanceTask::new(&ranker, subject, 3);
+        assert_eq!(
+            cache.lookup(&graph, &query, &deeper, &delta),
+            None,
+            "case {case}: per-model fingerprints must isolate cache entries"
+        );
     }
 }
