@@ -53,7 +53,7 @@ pub use model::{ModelFamilyKind, ModelId, ModelRegistry, ModelSpec, ModelSpecErr
 pub use probe::{ProbeBatch, ProbeCache};
 pub use service::{
     ExesService, ExesServiceBuilder, Explanation, ExplanationKind, ExplanationRequest,
-    ServiceReport,
+    RequestError, ServiceReport,
 };
 pub use tasks::{
     DecisionModel, ErasedDecisionModel, ExpertRelevanceTask, Probe, TeamMembershipTask,

@@ -49,9 +49,10 @@ use crate::explainer::Exes;
 use crate::factual::FactualExplanation;
 use crate::model::{ModelId, ModelRegistry, ModelSpec, ModelSpecError};
 use crate::probe::ProbeCache;
-use exes_graph::{CollabGraph, GraphSnapshot, GraphStore, PersonId, Query, UpdateBatch};
+use exes_graph::{CollabGraph, GraphSnapshot, GraphStore, GraphView, PersonId, Query, UpdateBatch};
 use exes_linkpred::LinkPredictor;
 use rustc_hash::FxHashMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// Which explanation family a request asks for — the full menu of Section 3:
@@ -183,6 +184,51 @@ impl ExplanationRequest {
     }
 }
 
+/// Why one request in a batch could not be answered.
+///
+/// A batch front-door serving untrusted traffic must degrade per request, not
+/// per batch: one stale [`ModelId`] or out-of-range subject in a 200-request
+/// batch yields one `Err` slot while the other 199 requests are answered
+/// normally (see [`ExesService::try_explain_batch`]). Errors are detected
+/// before any probing starts, so a failed request never costs a black-box
+/// probe and never poisons the shared cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The request addressed a [`ModelId`] this service never issued.
+    UnknownModel(ModelId),
+    /// The subject does not exist in the epoch the batch was answered
+    /// against.
+    SubjectOutOfRange {
+        /// The subject the request named.
+        subject: PersonId,
+        /// How many people the answered epoch's graph actually has.
+        num_people: usize,
+    },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::UnknownModel(id) => write!(
+                f,
+                "ModelId({}) is not registered here; ids are only valid for \
+                 the service that issued them",
+                id.index()
+            ),
+            RequestError::SubjectOutOfRange {
+                subject,
+                num_people,
+            } => write!(
+                f,
+                "subject {subject} is out of range for this epoch's graph \
+                 ({num_people} people)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 /// A unified explanation response: counterfactual search results and factual
 /// SHAP attributions behind one type, so a mixed batch comes back as one
 /// position-stable `Vec<Explanation>`.
@@ -253,6 +299,11 @@ pub struct ServiceReport {
     /// Requests answered by cloning another identical request's result
     /// instead of searching again.
     pub duplicate_requests: usize,
+    /// Requests answered with a [`RequestError`] instead of an explanation
+    /// (unknown model, out-of-range subject). Failed requests never issue
+    /// probes. Always 0 for batches answered through the panicking
+    /// [`ExesService::explain_batch`] surface.
+    pub failed_requests: usize,
     /// Probe lookups answered by the service's persistent cache during this
     /// batch.
     pub cache_hits: u64,
@@ -468,7 +519,9 @@ where
     /// # Panics
     ///
     /// Panics when a request addresses a [`ModelId`] this service never
-    /// issued.
+    /// issued or a subject outside the epoch's graph. Servers fronting
+    /// untrusted traffic should use [`ExesService::try_explain_batch`], which
+    /// degrades per request instead.
     pub fn explain_batch(
         &self,
         requests: &[ExplanationRequest],
@@ -484,6 +537,36 @@ where
         snapshot: &GraphSnapshot,
         requests: &[ExplanationRequest],
     ) -> (Vec<Explanation>, ServiceReport) {
+        let (results, report) = self.try_explain_batch_on(snapshot, requests);
+        let responses = results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect();
+        (responses, report)
+    }
+
+    /// [`ExesService::explain_batch`] with per-request error handling: an
+    /// unknown [`ModelId`] or an out-of-range subject turns into an
+    /// `Err(`[`RequestError`]`)` in that request's slot instead of a panic,
+    /// and the rest of the batch is answered normally. Failed requests are
+    /// rejected before any probing, so they cost no black-box probes, cannot
+    /// poison the shared cache, and are counted in
+    /// [`ServiceReport::failed_requests`].
+    pub fn try_explain_batch(
+        &self,
+        requests: &[ExplanationRequest],
+    ) -> (Vec<Result<Explanation, RequestError>>, ServiceReport) {
+        let snapshot = self.store.snapshot();
+        self.try_explain_batch_on(&snapshot, requests)
+    }
+
+    /// [`ExesService::try_explain_batch`] against an explicit (e.g. older)
+    /// epoch's snapshot.
+    pub fn try_explain_batch_on(
+        &self,
+        snapshot: &GraphSnapshot,
+        requests: &[ExplanationRequest],
+    ) -> (Vec<Result<Explanation, RequestError>>, ServiceReport) {
         // Group request indices by query, preserving first-occurrence order.
         // Arc-shared queries take the pointer fast path: a term vector is
         // hashed at most once per distinct Arc, not once per request.
@@ -517,7 +600,9 @@ where
         };
         let evicted_before = self.cache.evicted();
         let graph = snapshot.graph();
-        let mut responses: Vec<Option<Explanation>> = vec![None; requests.len()];
+        let num_people = graph.num_people();
+        let mut responses: Vec<Option<Result<Explanation, RequestError>>> =
+            vec![None; requests.len()];
         for idxs in &groups {
             // Deduplicate identical requests inside the group: the first
             // occurrence computes, the rest clone its response. Queries are
@@ -539,9 +624,26 @@ where
             }
             report.duplicate_requests += duplicate_of.len();
 
+            // Validate before probing: a bad request fails alone, costs no
+            // probes, and never reaches the engine (or the shared cache).
+            let mut answerable: Vec<usize> = Vec::with_capacity(unique.len());
+            for &i in &unique {
+                let r = &requests[i];
+                if self.registry.name(r.model).is_none() {
+                    responses[i] = Some(Err(RequestError::UnknownModel(r.model)));
+                } else if r.subject.index() >= num_people {
+                    responses[i] = Some(Err(RequestError::SubjectOutOfRange {
+                        subject: r.subject,
+                        num_people,
+                    }));
+                } else {
+                    answerable.push(i);
+                }
+            }
+
             let answered =
-                exes_parallel::parallel_map(&unique, |&i| self.answer(graph, &requests[i]));
-            for (&i, result) in unique.iter().zip(answered) {
+                exes_parallel::parallel_map(&answerable, |&i| self.answer(graph, &requests[i]));
+            for (&i, result) in answerable.iter().zip(answered) {
                 // Only unique computations issue probes; duplicate responses
                 // below are clones and must not be double-counted. Hit/miss
                 // counts come from the per-request results, so they stay
@@ -555,7 +657,7 @@ where
                     Explanation::Counterfactual(r) => r.cache_misses as u64,
                     Explanation::Factual(f) => f.probes() as u64,
                 };
-                responses[i] = Some(result);
+                responses[i] = Some(Ok(result));
             }
             for (i, rep) in duplicate_of {
                 responses[i] = responses[rep].clone();
@@ -568,10 +670,11 @@ where
         // the exact cache-lifetime total).
         report.cache_evictions = self.cache.evicted().saturating_sub(evicted_before);
 
-        let responses: Vec<Explanation> = responses
+        let responses: Vec<Result<Explanation, RequestError>> = responses
             .into_iter()
             .map(|r| r.expect("every request answered"))
             .collect();
+        report.failed_requests = responses.iter().filter(|r| r.is_err()).count();
         (responses, report)
     }
 
@@ -609,6 +712,31 @@ where
         }
     }
 }
+
+// Compile-time guarantee, not an incidental property: a service over a
+// thread-safe link predictor is itself `Send + Sync`, so server workers can
+// share one `ExesService` behind an `Arc` (commits interleaving with batches
+// from many threads). If a future field breaks this, the build fails here —
+// not in a downstream crate's thread spawn.
+#[allow(dead_code)]
+fn assert_service_is_send_sync<L>()
+where
+    L: LinkPredictor + Clone + Sync + Send,
+{
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ExesService<L>>();
+    assert_send_sync::<ExplanationRequest>();
+    assert_send_sync::<Explanation>();
+    assert_send_sync::<RequestError>();
+    assert_send_sync::<ServiceReport>();
+}
+
+const _: () = {
+    #[allow(dead_code)]
+    fn instantiate_for_a_concrete_predictor() {
+        assert_service_is_send_sync::<exes_linkpred::CommonNeighbors>();
+    }
+};
 
 #[cfg(test)]
 mod tests {
@@ -1029,6 +1157,125 @@ mod tests {
             Arc::new(QueryWorkload::answerable(&f.ds.graph, 1, 2, 3, 3, 11).queries()[0].clone());
         let request = ExplanationRequest::counterfactual_skills(model, PersonId(0), query);
         let _ = other.explain_batch(&[request]);
+    }
+
+    #[test]
+    fn try_explain_batch_degrades_per_request_not_per_batch() {
+        let f = fixture();
+        let (svc, model) = service(&f);
+        let requests = workload_requests(&f, model);
+        let query = requests[0].query.clone();
+        let good = requests[0].clone();
+        let foreign =
+            ExplanationRequest::counterfactual_skills(ModelId(41), good.subject, query.clone());
+        let ghost =
+            ExplanationRequest::counterfactual_skills(model, PersonId(u32::MAX), query.clone());
+        // One valid request surrounded by invalid ones, plus a duplicate of
+        // each: errors must land in their own slots (and their duplicates'),
+        // while the valid request is answered exactly as if it were alone.
+        let batch = vec![
+            foreign.clone(),
+            good.clone(),
+            ghost.clone(),
+            foreign.clone(),
+            ghost.clone(),
+        ];
+        let (results, report) = svc.try_explain_batch(&batch);
+        assert_eq!(results.len(), 5);
+        assert_eq!(
+            results[0].as_ref().err(),
+            Some(&RequestError::UnknownModel(ModelId(41)))
+        );
+        assert!(matches!(
+            results[2].as_ref().err(),
+            Some(RequestError::SubjectOutOfRange { .. })
+        ));
+        assert_eq!(
+            results[3].as_ref().err(),
+            results[0].as_ref().err(),
+            "duplicates of a failed request clone its error"
+        );
+        assert_eq!(results[4].as_ref().err(), results[2].as_ref().err());
+        assert_eq!(report.failed_requests, 4);
+        assert_eq!(report.duplicate_requests, 2);
+        assert_eq!(report.requests, 5);
+
+        // The valid slot is byte-identical to a solo uncached answer, and the
+        // batch's probes all belong to it (failures cost nothing).
+        let mut solo_exes = f.exes.clone();
+        solo_exes.config_mut().parallel_probes = false;
+        let solo = solo_answer(&solo_exes, &f.ranker, &f.ds.graph, &good);
+        assert_same_explanation(results[1].as_ref().unwrap(), &solo);
+        let fresh = service(&f).0;
+        let (alone_results, alone) = fresh.try_explain_batch(std::slice::from_ref(&good));
+        assert!(alone_results[0].is_ok());
+        assert_eq!(report.probes, alone.probes);
+
+        // Errors render usefully and the panicking surface still panics.
+        assert!(results[0]
+            .as_ref()
+            .unwrap_err()
+            .to_string()
+            .contains("not registered here"));
+        assert!(results[2]
+            .as_ref()
+            .unwrap_err()
+            .to_string()
+            .contains("out of range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explain_batch_panics_on_out_of_range_subjects() {
+        let f = fixture();
+        let (service, model) = service(&f);
+        let query =
+            Arc::new(QueryWorkload::answerable(&f.ds.graph, 1, 2, 3, 3, 11).queries()[0].clone());
+        let request = ExplanationRequest::counterfactual_skills(model, PersonId(u32::MAX), query);
+        let _ = service.explain_batch(&[request]);
+    }
+
+    #[test]
+    fn one_service_is_shared_across_threads() {
+        // The cross-thread smoke test backing the compile-time Send + Sync
+        // assertion: one Arc'd service, concurrent batches and a commit, all
+        // answers identical to the single-threaded ones.
+        let f = fixture();
+        let (service, model) = service(&f);
+        let service = Arc::new(service);
+        let requests = workload_requests(&f, model);
+        let (reference, _) = service.explain_batch(&requests);
+
+        let concurrent: Vec<Vec<Explanation>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let service = Arc::clone(&service);
+                    let requests = &requests;
+                    scope.spawn(move || service.explain_batch(requests).0)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for responses in &concurrent {
+            for (a, b) in reference.iter().zip(responses) {
+                assert_same_explanation(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn hit_rate_is_zero_when_no_probe_was_looked_up() {
+        // The /metrics endpoint divides by (hits + misses); the zero-probe
+        // edge must stay a well-defined 0.0, not NaN.
+        let report = ServiceReport::default();
+        assert_eq!(report.cache_hits + report.cache_misses, 0);
+        assert_eq!(report.hit_rate(), 0.0);
+        assert!(report.hit_rate().is_finite());
+        let hits_only = ServiceReport {
+            cache_hits: 3,
+            ..Default::default()
+        };
+        assert_eq!(hits_only.hit_rate(), 1.0);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! A tiny blocking HTTP/1.1 client for loopback testing, benching and the
+//! examples.
+//!
+//! This is deliberately *not* a production client — no TLS, no redirects, no
+//! connection pooling — just enough to drive the server over a keep-alive
+//! socket and get structured responses back, without pulling a dependency
+//! into the offline build.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (200, 503, …).
+    pub status: u16,
+    /// Headers in order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The response body, as text (all server bodies are JSON).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First value of `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to one server.
+///
+/// When a response carries `Connection: close` (every 4xx does), the client
+/// reconnects transparently before its next request instead of writing into
+/// the socket the server just closed.
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    reconnect: bool,
+}
+
+impl HttpClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient {
+            addr,
+            stream,
+            reader,
+            reconnect: false,
+        })
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Sends one request and reads its response off the shared keep-alive
+    /// connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        if self.reconnect {
+            *self = Self::connect(self.addr)?;
+        }
+        let body = body.unwrap_or("");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: exes\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(raw.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Writes raw bytes on the wire (for malformed-input tests) and tries to
+    /// read whatever comes back.
+    pub fn send_raw(&mut self, raw: &[u8]) -> io::Result<HttpResponse> {
+        self.stream.write_all(raw)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.split(' ');
+        let version = parts.next().unwrap_or("");
+        let status = parts
+            .next()
+            .and_then(|s| s.parse::<u16>().ok())
+            .filter(|_| version.starts_with("HTTP/1."))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line: {status_line}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        let response = HttpResponse {
+            status,
+            headers,
+            body,
+        };
+        self.reconnect = response
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        Ok(response)
+    }
+}

@@ -1,0 +1,58 @@
+//! # exes-server
+//!
+//! The networked serving front-end for ExES: a hand-rolled HTTP/1.1 server
+//! over `std::net` (the build is fully offline — no tokio, no hyper) that
+//! puts a real front door on [`exes_core::ExesService`] and — crucially —
+//! *exploits* the batching, dedup and probe-cache machinery underneath
+//! instead of bypassing it with one-request-at-a-time calls.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `POST /explain` | A batch of explanation requests (all six kinds), answered position-stably |
+//! | `POST /commit` | An [`exes_graph::UpdateBatch`] — publishes a new graph epoch |
+//! | `GET /metrics` | Cumulative serving counters, queue/cache gauges, last batch report |
+//! | `GET /healthz` | Liveness, current epoch, registered model count |
+//!
+//! ## The micro-batching scheduler
+//!
+//! Connections never run a search themselves. Parsed requests enter a
+//! **bounded admission queue** ([`queue::AdmissionQueue`]); one batcher
+//! thread drains up to `max_batch` requests — or whatever arrived within
+//! `batch_window` of the first — into a single
+//! [`exes_core::ExesService::try_explain_batch`] call. That is what makes
+//! concurrent duplicate-heavy traffic cheap: requests from *different*
+//! connections land in one engine batch, where cross-user dedup answers
+//! repeats by cloning and the shared probe cache replays warm epochs with
+//! zero black-box probes. When the queue is full the server **sheds load**
+//! (HTTP 503 + `Retry-After`) instead of buffering without bound.
+//!
+//! ## Robustness guarantees
+//!
+//! * malformed wire input (truncated HTTP, garbage JSON, wrong field types)
+//!   never kills a worker: every parse failure maps to a structured
+//!   `{"error":{...}}` response with a 4xx status;
+//! * semantic problems fail **per request**: an unknown model name or
+//!   out-of-range subject yields an error entry in that slot of the results
+//!   array while the rest of the batch is answered normally;
+//! * responses are serialised by [`wire`] — the same functions a test can
+//!   call on in-process results, so wire bytes are provably identical to
+//!   direct `ExesService` output;
+//! * [`server::ServerHandle::shutdown`] drains everything already admitted
+//!   before the process lets go of a single thread.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::{HttpClient, HttpResponse};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use wire::WireError;

@@ -1,0 +1,156 @@
+//! The `exes-server` binary: a self-contained serving demo over a synthetic
+//! collaboration network.
+//!
+//! ```text
+//! cargo run -p exes-server --release -- --port 7878 --people 600
+//! curl -s localhost:7878/healthz
+//! curl -s localhost:7878/explain -d '{"requests":[...]}'
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--port N`         listen port (default 7878; 0 picks an ephemeral one)
+//! * `--people N`       synthetic dataset size (default 400)
+//! * `--seed N`         dataset seed (default 7)
+//! * `--workers N`      connection workers (default 4)
+//! * `--queue-depth N`  admission-queue capacity in requests (default 1024)
+//! * `--max-batch N`    micro-batch target size (default 64)
+//! * `--batch-window-ms N`  straggler window per micro-batch (default 2)
+//! * `--k N`            top-k cutoff of the registered expert models (default 10)
+
+use exes_core::{Exes, ExesConfig, ExesService, ModelSpec, OutputMode, SeedPolicy};
+use exes_datasets::{DatasetConfig, SyntheticDataset};
+use exes_embedding::{EmbeddingConfig, SkillEmbedding};
+use exes_expert_search::{PropagationRanker, TfIdfRanker};
+use exes_graph::GraphView;
+use exes_linkpred::CommonNeighbors;
+use exes_server::ServerConfig;
+use exes_team::GreedyCoverTeamFormer;
+use std::time::Duration;
+
+struct Args {
+    port: u16,
+    people: usize,
+    seed: u64,
+    workers: usize,
+    queue_depth: usize,
+    max_batch: usize,
+    batch_window_ms: u64,
+    k: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: 7878,
+        people: 400,
+        seed: 7,
+        workers: 4,
+        queue_depth: 1024,
+        max_batch: 64,
+        batch_window_ms: 2,
+        k: 10,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |what: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{flag} needs a {what} argument"))
+        };
+        match flag.as_str() {
+            "--port" => args.port = value("port").parse().expect("--port: not a port"),
+            "--people" => args.people = value("count").parse().expect("--people: not a count"),
+            "--seed" => args.seed = value("seed").parse().expect("--seed: not a number"),
+            "--workers" => args.workers = value("count").parse().expect("--workers: not a count"),
+            "--queue-depth" => {
+                args.queue_depth = value("count").parse().expect("--queue-depth: not a count")
+            }
+            "--max-batch" => {
+                args.max_batch = value("count").parse().expect("--max-batch: not a count")
+            }
+            "--batch-window-ms" => {
+                args.batch_window_ms = value("ms").parse().expect("--batch-window-ms: not ms")
+            }
+            "--k" => args.k = value("k").parse().expect("--k: not a number"),
+            other => panic!("unknown flag '{other}' (see crate docs for the flag list)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    eprintln!(
+        "generating a synthetic collaboration network ({} people)...",
+        args.people
+    );
+    let base = DatasetConfig::github_sim();
+    let factor = args.people as f64 / base.num_people as f64;
+    let ds = SyntheticDataset::generate(&base.scaled(factor).with_seed(args.seed));
+    let embedding = SkillEmbedding::train(
+        ds.corpus.token_bags(),
+        ds.graph.vocab().len(),
+        &EmbeddingConfig {
+            dim: 16,
+            ..Default::default()
+        },
+    );
+    let cfg = ExesConfig::fast()
+        .with_k(args.k)
+        .with_output_mode(OutputMode::SmoothRank);
+    let exes = Exes::new(cfg, embedding, CommonNeighbors);
+
+    let mut service = ExesService::from_graph(&exes, ds.graph.clone());
+    let tfidf = service
+        .register(
+            "tfidf",
+            ModelSpec::expert_ranker(TfIdfRanker::default(), args.k),
+        )
+        .expect("valid spec");
+    let propagation = service
+        .register(
+            "propagation",
+            ModelSpec::expert_ranker(PropagationRanker::default(), args.k),
+        )
+        .expect("valid spec");
+    let team = service
+        .register(
+            "team",
+            ModelSpec::team_former(
+                GreedyCoverTeamFormer::new(TfIdfRanker::default()),
+                TfIdfRanker::default(),
+                SeedPolicy::Unseeded,
+            ),
+        )
+        .expect("valid spec");
+
+    let config = ServerConfig {
+        addr: format!("127.0.0.1:{}", args.port),
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        max_batch: args.max_batch,
+        batch_window: Duration::from_millis(args.batch_window_ms),
+        ..Default::default()
+    };
+    let handle = exes_server::start(service, config).expect("bind failed");
+
+    eprintln!(
+        "exes-server listening on http://{} — {} people, {} edges, {} skills",
+        handle.addr(),
+        ds.graph.num_people(),
+        ds.graph.num_edges(),
+        ds.graph.vocab().len()
+    );
+    eprintln!(
+        "models: tfidf (#{}), propagation (#{}), team (#{})",
+        tfidf.index(),
+        propagation.index(),
+        team.index()
+    );
+    eprintln!("try:  curl -s localhost:{}/healthz", handle.addr().port());
+
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,172 @@
+//! Cumulative serving counters behind `GET /metrics`.
+//!
+//! Counters are plain relaxed atomics: they are monotone gauges for
+//! dashboards, not synchronisation. The service-level quantities (probes,
+//! cache hits/misses, duplicates) are summed from each micro-batch's
+//! [`ServiceReport`], so they measure exactly what the engine measured.
+
+use crate::wire;
+use exes_core::ServiceReport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cumulative counters for one server's lifetime.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// TCP connections accepted.
+    pub connections: AtomicU64,
+    /// Connections dropped because the pending-connection queue was full.
+    pub connections_rejected: AtomicU64,
+    /// HTTP requests parsed successfully (any endpoint).
+    pub http_requests: AtomicU64,
+    /// Bodies or request framing rejected as malformed (HTTP 400/413).
+    pub parse_errors: AtomicU64,
+    /// Well-formed `POST /explain` bodies received — including bodies later
+    /// shed with 503 (subtract `shed_requests` for admitted work).
+    pub explain_batches: AtomicU64,
+    /// Explanation requests received across those bodies (again including
+    /// ones later shed).
+    pub explain_requests: AtomicU64,
+    /// Requests answered with a per-request error entry.
+    pub request_errors: AtomicU64,
+    /// Requests refused with 503 because the admission queue was full.
+    pub shed_requests: AtomicU64,
+    /// Micro-batches the batcher ran through the engine.
+    pub micro_batches: AtomicU64,
+    /// Black-box probes issued by the engine.
+    pub probes: AtomicU64,
+    /// Probe lookups served by the persistent cache.
+    pub cache_hits: AtomicU64,
+    /// Probe lookups that missed into the black box.
+    pub cache_misses: AtomicU64,
+    /// Requests answered by cross-request dedup instead of computation.
+    pub duplicate_requests: AtomicU64,
+    /// Update batches committed.
+    pub commits: AtomicU64,
+    /// Update batches rejected by validation.
+    pub commit_failures: AtomicU64,
+    /// The most recent micro-batch's report.
+    last_report: Mutex<Option<ServiceReport>>,
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one micro-batch's report into the cumulative counters.
+    pub fn record_batch(&self, report: &ServiceReport) {
+        self.micro_batches.fetch_add(1, Ordering::Relaxed);
+        self.probes
+            .fetch_add(report.probes as u64, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(report.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(report.cache_misses, Ordering::Relaxed);
+        self.duplicate_requests
+            .fetch_add(report.duplicate_requests as u64, Ordering::Relaxed);
+        *self.last_report.lock().expect("metrics lock poisoned") = Some(*report);
+    }
+
+    /// The most recent micro-batch report, if any batch ran yet.
+    pub fn last_report(&self) -> Option<ServiceReport> {
+        *self.last_report.lock().expect("metrics lock poisoned")
+    }
+
+    /// Renders the `/metrics` payload. The caller supplies the live-state
+    /// gauges (epoch, model count, queue occupancy, cache totals) it can see.
+    #[allow(clippy::too_many_arguments)]
+    pub fn to_json(
+        &self,
+        epoch: u64,
+        models: usize,
+        queue_capacity: usize,
+        queue_depth: usize,
+        cache_entries: usize,
+        cache_hits_lifetime: u64,
+        cache_misses_lifetime: u64,
+        cache_evictions_lifetime: u64,
+    ) -> String {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let last = match self.last_report() {
+            Some(report) => wire::report_json(&report),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"epoch\":{epoch},\"models\":{models},\
+             \"http\":{{\"connections\":{},\"connections_rejected\":{},\
+             \"requests\":{},\"parse_errors\":{}}},\
+             \"explain\":{{\"batches\":{},\"requests\":{},\"request_errors\":{},\
+             \"shed_requests\":{},\"micro_batches\":{},\"probes\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"duplicate_requests\":{}}},\
+             \"commits\":{{\"accepted\":{},\"rejected\":{}}},\
+             \"queue\":{{\"capacity\":{queue_capacity},\"depth\":{queue_depth}}},\
+             \"cache\":{{\"entries\":{cache_entries},\"hits\":{cache_hits_lifetime},\
+             \"misses\":{cache_misses_lifetime},\"evictions\":{cache_evictions_lifetime}}},\
+             \"last_report\":{last}}}",
+            get(&self.connections),
+            get(&self.connections_rejected),
+            get(&self.http_requests),
+            get(&self.parse_errors),
+            get(&self.explain_batches),
+            get(&self.explain_requests),
+            get(&self.request_errors),
+            get(&self.shed_requests),
+            get(&self.micro_batches),
+            get(&self.probes),
+            get(&self.cache_hits),
+            get(&self.cache_misses),
+            get(&self.duplicate_requests),
+            get(&self.commits),
+            get(&self.commit_failures),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn batches_accumulate_and_render() {
+        let metrics = ServerMetrics::new();
+        assert_eq!(metrics.last_report(), None);
+        let report = ServiceReport {
+            epoch: 2,
+            requests: 10,
+            groups: 1,
+            duplicate_requests: 3,
+            failed_requests: 0,
+            cache_hits: 7,
+            cache_misses: 5,
+            cache_evictions: 0,
+            probes: 5,
+        };
+        metrics.record_batch(&report);
+        metrics.record_batch(&report);
+        assert_eq!(metrics.probes.load(Ordering::Relaxed), 10);
+        assert_eq!(metrics.duplicate_requests.load(Ordering::Relaxed), 6);
+        assert_eq!(metrics.last_report(), Some(report));
+
+        let text = metrics.to_json(2, 1, 256, 0, 42, 7, 5, 0);
+        let parsed = json::parse(&text).expect("metrics must be valid JSON");
+        assert_eq!(parsed.get("epoch").unwrap().as_u64(), Some(2));
+        let explain = parsed.get("explain").unwrap();
+        assert_eq!(explain.get("micro_batches").unwrap().as_u64(), Some(2));
+        assert_eq!(explain.get("probes").unwrap().as_u64(), Some(10));
+        let last = parsed.get("last_report").unwrap();
+        assert_eq!(
+            wire::report_from_json(last),
+            Some(report),
+            "last_report must roundtrip as a ServiceReport"
+        );
+        // Before any batch, last_report renders as null.
+        let fresh = ServerMetrics::new().to_json(0, 0, 1, 0, 0, 0, 0, 0);
+        assert_eq!(
+            json::parse(&fresh).unwrap().get("last_report"),
+            Some(&json::Json::Null)
+        );
+    }
+}

@@ -1,0 +1,645 @@
+//! The serving loop: accept, route, micro-batch, respond, shut down cleanly.
+//!
+//! Thread anatomy (all plain `std::thread` — the build is offline, so there
+//! is no async runtime; CPU parallelism comes from the `exes-parallel` pool
+//! *inside* `ExesService::try_explain_batch`, which shards each micro-batch's
+//! unique requests across cores):
+//!
+//! * **acceptor** — non-blocking `accept` loop feeding a *bounded*
+//!   connection queue (beyond `max_pending_connections`, new sockets are
+//!   dropped rather than buffered);
+//! * **workers** (`ServerConfig::workers`) — pop connections, speak
+//!   HTTP/1.1 keep-alive, parse bodies with the wire codec, enqueue
+//!   [`Job`]s, and write responses. Workers run no searches themselves, but
+//!   a worker does block on its own job's outcome (synchronous HTTP), so the
+//!   pool saturates at `workers` concurrent explain requests — size it above
+//!   the expected in-flight count if `/healthz` and `/metrics` must stay
+//!   responsive under full explanation load;
+//! * **batcher** — drains the admission queue in micro-batches and runs the
+//!   one `try_explain_batch` call per batch (see [`crate::queue`]).
+//!
+//! Shutdown ([`ServerHandle::shutdown`]) is graceful by construction: the
+//! admission queue closes first and the batcher answers everything already
+//! admitted before it exits, then idle keep-alive readers are unblocked by
+//! shutting down the read half of their sockets, and every thread is joined.
+
+use crate::http::{self, HttpError, HttpRequest};
+use crate::json;
+use crate::metrics::ServerMetrics;
+use crate::queue::{AdmissionQueue, Job, PushError};
+use crate::wire::{self, WireError};
+use exes_core::{ExesService, ServiceReport};
+use exes_linkpred::LinkPredictor;
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port — the bound
+    /// address is on [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity, in requests; beyond it, `POST /explain`
+    /// sheds with 503 + `Retry-After`.
+    pub queue_depth: usize,
+    /// Most connections allowed to wait for a worker; beyond it the acceptor
+    /// drops new sockets instead of buffering them without bound.
+    pub max_pending_connections: usize,
+    /// Target micro-batch size, in requests.
+    pub max_batch: usize,
+    /// How long the batcher waits for stragglers after the first request of
+    /// a micro-batch arrives.
+    pub batch_window: Duration,
+    /// Largest accepted request body, in bytes (413 beyond it).
+    pub max_body_bytes: usize,
+    /// Socket read timeout: bounds how long an idle keep-alive connection
+    /// holds a worker between requests, and how long any single read may
+    /// stall mid-request.
+    pub read_timeout: Duration,
+    /// Total time budget for receiving one request, armed at its first byte.
+    /// The per-read timeout alone cannot stop a drip-feed (slowloris)
+    /// client; once this budget elapses the request is answered 400 and the
+    /// connection dropped.
+    pub request_budget: Duration,
+    /// Keep the service's probe cache warm across micro-batches. `true` in
+    /// production; `false` reproduces the naive one-shot serving stack
+    /// (every batch starts cold) for benchmarking.
+    pub persistent_cache: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 1024,
+            max_pending_connections: 1024,
+            max_batch: 64,
+            batch_window: Duration::from_millis(2),
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(10),
+            request_budget: Duration::from_secs(30),
+            persistent_cache: true,
+        }
+    }
+}
+
+/// A bounded queue of accepted connections awaiting a worker.
+///
+/// The bound matters: admission control on *requests* only keeps memory
+/// bounded if the layer in front of it — accepted sockets — is bounded too.
+/// Beyond `capacity` pending connections, [`ConnQueue::push`] refuses and
+/// the acceptor drops the socket (the peer sees a closed connection and can
+/// retry), so a connection flood cannot grow the deque or exhaust file
+/// descriptors.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    arrived: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            arrived: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// True when the connection was enqueued; false sheds it (queue full or
+    /// shutting down — the caller drops the stream, closing the socket).
+    fn push(&self, stream: TcpStream) -> bool {
+        let mut state = self.state.lock().expect("conn queue poisoned");
+        if state.1 || state.0.len() >= self.capacity {
+            return false;
+        }
+        state.0.push_back(stream);
+        drop(state);
+        self.arrived.notify_one();
+        true
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("conn queue poisoned");
+        loop {
+            // Shutdown wins over remaining entries: connections never picked
+            // up by a worker are dropped wholesale (their sockets close), so
+            // no worker starts serving *after* the shutdown sequence already
+            // swept the active-connection list.
+            if state.1 {
+                state.0.clear();
+                return None;
+            }
+            if let Some(stream) = state.0.pop_front() {
+                return Some(stream);
+            }
+            state = self.arrived.wait(state).expect("conn queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("conn queue poisoned").1 = true;
+        self.arrived.notify_all();
+    }
+}
+
+struct Inner<L> {
+    service: ExesService<L>,
+    config: ServerConfig,
+    queue: AdmissionQueue,
+    conns: ConnQueue,
+    metrics: ServerMetrics,
+    shutting_down: AtomicBool,
+    /// Read halves of live connections, shut down to unblock idle keep-alive
+    /// readers at shutdown time.
+    active: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn_id: AtomicU64,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the threads serving for the rest of the
+/// process's life (what the `exes-server` binary wants); tests and benches
+/// call `shutdown` to drain and join.
+pub struct ServerHandle<L> {
+    addr: SocketAddr,
+    inner: Arc<Inner<L>>,
+    acceptor: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<L> ServerHandle<L> {
+    /// The bound address (resolves `:0` to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, answers everything already admitted, joins every
+    /// thread.
+    pub fn shutdown(mut self) {
+        let inner = &self.inner;
+        inner.shutting_down.store(true, Ordering::SeqCst);
+        // 1. No new explanation work: the batcher drains the queue and exits.
+        inner.queue.close();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        // 2. No new connections: close the pending queue first (unserved
+        // sockets are dropped, and no worker starts a connection after the
+        // sweep below), then unblock idle keep-alive readers.
+        inner.conns.close();
+        for (_, stream) in inner.active.lock().expect("active list poisoned").iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Starts a server over `service`.
+///
+/// The service is finished (models registered) before serving starts; the
+/// compile-time `Send + Sync` guarantee on `ExesService` is what lets one
+/// instance be shared by every worker and the batcher.
+pub fn start<L>(service: ExesService<L>, config: ServerConfig) -> io::Result<ServerHandle<L>>
+where
+    L: LinkPredictor + Clone + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let queue_depth = config.queue_depth;
+    let config_pending = config.max_pending_connections;
+    let workers = config.workers.max(1);
+    let inner = Arc::new(Inner {
+        service,
+        config,
+        queue: AdmissionQueue::new(queue_depth),
+        conns: ConnQueue::new(config_pending),
+        metrics: ServerMetrics::new(),
+        shutting_down: AtomicBool::new(false),
+        active: Mutex::new(Vec::new()),
+        next_conn_id: AtomicU64::new(0),
+    });
+
+    let acceptor = {
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || accept_loop(&inner, listener))
+    };
+    let batcher = {
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || batch_loop(&inner))
+    };
+    let workers = (0..workers)
+        .map(|_| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || worker_loop(&inner))
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        addr,
+        inner,
+        acceptor: Some(acceptor),
+        batcher: Some(batcher),
+        workers,
+    })
+}
+
+fn accept_loop<L>(inner: &Inner<L>, listener: TcpListener) {
+    while !inner.shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.conns.push(stream) {
+                    inner.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                } else if !inner.shutting_down.load(Ordering::SeqCst) {
+                    // Bounded pending-connection queue: shed by dropping the
+                    // socket (closes it); the peer can reconnect and retry.
+                    // Drops racing a shutdown are not overflow and stay out
+                    // of the gauge.
+                    inner
+                        .metrics
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// The micro-batching engine loop: one `try_explain_batch` per drained
+/// micro-batch, results split back per job in admission order.
+///
+/// The engine call is isolated with `catch_unwind`: if a batch panics (an
+/// engine invariant bug, a poisoned cache shard), its jobs' senders are
+/// dropped — every waiting worker's `recv` errors into a 500 — and the
+/// batcher keeps draining. A dead batcher would instead hang every queued
+/// worker forever and deadlock shutdown.
+fn batch_loop<L>(inner: &Inner<L>)
+where
+    L: LinkPredictor + Clone + Sync,
+{
+    while let Some(jobs) = inner
+        .queue
+        .next_batch(inner.config.max_batch, inner.config.batch_window)
+    {
+        let merged: Vec<_> = jobs
+            .iter()
+            .flat_map(|job| job.requests.iter().cloned())
+            .collect();
+        let answered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let snapshot = inner.service.snapshot();
+            let (results, report) = inner.service.try_explain_batch_on(&snapshot, &merged);
+            (results, report, snapshot)
+        }));
+        let (results, report, snapshot) = match answered {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                // Dropping the jobs drops their senders: the workers answer
+                // 500 and move on, and this loop serves the next batch.
+                drop(jobs);
+                continue;
+            }
+        };
+        inner.metrics.record_batch(&report);
+        if !inner.config.persistent_cache {
+            inner.service.probe_cache().clear();
+        }
+        let mut results = VecDeque::from(results);
+        for job in jobs {
+            let slice: Vec<_> = results.drain(..job.requests.len()).collect();
+            // A dead receiver just means the connection was dropped.
+            let _ = job.respond.send((slice, report, snapshot.clone()));
+        }
+    }
+}
+
+fn worker_loop<L>(inner: &Inner<L>)
+where
+    L: LinkPredictor + Clone + Sync,
+{
+    while let Some(stream) = inner.conns.pop() {
+        let conn_id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        // A connection that cannot be registered must not be served: the
+        // shutdown sweep could never unblock its idle reads. try_clone only
+        // fails under FD pressure, where shedding is the right call anyway.
+        match stream.try_clone() {
+            Ok(read_half) => inner
+                .active
+                .lock()
+                .expect("active list poisoned")
+                .push((conn_id, read_half)),
+            Err(_) => continue,
+        }
+        // Register *before* checking the flag: either this check sees the
+        // shutdown and drops the connection, or the shutdown's sweep of
+        // `active` (which runs after the flag is set) sees the registration
+        // and unblocks the read — no window where an idle connection can
+        // stall shutdown for a full read_timeout.
+        if !inner.shutting_down.load(Ordering::SeqCst) {
+            let _ = serve_connection(inner, stream);
+        }
+        inner
+            .active
+            .lock()
+            .expect("active list poisoned")
+            .retain(|(id, _)| *id != conn_id);
+    }
+}
+
+/// Speaks HTTP/1.1 keep-alive on one connection until EOF, error, or
+/// shutdown.
+fn serve_connection<L>(inner: &Inner<L>, mut stream: TcpStream) -> io::Result<()>
+where
+    L: LinkPredictor + Clone + Sync,
+{
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(inner.config.read_timeout))
+        .ok();
+    // The write timeout is what bounds a write-side slowloris (a client that
+    // sends requests but never reads responses): each blocked write errors
+    // within the timeout, freeing the worker — and bounding shutdown, since
+    // Shutdown::Read cannot unblock a thread parked in send.
+    stream
+        .set_write_timeout(Some(inner.config.read_timeout))
+        .ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    loop {
+        let request = match http::read_request(
+            &mut reader,
+            inner.config.max_body_bytes,
+            inner.config.request_budget,
+        ) {
+            Ok(request) => request,
+            Err(HttpError::Eof) | Err(HttpError::IdleTimeout) => return Ok(()),
+            Err(HttpError::Io(_)) => return Ok(()),
+            Err(HttpError::Malformed(message)) => {
+                inner.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                let body = WireError::new("bad_request", message).to_json();
+                return http::write_response(&mut stream, 400, &[], &body, true);
+            }
+            Err(HttpError::BodyTooLarge { limit }) => {
+                inner.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                let body = WireError::new(
+                    "body_too_large",
+                    format!("request body exceeds the {limit}-byte limit"),
+                )
+                .to_json();
+                return http::write_response(&mut stream, 413, &[], &body, true);
+            }
+        };
+        inner.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        let close = request.wants_close() || inner.shutting_down.load(Ordering::SeqCst);
+        let (status, extra_headers, body) = route(inner, &request);
+        http::write_response(&mut stream, status, &extra_headers, &body, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+type Response = (u16, Vec<(&'static str, String)>, String);
+
+fn route<L>(inner: &Inner<L>, request: &HttpRequest) -> Response
+where
+    L: LinkPredictor + Clone + Sync,
+{
+    // Route on the path alone: load balancers and probes routinely append
+    // query strings (`/healthz?verbose=1`), which no endpoint here consumes.
+    let path = request
+        .target
+        .split_once('?')
+        .map_or(request.target.as_str(), |(path, _)| path);
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => healthz(inner),
+        ("GET", "/metrics") => metrics(inner),
+        ("POST", "/explain") => explain(inner, request),
+        ("POST", "/commit") => commit(inner, request),
+        (_, "/healthz" | "/metrics") => method_not_allowed("GET"),
+        (_, "/explain" | "/commit") => method_not_allowed("POST"),
+        _ => (
+            404,
+            Vec::new(),
+            WireError::new("not_found", format!("no route for {}", request.target)).to_json(),
+        ),
+    }
+}
+
+fn method_not_allowed(allow: &'static str) -> Response {
+    (
+        405,
+        vec![("Allow", allow.to_string())],
+        WireError::new("method_not_allowed", format!("use {allow}")).to_json(),
+    )
+}
+
+fn healthz<L>(inner: &Inner<L>) -> Response
+where
+    L: LinkPredictor + Clone + Sync,
+{
+    let body = format!(
+        "{{\"status\":\"ok\",\"epoch\":{},\"models\":{}}}",
+        inner.service.store().epoch(),
+        inner.service.registry().len()
+    );
+    (200, Vec::new(), body)
+}
+
+fn metrics<L>(inner: &Inner<L>) -> Response
+where
+    L: LinkPredictor + Clone + Sync,
+{
+    let cache = inner.service.probe_cache();
+    let body = inner.metrics.to_json(
+        inner.service.store().epoch(),
+        inner.service.registry().len(),
+        inner.queue.capacity(),
+        inner.queue.depth(),
+        cache.len(),
+        cache.hits(),
+        cache.misses(),
+        cache.evicted(),
+    );
+    (200, Vec::new(), body)
+}
+
+fn parse_body(request: &HttpRequest) -> Result<json::Json, WireError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| WireError::new("bad_request", "body is not UTF-8"))?;
+    json::parse(text).map_err(|e| WireError::new("bad_request", e.to_string()))
+}
+
+fn explain<L>(inner: &Inner<L>, request: &HttpRequest) -> Response
+where
+    L: LinkPredictor + Clone + Sync,
+{
+    let snapshot = inner.service.snapshot();
+    let parsed = parse_body(request).and_then(|body| {
+        wire::parse_explain_requests(&body, snapshot.graph().vocab(), |name| {
+            inner.service.model_id(name)
+        })
+    });
+    let entries = match parsed {
+        Ok(entries) => entries,
+        Err(error) => {
+            inner.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+            return (400, Vec::new(), error.to_json());
+        }
+    };
+    inner
+        .metrics
+        .explain_batches
+        .fetch_add(1, Ordering::Relaxed);
+    inner
+        .metrics
+        .explain_requests
+        .fetch_add(entries.len() as u64, Ordering::Relaxed);
+
+    let valid: Vec<_> = entries
+        .iter()
+        .filter_map(|entry| entry.as_ref().ok().cloned())
+        .collect();
+
+    let (answers, report, answered) = if valid.is_empty() {
+        // Nothing to compute: every entry failed wire-level validation, and
+        // the shared assembly below renders the error slots against the
+        // parse-time snapshot with an empty batch report.
+        let report = ServiceReport {
+            epoch: snapshot.epoch(),
+            ..Default::default()
+        };
+        (Vec::new(), report, snapshot.clone())
+    } else {
+        let valid_len = valid.len();
+        let (respond, outcome) = mpsc::channel();
+        let job = Job {
+            requests: valid,
+            respond,
+        };
+        match inner.queue.push(job) {
+            Err(PushError::Full) => {
+                inner
+                    .metrics
+                    .shed_requests
+                    .fetch_add(valid_len as u64, Ordering::Relaxed);
+                return (
+                    503,
+                    vec![("Retry-After", "1".to_string())],
+                    WireError::new(
+                        "overloaded",
+                        format!(
+                            "admission queue is full (capacity {} requests); retry shortly",
+                            inner.queue.capacity()
+                        ),
+                    )
+                    .to_json(),
+                );
+            }
+            Err(PushError::Closed) => {
+                return (
+                    503,
+                    vec![("Retry-After", "1".to_string())],
+                    WireError::new("shutting_down", "server is draining; retry elsewhere")
+                        .to_json(),
+                );
+            }
+            Ok(()) => {}
+        }
+        match outcome.recv() {
+            Ok(outcome) => outcome,
+            // The batcher dropped this job's sender without answering: the
+            // engine panicked on the micro-batch (or the server is tearing
+            // down). The worker survives and the connection gets a clean 500.
+            Err(_) => {
+                return (
+                    500,
+                    Vec::new(),
+                    WireError::new("internal", "the engine failed while answering this batch")
+                        .to_json(),
+                )
+            }
+        }
+    };
+
+    // Re-interleave engine answers with wire-level error slots, in request
+    // order, rendering names through exactly the epoch the batch was
+    // answered against — commits racing the batch must not change the bytes.
+    let graph = answered.graph();
+    let mut answers = answers.into_iter();
+    let mut results = Vec::with_capacity(entries.len());
+    let mut request_errors = 0u64;
+    for entry in &entries {
+        match entry {
+            Ok(_) => {
+                let answer = answers.next().expect("one answer per valid request");
+                if answer.is_err() {
+                    request_errors += 1;
+                }
+                results.push(wire::result_entry_json(&answer, graph));
+            }
+            Err(error) => {
+                request_errors += 1;
+                results.push(error.to_json());
+            }
+        }
+    }
+    inner
+        .metrics
+        .request_errors
+        .fetch_add(request_errors, Ordering::Relaxed);
+    let body =
+        wire::explain_response_json(report.epoch, &format!("[{}]", results.join(",")), &report);
+    (200, Vec::new(), body)
+}
+
+fn commit<L>(inner: &Inner<L>, request: &HttpRequest) -> Response
+where
+    L: LinkPredictor + Clone + Sync,
+{
+    let batch = match parse_body(request).and_then(|body| wire::parse_update_batch(&body)) {
+        Ok(batch) => batch,
+        Err(error) => {
+            inner.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+            return (400, Vec::new(), error.to_json());
+        }
+    };
+    match inner.service.commit(&batch) {
+        Ok(snapshot) => {
+            inner.metrics.commits.fetch_add(1, Ordering::Relaxed);
+            (
+                200,
+                Vec::new(),
+                wire::commit_response_json(snapshot.epoch(), snapshot.graph()),
+            )
+        }
+        Err(error) => {
+            inner
+                .metrics
+                .commit_failures
+                .fetch_add(1, Ordering::Relaxed);
+            (
+                409,
+                Vec::new(),
+                WireError::new("commit_rejected", error.to_string()).to_json(),
+            )
+        }
+    }
+}

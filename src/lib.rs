@@ -14,6 +14,7 @@
 //! | [`team`] | Team-formation black boxes (greedy cover, min-distance) |
 //! | [`shap`] | Shapley-value engine (exact, permutation, KernelSHAP) |
 //! | [`core`] | The ExES explainer: factual + counterfactual explanations with pruning |
+//! | [`server`] | Networked serving front-end: HTTP/1.1, micro-batching, admission control |
 //!
 //! ```
 //! use exes::prelude::*;
@@ -42,6 +43,7 @@ pub use exes_embedding as embedding;
 pub use exes_expert_search as expert_search;
 pub use exes_graph as graph;
 pub use exes_linkpred as linkpred;
+pub use exes_server as server;
 pub use exes_shap as shap;
 pub use exes_team as team;
 
@@ -52,7 +54,7 @@ pub mod prelude {
         ErasedDecisionModel, Exes, ExesConfig, ExesService, ExesServiceBuilder,
         ExpertRelevanceTask, Explanation, ExplanationKind, ExplanationRequest, FactualExplanation,
         Feature, ModelFamilyKind, ModelId, ModelRegistry, ModelSpec, ModelSpecError, OutputMode,
-        ProbeCache, SeedPolicy, ServiceReport, TeamMembershipTask,
+        ProbeCache, RequestError, SeedPolicy, ServiceReport, TeamMembershipTask,
     };
     pub use exes_datasets::{
         Corpus, DatasetConfig, QueryWorkload, SyntheticDataset, UpdateStream, UpdateStreamConfig,
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use exes_linkpred::{
         AdamicAdar, CommonNeighbors, EmbeddingLinkPredictor, Jaccard, LinkPredictor, WalkConfig,
     };
+    pub use exes_server::{HttpClient, HttpResponse, ServerConfig, ServerHandle};
     pub use exes_shap::{ShapConfig, ShapExplainer, ShapMethod, ShapValues};
     pub use exes_team::{GreedyCoverTeamFormer, MinDistanceTeamFormer, Team, TeamFormer};
 }
