@@ -1,0 +1,244 @@
+//! Emits `BENCH_incremental.json`: full-vs-incremental cold probe latency.
+//!
+//! For each graph scale (300 / 1200 / 5000 people) and each plan-capable
+//! ranker (TF-IDF, propagation, personalized PageRank), scores a mixed batch
+//! of singleton skill/edge perturbations two ways:
+//!
+//! * **full** — every probe re-ranks from scratch (a sample of the batch,
+//!   timed per probe), and
+//! * **incremental** — a per-context baseline plan is built once and every
+//!   probe is rescored over the delta's affected neighbourhood only; the
+//!   reported per-probe time *includes* the plan build, so the speedup is the
+//!   one a cold explanation request actually sees.
+//!
+//! The two paths are byte-identical for the exact rankers (asserted here and
+//! differentially tested in `tests/properties.rs`); PageRank's push-based
+//! residual path is bounded-error, so it is reported but not byte-compared.
+//!
+//! Run with `cargo run -p exes-bench --release --bin bench_incremental` from
+//! the repo root. `--smoke` runs one tiny scale and leaves the committed JSON
+//! untouched; `--threads 1,4,8` emits one row set per worker-thread count.
+
+use exes_bench::timing::{set_thread_count, thread_counts, timed};
+use exes_core::probe::ProbeBatch;
+use exes_core::tasks::DecisionModel;
+use exes_core::ExpertRelevanceTask;
+use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
+use exes_expert_search::{ExpertRanker, PersonalizedPageRank, PropagationRanker, TfIdfRanker};
+use exes_graph::{GraphView, PersonId, Perturbation, PerturbationSet, Query};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const SCALES: &[(&str, usize)] = &[("small", 300), ("medium", 1200), ("large", 5000)];
+const BATCH: usize = 256;
+/// How many of the batch's probes the full (re-rank) path times; the full
+/// path's cost is per-probe uniform, so a sample keeps the large scale from
+/// dominating the wall clock without changing the per-probe figure.
+const FULL_SAMPLE: usize = 32;
+const REPS: usize = 3;
+const K: usize = 10;
+
+struct Row {
+    scale: &'static str,
+    threads: usize,
+    people: usize,
+    edges: usize,
+    ranker: &'static str,
+    plan_ms: f64,
+    full_probe_us: f64,
+    incremental_probe_us: f64,
+    speedup: f64,
+    incremental_share: f64,
+}
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let (mut value, mut best) = timed(&mut f);
+    for _ in 1..reps {
+        let (v, d) = timed(&mut f);
+        if d < best {
+            best = d;
+            value = v;
+        }
+    }
+    (value, best)
+}
+
+/// A deterministic mix of singleton skill and edge deltas — the cold-probe
+/// workload beam search and SHAP coalitions actually generate.
+fn mixed_batch(graph: &exes_graph::CollabGraph, batch: usize) -> Vec<PerturbationSet> {
+    let n = graph.num_people();
+    let skills: Vec<_> = graph.vocab().ids().collect();
+    let mut sets = Vec::with_capacity(batch);
+    let mut i = 0usize;
+    while sets.len() < batch {
+        let p = PersonId((i % n) as u32);
+        let delta = match i % 4 {
+            0 => graph
+                .person_skills(p)
+                .first()
+                .map(|&skill| Perturbation::RemoveSkill { person: p, skill }),
+            1 => skills
+                .iter()
+                .find(|&&s| !graph.person_has_skill(p, s))
+                .map(|&skill| Perturbation::AddSkill { person: p, skill }),
+            2 => graph
+                .base_neighbors(p)
+                .first()
+                .map(|&q| Perturbation::RemoveEdge { a: p, b: q }),
+            _ => {
+                let q = PersonId(((i / 4 + n / 2) % n) as u32);
+                (q != p && !graph.has_edge(p, q)).then_some(Perturbation::AddEdge { a: p, b: q })
+            }
+        };
+        if let Some(delta) = delta {
+            sets.push(PerturbationSet::singleton(delta));
+        }
+        i += 1;
+    }
+    sets
+}
+
+fn measure_ranker<R: ExpertRanker + Sync>(
+    scale: &'static str,
+    threads: usize,
+    name: &'static str,
+    exact: bool,
+    ranker: &R,
+    ds: &SyntheticDataset,
+    query: &Query,
+) -> Row {
+    let subject = ds.graph.people().next().expect("non-empty graph");
+    let task = ExpertRelevanceTask::new(ranker, subject, K);
+    let sets = mixed_batch(&ds.graph, BATCH);
+    let sample = &sets[..FULL_SAMPLE.min(sets.len())];
+
+    let parallel = threads > 1;
+    let full_engine = ProbeBatch::new(&task, &ds.graph, query, parallel);
+    let (full_probes, full_time) = best_of(REPS, || full_engine.score(sample));
+
+    let (plan, plan_time) = best_of(REPS, || {
+        task.build_plan(&ds.graph, query).expect("plan-capable")
+    });
+    // Cold-probe cost: the plan build is paid inside the timed region, then
+    // amortised over the batch — exactly what one explanation request pays.
+    let ((probes, stats), inc_time) = best_of(REPS, || {
+        let plan = task.build_plan(&ds.graph, query).expect("plan-capable");
+        ProbeBatch::new(&task, &ds.graph, query, parallel)
+            .with_plan(&plan)
+            .score_counted(&sets)
+    });
+    drop(plan);
+    if exact {
+        assert_eq!(
+            &probes[..sample.len()],
+            &full_probes[..],
+            "{name}: planned scoring must be byte-identical to full re-ranking"
+        );
+    }
+    assert_eq!(stats.incremental_rescores + stats.full_rescores, sets.len());
+
+    let full_probe_us = full_time.as_secs_f64() * 1e6 / sample.len() as f64;
+    let incremental_probe_us = inc_time.as_secs_f64() * 1e6 / sets.len() as f64;
+    Row {
+        scale,
+        threads,
+        people: ds.graph.num_people(),
+        edges: ds.graph.num_edges(),
+        ranker: name,
+        plan_ms: plan_time.as_secs_f64() * 1e3,
+        full_probe_us,
+        incremental_probe_us,
+        speedup: full_probe_us / incremental_probe_us.max(1e-9),
+        incremental_share: stats.incremental_rescores as f64 / sets.len() as f64,
+    }
+}
+
+fn measure_scale(scale: &'static str, people: usize, threads: usize, rows: &mut Vec<Row>) {
+    let base = DatasetConfig::github_sim();
+    let factor = people as f64 / base.num_people as f64;
+    let ds = SyntheticDataset::generate(&base.scaled(factor).with_seed(0xBE7C));
+    let workload = QueryWorkload::answerable(&ds.graph, 1, 3, 5, 3, 0x51);
+    let query = workload.queries()[0].clone();
+
+    let tfidf = TfIdfRanker::default();
+    rows.push(measure_ranker(
+        scale, threads, "tfidf", true, &tfidf, &ds, &query,
+    ));
+    let propagation = PropagationRanker::default();
+    rows.push(measure_ranker(
+        scale,
+        threads,
+        "propagation",
+        true,
+        &propagation,
+        &ds,
+        &query,
+    ));
+    let pagerank = PersonalizedPageRank::default();
+    rows.push(measure_ranker(
+        scale, threads, "pagerank", false, &pagerank, &ds, &query,
+    ));
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scales: &[(&'static str, usize)] = if smoke { &[("smoke", 150)] } else { SCALES };
+    let counts = thread_counts(std::env::args())
+        .unwrap_or_else(|| vec![exes_parallel::thread_count(usize::MAX)]);
+
+    let mut rows = Vec::new();
+    for &threads in &counts {
+        set_thread_count(threads);
+        for &(scale, people) in scales {
+            eprintln!("measuring scale '{scale}' ({people} people, {threads} threads)...");
+            measure_scale(scale, people, threads, &mut rows);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"incremental_probe\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"thread_counts\": [{}],",
+        counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"probe_batch_size\": {BATCH},");
+    let _ = writeln!(json, "  \"full_path_sample\": {FULL_SAMPLE},");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"scale\": \"{}\", \"threads\": {}, \"people\": {}, \"edges\": {}, \
+             \"ranker\": \"{}\", \"plan_ms\": {:.3}, \"full_probe_us\": {:.2}, \
+             \"incremental_probe_us\": {:.2}, \"speedup\": {:.2}, \
+             \"incremental_share\": {:.3}}}{comma}",
+            r.scale,
+            r.threads,
+            r.people,
+            r.edges,
+            r.ranker,
+            r.plan_ms,
+            r.full_probe_us,
+            r.incremental_probe_us,
+            r.speedup,
+            r.incremental_share,
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    if smoke {
+        println!("{json}");
+        eprintln!("smoke run: leaving BENCH_incremental.json untouched");
+    } else {
+        std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+        println!("{json}");
+        eprintln!("wrote BENCH_incremental.json");
+    }
+}

@@ -8,8 +8,11 @@
 //!
 //! Later PRs compare against this file to keep a perf trajectory. Run with
 //! `cargo run -p exes-bench --release --bin bench_probe` from the repo root.
+//! `--threads 1,4,8` emits one row set per worker-thread count (the committed
+//! baseline comes from a 1-core container, where parallel speedups are ~1.0
+//! by construction, not because parallelism is broken).
 
-use exes_bench::timing::timed;
+use exes_bench::timing::{set_thread_count, thread_counts, timed};
 use exes_core::counterfactual::{beam::beam_search, CounterfactualKind};
 use exes_core::probe::ProbeBatch;
 use exes_core::{ExesConfig, ExpertRelevanceTask};
@@ -25,6 +28,7 @@ const REPS: usize = 3;
 
 struct Row {
     scale: &'static str,
+    threads: usize,
     people: usize,
     edges: usize,
     rank_all_ms: f64,
@@ -47,7 +51,7 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
     (value, best)
 }
 
-fn measure(scale: &'static str, people: usize) -> Row {
+fn measure(scale: &'static str, people: usize, threads: usize) -> Row {
     let base = DatasetConfig::github_sim();
     let factor = people as f64 / base.num_people as f64;
     let ds = SyntheticDataset::generate(&base.scaled(factor).with_seed(0xBE7C));
@@ -115,6 +119,7 @@ fn measure(scale: &'static str, people: usize) -> Row {
 
     Row {
         scale,
+        threads,
         people: ds.graph.num_people(),
         edges: ds.graph.num_edges(),
         rank_all_ms: rank_time.as_secs_f64() * 1e3,
@@ -127,17 +132,32 @@ fn measure(scale: &'static str, people: usize) -> Row {
 }
 
 fn main() {
-    let threads = exes_parallel::thread_count(usize::MAX);
+    // Each requested worker count becomes its own row set; without
+    // `--threads` the hardware default produces the single row set the
+    // committed baseline has always carried.
+    let counts = thread_counts(std::env::args())
+        .unwrap_or_else(|| vec![exes_parallel::thread_count(usize::MAX)]);
     let mut rows = Vec::new();
-    for &(scale, people) in SCALES {
-        eprintln!("measuring scale '{scale}' ({people} people)...");
-        rows.push(measure(scale, people));
+    for &threads in &counts {
+        set_thread_count(threads);
+        for &(scale, people) in SCALES {
+            eprintln!("measuring scale '{scale}' ({people} people, {threads} threads)...");
+            rows.push(measure(scale, people, threads));
+        }
     }
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"probe_engine\",");
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"thread_counts\": [{}],",
+        counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let _ = writeln!(json, "  \"probe_batch_size\": {BATCH},");
     json.push_str("  \"scales\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -146,12 +166,13 @@ fn main() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"scale\": \"{}\", \"people\": {}, \"edges\": {}, \
+            "    {{\"scale\": \"{}\", \"threads\": {}, \"people\": {}, \"edges\": {}, \
              \"rank_all_ms\": {:.3}, \"probe_batch_seq_ms\": {:.3}, \
              \"probe_batch_par_ms\": {:.3}, \"probe_batch_speedup\": {:.2}, \
              \"beam_seq_ms\": {:.3}, \"beam_par_ms\": {:.3}, \
              \"beam_speedup\": {:.2}, \"beam_probes\": {}}}{comma}",
             r.scale,
+            r.threads,
             r.people,
             r.edges,
             r.rank_all_ms,

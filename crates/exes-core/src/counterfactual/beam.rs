@@ -39,7 +39,10 @@ pub fn beam_search<D: ErasedDecisionModel + ?Sized>(
     cache: Option<&ProbeCache>,
 ) -> CounterfactualResult {
     let mut result = CounterfactualResult::default();
-    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes).with_cache_opt(cache);
+    let plan = crate::probe::acquire_plan(task, graph, query, cache);
+    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes)
+        .with_cache_opt(cache)
+        .with_plan_opt(plan.as_deref());
     let (initial, initial_hit) = engine.score_identity_counted();
     if initial_hit {
         result.cache_hits += 1;
@@ -106,6 +109,8 @@ pub fn beam_search<D: ErasedDecisionModel + ?Sized>(
             result.probes += stats.probed;
             result.cache_hits += stats.cache_hits;
             result.cache_misses += stats.cache_misses;
+            result.incremental_rescores += stats.incremental_rescores;
+            result.full_rescores += stats.full_rescores;
             for (set, probe) in chunk.into_iter().zip(probes) {
                 if probe.positive != initial_relevance {
                     // In-order minimality guard within the chunk: a set whose

@@ -139,7 +139,10 @@ pub fn link_removal_candidates<D: ErasedDecisionModel + ?Sized>(
         .iter()
         .map(|&p| PerturbationSet::singleton(p))
         .collect();
-    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes).with_cache_opt(cache);
+    let plan = crate::probe::acquire_plan(task, graph, query, cache);
+    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes)
+        .with_cache_opt(cache)
+        .with_plan_opt(plan.as_deref());
     let (probes, stats) = engine.score_counted(&sets);
     let mut scored: Vec<(Perturbation, f64)> = perturbations
         .into_iter()

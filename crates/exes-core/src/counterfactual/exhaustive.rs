@@ -37,7 +37,10 @@ pub fn exhaustive_search<D: ErasedDecisionModel + ?Sized>(
     cache: Option<&ProbeCache>,
 ) -> CounterfactualResult {
     let mut result = CounterfactualResult::default();
-    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes).with_cache_opt(cache);
+    let plan = crate::probe::acquire_plan(task, graph, query, cache);
+    let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes)
+        .with_cache_opt(cache)
+        .with_plan_opt(plan.as_deref());
     let (initial, initial_hit) = engine.score_identity_counted();
     if initial_hit {
         result.cache_hits += 1;
@@ -67,6 +70,8 @@ pub fn exhaustive_search<D: ErasedDecisionModel + ?Sized>(
             result.probes += stats.probed;
             result.cache_hits += stats.cache_hits;
             result.cache_misses += stats.cache_misses;
+            result.incremental_rescores += stats.incremental_rescores;
+            result.full_rescores += stats.full_rescores;
             for (set, probe) in chunk.drain(..).zip(probes) {
                 if probe.positive != initial_relevance
                     && result.explanations.len() < cfg.num_explanations

@@ -69,6 +69,13 @@ pub struct CounterfactualResult {
     /// Probe requests that went through the attached cache and missed
     /// (0 when the search ran uncached).
     pub cache_misses: usize,
+    /// Black-box probes answered through the incremental (delta-localized)
+    /// rescoring path of a per-context baseline plan (0 when the model has no
+    /// incremental capability).
+    pub incremental_rescores: usize,
+    /// Black-box probes that performed a full re-rank — the honest fallback
+    /// when no plan exists or a delta falls outside its guarantees.
+    pub full_rescores: usize,
     /// Whether the search stopped because the configured timeout elapsed.
     pub timed_out: bool,
 }

@@ -361,6 +361,8 @@ impl<L: LinkPredictor> Exes<L> {
         result.probes += extra.probed;
         result.cache_hits += extra.cache_hits;
         result.cache_misses += extra.cache_misses;
+        result.incremental_rescores += extra.incremental_rescores;
+        result.full_rescores += extra.full_rescores;
         Self::account_initial(&mut result, initial_hit, cache.is_some());
         result
     }

@@ -48,6 +48,8 @@ pub fn explain_collaborations<D: ErasedDecisionModel + ?Sized>(
     queue.push_back(subject);
     let mut total_probes = 0usize;
     let mut total_cache_hits = 0usize;
+    let mut total_incremental = 0usize;
+    let mut total_full = 0usize;
     // Guard against runaway expansion on dense neighbourhoods.
     let max_impactful = 64usize;
 
@@ -83,6 +85,8 @@ pub fn explain_collaborations<D: ErasedDecisionModel + ?Sized>(
         let inner = model.into_inner();
         total_probes += inner.probes_issued();
         total_cache_hits += inner.cache_hits();
+        total_incremental += inner.incremental_rescores();
+        total_full += inner.full_rescores();
         for (i, &feature) in incident.iter().enumerate() {
             if shap.value(i).abs() >= cfg.tau {
                 if let Feature::Edge(a, b) = feature {
@@ -106,6 +110,10 @@ pub fn explain_collaborations<D: ErasedDecisionModel + ?Sized>(
         final_explanation.shap_values().clone(),
         total_probes + final_explanation.probes(),
         total_cache_hits + final_explanation.cache_hits(),
+    )
+    .with_rescores(
+        total_incremental + final_explanation.incremental_rescores(),
+        total_full + final_explanation.full_rescores(),
     )
 }
 

@@ -25,6 +25,10 @@ pub struct FactualExplanation {
     probes: usize,
     /// Coalition probes answered by an attached [`ProbeCache`].
     cache_hits: usize,
+    /// Coalition probes answered through the incremental rescoring path.
+    incremental_rescores: usize,
+    /// Coalition probes that fell back to a full re-rank.
+    full_rescores: usize,
 }
 
 impl FactualExplanation {
@@ -40,7 +44,17 @@ impl FactualExplanation {
             shap,
             probes,
             cache_hits,
+            incremental_rescores: 0,
+            full_rescores: 0,
         }
+    }
+
+    /// Records the incremental-vs-full rescoring split of the coalition
+    /// probes behind this explanation.
+    pub(crate) fn with_rescores(mut self, incremental: usize, full: usize) -> Self {
+        self.incremental_rescores = incremental;
+        self.full_rescores = full;
+        self
     }
 
     /// The scored features, in scoring order.
@@ -90,6 +104,18 @@ impl FactualExplanation {
     /// (0 when the explanation was computed uncached).
     pub fn cache_hits(&self) -> usize {
         self.cache_hits
+    }
+
+    /// Coalition probes answered through the incremental (delta-localized)
+    /// rescoring path of a per-context baseline plan.
+    pub fn incremental_rescores(&self) -> usize {
+        self.incremental_rescores
+    }
+
+    /// Coalition probes that performed a full re-rank (no plan, or a delta
+    /// outside its localization guarantees).
+    pub fn full_rescores(&self) -> usize {
+        self.full_rescores
     }
 
     /// The `k` most influential features by |SHAP|, most influential first.
@@ -156,10 +182,17 @@ pub(crate) struct FeatureMaskModel<'a, D: ?Sized> {
     k: usize,
     parallel: bool,
     cache: Option<&'a ProbeCache>,
+    /// Shared baseline plan for the incremental coalition-rescoring path
+    /// (built once per model, memoised per context through the cache).
+    plan: Option<std::sync::Arc<crate::probe::BaselinePlan>>,
     /// Probes that actually reached the black box through this model.
     probed: AtomicUsize,
     /// Probe requests answered by the attached cache.
     cache_hits: AtomicUsize,
+    /// Black-box probes answered through the incremental rescoring path.
+    incremental: AtomicUsize,
+    /// Black-box probes that fell back to a full re-rank.
+    full: AtomicUsize,
 }
 
 impl<'a, D: ErasedDecisionModel + ?Sized> FeatureMaskModel<'a, D> {
@@ -186,8 +219,11 @@ impl<'a, D: ErasedDecisionModel + ?Sized> FeatureMaskModel<'a, D> {
             k: task.cutoff().unwrap_or(cfg.k),
             parallel: cfg.parallel_probes,
             cache,
+            plan: crate::probe::acquire_plan(task, graph, query, cache),
             probed: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
+            incremental: AtomicUsize::new(0),
+            full: AtomicUsize::new(0),
         }
     }
 
@@ -200,6 +236,16 @@ impl<'a, D: ErasedDecisionModel + ?Sized> FeatureMaskModel<'a, D> {
     /// Probe requests answered by the attached [`ProbeCache`].
     pub(crate) fn cache_hits(&self) -> usize {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Black-box probes answered through the incremental rescoring path.
+    pub(crate) fn incremental_rescores(&self) -> usize {
+        self.incremental.load(Ordering::Relaxed)
+    }
+
+    /// Black-box probes that fell back to a full re-rank.
+    pub(crate) fn full_rescores(&self) -> usize {
+        self.full.load(Ordering::Relaxed)
     }
 
     /// The perturbation set that realises a mask (absent features removed).
@@ -245,11 +291,15 @@ impl<D: ErasedDecisionModel + ?Sized> MaskedModel for FeatureMaskModel<'_, D> {
         let deltas: Vec<PerturbationSet> = masks.iter().map(|m| self.delta_for(m)).collect();
         let engine =
             crate::probe::ProbeBatch::new(self.task, self.graph, self.query, self.parallel)
-                .with_cache_opt(self.cache);
+                .with_cache_opt(self.cache)
+                .with_plan_opt(self.plan.as_deref());
         let (probes, stats) = engine.score_counted(&deltas);
         self.probed.fetch_add(stats.probed, Ordering::Relaxed);
         self.cache_hits
             .fetch_add(stats.cache_hits, Ordering::Relaxed);
+        self.incremental
+            .fetch_add(stats.incremental_rescores, Ordering::Relaxed);
+        self.full.fetch_add(stats.full_rescores, Ordering::Relaxed);
         probes
             .into_iter()
             .map(|probe| self.scalarise(probe))

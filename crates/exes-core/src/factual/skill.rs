@@ -78,11 +78,17 @@ pub(crate) fn explain_features<D: ErasedDecisionModel + ?Sized>(
         task, graph, query, &features, cfg, cache,
     ));
     let shap = ShapExplainer::new(cfg.shap).explain(&model);
-    let (probes, cache_hits) = {
+    let (probes, cache_hits, incremental, full) = {
         let inner = model.into_inner();
-        (inner.probes_issued(), inner.cache_hits())
+        (
+            inner.probes_issued(),
+            inner.cache_hits(),
+            inner.incremental_rescores(),
+            inner.full_rescores(),
+        )
     };
     FactualExplanation::with_cache_hits(features, shap, probes, cache_hits)
+        .with_rescores(incremental, full)
 }
 
 #[cfg(test)]

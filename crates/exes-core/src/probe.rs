@@ -22,13 +22,74 @@ use crate::config::ExesConfig;
 use crate::tasks::{ErasedDecisionModel, Probe};
 use exes_graph::{CollabGraph, PersonId, Perturbation, PerturbationSet, Query};
 use rustc_hash::{FxHashMap, FxHasher};
+use std::any::Any;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Number of candidate sets scored per batch by the search loops. Bounds how
 /// much work is in flight between deadline checks and early-exit tests.
 pub const PROBE_CHUNK: usize = 128;
+
+// ---------------------------------------------------------------------------
+// BaselinePlan
+// ---------------------------------------------------------------------------
+
+/// Maximum number of memoised baseline plans a [`ProbeCache`] retains — one
+/// per live (graph epoch, query, model) context. Plans are a few person-length
+/// vectors each, so a handful cover a serving batch.
+const PLAN_CAPACITY: usize = 16;
+
+/// A per-(graph, query, model) baseline evaluation plan, computed once and
+/// shared across every probe of the same context.
+///
+/// The payload is type-erased: the decision model that built the plan
+/// ([`crate::tasks::DecisionModel::build_plan`]) is the only code that looks
+/// inside, via [`BaselinePlan::payload`]. For the built-in expert-relevance
+/// task it is an [`exes_expert_search::RankerBaseline`] — the full baseline
+/// ranking plus whatever per-ranker state the incremental rescoring path
+/// needs. The probe engine treats plans as opaque: it hands them back to the
+/// model through `probe_with_plan` and falls back to a full re-rank whenever
+/// the model declines.
+pub struct BaselinePlan {
+    payload: Box<dyn Any + Send + Sync>,
+}
+
+impl BaselinePlan {
+    /// Wraps a model-specific baseline payload.
+    pub fn new<T: Any + Send + Sync>(payload: T) -> Self {
+        BaselinePlan {
+            payload: Box::new(payload),
+        }
+    }
+
+    /// Downcasts the payload to the concrete baseline type the model stored
+    /// (`None` for a plan built by a different model type).
+    pub fn payload<T: Any>(&self) -> Option<&T> {
+        self.payload.downcast_ref()
+    }
+}
+
+impl std::fmt::Debug for BaselinePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselinePlan").finish_non_exhaustive()
+    }
+}
+
+/// Acquires the baseline plan for a probing context: memoised through the
+/// cache's plan store when a cache is attached, built directly otherwise.
+/// `None` when the model has no planned evaluation path.
+pub(crate) fn acquire_plan<D: ErasedDecisionModel + ?Sized>(
+    task: &D,
+    graph: &CollabGraph,
+    query: &Query,
+    cache: Option<&ProbeCache>,
+) -> Option<Arc<BaselinePlan>> {
+    match cache {
+        Some(cache) => cache.plan_for(graph, query, task),
+        None => task.plan(graph, query).map(Arc::new),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // ProbeCache
@@ -84,6 +145,11 @@ pub struct ProbeCache {
     misses: AtomicU64,
     evicted: AtomicU64,
     eviction_sweeps: AtomicU64,
+    /// Memoised [`BaselinePlan`]s, keyed by the same context fingerprint as
+    /// probe entries but *not* by subject: one plan serves every subject
+    /// probed under the same (epoch, query, model). Bounded to
+    /// [`PLAN_CAPACITY`] live contexts, evicted oldest-first.
+    plans: Mutex<Vec<(u64, Arc<BaselinePlan>)>>,
 }
 
 impl ProbeCache {
@@ -103,6 +169,7 @@ impl ProbeCache {
             misses: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             eviction_sweeps: AtomicU64::new(0),
+            plans: Mutex::new(Vec::new()),
         }
     }
 
@@ -213,6 +280,49 @@ impl ProbeCache {
         );
     }
 
+    /// Returns the memoised [`BaselinePlan`] for the `(graph, query, model)`
+    /// context, building (and storing) it on first request. `None` when the
+    /// model does not support planned evaluation
+    /// ([`crate::tasks::DecisionModel::build_plan`] returned `None`).
+    ///
+    /// Plans are keyed by the context fingerprint only — *not* by subject —
+    /// so one plan serves every subject probed under the same (epoch, query,
+    /// model): a whole [`ProbeBatch`], and a whole serving batch, share a
+    /// single baseline evaluation. A committed graph epoch or a reconfigured
+    /// model moves the fingerprint and misses into a fresh plan, exactly like
+    /// probe entries.
+    pub fn plan_for<D: ErasedDecisionModel + ?Sized>(
+        &self,
+        graph: &CollabGraph,
+        query: &Query,
+        model: &D,
+    ) -> Option<Arc<BaselinePlan>> {
+        let ctx = Self::context(graph, query, model.fingerprint());
+        {
+            let plans = self.plans.lock().expect("plan store poisoned");
+            if let Some((_, plan)) = plans.iter().find(|(key, _)| *key == ctx) {
+                return Some(Arc::clone(plan));
+            }
+        }
+        // Build outside the lock: plan construction ranks the whole graph,
+        // and concurrent builders for the same context produce identical
+        // plans (probes are pure), so the race is benign.
+        let plan = Arc::new(model.plan(graph, query)?);
+        let mut plans = self.plans.lock().expect("plan store poisoned");
+        if !plans.iter().any(|(key, _)| *key == ctx) {
+            if plans.len() >= PLAN_CAPACITY {
+                plans.remove(0);
+            }
+            plans.push((ctx, Arc::clone(&plan)));
+        }
+        Some(plan)
+    }
+
+    /// Number of baseline plans currently memoised.
+    pub fn plans_len(&self) -> usize {
+        self.plans.lock().expect("plan store poisoned").len()
+    }
+
     /// Total lookups that found a memoised probe, across the cache's lifetime.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -261,13 +371,15 @@ impl ProbeCache {
         self.len() == 0
     }
 
-    /// Drops every memoised probe and resets the hit/miss/eviction counters.
+    /// Drops every memoised probe and baseline plan and resets the
+    /// hit/miss/eviction counters.
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut shard = shard.lock().expect("cache shard poisoned");
             shard.map.clear();
             shard.tick = 0;
         }
+        self.plans.lock().expect("plan store poisoned").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evicted.store(0, Ordering::Relaxed);
@@ -304,16 +416,14 @@ pub struct BatchStats {
     /// Probes that went through an attached cache and missed (always 0
     /// without a cache; equal to `probed` with one).
     pub cache_misses: usize,
-}
-
-impl BatchStats {
-    fn uncached(probed: usize) -> Self {
-        BatchStats {
-            probed,
-            cache_hits: 0,
-            cache_misses: 0,
-        }
-    }
+    /// Overlay probes answered through the incremental (delta-localized)
+    /// rescoring path of an attached [`BaselinePlan`] (always 0 without one).
+    pub incremental_rescores: usize,
+    /// Overlay probes that fell back to a full re-rank — no plan attached,
+    /// the model has no incremental path, the query itself was perturbed, or
+    /// the delta's neighbourhood exceeded the localization cap.
+    /// `incremental_rescores + full_rescores == probed`.
+    pub full_rescores: usize,
 }
 
 /// Scores batches of candidate [`PerturbationSet`]s against one decision
@@ -339,6 +449,8 @@ pub struct ProbeBatch<'a, D: ?Sized> {
     cache: Option<&'a ProbeCache>,
     /// Precomputed [`ProbeCache::context`] fingerprint (0 when uncached).
     ctx: u64,
+    /// Shared baseline plan for the incremental rescoring path, if any.
+    plan: Option<&'a BaselinePlan>,
 }
 
 impl<D: ?Sized> Clone for ProbeBatch<'_, D> {
@@ -354,6 +466,7 @@ impl<D: ?Sized> std::fmt::Debug for ProbeBatch<'_, D> {
         f.debug_struct("ProbeBatch")
             .field("parallel", &self.parallel)
             .field("cached", &self.cache.is_some())
+            .field("planned", &self.plan.is_some())
             .field("ctx", &self.ctx)
             .finish_non_exhaustive()
     }
@@ -371,6 +484,7 @@ impl<'a, D: ErasedDecisionModel + ?Sized> ProbeBatch<'a, D> {
             parallel,
             cache: None,
             ctx: 0,
+            plan: None,
         }
     }
 
@@ -391,6 +505,26 @@ impl<'a, D: ErasedDecisionModel + ?Sized> ProbeBatch<'a, D> {
         }
     }
 
+    /// Attaches a shared [`BaselinePlan`]: each overlay probe is first offered
+    /// to the model's incremental rescoring path
+    /// ([`crate::tasks::DecisionModel::probe_with_plan`]) and only falls back
+    /// to a full re-rank when the model declines. Exact rankers answer
+    /// byte-identically to the full path; bounded-error rankers (personalized
+    /// PageRank) document their tolerance.
+    pub fn with_plan(mut self, plan: &'a BaselinePlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Attaches a plan when one is provided ([`ProbeBatch::with_plan`]
+    /// otherwise a no-op), mirroring [`ProbeBatch::with_cache_opt`].
+    pub fn with_plan_opt(self, plan: Option<&'a BaselinePlan>) -> Self {
+        match plan {
+            Some(plan) => self.with_plan(plan),
+            None => self,
+        }
+    }
+
     /// Whether this engine scores batches in parallel.
     pub fn is_parallel(&self) -> bool {
         self.parallel
@@ -401,12 +535,28 @@ impl<'a, D: ErasedDecisionModel + ?Sized> ProbeBatch<'a, D> {
         self.cache.is_some()
     }
 
-    fn eval(&self, set: &PerturbationSet) -> Probe {
-        let (view, perturbed_query) = set.apply(self.graph, self.query);
-        self.task.probe_overlay(&view, &perturbed_query)
+    /// Whether a baseline plan is attached.
+    pub fn is_planned(&self) -> bool {
+        self.plan.is_some()
     }
 
-    fn eval_batch(&self, sets: &[PerturbationSet]) -> Vec<Probe> {
+    /// Evaluates one candidate set, preferring the incremental path when a
+    /// plan is attached. Returns the probe and whether the incremental path
+    /// answered it.
+    fn eval(&self, set: &PerturbationSet) -> (Probe, bool) {
+        let (view, perturbed_query) = set.apply(self.graph, self.query);
+        if let Some(plan) = self.plan {
+            if let Some(probe) = self
+                .task
+                .probe_overlay_planned(plan, &view, &perturbed_query)
+            {
+                return (probe, true);
+            }
+        }
+        (self.task.probe_overlay(&view, &perturbed_query), false)
+    }
+
+    fn eval_batch(&self, sets: &[PerturbationSet]) -> Vec<(Probe, bool)> {
         let eval = |set: &PerturbationSet| self.eval(set);
         if self.parallel {
             exes_parallel::parallel_map(sets, eval)
@@ -431,7 +581,16 @@ impl<'a, D: ErasedDecisionModel + ?Sized> ProbeBatch<'a, D> {
     /// misses are scored in input order.
     pub fn score_counted(&self, sets: &[PerturbationSet]) -> (Vec<Probe>, BatchStats) {
         let Some(cache) = self.cache else {
-            return (self.eval_batch(sets), BatchStats::uncached(sets.len()));
+            let evals = self.eval_batch(sets);
+            let incremental = evals.iter().filter(|&&(_, inc)| inc).count();
+            let stats = BatchStats {
+                probed: sets.len(),
+                cache_hits: 0,
+                cache_misses: 0,
+                incremental_rescores: incremental,
+                full_rescores: sets.len() - incremental,
+            };
+            return (evals.into_iter().map(|(p, _)| p).collect(), stats);
         };
         let subject = self.task.subject_id();
         let mut out: Vec<Option<Probe>> = vec![None; sets.len()];
@@ -445,10 +604,12 @@ impl<'a, D: ErasedDecisionModel + ?Sized> ProbeBatch<'a, D> {
                 None => misses.push((i, key)),
             }
         }
-        let stats = BatchStats {
+        let mut stats = BatchStats {
             probed: misses.len(),
             cache_hits: sets.len() - misses.len(),
             cache_misses: misses.len(),
+            incremental_rescores: 0,
+            full_rescores: 0,
         };
         if !misses.is_empty() {
             let eval = |&(i, _): &(usize, CacheKey)| self.eval(&sets[i]);
@@ -457,7 +618,12 @@ impl<'a, D: ErasedDecisionModel + ?Sized> ProbeBatch<'a, D> {
             } else {
                 misses.iter().map(eval).collect()
             };
-            for ((i, key), probe) in misses.into_iter().zip(probes) {
+            for ((i, key), (probe, incremental)) in misses.into_iter().zip(probes) {
+                if incremental {
+                    stats.incremental_rescores += 1;
+                } else {
+                    stats.full_rescores += 1;
+                }
                 cache.insert_key(key, probe);
                 out[i] = Some(probe);
             }
@@ -763,5 +929,52 @@ mod tests {
         assert_eq!(probes, concrete);
         assert_eq!(stats.probed, 0, "erased view must hit the concrete entries");
         assert_eq!(engine.score_identity(), task.probe(&g, &q));
+    }
+
+    #[test]
+    fn planned_scoring_is_identical_and_counts_incremental_rescores() {
+        use crate::tasks::ErasedDecisionModel;
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let sets = candidate_sets(&g);
+        let unplanned = ProbeBatch::new(&task, &g, &q, false).score(&sets);
+        let plan = ErasedDecisionModel::plan(&task, &g, &q).expect("tf-idf supports plans");
+        let engine = ProbeBatch::new(&task, &g, &q, false).with_plan(&plan);
+        assert!(engine.is_planned());
+        let (probes, stats) = engine.score_counted(&sets);
+        // TF-IDF's incremental path is exact: planned scoring is
+        // byte-identical to the full path.
+        assert_eq!(probes, unplanned);
+        assert_eq!(stats.probed, sets.len());
+        assert_eq!(stats.incremental_rescores + stats.full_rescores, sets.len());
+        assert!(
+            stats.incremental_rescores > 0,
+            "skill/edge singletons on a 12-person graph must localize"
+        );
+    }
+
+    #[test]
+    fn plans_are_memoised_per_context_through_the_cache() {
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let cache = ProbeCache::new(0);
+        let a = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let b = ExpertRelevanceTask::new(&ranker, PersonId(5), 3);
+        let plan_a = cache.plan_for(&g, &q, &a).expect("plan built");
+        // A second subject of the same (graph, query, model) context shares
+        // the cached plan: the baseline is subject-independent.
+        let plan_b = cache.plan_for(&g, &q, &b).expect("plan shared");
+        assert!(Arc::ptr_eq(&plan_a, &plan_b));
+        assert_eq!(cache.plans_len(), 1);
+        // A different query is a different context.
+        let q2 = Query::parse("s1", g.vocab()).unwrap();
+        let _ = cache.plan_for(&g, &q2, &a).expect("plan built");
+        assert_eq!(cache.plans_len(), 2);
+        // clear() drops memoised plans alongside probes.
+        cache.clear();
+        assert_eq!(cache.plans_len(), 0);
     }
 }

@@ -285,6 +285,23 @@ impl Explanation {
             Explanation::Factual(f) => f.cache_hits(),
         }
     }
+
+    /// Black-box probes answered through the incremental (delta-localized)
+    /// rescoring path of a per-context baseline plan.
+    pub fn incremental_rescores(&self) -> usize {
+        match self {
+            Explanation::Counterfactual(r) => r.incremental_rescores,
+            Explanation::Factual(f) => f.incremental_rescores(),
+        }
+    }
+
+    /// Black-box probes that performed a full re-rank (the honest fallback).
+    pub fn full_rescores(&self) -> usize {
+        match self {
+            Explanation::Counterfactual(r) => r.full_rescores,
+            Explanation::Factual(f) => f.full_rescores(),
+        }
+    }
 }
 
 /// Aggregate accounting for one [`ExesService::explain_batch`] call.
@@ -319,6 +336,13 @@ pub struct ServiceReport {
     /// *unique* computations — deduplicated responses are clones and issue
     /// none).
     pub probes: usize,
+    /// Of the batch's black-box probes, those answered through the
+    /// incremental (delta-localized) rescoring path of a baseline plan.
+    pub incremental_rescores: u64,
+    /// Of the batch's black-box probes, those that performed a full re-rank —
+    /// no plan for the model, a perturbed query, or a delta outside the plan's
+    /// localization guarantees.
+    pub full_fallback_rescores: u64,
 }
 
 impl ServiceReport {
@@ -653,6 +677,8 @@ where
                 // misses here (the service always attaches its cache).
                 report.probes += result.probes();
                 report.cache_hits += result.cache_hits() as u64;
+                report.incremental_rescores += result.incremental_rescores() as u64;
+                report.full_fallback_rescores += result.full_rescores() as u64;
                 report.cache_misses += match &result {
                     Explanation::Counterfactual(r) => r.cache_misses as u64,
                     Explanation::Factual(f) => f.probes() as u64,

@@ -15,7 +15,8 @@
 //! rankers and team formers side by side.
 
 use crate::model::ModelSpecError;
-use exes_expert_search::ExpertRanker;
+use crate::probe::BaselinePlan;
+use exes_expert_search::{ExpertRanker, RankerBaseline};
 use exes_graph::{CollabGraph, GraphView, PersonId, PerturbedGraph, Query};
 use exes_team::TeamFormer;
 use rustc_hash::FxHasher;
@@ -79,6 +80,38 @@ pub trait DecisionModel: Sync {
         std::any::type_name::<Self>().hash(&mut h);
         h.finish()
     }
+
+    /// Builds the model's incremental-rescoring baseline for one
+    /// `(graph, query)` context, if the model supports one.
+    ///
+    /// The plan is the expensive part of a probe (typically one full
+    /// `rank_all` plus whatever per-ranker state localized rescoring needs),
+    /// computed once and shared across every probe of a batch — and, through
+    /// [`crate::probe::ProbeCache`], across batches of the same context. The
+    /// default returns `None`: models without an incremental path keep full
+    /// re-rank semantics untouched.
+    fn build_plan(&self, graph: &CollabGraph, query: &Query) -> Option<BaselinePlan> {
+        let _ = (graph, query);
+        None
+    }
+
+    /// Answers one overlay probe from a previously built plan, rescoring only
+    /// the perturbation's affected neighbourhood.
+    ///
+    /// Returning `None` — for any reason: no incremental support, a perturbed
+    /// query, a delta outside the plan's localization guarantees — makes the
+    /// engine fall back to the full [`DecisionModel::probe`]. Implementations
+    /// must be exact (byte-identical to the full probe) or document their
+    /// error bound.
+    fn probe_with_plan(
+        &self,
+        plan: &BaselinePlan,
+        view: &PerturbedGraph<'_>,
+        query: &Query,
+    ) -> Option<Probe> {
+        let _ = (plan, view, query);
+        None
+    }
 }
 
 mod sealed {
@@ -123,6 +156,19 @@ pub trait ErasedDecisionModel: sealed::Sealed + Sync {
     /// The model's rank-cutoff boundary, if any
     /// ([`DecisionModel::rank_cutoff`]).
     fn cutoff(&self) -> Option<usize>;
+
+    /// Builds the incremental-rescoring baseline plan, if the model supports
+    /// one ([`DecisionModel::build_plan`]).
+    fn plan(&self, graph: &CollabGraph, query: &Query) -> Option<BaselinePlan>;
+
+    /// Answers one overlay probe from a plan, or declines
+    /// ([`DecisionModel::probe_with_plan`]).
+    fn probe_overlay_planned(
+        &self,
+        plan: &BaselinePlan,
+        graph: &PerturbedGraph<'_>,
+        query: &Query,
+    ) -> Option<Probe>;
 }
 
 impl<D: DecisionModel> ErasedDecisionModel for D {
@@ -144,6 +190,19 @@ impl<D: DecisionModel> ErasedDecisionModel for D {
 
     fn cutoff(&self) -> Option<usize> {
         self.rank_cutoff()
+    }
+
+    fn plan(&self, graph: &CollabGraph, query: &Query) -> Option<BaselinePlan> {
+        self.build_plan(graph, query)
+    }
+
+    fn probe_overlay_planned(
+        &self,
+        plan: &BaselinePlan,
+        graph: &PerturbedGraph<'_>,
+        query: &Query,
+    ) -> Option<Probe> {
+        self.probe_with_plan(plan, graph, query)
     }
 }
 
@@ -211,6 +270,28 @@ impl<R: ExpertRanker + Sync> DecisionModel for ExpertRelevanceTask<'_, R> {
         self.ranker.hash_params(&mut h);
         self.k.hash(&mut h);
         h.finish()
+    }
+
+    fn build_plan(&self, graph: &CollabGraph, query: &Query) -> Option<BaselinePlan> {
+        self.ranker
+            .build_baseline(graph, query)
+            .map(BaselinePlan::new)
+    }
+
+    fn probe_with_plan(
+        &self,
+        plan: &BaselinePlan,
+        view: &PerturbedGraph<'_>,
+        query: &Query,
+    ) -> Option<Probe> {
+        let baseline = plan.payload::<RankerBaseline>()?;
+        let rank = self
+            .ranker
+            .incremental_rank_of(baseline, view, query, self.subject)?;
+        Some(Probe {
+            positive: rank <= self.k,
+            signal: rank as f64,
+        })
     }
 }
 

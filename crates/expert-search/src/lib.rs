@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 
 mod gcn;
+mod incremental;
 mod pagerank;
 mod propagation;
 mod ranker;
 mod tfidf;
 
 pub use gcn::GcnRanker;
+pub use incremental::RankerBaseline;
 pub use pagerank::PersonalizedPageRank;
 pub use propagation::PropagationRanker;
 pub use ranker::{ExpertRanker, RankedList};

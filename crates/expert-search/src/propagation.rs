@@ -1,9 +1,13 @@
 //! Expertise-propagation ranking: a person inherits part of their collaborators'
 //! relevance (the "expertise propagates" signal the paper's footnote 1 describes).
 
+use crate::incremental::{
+    affected_cap, corrected_rank, person_indexed_scores, skill_delta_effect, BaselineKind,
+    RankerBaseline, TermStats,
+};
 use crate::ranker::{smoothed_idf, ExpertRanker};
 use crate::RankedList;
-use exes_graph::{GraphView, PersonId, Query};
+use exes_graph::{CollabGraph, GraphView, PersonId, PerturbedGraph, Query};
 
 /// Two-hop expertise-propagation ranker.
 ///
@@ -129,6 +133,100 @@ impl ExpertRanker for PropagationRanker {
             .collect();
         RankedList::from_scores(scores)
     }
+
+    fn build_baseline(&self, graph: &CollabGraph, query: &Query) -> Option<RankerBaseline> {
+        let ranked = self.rank_all(graph, query);
+        let scores = person_indexed_scores(&ranked, graph.num_people());
+        Some(RankerBaseline {
+            query: query.skills().to_vec(),
+            ranked,
+            scores,
+            kind: BaselineKind::Propagation {
+                terms: TermStats::collect(graph, query),
+                base: self.base_scores(graph, query),
+            },
+        })
+    }
+
+    /// Exact: a person's score reads their own base relevance, the base
+    /// relevance of their ≤2-hop neighbourhood, and neighbour lists at most
+    /// one hop out. So a moved base relevance dirties its 2-hop ball, while a
+    /// flipped edge only re-aggregates its endpoints and their direct
+    /// neighbours — rescoring that union reproduces a full re-rank bitwise.
+    fn incremental_rank_of(
+        &self,
+        baseline: &RankerBaseline,
+        view: &PerturbedGraph<'_>,
+        query: &Query,
+        person: PersonId,
+    ) -> Option<usize> {
+        if query.skills() != baseline.query {
+            return None;
+        }
+        let BaselineKind::Propagation { terms, base } = &baseline.kind else {
+            return None;
+        };
+        let n = view.num_people();
+        let cap = affected_cap(n);
+        let effect = skill_delta_effect(&baseline.query, terms, view);
+        // Recompute the base relevance of every skill-delta candidate
+        // (replicating `base_scores` bit for bit). Someone whose base comes
+        // out bitwise unchanged — e.g. an edit to a non-query skill — cannot
+        // move any score and drops out of the seed set entirely.
+        let mut patched_base = base.clone();
+        let mut rebased: Vec<PersonId> = Vec::new();
+        for &p in &effect.affected {
+            let score: f64 = baseline
+                .query
+                .iter()
+                .zip(effect.idfs.iter())
+                .filter(|&(&s, _)| view.person_has_skill(p, s))
+                .map(|(_, &idf)| idf)
+                .sum();
+            if score.to_bits() != base[p.index()].to_bits() {
+                rebased.push(p);
+            }
+            patched_base[p.index()] = score;
+        }
+        let mut affected = view.expand_frontier(&rebased, 2, cap)?;
+        let mut endpoints: Vec<PersonId> = Vec::new();
+        for (a, b) in view.edge_additions().chain(view.edge_removals()) {
+            endpoints.push(a);
+            endpoints.push(b);
+        }
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        affected.extend(view.expand_frontier(&endpoints, 1, cap)?);
+        affected.sort_unstable();
+        affected.dedup();
+        if affected.len() > cap {
+            return None;
+        }
+        let changed: Vec<(PersonId, f64)> = affected
+            .iter()
+            .map(|&p| {
+                // Replicates `rank_all`'s per-person aggregation bit for bit.
+                let ns = view.neighbors(p);
+                let one_hop = mean(ns.iter().map(|&x| patched_base[x.index()]));
+                let mut two_hop_nodes = Vec::new();
+                for &nb in ns {
+                    for &m in view.neighbors(nb) {
+                        if m != p && !ns.contains(&m) {
+                            two_hop_nodes.push(m);
+                        }
+                    }
+                }
+                two_hop_nodes.sort_unstable();
+                two_hop_nodes.dedup();
+                let two_hop = mean(two_hop_nodes.iter().map(|&m| patched_base[m.index()]));
+                (
+                    p,
+                    patched_base[p.index()] + self.alpha * one_hop + self.beta * two_hop,
+                )
+            })
+            .collect();
+        Some(corrected_rank(baseline, person, &changed))
+    }
 }
 
 fn mean(iter: impl Iterator<Item = f64>) -> f64 {
@@ -228,6 +326,83 @@ mod tests {
         let view = delta.apply_to_graph(&g);
         let after = r.score(&view, &q, PersonId(2));
         assert!(after > before);
+    }
+
+    #[test]
+    fn incremental_rank_matches_full_rerank_exactly() {
+        // A graph big enough that the 2-hop ball of a singleton delta — and
+        // of the holder set of an IDF-moved term — stays under the n/2
+        // localization cap: two 5-person chains plus loners, "ml" held only
+        // by the two chain heads.
+        let mut b = CollabGraphBuilder::new();
+        let people: Vec<PersonId> = (0..20)
+            .map(|i| {
+                b.add_person(
+                    &format!("p{i}"),
+                    if i % 10 == 0 {
+                        vec!["ml"]
+                    } else {
+                        vec!["other"]
+                    },
+                )
+            })
+            .collect();
+        for i in 0..4 {
+            b.add_edge(people[i], people[i + 1]);
+            b.add_edge(people[10 + i], people[11 + i]);
+        }
+        let g = b.build();
+        let q = Query::parse("ml", g.vocab()).unwrap();
+        let r = PropagationRanker::default();
+        let baseline = r.build_baseline(&g, &q).unwrap();
+        let ml = g.vocab().id("ml").unwrap();
+        let other = g.vocab().id("other").unwrap();
+        let deltas = vec![
+            Perturbation::AddEdge {
+                a: people[15],
+                b: people[0],
+            },
+            Perturbation::RemoveEdge {
+                a: people[1],
+                b: people[2],
+            },
+            Perturbation::AddSkill {
+                person: people[4],
+                skill: ml,
+            },
+            Perturbation::RemoveSkill {
+                person: people[3],
+                skill: ml,
+            },
+            Perturbation::AddSkill {
+                person: people[0],
+                skill: other,
+            },
+        ];
+        for d in deltas {
+            let view = PerturbationSet::singleton(d).apply_to_graph(&g);
+            for &p in &people {
+                let inc = r.incremental_rank_of(&baseline, &view, &q, p);
+                assert_eq!(inc, Some(r.rank_of(&view, &q, p)), "delta {d:?} person {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_falls_back_when_the_ball_covers_the_graph() {
+        let g = toy(); // 4 people: any 2-hop ball around an edge delta is > n/2
+        let q = Query::parse("ml", g.vocab()).unwrap();
+        let r = PropagationRanker::default();
+        let baseline = r.build_baseline(&g, &q).unwrap();
+        let delta = PerturbationSet::singleton(Perturbation::AddEdge {
+            a: PersonId(0),
+            b: PersonId(2),
+        });
+        let view = delta.apply_to_graph(&g);
+        assert_eq!(
+            r.incremental_rank_of(&baseline, &view, &q, PersonId(0)),
+            None
+        );
     }
 
     #[test]

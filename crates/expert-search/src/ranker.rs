@@ -1,19 +1,35 @@
 //! The expert-ranker interface and ranked-list utilities.
 
-use exes_graph::{GraphView, PersonId, Query};
+use crate::incremental::RankerBaseline;
+use exes_graph::{CollabGraph, GraphView, PersonId, PerturbedGraph, Query};
+use std::sync::OnceLock;
 
 /// A ranked list of people with their scores, sorted by descending score
 /// (ties broken by ascending person id for determinism).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RankedList {
     entries: Vec<(PersonId, f64)>,
+    /// Lazily-built `(person, position)` pairs sorted by person id, so the
+    /// probe hot path answers `rank_of`/`score_of` in O(log n) instead of a
+    /// linear scan. Built on first lookup; cloning carries it over (it stays
+    /// valid because `entries` is immutable after construction).
+    index: OnceLock<Vec<(u32, u32)>>,
+}
+
+impl PartialEq for RankedList {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl RankedList {
     /// Builds a ranked list from unsorted `(person, score)` pairs.
     pub fn from_scores(mut scores: Vec<(PersonId, f64)>) -> Self {
         scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        RankedList { entries: scores }
+        RankedList {
+            entries: scores,
+            index: OnceLock::new(),
+        }
     }
 
     /// The entries in rank order.
@@ -31,17 +47,37 @@ impl RankedList {
         self.entries.is_empty()
     }
 
+    /// The person-sorted `(person, position)` index, built on first use.
+    fn index(&self) -> &[(u32, u32)] {
+        self.index.get_or_init(|| {
+            let mut pairs: Vec<(u32, u32)> = self
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(p, _))| (p.0, i as u32))
+                .collect();
+            pairs.sort_unstable();
+            pairs
+        })
+    }
+
+    /// 0-based position of a person in the ranked order.
+    fn position_of(&self, p: PersonId) -> Option<usize> {
+        let index = self.index();
+        index
+            .binary_search_by_key(&p.0, |&(id, _)| id)
+            .ok()
+            .map(|i| index[i].1 as usize)
+    }
+
     /// 1-based rank of a person (`None` if the person was not ranked).
     pub fn rank_of(&self, p: PersonId) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|&(q, _)| q == p)
-            .map(|i| i + 1)
+        self.position_of(p).map(|i| i + 1)
     }
 
     /// Score of a person, if ranked.
     pub fn score_of(&self, p: PersonId) -> Option<f64> {
-        self.entries.iter().find(|&&(q, _)| q == p).map(|&(_, s)| s)
+        self.position_of(p).map(|i| self.entries[i].1)
     }
 
     /// The top-`k` people.
@@ -110,6 +146,41 @@ pub trait ExpertRanker {
     ) -> bool {
         self.rank_of(graph, query, person) <= k
     }
+
+    /// Builds the per-(snapshot, query) baseline state that lets this ranker
+    /// answer perturbation probes incrementally via
+    /// [`ExpertRanker::incremental_rank_of`].
+    ///
+    /// The default returns `None`: the ranker has no incremental path and
+    /// every probe falls back to a full re-rank. Rankers that override this
+    /// must guarantee that, wherever `incremental_rank_of` answers `Some`,
+    /// the answer matches a full [`ExpertRanker::rank_all`] over the
+    /// perturbed view — exactly for closed-form rankers, or within the
+    /// documented tolerance for iterative ones.
+    fn build_baseline(&self, graph: &CollabGraph, query: &Query) -> Option<RankerBaseline> {
+        let _ = (graph, query);
+        None
+    }
+
+    /// 1-based rank of `person` on the perturbed `view`, computed from a
+    /// memoized [`RankerBaseline`] by rescoring only the delta's affected
+    /// neighbourhood instead of the whole graph.
+    ///
+    /// Returns `None` whenever the incremental path cannot (or should not)
+    /// answer — the baseline was built for a different query, the delta's
+    /// influence region covers most of the graph, or the perturbation moves
+    /// state this ranker can only refresh with a full pass. Callers must
+    /// treat `None` as "do the full re-rank", never as an error.
+    fn incremental_rank_of(
+        &self,
+        baseline: &RankerBaseline,
+        view: &PerturbedGraph<'_>,
+        query: &Query,
+        person: PersonId,
+    ) -> Option<usize> {
+        let _ = (baseline, view, query, person);
+        None
+    }
 }
 
 /// Inverse document frequency of a skill over a graph view:
@@ -119,12 +190,19 @@ pub trait ExpertRanker {
 /// additions/removals) are reflected, which is what lets skill perturbations
 /// influence every ranker built on this helper.
 pub(crate) fn smoothed_idf<G: GraphView + ?Sized>(graph: &G, skill: exes_graph::SkillId) -> f64 {
-    let n = graph.num_people() as f64;
     let holders = graph
         .people_ids()
         .filter(|&p| graph.person_has_skill(p, skill))
-        .count() as f64;
-    ((n + 1.0) / (holders + 1.0)).ln() + 1.0
+        .count();
+    idf_from_count(graph.num_people(), holders)
+}
+
+/// The same smoothed IDF computed from an already-known holder count, so the
+/// incremental path can adjust counts by a delta and still produce bitwise
+/// the value a full recount would.
+pub(crate) fn idf_from_count(num_people: usize, holders: usize) -> f64 {
+    let n = num_people as f64;
+    ((n + 1.0) / (holders as f64 + 1.0)).ln() + 1.0
 }
 
 #[cfg(test)]

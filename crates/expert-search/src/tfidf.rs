@@ -1,7 +1,11 @@
 //! Document-style TF-IDF expert ranking (the classic profile-centric baseline).
 
+use crate::incremental::{
+    affected_cap, corrected_rank, person_indexed_scores, skill_delta_effect, BaselineKind,
+    RankerBaseline, TermStats,
+};
 use crate::ranker::{smoothed_idf, ExpertRanker};
-use exes_graph::{GraphView, PersonId, Query};
+use exes_graph::{CollabGraph, GraphView, PersonId, PerturbedGraph, Query};
 
 /// Ranks experts by the IDF-weighted overlap between their own skills and the
 /// query, with a mild length normalisation — a faithful stand-in for the
@@ -71,6 +75,58 @@ impl ExpertRanker for TfIdfRanker {
             .collect();
         crate::RankedList::from_scores(scores)
     }
+
+    fn build_baseline(&self, graph: &CollabGraph, query: &Query) -> Option<RankerBaseline> {
+        let ranked = self.rank_all(graph, query);
+        let scores = person_indexed_scores(&ranked, graph.num_people());
+        Some(RankerBaseline {
+            query: query.skills().to_vec(),
+            ranked,
+            scores,
+            kind: BaselineKind::TfIdf(TermStats::collect(graph, query)),
+        })
+    }
+
+    /// Exact: TF-IDF only reads a person's own skill row and the per-term
+    /// holder counts, so rescoring the skill-delta people plus the holders of
+    /// IDF-moved terms reproduces a full re-rank bitwise.
+    fn incremental_rank_of(
+        &self,
+        baseline: &RankerBaseline,
+        view: &PerturbedGraph<'_>,
+        query: &Query,
+        person: PersonId,
+    ) -> Option<usize> {
+        if query.skills() != baseline.query {
+            return None;
+        }
+        let BaselineKind::TfIdf(stats) = &baseline.kind else {
+            return None;
+        };
+        let effect = skill_delta_effect(&baseline.query, stats, view);
+        if effect.affected.len() > affected_cap(view.num_people()) {
+            return None;
+        }
+        let changed: Vec<(PersonId, f64)> = effect
+            .affected
+            .iter()
+            .map(|&p| {
+                // Replicates `rank_all`'s per-person loop bit for bit.
+                let mut score = 0.0;
+                for (&s, &idf) in baseline.query.iter().zip(effect.idfs.iter()) {
+                    if view.person_has_skill(p, s) {
+                        score += idf;
+                    }
+                }
+                if score > 0.0 {
+                    let len = view.person_skills(p).len() as f64;
+                    score /= (1.0 + len).powf(self.length_norm);
+                }
+                (p, score)
+            })
+            .collect();
+        Some(corrected_rank(baseline, person, &changed))
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +194,68 @@ mod tests {
         let q = Query::parse("rare common", g.vocab()).unwrap();
         let r = TfIdfRanker { length_norm: 0.0 };
         assert!(r.score(&g, &q, PersonId(0)) > r.score(&g, &q, PersonId(1)));
+    }
+
+    #[test]
+    fn incremental_rank_matches_full_rerank_exactly() {
+        use exes_graph::{Perturbation, PerturbationSet};
+        // The toy profiles plus filler people, so the affected set of an
+        // IDF-moving delta stays under the n/2 localization cap.
+        let mut b = CollabGraphBuilder::new();
+        b.add_person("full-match", ["db", "xai"]);
+        b.add_person("partial", ["db"]);
+        b.add_person("none", ["vision"]);
+        b.add_person(
+            "diluted",
+            ["db", "xai", "a", "b", "c", "d", "e", "f", "g", "h"],
+        );
+        for i in 0..8 {
+            b.add_person(&format!("filler{i}"), ["filler"]);
+        }
+        let g = b.build();
+        let q = Query::parse("db xai", g.vocab()).unwrap();
+        let r = TfIdfRanker::default();
+        let baseline = r.build_baseline(&g, &q).unwrap();
+        let db = g.vocab().id("db").unwrap();
+        let xai = g.vocab().id("xai").unwrap();
+        let vision = g.vocab().id("vision").unwrap();
+        let deltas = vec![
+            Perturbation::AddSkill {
+                person: PersonId(2),
+                skill: xai,
+            },
+            Perturbation::RemoveSkill {
+                person: PersonId(1),
+                skill: db,
+            },
+            // Non-query skill: only the length normalisation moves.
+            Perturbation::AddSkill {
+                person: PersonId(0),
+                skill: vision,
+            },
+            // Edges are invisible to TF-IDF.
+            Perturbation::AddEdge {
+                a: PersonId(0),
+                b: PersonId(1),
+            },
+        ];
+        for d in deltas {
+            let view = PerturbationSet::singleton(d).apply_to_graph(&g);
+            for p in (0..12).map(PersonId) {
+                assert_eq!(
+                    r.incremental_rank_of(&baseline, &view, &q, p),
+                    Some(r.rank_of(&view, &q, p)),
+                    "delta {d:?} person {p}"
+                );
+            }
+        }
+        // A baseline built for another query refuses to answer.
+        let other = Query::parse("db", g.vocab()).unwrap();
+        let view = PerturbationSet::new().apply_to_graph(&g);
+        assert_eq!(
+            r.incremental_rank_of(&baseline, &view, &other, PersonId(0)),
+            None
+        );
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct ServerMetrics {
     pub cache_misses: AtomicU64,
     /// Requests answered by cross-request dedup instead of computation.
     pub duplicate_requests: AtomicU64,
+    /// Black-box probes answered through the incremental (delta-localized)
+    /// rescoring path of a per-context baseline plan.
+    pub incremental_rescores: AtomicU64,
+    /// Black-box probes that performed a full re-rank instead — the honest
+    /// fallback when no plan exists or a delta exceeds its guarantees.
+    pub full_fallback_rescores: AtomicU64,
     /// Update batches committed.
     pub commits: AtomicU64,
     /// Update batches rejected by validation.
@@ -66,6 +72,10 @@ impl ServerMetrics {
             .fetch_add(report.cache_misses, Ordering::Relaxed);
         self.duplicate_requests
             .fetch_add(report.duplicate_requests as u64, Ordering::Relaxed);
+        self.incremental_rescores
+            .fetch_add(report.incremental_rescores, Ordering::Relaxed);
+        self.full_fallback_rescores
+            .fetch_add(report.full_fallback_rescores, Ordering::Relaxed);
         *self.last_report.lock().expect("metrics lock poisoned") = Some(*report);
     }
 
@@ -99,7 +109,8 @@ impl ServerMetrics {
              \"requests\":{},\"parse_errors\":{}}},\
              \"explain\":{{\"batches\":{},\"requests\":{},\"request_errors\":{},\
              \"shed_requests\":{},\"micro_batches\":{},\"probes\":{},\
-             \"cache_hits\":{},\"cache_misses\":{},\"duplicate_requests\":{}}},\
+             \"cache_hits\":{},\"cache_misses\":{},\"duplicate_requests\":{},\
+             \"incremental_rescores\":{},\"full_fallback_rescores\":{}}},\
              \"commits\":{{\"accepted\":{},\"rejected\":{}}},\
              \"queue\":{{\"capacity\":{queue_capacity},\"depth\":{queue_depth}}},\
              \"cache\":{{\"entries\":{cache_entries},\"hits\":{cache_hits_lifetime},\
@@ -118,6 +129,8 @@ impl ServerMetrics {
             get(&self.cache_hits),
             get(&self.cache_misses),
             get(&self.duplicate_requests),
+            get(&self.incremental_rescores),
+            get(&self.full_fallback_rescores),
             get(&self.commits),
             get(&self.commit_failures),
         )
@@ -143,11 +156,15 @@ mod tests {
             cache_misses: 5,
             cache_evictions: 0,
             probes: 5,
+            incremental_rescores: 4,
+            full_fallback_rescores: 1,
         };
         metrics.record_batch(&report);
         metrics.record_batch(&report);
         assert_eq!(metrics.probes.load(Ordering::Relaxed), 10);
         assert_eq!(metrics.duplicate_requests.load(Ordering::Relaxed), 6);
+        assert_eq!(metrics.incremental_rescores.load(Ordering::Relaxed), 8);
+        assert_eq!(metrics.full_fallback_rescores.load(Ordering::Relaxed), 2);
         assert_eq!(metrics.last_report(), Some(report));
 
         let text = metrics.to_json(2, 1, 256, 0, 42, 7, 5, 0);

@@ -279,8 +279,14 @@ fn counterfactual_json(result: &CounterfactualResult, graph: &CollabGraph) -> St
     }
     let _ = write!(
         out,
-        "],\"probes\":{},\"cache_hits\":{},\"cache_misses\":{},\"timed_out\":{}}}}}",
-        result.probes, result.cache_hits, result.cache_misses, result.timed_out
+        "],\"probes\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"incremental_rescores\":{},\"full_rescores\":{},\"timed_out\":{}}}}}",
+        result.probes,
+        result.cache_hits,
+        result.cache_misses,
+        result.incremental_rescores,
+        result.full_rescores,
+        result.timed_out
     );
     out
 }
@@ -302,11 +308,14 @@ fn factual_json(explanation: &FactualExplanation, graph: &CollabGraph) -> String
     }
     let _ = write!(
         out,
-        "],\"base_value\":{},\"full_value\":{},\"probes\":{},\"cache_hits\":{}}}}}",
+        "],\"base_value\":{},\"full_value\":{},\"probes\":{},\"cache_hits\":{},\
+         \"incremental_rescores\":{},\"full_rescores\":{}}}}}",
         json::fmt_f64(explanation.shap_values().base_value()),
         json::fmt_f64(explanation.shap_values().full_value()),
         explanation.probes(),
-        explanation.cache_hits()
+        explanation.cache_hits(),
+        explanation.incremental_rescores(),
+        explanation.full_rescores()
     );
     out
 }
@@ -361,7 +370,8 @@ pub fn report_json(report: &ServiceReport) -> String {
     format!(
         "{{\"epoch\":{},\"requests\":{},\"groups\":{},\"duplicate_requests\":{},\
          \"failed_requests\":{},\"cache_hits\":{},\"cache_misses\":{},\
-         \"cache_evictions\":{},\"probes\":{},\"hit_rate\":{}}}",
+         \"cache_evictions\":{},\"probes\":{},\"incremental_rescores\":{},\
+         \"full_fallback_rescores\":{},\"hit_rate\":{}}}",
         report.epoch,
         report.requests,
         report.groups,
@@ -371,6 +381,8 @@ pub fn report_json(report: &ServiceReport) -> String {
         report.cache_misses,
         report.cache_evictions,
         report.probes,
+        report.incremental_rescores,
+        report.full_fallback_rescores,
         json::fmt_f64(report.hit_rate())
     )
 }
@@ -389,6 +401,8 @@ pub fn report_from_json(value: &Json) -> Option<ServiceReport> {
         cache_misses: int("cache_misses")?,
         cache_evictions: int("cache_evictions")?,
         probes: int("probes")? as usize,
+        incremental_rescores: int("incremental_rescores")?,
+        full_fallback_rescores: int("full_fallback_rescores")?,
     })
 }
 
@@ -578,6 +592,8 @@ mod tests {
             probes: 7,
             cache_hits: 1,
             cache_misses: 6,
+            incremental_rescores: 5,
+            full_rescores: 2,
             timed_out: false,
         };
         let text = explanation_json(&Explanation::Counterfactual(result), &g);
@@ -586,7 +602,8 @@ mod tests {
             "{\"counterfactual\":{\"explanations\":[{\"kind\":\"skill_removal\",\
              \"size\":1,\"new_signal\":2.5,\"perturbations\":[{\"op\":\"remove_skill\",\
              \"person\":0,\"skill\":\"db\"}]}],\"probes\":7,\"cache_hits\":1,\
-             \"cache_misses\":6,\"timed_out\":false}}"
+             \"cache_misses\":6,\"incremental_rescores\":5,\"full_rescores\":2,\
+             \"timed_out\":false}}"
         );
         // And it parses back as valid JSON.
         let parsed = json::parse(&text).unwrap();
@@ -613,6 +630,8 @@ mod tests {
             cache_misses: 40,
             cache_evictions: 5,
             probes: 40,
+            incremental_rescores: 30,
+            full_fallback_rescores: 10,
         };
         let text = report_json(&report);
         let back = report_from_json(&json::parse(&text).unwrap()).unwrap();

@@ -463,3 +463,281 @@ fn probe_cache_keys_are_insertion_order_independent() {
         );
     }
 }
+
+/// A deterministic mid-size collaboration network: large enough that the
+/// `n / 2` localization cap doesn't swallow every singleton delta (the tiny
+/// [`arbitrary_graph`] cases would make the incremental paths vacuously fall
+/// back), sparse enough (a ring plus a few chords) that 1- and 2-hop balls
+/// stay well under it.
+fn churn_scale_graph(seed: u64) -> (CollabGraph, Query) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x517C_C1B7) ^ 0x1C1);
+    let people = rng.gen_range(28usize..40);
+    let skills = 5usize;
+    let mut builder = CollabGraphBuilder::new();
+    let skill_names: Vec<String> = (0..skills).map(|i| format!("skill{i}")).collect();
+    for name in &skill_names {
+        builder.intern_skill(name);
+    }
+    for p in 0..people {
+        let mut own: Vec<String> = skill_names
+            .iter()
+            .filter(|_| rng.gen_bool(0.3))
+            .cloned()
+            .collect();
+        if own.is_empty() {
+            own.push(skill_names[p % skills].clone());
+        }
+        builder.add_person(&format!("p{p}"), own);
+    }
+    for p in 0..people {
+        builder.add_edge(
+            PersonId::from_index(p),
+            PersonId::from_index((p + 1) % people),
+        );
+    }
+    for _ in 0..people / 3 {
+        let a = PersonId::from_index(rng.gen_range(0..people));
+        let b = PersonId::from_index(rng.gen_range(0..people));
+        if a != b {
+            builder.add_edge(a, b);
+        }
+    }
+    let graph = builder.build();
+    let qskills = vec![
+        graph.vocab().id("skill0").unwrap(),
+        graph.vocab().id("skill1").unwrap(),
+    ];
+    (graph, Query::new(qskills).unwrap())
+}
+
+/// The deterministic mixed singleton deltas cold probes are made of: skill
+/// removals (which hit query terms whenever one comes first, exercising the
+/// global-IDF fallbacks), non-query skill additions (which every incremental
+/// path localizes), edge removals, and long-range edge additions.
+fn probe_deltas(graph: &CollabGraph, query: &Query) -> Vec<PerturbationSet> {
+    let n = graph.num_people();
+    let mut sets = Vec::new();
+    for i in 0..12usize {
+        let p = PersonId::from_index((i * 7) % n);
+        let delta = match i % 4 {
+            0 => graph
+                .person_skills(p)
+                .first()
+                .map(|&skill| Perturbation::RemoveSkill { person: p, skill }),
+            1 => graph
+                .vocab()
+                .ids()
+                .find(|&s| !graph.person_has_skill(p, s) && !query.skills().contains(&s))
+                .map(|skill| Perturbation::AddSkill { person: p, skill }),
+            2 => graph
+                .neighbors(p)
+                .first()
+                .map(|&q| Perturbation::RemoveEdge { a: p, b: q }),
+            _ => {
+                let q = PersonId::from_index((i * 7 + n / 2) % n);
+                (q != p && !graph.has_edge(p, q)).then_some(Perturbation::AddEdge { a: p, b: q })
+            }
+        };
+        if let Some(delta) = delta {
+            sets.push(PerturbationSet::singleton(delta));
+        }
+    }
+    sets
+}
+
+/// Asserts an exact ranker's incremental path byte-identical to a full
+/// re-rank on every delta it accepts, returning how many probes it answered.
+fn check_exact_incremental<R: ExpertRanker>(
+    ranker: &R,
+    graph: &CollabGraph,
+    query: &Query,
+    sets: &[PerturbationSet],
+    subjects: &[PersonId],
+    label: &str,
+) -> usize {
+    let baseline = ranker
+        .build_baseline(graph, query)
+        .expect("exact rankers are plan-capable");
+    let mut answered = 0;
+    for (i, set) in sets.iter().enumerate() {
+        let view = set.apply_to_graph(graph);
+        for &p in subjects {
+            if let Some(rank) = ranker.incremental_rank_of(&baseline, &view, query, p) {
+                answered += 1;
+                assert_eq!(
+                    rank,
+                    ranker.rank_of(&view, query, p),
+                    "{label}: delta {i} person {p} must rescore byte-identically"
+                );
+            }
+        }
+    }
+    answered
+}
+
+/// The tentpole differential property: over seeded `UpdateStream` churn, the
+/// delta-localized rescoring path of every ranker agrees with a full re-rank
+/// on both sides of an epoch flip — byte-identically for the exact rankers
+/// (TF-IDF, propagation), top-k rank-stably for personalized PageRank's
+/// bounded push path, and GCN honestly declines to plan at all.
+#[test]
+fn incremental_rescoring_matches_full_rerank_across_epochs() {
+    const K: usize = 5;
+    for case in 0..6u64 {
+        let (graph, query) = churn_scale_graph(case);
+        let stream = UpdateStream::generate(&graph, &UpdateStreamConfig::churn(3, 5, case ^ 0x1DC));
+        let store = GraphStore::new(graph.clone());
+        let mut snap = store.snapshot();
+        for batch in stream.batches() {
+            snap = store
+                .commit(batch)
+                .unwrap_or_else(|e| panic!("case {case}: batch rejected: {e}"));
+        }
+        assert_eq!(snap.epoch(), stream.len() as u64);
+        for (e, g) in [&graph, snap.graph()].into_iter().enumerate() {
+            let n = g.num_people();
+            let subjects = [
+                PersonId::from_index(0),
+                PersonId::from_index(n / 3),
+                PersonId::from_index(2 * n / 3),
+            ];
+            let sets = probe_deltas(g, &query);
+            let tfidf = check_exact_incremental(
+                &TfIdfRanker::default(),
+                g,
+                &query,
+                &sets,
+                &subjects,
+                &format!("case {case} epoch {e} tfidf"),
+            );
+            let propagation = check_exact_incremental(
+                &PropagationRanker::default(),
+                g,
+                &query,
+                &sets,
+                &subjects,
+                &format!("case {case} epoch {e} propagation"),
+            );
+            // PageRank's push path is bounded-error (residual floor 1e-14):
+            // its score drift is orders of magnitude below top-of-list gaps,
+            // so the rank it reports must agree exactly inside the top-k the
+            // decision reads, and may drift only in the deep tail.
+            let pagerank_ranker = PersonalizedPageRank::default();
+            let baseline = pagerank_ranker.build_baseline(g, &query).unwrap();
+            let mut pagerank = 0;
+            for set in &sets {
+                let view = set.apply_to_graph(g);
+                for &p in &subjects {
+                    if let Some(rank) =
+                        pagerank_ranker.incremental_rank_of(&baseline, &view, &query, p)
+                    {
+                        pagerank += 1;
+                        let full = pagerank_ranker.rank_of(&view, &query, p);
+                        assert!(
+                            rank == full || (rank > K && full > K),
+                            "case {case} epoch {e} pagerank: person {p} \
+                             incremental rank {rank} vs full {full} crosses top-{K}"
+                        );
+                    }
+                }
+            }
+            // GCN has no incremental path: it must decline to plan, not
+            // silently approximate.
+            assert!(GcnRanker::default().build_baseline(g, &query).is_none());
+            assert!(
+                tfidf > 0 && propagation > 0 && pagerank > 0,
+                "case {case} epoch {e}: incremental paths must actually fire \
+                 (tfidf {tfidf}, propagation {propagation}, pagerank {pagerank})"
+            );
+        }
+    }
+}
+
+/// One exact ranker's planned batch, cold and warm, against the unplanned
+/// reference: byte-identical probes, exact accounting, shared per-context
+/// plan. Returns the updated number of live plan contexts.
+fn check_planned_batch<R: ExpertRanker + Sync>(
+    ranker: &R,
+    g: &CollabGraph,
+    query: &Query,
+    cache: &exes::core::probe::ProbeCache,
+    contexts: usize,
+    label: &str,
+) -> usize {
+    use exes::core::probe::ProbeBatch;
+
+    let sets = probe_deltas(g, query);
+    let task = ExpertRelevanceTask::new(ranker, PersonId(0), 5);
+    let plain = ProbeBatch::new(&task, g, query, false).score(&sets);
+    let plan = cache.plan_for(g, query, &task).expect("plan built");
+    let engine = ProbeBatch::new(&task, g, query, false)
+        .with_cache(cache)
+        .with_plan(&plan);
+    let (cold, cold_stats) = engine.score_counted(&sets);
+    assert_eq!(cold, plain, "{label}: planned == full");
+    assert_eq!(
+        cold_stats.cache_hits, 0,
+        "{label}: the flip must not replay stale probes"
+    );
+    assert_eq!(
+        cold_stats.incremental_rescores + cold_stats.full_rescores,
+        sets.len(),
+        "{label}: every probe is accounted exactly once"
+    );
+    assert!(
+        cold_stats.incremental_rescores > 0,
+        "{label}: the planned path must localize"
+    );
+    let (warm, warm_stats) = engine.score_counted(&sets);
+    assert_eq!(warm, plain, "{label}: warm == full");
+    assert_eq!(warm_stats.probed, 0, "{label}");
+    // A second subject reuses the per-context plan: the baseline is
+    // subject-independent.
+    let other = ExpertRelevanceTask::new(ranker, PersonId::from_index(1), 5);
+    let shared = cache.plan_for(g, query, &other).expect("plan shared");
+    assert!(
+        std::sync::Arc::ptr_eq(&plan, &shared),
+        "{label}: one plan per (epoch, query, model)"
+    );
+    assert_eq!(cache.plans_len(), contexts + 1, "{label}");
+    contexts + 1
+}
+
+/// Planned probe batches are byte-identical to unplanned scoring for the
+/// exact rankers, cold and warm through one shared `ProbeCache`, and the
+/// plan/probe context keys strictly on the graph epoch: a committed update
+/// batch misses into a fresh plan instead of replaying stale entries.
+#[test]
+fn planned_probe_batches_match_unplanned_across_an_epoch_flip() {
+    use exes::core::probe::ProbeCache;
+
+    for case in 0..4u64 {
+        let (graph, query) = churn_scale_graph(case ^ 0x9A7);
+        let stream = UpdateStream::generate(&graph, &UpdateStreamConfig::churn(2, 5, case ^ 0x3F));
+        let store = GraphStore::new(graph.clone());
+        let mut snap = store.snapshot();
+        for batch in stream.batches() {
+            snap = store.commit(batch).unwrap();
+        }
+        let cache = ProbeCache::new(0);
+        let mut contexts = 0;
+        for (e, g) in [&graph, snap.graph()].into_iter().enumerate() {
+            contexts = check_planned_batch(
+                &TfIdfRanker::default(),
+                g,
+                &query,
+                &cache,
+                contexts,
+                &format!("case {case} epoch {e} tfidf"),
+            );
+            contexts = check_planned_batch(
+                &PropagationRanker::default(),
+                g,
+                &query,
+                &cache,
+                contexts,
+                &format!("case {case} epoch {e} propagation"),
+            );
+        }
+    }
+}
