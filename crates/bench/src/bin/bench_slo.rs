@@ -1,0 +1,404 @@
+//! Emits `BENCH_slo.json`: the cost-aware admission-lane benchmark.
+//!
+//! Drives a real `exes-server` over loopback with a **mixed warm-heavy
+//! workload**: most clients loop over a set of requests whose probes are
+//! already memoised (the interactive steady state), while one client streams
+//! *cold* requests — never-seen query contexts whose counterfactual beam
+//! search must probe the black box from scratch. The same workload runs
+//! against two servers:
+//!
+//! * **single-lane** — every request rides one admission queue, so a cold
+//!   search in a micro-batch stalls the warm requests batched behind it
+//!   (head-of-line blocking);
+//! * **dual-lane** — the pre-admission cost estimate routes cold requests to
+//!   a slow lane with its own batcher, so the fast lane keeps draining warm
+//!   traffic while cold searches grind.
+//!
+//! The acceptance bar: with dual lanes the **warm p95 latency is strictly
+//! lower** than single-lane under the identical mix — the warm tail
+//! decouples from the cold tail — and `/metrics` shows both lanes admitted
+//! traffic.
+//!
+//! Run with `cargo run -p exes-bench --release --bin bench_slo` from the
+//! repo root; CI runs the `--smoke` variant, which checks the structural
+//! invariants (lane routing happened, metrics expose per-lane depth and
+//! shed counters) without asserting on wall-clock, since timing on shared
+//! runners is noise.
+
+use exes_bench::timing::timed;
+use exes_core::{Exes, ExesConfig, ExesService, ModelSpec, OutputMode};
+use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
+use exes_embedding::{EmbeddingConfig, SkillEmbedding};
+use exes_expert_search::{ExpertRanker, PropagationRanker};
+use exes_linkpred::CommonNeighbors;
+use exes_server::client::HttpClient;
+use exes_server::{json, ServerConfig};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Concurrent keep-alive connections: all but one send warm traffic.
+const WARM_CLIENTS: usize = 5;
+const KINDS: [&str; 6] = [
+    "counterfactual_skills",
+    "counterfactual_query",
+    "counterfactual_links",
+    "factual_skills",
+    "factual_query_terms",
+    "factual_collaborations",
+];
+
+struct Workload {
+    ds: SyntheticDataset,
+    exes: Exes<CommonNeighbors>,
+    /// The warm set: requests replayed until their probes are memoised,
+    /// then looped by the warm clients during measurement.
+    warm: Vec<Arc<String>>,
+    /// The cold stream: one request per never-seen query context, each
+    /// forcing a from-scratch counterfactual search.
+    cold: Vec<Arc<String>>,
+}
+
+fn body(terms: &str, subject: u32, kind: &str) -> Arc<String> {
+    Arc::new(format!(
+        "{{\"requests\":[{{\"model\":\"propagation\",\"subject\":{subject},\
+         \"query\":[{terms}],\"kind\":\"{kind}\"}}]}}"
+    ))
+}
+
+fn query_terms(query: &exes_graph::Query, ds: &SyntheticDataset) -> String {
+    let terms: Vec<String> = query
+        .display(ds.graph.vocab())
+        .split_whitespace()
+        .map(|t| format!("\"{t}\""))
+        .collect();
+    terms.join(",")
+}
+
+fn workload(people: usize, warm_queries: usize, subjects: usize, cold_queries: usize) -> Workload {
+    let base = DatasetConfig::github_sim();
+    let factor = people as f64 / base.num_people as f64;
+    let ds = SyntheticDataset::generate(&base.scaled(factor).with_seed(0x510_C0DE));
+    let embedding = SkillEmbedding::train(
+        ds.corpus.token_bags(),
+        ds.graph.vocab().len(),
+        &EmbeddingConfig {
+            dim: 16,
+            ..Default::default()
+        },
+    );
+    let cfg = ExesConfig::fast()
+        .with_k(5)
+        .with_num_candidates(4)
+        .with_output_mode(OutputMode::SmoothRank);
+    let exes = Exes::new(cfg, embedding, CommonNeighbors);
+    let ranker = PropagationRanker::default();
+
+    // Warm set: a handful of (query, subject) pairs across all six kinds.
+    let warm_set = QueryWorkload::answerable(&ds.graph, warm_queries, 2, 3, 3, 0x91);
+    let mut warm = Vec::new();
+    for query in warm_set.queries() {
+        let terms = query_terms(query, &ds);
+        let ranking = ranker.rank_all(&ds.graph, query);
+        for (rank, &(person, _)) in ranking.entries().iter().take(subjects).enumerate() {
+            warm.push(body(&terms, person.0, KINDS[rank % KINDS.len()]));
+        }
+    }
+
+    // Cold stream: each request uses a query context never probed before
+    // (the pre-admission estimate reads it as cold), and a counterfactual
+    // kind so answering it means a full beam search against the black box.
+    let cold_set = QueryWorkload::answerable(&ds.graph, cold_queries, 2, 3, 3, 0xC01D);
+    let mut cold = Vec::new();
+    for query in cold_set.queries() {
+        let terms = query_terms(query, &ds);
+        let ranking = ranker.rank_all(&ds.graph, query);
+        if let Some(&(person, _)) = ranking.entries().first() {
+            cold.push(body(&terms, person.0, "counterfactual_skills"));
+        }
+    }
+
+    Workload {
+        ds,
+        exes,
+        warm,
+        cold,
+    }
+}
+
+fn service(w: &Workload) -> ExesService<CommonNeighbors> {
+    let mut service = ExesService::from_graph(&w.exes, w.ds.graph.clone());
+    service
+        .register(
+            "propagation",
+            ModelSpec::expert_ranker(PropagationRanker::default(), w.exes.config().k),
+        )
+        .expect("valid spec");
+    service
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LaneSnapshot {
+    fast_admitted: u64,
+    slow_admitted: u64,
+    fast_shed: u64,
+    slow_shed: u64,
+    fast_depth_seen: bool,
+    slow_present: bool,
+}
+
+fn lane_snapshot(addr: std::net::SocketAddr) -> LaneSnapshot {
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let response = client.get("/metrics").expect("metrics");
+    let parsed = json::parse(&response.body).expect("metrics JSON");
+    let lanes = parsed.get("lanes").expect("lanes section");
+    let fast = lanes.get("fast").expect("fast lane");
+    let get = |lane: &json::Json, name: &str| lane.get(name).and_then(json::Json::as_u64);
+    let slow = lanes.get("slow").filter(|s| **s != json::Json::Null);
+    LaneSnapshot {
+        fast_admitted: get(fast, "admitted").unwrap_or(0),
+        slow_admitted: slow.and_then(|s| get(s, "admitted")).unwrap_or(0),
+        fast_shed: get(fast, "shed").unwrap_or(0),
+        slow_shed: slow.and_then(|s| get(s, "shed")).unwrap_or(0),
+        fast_depth_seen: get(fast, "depth").is_some(),
+        slow_present: slow.is_some(),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Mix {
+    wall_ms: f64,
+    warm_requests: usize,
+    cold_requests: usize,
+    warm_p50_ms: f64,
+    warm_p95_ms: f64,
+    cold_p50_ms: f64,
+    cold_p95_ms: f64,
+    lanes: LaneSnapshot,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[((sorted.len() - 1) as f64 * p) as usize]
+    }
+}
+
+/// Runs the mixed phase: WARM_CLIENTS loop the warm set (at least
+/// `min_rounds` full passes, and until the cold stream is exhausted) while
+/// one client sends every cold body once. Returns client-observed
+/// latencies split by temperature.
+fn drive_mix(addr: std::net::SocketAddr, w: &Workload, min_rounds: usize) -> Mix {
+    let warm_latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let cold_latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let cold_done = AtomicBool::new(false);
+    let (_, wall) = timed(|| {
+        std::thread::scope(|scope| {
+            for client_index in 0..WARM_CLIENTS {
+                let warm_latencies = &warm_latencies;
+                let cold_done = &cold_done;
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut local = Vec::new();
+                    let mut rounds = 0usize;
+                    loop {
+                        // Stagger clients so their passes interleave rather
+                        // than phase-lock on the same body.
+                        for body in w.warm.iter().cycle().skip(client_index).take(w.warm.len()) {
+                            let (response, elapsed) =
+                                timed(|| client.post("/explain", body).expect("post"));
+                            if response.status == 503 {
+                                std::thread::sleep(Duration::from_millis(5));
+                                let _ = client.post("/explain", body).expect("retry");
+                            } else {
+                                local.push(elapsed.as_secs_f64() * 1e3);
+                            }
+                        }
+                        rounds += 1;
+                        if rounds >= min_rounds && cold_done.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    warm_latencies.lock().unwrap().extend(local);
+                });
+            }
+            let cold_latencies = &cold_latencies;
+            let cold_done = &cold_done;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                let mut local = Vec::new();
+                for body in &w.cold {
+                    let (response, elapsed) =
+                        timed(|| client.post("/explain", body).expect("post"));
+                    if response.status == 503 {
+                        std::thread::sleep(Duration::from_millis(5));
+                        let _ = client.post("/explain", body).expect("retry");
+                    } else {
+                        local.push(elapsed.as_secs_f64() * 1e3);
+                    }
+                }
+                cold_done.store(true, Ordering::Relaxed);
+                cold_latencies.lock().unwrap().extend(local);
+            });
+        });
+    });
+    let mut warm = warm_latencies.into_inner().unwrap();
+    let mut cold = cold_latencies.into_inner().unwrap();
+    warm.sort_by(f64::total_cmp);
+    cold.sort_by(f64::total_cmp);
+    Mix {
+        wall_ms: wall.as_secs_f64() * 1e3,
+        warm_requests: warm.len(),
+        cold_requests: cold.len(),
+        warm_p50_ms: percentile(&warm, 0.50),
+        warm_p95_ms: percentile(&warm, 0.95),
+        cold_p50_ms: percentile(&cold, 0.50),
+        cold_p95_ms: percentile(&cold, 0.95),
+        lanes: lane_snapshot(addr),
+    }
+}
+
+/// Measures one server configuration: warm the warm set, then run the mix.
+fn measure(w: &Workload, dual_lane: bool, min_rounds: usize) -> Mix {
+    let handle = exes_server::start(
+        service(w),
+        ServerConfig {
+            workers: WARM_CLIENTS + 1,
+            max_batch: 16,
+            batch_window: Duration::from_millis(2),
+            queue_depth: 1 << 16,
+            dual_lane,
+            slow_queue_depth: 1 << 16,
+            ..Default::default()
+        },
+    )
+    .expect("bind server");
+    // Warm-up: one pass over the warm set memoises every probe it needs, so
+    // during measurement the pre-admission estimate reads these as warm.
+    // The connection is scoped so its worker slot is free again before the
+    // measured clients connect.
+    {
+        let mut client = HttpClient::connect(handle.addr()).expect("connect");
+        for body in &w.warm {
+            assert_eq!(
+                client.post("/explain", body).expect("warmup").status,
+                200,
+                "warmup request failed"
+            );
+        }
+    }
+    let mix = drive_mix(handle.addr(), w, min_rounds);
+    handle.shutdown();
+    mix
+}
+
+fn mix_json(m: &Mix) -> String {
+    format!(
+        "{{\"wall_ms\": {:.3}, \"warm_requests\": {}, \"cold_requests\": {}, \
+         \"warm_p50_ms\": {:.3}, \"warm_p95_ms\": {:.3}, \
+         \"cold_p50_ms\": {:.3}, \"cold_p95_ms\": {:.3}, \
+         \"fast_admitted\": {}, \"slow_admitted\": {}, \
+         \"fast_shed\": {}, \"slow_shed\": {}}}",
+        m.wall_ms,
+        m.warm_requests,
+        m.cold_requests,
+        m.warm_p50_ms,
+        m.warm_p95_ms,
+        m.cold_p50_ms,
+        m.cold_p95_ms,
+        m.lanes.fast_admitted,
+        m.lanes.slow_admitted,
+        m.lanes.fast_shed,
+        m.lanes.slow_shed,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // (scale, people, warm queries, subjects per query, cold queries,
+    // min warm rounds)
+    let scales: &[(&'static str, usize, usize, usize, usize, usize)] = if smoke {
+        &[("smoke", 120, 2, 3, 4, 2)]
+    } else {
+        &[("small", 250, 2, 4, 10, 3), ("medium", 500, 3, 4, 12, 3)]
+    };
+    let threads = exes_parallel::thread_count(usize::MAX);
+
+    let mut rows = Vec::new();
+    for &(scale, people, warm_queries, subjects, cold_queries, min_rounds) in scales {
+        eprintln!("measuring scale '{scale}' ({people} people)...");
+        let w = workload(people, warm_queries, subjects, cold_queries);
+        let single = measure(&w, false, min_rounds);
+        let dual = measure(&w, true, min_rounds);
+
+        // Structural invariants hold in every mode: the dual-lane server
+        // actually routed by cost estimate and exposes per-lane telemetry.
+        assert!(
+            dual.lanes.slow_present,
+            "dual-lane metrics must expose the slow lane"
+        );
+        assert!(
+            dual.lanes.slow_admitted > 0,
+            "cold requests must ride the slow lane"
+        );
+        assert!(
+            dual.lanes.fast_admitted > 0,
+            "warm requests must ride the fast lane"
+        );
+        assert!(
+            dual.lanes.fast_depth_seen,
+            "per-lane depth gauges must be present in /metrics"
+        );
+        assert!(
+            !single.lanes.slow_present,
+            "single-lane metrics must render a null slow lane"
+        );
+        // The SLO claim — warm p95 decouples from the cold tail — is a
+        // wall-clock property, asserted only in the full run: smoke runs on
+        // shared CI runners where timing is noise.
+        if !smoke {
+            assert!(
+                dual.warm_p95_ms < single.warm_p95_ms,
+                "dual lanes must lower the warm p95 under a cold-polluted mix \
+                 ({:.3}ms vs {:.3}ms single-lane)",
+                dual.warm_p95_ms,
+                single.warm_p95_ms
+            );
+        }
+        rows.push((scale, people, w.warm.len(), w.cold.len(), single, dual));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"slo\",");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"warm_clients\": {WARM_CLIENTS},");
+    let _ = writeln!(out, "  \"cold_clients\": 1,");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"scales\": [\n");
+    for (i, (scale, people, warm, cold, single, dual)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"scale\": \"{scale}\", \"people\": {people}, \
+             \"unique_warm\": {warm}, \"unique_cold\": {cold},\n     \
+             \"single_lane\": {},\n     \"dual_lane\": {}}}{comma}",
+            mix_json(single),
+            mix_json(dual)
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_slo.json", &out).expect("write BENCH_slo.json");
+    println!("{out}");
+    for (scale, _, _, _, single, dual) in &rows {
+        eprintln!(
+            "[{scale}] warm p95 {:.1}ms single-lane -> {:.1}ms dual-lane \
+             (cold p95 {:.1}ms; slow lane admitted {})",
+            single.warm_p95_ms, dual.warm_p95_ms, dual.cold_p95_ms, dual.lanes.slow_admitted
+        );
+    }
+    eprintln!("wrote BENCH_slo.json");
+}

@@ -1,5 +1,6 @@
 //! ExES configuration: the paper's tunables (Table 3 and Section 4.1 defaults).
 
+use crate::probe::ProbeBudget;
 use exes_shap::ShapConfig;
 use std::time::Duration;
 
@@ -60,6 +61,19 @@ pub struct ExesConfig {
     pub probe_cache_shards: usize,
     /// Shapley estimator configuration.
     pub shap: ShapConfig,
+    /// Upper bound on *black-box* probes a single explanation may spend
+    /// (cache hits are free). The whole request is billed against it: the
+    /// initial decision probe, candidate scoring, and the search itself all
+    /// draw from one allowance. When the budget runs out, counterfactual
+    /// searches return best-so-far marked
+    /// [`Completeness::Budgeted`](crate::probe::Completeness) and factual
+    /// SHAP truncates its permutation sample, reporting wider confidence
+    /// intervals. [`ProbeBudget::UNBOUNDED`] (the default) leaves every byte
+    /// of every result unchanged. One caveat: the initial decision probe is
+    /// issued unconditionally when the cache cannot answer it (a
+    /// counterfactual question cannot even be posed without the reference
+    /// decision), so a zero budget over a cold cache still spends one probe.
+    pub probe_budget: ProbeBudget,
 }
 
 impl Default for ExesConfig {
@@ -79,6 +93,7 @@ impl Default for ExesConfig {
             probe_cache_capacity: 1 << 18,
             probe_cache_shards: 16,
             shap: ShapConfig::default(),
+            probe_budget: ProbeBudget::UNBOUNDED,
         }
     }
 }
@@ -161,6 +176,12 @@ impl ExesConfig {
         self.probe_cache_shards = shards;
         self
     }
+
+    /// Builder-style setter for the per-explanation probe budget.
+    pub fn with_probe_budget(mut self, budget: ProbeBudget) -> Self {
+        self.probe_budget = budget;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +204,15 @@ mod tests {
         assert!(c.parallel_probes);
         assert_eq!(c.probe_cache_capacity, 1 << 18);
         assert_eq!(c.probe_cache_shards, 16);
+        assert_eq!(c.probe_budget, ProbeBudget::UNBOUNDED);
+    }
+
+    #[test]
+    fn probe_budget_builder_updates_the_field() {
+        let c = ExesConfig::fast().with_probe_budget(ProbeBudget::bounded(64));
+        assert_eq!(c.probe_budget.limit(), Some(64));
+        assert!(c.probe_budget.is_bounded());
+        assert!(!ProbeBudget::UNBOUNDED.is_bounded());
     }
 
     #[test]

@@ -27,6 +27,13 @@ use std::time::Instant;
 /// * `cache` — optional probe memo table. A warm cache answers repeated
 ///   probes without touching the black box; explanations are byte-identical
 ///   either way, only `result.probes` (and the hit/miss counters) change.
+///
+/// The search runs under `cfg.probe_budget`: black-box probes (cache hits are
+/// free) are counted against it, and once the next probe would overdraw the
+/// allowance the search stops and returns its best-so-far explanations marked
+/// `Completeness::Budgeted` — never a panic, never a silent truncation. With
+/// [`crate::probe::ProbeBudget::UNBOUNDED`] (the default) results are
+/// byte-identical to the unbudgeted search.
 #[allow(clippy::too_many_arguments)]
 pub fn beam_search<D: ErasedDecisionModel + ?Sized>(
     task: &D,
@@ -39,11 +46,28 @@ pub fn beam_search<D: ErasedDecisionModel + ?Sized>(
     cache: Option<&ProbeCache>,
 ) -> CounterfactualResult {
     let mut result = CounterfactualResult::default();
-    let plan = crate::probe::acquire_plan(task, graph, query, cache);
+    let mut budget = cfg.probe_budget.tracker();
+    let (plan, _) = crate::probe::acquire_plan(task, graph, query, cache);
     let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes)
         .with_cache_opt(cache)
         .with_plan_opt(plan.as_deref());
-    let (initial, initial_hit) = engine.score_identity_counted();
+    let (initial, initial_hit) = if budget.remaining() == Some(0) {
+        // A zero budget cannot establish the reference decision unless it is
+        // already memoised; probing anyway would overdraw.
+        match engine.peek_identity() {
+            Some(probe) => (probe, true),
+            None => {
+                result.completeness = budget.completeness(true);
+                return result;
+            }
+        }
+    } else {
+        let scored = engine.score_identity_counted();
+        if !scored.1 {
+            budget.charge(1);
+        }
+        scored
+    };
     if initial_hit {
         result.cache_hits += 1;
     } else {
@@ -105,13 +129,16 @@ pub fn beam_search<D: ErasedDecisionModel + ?Sized>(
             if chunk.is_empty() {
                 continue;
             }
-            let (probes, stats) = engine.score_counted(&chunk);
+            let (probes, stats, answered) =
+                engine.score_counted_budgeted(&chunk, budget.remaining());
+            budget.charge(stats.probed);
             result.probes += stats.probed;
             result.cache_hits += stats.cache_hits;
             result.cache_misses += stats.cache_misses;
             result.incremental_rescores += stats.incremental_rescores;
             result.full_rescores += stats.full_rescores;
-            for (set, probe) in chunk.into_iter().zip(probes) {
+            let truncated = answered < chunk.len();
+            for (set, probe) in chunk.into_iter().take(answered).zip(probes) {
                 if probe.positive != initial_relevance {
                     // In-order minimality guard within the chunk: a set whose
                     // subset already flipped is not minimal.
@@ -131,6 +158,12 @@ pub fn beam_search<D: ErasedDecisionModel + ?Sized>(
                 } else if set.len() < cfg.max_explanation_size {
                     expanded_queue.push((probe.signal, set));
                 }
+            }
+            if truncated {
+                // The budget ran out mid-chunk: candidates were dropped
+                // unscored, so the result is best-so-far, said explicitly.
+                result.completeness = budget.completeness(true);
+                break 'outer;
             }
         }
 
@@ -156,6 +189,7 @@ pub fn beam_search<D: ErasedDecisionModel + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::probe::Completeness;
     use crate::tasks::{DecisionModel, ExpertRelevanceTask};
     use exes_expert_search::{ExpertRanker, TfIdfRanker};
     use exes_graph::{CollabGraphBuilder, GraphView, PersonId};
@@ -372,35 +406,9 @@ mod tests {
     fn parallel_and_sequential_paths_are_byte_identical() {
         // A graph large enough that each beam level exceeds the parallel
         // threshold, with query-term and skill candidates mixed in.
-        let mut b = CollabGraphBuilder::new();
-        let people: Vec<_> = (0..20)
-            .map(|i| {
-                b.add_person(
-                    &format!("p{i}"),
-                    [format!("s{}", i % 6), format!("s{}", (i + 1) % 6)],
-                )
-            })
-            .collect();
-        for w in people.windows(3) {
-            b.add_edge(w[0], w[2]);
-            b.add_edge(w[0], w[1]);
-        }
-        let g = b.build();
-        let q = Query::parse("s0 s1", g.vocab()).unwrap();
+        let (g, q, candidates) = wide_search_instance();
         let ranker = TfIdfRanker::default();
-        let task = ExpertRelevanceTask::new(&ranker, people[0], 3);
-        let candidates: Vec<Perturbation> = g
-            .people()
-            .flat_map(|p| {
-                g.person_skills(p)
-                    .iter()
-                    .map(move |&s| Perturbation::RemoveSkill {
-                        person: p,
-                        skill: s,
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
         let mut parallel_cfg = ExesConfig::fast().with_k(3).with_beam_width(6);
         parallel_cfg.parallel_probes = true;
         let mut sequential_cfg = parallel_cfg.clone();
@@ -422,5 +430,177 @@ mod tests {
         assert_eq!(par.probes, seq.probes);
         assert_eq!(par.timed_out, seq.timed_out);
         assert_eq!(par.explanations, seq.explanations);
+    }
+
+    /// A 20-person instance whose beam levels are wide enough to exercise the
+    /// parallel scoring path and several probe chunks.
+    fn wide_search_instance() -> (CollabGraph, Query, Vec<Perturbation>) {
+        let mut b = CollabGraphBuilder::new();
+        let people: Vec<_> = (0..20)
+            .map(|i| {
+                b.add_person(
+                    &format!("p{i}"),
+                    [format!("s{}", i % 6), format!("s{}", (i + 1) % 6)],
+                )
+            })
+            .collect();
+        for w in people.windows(3) {
+            b.add_edge(w[0], w[2]);
+            b.add_edge(w[0], w[1]);
+        }
+        let g = b.build();
+        let q = Query::parse("s0 s1", g.vocab()).unwrap();
+        let candidates: Vec<Perturbation> = g
+            .people()
+            .flat_map(|p| {
+                g.person_skills(p)
+                    .iter()
+                    .map(move |&s| Perturbation::RemoveSkill {
+                        person: p,
+                        skill: s,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        (g, q, candidates)
+    }
+
+    #[test]
+    fn exhausted_budget_is_deterministic_across_thread_counts() {
+        let (g, q, candidates) = wide_search_instance();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        // Small enough to exhaust mid-search (the unbounded run spends far
+        // more), large enough to cross at least one full probe chunk.
+        let budget = 140;
+        let base = ExesConfig::fast()
+            .with_k(3)
+            .with_beam_width(6)
+            .with_probe_budget(crate::probe::ProbeBudget::bounded(budget));
+        let run = |parallel: bool| {
+            beam_search(
+                &task,
+                &g,
+                &q,
+                &candidates,
+                CounterfactualKind::SkillRemoval,
+                &base.clone().with_parallel_probes(parallel),
+                None,
+                None,
+            )
+        };
+        let par = run(true);
+        let seq = run(false);
+        assert_eq!(par.completeness, seq.completeness);
+        assert_eq!(par.probes, seq.probes);
+        assert_eq!(par.explanations, seq.explanations);
+        // The budget genuinely bit, is honestly reported, and was never
+        // overdrawn.
+        assert!(
+            par.probes <= budget,
+            "spent {} > budget {budget}",
+            par.probes
+        );
+        match par.completeness {
+            Completeness::Budgeted { spent, budget: b } => {
+                assert_eq!(spent, par.probes);
+                assert_eq!(b, budget);
+            }
+            Completeness::Exhaustive => panic!("a {budget}-probe budget must truncate this search"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_without_a_cache_returns_the_honest_degenerate() {
+        let (g, q, candidates) = wide_search_instance();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let config = ExesConfig::fast()
+            .with_k(3)
+            .with_probe_budget(crate::probe::ProbeBudget::bounded(0));
+        let result = beam_search(
+            &task,
+            &g,
+            &q,
+            &candidates,
+            CounterfactualKind::SkillRemoval,
+            &config,
+            None,
+            None,
+        );
+        assert!(result.is_empty());
+        assert_eq!(result.probes, 0);
+        assert_eq!(
+            result.completeness,
+            Completeness::Budgeted {
+                spent: 0,
+                budget: 0
+            }
+        );
+    }
+
+    #[test]
+    fn ample_budget_is_byte_identical_to_unbounded_search() {
+        let (g, q, candidates) = wide_search_instance();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let base = ExesConfig::fast().with_k(3).with_beam_width(6);
+        let run = |config: &ExesConfig| {
+            beam_search(
+                &task,
+                &g,
+                &q,
+                &candidates,
+                CounterfactualKind::SkillRemoval,
+                config,
+                None,
+                None,
+            )
+        };
+        let unbounded = run(&base);
+        // A budget exactly equal to the unbounded spend changes nothing:
+        // same explanations, same counters, still marked exhaustive.
+        let bounded = run(&base
+            .clone()
+            .with_probe_budget(crate::probe::ProbeBudget::bounded(unbounded.probes)));
+        assert_eq!(bounded.explanations, unbounded.explanations);
+        assert_eq!(bounded.probes, unbounded.probes);
+        assert_eq!(bounded.completeness, Completeness::Exhaustive);
+        // One probe less must bite.
+        let starved = run(&base
+            .clone()
+            .with_probe_budget(crate::probe::ProbeBudget::bounded(unbounded.probes - 1)));
+        assert!(starved.completeness.is_budgeted());
+    }
+
+    #[test]
+    fn zero_budget_with_a_warm_cache_replays_the_full_search_free() {
+        let (g, q, candidates) = wide_search_instance();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let cache = ProbeCache::new(0);
+        let base = ExesConfig::fast().with_k(3).with_beam_width(6);
+        let run = |config: &ExesConfig| {
+            beam_search(
+                &task,
+                &g,
+                &q,
+                &candidates,
+                CounterfactualKind::SkillRemoval,
+                config,
+                None,
+                Some(&cache),
+            )
+        };
+        let warmup = run(&base);
+        assert!(warmup.probes > 0);
+        // Every probe is now memoised: hits are free, so even a zero budget
+        // completes the identical search without touching the black box.
+        let replay = run(&base
+            .clone()
+            .with_probe_budget(crate::probe::ProbeBudget::bounded(0)));
+        assert_eq!(replay.explanations, warmup.explanations);
+        assert_eq!(replay.probes, 0);
+        assert_eq!(replay.completeness, Completeness::Exhaustive);
     }
 }

@@ -118,16 +118,24 @@ pub fn query_augmentation_candidates(
 /// signal the most (each candidate edge is probed once, through the batched —
 /// and, when a cache is given, memoised — probe engine).
 ///
-/// Returns the candidate perturbations and the scoring batch's probe
-/// accounting (`probed` is the number of probes that actually reached the
-/// black box).
+/// `max_probes` caps the black-box probes candidate scoring may issue (cache
+/// hits stay free); when the cap stops the scoring early only the affordable
+/// prefix of edges competes for the `t` slots, and the `bool` in the return
+/// reports that truncation so the caller can mark the final result
+/// [`Completeness::Budgeted`](crate::probe::Completeness). `None` is
+/// unbounded.
+///
+/// Returns the candidate perturbations, the scoring batch's probe accounting
+/// (`probed` is the number of probes that actually reached the black box),
+/// and whether the probe cap truncated the scoring.
 pub fn link_removal_candidates<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
     cfg: &ExesConfig,
     cache: Option<&ProbeCache>,
-) -> (Vec<Perturbation>, BatchStats) {
+    max_probes: Option<usize>,
+) -> (Vec<Perturbation>, BatchStats, bool) {
     let subject = task.subject_id();
     let neighborhood = Neighborhood::compute(graph, subject, cfg.collab_radius);
     let edges = neighborhood.edges_within(graph);
@@ -139,19 +147,25 @@ pub fn link_removal_candidates<D: ErasedDecisionModel + ?Sized>(
         .iter()
         .map(|&p| PerturbationSet::singleton(p))
         .collect();
-    let plan = crate::probe::acquire_plan(task, graph, query, cache);
+    let (plan, _) = crate::probe::acquire_plan(task, graph, query, cache);
     let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes)
         .with_cache_opt(cache)
         .with_plan_opt(plan.as_deref());
-    let (probes, stats) = engine.score_counted(&sets);
+    let (probes, stats, answered) = engine.score_counted_budgeted(&sets, max_probes);
+    let truncated = answered < sets.len();
     let mut scored: Vec<(Perturbation, f64)> = perturbations
         .into_iter()
+        .take(answered)
         .zip(probes.into_iter().map(|p| p.signal))
         .collect();
     // Higher signal = worse rank = more damaging removal; keep the t most damaging.
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     scored.truncate(cfg.num_candidates);
-    (scored.into_iter().map(|(p, _)| p).collect(), stats)
+    (
+        scored.into_iter().map(|(p, _)| p).collect(),
+        stats,
+        truncated,
+    )
 }
 
 /// Link-addition candidates (Pruning Strategy 5): people within an extended
@@ -323,7 +337,9 @@ mod tests {
         let q = any_query(&f.ds);
         let ranker = PropagationRanker::default();
         let task = ExpertRelevanceTask::new(&ranker, PersonId(3), 5);
-        let (cands, stats) = link_removal_candidates(&task, &f.ds.graph, &q, &cfg(), None);
+        let (cands, stats, truncated) =
+            link_removal_candidates(&task, &f.ds.graph, &q, &cfg(), None, None);
+        assert!(!truncated);
         assert!(stats.probed >= cands.len());
         assert_eq!(stats.cache_hits, 0);
         assert!(cands.len() <= cfg().num_candidates);
@@ -337,6 +353,38 @@ mod tests {
                 _ => panic!("unexpected candidate {c:?}"),
             }
         }
+    }
+
+    #[test]
+    fn link_removal_scoring_respects_a_probe_cap() {
+        let f = fixture();
+        let q = any_query(&f.ds);
+        let ranker = PropagationRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(3), 5);
+        let (unbounded, full_stats, _) =
+            link_removal_candidates(&task, &f.ds.graph, &q, &cfg(), None, None);
+        assert!(
+            full_stats.probed > 2,
+            "fixture must have enough local edges"
+        );
+        let cap = 2;
+        let (capped, stats, truncated) =
+            link_removal_candidates(&task, &f.ds.graph, &q, &cfg(), None, Some(cap));
+        assert!(truncated, "a {cap}-probe cap must truncate the scoring");
+        assert!(stats.probed <= cap);
+        assert!(capped.len() <= unbounded.len());
+        // A cap covering the full scoring changes nothing.
+        let (all, all_stats, all_truncated) = link_removal_candidates(
+            &task,
+            &f.ds.graph,
+            &q,
+            &cfg(),
+            None,
+            Some(full_stats.probed),
+        );
+        assert!(!all_truncated);
+        assert_eq!(all, unbounded);
+        assert_eq!(all_stats.probed, full_stats.probed);
     }
 
     #[test]

@@ -25,6 +25,13 @@ use std::time::Instant;
 /// An optional [`ProbeCache`] memoises probes exactly as in
 /// [`super::beam::beam_search`]: results are byte-identical with or without
 /// it, only `result.probes` and the hit/miss counters change.
+///
+/// `cfg.probe_budget` bounds the number of *black-box* probes (cache hits are
+/// free). When the budget runs out mid-enumeration the search stops at the
+/// last affordable subset and returns best-so-far, marked
+/// [`Completeness::Budgeted`](crate::probe::Completeness) — never a panic or a
+/// silent truncation. An unbounded budget leaves every byte of the result
+/// unchanged.
 #[allow(clippy::too_many_arguments)]
 pub fn exhaustive_search<D: ErasedDecisionModel + ?Sized>(
     task: &D,
@@ -37,11 +44,28 @@ pub fn exhaustive_search<D: ErasedDecisionModel + ?Sized>(
     cache: Option<&ProbeCache>,
 ) -> CounterfactualResult {
     let mut result = CounterfactualResult::default();
-    let plan = crate::probe::acquire_plan(task, graph, query, cache);
+    let mut budget = cfg.probe_budget.tracker();
+    let (plan, _) = crate::probe::acquire_plan(task, graph, query, cache);
     let engine = ProbeBatch::new(task, graph, query, cfg.parallel_probes)
         .with_cache_opt(cache)
         .with_plan_opt(plan.as_deref());
-    let (initial, initial_hit) = engine.score_identity_counted();
+    let (initial, initial_hit) = if budget.remaining() == Some(0) {
+        match engine.peek_identity() {
+            Some(probe) => (probe, true),
+            None => {
+                // Not even the reference decision is affordable: the only
+                // honest answer is an empty, explicitly-budgeted result.
+                result.completeness = budget.completeness(true);
+                return result;
+            }
+        }
+    } else {
+        let scored = engine.score_identity_counted();
+        if !scored.1 {
+            budget.charge(1);
+        }
+        scored
+    };
     if initial_hit {
         result.cache_hits += 1;
     } else {
@@ -53,38 +77,49 @@ pub fn exhaustive_search<D: ErasedDecisionModel + ?Sized>(
     let initial_relevance = initial.positive;
 
     // Scores a buffered chunk in enumeration order; returns false when the
-    // search must stop (budget reached or deadline passed).
-    let score_chunk =
-        |chunk: &mut Vec<PerturbationSet>, result: &mut CounterfactualResult| -> bool {
-            if chunk.is_empty() {
-                return true;
+    // search must stop (explanation count reached, probe budget spent, or
+    // deadline passed).
+    let score_chunk = |chunk: &mut Vec<PerturbationSet>,
+                       result: &mut CounterfactualResult,
+                       budget: &mut crate::probe::BudgetTracker|
+     -> bool {
+        if chunk.is_empty() {
+            return true;
+        }
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                result.timed_out = true;
+                chunk.clear();
+                return false;
             }
-            if let Some(deadline) = deadline {
-                if Instant::now() >= deadline {
-                    result.timed_out = true;
-                    chunk.clear();
-                    return false;
-                }
+        }
+        let (probes, stats, answered) = engine.score_counted_budgeted(chunk, budget.remaining());
+        budget.charge(stats.probed);
+        result.probes += stats.probed;
+        result.cache_hits += stats.cache_hits;
+        result.cache_misses += stats.cache_misses;
+        result.incremental_rescores += stats.incremental_rescores;
+        result.full_rescores += stats.full_rescores;
+        let truncated = answered < chunk.len();
+        for (set, probe) in chunk.drain(..).zip(probes) {
+            if probe.positive != initial_relevance
+                && result.explanations.len() < cfg.num_explanations
+            {
+                result.explanations.push(CounterfactualExplanation {
+                    perturbations: set,
+                    new_signal: probe.signal,
+                    kind,
+                });
             }
-            let (probes, stats) = engine.score_counted(chunk);
-            result.probes += stats.probed;
-            result.cache_hits += stats.cache_hits;
-            result.cache_misses += stats.cache_misses;
-            result.incremental_rescores += stats.incremental_rescores;
-            result.full_rescores += stats.full_rescores;
-            for (set, probe) in chunk.drain(..).zip(probes) {
-                if probe.positive != initial_relevance
-                    && result.explanations.len() < cfg.num_explanations
-                {
-                    result.explanations.push(CounterfactualExplanation {
-                        perturbations: set,
-                        new_signal: probe.signal,
-                        kind,
-                    });
-                }
-            }
-            result.explanations.len() < cfg.num_explanations
-        };
+        }
+        if truncated {
+            // The budget ran out mid-chunk: subsets were dropped unscored,
+            // so the result is best-so-far, said explicitly.
+            result.completeness = budget.completeness(true);
+            return false;
+        }
+        result.explanations.len() < cfg.num_explanations
+    };
 
     let max_size = cfg.max_explanation_size.min(candidates.len());
     'sizes: for size in 1..=max_size {
@@ -96,7 +131,8 @@ pub fn exhaustive_search<D: ErasedDecisionModel + ?Sized>(
             let set: PerturbationSet = indices.iter().map(|&i| candidates[i]).collect();
             if set.len() == size {
                 chunk.push(set);
-                if chunk.len() >= PROBE_CHUNK && !score_chunk(&mut chunk, &mut result) {
+                if chunk.len() >= PROBE_CHUNK && !score_chunk(&mut chunk, &mut result, &mut budget)
+                {
                     break 'sizes;
                 }
             }
@@ -105,7 +141,7 @@ pub fn exhaustive_search<D: ErasedDecisionModel + ?Sized>(
                 break;
             }
         }
-        if !score_chunk(&mut chunk, &mut result) {
+        if !score_chunk(&mut chunk, &mut result, &mut budget) {
             break 'sizes;
         }
         // Minimality: once any explanation of this size exists, larger sizes
@@ -328,6 +364,46 @@ mod tests {
             None,
         );
         assert!(result.timed_out || !result.is_empty());
+    }
+
+    #[test]
+    fn budget_truncates_the_baseline_honestly() {
+        let g = graph();
+        let q = Query::parse("db ml", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 1);
+        let candidates = all_skill_removals(&g);
+        let run = |budget: crate::probe::ProbeBudget| {
+            exhaustive_search(
+                &task,
+                &g,
+                &q,
+                &candidates,
+                CounterfactualKind::SkillRemoval,
+                &ExesConfig::fast().with_k(1).with_probe_budget(budget),
+                None,
+                None,
+            )
+        };
+        let unbounded = run(crate::probe::ProbeBudget::UNBOUNDED);
+        assert_eq!(
+            unbounded.completeness,
+            crate::probe::Completeness::Exhaustive
+        );
+        // Matching the unbounded spend exactly changes nothing.
+        let matched = run(crate::probe::ProbeBudget::bounded(unbounded.probes));
+        assert_eq!(matched.explanations, unbounded.explanations);
+        assert_eq!(matched.completeness, crate::probe::Completeness::Exhaustive);
+        // A 2-probe budget (identity + one subset) is overdrawn mid-chunk.
+        let starved = run(crate::probe::ProbeBudget::bounded(2));
+        assert!(starved.probes <= 2);
+        assert_eq!(
+            starved.completeness,
+            crate::probe::Completeness::Budgeted {
+                spent: starved.probes,
+                budget: 2
+            }
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ pub mod beam;
 pub mod candidates;
 pub mod exhaustive;
 
+pub use crate::probe::{Completeness, ProbeBudget};
 use exes_graph::{CollabGraph, PerturbationSet};
 
 /// Which family of counterfactual explanation was requested.
@@ -78,6 +79,10 @@ pub struct CounterfactualResult {
     pub full_rescores: usize,
     /// Whether the search stopped because the configured timeout elapsed.
     pub timed_out: bool,
+    /// Whether the search ran to its natural end or was cut short by the
+    /// configured [`ProbeBudget`] (`ExesConfig::probe_budget`). A `Budgeted`
+    /// result is best-so-far, never a panic or a silent truncation.
+    pub completeness: Completeness,
 }
 
 impl CounterfactualResult {

@@ -13,7 +13,7 @@ use crate::counterfactual::{
 use crate::factual::{
     explain_collaborations, explain_query_terms, explain_skills, FactualExplanation,
 };
-use crate::probe::{BatchStats, ProbeBatch, ProbeCache};
+use crate::probe::{BatchStats, BudgetTracker, Completeness, ProbeBatch, ProbeBudget, ProbeCache};
 use crate::tasks::{ErasedDecisionModel, Probe};
 use exes_embedding::SkillEmbedding;
 use exes_graph::{CollabGraph, Query};
@@ -102,6 +102,35 @@ impl<L: LinkPredictor> Exes<L> {
 
     fn deadline(&self) -> Option<Instant> {
         self.config.timeout.map(|t| Instant::now() + t)
+    }
+
+    /// A copy of the configuration whose probe budget is what the
+    /// request-level `budget` has left, so the downstream search spends only
+    /// the request's remainder. With [`ProbeBudget::UNBOUNDED`] this is a
+    /// plain clone and the search path is byte-identical to the pre-budget
+    /// code.
+    fn remaining_config(&self, budget: &BudgetTracker) -> ExesConfig {
+        let remaining = match budget.remaining() {
+            Some(r) => ProbeBudget::bounded(r),
+            None => ProbeBudget::UNBOUNDED,
+        };
+        self.config.clone().with_probe_budget(remaining)
+    }
+
+    /// Rewrites a search-local [`Completeness`] marker into request-level
+    /// accounting: `spent` becomes the request's *total* black-box probes —
+    /// the initial decision probe and any candidate scoring included — against
+    /// the configured budget. `pre_search_truncated` marks requests whose
+    /// candidate scoring (not the search itself) ran out of budget.
+    fn finish_accounting(&self, result: &mut CounterfactualResult, pre_search_truncated: bool) {
+        if let Some(limit) = self.config.probe_budget.limit() {
+            if pre_search_truncated || result.completeness.is_budgeted() {
+                result.completeness = Completeness::Budgeted {
+                    spent: result.probes,
+                    budget: limit,
+                };
+            }
+        }
     }
 
     /// The initial (unperturbed) decision, routed through the cache when one
@@ -230,7 +259,11 @@ impl<L: LinkPredictor> Exes<L> {
         query: &Query,
         cache: Option<&ProbeCache>,
     ) -> CounterfactualResult {
+        let mut budget = self.config.probe_budget.tracker();
         let (initial, initial_hit) = self.initial_probe(task, graph, query, cache);
+        if !initial_hit {
+            budget.charge(1);
+        }
         let initially_selected = initial.positive;
         let (candidates, kind) = if initially_selected {
             (
@@ -255,17 +288,19 @@ impl<L: LinkPredictor> Exes<L> {
                 CounterfactualKind::SkillAddition,
             )
         };
+        let search_cfg = self.remaining_config(&budget);
         let mut result = beam_search(
             task,
             graph,
             query,
             &candidates,
             kind,
-            &self.config,
+            &search_cfg,
             self.deadline(),
             cache,
         );
         Self::account_initial(&mut result, initial_hit, cache.is_some());
+        self.finish_accounting(&mut result, false);
         result
     }
 
@@ -287,7 +322,11 @@ impl<L: LinkPredictor> Exes<L> {
         query: &Query,
         cache: Option<&ProbeCache>,
     ) -> CounterfactualResult {
+        let mut budget = self.config.probe_budget.tracker();
         let (initial, initial_hit) = self.initial_probe(task, graph, query, cache);
+        if !initial_hit {
+            budget.charge(1);
+        }
         let initially_selected = initial.positive;
         let candidates = candidates::query_augmentation_candidates(
             graph,
@@ -297,17 +336,19 @@ impl<L: LinkPredictor> Exes<L> {
             &self.embedding,
             &self.config,
         );
+        let search_cfg = self.remaining_config(&budget);
         let mut result = beam_search(
             task,
             graph,
             query,
             &candidates,
             CounterfactualKind::QueryAugmentation,
-            &self.config,
+            &search_cfg,
             self.deadline(),
             cache,
         );
         Self::account_initial(&mut result, initial_hit, cache.is_some());
+        self.finish_accounting(&mut result, false);
         result
     }
 
@@ -330,12 +371,23 @@ impl<L: LinkPredictor> Exes<L> {
         query: &Query,
         cache: Option<&ProbeCache>,
     ) -> CounterfactualResult {
+        let mut budget = self.config.probe_budget.tracker();
         let (initial, initial_hit) = self.initial_probe(task, graph, query, cache);
+        if !initial_hit {
+            budget.charge(1);
+        }
         let initially_selected = initial.positive;
-        let (candidates, kind, extra) = if initially_selected {
-            let (cands, stats) =
-                candidates::link_removal_candidates(task, graph, query, &self.config, cache);
-            (cands, CounterfactualKind::LinkRemoval, stats)
+        let (candidates, kind, extra, candidates_truncated) = if initially_selected {
+            let (cands, stats, truncated) = candidates::link_removal_candidates(
+                task,
+                graph,
+                query,
+                &self.config,
+                cache,
+                budget.remaining(),
+            );
+            budget.charge(stats.probed);
+            (cands, CounterfactualKind::LinkRemoval, stats, truncated)
         } else {
             (
                 candidates::link_addition_candidates(
@@ -346,15 +398,17 @@ impl<L: LinkPredictor> Exes<L> {
                 ),
                 CounterfactualKind::LinkAddition,
                 BatchStats::default(),
+                false,
             )
         };
+        let search_cfg = self.remaining_config(&budget);
         let mut result = beam_search(
             task,
             graph,
             query,
             &candidates,
             kind,
-            &self.config,
+            &search_cfg,
             self.deadline(),
             cache,
         );
@@ -364,6 +418,7 @@ impl<L: LinkPredictor> Exes<L> {
         result.incremental_rescores += extra.incremental_rescores;
         result.full_rescores += extra.full_rescores;
         Self::account_initial(&mut result, initial_hit, cache.is_some());
+        self.finish_accounting(&mut result, candidates_truncated);
         result
     }
 
@@ -382,7 +437,11 @@ impl<L: LinkPredictor> Exes<L> {
         addition_baseline: SkillAdditionBaseline,
     ) -> CounterfactualResult {
         let cache = self.probe_cache();
+        let mut budget = self.config.probe_budget.tracker();
         let (initial, initial_hit) = self.initial_probe(task, graph, query, cache);
+        if !initial_hit {
+            budget.charge(1);
+        }
         let initially_selected = initial.positive;
         let (candidates, kind) = if initially_selected {
             (all_skill_removals(graph), CounterfactualKind::SkillRemoval)
@@ -402,17 +461,19 @@ impl<L: LinkPredictor> Exes<L> {
             };
             (cands, CounterfactualKind::SkillAddition)
         };
+        let search_cfg = self.remaining_config(&budget);
         let mut result = exhaustive_search(
             task,
             graph,
             query,
             &candidates,
             kind,
-            &self.config,
+            &search_cfg,
             self.deadline(),
             cache,
         );
         Self::account_initial(&mut result, initial_hit, cache.is_some());
+        self.finish_accounting(&mut result, false);
         result
     }
 
@@ -448,7 +509,11 @@ impl<L: LinkPredictor> Exes<L> {
         query: &Query,
     ) -> CounterfactualResult {
         let cache = self.probe_cache();
+        let mut budget = self.config.probe_budget.tracker();
         let (initial, initial_hit) = self.initial_probe(task, graph, query, cache);
+        if !initial_hit {
+            budget.charge(1);
+        }
         let initially_selected = initial.positive;
         let (candidates, kind) = if initially_selected {
             (all_link_removals(graph), CounterfactualKind::LinkRemoval)
@@ -458,17 +523,19 @@ impl<L: LinkPredictor> Exes<L> {
                 CounterfactualKind::LinkAddition,
             )
         };
+        let search_cfg = self.remaining_config(&budget);
         let mut result = exhaustive_search(
             task,
             graph,
             query,
             &candidates,
             kind,
-            &self.config,
+            &search_cfg,
             self.deadline(),
             cache,
         );
         Self::account_initial(&mut result, initial_hit, cache.is_some());
+        self.finish_accounting(&mut result, false);
         result
     }
 }

@@ -3,7 +3,7 @@
 use super::{skill::explain_features, FactualExplanation, FeatureMaskModel};
 use crate::config::ExesConfig;
 use crate::features::Feature;
-use crate::probe::ProbeCache;
+use crate::probe::{Completeness, ProbeBudget, ProbeCache};
 use crate::tasks::ErasedDecisionModel;
 use exes_graph::{CollabGraph, Neighborhood, PersonId, Query};
 use exes_shap::{CachingModel, ShapExplainer};
@@ -26,6 +26,11 @@ pub fn collaboration_features_exhaustive(graph: &CollabGraph) -> Vec<Feature> {
 /// incident edges (restricted to the radius-`d` neighbourhood), and keep only
 /// edges whose |SHAP| exceeds `τ`; the final explanation re-scores exactly that
 /// impactful set. With `false` every edge of the graph is scored.
+///
+/// `cfg.probe_budget` bounds the black-box probes of the *whole* explanation:
+/// each expansion pass spends against the remainder, and when it runs out the
+/// expansion stops and the result is marked
+/// [`Completeness::Budgeted`] — best-so-far, never a silent truncation.
 pub fn explain_collaborations<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
@@ -50,6 +55,8 @@ pub fn explain_collaborations<D: ErasedDecisionModel + ?Sized>(
     let mut total_cache_hits = 0usize;
     let mut total_incremental = 0usize;
     let mut total_full = 0usize;
+    let mut budget = cfg.probe_budget.tracker();
+    let mut expansion_truncated = false;
     // Guard against runaway expansion on dense neighbourhoods.
     let max_impactful = 64usize;
 
@@ -58,6 +65,10 @@ pub fn explain_collaborations<D: ErasedDecisionModel + ?Sized>(
             continue;
         }
         if impactful.len() >= max_impactful {
+            break;
+        }
+        if budget.remaining() == Some(0) {
+            expansion_truncated = true;
             break;
         }
         // Incident edges of px that stay inside the neighbourhood and are new.
@@ -81,8 +92,13 @@ pub fn explain_collaborations<D: ErasedDecisionModel + ?Sized>(
         let model = CachingModel::new(FeatureMaskModel::new(
             task, graph, query, &incident, cfg, cache,
         ));
-        let shap = ShapExplainer::new(cfg.shap).explain(&model);
+        let sampled = ShapExplainer::new(cfg.shap).explain_sampled(&model, budget.remaining());
+        let shap = sampled.values;
+        if sampled.truncated {
+            expansion_truncated = true;
+        }
         let inner = model.into_inner();
+        budget.charge(inner.probes_issued());
         total_probes += inner.probes_issued();
         total_cache_hits += inner.cache_hits();
         total_incremental += inner.incremental_rescores();
@@ -103,18 +119,36 @@ pub fn explain_collaborations<D: ErasedDecisionModel + ?Sized>(
         }
     }
 
-    // Final pass: SHAP values over exactly the impactful edge set.
-    let final_explanation = explain_features(task, graph, query, cfg, impactful, cache);
+    // Final pass: SHAP values over exactly the impactful edge set, spending
+    // whatever budget the expansion left over.
+    let final_cfg = cfg.clone().with_probe_budget(match budget.remaining() {
+        Some(remaining) => ProbeBudget::bounded(remaining),
+        None => ProbeBudget::UNBOUNDED,
+    });
+    let final_explanation = explain_features(task, graph, query, &final_cfg, impactful, cache);
+    let probes = total_probes + final_explanation.probes();
+    let completeness = match (
+        expansion_truncated || final_explanation.completeness().is_budgeted(),
+        cfg.probe_budget.limit(),
+    ) {
+        (true, Some(limit)) => Completeness::Budgeted {
+            spent: probes,
+            budget: limit,
+        },
+        _ => Completeness::Exhaustive,
+    };
+    let half_widths = final_explanation.half_widths().to_vec();
     FactualExplanation::with_cache_hits(
         final_explanation.features().to_vec(),
         final_explanation.shap_values().clone(),
-        total_probes + final_explanation.probes(),
+        probes,
         total_cache_hits + final_explanation.cache_hits(),
     )
     .with_rescores(
         total_incremental + final_explanation.incremental_rescores(),
         total_full + final_explanation.full_rescores(),
     )
+    .with_sampling(half_widths, completeness)
 }
 
 #[cfg(test)]

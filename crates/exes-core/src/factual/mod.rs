@@ -10,7 +10,7 @@ pub use skill::{explain_skills, skill_features_exhaustive, skill_features_pruned
 
 use crate::config::{ExesConfig, OutputMode};
 use crate::features::Feature;
-use crate::probe::ProbeCache;
+use crate::probe::{Completeness, ProbeCache};
 use crate::tasks::ErasedDecisionModel;
 use exes_graph::{CollabGraph, PerturbationSet, Query};
 use exes_shap::{MaskedModel, ShapValues};
@@ -29,6 +29,12 @@ pub struct FactualExplanation {
     incremental_rescores: usize,
     /// Coalition probes that fell back to a full re-rank.
     full_rescores: usize,
+    /// Per-feature 95% confidence half-widths (all zero for deterministic
+    /// estimators; parallel to `features`).
+    half_widths: Vec<f64>,
+    /// Whether the estimator ran to its natural end or was cut short by the
+    /// configured probe budget.
+    completeness: Completeness,
 }
 
 impl FactualExplanation {
@@ -39,6 +45,7 @@ impl FactualExplanation {
         cache_hits: usize,
     ) -> Self {
         debug_assert_eq!(features.len(), shap.len());
+        let half_widths = vec![0.0; features.len()];
         FactualExplanation {
             features,
             shap,
@@ -46,6 +53,8 @@ impl FactualExplanation {
             cache_hits,
             incremental_rescores: 0,
             full_rescores: 0,
+            half_widths,
+            completeness: Completeness::Exhaustive,
         }
     }
 
@@ -54,6 +63,19 @@ impl FactualExplanation {
     pub(crate) fn with_rescores(mut self, incremental: usize, full: usize) -> Self {
         self.incremental_rescores = incremental;
         self.full_rescores = full;
+        self
+    }
+
+    /// Records the sampling uncertainty and budget outcome of the estimator
+    /// run behind this explanation.
+    pub(crate) fn with_sampling(
+        mut self,
+        half_widths: Vec<f64>,
+        completeness: Completeness,
+    ) -> Self {
+        debug_assert_eq!(half_widths.len(), self.features.len());
+        self.half_widths = half_widths;
+        self.completeness = completeness;
         self
     }
 
@@ -116,6 +138,20 @@ impl FactualExplanation {
     /// outside its localization guarantees).
     pub fn full_rescores(&self) -> usize {
         self.full_rescores
+    }
+
+    /// Per-feature 95% confidence half-widths, parallel to
+    /// [`FactualExplanation::features`]. All zero when the attribution came
+    /// from a deterministic estimator (exact enumeration, kernel regression).
+    pub fn half_widths(&self) -> &[f64] {
+        &self.half_widths
+    }
+
+    /// Whether the estimator ran to its natural end or was truncated by the
+    /// configured [`crate::probe::ProbeBudget`]. A `Budgeted` explanation is
+    /// an honest partial estimate — its `half_widths` say how partial.
+    pub fn completeness(&self) -> Completeness {
+        self.completeness
     }
 
     /// The `k` most influential features by |SHAP|, most influential first.
@@ -219,7 +255,7 @@ impl<'a, D: ErasedDecisionModel + ?Sized> FeatureMaskModel<'a, D> {
             k: task.cutoff().unwrap_or(cfg.k),
             parallel: cfg.parallel_probes,
             cache,
-            plan: crate::probe::acquire_plan(task, graph, query, cache),
+            plan: crate::probe::acquire_plan(task, graph, query, cache).0,
             probed: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             incremental: AtomicUsize::new(0),

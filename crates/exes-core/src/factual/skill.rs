@@ -66,6 +66,12 @@ pub fn explain_skills<D: ErasedDecisionModel + ?Sized>(
 /// estimator. A per-explanation coalition-dedup wrapper sits in front of the
 /// mask model regardless, so `probes` counts *distinct* coalitions — and with
 /// a [`ProbeCache`] attached, only the coalitions the cache could not answer.
+///
+/// `cfg.probe_budget` caps the estimator's *model evaluations*; distinct
+/// probes never exceed evaluations, so the budget bounds black-box probes
+/// too. A truncated sample is reported as
+/// [`Completeness::Budgeted`](crate::probe::Completeness) with honest
+/// (wider) confidence half-widths.
 pub(crate) fn explain_features<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
@@ -77,7 +83,7 @@ pub(crate) fn explain_features<D: ErasedDecisionModel + ?Sized>(
     let model = CachingModel::new(FeatureMaskModel::new(
         task, graph, query, &features, cfg, cache,
     ));
-    let shap = ShapExplainer::new(cfg.shap).explain(&model);
+    let sampled = ShapExplainer::new(cfg.shap).explain_sampled(&model, cfg.probe_budget.limit());
     let (probes, cache_hits, incremental, full) = {
         let inner = model.into_inner();
         (
@@ -87,8 +93,16 @@ pub(crate) fn explain_features<D: ErasedDecisionModel + ?Sized>(
             inner.full_rescores(),
         )
     };
-    FactualExplanation::with_cache_hits(features, shap, probes, cache_hits)
+    let completeness = match (sampled.truncated, cfg.probe_budget.limit()) {
+        (true, Some(budget)) => crate::probe::Completeness::Budgeted {
+            spent: probes,
+            budget,
+        },
+        _ => crate::probe::Completeness::Exhaustive,
+    };
+    FactualExplanation::with_cache_hits(features, sampled.values, probes, cache_hits)
         .with_rescores(incremental, full)
+        .with_sampling(sampled.half_widths, completeness)
 }
 
 #[cfg(test)]
@@ -183,6 +197,39 @@ mod tests {
             ada_ml > 0.0,
             "Ada's 'ml' should support Bob's relevance under propagation, got {ada_ml}"
         );
+    }
+
+    #[test]
+    fn probe_budget_truncates_factual_sampling_honestly() {
+        let g = graph();
+        let q = Query::parse("db ml", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 1);
+        let base = ExesConfig::fast()
+            .with_k(1)
+            .with_output_mode(OutputMode::SmoothRank);
+        let unbounded = explain_skills(&task, &g, &q, &base, false, None);
+        assert_eq!(
+            unbounded.completeness(),
+            crate::probe::Completeness::Exhaustive
+        );
+        assert_eq!(unbounded.half_widths().len(), unbounded.num_features());
+        // 6 features → exact enumeration needs 64 evaluations; 10 don't fit,
+        // so the anytime sampler takes over and reports the truncation.
+        let budget = 10;
+        let cfg = base.with_probe_budget(crate::probe::ProbeBudget::bounded(budget));
+        let exp = explain_skills(&task, &g, &q, &cfg, false, None);
+        assert!(exp.probes() <= budget, "spent {} > {budget}", exp.probes());
+        match exp.completeness() {
+            crate::probe::Completeness::Budgeted { spent, budget: b } => {
+                assert_eq!(spent, exp.probes());
+                assert_eq!(b, budget);
+            }
+            crate::probe::Completeness::Exhaustive => {
+                panic!("a {budget}-evaluation budget must truncate 64 exact coalitions")
+            }
+        }
+        assert_eq!(exp.half_widths().len(), exp.num_features());
     }
 
     #[test]

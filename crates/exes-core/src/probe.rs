@@ -32,6 +32,148 @@ use std::sync::{Arc, Mutex};
 pub const PROBE_CHUNK: usize = 128;
 
 // ---------------------------------------------------------------------------
+// ProbeBudget & Completeness
+// ---------------------------------------------------------------------------
+
+/// A cap on the black-box probes one explanation search may issue.
+///
+/// The budget counts **actual model evaluations** — cache hits are free, so a
+/// warm context can finish a search a cold one would have to truncate. Every
+/// search that accepts a budget guarantees two things: it never issues more
+/// probes than the budget allows (enforced before each scoring chunk), and it
+/// reports honestly through [`Completeness`] whenever the budget cut it short.
+/// [`ProbeBudget::UNBOUNDED`] (the default) leaves every search byte-identical
+/// to the pre-budget code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ProbeBudget(Option<usize>);
+
+impl ProbeBudget {
+    /// No cap: searches run to their natural end (the default).
+    pub const UNBOUNDED: ProbeBudget = ProbeBudget(None);
+
+    /// At most `max_probes` black-box probes per search.
+    pub const fn bounded(max_probes: usize) -> Self {
+        ProbeBudget(Some(max_probes))
+    }
+
+    /// The cap, or `None` when unbounded.
+    pub fn limit(self) -> Option<usize> {
+        self.0
+    }
+
+    /// True when a finite cap is set.
+    pub fn is_bounded(self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Starts per-search spend tracking against this budget.
+    pub(crate) fn tracker(self) -> BudgetTracker {
+        BudgetTracker {
+            limit: self.0,
+            spent: 0,
+        }
+    }
+}
+
+/// Per-search probe-spend ledger for one [`ProbeBudget`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BudgetTracker {
+    limit: Option<usize>,
+    spent: usize,
+}
+
+impl BudgetTracker {
+    /// Probes still available, or `None` when unbounded.
+    pub(crate) fn remaining(&self) -> Option<usize> {
+        self.limit.map(|limit| limit - self.spent.min(limit))
+    }
+
+    /// Records probes actually issued (cache hits cost nothing).
+    pub(crate) fn charge(&mut self, probes: usize) {
+        self.spent += probes;
+    }
+
+    /// The [`Completeness`] marker for a search that was cut short
+    /// (`truncated`) or ran to its natural end.
+    pub(crate) fn completeness(&self, truncated: bool) -> Completeness {
+        match (truncated, self.limit) {
+            (true, Some(budget)) => Completeness::Budgeted {
+                spent: self.spent,
+                budget,
+            },
+            _ => Completeness::Exhaustive,
+        }
+    }
+}
+
+/// Whether a search ran to its natural end or was cut short by a
+/// [`ProbeBudget`].
+///
+/// "Exhaustive" means the search itself terminated (beam search converged, the
+/// exhaustive baseline enumerated its space, the SHAP sampler completed its
+/// permutations) — not that every conceivable perturbation was tried. A
+/// `Budgeted` result is the best answer found within `spent` probes of a
+/// `budget`-probe allowance, surfaced explicitly instead of panicking or
+/// silently truncating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Completeness {
+    /// The search ran to its natural end; results are what an unbudgeted run
+    /// would have returned.
+    #[default]
+    Exhaustive,
+    /// The probe budget ran out first: results are best-so-far.
+    Budgeted {
+        /// Black-box probes actually issued before the search stopped.
+        spent: usize,
+        /// The probe allowance the search ran under.
+        budget: usize,
+    },
+}
+
+impl Completeness {
+    /// True when the result was cut short by a probe budget.
+    pub fn is_budgeted(self) -> bool {
+        matches!(self, Completeness::Budgeted { .. })
+    }
+}
+
+/// Pre-probe cost classification of one explanation request, derived purely
+/// from [`ProbeCache`] and plan-memo state — no black box is consulted.
+///
+/// The serving layer routes on this: `Warm` and `Incremental` requests go to
+/// the fast admission lane, `Cold` ones to the slow lane, so a cold beam
+/// search can never head-of-line-block warm traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostEstimate {
+    /// The context's identity probe is memoised: this (graph, query, model,
+    /// subject) was explained before and most probes will be cache hits.
+    Warm,
+    /// No memoised probes for this subject, but the context's baseline plan
+    /// is memoised: probes skip the full-baseline build and use incremental
+    /// rescoring.
+    Incremental,
+    /// Neither probes nor a plan are memoised: expect a full baseline build
+    /// plus cold probes.
+    Cold,
+}
+
+impl CostEstimate {
+    /// True for the expensive class (no memoised state at all).
+    pub fn is_cold(self) -> bool {
+        matches!(self, CostEstimate::Cold)
+    }
+
+    /// Stable lowercase tag (`"warm"` / `"incremental"` / `"cold"`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            CostEstimate::Warm => "warm",
+            CostEstimate::Incremental => "incremental",
+            CostEstimate::Cold => "cold",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // BaselinePlan
 // ---------------------------------------------------------------------------
 
@@ -79,16 +221,28 @@ impl std::fmt::Debug for BaselinePlan {
 /// Acquires the baseline plan for a probing context: memoised through the
 /// cache's plan store when a cache is attached, built directly otherwise.
 /// `None` when the model has no planned evaluation path.
+///
+/// The returned [`BatchStats`] carries only the plan-memo accounting of this
+/// acquisition (`plan_hits` when the memo served it, `plan_misses` when a
+/// plan had to be built), ready to merge into a search's running stats.
 pub(crate) fn acquire_plan<D: ErasedDecisionModel + ?Sized>(
     task: &D,
     graph: &CollabGraph,
     query: &Query,
     cache: Option<&ProbeCache>,
-) -> Option<Arc<BaselinePlan>> {
-    match cache {
-        Some(cache) => cache.plan_for(graph, query, task),
-        None => task.plan(graph, query).map(Arc::new),
-    }
+) -> (Option<Arc<BaselinePlan>>, BatchStats) {
+    let mut stats = BatchStats::default();
+    let plan = match cache {
+        Some(cache) => cache.plan_for_counted(graph, query, task, &mut stats),
+        None => {
+            let plan = task.plan(graph, query).map(Arc::new);
+            if plan.is_some() {
+                stats.plan_misses = 1;
+            }
+            plan
+        }
+    };
+    (plan, stats)
 }
 
 // ---------------------------------------------------------------------------
@@ -145,6 +299,8 @@ pub struct ProbeCache {
     misses: AtomicU64,
     evicted: AtomicU64,
     eviction_sweeps: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
     /// Memoised [`BaselinePlan`]s, keyed by the same context fingerprint as
     /// probe entries but *not* by subject: one plan serves every subject
     /// probed under the same (epoch, query, model). Bounded to
@@ -169,6 +325,8 @@ impl ProbeCache {
             misses: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             eviction_sweeps: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
             plans: Mutex::new(Vec::new()),
         }
     }
@@ -297,17 +455,37 @@ impl ProbeCache {
         query: &Query,
         model: &D,
     ) -> Option<Arc<BaselinePlan>> {
+        let mut stats = BatchStats::default();
+        self.plan_for_counted(graph, query, model, &mut stats)
+    }
+
+    /// [`ProbeCache::plan_for`] with plan-memo accounting: sets `plan_hits`
+    /// or `plan_misses` on `stats` (and the cache's lifetime counters) so the
+    /// memo's efficiency is observable like the probe cache's already is.
+    pub fn plan_for_counted<D: ErasedDecisionModel + ?Sized>(
+        &self,
+        graph: &CollabGraph,
+        query: &Query,
+        model: &D,
+        stats: &mut BatchStats,
+    ) -> Option<Arc<BaselinePlan>> {
         let ctx = Self::context(graph, query, model.fingerprint());
         {
             let plans = self.plans.lock().expect("plan store poisoned");
             if let Some((_, plan)) = plans.iter().find(|(key, _)| *key == ctx) {
-                return Some(Arc::clone(plan));
+                let plan = Arc::clone(plan);
+                drop(plans);
+                stats.plan_hits += 1;
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(plan);
             }
         }
         // Build outside the lock: plan construction ranks the whole graph,
         // and concurrent builders for the same context produce identical
         // plans (probes are pure), so the race is benign.
         let plan = Arc::new(model.plan(graph, query)?);
+        stats.plan_misses += 1;
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
         let mut plans = self.plans.lock().expect("plan store poisoned");
         if !plans.iter().any(|(key, _)| *key == ctx) {
             if plans.len() >= PLAN_CAPACITY {
@@ -316,6 +494,46 @@ impl ProbeCache {
             plans.push((ctx, Arc::clone(&plan)));
         }
         Some(plan)
+    }
+
+    /// Classifies the expected cost of probing `model` in this (graph, query)
+    /// context, **without** touching the hit/miss counters — estimation is a
+    /// pre-admission peek, not a probe.
+    ///
+    /// `Warm` when the identity probe of the model's subject is memoised,
+    /// `Incremental` when (only) the context's baseline plan is, `Cold`
+    /// otherwise.
+    pub fn estimate<D: ErasedDecisionModel + ?Sized>(
+        &self,
+        graph: &CollabGraph,
+        query: &Query,
+        model: &D,
+    ) -> CostEstimate {
+        let ctx = Self::context(graph, query, model.fingerprint());
+        let identity: CacheKey = (ctx, model.subject_id(), Vec::new());
+        if self.peek_key(&identity) {
+            return CostEstimate::Warm;
+        }
+        let planned = self
+            .plans
+            .lock()
+            .expect("plan store poisoned")
+            .iter()
+            .any(|(key, _)| *key == ctx);
+        if planned {
+            CostEstimate::Incremental
+        } else {
+            CostEstimate::Cold
+        }
+    }
+
+    /// Whether `key` is memoised, without bumping counters or recency ticks.
+    fn peek_key(&self, key: &CacheKey) -> bool {
+        self.shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .map
+            .contains_key(key)
     }
 
     /// Number of baseline plans currently memoised.
@@ -344,6 +562,17 @@ impl ProbeCache {
     /// quarter of one over-full shard).
     pub fn eviction_sweeps(&self) -> u64 {
         self.eviction_sweeps.load(Ordering::Relaxed)
+    }
+
+    /// Plan requests served from the plan memo, across the cache's lifetime.
+    pub fn plan_hits(&self) -> u64 {
+        self.plan_hits.load(Ordering::Relaxed)
+    }
+
+    /// Plan requests that had to build a fresh baseline plan, across the
+    /// cache's lifetime.
+    pub fn plan_misses(&self) -> u64 {
+        self.plan_misses.load(Ordering::Relaxed)
     }
 
     /// Fraction of lookups served from memory (`0.0` when nothing was looked
@@ -384,6 +613,8 @@ impl ProbeCache {
         self.misses.store(0, Ordering::Relaxed);
         self.evicted.store(0, Ordering::Relaxed);
         self.eviction_sweeps.store(0, Ordering::Relaxed);
+        self.plan_hits.store(0, Ordering::Relaxed);
+        self.plan_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -424,6 +655,25 @@ pub struct BatchStats {
     /// the delta's neighbourhood exceeded the localization cap.
     /// `incremental_rescores + full_rescores == probed`.
     pub full_rescores: usize,
+    /// Baseline-plan acquisitions served from the [`ProbeCache`] plan memo
+    /// (always 0 for plain scoring — plans are acquired per search, not per
+    /// batch, and merged in by the search loops).
+    pub plan_hits: usize,
+    /// Baseline-plan acquisitions that built a fresh plan.
+    pub plan_misses: usize,
+}
+
+impl BatchStats {
+    /// Accumulates another stats record into this one, field by field.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.probed += other.probed;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.incremental_rescores += other.incremental_rescores;
+        self.full_rescores += other.full_rescores;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+    }
 }
 
 /// Scores batches of candidate [`PerturbationSet`]s against one decision
@@ -585,10 +835,9 @@ impl<'a, D: ErasedDecisionModel + ?Sized> ProbeBatch<'a, D> {
             let incremental = evals.iter().filter(|&&(_, inc)| inc).count();
             let stats = BatchStats {
                 probed: sets.len(),
-                cache_hits: 0,
-                cache_misses: 0,
                 incremental_rescores: incremental,
                 full_rescores: sets.len() - incremental,
+                ..BatchStats::default()
             };
             return (evals.into_iter().map(|(p, _)| p).collect(), stats);
         };
@@ -608,8 +857,7 @@ impl<'a, D: ErasedDecisionModel + ?Sized> ProbeBatch<'a, D> {
             probed: misses.len(),
             cache_hits: sets.len() - misses.len(),
             cache_misses: misses.len(),
-            incremental_rescores: 0,
-            full_rescores: 0,
+            ..BatchStats::default()
         };
         if !misses.is_empty() {
             let eval = |&(i, _): &(usize, CacheKey)| self.eval(&sets[i]);
@@ -635,9 +883,100 @@ impl<'a, D: ErasedDecisionModel + ?Sized> ProbeBatch<'a, D> {
         (probes, stats)
     }
 
+    /// Budget-aware scoring: answers the longest prefix of `sets` that fits
+    /// within `max_probes` black-box probes, returning the prefix's probes,
+    /// the accounting, and how many sets were answered.
+    ///
+    /// Cache hits are free — with a warm cache the whole batch can be
+    /// answered under a zero budget — and the prefix stops at the first set
+    /// that would need a probe the budget no longer allows, so `stats.probed
+    /// <= max_probes` always holds. `None` is unbounded and equivalent to
+    /// [`ProbeBatch::score_counted`]. Answered probes are byte-identical to
+    /// the unbudgeted scoring of the same prefix.
+    pub fn score_counted_budgeted(
+        &self,
+        sets: &[PerturbationSet],
+        max_probes: Option<usize>,
+    ) -> (Vec<Probe>, BatchStats, usize) {
+        let Some(limit) = max_probes else {
+            let (probes, stats) = self.score_counted(sets);
+            let answered = sets.len();
+            return (probes, stats, answered);
+        };
+        let Some(cache) = self.cache else {
+            // Every uncached probe reaches the black box: the affordable
+            // prefix is exactly `limit` sets long.
+            let answered = sets.len().min(limit);
+            let (probes, stats) = self.score_counted(&sets[..answered]);
+            return (probes, stats, answered);
+        };
+        let subject = self.task.subject_id();
+        let mut out: Vec<Option<Probe>> = vec![None; sets.len()];
+        let mut misses: Vec<(usize, CacheKey)> = Vec::new();
+        let mut answered = sets.len();
+        for (i, set) in sets.iter().enumerate() {
+            let key = (self.ctx, subject, set.canonical_key());
+            if misses.len() >= limit {
+                // Only a memoised probe can answer this slot now. Peek first:
+                // stopping here is admission control, not a lookup, and must
+                // not distort the miss counters.
+                if !cache.peek_key(&key) {
+                    answered = i;
+                    break;
+                }
+            }
+            match cache.lookup_key(&key) {
+                Some(probe) => out[i] = Some(probe),
+                None => misses.push((i, key)),
+            }
+        }
+        let mut stats = BatchStats {
+            probed: misses.len(),
+            cache_hits: answered - misses.len(),
+            cache_misses: misses.len(),
+            ..BatchStats::default()
+        };
+        if !misses.is_empty() {
+            let eval = |&(i, _): &(usize, CacheKey)| self.eval(&sets[i]);
+            let probes = if self.parallel {
+                exes_parallel::parallel_map(&misses, eval)
+            } else {
+                misses.iter().map(eval).collect()
+            };
+            for ((i, key), (probe, incremental)) in misses.into_iter().zip(probes) {
+                if incremental {
+                    stats.incremental_rescores += 1;
+                } else {
+                    stats.full_rescores += 1;
+                }
+                cache.insert_key(key, probe);
+                out[i] = Some(probe);
+            }
+        }
+        out.truncate(answered);
+        let probes = out
+            .into_iter()
+            .map(|p| p.expect("every answered slot scored"))
+            .collect();
+        (probes, stats, answered)
+    }
+
     /// Probes the unperturbed input (the reference decision).
     pub fn score_identity(&self) -> Probe {
         self.score_identity_counted().0
+    }
+
+    /// Serves the identity probe from the attached cache, without ever
+    /// issuing one — `None` when uncached or not memoised. A served probe
+    /// counts as a cache hit (it is one); a refusal bumps no counters.
+    pub fn peek_identity(&self) -> Option<Probe> {
+        let cache = self.cache?;
+        let key = (self.ctx, self.task.subject_id(), Vec::new());
+        if cache.peek_key(&key) {
+            cache.lookup_key(&key)
+        } else {
+            None
+        }
     }
 
     /// Probes the unperturbed input, reporting whether the probe was answered
@@ -976,5 +1315,180 @@ mod tests {
         // clear() drops memoised plans alongside probes.
         cache.clear();
         assert_eq!(cache.plans_len(), 0);
+    }
+
+    #[test]
+    fn plan_memo_hits_and_misses_are_counted() {
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let cache = ProbeCache::new(0);
+        let a = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let b = ExpertRelevanceTask::new(&ranker, PersonId(5), 3);
+        assert_eq!((cache.plan_hits(), cache.plan_misses()), (0, 0));
+        let mut stats = BatchStats::default();
+        let _ = cache.plan_for_counted(&g, &q, &a, &mut stats);
+        assert_eq!((stats.plan_hits, stats.plan_misses), (0, 1));
+        // A second subject of the same context is a memo hit.
+        let mut stats = BatchStats::default();
+        let _ = cache.plan_for_counted(&g, &q, &b, &mut stats);
+        assert_eq!((stats.plan_hits, stats.plan_misses), (1, 0));
+        assert_eq!((cache.plan_hits(), cache.plan_misses()), (1, 1));
+        // clear() resets the lifetime counters alongside everything else.
+        cache.clear();
+        assert_eq!((cache.plan_hits(), cache.plan_misses()), (0, 0));
+    }
+
+    #[test]
+    fn cost_estimates_classify_without_touching_counters() {
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let cache = ProbeCache::new(0);
+        // Nothing memoised: cold, and the peek bumps no counters.
+        assert_eq!(cache.estimate(&g, &q, &task), CostEstimate::Cold);
+        assert!(CostEstimate::Cold.is_cold());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        // A memoised plan upgrades the context to incremental.
+        let _ = cache.plan_for(&g, &q, &task).expect("plan built");
+        assert_eq!(cache.estimate(&g, &q, &task), CostEstimate::Incremental);
+        // A memoised identity probe upgrades the subject to warm …
+        let engine = ProbeBatch::new(&task, &g, &q, false).with_cache(&cache);
+        let _ = engine.score_identity_counted();
+        assert_eq!(cache.estimate(&g, &q, &task), CostEstimate::Warm);
+        assert!(!CostEstimate::Warm.is_cold());
+        // … but only for that subject: another subject of the same context
+        // still classifies as incremental (the plan is shared, probes aren't).
+        let other = ExpertRelevanceTask::new(&ranker, PersonId(5), 3);
+        assert_eq!(cache.estimate(&g, &q, &other), CostEstimate::Incremental);
+        // A different query is a fresh, cold context.
+        let q2 = Query::parse("s1", g.vocab()).unwrap();
+        assert_eq!(cache.estimate(&g, &q2, &task), CostEstimate::Cold);
+        assert_eq!(CostEstimate::Warm.tag(), "warm");
+        assert_eq!(CostEstimate::Incremental.tag(), "incremental");
+        assert_eq!(CostEstimate::Cold.tag(), "cold");
+    }
+
+    #[test]
+    fn budget_tracker_charges_and_reports() {
+        let unbounded = ProbeBudget::UNBOUNDED.tracker();
+        assert_eq!(unbounded.remaining(), None);
+        assert_eq!(unbounded.completeness(false), Completeness::Exhaustive);
+        assert!(!ProbeBudget::UNBOUNDED.is_bounded());
+        assert_eq!(ProbeBudget::bounded(7).limit(), Some(7));
+
+        let mut tracker = ProbeBudget::bounded(10).tracker();
+        assert_eq!(tracker.remaining(), Some(10));
+        tracker.charge(6);
+        assert_eq!(tracker.remaining(), Some(4));
+        tracker.charge(4);
+        assert_eq!(tracker.remaining(), Some(0));
+        assert_eq!(
+            tracker.completeness(true),
+            Completeness::Budgeted {
+                spent: 10,
+                budget: 10
+            }
+        );
+        assert!(tracker.completeness(true).is_budgeted());
+        // A search that finished within budget stays exhaustive.
+        assert_eq!(tracker.completeness(false), Completeness::Exhaustive);
+        assert_eq!(Completeness::default(), Completeness::Exhaustive);
+
+        let zero = ProbeBudget::bounded(0).tracker();
+        assert_eq!(zero.remaining(), Some(0));
+        assert_eq!(
+            zero.completeness(true),
+            Completeness::Budgeted {
+                spent: 0,
+                budget: 0
+            }
+        );
+    }
+
+    #[test]
+    fn budgeted_scoring_answers_the_affordable_prefix() {
+        let g = graph();
+        let q = Query::parse("common s0", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(0), 3);
+        let sets = candidate_sets(&g);
+        let reference = ProbeBatch::new(&task, &g, &q, false).score(&sets);
+
+        // Uncached: the prefix is exactly the budget.
+        let engine = ProbeBatch::new(&task, &g, &q, false);
+        let (probes, stats, answered) = engine.score_counted_budgeted(&sets, Some(5));
+        assert_eq!(answered, 5);
+        assert_eq!(stats.probed, 5);
+        assert_eq!(probes, reference[..5]);
+        // Unbounded budget is plain scoring.
+        let (all, _, n) = engine.score_counted_budgeted(&sets, None);
+        assert_eq!(n, sets.len());
+        assert_eq!(all, reference);
+
+        // Cached & warm: hits are free, so a zero budget answers everything.
+        let cache = ProbeCache::new(0);
+        let cached = ProbeBatch::new(&task, &g, &q, false).with_cache(&cache);
+        let (_, cold_stats, cold_n) = cached.score_counted_budgeted(&sets, Some(3));
+        assert_eq!(cold_n, 3);
+        assert_eq!(cold_stats.probed, 3);
+        let (warm, warm_stats, warm_n) = cached.score_counted_budgeted(&sets, Some(0));
+        assert_eq!(warm_n, 3, "the three memoised probes are free");
+        assert_eq!(warm_stats.probed, 0);
+        assert_eq!(warm, reference[..3]);
+        // Fully warmed, a zero budget answers the entire batch.
+        let _ = cached.score_counted(&sets);
+        let (full, full_stats, full_n) = cached.score_counted_budgeted(&sets, Some(0));
+        assert_eq!(full_n, sets.len());
+        assert_eq!(full_stats.probed, 0);
+        assert_eq!(full, reference);
+    }
+
+    #[test]
+    fn identity_peek_never_probes() {
+        let g = graph();
+        let q = Query::parse("common", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(2), 3);
+        // Uncached engines have nothing to peek at.
+        assert!(ProbeBatch::new(&task, &g, &q, false)
+            .peek_identity()
+            .is_none());
+        let cache = ProbeCache::new(0);
+        let engine = ProbeBatch::new(&task, &g, &q, false).with_cache(&cache);
+        assert!(engine.peek_identity().is_none());
+        // A refused peek bumps no counters.
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        let (probe, _) = engine.score_identity_counted();
+        // A served peek is a real cache hit and counts as one.
+        assert_eq!(engine.peek_identity(), Some(probe));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn batch_stats_merge_accumulates_every_field() {
+        let mut acc = BatchStats {
+            probed: 1,
+            cache_hits: 2,
+            cache_misses: 3,
+            incremental_rescores: 4,
+            full_rescores: 5,
+            plan_hits: 6,
+            plan_misses: 7,
+        };
+        acc.merge(&acc.clone());
+        assert_eq!(
+            acc,
+            BatchStats {
+                probed: 2,
+                cache_hits: 4,
+                cache_misses: 6,
+                incremental_rescores: 8,
+                full_rescores: 10,
+                plan_hits: 12,
+                plan_misses: 14,
+            }
+        );
     }
 }

@@ -48,7 +48,7 @@ use crate::counterfactual::CounterfactualResult;
 use crate::explainer::Exes;
 use crate::factual::FactualExplanation;
 use crate::model::{ModelId, ModelRegistry, ModelSpec, ModelSpecError};
-use crate::probe::ProbeCache;
+use crate::probe::{Completeness, CostEstimate, ProbeCache};
 use exes_graph::{CollabGraph, GraphSnapshot, GraphStore, GraphView, PersonId, Query, UpdateBatch};
 use exes_linkpred::LinkPredictor;
 use rustc_hash::FxHashMap;
@@ -302,6 +302,16 @@ impl Explanation {
             Explanation::Factual(f) => f.full_rescores(),
         }
     }
+
+    /// Whether the computation ran to its natural end or was cut short by the
+    /// configured [`crate::probe::ProbeBudget`]. A `Budgeted` explanation is
+    /// best-so-far, reported honestly — never a silent truncation.
+    pub fn completeness(&self) -> Completeness {
+        match self {
+            Explanation::Counterfactual(r) => r.completeness,
+            Explanation::Factual(f) => f.completeness(),
+        }
+    }
 }
 
 /// Aggregate accounting for one [`ExesService::explain_batch`] call.
@@ -343,6 +353,18 @@ pub struct ServiceReport {
     /// no plan for the model, a perturbed query, or a delta outside the plan's
     /// localization guarantees.
     pub full_fallback_rescores: u64,
+    /// Baseline-plan requests served from the plan memo over this batch's
+    /// window. Like `cache_evictions`, a delta over a cache-global counter:
+    /// windows of concurrent batches overlap, so read it as a gauge
+    /// (`ProbeCache::plan_hits()` holds the exact lifetime total).
+    pub plan_hits: u64,
+    /// Baseline-plan requests that built a fresh plan over this batch's
+    /// window (same windowing caveat as `plan_hits`).
+    pub plan_misses: u64,
+    /// Responses whose computation was cut short by the configured
+    /// [`crate::probe::ProbeBudget`] and returned best-so-far (marked
+    /// [`Completeness::Budgeted`]). Always 0 under an unbounded budget.
+    pub budgeted_results: usize,
 }
 
 impl ServiceReport {
@@ -623,6 +645,8 @@ where
             ..Default::default()
         };
         let evicted_before = self.cache.evicted();
+        let plan_hits_before = self.cache.plan_hits();
+        let plan_misses_before = self.cache.plan_misses();
         let graph = snapshot.graph();
         let num_people = graph.num_people();
         let mut responses: Vec<Option<Result<Explanation, RequestError>>> =
@@ -683,6 +707,9 @@ where
                     Explanation::Counterfactual(r) => r.cache_misses as u64,
                     Explanation::Factual(f) => f.probes() as u64,
                 };
+                if result.completeness().is_budgeted() {
+                    report.budgeted_results += 1;
+                }
                 responses[i] = Some(Ok(result));
             }
             for (i, rep) in duplicate_of {
@@ -695,6 +722,9 @@ where
         // pressure gauge, not a summable counter (ProbeCache::evicted() is
         // the exact cache-lifetime total).
         report.cache_evictions = self.cache.evicted().saturating_sub(evicted_before);
+        // Plan-memo efficiency over the same window (same overlap caveat).
+        report.plan_hits = self.cache.plan_hits().saturating_sub(plan_hits_before);
+        report.plan_misses = self.cache.plan_misses().saturating_sub(plan_misses_before);
 
         let responses: Vec<Result<Explanation, RequestError>> = responses
             .into_iter()
@@ -702,6 +732,43 @@ where
             .collect();
         report.failed_requests = responses.iter().filter(|r| r.is_err()).count();
         (responses, report)
+    }
+
+    /// Classifies the expected cost of answering `request` against the
+    /// current epoch, **without probing**: `Warm` when the subject's identity
+    /// probe is already memoised for this (epoch, query, model) context,
+    /// `Incremental` when (only) the context's baseline plan is, `Cold`
+    /// otherwise. Validation mirrors [`ExesService::try_explain_batch`] —
+    /// an unknown model or out-of-range subject is a [`RequestError`], so
+    /// admission control can reject before queueing.
+    ///
+    /// Estimation is a pre-admission peek: it never issues a black-box probe
+    /// and never perturbs the cache's hit/miss counters or recency order.
+    pub fn estimate(&self, request: &ExplanationRequest) -> Result<CostEstimate, RequestError> {
+        let snapshot = self.store.snapshot();
+        self.estimate_on(&snapshot, request)
+    }
+
+    /// [`ExesService::estimate`] against an explicit (e.g. pinned) epoch's
+    /// snapshot.
+    pub fn estimate_on(
+        &self,
+        snapshot: &GraphSnapshot,
+        request: &ExplanationRequest,
+    ) -> Result<CostEstimate, RequestError> {
+        if self.registry.name(request.model).is_none() {
+            return Err(RequestError::UnknownModel(request.model));
+        }
+        let graph = snapshot.graph();
+        let num_people = graph.num_people();
+        if request.subject.index() >= num_people {
+            return Err(RequestError::SubjectOutOfRange {
+                subject: request.subject,
+                num_people,
+            });
+        }
+        let task = self.registry.bind(request.model, request.subject);
+        Ok(self.cache.estimate(graph, &request.query, task.as_ref()))
     }
 
     /// Answers one request against the persistent cache.
@@ -1287,6 +1354,120 @@ mod tests {
                 assert_same_explanation(a, b);
             }
         }
+    }
+
+    #[test]
+    fn estimate_classifies_requests_without_probing() {
+        let f = fixture();
+        let (service, model) = service(&f);
+        let requests = workload_requests(&f, model);
+        let first = &requests[0];
+
+        // A fresh service knows nothing: cold, and the peek costs no lookups.
+        assert_eq!(service.estimate(first), Ok(CostEstimate::Cold));
+        assert_eq!(service.probe_cache().hits(), 0);
+        assert_eq!(service.probe_cache().misses(), 0);
+
+        // After answering, the same request is warm; a different subject of
+        // the same (query, model) context rides the memoised plan.
+        let _ = service.explain_batch(std::slice::from_ref(first));
+        assert_eq!(service.estimate(first), Ok(CostEstimate::Warm));
+        let sibling = ExplanationRequest::new(
+            model,
+            requests
+                .iter()
+                .map(|r| r.subject)
+                .find(|&s| s != first.subject)
+                .unwrap(),
+            first.query.clone(),
+            first.kind,
+        );
+        assert_eq!(service.estimate(&sibling), Ok(CostEstimate::Incremental));
+
+        // Estimation is itself free: the classification answers above moved
+        // no hit/miss counters.
+        let hits = service.probe_cache().hits();
+        let misses = service.probe_cache().misses();
+        let _ = service.estimate(first);
+        let _ = service.estimate(&sibling);
+        assert_eq!(service.probe_cache().hits(), hits);
+        assert_eq!(service.probe_cache().misses(), misses);
+
+        // Validation mirrors the batch surface.
+        let foreign = ExplanationRequest::counterfactual_skills(
+            ModelId(77),
+            first.subject,
+            first.query.clone(),
+        );
+        assert_eq!(
+            service.estimate(&foreign),
+            Err(RequestError::UnknownModel(ModelId(77)))
+        );
+        let ghost = ExplanationRequest::counterfactual_skills(
+            model,
+            PersonId(u32::MAX),
+            first.query.clone(),
+        );
+        assert!(matches!(
+            service.estimate(&ghost),
+            Err(RequestError::SubjectOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_memo_efficiency_is_reported_per_batch() {
+        let f = fixture();
+        let (service, model) = service(&f);
+        let requests = workload_requests(&f, model);
+        let (_, cold) = service.explain_batch(&requests);
+        // One plan built per (query, model) context, then shared.
+        assert_eq!(cold.plan_misses, cold.groups as u64);
+        assert!(cold.plan_hits > 0);
+        // A warm service never rebuilds: every plan request is a memo hit.
+        let (_, warm) = service.explain_batch(&requests);
+        assert_eq!(warm.plan_misses, 0);
+        assert!(warm.plan_hits > 0);
+        assert_eq!(
+            service.probe_cache().plan_misses(),
+            cold.plan_misses,
+            "lifetime counter equals the single cold batch's builds"
+        );
+        assert_eq!(
+            service.probe_cache().plan_hits(),
+            cold.plan_hits + warm.plan_hits
+        );
+    }
+
+    #[test]
+    fn budgeted_responses_are_counted_and_marked() {
+        let f = fixture();
+        let mut exes = f.exes.clone();
+        *exes.config_mut() = exes
+            .config()
+            .clone()
+            .with_probe_budget(crate::probe::ProbeBudget::bounded(3));
+        let mut starved = ExesService::from_graph(&exes, f.ds.graph.clone());
+        let model = starved
+            .register(
+                "propagation",
+                ModelSpec::expert_ranker(f.ranker, exes.config().k),
+            )
+            .unwrap();
+        let requests = workload_requests(&f, model);
+        let (responses, report) = starved.explain_batch(&requests);
+        assert!(
+            report.budgeted_results > 0,
+            "a 3-probe budget must truncate this workload"
+        );
+        assert!(report.probes <= 3 * requests.len());
+        for response in &responses {
+            if response.completeness().is_budgeted() {
+                assert!(response.probes() <= 3);
+            }
+        }
+        // An unbounded service reports none.
+        let (_, unbounded) = service(&f).0.explain_batch(&requests);
+        assert_eq!(unbounded.budgeted_results, 0);
     }
 
     #[test]

@@ -16,9 +16,15 @@
 //! * `--queue-depth N`  admission-queue capacity in requests (default 1024)
 //! * `--max-batch N`    micro-batch target size (default 64)
 //! * `--batch-window-ms N`  straggler window per micro-batch (default 2)
+//! * `--single-lane`    disable the slow admission lane (all traffic rides one queue)
+//! * `--slow-queue-depth N`  slow-lane capacity in requests (default 256)
+//! * `--slow-max-batch N`    slow-lane micro-batch target size (default 16)
+//! * `--slow-batch-window-ms N`  slow-lane straggler window (default 4)
 //! * `--k N`            top-k cutoff of the registered expert models (default 10)
+//! * `--probe-budget N` black-box probe budget per explanation, 0 = unbounded
+//!   (default 0); budget-exhausted results are marked `"completeness":{...}`
 
-use exes_core::{Exes, ExesConfig, ExesService, ModelSpec, OutputMode, SeedPolicy};
+use exes_core::{Exes, ExesConfig, ExesService, ModelSpec, OutputMode, ProbeBudget, SeedPolicy};
 use exes_datasets::{DatasetConfig, SyntheticDataset};
 use exes_embedding::{EmbeddingConfig, SkillEmbedding};
 use exes_expert_search::{PropagationRanker, TfIdfRanker};
@@ -36,7 +42,12 @@ struct Args {
     queue_depth: usize,
     max_batch: usize,
     batch_window_ms: u64,
+    dual_lane: bool,
+    slow_queue_depth: usize,
+    slow_max_batch: usize,
+    slow_batch_window_ms: u64,
     k: usize,
+    probe_budget: usize,
 }
 
 fn parse_args() -> Args {
@@ -48,7 +59,12 @@ fn parse_args() -> Args {
         queue_depth: 1024,
         max_batch: 64,
         batch_window_ms: 2,
+        dual_lane: true,
+        slow_queue_depth: 256,
+        slow_max_batch: 16,
+        slow_batch_window_ms: 4,
         k: 10,
+        probe_budget: 0,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -70,7 +86,25 @@ fn parse_args() -> Args {
             "--batch-window-ms" => {
                 args.batch_window_ms = value("ms").parse().expect("--batch-window-ms: not ms")
             }
+            "--single-lane" => args.dual_lane = false,
+            "--slow-queue-depth" => {
+                args.slow_queue_depth = value("count")
+                    .parse()
+                    .expect("--slow-queue-depth: not a count")
+            }
+            "--slow-max-batch" => {
+                args.slow_max_batch = value("count")
+                    .parse()
+                    .expect("--slow-max-batch: not a count")
+            }
+            "--slow-batch-window-ms" => {
+                args.slow_batch_window_ms =
+                    value("ms").parse().expect("--slow-batch-window-ms: not ms")
+            }
             "--k" => args.k = value("k").parse().expect("--k: not a number"),
+            "--probe-budget" => {
+                args.probe_budget = value("count").parse().expect("--probe-budget: not a count")
+            }
             other => panic!("unknown flag '{other}' (see crate docs for the flag list)"),
         }
     }
@@ -95,9 +129,14 @@ fn main() {
             ..Default::default()
         },
     );
+    let budget = match args.probe_budget {
+        0 => ProbeBudget::UNBOUNDED,
+        n => ProbeBudget::bounded(n),
+    };
     let cfg = ExesConfig::fast()
         .with_k(args.k)
-        .with_output_mode(OutputMode::SmoothRank);
+        .with_output_mode(OutputMode::SmoothRank)
+        .with_probe_budget(budget);
     let exes = Exes::new(cfg, embedding, CommonNeighbors);
 
     let mut service = ExesService::from_graph(&exes, ds.graph.clone());
@@ -130,6 +169,10 @@ fn main() {
         queue_depth: args.queue_depth,
         max_batch: args.max_batch,
         batch_window: Duration::from_millis(args.batch_window_ms),
+        dual_lane: args.dual_lane,
+        slow_queue_depth: args.slow_queue_depth,
+        slow_max_batch: args.slow_max_batch,
+        slow_batch_window: Duration::from_millis(args.slow_batch_window_ms),
         ..Default::default()
     };
     let handle = exes_server::start(service, config).expect("bind failed");

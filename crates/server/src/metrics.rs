@@ -4,11 +4,143 @@
 //! dashboards, not synchronisation. The service-level quantities (probes,
 //! cache hits/misses, duplicates) are summed from each micro-batch's
 //! [`ServiceReport`], so they measure exactly what the engine measured.
+//! Per-lane latency lives in lock-free exponential-bucket histograms
+//! ([`LatencyHistogram`]) recorded by connection workers around the
+//! enqueue-to-answer span of each admitted job.
 
 use crate::wire;
 use exes_core::ServiceReport;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of exponential latency buckets: bucket `i` holds samples whose
+/// microsecond count needs `i` bits, i.e. durations in `[2^(i-1), 2^i)` µs
+/// (bucket 0 is the sub-microsecond bucket). 40 buckets cover ~12.7 days.
+const LATENCY_BUCKETS: usize = 40;
+
+/// A lock-free exponential-bucket histogram of durations.
+///
+/// Recording is one relaxed `fetch_add`; quantiles walk the bucket counts
+/// and return the upper bound of the bucket containing the requested rank
+/// (an upper-bound estimate with factor-of-two resolution — exactly what an
+/// SLO dashboard needs from `/metrics` without locking the serving path).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, duration: Duration) {
+        let micros = u64::try_from(duration.as_micros()).unwrap_or(u64::MAX);
+        let index = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) in milliseconds, as the upper
+    /// bound of the bucket holding that rank. `0.0` when no samples exist.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Bucket i's upper bound is 2^i microseconds.
+                return (1u64 << i.min(63)) as f64 / 1000.0;
+            }
+        }
+        (1u64 << (LATENCY_BUCKETS - 1)) as f64 / 1000.0
+    }
+}
+
+/// Cumulative counters for one admission lane (fast or slow).
+#[derive(Debug, Default)]
+pub struct LaneMetrics {
+    /// Requests this lane refused with 503 because its queue was full.
+    pub shed_requests: AtomicU64,
+    /// Requests admitted into this lane.
+    pub admitted_requests: AtomicU64,
+    /// Enqueue-to-answer latency of jobs answered through this lane.
+    pub latency: LatencyHistogram,
+}
+
+impl LaneMetrics {
+    fn json(&self, gauges: &LaneGauges) -> String {
+        format!(
+            "{{\"capacity\":{},\"depth\":{},\"admitted\":{},\"shed\":{},\
+             \"p50_ms\":{},\"p95_ms\":{}}}",
+            gauges.capacity,
+            gauges.depth,
+            self.admitted_requests.load(Ordering::Relaxed),
+            self.shed_requests.load(Ordering::Relaxed),
+            crate::json::fmt_f64(self.latency.quantile_ms(0.50)),
+            crate::json::fmt_f64(self.latency.quantile_ms(0.95)),
+        )
+    }
+}
+
+/// Live occupancy of one admission lane, sampled by the `/metrics` handler.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneGauges {
+    /// The lane's admission limit, in requests.
+    pub capacity: usize,
+    /// Requests waiting in the lane right now.
+    pub depth: usize,
+}
+
+/// Everything the `/metrics` handler can see about live state; the
+/// cumulative counters live in [`ServerMetrics`] itself.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsGauges {
+    /// Current graph epoch.
+    pub epoch: u64,
+    /// Registered models.
+    pub models: usize,
+    /// Fast-lane occupancy.
+    pub fast: LaneGauges,
+    /// Slow-lane occupancy; `None` when the server runs single-lane.
+    pub slow: Option<LaneGauges>,
+    /// Probe-cache entries.
+    pub cache_entries: usize,
+    /// Lifetime probe-cache hits.
+    pub cache_hits: u64,
+    /// Lifetime probe-cache misses.
+    pub cache_misses: u64,
+    /// Lifetime probe-cache evictions.
+    pub cache_evictions: u64,
+    /// Lifetime baseline-plan memo hits.
+    pub plan_hits: u64,
+    /// Lifetime baseline-plan memo misses (plans built).
+    pub plan_misses: u64,
+}
 
 /// Cumulative counters for one server's lifetime.
 #[derive(Debug, Default)]
@@ -29,7 +161,8 @@ pub struct ServerMetrics {
     pub explain_requests: AtomicU64,
     /// Requests answered with a per-request error entry.
     pub request_errors: AtomicU64,
-    /// Requests refused with 503 because the admission queue was full.
+    /// Requests refused with 503 because their admission lane was full
+    /// (sum of the per-lane shed counters).
     pub shed_requests: AtomicU64,
     /// Micro-batches the batcher ran through the engine.
     pub micro_batches: AtomicU64,
@@ -47,10 +180,20 @@ pub struct ServerMetrics {
     /// Black-box probes that performed a full re-rank instead — the honest
     /// fallback when no plan exists or a delta exceeds its guarantees.
     pub full_fallback_rescores: AtomicU64,
+    /// Baseline-plan memo hits across micro-batches.
+    pub plan_hits: AtomicU64,
+    /// Baseline-plan memo misses (plans built) across micro-batches.
+    pub plan_misses: AtomicU64,
+    /// Results returned best-so-far under an exhausted probe budget.
+    pub budgeted_results: AtomicU64,
     /// Update batches committed.
     pub commits: AtomicU64,
     /// Update batches rejected by validation.
     pub commit_failures: AtomicU64,
+    /// Fast-lane counters.
+    pub fast_lane: LaneMetrics,
+    /// Slow-lane counters (all-zero while the server runs single-lane).
+    pub slow_lane: LaneMetrics,
     /// The most recent micro-batch's report.
     last_report: Mutex<Option<ServiceReport>>,
 }
@@ -76,6 +219,12 @@ impl ServerMetrics {
             .fetch_add(report.incremental_rescores, Ordering::Relaxed);
         self.full_fallback_rescores
             .fetch_add(report.full_fallback_rescores, Ordering::Relaxed);
+        self.plan_hits
+            .fetch_add(report.plan_hits, Ordering::Relaxed);
+        self.plan_misses
+            .fetch_add(report.plan_misses, Ordering::Relaxed);
+        self.budgeted_results
+            .fetch_add(report.budgeted_results as u64, Ordering::Relaxed);
         *self.last_report.lock().expect("metrics lock poisoned") = Some(*report);
     }
 
@@ -85,37 +234,42 @@ impl ServerMetrics {
     }
 
     /// Renders the `/metrics` payload. The caller supplies the live-state
-    /// gauges (epoch, model count, queue occupancy, cache totals) it can see.
-    #[allow(clippy::too_many_arguments)]
-    pub fn to_json(
-        &self,
-        epoch: u64,
-        models: usize,
-        queue_capacity: usize,
-        queue_depth: usize,
-        cache_entries: usize,
-        cache_hits_lifetime: u64,
-        cache_misses_lifetime: u64,
-        cache_evictions_lifetime: u64,
-    ) -> String {
+    /// gauges (epoch, model count, lane occupancy, cache totals) it can see.
+    ///
+    /// The aggregate `"queue"` section sums both lanes (capacity and depth),
+    /// preserving the shape single-lane dashboards already scrape; the
+    /// `"lanes"` section carries the per-lane split, with `"slow"` rendered
+    /// `null` on a single-lane server.
+    pub fn to_json(&self, gauges: &MetricsGauges) -> String {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let last = match self.last_report() {
             Some(report) => wire::report_json(&report),
             None => "null".to_string(),
         };
+        let queue_capacity = gauges.fast.capacity + gauges.slow.map_or(0, |lane| lane.capacity);
+        let queue_depth = gauges.fast.depth + gauges.slow.map_or(0, |lane| lane.depth);
+        let slow = match gauges.slow {
+            Some(lane) => self.slow_lane.json(&lane),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"epoch\":{epoch},\"models\":{models},\
+            "{{\"epoch\":{},\"models\":{},\
              \"http\":{{\"connections\":{},\"connections_rejected\":{},\
              \"requests\":{},\"parse_errors\":{}}},\
              \"explain\":{{\"batches\":{},\"requests\":{},\"request_errors\":{},\
              \"shed_requests\":{},\"micro_batches\":{},\"probes\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"duplicate_requests\":{},\
-             \"incremental_rescores\":{},\"full_fallback_rescores\":{}}},\
+             \"incremental_rescores\":{},\"full_fallback_rescores\":{},\
+             \"budgeted_results\":{}}},\
              \"commits\":{{\"accepted\":{},\"rejected\":{}}},\
              \"queue\":{{\"capacity\":{queue_capacity},\"depth\":{queue_depth}}},\
-             \"cache\":{{\"entries\":{cache_entries},\"hits\":{cache_hits_lifetime},\
-             \"misses\":{cache_misses_lifetime},\"evictions\":{cache_evictions_lifetime}}},\
+             \"lanes\":{{\"fast\":{},\"slow\":{}}},\
+             \"plan\":{{\"hits\":{},\"misses\":{}}},\
+             \"cache\":{{\"entries\":{},\"hits\":{},\
+             \"misses\":{},\"evictions\":{}}},\
              \"last_report\":{last}}}",
+            gauges.epoch,
+            gauges.models,
             get(&self.connections),
             get(&self.connections_rejected),
             get(&self.http_requests),
@@ -131,8 +285,17 @@ impl ServerMetrics {
             get(&self.duplicate_requests),
             get(&self.incremental_rescores),
             get(&self.full_fallback_rescores),
+            get(&self.budgeted_results),
             get(&self.commits),
             get(&self.commit_failures),
+            self.fast_lane.json(&gauges.fast),
+            slow,
+            gauges.plan_hits,
+            gauges.plan_misses,
+            gauges.cache_entries,
+            gauges.cache_hits,
+            gauges.cache_misses,
+            gauges.cache_evictions,
         )
     }
 }
@@ -141,6 +304,27 @@ impl ServerMetrics {
 mod tests {
     use super::*;
     use crate::json;
+
+    fn gauges() -> MetricsGauges {
+        MetricsGauges {
+            epoch: 2,
+            models: 1,
+            fast: LaneGauges {
+                capacity: 256,
+                depth: 0,
+            },
+            slow: Some(LaneGauges {
+                capacity: 64,
+                depth: 3,
+            }),
+            cache_entries: 42,
+            cache_hits: 7,
+            cache_misses: 5,
+            cache_evictions: 0,
+            plan_hits: 9,
+            plan_misses: 4,
+        }
+    }
 
     #[test]
     fn batches_accumulate_and_render() {
@@ -158,6 +342,9 @@ mod tests {
             probes: 5,
             incremental_rescores: 4,
             full_fallback_rescores: 1,
+            plan_hits: 2,
+            plan_misses: 1,
+            budgeted_results: 2,
         };
         metrics.record_batch(&report);
         metrics.record_batch(&report);
@@ -165,25 +352,85 @@ mod tests {
         assert_eq!(metrics.duplicate_requests.load(Ordering::Relaxed), 6);
         assert_eq!(metrics.incremental_rescores.load(Ordering::Relaxed), 8);
         assert_eq!(metrics.full_fallback_rescores.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.plan_hits.load(Ordering::Relaxed), 4);
+        assert_eq!(metrics.plan_misses.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.budgeted_results.load(Ordering::Relaxed), 4);
         assert_eq!(metrics.last_report(), Some(report));
 
-        let text = metrics.to_json(2, 1, 256, 0, 42, 7, 5, 0);
+        let text = metrics.to_json(&gauges());
         let parsed = json::parse(&text).expect("metrics must be valid JSON");
         assert_eq!(parsed.get("epoch").unwrap().as_u64(), Some(2));
         let explain = parsed.get("explain").unwrap();
         assert_eq!(explain.get("micro_batches").unwrap().as_u64(), Some(2));
         assert_eq!(explain.get("probes").unwrap().as_u64(), Some(10));
+        assert_eq!(explain.get("budgeted_results").unwrap().as_u64(), Some(4));
+        // The aggregate queue section sums both lanes; the lanes section
+        // splits them back out.
+        let queue = parsed.get("queue").unwrap();
+        assert_eq!(queue.get("capacity").unwrap().as_u64(), Some(320));
+        assert_eq!(queue.get("depth").unwrap().as_u64(), Some(3));
+        let lanes = parsed.get("lanes").unwrap();
+        let fast = lanes.get("fast").unwrap();
+        assert_eq!(fast.get("capacity").unwrap().as_u64(), Some(256));
+        let slow = lanes.get("slow").unwrap();
+        assert_eq!(slow.get("depth").unwrap().as_u64(), Some(3));
+        let plan = parsed.get("plan").unwrap();
+        assert_eq!(plan.get("hits").unwrap().as_u64(), Some(9));
+        assert_eq!(plan.get("misses").unwrap().as_u64(), Some(4));
         let last = parsed.get("last_report").unwrap();
         assert_eq!(
             wire::report_from_json(last),
             Some(report),
             "last_report must roundtrip as a ServiceReport"
         );
-        // Before any batch, last_report renders as null.
-        let fresh = ServerMetrics::new().to_json(0, 0, 1, 0, 0, 0, 0, 0);
+        // Before any batch, last_report renders as null, and a single-lane
+        // server renders a null slow lane.
+        let fresh = ServerMetrics::new().to_json(&MetricsGauges {
+            slow: None,
+            ..gauges()
+        });
+        let fresh = json::parse(&fresh).unwrap();
+        assert_eq!(fresh.get("last_report"), Some(&json::Json::Null));
         assert_eq!(
-            json::parse(&fresh).unwrap().get("last_report"),
+            fresh.get("lanes").unwrap().get("slow"),
             Some(&json::Json::Null)
         );
+        assert_eq!(
+            fresh
+                .get("queue")
+                .unwrap()
+                .get("capacity")
+                .unwrap()
+                .as_u64(),
+            Some(256),
+            "single-lane aggregate capacity is the fast lane alone"
+        );
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_bracket_the_samples() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ms(0.95), 0.0, "empty histogram reads zero");
+        for _ in 0..95 {
+            h.record(Duration::from_micros(900)); // < 1.024ms bucket
+        }
+        for _ in 0..5 {
+            h.record(Duration::from_millis(400)); // tail
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ms(0.50);
+        let p95 = h.quantile_ms(0.95);
+        let p99 = h.quantile_ms(0.99);
+        assert!((0.9..=2.0).contains(&p50), "p50 {p50} must bracket 0.9ms");
+        assert!(p95 <= p99, "quantiles are monotone: {p95} <= {p99}");
+        assert!(
+            (400.0..=1100.0).contains(&p99),
+            "p99 {p99} must bracket the 400ms tail"
+        );
+        // Sub-microsecond and huge samples land in the edge buckets without
+        // panicking.
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(1 << 30));
+        assert_eq!(h.count(), 102);
     }
 }

@@ -15,8 +15,14 @@
 //!   pool saturates at `workers` concurrent explain requests — size it above
 //!   the expected in-flight count if `/healthz` and `/metrics` must stay
 //!   responsive under full explanation load;
-//! * **batcher** — drains the admission queue in micro-batches and runs the
-//!   one `try_explain_batch` call per batch (see [`crate::queue`]).
+//! * **batchers** (one per admission lane) — drain their lane in
+//!   micro-batches and run one `try_explain_batch` call per batch (see
+//!   [`crate::queue`]). With `ServerConfig::dual_lane` (the default) there
+//!   are two lanes: requests are routed at admission by the service's
+//!   pre-probe cost estimate — jobs whose requests the warm probe cache can
+//!   mostly answer ride the **fast** lane, jobs containing any cold request
+//!   ride the **slow** lane — so one expensive cold search never
+//!   head-of-line-blocks a burst of cache-warm lookups.
 //!
 //! Shutdown ([`ServerHandle::shutdown`]) is graceful by construction: the
 //! admission queue closes first and the batcher answers everything already
@@ -25,8 +31,8 @@
 
 use crate::http::{self, HttpError, HttpRequest};
 use crate::json;
-use crate::metrics::ServerMetrics;
-use crate::queue::{AdmissionQueue, Job, PushError};
+use crate::metrics::{LaneGauges, MetricsGauges, ServerMetrics};
+use crate::queue::{AdmissionQueue, Job, Lane, PushError};
 use crate::wire::{self, WireError};
 use exes_core::{ExesService, ServiceReport};
 use exes_linkpred::LinkPredictor;
@@ -47,8 +53,9 @@ pub struct ServerConfig {
     pub addr: String,
     /// Connection-handling worker threads.
     pub workers: usize,
-    /// Admission-queue capacity, in requests; beyond it, `POST /explain`
-    /// sheds with 503 + `Retry-After`.
+    /// Fast-lane admission-queue capacity, in requests; beyond it, warm
+    /// `POST /explain` traffic sheds with 503 + `Retry-After`. (With
+    /// `dual_lane` off this is the only queue.)
     pub queue_depth: usize,
     /// Most connections allowed to wait for a worker; beyond it the acceptor
     /// drops new sockets instead of buffering them without bound.
@@ -73,6 +80,24 @@ pub struct ServerConfig {
     /// production; `false` reproduces the naive one-shot serving stack
     /// (every batch starts cold) for benchmarking.
     pub persistent_cache: bool,
+    /// Route admission by pre-probe cost estimate: jobs containing any
+    /// cold-estimated request queue in a separate slow lane with its own
+    /// batcher thread, so cold searches never head-of-line-block cache-warm
+    /// traffic. `false` reproduces the single-queue server (for A/B
+    /// benchmarking and for deployments that prefer one FIFO).
+    pub dual_lane: bool,
+    /// Slow-lane admission capacity, in requests. Deliberately smaller than
+    /// the fast lane: queueing many cold searches just converts memory into
+    /// latency, and a shed cold request retries against a warmer cache.
+    pub slow_queue_depth: usize,
+    /// Slow-lane micro-batch target size. Smaller than the fast lane's:
+    /// cold requests dominate engine time, so giant batches only stretch
+    /// the lane's own tail.
+    pub slow_max_batch: usize,
+    /// Slow-lane straggler window. Longer than the fast lane's: cold
+    /// batches compute for milliseconds anyway, so waiting a little harder
+    /// for merge-able traffic is nearly free.
+    pub slow_batch_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +113,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             request_budget: Duration::from_secs(30),
             persistent_cache: true,
+            dual_lane: true,
+            slow_queue_depth: 256,
+            slow_max_batch: 16,
+            slow_batch_window: Duration::from_millis(4),
         }
     }
 }
@@ -155,7 +184,10 @@ impl ConnQueue {
 struct Inner<L> {
     service: ExesService<L>,
     config: ServerConfig,
-    queue: AdmissionQueue,
+    /// Warm/incremental traffic. With `dual_lane` off, all traffic.
+    fast_queue: AdmissionQueue,
+    /// Cold traffic; absent on a single-lane server.
+    slow_queue: Option<AdmissionQueue>,
     conns: ConnQueue,
     metrics: ServerMetrics,
     shutting_down: AtomicBool,
@@ -173,7 +205,7 @@ pub struct ServerHandle<L> {
     addr: SocketAddr,
     inner: Arc<Inner<L>>,
     acceptor: Option<JoinHandle<()>>,
-    batcher: Option<JoinHandle<()>>,
+    batchers: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -188,9 +220,12 @@ impl<L> ServerHandle<L> {
     pub fn shutdown(mut self) {
         let inner = &self.inner;
         inner.shutting_down.store(true, Ordering::SeqCst);
-        // 1. No new explanation work: the batcher drains the queue and exits.
-        inner.queue.close();
-        if let Some(batcher) = self.batcher.take() {
+        // 1. No new explanation work: each batcher drains its lane and exits.
+        inner.fast_queue.close();
+        if let Some(slow) = &inner.slow_queue {
+            slow.close();
+        }
+        for batcher in self.batchers.drain(..) {
             let _ = batcher.join();
         }
         // 2. No new connections: close the pending queue first (unserved
@@ -222,12 +257,16 @@ where
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let queue_depth = config.queue_depth;
+    let slow_queue = config
+        .dual_lane
+        .then(|| AdmissionQueue::new(config.slow_queue_depth));
     let config_pending = config.max_pending_connections;
     let workers = config.workers.max(1);
     let inner = Arc::new(Inner {
         service,
         config,
-        queue: AdmissionQueue::new(queue_depth),
+        fast_queue: AdmissionQueue::new(queue_depth),
+        slow_queue,
         conns: ConnQueue::new(config_pending),
         metrics: ServerMetrics::new(),
         shutting_down: AtomicBool::new(false),
@@ -239,10 +278,14 @@ where
         let inner = Arc::clone(&inner);
         std::thread::spawn(move || accept_loop(&inner, listener))
     };
-    let batcher = {
+    let mut batchers = vec![{
         let inner = Arc::clone(&inner);
-        std::thread::spawn(move || batch_loop(&inner))
-    };
+        std::thread::spawn(move || batch_loop(&inner, Lane::Fast))
+    }];
+    if inner.slow_queue.is_some() {
+        let inner = Arc::clone(&inner);
+        batchers.push(std::thread::spawn(move || batch_loop(&inner, Lane::Slow)));
+    }
     let workers = (0..workers)
         .map(|_| {
             let inner = Arc::clone(&inner);
@@ -254,7 +297,7 @@ where
         addr,
         inner,
         acceptor: Some(acceptor),
-        batcher: Some(batcher),
+        batchers,
         workers,
     })
 }
@@ -284,22 +327,30 @@ fn accept_loop<L>(inner: &Inner<L>, listener: TcpListener) {
     }
 }
 
-/// The micro-batching engine loop: one `try_explain_batch` per drained
-/// micro-batch, results split back per job in admission order.
+/// The micro-batching engine loop for one lane: one `try_explain_batch` per
+/// drained micro-batch, results split back per job in admission order. Each
+/// lane runs its own copy of this loop on its own thread, with its own batch
+/// size and straggler window — that independence is the whole point: a slow
+/// cold batch in one lane never delays the other lane's drain.
 ///
 /// The engine call is isolated with `catch_unwind`: if a batch panics (an
 /// engine invariant bug, a poisoned cache shard), its jobs' senders are
 /// dropped — every waiting worker's `recv` errors into a 500 — and the
 /// batcher keeps draining. A dead batcher would instead hang every queued
 /// worker forever and deadlock shutdown.
-fn batch_loop<L>(inner: &Inner<L>)
+fn batch_loop<L>(inner: &Inner<L>, lane: Lane)
 where
     L: LinkPredictor + Clone + Sync,
 {
-    while let Some(jobs) = inner
-        .queue
-        .next_batch(inner.config.max_batch, inner.config.batch_window)
-    {
+    let queue = match lane {
+        Lane::Fast => &inner.fast_queue,
+        Lane::Slow => inner
+            .slow_queue
+            .as_ref()
+            .expect("slow batcher only runs on dual-lane servers"),
+    };
+    let (max_batch, batch_window) = lane_drain_params(&inner.config, lane);
+    while let Some(jobs) = queue.next_batch(max_batch, batch_window) {
         let merged: Vec<_> = jobs
             .iter()
             .flat_map(|job| job.requests.iter().cloned())
@@ -329,6 +380,26 @@ where
             let _ = job.respond.send((slice, report, snapshot.clone()));
         }
     }
+}
+
+/// The drain parameters — micro-batch size and straggler window — of a lane.
+fn lane_drain_params(config: &ServerConfig, lane: Lane) -> (usize, Duration) {
+    match lane {
+        Lane::Fast => (config.max_batch, config.batch_window),
+        Lane::Slow => (config.slow_max_batch, config.slow_batch_window),
+    }
+}
+
+/// The `Retry-After` seconds for a 503 shed from a lane currently holding
+/// `depth` queued requests: the lane drains roughly one `max_batch`-sized
+/// micro-batch per `batch_window`, so `ceil(depth / max_batch) × window` is
+/// a floor on when capacity reappears. Clamped to `[1, 30]` — never tell a
+/// client "retry immediately" while the queue is full, and never park it for
+/// minutes on an estimate built from a straggler window.
+fn retry_after_secs(depth: usize, max_batch: usize, batch_window: Duration) -> u64 {
+    let batches = depth.div_ceil(max_batch.max(1)).max(1);
+    let secs = (batches as f64 * batch_window.as_secs_f64()).ceil() as u64;
+    secs.clamp(1, 30)
 }
 
 fn worker_loop<L>(inner: &Inner<L>)
@@ -468,16 +539,24 @@ where
     L: LinkPredictor + Clone + Sync,
 {
     let cache = inner.service.probe_cache();
-    let body = inner.metrics.to_json(
-        inner.service.store().epoch(),
-        inner.service.registry().len(),
-        inner.queue.capacity(),
-        inner.queue.depth(),
-        cache.len(),
-        cache.hits(),
-        cache.misses(),
-        cache.evicted(),
-    );
+    let body = inner.metrics.to_json(&MetricsGauges {
+        epoch: inner.service.store().epoch(),
+        models: inner.service.registry().len(),
+        fast: LaneGauges {
+            capacity: inner.fast_queue.capacity(),
+            depth: inner.fast_queue.depth(),
+        },
+        slow: inner.slow_queue.as_ref().map(|queue| LaneGauges {
+            capacity: queue.capacity(),
+            depth: queue.depth(),
+        }),
+        cache_entries: cache.len(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        cache_evictions: cache.evicted(),
+        plan_hits: cache.plan_hits(),
+        plan_misses: cache.plan_misses(),
+    });
     (200, Vec::new(), body)
 }
 
@@ -529,25 +608,67 @@ where
         (Vec::new(), report, snapshot.clone())
     } else {
         let valid_len = valid.len();
+        // Route by pre-admission cost estimate. Estimation never probes the
+        // black box — it only interrogates the probe cache and plan memo —
+        // so this is cheap per request. A job containing any cold request
+        // rides the slow lane: its micro-batch will pay a cold search, and
+        // fast-lane traffic must not queue behind it. Requests whose
+        // estimate errors (unknown model, out-of-range subject) stay fast —
+        // the engine answers those without probing anything.
+        let lane = match &inner.slow_queue {
+            Some(_) => {
+                let any_cold = valid.iter().any(|request| {
+                    matches!(
+                        inner.service.estimate_on(&snapshot, request),
+                        Ok(estimate) if estimate.is_cold()
+                    )
+                });
+                if any_cold {
+                    Lane::Slow
+                } else {
+                    Lane::Fast
+                }
+            }
+            None => Lane::Fast,
+        };
+        let queue = match lane {
+            Lane::Fast => &inner.fast_queue,
+            Lane::Slow => inner
+                .slow_queue
+                .as_ref()
+                .expect("slow lane routed only when present"),
+        };
+        let lane_metrics = match lane {
+            Lane::Fast => &inner.metrics.fast_lane,
+            Lane::Slow => &inner.metrics.slow_lane,
+        };
         let (respond, outcome) = mpsc::channel();
         let job = Job {
             requests: valid,
             respond,
         };
-        match inner.queue.push(job) {
+        let enqueued_at = std::time::Instant::now();
+        match queue.push(job) {
             Err(PushError::Full) => {
                 inner
                     .metrics
                     .shed_requests
                     .fetch_add(valid_len as u64, Ordering::Relaxed);
+                lane_metrics
+                    .shed_requests
+                    .fetch_add(valid_len as u64, Ordering::Relaxed);
+                let (max_batch, window) = lane_drain_params(&inner.config, lane);
+                let retry = retry_after_secs(queue.depth(), max_batch, window);
                 return (
                     503,
-                    vec![("Retry-After", "1".to_string())],
+                    vec![("Retry-After", retry.to_string())],
                     WireError::new(
                         "overloaded",
                         format!(
-                            "admission queue is full (capacity {} requests); retry shortly",
-                            inner.queue.capacity()
+                            "{} admission lane is full (capacity {} requests); \
+                             retry in ~{retry}s",
+                            lane.tag(),
+                            queue.capacity()
                         ),
                     )
                     .to_json(),
@@ -561,10 +682,17 @@ where
                         .to_json(),
                 );
             }
-            Ok(()) => {}
+            Ok(()) => {
+                lane_metrics
+                    .admitted_requests
+                    .fetch_add(valid_len as u64, Ordering::Relaxed);
+            }
         }
         match outcome.recv() {
-            Ok(outcome) => outcome,
+            Ok(outcome) => {
+                lane_metrics.latency.record(enqueued_at.elapsed());
+                outcome
+            }
             // The batcher dropped this job's sender without answering: the
             // engine panicked on the micro-batch (or the server is tearing
             // down). The worker survives and the connection gets a clean 500.
@@ -641,5 +769,37 @@ where
                 WireError::new("commit_rejected", error.to_string()).to_json(),
             )
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_tracks_the_drain_rate_of_each_lane() {
+        let config = ServerConfig {
+            max_batch: 64,
+            batch_window: Duration::from_millis(2),
+            slow_max_batch: 4,
+            slow_batch_window: Duration::from_secs(1),
+            ..Default::default()
+        };
+        // Fast lane: 128 queued / 64 per batch × 2ms ≈ 4ms — floors to the
+        // 1-second minimum so full queues never advertise instant retry.
+        let (fast_batch, fast_window) = lane_drain_params(&config, Lane::Fast);
+        assert_eq!((fast_batch, fast_window), (64, Duration::from_millis(2)));
+        assert_eq!(retry_after_secs(128, fast_batch, fast_window), 1);
+        // Slow lane: 12 queued / 4 per batch × 1s = 3 batches ≈ 3s.
+        let (slow_batch, slow_window) = lane_drain_params(&config, Lane::Slow);
+        assert_eq!((slow_batch, slow_window), (4, Duration::from_secs(1)));
+        assert_eq!(retry_after_secs(12, slow_batch, slow_window), 3);
+        // Partial batches round up: 13 queued needs a 4th drain cycle.
+        assert_eq!(retry_after_secs(13, slow_batch, slow_window), 4);
+        // A pathological backlog is capped at 30s, an empty one floors at 1s.
+        assert_eq!(retry_after_secs(100_000, slow_batch, slow_window), 30);
+        assert_eq!(retry_after_secs(0, slow_batch, slow_window), 1);
+        // A zero max_batch cannot divide by zero.
+        assert_eq!(retry_after_secs(5, 0, Duration::from_secs(2)), 10);
     }
 }

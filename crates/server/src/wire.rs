@@ -23,8 +23,8 @@
 use crate::json::{self, Json};
 use exes_core::counterfactual::{CounterfactualKind, CounterfactualResult};
 use exes_core::{
-    Explanation, ExplanationKind, ExplanationRequest, FactualExplanation, Feature, ModelId,
-    RequestError, ServiceReport,
+    Completeness, Explanation, ExplanationKind, ExplanationRequest, FactualExplanation, Feature,
+    ModelId, RequestError, ServiceReport,
 };
 use exes_graph::{CollabGraph, GraphView, PersonId, Perturbation, Query, SkillVocab, UpdateBatch};
 use std::collections::HashMap;
@@ -256,6 +256,18 @@ fn feature_json(feature: &Feature, graph: &CollabGraph) -> String {
     }
 }
 
+/// Serialises a [`Completeness`] marker: the string `"exhaustive"` for a
+/// search that ran to its natural end, or `{"spent":…,"budget":…}` for a
+/// best-so-far result cut short by a probe budget.
+fn completeness_json(completeness: Completeness) -> String {
+    match completeness {
+        Completeness::Exhaustive => "\"exhaustive\"".to_string(),
+        Completeness::Budgeted { spent, budget } => {
+            format!("{{\"spent\":{spent},\"budget\":{budget}}}")
+        }
+    }
+}
+
 fn counterfactual_json(result: &CounterfactualResult, graph: &CollabGraph) -> String {
     let mut out = String::from("{\"counterfactual\":{\"explanations\":[");
     for (i, e) in result.explanations.iter().enumerate() {
@@ -280,12 +292,14 @@ fn counterfactual_json(result: &CounterfactualResult, graph: &CollabGraph) -> St
     let _ = write!(
         out,
         "],\"probes\":{},\"cache_hits\":{},\"cache_misses\":{},\
-         \"incremental_rescores\":{},\"full_rescores\":{},\"timed_out\":{}}}}}",
+         \"incremental_rescores\":{},\"full_rescores\":{},\"completeness\":{},\
+         \"timed_out\":{}}}}}",
         result.probes,
         result.cache_hits,
         result.cache_misses,
         result.incremental_rescores,
         result.full_rescores,
+        completeness_json(result.completeness),
         result.timed_out
     );
     out
@@ -306,16 +320,24 @@ fn factual_json(explanation: &FactualExplanation, graph: &CollabGraph) -> String
         }
         out.push_str(&json::fmt_f64(*v));
     }
+    out.push_str("],\"half_widths\":[");
+    for (i, w) in explanation.half_widths().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::fmt_f64(*w));
+    }
     let _ = write!(
         out,
         "],\"base_value\":{},\"full_value\":{},\"probes\":{},\"cache_hits\":{},\
-         \"incremental_rescores\":{},\"full_rescores\":{}}}}}",
+         \"incremental_rescores\":{},\"full_rescores\":{},\"completeness\":{}}}}}",
         json::fmt_f64(explanation.shap_values().base_value()),
         json::fmt_f64(explanation.shap_values().full_value()),
         explanation.probes(),
         explanation.cache_hits(),
         explanation.incremental_rescores(),
-        explanation.full_rescores()
+        explanation.full_rescores(),
+        completeness_json(explanation.completeness())
     );
     out
 }
@@ -371,7 +393,8 @@ pub fn report_json(report: &ServiceReport) -> String {
         "{{\"epoch\":{},\"requests\":{},\"groups\":{},\"duplicate_requests\":{},\
          \"failed_requests\":{},\"cache_hits\":{},\"cache_misses\":{},\
          \"cache_evictions\":{},\"probes\":{},\"incremental_rescores\":{},\
-         \"full_fallback_rescores\":{},\"hit_rate\":{}}}",
+         \"full_fallback_rescores\":{},\"plan_hits\":{},\"plan_misses\":{},\
+         \"budgeted_results\":{},\"hit_rate\":{}}}",
         report.epoch,
         report.requests,
         report.groups,
@@ -383,6 +406,9 @@ pub fn report_json(report: &ServiceReport) -> String {
         report.probes,
         report.incremental_rescores,
         report.full_fallback_rescores,
+        report.plan_hits,
+        report.plan_misses,
+        report.budgeted_results,
         json::fmt_f64(report.hit_rate())
     )
 }
@@ -403,6 +429,9 @@ pub fn report_from_json(value: &Json) -> Option<ServiceReport> {
         probes: int("probes")? as usize,
         incremental_rescores: int("incremental_rescores")?,
         full_fallback_rescores: int("full_fallback_rescores")?,
+        plan_hits: int("plan_hits")?,
+        plan_misses: int("plan_misses")?,
+        budgeted_results: int("budgeted_results")? as usize,
     })
 }
 
@@ -594,6 +623,7 @@ mod tests {
             cache_misses: 6,
             incremental_rescores: 5,
             full_rescores: 2,
+            completeness: Completeness::Exhaustive,
             timed_out: false,
         };
         let text = explanation_json(&Explanation::Counterfactual(result), &g);
@@ -603,7 +633,7 @@ mod tests {
              \"size\":1,\"new_signal\":2.5,\"perturbations\":[{\"op\":\"remove_skill\",\
              \"person\":0,\"skill\":\"db\"}]}],\"probes\":7,\"cache_hits\":1,\
              \"cache_misses\":6,\"incremental_rescores\":5,\"full_rescores\":2,\
-             \"timed_out\":false}}"
+             \"completeness\":\"exhaustive\",\"timed_out\":false}}"
         );
         // And it parses back as valid JSON.
         let parsed = json::parse(&text).unwrap();
@@ -632,6 +662,9 @@ mod tests {
             probes: 40,
             incremental_rescores: 30,
             full_fallback_rescores: 10,
+            plan_hits: 6,
+            plan_misses: 2,
+            budgeted_results: 3,
         };
         let text = report_json(&report);
         let back = report_from_json(&json::parse(&text).unwrap()).unwrap();
@@ -644,6 +677,34 @@ mod tests {
         // Garbage does not parse as a report.
         assert_eq!(report_from_json(&json::parse("{}").unwrap()), None);
         assert_eq!(report_from_json(&json::parse("[1]").unwrap()), None);
+    }
+
+    #[test]
+    fn budgeted_completeness_serialises_spent_and_budget() {
+        assert_eq!(
+            completeness_json(Completeness::Budgeted {
+                spent: 9,
+                budget: 12
+            }),
+            "{\"spent\":9,\"budget\":12}"
+        );
+        let g = graph();
+        let result = CounterfactualResult {
+            completeness: Completeness::Budgeted {
+                spent: 9,
+                budget: 12,
+            },
+            ..CounterfactualResult::default()
+        };
+        let text = explanation_json(&Explanation::Counterfactual(result), &g);
+        let parsed = json::parse(&text).unwrap();
+        let marker = parsed
+            .get("counterfactual")
+            .unwrap()
+            .get("completeness")
+            .unwrap();
+        assert_eq!(marker.get("spent").unwrap().as_u64(), Some(9));
+        assert_eq!(marker.get("budget").unwrap().as_u64(), Some(12));
     }
 
     #[test]

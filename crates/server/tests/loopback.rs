@@ -545,7 +545,8 @@ fn malformed_wire_input_never_kills_a_worker() {
 fn overload_sheds_with_503_and_the_queue_stays_bounded() {
     let f = fixture();
     // A deliberately tiny, slow server: one request per micro-batch, a
-    // 2-request admission queue.
+    // 2-request admission queue. Single-lane, so every request contends on
+    // that one tiny queue regardless of its cost estimate.
     let handle = start(
         &f,
         ServerConfig {
@@ -553,6 +554,7 @@ fn overload_sheds_with_503_and_the_queue_stays_bounded() {
             queue_depth: 2,
             max_batch: 1,
             batch_window: Duration::ZERO,
+            dual_lane: false,
             ..Default::default()
         },
     );
@@ -617,6 +619,7 @@ fn overload_shed_response_carries_retry_after() {
             queue_depth: 1,
             max_batch: 1,
             batch_window: Duration::ZERO,
+            dual_lane: false,
             ..Default::default()
         },
     );
@@ -644,6 +647,66 @@ fn overload_shed_response_carries_retry_after() {
             Some("overloaded")
         );
     }
+    handle.shutdown();
+}
+
+#[test]
+fn dual_lanes_route_cold_then_warm_and_report_per_lane_metrics() {
+    let f = fixture();
+    // `dual_lane` defaults to true: a cold batch rides the slow lane, a
+    // cache-warm repeat rides the fast lane.
+    let handle = start(&f, quick_config());
+    let addr = handle.addr();
+    let mut client = HttpClient::connect(addr).unwrap();
+    let body = six_kind_body(&f);
+    assert_eq!(client.post("/explain", &body).unwrap().status, 200);
+    // The same batch again: every identity probe it needs is memoised now,
+    // so the pre-admission estimate reads warm and it skips the slow lane.
+    assert_eq!(client.post("/explain", &body).unwrap().status, 200);
+
+    let metrics = client.get("/metrics").unwrap();
+    let parsed = json::parse(&metrics.body).unwrap();
+    let lanes = parsed.get("lanes").unwrap();
+    let fast = lanes.get("fast").unwrap();
+    let slow = lanes.get("slow").unwrap();
+    let fast_admitted = fast.get("admitted").unwrap().as_u64().unwrap();
+    let slow_admitted = slow.get("admitted").unwrap().as_u64().unwrap();
+    assert!(
+        slow_admitted >= 1,
+        "the cold first batch rides the slow lane"
+    );
+    assert!(
+        fast_admitted >= 1,
+        "the cache-warm repeat rides the fast lane"
+    );
+    let requests = parsed
+        .get("explain")
+        .unwrap()
+        .get("requests")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(
+        fast_admitted + slow_admitted,
+        requests,
+        "every admitted request is attributed to exactly one lane"
+    );
+    // Each lane records its own enqueue-to-answer latency distribution.
+    assert!(slow.get("p95_ms").unwrap().as_f64().unwrap() > 0.0);
+    assert!(fast.get("p50_ms").unwrap().as_f64().unwrap() > 0.0);
+    // The aggregate queue gauge sums both lanes' capacity.
+    let capacity = parsed
+        .get("queue")
+        .unwrap()
+        .get("capacity")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let config = ServerConfig::default();
+    assert_eq!(
+        capacity,
+        (config.queue_depth + config.slow_queue_depth) as u64
+    );
     handle.shutdown();
 }
 

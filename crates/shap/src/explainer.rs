@@ -1,6 +1,9 @@
 //! The estimator-selecting front end used by ExES.
 
-use crate::{exact_shapley, kernel_shap, permutation_shapley, MaskedModel, ShapValues};
+use crate::{
+    exact_shapley, kernel_shap, permutation_shapley, truncated_permutation_shapley, MaskedModel,
+    SampledShap, ShapValues,
+};
 
 /// Which Shapley estimator to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +82,79 @@ impl ShapExplainer {
             }
         }
     }
+
+    /// Computes Shapley values under an optional model-evaluation budget,
+    /// reporting per-feature confidence half-widths and whether the estimate
+    /// was truncated.
+    ///
+    /// With `max_evaluations: None` the returned values are **bitwise
+    /// identical** to [`ShapExplainer::explain`] — the deterministic
+    /// estimators (exact, kernel) report zero half-widths (no sampling
+    /// noise), and the permutation path runs the same sampler with variance
+    /// bookkeeping on the side.
+    ///
+    /// With a finite budget, a deterministic estimator whose fixed evaluation
+    /// count does not fit falls back to the anytime permutation sampler
+    /// (`auto_permutations` passes), which spends whole permutations until
+    /// the budget runs out and marks the result `truncated`.
+    pub fn explain_sampled<M: MaskedModel>(
+        &self,
+        model: &M,
+        max_evaluations: Option<usize>,
+    ) -> SampledShap {
+        let m = model.num_features();
+        let fits = |needed: usize| max_evaluations.is_none_or(|max| needed <= max);
+        let exact_cost = if m == 0 {
+            1
+        } else if m <= 24 {
+            1usize << m
+        } else {
+            usize::MAX
+        };
+        let kernel_cost = |samples: usize| match m {
+            0 => 1,
+            1 => 2,
+            _ => 2 + samples.max(2 * m),
+        };
+        match self.config.method {
+            ShapMethod::Exact if fits(exact_cost) => {
+                Self::deterministic(exact_shapley(model), exact_cost)
+            }
+            ShapMethod::Kernel { samples } if fits(kernel_cost(samples)) => {
+                Self::deterministic(kernel_shap(model, samples, self.config.seed), {
+                    kernel_cost(samples)
+                })
+            }
+            ShapMethod::Permutation { permutations } => truncated_permutation_shapley(
+                model,
+                permutations,
+                self.config.seed,
+                max_evaluations,
+            ),
+            ShapMethod::Auto if m <= self.config.exact_threshold && fits(exact_cost) => {
+                Self::deterministic(exact_shapley(model), exact_cost)
+            }
+            _ => truncated_permutation_shapley(
+                model,
+                self.config.auto_permutations,
+                self.config.seed,
+                max_evaluations,
+            ),
+        }
+    }
+
+    /// Wraps a deterministic (non-sampled) estimate: zero half-widths, never
+    /// truncated.
+    fn deterministic(values: ShapValues, evaluations: usize) -> SampledShap {
+        let m = values.len();
+        SampledShap {
+            half_widths: vec![0.0; m],
+            permutations_completed: 0,
+            evaluations,
+            truncated: false,
+            values,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +216,69 @@ mod tests {
                 v.value(4)
             );
         }
+    }
+
+    #[test]
+    fn sampled_unbounded_matches_explain_for_every_method() {
+        let model = linear_model(6);
+        for method in [
+            ShapMethod::Exact,
+            ShapMethod::Permutation { permutations: 12 },
+            ShapMethod::Kernel { samples: 64 },
+            ShapMethod::Auto,
+        ] {
+            let explainer = ShapExplainer::new(ShapConfig {
+                method,
+                ..Default::default()
+            });
+            let sampled = explainer.explain_sampled(&model, None);
+            assert_eq!(sampled.values, explainer.explain(&model), "{method:?}");
+            assert!(!sampled.truncated, "{method:?}");
+            assert_eq!(sampled.half_widths.len(), 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_methods_report_zero_half_widths_and_costs() {
+        let model = CachingModel::new(linear_model(4));
+        let explainer = ShapExplainer::new(ShapConfig {
+            method: ShapMethod::Exact,
+            ..Default::default()
+        });
+        let sampled = explainer.explain_sampled(&model, Some(16));
+        assert_eq!(sampled.evaluations, 16);
+        assert_eq!(model.distinct_evaluations(), 16);
+        assert!(sampled.half_widths.iter().all(|&w| w == 0.0));
+        assert!(!sampled.truncated);
+    }
+
+    #[test]
+    fn exact_without_budget_falls_back_to_the_anytime_sampler() {
+        let model = CachingModel::new(linear_model(4));
+        let explainer = ShapExplainer::new(ShapConfig {
+            method: ShapMethod::Exact,
+            auto_permutations: 8,
+            ..Default::default()
+        });
+        // 2^4 = 16 exact evaluations don't fit in 10: the sampler takes over
+        // (2 anchors + 2 whole permutations of 4).
+        let sampled = explainer.explain_sampled(&model, Some(10));
+        assert!(sampled.truncated);
+        assert_eq!(sampled.permutations_completed, 2);
+        assert_eq!(sampled.evaluations, 10);
+        assert!((sampled.values.value(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auto_under_budget_prefers_exact_only_when_it_fits() {
+        let model = linear_model(3);
+        let explainer = ShapExplainer::new(ShapConfig::default());
+        let exact = explainer.explain_sampled(&model, Some(8));
+        assert_eq!(exact.evaluations, 8);
+        assert!(!exact.truncated);
+        let sampled = explainer.explain_sampled(&model, Some(7));
+        assert!(sampled.truncated || sampled.permutations_completed > 0);
+        assert!(sampled.evaluations <= 7);
     }
 
     #[test]

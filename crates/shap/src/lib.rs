@@ -10,12 +10,15 @@
 //! this with "rank the perturbed collaboration network and report the relevance
 //! or membership status of one person".
 //!
-//! Three estimators are provided:
+//! Four estimators are provided:
 //!
 //! * [`exact_shapley`] — full enumeration of all `2^M` coalitions (used when `M`
 //!   is small, and as the ground truth in tests),
 //! * [`permutation_shapley`] — Monte-Carlo estimation over random feature
 //!   orderings (the workhorse; unbiased, exactly efficient per sample),
+//! * [`truncated_permutation_shapley`] — the same sampler under an evaluation
+//!   budget, reporting per-feature confidence half-widths and stopping at
+//!   whole-permutation boundaries when the budget runs out,
 //! * [`kernel_shap`] — the weighted-least-squares KernelSHAP estimator.
 //!
 //! [`ShapExplainer`] picks an estimator automatically based on the feature
@@ -41,6 +44,7 @@ mod explainer;
 mod kernel;
 mod model;
 mod permutation;
+mod truncated;
 mod values;
 
 pub use exact::exact_shapley;
@@ -48,4 +52,5 @@ pub use explainer::{ShapConfig, ShapExplainer, ShapMethod};
 pub use kernel::kernel_shap;
 pub use model::{CachingModel, FnModel, MaskedModel};
 pub use permutation::permutation_shapley;
+pub use truncated::{truncated_permutation_shapley, SampledShap};
 pub use values::ShapValues;

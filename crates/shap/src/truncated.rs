@@ -1,0 +1,241 @@
+//! Budget-truncated Monte-Carlo Shapley estimation with per-feature
+//! confidence half-widths.
+//!
+//! [`truncated_permutation_shapley`] runs the same Castro-style permutation
+//! estimator as [`crate::permutation_shapley`] — same RNG stream, same
+//! evaluation order, same accumulation — but it (a) stops at whole-permutation
+//! boundaries once an evaluation budget would be exceeded, and (b) tracks the
+//! per-permutation marginal contributions so every attribution comes with a
+//! 95% confidence half-width. With an unbounded budget the returned values are
+//! **bitwise identical** to `permutation_shapley` (differential-tested below):
+//! the truncation and variance bookkeeping never touch the estimate itself.
+
+use crate::{MaskedModel, ShapValues};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The z-score of a two-sided 95% normal confidence interval.
+const Z_95: f64 = 1.96;
+
+/// A sampled Shapley estimate with uncertainty and budget accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledShap {
+    /// The attribution estimate (identical to [`crate::permutation_shapley`]
+    /// over the completed permutations).
+    pub values: ShapValues,
+    /// Per-feature 95% confidence half-widths (`z · s/√n` over the completed
+    /// permutations' marginal contributions). `0.0` when fewer than two
+    /// permutations completed — no variance estimate exists, not certainty.
+    pub half_widths: Vec<f64>,
+    /// How many whole permutations were completed.
+    pub permutations_completed: usize,
+    /// Model evaluations actually spent (never exceeds the budget).
+    pub evaluations: usize,
+    /// True when the evaluation budget cut sampling short of the requested
+    /// permutation count.
+    pub truncated: bool,
+}
+
+/// Permutation-sampling Shapley estimation under an evaluation budget.
+///
+/// Runs up to `permutations` random-order passes, charging `M` evaluations
+/// per pass plus two upfront (`base_value` + `full_value`), and stops —
+/// *between* permutations, never inside one, so the efficiency axiom holds
+/// for the completed sample — as soon as the next pass would exceed
+/// `max_evaluations`. `None` means unbounded, which reproduces
+/// [`crate::permutation_shapley`] exactly.
+///
+/// A budget too small for even the two anchor evaluations yields the honest
+/// degenerate: all-zero attributions, zero evaluations, `truncated: true`.
+pub fn truncated_permutation_shapley<M: MaskedModel>(
+    model: &M,
+    permutations: usize,
+    seed: u64,
+    max_evaluations: Option<usize>,
+) -> SampledShap {
+    let m = model.num_features();
+    let mut evaluations = 0usize;
+    let fits = |used: usize, next: usize| max_evaluations.is_none_or(|max| used + next <= max);
+    if m == 0 {
+        if !fits(evaluations, 1) {
+            return SampledShap {
+                values: ShapValues::new(Vec::new(), 0.0, 0.0),
+                half_widths: Vec::new(),
+                permutations_completed: 0,
+                evaluations: 0,
+                truncated: true,
+            };
+        }
+        let v = model.evaluate(&[]);
+        return SampledShap {
+            values: ShapValues::new(Vec::new(), v, v),
+            half_widths: Vec::new(),
+            permutations_completed: 0,
+            evaluations: 1,
+            truncated: false,
+        };
+    }
+    let permutations = permutations.max(1);
+    if !fits(evaluations, 2) {
+        return SampledShap {
+            values: ShapValues::new(vec![0.0; m], 0.0, 0.0),
+            half_widths: vec![0.0; m],
+            permutations_completed: 0,
+            evaluations: 0,
+            truncated: true,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base_value = model.base_value();
+    let full_value = model.full_value();
+    evaluations += 2;
+
+    let mut sums = vec![0.0; m];
+    let mut sum_squares = vec![0.0; m];
+    let mut order: Vec<usize> = (0..m).collect();
+    let mut mask = vec![false; m];
+    let mut completed = 0usize;
+    for _ in 0..permutations {
+        if !fits(evaluations, m) {
+            break;
+        }
+        order.shuffle(&mut rng);
+        for slot in mask.iter_mut() {
+            *slot = false;
+        }
+        let mut previous = base_value;
+        for &feature in &order {
+            mask[feature] = true;
+            let current = model.evaluate(&mask);
+            sums[feature] += current - previous;
+            sum_squares[feature] += (current - previous) * (current - previous);
+            previous = current;
+        }
+        evaluations += m;
+        completed += 1;
+    }
+
+    let values: Vec<f64> = if completed == 0 {
+        vec![0.0; m]
+    } else {
+        sums.iter().map(|s| s / completed as f64).collect()
+    };
+    let half_widths: Vec<f64> = if completed < 2 {
+        vec![0.0; m]
+    } else {
+        let n = completed as f64;
+        sums.iter()
+            .zip(&sum_squares)
+            .map(|(&sum, &sq)| {
+                let variance = ((sq - sum * sum / n) / (n - 1.0)).max(0.0);
+                Z_95 * (variance / n).sqrt()
+            })
+            .collect()
+    };
+    SampledShap {
+        values: ShapValues::new(values, base_value, full_value),
+        half_widths,
+        permutations_completed: completed,
+        evaluations,
+        truncated: completed < permutations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{permutation_shapley, CachingModel, FnModel};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn interacting_model() -> FnModel<impl Fn(&[bool]) -> f64> {
+        FnModel::new(5, |mask: &[bool]| {
+            let x: Vec<f64> = mask.iter().map(|&b| f64::from(b)).collect();
+            3.0 * x[0] + x[1] * x[2] * 2.0 - x[3] + 0.5 * x[4] * x[0]
+        })
+    }
+
+    #[test]
+    fn unbounded_budget_is_bitwise_identical_to_permutation_shapley() {
+        let model = interacting_model();
+        for (perms, seed) in [(1, 3), (7, 11), (64, 0x5A4B)] {
+            let reference = permutation_shapley(&model, perms, seed);
+            let sampled = truncated_permutation_shapley(&model, perms, seed, None);
+            assert_eq!(sampled.values, reference, "perms={perms} seed={seed}");
+            assert!(!sampled.truncated);
+            assert_eq!(sampled.permutations_completed, perms.max(1));
+        }
+    }
+
+    #[test]
+    fn budget_truncates_at_whole_permutation_boundaries() {
+        let model = interacting_model();
+        // 2 anchors + 3 full permutations of 5 evals fit in 17; a 4th doesn't.
+        let sampled = truncated_permutation_shapley(&model, 10, 9, Some(19));
+        assert!(sampled.truncated);
+        assert_eq!(sampled.permutations_completed, 3);
+        assert_eq!(sampled.evaluations, 17);
+        // The estimate over the completed prefix matches an unbounded run
+        // that asked for exactly that many permutations (same RNG prefix).
+        let reference = permutation_shapley(&model, 3, 9);
+        assert_eq!(sampled.values, reference);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let counter = AtomicUsize::new(0);
+        let model = FnModel::new(4, |mask: &[bool]| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            mask.iter().filter(|&&b| b).count() as f64
+        });
+        for budget in 0..30 {
+            counter.store(0, Ordering::Relaxed);
+            let sampled = truncated_permutation_shapley(&model, 5, 1, Some(budget));
+            let spent = counter.load(Ordering::Relaxed);
+            assert!(spent <= budget, "budget {budget}: spent {spent}");
+            assert_eq!(sampled.evaluations, spent);
+        }
+    }
+
+    #[test]
+    fn zero_budget_returns_the_honest_degenerate() {
+        let model = interacting_model();
+        let sampled = truncated_permutation_shapley(&model, 8, 2, Some(0));
+        assert!(sampled.truncated);
+        assert_eq!(sampled.permutations_completed, 0);
+        assert_eq!(sampled.evaluations, 0);
+        assert!(sampled.values.values().iter().all(|&v| v == 0.0));
+        assert!(sampled.half_widths.iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn half_widths_shrink_with_more_permutations() {
+        let model = CachingModel::new(interacting_model());
+        let small = truncated_permutation_shapley(&model, 20, 5, None);
+        let large = truncated_permutation_shapley(&model, 500, 5, None);
+        // Feature 0 interacts with feature 4, so its contribution varies
+        // across orderings; more samples must tighten the interval.
+        assert!(small.half_widths[0] > 0.0);
+        assert!(large.half_widths[0] < small.half_widths[0]);
+    }
+
+    #[test]
+    fn additive_model_has_zero_width_intervals() {
+        let model = FnModel::new(3, |mask: &[bool]| {
+            4.0 * f64::from(mask[0]) - 2.0 * f64::from(mask[1]) + f64::from(mask[2])
+        });
+        let sampled = truncated_permutation_shapley(&model, 16, 7, None);
+        // Marginal contributions are order-independent: no sampling variance.
+        assert!(sampled.half_widths.iter().all(|&w| w < 1e-9));
+    }
+
+    #[test]
+    fn zero_features_are_handled() {
+        let model = FnModel::new(0, |_: &[bool]| 3.0);
+        let sampled = truncated_permutation_shapley(&model, 10, 1, Some(5));
+        assert!(sampled.values.is_empty());
+        assert_eq!(sampled.values.base_value(), 3.0);
+        assert_eq!(sampled.evaluations, 1);
+        assert!(!sampled.truncated);
+    }
+}
