@@ -16,11 +16,31 @@
 //!
 //! Person display names may contain spaces; tabs and line breaks are encoded
 //! as spaces (display names are not identifiers, so the lossiness is benign).
+//!
+//! [`UpdateBatch`]es have their own format, `exes-batch v1`, used by the
+//! durability layer's write-ahead log:
+//!
+//! ```text
+//! exes-batch v1
+//! ops <num_ops>
+//! person\t<name>[\t<skill>...]
+//! skill+\t<person id>\t<skill>
+//! skill-\t<person id>\t<skill>
+//! edge+\t<a>\t<b>
+//! edge-\t<a>\t<b>
+//! ```
+//!
+//! Unlike the graph format, the batch codec is **lossless**: epoch
+//! fingerprints are chained by hashing the raw ops, so a replayed batch must
+//! reproduce every byte of every name. Backslashes, tabs and line breaks
+//! inside names are escaped (`\\`, `\t`, `\n`, `\r`).
 
+use crate::store::{UpdateBatch, UpdateOp};
 use crate::{CollabGraph, GraphError, PersonId, Result, SkillId, SkillVocab};
 use rustc_hash::FxHashSet;
 
 const MAGIC: &str = "exes-graph v1";
+const BATCH_MAGIC: &str = "exes-batch v1";
 
 fn codec_err(msg: impl Into<String>) -> GraphError {
     GraphError::Codec(msg.into())
@@ -164,6 +184,158 @@ impl CollabGraph {
     }
 }
 
+/// Escapes a name for one tab-separated field: `\` `\t` `\n` `\r` become
+/// two-character escape sequences, everything else passes through.
+fn escape_field(raw: &str, out: &mut String) {
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Reverses [`escape_field`]. Rejects dangling or unknown escapes — a batch
+/// that does not decode to the exact bytes that were encoded must fail loudly,
+/// because the chained epoch fingerprint hashes those bytes.
+fn unescape_field(field: &str) -> Result<String> {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(codec_err(format!(
+                    "bad escape sequence {:?} in batch field",
+                    other.map_or_else(|| "\\<eol>".to_string(), |c| format!("\\{c}"))
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_person_id(tok: &str) -> Result<PersonId> {
+    tok.parse::<u32>()
+        .map(PersonId)
+        .map_err(|_| codec_err(format!("bad person id {tok:?} in batch op")))
+}
+
+impl UpdateBatch {
+    /// Encodes the batch in the `exes-batch v1` text format.
+    ///
+    /// The encoding is lossless: [`UpdateBatch::from_text`] reconstructs the
+    /// exact ops, byte for byte, so a replayed batch chains to the same epoch
+    /// fingerprint as the original commit.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(BATCH_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("ops {}\n", self.ops().len()));
+        for op in self.ops() {
+            match op {
+                UpdateOp::AddPerson { name, skills } => {
+                    out.push_str("person\t");
+                    escape_field(name, &mut out);
+                    for skill in skills {
+                        out.push('\t');
+                        escape_field(skill, &mut out);
+                    }
+                }
+                UpdateOp::AddSkill { person, skill } => {
+                    out.push_str(&format!("skill+\t{}\t", person.0));
+                    escape_field(skill, &mut out);
+                }
+                UpdateOp::RemoveSkill { person, skill } => {
+                    out.push_str(&format!("skill-\t{}\t", person.0));
+                    escape_field(skill, &mut out);
+                }
+                UpdateOp::AddCollaboration { a, b } => {
+                    out.push_str(&format!("edge+\t{}\t{}", a.0, b.0));
+                }
+                UpdateOp::RemoveCollaboration { a, b } => {
+                    out.push_str(&format!("edge-\t{}\t{}", a.0, b.0));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decodes a batch from the `exes-batch v1` text format.
+    pub fn from_text(text: &str) -> Result<UpdateBatch> {
+        let mut lines = text.lines();
+        if lines.next() != Some(BATCH_MAGIC) {
+            return Err(codec_err("missing 'exes-batch v1' header"));
+        }
+        let count_line = lines
+            .next()
+            .ok_or_else(|| codec_err("missing 'ops' section"))?;
+        let num_ops = count_line
+            .strip_prefix("ops")
+            .and_then(|rest| rest.trim().parse::<usize>().ok())
+            .ok_or_else(|| codec_err(format!("expected 'ops <count>', got {count_line:?}")))?;
+        let mut batch = UpdateBatch::new();
+        for i in 0..num_ops {
+            let line = lines
+                .next()
+                .ok_or_else(|| codec_err(format!("batch truncated at op {i}")))?;
+            let mut fields = line.split('\t');
+            let kind = fields.next().unwrap_or_default();
+            let mut field = |what: &str| -> Result<&str> {
+                fields
+                    .next()
+                    .ok_or_else(|| codec_err(format!("op {i} ({kind}) missing {what}")))
+            };
+            let op = match kind {
+                "person" => {
+                    let name = unescape_field(field("name")?)?;
+                    let skills: Vec<String> =
+                        fields.by_ref().map(unescape_field).collect::<Result<_>>()?;
+                    UpdateOp::AddPerson { name, skills }
+                }
+                "skill+" | "skill-" => {
+                    let person = parse_person_id(field("person id")?)?;
+                    let skill = unescape_field(field("skill name")?)?;
+                    if kind == "skill+" {
+                        UpdateOp::AddSkill { person, skill }
+                    } else {
+                        UpdateOp::RemoveSkill { person, skill }
+                    }
+                }
+                "edge+" | "edge-" => {
+                    let a = parse_person_id(field("endpoint a")?)?;
+                    let b = parse_person_id(field("endpoint b")?)?;
+                    if kind == "edge+" {
+                        UpdateOp::AddCollaboration { a, b }
+                    } else {
+                        UpdateOp::RemoveCollaboration { a, b }
+                    }
+                }
+                other => return Err(codec_err(format!("unknown batch op kind {other:?}"))),
+            };
+            if !matches!(op, UpdateOp::AddPerson { .. }) && fields.next().is_some() {
+                return Err(codec_err(format!("op {i} ({kind}) has trailing fields")));
+            }
+            batch.push(op);
+        }
+        if lines.next().is_some() {
+            return Err(codec_err("trailing data after last batch op"));
+        }
+        Ok(batch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +416,59 @@ mod tests {
         let back = CollabGraph::from_text(&g.to_text()).unwrap();
         assert_eq!(back.num_people(), 0);
         assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn batch_roundtrips_every_op_kind() {
+        let mut batch = UpdateBatch::new();
+        batch.add_person("Ada", ["db", "ml"]);
+        batch.add_person("Plain", Vec::<String>::new());
+        batch.add_skill(PersonId(0), "xai");
+        batch.remove_skill(PersonId(1), "db");
+        batch.add_collaboration(PersonId(0), PersonId(2));
+        batch.remove_collaboration(PersonId(2), PersonId(0));
+        let back = UpdateBatch::from_text(&batch.to_text()).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn batch_roundtrip_is_lossless_for_hostile_names() {
+        // The epoch fingerprint hashes raw op bytes, so unlike graph person
+        // names these must survive tabs/newlines/backslashes exactly.
+        let mut batch = UpdateBatch::new();
+        batch.add_person("Ada\tTab\\Back", ["db"]);
+        batch.add_person("New\nLine\rCr", Vec::<String>::new());
+        batch.add_person("", ["trailing\\"]);
+        batch.add_skill(PersonId(0), "weird\tskill");
+        let back = UpdateBatch::from_text(&batch.to_text()).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let batch = UpdateBatch::new();
+        let back = UpdateBatch::from_text(&batch.to_text()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected() {
+        for text in [
+            "nope",
+            "exes-batch v1\nops x\n",
+            "exes-batch v1\nops 1\n",
+            "exes-batch v1\nops 1\nwhat\ta\n",
+            "exes-batch v1\nops 1\nskill+\t0\n",
+            "exes-batch v1\nops 1\nskill+\tzero\tdb\n",
+            "exes-batch v1\nops 1\nedge+\t0\t1\textra\n",
+            "exes-batch v1\nops 1\nperson\tbad\\escape\n",
+            "exes-batch v1\nops 1\nperson\tdangling\\\n",
+            "exes-batch v1\nops 0\ntrailing\n",
+        ] {
+            assert!(
+                matches!(UpdateBatch::from_text(text), Err(GraphError::Codec(_))),
+                "accepted malformed batch: {text:?}"
+            );
+        }
     }
 }

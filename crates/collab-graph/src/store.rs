@@ -297,9 +297,48 @@ impl GraphStore {
         }
     }
 
+    /// Re-creates a store from persisted state: a decoded graph, the epoch it
+    /// was published at, the *chained* fingerprint it carried, and the commit
+    /// counter since the last full rebuild.
+    ///
+    /// [`CollabGraph::from_text`] grounds the fingerprint in content, but a
+    /// live store chains fingerprints commit-by-commit — so a recovered store
+    /// must override the decoded fingerprint with the persisted one, or warm
+    /// probe-cache entries keyed on it would never hit again. Seeding
+    /// `since_rebuild` keeps the rebuild schedule (and thus every future
+    /// fingerprint re-grounding point) identical to the never-restarted store.
+    pub fn resume(
+        mut graph: CollabGraph,
+        epoch: u64,
+        fingerprint: u64,
+        since_rebuild: u64,
+        config: StoreConfig,
+    ) -> Self {
+        graph.fingerprint = fingerprint;
+        GraphStore {
+            config,
+            commit: Mutex::new(CommitState {
+                since_rebuild,
+                stats: StoreStats::default(),
+            }),
+            current: Mutex::new(Arc::new(GraphSnapshot { epoch, graph })),
+        }
+    }
+
     /// The store's tunables.
     pub fn config(&self) -> StoreConfig {
         self.config
+    }
+
+    /// Delta commits since the last full rebuild (what
+    /// [`StoreConfig::rebuild_interval`] counts against). Persisted by the
+    /// durability layer so [`GraphStore::resume`] can keep the rebuild
+    /// schedule aligned across restarts.
+    pub fn since_rebuild(&self) -> u64 {
+        self.commit
+            .lock()
+            .expect("store lock poisoned")
+            .since_rebuild
     }
 
     /// The current epoch's snapshot. O(1): clones an `Arc`.
@@ -1055,5 +1094,45 @@ mod tests {
         let fp2 = store.commit(&undo).unwrap().fingerprint();
         assert_eq!(store.stats().rebuilds, 1);
         assert_eq!(fp0, fp2);
+    }
+
+    #[test]
+    fn resume_restores_epoch_fingerprint_and_rebuild_schedule() {
+        let config = StoreConfig {
+            rebuild_interval: 3,
+        };
+        let live = GraphStore::with_config(seed(), config);
+        let mut batch = UpdateBatch::new();
+        batch.add_skill(PersonId(0), "xai");
+        live.commit(&batch).unwrap();
+        let snap = live.snapshot();
+
+        // A from_text decode grounds the fingerprint in content — resume must
+        // override it with the persisted chained value.
+        let decoded = CollabGraph::from_text(&snap.to_text()).unwrap();
+        assert_ne!(decoded.fingerprint(), snap.fingerprint());
+        let resumed = GraphStore::resume(
+            decoded,
+            snap.epoch(),
+            snap.fingerprint(),
+            live.since_rebuild(),
+            config,
+        );
+        assert_eq!(resumed.epoch(), snap.epoch());
+        assert_eq!(resumed.snapshot().fingerprint(), snap.fingerprint());
+        assert_eq!(resumed.since_rebuild(), 1);
+
+        // Subsequent commits chain identically on both stores, through the
+        // rebuild re-grounding point and beyond.
+        for round in 0..4u32 {
+            let mut next = UpdateBatch::new();
+            next.add_person(&format!("extra-{round}"), ["graphs"]);
+            let a = live.commit(&next).unwrap();
+            let b = resumed.commit(&next).unwrap();
+            assert_eq!(a.epoch(), b.epoch());
+            assert_eq!(a.fingerprint(), b.fingerprint());
+            assert_eq!(a.to_text(), b.to_text());
+        }
+        assert_eq!(live.stats().rebuilds, resumed.stats().rebuilds);
     }
 }

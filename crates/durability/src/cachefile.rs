@@ -1,0 +1,324 @@
+//! Probe-cache persistence: warm entries serialized across restarts.
+//!
+//! ```text
+//! exes-cache v1
+//! graph <fingerprint>
+//! entries <n>
+//! <ctx>\t<subject>\t<delta>\t<positive 0|1>\t<signal f64 bits>
+//! ```
+//!
+//! Each line is one memoised probe under its full cache key: the context
+//! fingerprint (folding query skills, graph fingerprint and model
+//! fingerprint), the subject, and the canonical perturbation set encoded as
+//! comma-joined tokens (`AS:p:s` add-skill, `RS:p:s` remove-skill, `AE:a:b`
+//! add-edge, `RE:a:b` remove-edge, `AQ:s` add-query-term, `RQ:s`
+//! remove-query-term; `-` for the identity probe). Signals round-trip exactly
+//! via their IEEE-754 bit patterns.
+//!
+//! The `graph` header pins the chained fingerprint the entries were exported
+//! under: a loader whose recovered store carries a different fingerprint must
+//! reject the whole file as stale (its contexts could never hit anyway, and a
+//! file from a diverged history must not be trusted).
+
+use crate::{DurabilityError, Result};
+use exes_core::{Probe, ProbeCache};
+use exes_graph::{PersonId, Perturbation, SkillId};
+use std::fmt::Write as _;
+
+/// The header line opening every cache file.
+pub const CACHE_MAGIC: &str = "exes-cache v1";
+
+/// One exported cache entry: `(context, subject, canonical delta, probe)`.
+pub type CacheEntry = (u64, PersonId, Vec<Perturbation>, Probe);
+
+fn push_delta(delta: &[Perturbation], out: &mut String) {
+    if delta.is_empty() {
+        out.push('-');
+        return;
+    }
+    for (i, p) in delta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match p {
+            Perturbation::AddSkill { person, skill } => {
+                let _ = write!(out, "AS:{}:{}", person.0, skill.0);
+            }
+            Perturbation::RemoveSkill { person, skill } => {
+                let _ = write!(out, "RS:{}:{}", person.0, skill.0);
+            }
+            Perturbation::AddEdge { a, b } => {
+                let _ = write!(out, "AE:{}:{}", a.0, b.0);
+            }
+            Perturbation::RemoveEdge { a, b } => {
+                let _ = write!(out, "RE:{}:{}", a.0, b.0);
+            }
+            Perturbation::AddQueryTerm { skill } => {
+                let _ = write!(out, "AQ:{}", skill.0);
+            }
+            Perturbation::RemoveQueryTerm { skill } => {
+                let _ = write!(out, "RQ:{}", skill.0);
+            }
+        }
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> DurabilityError {
+    DurabilityError::Corrupt(msg.into())
+}
+
+fn parse_u32(tok: Option<&str>, what: &str) -> Result<u32> {
+    tok.and_then(|t| t.parse::<u32>().ok())
+        .ok_or_else(|| corrupt(format!("cache entry has a bad {what}")))
+}
+
+fn parse_delta(field: &str) -> Result<Vec<Perturbation>> {
+    if field == "-" {
+        return Ok(Vec::new());
+    }
+    let mut delta = Vec::new();
+    for tok in field.split(',') {
+        let mut parts = tok.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let p = match kind {
+            "AS" | "RS" => {
+                let person = PersonId(parse_u32(parts.next(), "person id")?);
+                let skill = SkillId(parse_u32(parts.next(), "skill id")?);
+                if kind == "AS" {
+                    Perturbation::AddSkill { person, skill }
+                } else {
+                    Perturbation::RemoveSkill { person, skill }
+                }
+            }
+            "AE" | "RE" => {
+                let a = PersonId(parse_u32(parts.next(), "endpoint")?);
+                let b = PersonId(parse_u32(parts.next(), "endpoint")?);
+                if kind == "AE" {
+                    Perturbation::AddEdge { a, b }
+                } else {
+                    Perturbation::RemoveEdge { a, b }
+                }
+            }
+            "AQ" | "RQ" => {
+                let skill = SkillId(parse_u32(parts.next(), "skill id")?);
+                if kind == "AQ" {
+                    Perturbation::AddQueryTerm { skill }
+                } else {
+                    Perturbation::RemoveQueryTerm { skill }
+                }
+            }
+            other => return Err(corrupt(format!("unknown perturbation token {other:?}"))),
+        };
+        if parts.next().is_some() {
+            return Err(corrupt(format!("trailing fields in perturbation {tok:?}")));
+        }
+        delta.push(p);
+    }
+    Ok(delta)
+}
+
+/// Encodes a cache file from exported entries, pinned to the graph
+/// fingerprint they were exported under.
+pub fn encode(graph_fingerprint: u64, entries: &[CacheEntry]) -> String {
+    let mut out = String::new();
+    out.push_str(CACHE_MAGIC);
+    out.push('\n');
+    let _ = writeln!(out, "graph {graph_fingerprint}");
+    let _ = writeln!(out, "entries {}", entries.len());
+    for (ctx, subject, delta, probe) in entries {
+        let _ = write!(out, "{ctx}\t{}\t", subject.0);
+        push_delta(delta, &mut out);
+        let _ = writeln!(
+            out,
+            "\t{}\t{}",
+            u8::from(probe.positive),
+            probe.signal.to_bits()
+        );
+    }
+    out
+}
+
+/// Decodes a cache file into `(graph fingerprint, entries)`. The caller is
+/// responsible for the staleness check against its recovered store.
+pub fn decode(text: &str) -> Result<(u64, Vec<CacheEntry>)> {
+    let mut lines = text.lines();
+    if lines.next() != Some(CACHE_MAGIC) {
+        return Err(corrupt("missing 'exes-cache v1' header"));
+    }
+    let header_u64 = |line: Option<&str>, keyword: &str| -> Result<u64> {
+        line.and_then(|l| l.strip_prefix(keyword))
+            .and_then(|rest| rest.trim().parse::<u64>().ok())
+            .ok_or_else(|| corrupt(format!("cache file missing '{keyword} <n>' header line")))
+    };
+    let graph_fingerprint = header_u64(lines.next(), "graph")?;
+    let num_entries = header_u64(lines.next(), "entries")? as usize;
+    let mut entries = Vec::with_capacity(num_entries);
+    for i in 0..num_entries {
+        let line = lines
+            .next()
+            .ok_or_else(|| corrupt(format!("cache file truncated at entry {i}")))?;
+        let mut fields = line.split('\t');
+        let ctx = fields
+            .next()
+            .and_then(|t| t.parse::<u64>().ok())
+            .ok_or_else(|| corrupt(format!("cache entry {i} has a bad context")))?;
+        let subject = PersonId(parse_u32(fields.next(), "subject")?);
+        let delta = parse_delta(
+            fields
+                .next()
+                .ok_or_else(|| corrupt(format!("cache entry {i} missing delta field")))?,
+        )?;
+        let positive = match fields.next() {
+            Some("0") => false,
+            Some("1") => true,
+            _ => return Err(corrupt(format!("cache entry {i} has a bad positive flag"))),
+        };
+        let signal = fields
+            .next()
+            .and_then(|t| t.parse::<u64>().ok())
+            .map(f64::from_bits)
+            .ok_or_else(|| corrupt(format!("cache entry {i} has a bad signal")))?;
+        if fields.next().is_some() {
+            return Err(corrupt(format!("cache entry {i} has trailing fields")));
+        }
+        entries.push((ctx, subject, delta, Probe { positive, signal }));
+    }
+    if lines.next().is_some() {
+        return Err(corrupt("trailing data after last cache entry"));
+    }
+    Ok((graph_fingerprint, entries))
+}
+
+/// Outcome of loading a persisted cache file into a live [`ProbeCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLoadOutcome {
+    /// No cache file existed.
+    Missing,
+    /// The file's pinned graph fingerprint does not match the live store's —
+    /// the entries belong to a diverged history and were rejected wholesale.
+    Stale {
+        /// The live store's fingerprint.
+        expected: u64,
+        /// The fingerprint the file was exported under.
+        found: u64,
+    },
+    /// The entries were imported; carries how many.
+    Loaded(usize),
+}
+
+/// Imports `entries` into `cache` if `found` matches `expected`, reporting
+/// the staleness decision.
+pub fn import_checked(
+    cache: &ProbeCache,
+    expected: u64,
+    found: u64,
+    entries: Vec<CacheEntry>,
+) -> CacheLoadOutcome {
+    if expected != found {
+        return CacheLoadOutcome::Stale { expected, found };
+    }
+    CacheLoadOutcome::Loaded(cache.import_entries(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<CacheEntry> {
+        vec![
+            (
+                42,
+                PersonId(0),
+                Vec::new(),
+                Probe {
+                    positive: true,
+                    signal: 0.25,
+                },
+            ),
+            (
+                42,
+                PersonId(3),
+                vec![
+                    Perturbation::AddSkill {
+                        person: PersonId(3),
+                        skill: SkillId(1),
+                    },
+                    Perturbation::RemoveSkill {
+                        person: PersonId(3),
+                        skill: SkillId(0),
+                    },
+                    Perturbation::AddEdge {
+                        a: PersonId(1),
+                        b: PersonId(2),
+                    },
+                    Perturbation::RemoveEdge {
+                        a: PersonId(0),
+                        b: PersonId(3),
+                    },
+                    Perturbation::AddQueryTerm { skill: SkillId(2) },
+                    Perturbation::RemoveQueryTerm { skill: SkillId(1) },
+                ],
+                Probe {
+                    positive: false,
+                    // A signal that does not roundtrip through decimal text,
+                    // proving the bit-pattern encoding is exact.
+                    signal: 0.1 + 0.2,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn roundtrips_every_token_kind_bit_exactly() {
+        let original = entries();
+        let (fp, back) = decode(&encode(99, &original)).unwrap();
+        assert_eq!(fp, 99);
+        assert_eq!(back.len(), original.len());
+        for ((c0, s0, d0, p0), (c1, s1, d1, p1)) in original.iter().zip(&back) {
+            assert_eq!(c0, c1);
+            assert_eq!(s0, s1);
+            assert_eq!(d0, d1);
+            assert_eq!(p0.positive, p1.positive);
+            assert_eq!(p0.signal.to_bits(), p1.signal.to_bits());
+        }
+    }
+
+    #[test]
+    fn import_checked_rejects_mismatched_fingerprints() {
+        let cache = ProbeCache::new(64);
+        let outcome = import_checked(&cache, 1, 2, entries());
+        assert_eq!(
+            outcome,
+            CacheLoadOutcome::Stale {
+                expected: 1,
+                found: 2
+            }
+        );
+        assert!(cache.is_empty());
+        assert_eq!(
+            import_checked(&cache, 2, 2, entries()),
+            CacheLoadOutcome::Loaded(2)
+        );
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn malformed_files_are_rejected() {
+        for text in [
+            "nope",
+            "exes-cache v1\ngraph x\nentries 0\n",
+            "exes-cache v1\ngraph 1\nentries 1\n",
+            "exes-cache v1\ngraph 1\nentries 1\n1\t2\tZZ:0\t1\t0\n",
+            "exes-cache v1\ngraph 1\nentries 1\n1\t2\t-\t5\t0\n",
+            "exes-cache v1\ngraph 1\nentries 1\n1\t2\t-\t1\tbits\n",
+            "exes-cache v1\ngraph 1\nentries 1\n1\t2\t-\t1\t0\textra\n",
+            "exes-cache v1\ngraph 1\nentries 0\ntrailing\n",
+            "exes-cache v1\ngraph 1\nentries 1\n1\t2\tAS:0:1:9\t1\t0\n",
+        ] {
+            assert!(
+                matches!(decode(text), Err(DurabilityError::Corrupt(_))),
+                "accepted malformed cache file: {text:?}"
+            );
+        }
+    }
+}

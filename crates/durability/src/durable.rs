@@ -1,0 +1,495 @@
+//! [`DurableStore`]: a [`GraphStore`] wrapped with a data directory — WAL on
+//! every commit, periodic snapshots, recovery on open, cache persistence.
+
+use crate::cachefile;
+use crate::snapshot::{self, write_atomic};
+use crate::wal::Wal;
+use crate::Result;
+use exes_core::ProbeCache;
+use exes_graph::store::{GraphSnapshot, GraphStore, StoreConfig, UpdateBatch};
+use exes_graph::CollabGraph;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub use crate::cachefile::CacheLoadOutcome as CacheLoad;
+
+/// File name of the write-ahead log inside the data directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the current snapshot inside the data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.txt";
+/// File name of the persisted probe cache inside the data directory.
+pub const CACHE_FILE: &str = "cache.txt";
+
+/// Tunables of a [`DurableStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Write a snapshot (and truncate the WAL) after this many durable
+    /// commits. `0` disables automatic snapshots — only
+    /// [`DurableStore::snapshot_now`] compacts the log.
+    pub snapshot_interval: u64,
+    /// Tunables of the wrapped [`GraphStore`]. Persisted rebuild counters
+    /// assume the same `rebuild_interval` across restarts.
+    pub store: StoreConfig,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            snapshot_interval: 256,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// What [`DurableStore::open`] found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// True when a snapshot file was loaded (false: seeded fresh).
+    pub had_snapshot: bool,
+    /// The epoch the loaded snapshot was taken at (0 when seeded fresh).
+    pub snapshot_epoch: u64,
+    /// The epoch the store stands at after WAL replay.
+    pub recovered_epoch: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Bytes dropped from the WAL's torn/corrupt tail (0 on a clean start).
+    pub truncated_bytes: u64,
+    /// Wall-clock milliseconds the whole recovery took.
+    pub recovery_ms: u64,
+}
+
+/// Point-in-time durability counters, surfaced by the server's `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Records appended (and fsynced) to the WAL since open.
+    pub wal_appends: u64,
+    /// Bytes appended to the WAL since open.
+    pub wal_bytes: u64,
+    /// Snapshots written since open (automatic and explicit).
+    pub snapshots_written: u64,
+    /// Wall-clock milliseconds the boot-time recovery took.
+    pub last_recovery_ms: u64,
+    /// The epoch recovery landed on.
+    pub recovered_epoch: u64,
+}
+
+/// The WAL plus the bookkeeping that must change atomically with it. Held
+/// across append + store-commit so WAL order always equals epoch order.
+struct WalState {
+    wal: Wal,
+    commits_since_snapshot: u64,
+}
+
+/// A [`GraphStore`] whose epochs survive crashes and restarts.
+///
+/// All mutation must flow through [`DurableStore::commit`] — committing
+/// directly on the wrapped store would publish an epoch the WAL has never
+/// heard of, and recovery could not reproduce it.
+pub struct DurableStore {
+    dir: PathBuf,
+    config: DurabilityConfig,
+    store: Arc<GraphStore>,
+    wal: Mutex<WalState>,
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    snapshots_written: AtomicU64,
+    recovery: RecoveryReport,
+}
+
+impl DurableStore {
+    /// Opens the data directory, recovering whatever it holds: the latest
+    /// snapshot (if any) is loaded via [`GraphStore::resume`], the WAL tail
+    /// is replayed on top — records already covered by the snapshot are
+    /// skipped by epoch, and a torn or corrupt tail is truncated to the last
+    /// whole record. When neither file exists, `seed` provides the epoch-0
+    /// graph. The recovered store is byte-identical (`to_text` and chained
+    /// fingerprint) to one that never crashed.
+    pub fn open<P, F>(dir: P, config: DurabilityConfig, seed: F) -> Result<DurableStore>
+    where
+        P: AsRef<Path>,
+        F: FnOnce() -> CollabGraph,
+    {
+        let started = Instant::now();
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let (store, had_snapshot, snapshot_epoch) = if snapshot_path.exists() {
+            let decoded = snapshot::decode(&std::fs::read_to_string(&snapshot_path)?)?;
+            let store = GraphStore::resume(
+                decoded.graph,
+                decoded.epoch,
+                decoded.fingerprint,
+                decoded.since_rebuild,
+                config.store,
+            );
+            (store, true, decoded.epoch)
+        } else {
+            (GraphStore::with_config(seed(), config.store), false, 0)
+        };
+
+        let mut wal = Wal::open(&dir.join(WAL_FILE))?;
+        let scan = wal.scan()?;
+        let mut valid_len = scan.valid_len;
+        let mut replayed = 0u64;
+        for record in scan.records {
+            if record.epoch <= snapshot_epoch {
+                // Already folded into the snapshot: a crash between snapshot
+                // rename and WAL truncation leaves these behind.
+                continue;
+            }
+            if record.epoch != store.epoch() + 1 || store.commit(&record.batch).is_err() {
+                // An epoch gap or a batch the store rejects cannot come from
+                // a clean append sequence; treat everything from here on as
+                // the corrupt tail.
+                valid_len = record.start;
+                break;
+            }
+            replayed += 1;
+        }
+        let truncated_bytes = wal.len() - valid_len;
+        if truncated_bytes > 0 {
+            wal.truncate_to(valid_len)?;
+        }
+
+        let recovery = RecoveryReport {
+            had_snapshot,
+            snapshot_epoch,
+            recovered_epoch: store.epoch(),
+            replayed_records: replayed,
+            truncated_bytes,
+            recovery_ms: started.elapsed().as_millis() as u64,
+        };
+        Ok(DurableStore {
+            dir,
+            config,
+            store: Arc::new(store),
+            wal: Mutex::new(WalState {
+                wal,
+                commits_since_snapshot: 0,
+            }),
+            wal_appends: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            recovery,
+        })
+    }
+
+    /// The wrapped store, for snapshots and read paths. Mutations must go
+    /// through [`DurableStore::commit`].
+    pub fn store(&self) -> &Arc<GraphStore> {
+        &self.store
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration this store was opened with.
+    pub fn config(&self) -> DurabilityConfig {
+        self.config
+    }
+
+    /// What [`DurableStore::open`] found and did.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Durability counters for metrics surfaces.
+    pub fn stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            last_recovery_ms: self.recovery.recovery_ms,
+            recovered_epoch: self.recovery.recovered_epoch,
+        }
+    }
+
+    /// Durably commits a batch: appended and fsynced to the WAL *before* the
+    /// epoch publishes, so a crash straight after the store's answer can
+    /// always replay it. A batch the store rejects is rolled back off the
+    /// WAL — rejected batches are never persisted. Every
+    /// [`DurabilityConfig::snapshot_interval`]-th durable commit also writes
+    /// a snapshot and truncates the WAL.
+    pub fn commit(&self, batch: &UpdateBatch) -> Result<Arc<GraphSnapshot>> {
+        if batch.is_empty() {
+            return Ok(self.store.snapshot());
+        }
+        let mut state = self.wal.lock().expect("durable store lock poisoned");
+        // All commits flow through this lock, so the next epoch is stable.
+        let epoch = self.store.epoch() + 1;
+        let rollback_to = state.wal.len();
+        let appended = state.wal.append(epoch, batch)?;
+        match self.store.commit(batch) {
+            Ok(snapshot) => {
+                self.wal_appends.fetch_add(1, Ordering::Relaxed);
+                self.wal_bytes.fetch_add(appended, Ordering::Relaxed);
+                state.commits_since_snapshot += 1;
+                if self.config.snapshot_interval > 0
+                    && state.commits_since_snapshot >= self.config.snapshot_interval
+                {
+                    self.write_snapshot_locked(&mut state)?;
+                }
+                Ok(snapshot)
+            }
+            Err(e) => {
+                state.wal.truncate_to(rollback_to)?;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Writes a snapshot of the current epoch and truncates the WAL. Called
+    /// automatically every [`DurabilityConfig::snapshot_interval`] commits;
+    /// servers also call it on graceful drain.
+    pub fn snapshot_now(&self) -> Result<()> {
+        let mut state = self.wal.lock().expect("durable store lock poisoned");
+        self.write_snapshot_locked(&mut state)
+    }
+
+    /// Snapshot + WAL truncation under the commit lock, so the graph text,
+    /// epoch, fingerprint and rebuild counter are mutually consistent. The
+    /// snapshot renames into place *before* the WAL truncates: a crash in
+    /// between only leaves already-covered records behind, which recovery
+    /// skips by epoch.
+    fn write_snapshot_locked(&self, state: &mut WalState) -> Result<()> {
+        let snapshot = self.store.snapshot();
+        let text = snapshot::encode(
+            snapshot.epoch(),
+            snapshot.fingerprint(),
+            self.store.since_rebuild(),
+            &snapshot.to_text(),
+        );
+        write_atomic(&self.dir, SNAPSHOT_FILE, &text)?;
+        state.wal.reset()?;
+        state.commits_since_snapshot = 0;
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Persists the cache's warm entries, pinned to the current epoch's
+    /// fingerprint, atomically (temp file + rename). Returns how many entries
+    /// were written.
+    pub fn save_cache(&self, cache: &ProbeCache) -> Result<usize> {
+        let entries = cache.export_entries();
+        let fingerprint = self.store.snapshot().fingerprint();
+        write_atomic(
+            &self.dir,
+            CACHE_FILE,
+            &cachefile::encode(fingerprint, &entries),
+        )?;
+        Ok(entries.len())
+    }
+
+    /// Loads the persisted cache file into `cache`, rejecting it wholesale
+    /// when its pinned graph fingerprint does not match the recovered
+    /// store's current epoch.
+    pub fn load_cache_into(&self, cache: &ProbeCache) -> Result<CacheLoad> {
+        let path = self.dir.join(CACHE_FILE);
+        if !path.exists() {
+            return Ok(CacheLoad::Missing);
+        }
+        let (found, entries) = cachefile::decode(&std::fs::read_to_string(&path)?)?;
+        let expected = self.store.snapshot().fingerprint();
+        Ok(cachefile::import_checked(cache, expected, found, entries))
+    }
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("dir", &self.dir)
+            .field("epoch", &self.store.epoch())
+            .field("config", &self.config)
+            .field("recovery", &self.recovery)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_core::Probe;
+    use exes_graph::{CollabGraphBuilder, PersonId};
+    use std::fs;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("exes-durable-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seed() -> CollabGraph {
+        let mut b = CollabGraphBuilder::new();
+        let ada = b.add_person("Ada", ["db", "ml"]);
+        let bob = b.add_person("Bob", ["ml"]);
+        let cleo = b.add_person("Cleo", ["graphs"]);
+        b.add_edge(ada, bob);
+        b.add_edge(bob, cleo);
+        b.build()
+    }
+
+    fn no_snapshots() -> DurabilityConfig {
+        DurabilityConfig {
+            snapshot_interval: 0,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    fn batch(i: u32) -> UpdateBatch {
+        let mut b = UpdateBatch::new();
+        b.add_person(&format!("hire-{i}"), ["graphs"]);
+        b.add_collaboration(PersonId(0), PersonId(3 + i));
+        b
+    }
+
+    #[test]
+    fn fresh_open_seeds_epoch_zero() {
+        let dir = tmp_dir("fresh");
+        let durable = DurableStore::open(&dir, DurabilityConfig::default(), seed).unwrap();
+        assert_eq!(durable.store().epoch(), 0);
+        let report = durable.recovery();
+        assert!(!report.had_snapshot);
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(
+            durable.store().snapshot().fingerprint(),
+            seed().fingerprint()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_replays_wal_to_identical_state() {
+        let dir = tmp_dir("reopen");
+        let reference = GraphStore::with_config(seed(), StoreConfig::default());
+        {
+            let durable = DurableStore::open(&dir, no_snapshots(), seed).unwrap();
+            for i in 0..3 {
+                durable.commit(&batch(i)).unwrap();
+                reference.commit(&batch(i)).unwrap();
+            }
+            assert_eq!(durable.stats().wal_appends, 3);
+            // Dropped without any snapshot or shutdown: a simulated crash.
+        }
+        let durable = DurableStore::open(&dir, no_snapshots(), seed).unwrap();
+        let report = durable.recovery();
+        assert!(!report.had_snapshot);
+        assert_eq!(report.replayed_records, 3);
+        assert_eq!(report.truncated_bytes, 0);
+        let recovered = durable.store().snapshot();
+        let live = reference.snapshot();
+        assert_eq!(recovered.epoch(), live.epoch());
+        assert_eq!(recovered.fingerprint(), live.fingerprint());
+        assert_eq!(recovered.to_text(), live.to_text());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_compacts_the_wal_and_reopen_resumes() {
+        let dir = tmp_dir("compact");
+        let reference = GraphStore::with_config(seed(), StoreConfig::default());
+        {
+            let durable = DurableStore::open(
+                &dir,
+                DurabilityConfig {
+                    snapshot_interval: 2,
+                    ..DurabilityConfig::default()
+                },
+                seed,
+            )
+            .unwrap();
+            for i in 0..5 {
+                durable.commit(&batch(i)).unwrap();
+                reference.commit(&batch(i)).unwrap();
+            }
+            // 5 commits at interval 2: snapshots after #2 and #4, one record
+            // (epoch 5) left in the log.
+            assert_eq!(durable.stats().snapshots_written, 2);
+        }
+        let durable = DurableStore::open(
+            &dir,
+            DurabilityConfig {
+                snapshot_interval: 2,
+                ..DurabilityConfig::default()
+            },
+            seed,
+        )
+        .unwrap();
+        let report = durable.recovery();
+        assert!(report.had_snapshot);
+        assert_eq!(report.snapshot_epoch, 4);
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(report.recovered_epoch, 5);
+        assert_eq!(
+            durable.store().snapshot().fingerprint(),
+            reference.snapshot().fingerprint()
+        );
+        assert_eq!(
+            durable.store().snapshot().to_text(),
+            reference.snapshot().to_text()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejected_batches_are_rolled_back_off_the_wal() {
+        let dir = tmp_dir("reject");
+        let durable = DurableStore::open(&dir, no_snapshots(), seed).unwrap();
+        durable.commit(&batch(0)).unwrap();
+        let mut bad = UpdateBatch::new();
+        bad.remove_collaboration(PersonId(0), PersonId(2)); // no such edge
+        assert!(matches!(
+            durable.commit(&bad),
+            Err(crate::DurabilityError::Graph(_))
+        ));
+        assert_eq!(durable.stats().wal_appends, 1);
+        drop(durable);
+        let durable = DurableStore::open(&dir, no_snapshots(), seed).unwrap();
+        assert_eq!(durable.recovery().replayed_records, 1);
+        assert_eq!(durable.store().epoch(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_roundtrips_and_staleness_is_enforced() {
+        let dir = tmp_dir("cache");
+        let durable = DurableStore::open(&dir, no_snapshots(), seed).unwrap();
+        let cache = exes_core::ProbeCache::new(64);
+        cache.import_entries(vec![(
+            7,
+            PersonId(1),
+            Vec::new(),
+            Probe {
+                positive: true,
+                signal: 1.5,
+            },
+        )]);
+        assert_eq!(durable.save_cache(&cache).unwrap(), 1);
+
+        let warm = exes_core::ProbeCache::new(64);
+        assert_eq!(
+            durable.load_cache_into(&warm).unwrap(),
+            CacheLoad::Loaded(1)
+        );
+        assert_eq!(warm.len(), 1);
+
+        // A commit moves the fingerprint: the file is now stale.
+        durable.commit(&batch(0)).unwrap();
+        let stale = exes_core::ProbeCache::new(64);
+        assert!(matches!(
+            durable.load_cache_into(&stale).unwrap(),
+            CacheLoad::Stale { .. }
+        ));
+        assert!(stale.is_empty());
+
+        // And with no file at all: Missing.
+        fs::remove_file(dir.join(CACHE_FILE)).unwrap();
+        assert_eq!(durable.load_cache_into(&stale).unwrap(), CacheLoad::Missing);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,113 @@
+//! # exes-durability
+//!
+//! Durability for the ExES serving stack: a write-ahead log of
+//! [`UpdateBatch`](exes_graph::store::UpdateBatch)es, periodic epoch snapshot
+//! persistence, probe-cache export, and warm restarts.
+//!
+//! The in-memory [`GraphStore`](exes_graph::GraphStore) loses everything on a
+//! crash — the graph, the epoch sequence, and (transitively) every warm
+//! [`ProbeCache`](exes_core::ProbeCache) entry, so the first post-restart
+//! batch pays the full cold-probe tail. [`DurableStore`] wraps a `GraphStore`
+//! with a data directory:
+//!
+//! * **Write-ahead log** (`wal.log`): every committed batch is appended as a
+//!   checksummed, length-prefixed record — and fsynced — *before* the epoch
+//!   is published. See [`wal`] for the record format.
+//! * **Epoch snapshots** (`snapshot.txt`): every
+//!   [`DurabilityConfig::snapshot_interval`] commits (and on demand), the full
+//!   graph text plus its epoch, chained fingerprint and rebuild counter are
+//!   written to a temp file, fsynced, renamed into place, and the WAL is
+//!   truncated. A crash mid-write leaves the previous snapshot intact.
+//! * **Recovery** ([`DurableStore::open`]): load the latest snapshot (or the
+//!   caller's seed graph), then replay the WAL tail. A torn or corrupt tail is
+//!   detected by checksum and truncated to the last whole record; records
+//!   already covered by the snapshot are skipped by epoch. The recovered
+//!   store is byte-identical (`to_text` **and** chained fingerprint) to one
+//!   that never crashed.
+//! * **Warm-cache persistence** (`cache.txt`): probe-cache entries survive
+//!   restarts via [`DurableStore::save_cache`] /
+//!   [`DurableStore::load_cache_into`], guarded by the graph fingerprint they
+//!   were exported under — a restarted server answers its first repeat batch
+//!   with zero black-box probes.
+//!
+//! ```no_run
+//! use exes_durability::{DurabilityConfig, DurableStore};
+//! use exes_graph::store::UpdateBatch;
+//! use exes_graph::{CollabGraphBuilder, PersonId};
+//!
+//! let seed = || {
+//!     let mut b = CollabGraphBuilder::new();
+//!     b.add_person("Ada", ["databases"]);
+//!     b.add_person("Bob", ["graphs"]);
+//!     b.build()
+//! };
+//! // First boot: seeds from the closure. Later boots: snapshot + WAL replay.
+//! let durable = DurableStore::open("data", DurabilityConfig::default(), seed)?;
+//! let mut batch = UpdateBatch::new();
+//! batch.add_collaboration(PersonId(0), PersonId(1));
+//! durable.commit(&batch)?; // fsynced to the WAL before the epoch publishes
+//! # Ok::<(), exes_durability::DurabilityError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cachefile;
+mod durable;
+pub mod snapshot;
+pub mod wal;
+
+pub use durable::{CacheLoad, DurabilityConfig, DurabilityStats, DurableStore, RecoveryReport};
+
+use exes_graph::GraphError;
+use std::fmt;
+use std::io;
+
+/// Errors of the durability layer.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// An I/O operation on the data directory failed.
+    Io(io::Error),
+    /// The underlying [`exes_graph::GraphStore`] rejected a batch (the WAL
+    /// append is rolled back — rejected batches are never persisted).
+    Graph(GraphError),
+    /// A persisted file failed validation beyond the point recovery may
+    /// silently truncate (a corrupt snapshot header, an unreadable cache
+    /// file). Raised instead of quietly dropping committed data.
+    Corrupt(String),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "durability i/o error: {e}"),
+            DurabilityError::Graph(e) => write!(f, "batch rejected: {e}"),
+            DurabilityError::Corrupt(msg) => write!(f, "corrupt durability file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Io(e) => Some(e),
+            DurabilityError::Graph(e) => Some(e),
+            DurabilityError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DurabilityError {
+    fn from(e: io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+impl From<GraphError> for DurabilityError {
+    fn from(e: GraphError) -> Self {
+        DurabilityError::Graph(e)
+    }
+}
+
+/// `Result` specialised to [`DurabilityError`].
+pub type Result<T> = std::result::Result<T, DurabilityError>;

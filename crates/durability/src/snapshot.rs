@@ -1,0 +1,159 @@
+//! Epoch snapshot files: the full graph text plus the store identity a
+//! restart must carry over.
+//!
+//! ```text
+//! exes-snapshot v1
+//! epoch <n>
+//! fingerprint <n>
+//! since-rebuild <n>
+//! checksum <n>          (record_checksum(epoch, graph text bytes))
+//! <exes-graph v1 text...>
+//! ```
+//!
+//! The fingerprint is the store's *chained* value — not the content hash a
+//! bare [`CollabGraph::from_text`] would compute — so a recovered store keeps
+//! answering warm probe-cache lookups keyed on it. `since-rebuild` keeps the
+//! rebuild schedule (and thus every future fingerprint re-grounding point)
+//! aligned with the never-restarted store. Snapshots are written to a temp
+//! file, fsynced, and renamed into place; a torn write can therefore never be
+//! observed, and the checksum guards against at-rest corruption.
+
+use crate::wal::record_checksum;
+use crate::{DurabilityError, Result};
+use exes_graph::CollabGraph;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// The header line opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &str = "exes-snapshot v1";
+
+/// A decoded snapshot file.
+#[derive(Debug)]
+pub struct SnapshotFile {
+    /// The epoch the snapshot was taken at.
+    pub epoch: u64,
+    /// The chained fingerprint the store carried at that epoch.
+    pub fingerprint: u64,
+    /// Delta commits since the store's last full rebuild.
+    pub since_rebuild: u64,
+    /// The graph itself.
+    pub graph: CollabGraph,
+}
+
+/// Encodes a snapshot file from the store identity plus the graph's
+/// `exes-graph v1` text.
+pub fn encode(epoch: u64, fingerprint: u64, since_rebuild: u64, graph_text: &str) -> String {
+    let mut out = String::with_capacity(graph_text.len() + 128);
+    out.push_str(SNAPSHOT_MAGIC);
+    out.push('\n');
+    out.push_str(&format!("epoch {epoch}\n"));
+    out.push_str(&format!("fingerprint {fingerprint}\n"));
+    out.push_str(&format!("since-rebuild {since_rebuild}\n"));
+    out.push_str(&format!(
+        "checksum {}\n",
+        record_checksum(epoch, graph_text.as_bytes())
+    ));
+    out.push_str(graph_text);
+    out
+}
+
+fn corrupt(msg: impl Into<String>) -> DurabilityError {
+    DurabilityError::Corrupt(msg.into())
+}
+
+fn header_u64(line: Option<&str>, keyword: &str) -> Result<u64> {
+    line.and_then(|l| l.strip_prefix(keyword))
+        .and_then(|rest| rest.trim().parse::<u64>().ok())
+        .ok_or_else(|| corrupt(format!("snapshot missing '{keyword} <n>' header line")))
+}
+
+/// Decodes a snapshot file. Unlike a torn WAL tail — which recovery silently
+/// truncates — a snapshot that fails validation is an error: rename-into-place
+/// means no crash can legitimately leave one behind, so refusing is safer than
+/// quietly booting from an empty graph.
+pub fn decode(text: &str) -> Result<SnapshotFile> {
+    let mut lines = text.lines();
+    if lines.next() != Some(SNAPSHOT_MAGIC) {
+        return Err(corrupt("missing 'exes-snapshot v1' header"));
+    }
+    let epoch = header_u64(lines.next(), "epoch")?;
+    let fingerprint = header_u64(lines.next(), "fingerprint")?;
+    let since_rebuild = header_u64(lines.next(), "since-rebuild")?;
+    let checksum = header_u64(lines.next(), "checksum")?;
+    // The graph text is everything after the five header lines.
+    let header_len: usize = text.split_inclusive('\n').take(5).map(|l| l.len()).sum();
+    let graph_text = &text[header_len..];
+    if record_checksum(epoch, graph_text.as_bytes()) != checksum {
+        return Err(corrupt("snapshot graph text fails its checksum"));
+    }
+    let graph = CollabGraph::from_text(graph_text)
+        .map_err(|e| corrupt(format!("snapshot graph text does not decode: {e}")))?;
+    Ok(SnapshotFile {
+        epoch,
+        fingerprint,
+        since_rebuild,
+        graph,
+    })
+}
+
+/// Writes `contents` to `dir/name` atomically: temp file, fsync, rename into
+/// place, fsync the directory. Readers (and recovery) either see the old file
+/// or the complete new one, never a torn intermediate.
+pub fn write_atomic(dir: &Path, name: &str, contents: &str) -> Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let target = dir.join(name);
+    let mut file = File::create(&tmp)?;
+    file.write_all(contents.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, &target)?;
+    // Make the rename itself durable: fsync the directory entry.
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::CollabGraphBuilder;
+
+    fn toy_text() -> String {
+        let mut b = CollabGraphBuilder::new();
+        let ada = b.add_person("Ada", ["db", "ml"]);
+        let bob = b.add_person("Bob", ["ml"]);
+        b.add_edge(ada, bob);
+        b.build().to_text()
+    }
+
+    #[test]
+    fn roundtrip_preserves_identity() {
+        let text = toy_text();
+        let file = encode(7, 0xDEAD_BEEF, 3, &text);
+        let decoded = decode(&file).unwrap();
+        assert_eq!(decoded.epoch, 7);
+        assert_eq!(decoded.fingerprint, 0xDEAD_BEEF);
+        assert_eq!(decoded.since_rebuild, 3);
+        assert_eq!(decoded.graph.to_text(), text);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let file = encode(7, 1, 0, &toy_text());
+        // Flip a byte inside the graph text: checksum failure.
+        let mut bytes = file.clone().into_bytes();
+        let target = bytes.len() - 3;
+        bytes[target] ^= 0x20;
+        let corrupted = String::from_utf8(bytes).unwrap();
+        assert!(matches!(
+            decode(&corrupted),
+            Err(DurabilityError::Corrupt(_))
+        ));
+        // A missing header line is rejected too.
+        let headerless: String = file.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert!(matches!(
+            decode(&headerless),
+            Err(DurabilityError::Corrupt(_))
+        ));
+    }
+}

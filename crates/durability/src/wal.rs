@@ -1,0 +1,309 @@
+//! The write-ahead log: checksummed, length-prefixed batch records.
+//!
+//! File layout:
+//!
+//! ```text
+//! "exes-wal v1\n"                                  (12-byte magic)
+//! [payload len: u64 LE][epoch: u64 LE][checksum: u64 LE][payload bytes]
+//! ...
+//! ```
+//!
+//! The payload is the batch's lossless `exes-batch v1` text
+//! ([`UpdateBatch::to_text`]); `epoch` is the epoch the batch *produces*, so
+//! recovery can skip records already folded into a snapshot (a crash between
+//! snapshot rename and WAL truncation leaves such records behind). The
+//! checksum hashes the epoch and the payload bytes, so a torn append — a
+//! partial header, a short payload, or garbage bytes — is detected and the
+//! log is truncated to the last whole record instead of poisoning recovery.
+
+use crate::{DurabilityError, Result};
+use exes_graph::store::UpdateBatch;
+use rustc_hash::FxHasher;
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// The 12-byte file magic opening every WAL.
+pub const WAL_MAGIC: &[u8; 12] = b"exes-wal v1\n";
+
+/// Bytes of the fixed per-record header (payload length, epoch, checksum).
+pub const RECORD_HEADER_LEN: u64 = 24;
+
+/// Checksum of one record: hashes the epoch and the payload bytes.
+pub fn record_checksum(epoch: u64, payload: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(epoch);
+    h.write(payload);
+    h.finish()
+}
+
+/// One decoded WAL record, with its byte extent in the file.
+#[derive(Debug)]
+pub struct WalRecord {
+    /// The epoch this batch produced when originally committed.
+    pub epoch: u64,
+    /// The replayable batch.
+    pub batch: UpdateBatch,
+    /// Byte offset of the record's header in the file.
+    pub start: u64,
+    /// Byte offset one past the record's payload.
+    pub end: u64,
+}
+
+/// Result of scanning a WAL from the top: every whole, checksum-valid record
+/// plus where the valid prefix ends.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Decoded records in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (magic + whole records). Anything
+    /// between here and the file length is a torn or corrupt tail.
+    pub valid_len: u64,
+}
+
+/// An open write-ahead log file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    len: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL at `path`. A fresh file gets the magic
+    /// written and synced; an existing file must start with it.
+    pub fn open(path: &Path) -> Result<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            file.write_all(WAL_MAGIC)?;
+            file.sync_all()?;
+            return Ok(Wal {
+                file,
+                len: WAL_MAGIC.len() as u64,
+            });
+        }
+        let mut magic = [0u8; 12];
+        file.seek(SeekFrom::Start(0))?;
+        let got = file.read(&mut magic)?;
+        if got < magic.len() || &magic != WAL_MAGIC {
+            return Err(DurabilityError::Corrupt(format!(
+                "{} does not start with the exes-wal v1 magic",
+                path.display()
+            )));
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal { file, len })
+    }
+
+    /// Current file length in bytes (magic included).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_MAGIC.len() as u64
+    }
+
+    /// Appends one record and syncs it to disk before returning, so a
+    /// subsequently published epoch is guaranteed replayable. Returns the
+    /// bytes appended.
+    pub fn append(&mut self, epoch: u64, batch: &UpdateBatch) -> Result<u64> {
+        let payload = batch.to_text().into_bytes();
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
+        record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        record.extend_from_slice(&epoch.to_le_bytes());
+        record.extend_from_slice(&record_checksum(epoch, &payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(&record)?;
+        self.file.sync_data()?;
+        self.len += record.len() as u64;
+        Ok(record.len() as u64)
+    }
+
+    /// Truncates the file to `len` bytes (used to roll back a rejected
+    /// batch's append, and to drop a torn tail found during recovery).
+    pub fn truncate_to(&mut self, len: u64) -> Result<()> {
+        self.file.set_len(len)?;
+        self.file.sync_data()?;
+        self.file.seek(SeekFrom::Start(len))?;
+        self.len = len;
+        Ok(())
+    }
+
+    /// Truncates the log back to just the magic — every record is dropped.
+    /// Called after a snapshot lands: the snapshot now covers them.
+    pub fn reset(&mut self) -> Result<()> {
+        self.truncate_to(WAL_MAGIC.len() as u64)
+    }
+
+    /// Scans the file from the top, decoding every whole, checksum-valid
+    /// record. Scanning stops — without error — at the first record that is
+    /// truncated, fails its checksum, or does not decode as a batch: that is
+    /// the torn tail a crash mid-append leaves behind, and
+    /// [`WalScan::valid_len`] tells the caller where to cut it off.
+    pub fn scan(&mut self) -> Result<WalScan> {
+        self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf)?;
+        self.file.seek(SeekFrom::Start(self.len))?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let start = WAL_MAGIC.len() as u64 + pos as u64;
+            let Some(header) = buf.get(pos..pos + RECORD_HEADER_LEN as usize) else {
+                break;
+            };
+            let payload_len = u64::from_le_bytes(header[0..8].try_into().unwrap()) as usize;
+            let epoch = u64::from_le_bytes(header[8..16].try_into().unwrap());
+            let checksum = u64::from_le_bytes(header[16..24].try_into().unwrap());
+            let payload_at = pos + RECORD_HEADER_LEN as usize;
+            let Some(payload) = payload_at
+                .checked_add(payload_len)
+                .and_then(|end| buf.get(payload_at..end))
+            else {
+                break; // short payload: torn mid-append
+            };
+            if record_checksum(epoch, payload) != checksum {
+                break; // bit rot or a torn header/payload overlap
+            }
+            let Ok(text) = std::str::from_utf8(payload) else {
+                break;
+            };
+            let Ok(batch) = UpdateBatch::from_text(text) else {
+                break;
+            };
+            pos = payload_at + payload_len;
+            records.push(WalRecord {
+                epoch,
+                batch,
+                start,
+                end: WAL_MAGIC.len() as u64 + pos as u64,
+            });
+        }
+        Ok(WalScan {
+            records,
+            valid_len: WAL_MAGIC.len() as u64 + pos as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exes_graph::PersonId;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("exes-durability-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    fn batch(i: u32) -> UpdateBatch {
+        let mut b = UpdateBatch::new();
+        b.add_person(&format!("p{i}"), ["graphs"]);
+        b.add_collaboration(PersonId(0), PersonId(i));
+        b
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::open(&path).unwrap();
+        for i in 1..=3u32 {
+            wal.append(i as u64, &batch(i)).unwrap();
+        }
+        let scan = wal.scan().unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.valid_len, wal.len());
+        for (i, rec) in scan.records.iter().enumerate() {
+            assert_eq!(rec.epoch, i as u64 + 1);
+            assert_eq!(rec.batch, batch(i as u32 + 1));
+        }
+        // Reopen sees the same records.
+        drop(wal);
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.scan().unwrap().records.len(), 3);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_at_every_truncation_point() {
+        let path = tmp("torn");
+        let mut wal = Wal::open(&path).unwrap();
+        let mut ends = vec![WAL_MAGIC.len() as u64];
+        for i in 1..=3u32 {
+            wal.append(i as u64, &batch(i)).unwrap();
+            ends.push(wal.len());
+        }
+        let bytes = fs::read(&path).unwrap();
+        for cut in WAL_MAGIC.len() as u64..bytes.len() as u64 {
+            let cut_path = tmp("torn-cut");
+            fs::write(&cut_path, &bytes[..cut as usize]).unwrap();
+            let mut cut_wal = Wal::open(&cut_path).unwrap();
+            let scan = cut_wal.scan().unwrap();
+            // The valid prefix is the longest whole-record prefix <= cut.
+            let expect = ends.iter().filter(|&&e| e <= cut).count() - 1;
+            assert_eq!(scan.records.len(), expect, "cut at byte {cut}");
+            assert_eq!(scan.valid_len, ends[expect], "cut at byte {cut}");
+            let _ = fs::remove_file(&cut_path);
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flips_invalidate_the_record_and_its_suffix() {
+        let path = tmp("flip");
+        let mut wal = Wal::open(&path).unwrap();
+        let mut ends = vec![WAL_MAGIC.len() as u64];
+        for i in 1..=3u32 {
+            wal.append(i as u64, &batch(i)).unwrap();
+            ends.push(wal.len());
+        }
+        let bytes = fs::read(&path).unwrap();
+        // Flip one payload byte inside the second record.
+        let mut corrupted = bytes.clone();
+        let target = ends[1] as usize + RECORD_HEADER_LEN as usize + 2;
+        corrupted[target] ^= 0x40;
+        let flip_path = tmp("flip-out");
+        fs::write(&flip_path, &corrupted).unwrap();
+        let scan = Wal::open(&flip_path).unwrap().scan().unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, ends[1]);
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&flip_path);
+    }
+
+    #[test]
+    fn reset_and_rollback_truncate() {
+        let path = tmp("reset");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(1, &batch(1)).unwrap();
+        let mark = wal.len();
+        wal.append(2, &batch(2)).unwrap();
+        wal.truncate_to(mark).unwrap();
+        assert_eq!(wal.scan().unwrap().records.len(), 1);
+        wal.reset().unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(wal.scan().unwrap().records.len(), 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        let path = tmp("foreign");
+        fs::write(&path, b"definitely not a wal").unwrap();
+        assert!(matches!(Wal::open(&path), Err(DurabilityError::Corrupt(_))));
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,238 @@
+//! Crash-injection property suite for the durability subsystem.
+//!
+//! The tentpole property: truncate the WAL at **every byte boundary** of a
+//! seeded `UpdateStream` run and assert recovery equals the longest
+//! whole-record-prefix replay — `to_text`-byte-identical, with the same epoch
+//! and the same chained fingerprint, as a never-crashed [`GraphStore`] fed
+//! the same prefix of batches (the PR 3 snapshot-vs-replay property, lifted
+//! to a store that loses power mid-append).
+
+use exes_datasets::{UpdateStream, UpdateStreamConfig};
+use exes_durability::wal::{Wal, WAL_MAGIC};
+use exes_durability::{DurabilityConfig, DurableStore};
+use exes_graph::store::{GraphStore, StoreConfig, UpdateBatch};
+use exes_graph::{CollabGraph, CollabGraphBuilder, GraphView, PersonId};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "exes-crash-injection-{}-{name}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic seed graph; `case` varies size and wiring.
+fn seed_graph(case: u64) -> CollabGraph {
+    let people = 6 + (case as usize % 3) * 2;
+    let mut b = CollabGraphBuilder::new();
+    let skills = ["db", "ml", "graphs", "xai", "search"];
+    let ids: Vec<_> = (0..people)
+        .map(|p| {
+            b.add_person(
+                &format!("person-{p}"),
+                [
+                    skills[p % skills.len()],
+                    skills[(p + case as usize) % skills.len()],
+                ],
+            )
+        })
+        .collect();
+    for w in ids.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    b.add_edge(ids[0], ids[people / 2]);
+    b.build()
+}
+
+/// Reference states after each batch prefix: `(epoch, fingerprint, to_text)`
+/// of a never-crashed store fed batches `0..k`, for every `k`.
+fn reference_states(
+    graph: CollabGraph,
+    batches: &[UpdateBatch],
+    config: StoreConfig,
+) -> Vec<(u64, u64, String)> {
+    let store = GraphStore::with_config(graph, config);
+    let mut states = Vec::with_capacity(batches.len() + 1);
+    let snap = store.snapshot();
+    states.push((snap.epoch(), snap.fingerprint(), snap.to_text()));
+    for batch in batches {
+        let snap = store.commit(batch).unwrap();
+        states.push((snap.epoch(), snap.fingerprint(), snap.to_text()));
+    }
+    states
+}
+
+#[test]
+fn wal_truncated_at_every_byte_recovers_longest_whole_prefix_replay() {
+    for (case, rebuild_interval) in [(0u64, 0u64), (1, 2), (2, 3)] {
+        let store_config = StoreConfig { rebuild_interval };
+        let config = DurabilityConfig {
+            snapshot_interval: 0, // keep every record in the log
+            store: store_config,
+        };
+        let graph = seed_graph(case);
+        let stream = UpdateStream::generate(&graph, &UpdateStreamConfig::churn(4, 6, case ^ 0x9D));
+        let states = reference_states(seed_graph(case), stream.batches(), store_config);
+
+        // Produce the full WAL, then record where each record ends.
+        let dir = tmp_dir(&format!("sweep-{case}"));
+        let durable = DurableStore::open(&dir, config, || seed_graph(case)).unwrap();
+        for batch in stream.batches() {
+            durable.commit(batch).unwrap();
+        }
+        drop(durable);
+        let wal_path = dir.join("wal.log");
+        let ends: Vec<u64> = {
+            let mut wal = Wal::open(&wal_path).unwrap();
+            let scan = wal.scan().unwrap();
+            assert_eq!(scan.records.len(), stream.len());
+            let mut ends = vec![WAL_MAGIC.len() as u64];
+            ends.extend(scan.records.iter().map(|r| r.end));
+            ends
+        };
+        let bytes = fs::read(&wal_path).unwrap();
+        assert_eq!(*ends.last().unwrap(), bytes.len() as u64);
+
+        for cut in WAL_MAGIC.len()..=bytes.len() {
+            let crash_dir = tmp_dir(&format!("sweep-{case}-cut"));
+            fs::create_dir_all(&crash_dir).unwrap();
+            fs::write(crash_dir.join("wal.log"), &bytes[..cut]).unwrap();
+
+            let recovered = DurableStore::open(&crash_dir, config, || seed_graph(case)).unwrap();
+            // The longest whole-record prefix that fits under the cut.
+            let k = ends.iter().filter(|&&e| e <= cut as u64).count() - 1;
+            let (epoch, fingerprint, text) = &states[k];
+            let report = recovered.recovery();
+            assert_eq!(report.replayed_records, k as u64, "cut at byte {cut}");
+            assert_eq!(
+                report.truncated_bytes,
+                cut as u64 - ends[k],
+                "cut at byte {cut}"
+            );
+            let snap = recovered.store().snapshot();
+            assert_eq!(snap.epoch(), *epoch, "cut at byte {cut}");
+            assert_eq!(snap.fingerprint(), *fingerprint, "cut at byte {cut}");
+            assert_eq!(&snap.to_text(), text, "cut at byte {cut}");
+            // The torn tail is physically gone: a second recovery is clean.
+            drop(recovered);
+            let again = DurableStore::open(&crash_dir, config, || seed_graph(case)).unwrap();
+            assert_eq!(again.recovery().truncated_bytes, 0);
+            assert_eq!(again.store().snapshot().fingerprint(), *fingerprint);
+            let _ = fs::remove_dir_all(&crash_dir);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn recovery_through_snapshots_matches_never_crashed_store() {
+    for (case, snapshot_interval, rebuild_interval) in [(3u64, 2u64, 0u64), (4, 3, 2), (5, 1, 3)] {
+        let store_config = StoreConfig { rebuild_interval };
+        let config = DurabilityConfig {
+            snapshot_interval,
+            store: store_config,
+        };
+        let graph = seed_graph(case);
+        let stream = UpdateStream::generate(&graph, &UpdateStreamConfig::churn(7, 5, case ^ 0x2B));
+        let states = reference_states(seed_graph(case), stream.batches(), store_config);
+
+        let dir = tmp_dir(&format!("snap-{case}"));
+        {
+            let durable = DurableStore::open(&dir, config, || seed_graph(case)).unwrap();
+            for batch in stream.batches() {
+                durable.commit(batch).unwrap();
+            }
+            // Dropped hard: no drain-time snapshot. Recovery must stitch the
+            // periodic snapshot and the WAL tail back together.
+        }
+        let recovered = DurableStore::open(&dir, config, || seed_graph(case)).unwrap();
+        let (epoch, fingerprint, text) = states.last().unwrap();
+        let snap = recovered.store().snapshot();
+        assert_eq!(snap.epoch(), *epoch);
+        assert_eq!(snap.fingerprint(), *fingerprint);
+        assert_eq!(&snap.to_text(), text);
+        assert!(recovered.recovery().had_snapshot);
+
+        // And the recovered store keeps committing in lockstep with the
+        // never-crashed one, through future rebuild re-grounding points.
+        let reference = GraphStore::with_config(seed_graph(case), store_config);
+        for batch in stream.batches() {
+            reference.commit(batch).unwrap();
+        }
+        let mut extra = UpdateBatch::new();
+        extra.add_person("post-recovery-hire", ["db"]);
+        extra.add_collaboration(PersonId(0), PersonId(snap.num_people() as u32));
+        let a = recovered.commit(&extra).unwrap();
+        let b = reference.commit(&extra).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.to_text(), b.to_text());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn snapshot_mid_write_crash_leaves_previous_snapshot_authoritative() {
+    let config = DurabilityConfig {
+        snapshot_interval: 0,
+        store: StoreConfig::default(),
+    };
+    let dir = tmp_dir("midwrite");
+    let durable = DurableStore::open(&dir, config, || seed_graph(0)).unwrap();
+    let mut batch = UpdateBatch::new();
+    batch.add_person("hire", ["db"]);
+    durable.commit(&batch).unwrap();
+    durable.snapshot_now().unwrap();
+    let good = fs::read_to_string(dir.join("snapshot.txt")).unwrap();
+    drop(durable);
+
+    // A crash mid-write leaves a torn temp file; the rename never happened,
+    // so the real snapshot is untouched and recovery ignores the litter.
+    fs::write(dir.join("snapshot.txt.tmp"), &good[..good.len() / 2]).unwrap();
+    let recovered = DurableStore::open(&dir, config, || seed_graph(0)).unwrap();
+    assert!(recovered.recovery().had_snapshot);
+    assert_eq!(recovered.store().epoch(), 1);
+    assert_eq!(
+        fs::read_to_string(dir.join("snapshot.txt")).unwrap(),
+        good,
+        "the authoritative snapshot must not change"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_between_snapshot_rename_and_wal_truncate_skips_covered_records() {
+    let config = DurabilityConfig {
+        snapshot_interval: 0,
+        store: StoreConfig::default(),
+    };
+    let graph = seed_graph(1);
+    let stream = UpdateStream::generate(&graph, &UpdateStreamConfig::churn(3, 5, 0x77));
+    let dir = tmp_dir("skip");
+    let durable = DurableStore::open(&dir, config, || seed_graph(1)).unwrap();
+    for batch in stream.batches() {
+        durable.commit(batch).unwrap();
+    }
+    // Simulate the crash window: snapshot renamed into place, WAL truncation
+    // never ran. Stash the full log, snapshot (which resets it), put the full
+    // log back.
+    let full_wal = fs::read(dir.join("wal.log")).unwrap();
+    durable.snapshot_now().unwrap();
+    let expected = durable.store().snapshot();
+    drop(durable);
+    fs::write(dir.join("wal.log"), &full_wal).unwrap();
+
+    let recovered = DurableStore::open(&dir, config, || seed_graph(1)).unwrap();
+    let report = recovered.recovery();
+    assert!(report.had_snapshot);
+    assert_eq!(report.snapshot_epoch, expected.epoch());
+    // Every WAL record predates the snapshot: skipped, not re-applied.
+    assert_eq!(report.replayed_records, 0);
+    let snap = recovered.store().snapshot();
+    assert_eq!(snap.epoch(), expected.epoch());
+    assert_eq!(snap.fingerprint(), expected.fingerprint());
+    assert_eq!(snap.to_text(), expected.to_text());
+    let _ = fs::remove_dir_all(&dir);
+}

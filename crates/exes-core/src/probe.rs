@@ -600,6 +600,52 @@ impl ProbeCache {
         self.len() == 0
     }
 
+    /// Exports every memoised probe as raw `(context, subject, canonical
+    /// perturbations, probe)` tuples, for the durability layer to persist
+    /// across restarts.
+    ///
+    /// The context fingerprint folds the query skills, graph fingerprint and
+    /// model fingerprint and cannot be decomposed, so entries are exported
+    /// with it verbatim; soundness across a restart comes from the graph
+    /// fingerprint being restored chained-exact by
+    /// [`exes_graph::GraphStore::resume`] and model fingerprints being pure
+    /// functions of configuration. Iteration order is unspecified. Does not
+    /// touch the hit/miss counters.
+    pub fn export_entries(&self) -> Vec<(u64, PersonId, Vec<Perturbation>, Probe)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            out.extend(
+                shard
+                    .map
+                    .iter()
+                    .map(|((ctx, subject, delta), &(probe, _))| {
+                        (*ctx, *subject, delta.clone(), probe)
+                    }),
+            );
+        }
+        out
+    }
+
+    /// Re-inserts entries produced by [`ProbeCache::export_entries`], as if
+    /// freshly memoised (normal capacity/eviction rules apply). Returns the
+    /// number of entries inserted.
+    ///
+    /// Callers are responsible for only importing entries whose context is
+    /// still meaningful — the durability layer guards whole files with the
+    /// graph fingerprint they were exported under.
+    pub fn import_entries(
+        &self,
+        entries: impl IntoIterator<Item = (u64, PersonId, Vec<Perturbation>, Probe)>,
+    ) -> usize {
+        let mut inserted = 0;
+        for (ctx, subject, delta, probe) in entries {
+            self.insert_key((ctx, subject, delta), probe);
+            inserted += 1;
+        }
+        inserted
+    }
+
     /// Drops every memoised probe and baseline plan and resets the
     /// hit/miss/eviction counters.
     pub fn clear(&self) {
@@ -1058,6 +1104,38 @@ mod tests {
         assert_eq!(engine.score_identity(), task.probe(&g, &q));
         assert!(engine.is_parallel());
         assert!(!engine.is_cached());
+    }
+
+    #[test]
+    fn export_import_roundtrips_entries_into_warm_hits() {
+        let g = graph();
+        let q = Query::parse("common s1", g.vocab()).unwrap();
+        let ranker = TfIdfRanker::default();
+        let task = ExpertRelevanceTask::new(&ranker, PersonId(1), 3);
+        let cache = ProbeCache::new(256);
+        for set in candidate_sets(&g) {
+            let (view, pq) = set.apply(&g, &q);
+            cache.insert(&g, &q, &task, &set, task.probe(&view, &pq));
+        }
+        let exported = cache.export_entries();
+        assert_eq!(exported.len(), cache.len());
+
+        // A fresh cache fed the exported tuples answers every original key
+        // as a hit, with the same probes.
+        let restored = ProbeCache::new(256);
+        assert_eq!(restored.import_entries(exported), cache.len());
+        for set in candidate_sets(&g) {
+            let (view, pq) = set.apply(&g, &q);
+            assert_eq!(
+                restored.lookup(&g, &q, &task, &set),
+                Some(task.probe(&view, &pq))
+            );
+        }
+        assert_eq!(restored.misses(), 0);
+        // Import plays by capacity rules: a tiny cache ends up bounded.
+        let tiny = ProbeCache::with_shards(4, 1);
+        tiny.import_entries(cache.export_entries());
+        assert!(tiny.len() <= 4);
     }
 
     #[test]

@@ -54,5 +54,5 @@ pub mod server;
 pub mod wire;
 
 pub use client::{HttpClient, HttpResponse};
-pub use server::{start, ServerConfig, ServerHandle};
+pub use server::{start, start_durable, ServerConfig, ServerHandle};
 pub use wire::WireError;

@@ -23,15 +23,25 @@
 //! * `--k N`            top-k cutoff of the registered expert models (default 10)
 //! * `--probe-budget N` black-box probe budget per explanation, 0 = unbounded
 //!   (default 0); budget-exhausted results are marked `"completeness":{...}`
+//! * `--data-dir PATH`  durable data directory (WAL, snapshots, warm cache).
+//!   When present the server recovers whatever the directory holds — the
+//!   synthetic dataset only seeds epoch 0 on the very first boot — and
+//!   `/healthz` answers 503 `{"status":"recovering"}` until replay and cache
+//!   import complete
+//! * `--snapshot-interval N`  durable commits between automatic snapshots
+//!   (default 256; 0 = compact only on graceful drain)
 
 use exes_core::{Exes, ExesConfig, ExesService, ModelSpec, OutputMode, ProbeBudget, SeedPolicy};
 use exes_datasets::{DatasetConfig, SyntheticDataset};
+use exes_durability::{CacheLoad, DurabilityConfig, DurableStore};
 use exes_embedding::{EmbeddingConfig, SkillEmbedding};
 use exes_expert_search::{PropagationRanker, TfIdfRanker};
+use exes_graph::store::StoreConfig;
 use exes_graph::GraphView;
 use exes_linkpred::CommonNeighbors;
 use exes_server::ServerConfig;
 use exes_team::GreedyCoverTeamFormer;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -48,6 +58,8 @@ struct Args {
     slow_batch_window_ms: u64,
     k: usize,
     probe_budget: usize,
+    data_dir: Option<String>,
+    snapshot_interval: u64,
 }
 
 fn parse_args() -> Args {
@@ -65,6 +77,8 @@ fn parse_args() -> Args {
         slow_batch_window_ms: 4,
         k: 10,
         probe_budget: 0,
+        data_dir: None,
+        snapshot_interval: 256,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -105,6 +119,12 @@ fn parse_args() -> Args {
             "--probe-budget" => {
                 args.probe_budget = value("count").parse().expect("--probe-budget: not a count")
             }
+            "--data-dir" => args.data_dir = Some(value("path")),
+            "--snapshot-interval" => {
+                args.snapshot_interval = value("count")
+                    .parse()
+                    .expect("--snapshot-interval: not a count")
+            }
             other => panic!("unknown flag '{other}' (see crate docs for the flag list)"),
         }
     }
@@ -139,7 +159,37 @@ fn main() {
         .with_probe_budget(budget);
     let exes = Exes::new(cfg, embedding, CommonNeighbors);
 
-    let mut service = ExesService::from_graph(&exes, ds.graph.clone());
+    // With --data-dir the graph store recovers from disk (snapshot + WAL
+    // replay); the synthetic graph only seeds epoch 0 on the first boot.
+    let durable = args.data_dir.as_ref().map(|dir| {
+        let durability = DurabilityConfig {
+            snapshot_interval: args.snapshot_interval,
+            store: StoreConfig::default(),
+        };
+        let seed = ds.graph.clone();
+        let durable = Arc::new(
+            DurableStore::open(dir, durability, move || seed).expect("data-dir recovery failed"),
+        );
+        let report = durable.recovery();
+        eprintln!(
+            "recovered epoch {} from {dir} ({}, replayed {} WAL records, \
+             dropped {} torn bytes) in {} ms",
+            report.recovered_epoch,
+            if report.had_snapshot {
+                format!("snapshot at epoch {}", report.snapshot_epoch)
+            } else {
+                "no snapshot, seeded fresh".to_string()
+            },
+            report.replayed_records,
+            report.truncated_bytes,
+            report.recovery_ms,
+        );
+        durable
+    });
+    let mut service = match &durable {
+        Some(durable) => ExesService::new(&exes, Arc::clone(durable.store())),
+        None => ExesService::from_graph(&exes, ds.graph.clone()),
+    };
     let tfidf = service
         .register(
             "tfidf",
@@ -175,14 +225,32 @@ fn main() {
         slow_batch_window: Duration::from_millis(args.slow_batch_window_ms),
         ..Default::default()
     };
-    let handle = exes_server::start(service, config).expect("bind failed");
+    // Report the graph actually being served — after recovery it can be many
+    // epochs ahead of the freshly generated seed.
+    let serving = service.snapshot();
+    let handle = match durable {
+        Some(durable) => {
+            let handle = exes_server::start_durable(service, config, durable).expect("bind failed");
+            // The listener is up (health probes see "recovering", not refused
+            // connections); import the persisted warm cache and go ready.
+            match handle.finish_recovery().expect("cache import failed") {
+                CacheLoad::Loaded(n) => eprintln!("imported {n} warm probe-cache entries"),
+                CacheLoad::Stale { expected, found } => eprintln!(
+                    "persisted cache is stale (graph {found:x} != {expected:x}); starting cold"
+                ),
+                CacheLoad::Missing => eprintln!("no persisted probe cache; starting cold"),
+            }
+            handle
+        }
+        None => exes_server::start(service, config).expect("bind failed"),
+    };
 
     eprintln!(
         "exes-server listening on http://{} — {} people, {} edges, {} skills",
         handle.addr(),
-        ds.graph.num_people(),
-        ds.graph.num_edges(),
-        ds.graph.vocab().len()
+        serving.graph().num_people(),
+        serving.graph().num_edges(),
+        serving.graph().vocab().len()
     );
     eprintln!(
         "models: tfidf (#{}), propagation (#{}), team (#{})",

@@ -116,6 +116,37 @@ pub struct LaneGauges {
     pub depth: usize,
 }
 
+/// Durability counters of the server's [`exes_durability::DurableStore`],
+/// rendered as the `"durability"` metrics group (`null` on a memory-only
+/// server).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilityGauges {
+    /// Batches appended (and fsynced) to the write-ahead log.
+    pub wal_appends: u64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Snapshots written (periodic and drain-time).
+    pub snapshots_written: u64,
+    /// Wall-clock milliseconds the boot-time recovery took.
+    pub last_recovery_ms: u64,
+    /// The epoch recovery landed on.
+    pub recovered_epoch: u64,
+}
+
+impl DurabilityGauges {
+    fn json(&self) -> String {
+        format!(
+            "{{\"wal_appends\":{},\"wal_bytes\":{},\"snapshots_written\":{},\
+             \"last_recovery_ms\":{},\"recovered_epoch\":{}}}",
+            self.wal_appends,
+            self.wal_bytes,
+            self.snapshots_written,
+            self.last_recovery_ms,
+            self.recovered_epoch,
+        )
+    }
+}
+
 /// Everything the `/metrics` handler can see about live state; the
 /// cumulative counters live in [`ServerMetrics`] itself.
 #[derive(Debug, Clone, Copy)]
@@ -140,6 +171,8 @@ pub struct MetricsGauges {
     pub plan_hits: u64,
     /// Lifetime baseline-plan memo misses (plans built).
     pub plan_misses: u64,
+    /// Durability counters; `None` when the server runs memory-only.
+    pub durability: Option<DurabilityGauges>,
 }
 
 /// Cumulative counters for one server's lifetime.
@@ -252,6 +285,10 @@ impl ServerMetrics {
             Some(lane) => self.slow_lane.json(&lane),
             None => "null".to_string(),
         };
+        let durability = match &gauges.durability {
+            Some(d) => d.json(),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"epoch\":{},\"models\":{},\
              \"http\":{{\"connections\":{},\"connections_rejected\":{},\
@@ -262,6 +299,7 @@ impl ServerMetrics {
              \"incremental_rescores\":{},\"full_fallback_rescores\":{},\
              \"budgeted_results\":{}}},\
              \"commits\":{{\"accepted\":{},\"rejected\":{}}},\
+             \"durability\":{durability},\
              \"queue\":{{\"capacity\":{queue_capacity},\"depth\":{queue_depth}}},\
              \"lanes\":{{\"fast\":{},\"slow\":{}}},\
              \"plan\":{{\"hits\":{},\"misses\":{}}},\
@@ -323,6 +361,13 @@ mod tests {
             cache_evictions: 0,
             plan_hits: 9,
             plan_misses: 4,
+            durability: Some(DurabilityGauges {
+                wal_appends: 12,
+                wal_bytes: 2048,
+                snapshots_written: 2,
+                last_recovery_ms: 17,
+                recovered_epoch: 2,
+            }),
         }
     }
 
@@ -377,16 +422,30 @@ mod tests {
         let plan = parsed.get("plan").unwrap();
         assert_eq!(plan.get("hits").unwrap().as_u64(), Some(9));
         assert_eq!(plan.get("misses").unwrap().as_u64(), Some(4));
+        let durability = parsed.get("durability").unwrap();
+        assert_eq!(durability.get("wal_appends").unwrap().as_u64(), Some(12));
+        assert_eq!(durability.get("wal_bytes").unwrap().as_u64(), Some(2048));
+        assert_eq!(
+            durability.get("snapshots_written").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            durability.get("last_recovery_ms").unwrap().as_u64(),
+            Some(17)
+        );
+        assert_eq!(durability.get("recovered_epoch").unwrap().as_u64(), Some(2));
         let last = parsed.get("last_report").unwrap();
         assert_eq!(
             wire::report_from_json(last),
             Some(report),
             "last_report must roundtrip as a ServiceReport"
         );
-        // Before any batch, last_report renders as null, and a single-lane
-        // server renders a null slow lane.
+        // Before any batch, last_report renders as null, a single-lane
+        // server renders a null slow lane, and a memory-only server renders
+        // a null durability group.
         let fresh = ServerMetrics::new().to_json(&MetricsGauges {
             slow: None,
+            durability: None,
             ..gauges()
         });
         let fresh = json::parse(&fresh).unwrap();
@@ -395,6 +454,7 @@ mod tests {
             fresh.get("lanes").unwrap().get("slow"),
             Some(&json::Json::Null)
         );
+        assert_eq!(fresh.get("durability"), Some(&json::Json::Null));
         assert_eq!(
             fresh
                 .get("queue")

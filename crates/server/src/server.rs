@@ -31,10 +31,11 @@
 
 use crate::http::{self, HttpError, HttpRequest};
 use crate::json;
-use crate::metrics::{LaneGauges, MetricsGauges, ServerMetrics};
+use crate::metrics::{DurabilityGauges, LaneGauges, MetricsGauges, ServerMetrics};
 use crate::queue::{AdmissionQueue, Job, Lane, PushError};
 use crate::wire::{self, WireError};
 use exes_core::{ExesService, ServiceReport};
+use exes_durability::{CacheLoad, DurabilityError, DurableStore};
 use exes_linkpred::LinkPredictor;
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
@@ -190,6 +191,14 @@ struct Inner<L> {
     slow_queue: Option<AdmissionQueue>,
     conns: ConnQueue,
     metrics: ServerMetrics,
+    /// The durable store wrapping `service`'s graph store, when started via
+    /// [`start_durable`]. Commits route through it so every epoch is WAL'd
+    /// and fsynced before it publishes.
+    durability: Option<Arc<DurableStore>>,
+    /// False from [`start_durable`] until [`ServerHandle::finish_recovery`]:
+    /// `/healthz` answers 503 `{"status":"recovering"}` meanwhile, so load
+    /// balancers hold traffic until WAL replay and cache import complete.
+    ready: AtomicBool,
     shutting_down: AtomicBool,
     /// Read halves of live connections, shut down to unblock idle keep-alive
     /// readers at shutdown time.
@@ -215,9 +224,40 @@ impl<L> ServerHandle<L> {
         self.addr
     }
 
+    /// True once `/healthz` answers 200: immediately for a memory-only
+    /// server, after [`ServerHandle::finish_recovery`] for a durable one.
+    pub fn is_ready(&self) -> bool {
+        self.inner.ready.load(Ordering::SeqCst)
+    }
+
+    /// Completes a durable boot: imports the persisted probe cache (rejected
+    /// wholesale if its pinned graph fingerprint does not match the recovered
+    /// store's) and flips `/healthz` from 503 "recovering" to 200. The
+    /// listener is already accepting while this runs — health probes observe
+    /// the recovering state rather than connection refusals. On a server
+    /// started without durability this just marks ready and reports
+    /// [`CacheLoad::Missing`].
+    pub fn finish_recovery(&self) -> Result<CacheLoad, DurabilityError>
+    where
+        L: LinkPredictor + Clone + Sync,
+    {
+        let outcome = match &self.inner.durability {
+            Some(durable) => durable.load_cache_into(self.inner.service.probe_cache())?,
+            None => CacheLoad::Missing,
+        };
+        self.inner.ready.store(true, Ordering::SeqCst);
+        Ok(outcome)
+    }
+
     /// Stops accepting, answers everything already admitted, joins every
-    /// thread.
-    pub fn shutdown(mut self) {
+    /// thread. A durable server then flushes a final snapshot and exports
+    /// the warm probe cache, so the next boot on the same data directory
+    /// recovers instantly and answers its first repeat batch without a
+    /// single black-box probe.
+    pub fn shutdown(mut self)
+    where
+        L: LinkPredictor + Clone + Sync,
+    {
         let inner = &self.inner;
         inner.shutting_down.store(true, Ordering::SeqCst);
         // 1. No new explanation work: each batcher drains its lane and exits.
@@ -241,6 +281,19 @@ impl<L> ServerHandle<L> {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // 3. Drain-time durability flush. This runs with every batcher and
+        // worker already joined, so the snapshot covers every commit the
+        // server ever answered and the cache export holds every probe the
+        // whole serving run warmed — flushing earlier would race the commits
+        // and batches still draining above.
+        if let Some(durable) = &inner.durability {
+            if let Err(e) = durable.snapshot_now() {
+                eprintln!("exes-server: drain-time snapshot failed: {e}");
+            }
+            if let Err(e) = durable.save_cache(inner.service.probe_cache()) {
+                eprintln!("exes-server: drain-time cache export failed: {e}");
+            }
+        }
     }
 }
 
@@ -250,6 +303,47 @@ impl<L> ServerHandle<L> {
 /// compile-time `Send + Sync` guarantee on `ExesService` is what lets one
 /// instance be shared by every worker and the batcher.
 pub fn start<L>(service: ExesService<L>, config: ServerConfig) -> io::Result<ServerHandle<L>>
+where
+    L: LinkPredictor + Clone + Send + Sync + 'static,
+{
+    start_with(service, config, None)
+}
+
+/// Starts a server whose commits are durable: every `POST /commit` is
+/// WAL-appended and fsynced by `durable` before its epoch publishes, periodic
+/// snapshots compact the log, and [`ServerHandle::shutdown`] flushes a final
+/// snapshot plus the warm probe cache.
+///
+/// The service must have been built over `durable.store()` — the two sharing
+/// one [`exes_graph::store::GraphStore`] is what makes a WAL'd commit visible
+/// to the read path — so a mismatched pair is refused outright.
+///
+/// The server boots *not ready*: `/healthz` answers 503
+/// `{"status":"recovering"}` until the caller runs
+/// [`ServerHandle::finish_recovery`], which imports the persisted probe cache
+/// and flips readiness.
+pub fn start_durable<L>(
+    service: ExesService<L>,
+    config: ServerConfig,
+    durable: Arc<DurableStore>,
+) -> io::Result<ServerHandle<L>>
+where
+    L: LinkPredictor + Clone + Send + Sync + 'static,
+{
+    if !Arc::ptr_eq(service.store(), durable.store()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "start_durable requires a service built over the durable store's graph store",
+        ));
+    }
+    start_with(service, config, Some(durable))
+}
+
+fn start_with<L>(
+    service: ExesService<L>,
+    config: ServerConfig,
+    durability: Option<Arc<DurableStore>>,
+) -> io::Result<ServerHandle<L>>
 where
     L: LinkPredictor + Clone + Send + Sync + 'static,
 {
@@ -269,6 +363,10 @@ where
         slow_queue,
         conns: ConnQueue::new(config_pending),
         metrics: ServerMetrics::new(),
+        // A durable server starts recovering; start() servers have nothing
+        // to recover and are born ready.
+        ready: AtomicBool::new(durability.is_none()),
+        durability,
         shutting_down: AtomicBool::new(false),
         active: Mutex::new(Vec::new()),
         next_conn_id: AtomicU64::new(0),
@@ -526,6 +624,9 @@ fn healthz<L>(inner: &Inner<L>) -> Response
 where
     L: LinkPredictor + Clone + Sync,
 {
+    if !inner.ready.load(Ordering::SeqCst) {
+        return (503, Vec::new(), "{\"status\":\"recovering\"}".to_string());
+    }
     let body = format!(
         "{{\"status\":\"ok\",\"epoch\":{},\"models\":{}}}",
         inner.service.store().epoch(),
@@ -556,6 +657,16 @@ where
         cache_evictions: cache.evicted(),
         plan_hits: cache.plan_hits(),
         plan_misses: cache.plan_misses(),
+        durability: inner.durability.as_ref().map(|durable| {
+            let stats = durable.stats();
+            DurabilityGauges {
+                wal_appends: stats.wal_appends,
+                wal_bytes: stats.wal_bytes,
+                snapshots_written: stats.snapshots_written,
+                last_recovery_ms: stats.last_recovery_ms,
+                recovered_epoch: stats.recovered_epoch,
+            }
+        }),
     });
     (200, Vec::new(), body)
 }
@@ -749,7 +860,21 @@ where
             return (400, Vec::new(), error.to_json());
         }
     };
-    match inner.service.commit(&batch) {
+    // On a durable server the batch must hit the WAL (fsynced) before its
+    // epoch publishes, so commits route through the durable store. A batch
+    // the graph rejects stays a client error (409); an I/O failure while
+    // persisting is the server's fault (500) — the epoch was not published.
+    let committed = match &inner.durability {
+        Some(durable) => durable.commit(&batch).map_err(|error| match error {
+            DurabilityError::Graph(e) => (409, WireError::new("commit_rejected", e.to_string())),
+            other => (500, WireError::new("durability", other.to_string())),
+        }),
+        None => inner
+            .service
+            .commit(&batch)
+            .map_err(|error| (409, WireError::new("commit_rejected", error.to_string()))),
+    };
+    match committed {
         Ok(snapshot) => {
             inner.metrics.commits.fetch_add(1, Ordering::Relaxed);
             (
@@ -758,16 +883,12 @@ where
                 wire::commit_response_json(snapshot.epoch(), snapshot.graph()),
             )
         }
-        Err(error) => {
+        Err((status, error)) => {
             inner
                 .metrics
                 .commit_failures
                 .fetch_add(1, Ordering::Relaxed);
-            (
-                409,
-                Vec::new(),
-                WireError::new("commit_rejected", error.to_string()).to_json(),
-            )
+            (status, Vec::new(), error.to_json())
         }
     }
 }

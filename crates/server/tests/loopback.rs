@@ -20,8 +20,10 @@ use exes_core::{
     SeedPolicy,
 };
 use exes_datasets::{DatasetConfig, QueryWorkload, SyntheticDataset};
+use exes_durability::{CacheLoad, DurabilityConfig, DurableStore};
 use exes_embedding::{EmbeddingConfig, SkillEmbedding};
 use exes_expert_search::{ExpertRanker, PropagationRanker, TfIdfRanker};
+use exes_graph::store::GraphStore;
 use exes_graph::{GraphView, Query, UpdateBatch};
 use exes_linkpred::CommonNeighbors;
 use exes_server::client::HttpClient;
@@ -84,7 +86,13 @@ fn fixture() -> Fixture {
 /// Builds the service every test serves (and the in-process twin the
 /// byte-equivalence test compares against).
 fn service(f: &Fixture) -> ExesService<CommonNeighbors> {
-    ExesService::builder_from_graph(&f.exes, f.ds.graph.clone())
+    service_over(f, Arc::new(GraphStore::new(f.ds.graph.clone())))
+}
+
+/// The same models, registered in the same order (so model ids and
+/// fingerprints agree across boots), over an arbitrary live store.
+fn service_over(f: &Fixture, store: Arc<GraphStore>) -> ExesService<CommonNeighbors> {
+    ExesService::builder(&f.exes, store)
         .model(
             "propagation",
             ModelSpec::expert_ranker(PropagationRanker::default(), f.exes.config().k),
@@ -155,9 +163,17 @@ fn results_slice(body: &str) -> &str {
 /// counter-normalised form everywhere, and on the raw bytes when the engine
 /// is sequential (1-core container, or `EXES_THREADS=1`).
 fn normalize_counters(text: &str) -> String {
+    zero_counters(
+        text,
+        &["\"probes\":", "\"cache_hits\":", "\"cache_misses\":"],
+    )
+}
+
+/// Zeroes the named numeric counters in a serialised results array.
+fn zero_counters(text: &str, keys: &[&str]) -> String {
     let mut out = String::with_capacity(text.len());
     let mut rest = text;
-    while let Some(found) = ["\"probes\":", "\"cache_hits\":", "\"cache_misses\":"]
+    while let Some(found) = keys
         .iter()
         .filter_map(|key| rest.find(key).map(|at| (at, key.len())))
         .min()
@@ -763,4 +779,128 @@ fn metrics_observe_served_traffic() {
     let last = wire::report_from_json(parsed.get("last_report").unwrap()).unwrap();
     assert_eq!(last.probes, 0);
     handle.shutdown();
+}
+
+#[test]
+fn warm_restart_recovers_state_and_answers_repeat_batch_with_zero_probes() {
+    let f = fixture();
+    let dir = std::env::temp_dir().join(format!("exes-loopback-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durability = DurabilityConfig::default();
+
+    // ---- First boot: seeded fresh from the dataset graph. ----
+    let durable =
+        Arc::new(DurableStore::open(&dir, durability, || f.ds.graph.clone()).expect("first boot"));
+    let handle = exes_server::start_durable(
+        service_over(&f, Arc::clone(durable.store())),
+        quick_config(),
+        Arc::clone(&durable),
+    )
+    .expect("bind loopback");
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    // Until recovery is finished, the listener is up but not ready.
+    let recovering = client.get("/healthz").unwrap();
+    assert_eq!(recovering.status, 503);
+    assert_eq!(recovering.body, "{\"status\":\"recovering\"}");
+    assert!(!handle.is_ready());
+    assert_eq!(handle.finish_recovery().unwrap(), CacheLoad::Missing);
+    assert!(handle.is_ready());
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    // A durable commit, then an explain batch that warms the probe cache.
+    let subject = exes_graph::PersonId(f.subjects[0]);
+    let lost = f.ds.graph.person_skills(subject)[0];
+    let lost_name = f.ds.graph.vocab().name(lost).unwrap();
+    let commit_body = format!(
+        "{{\"ops\":[{{\"op\":\"add_person\",\"name\":\"newcomer\",\"skills\":[\"{lost_name}\"]}}]}}"
+    );
+    let committed = client.post("/commit", &commit_body).unwrap();
+    assert_eq!(committed.status, 200, "body: {}", committed.body);
+    // A bad commit is rejected — and, being rejected, rolled off the WAL.
+    let bad = client
+        .post(
+            "/commit",
+            "{\"ops\":[{\"op\":\"remove_skill\",\"person\":0,\"skill\":\"no-such-skill\"}]}",
+        )
+        .unwrap();
+    assert_eq!(bad.status, 409);
+    let body = six_kind_body(&f);
+    let first = client.post("/explain", &body).unwrap();
+    assert_eq!(first.status, 200);
+    let parsed = json::parse(&first.body).unwrap();
+    assert_eq!(parsed.get("epoch").unwrap().as_u64(), Some(1));
+    let cold = wire::report_from_json(parsed.get("report").unwrap()).unwrap();
+    assert!(cold.probes > 0, "the first pass pays real probes");
+
+    // The durability metrics group is live on a durable server.
+    let metrics = client.get("/metrics").unwrap();
+    let parsed = json::parse(&metrics.body).unwrap();
+    let group = parsed.get("durability").unwrap();
+    assert_eq!(group.get("wal_appends").unwrap().as_u64(), Some(1));
+    assert!(group.get("wal_bytes").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(group.get("recovered_epoch").unwrap().as_u64(), Some(0));
+
+    // Graceful drain: flushes the final snapshot and exports the warm cache.
+    drop(client);
+    handle.shutdown();
+    drop(durable);
+
+    // ---- Second boot on the same data directory. ----
+    let durable = Arc::new(
+        DurableStore::open(&dir, durability, || {
+            panic!("a warm restart recovers from disk; the seed must not run")
+        })
+        .expect("second boot"),
+    );
+    let report = durable.recovery();
+    assert!(report.had_snapshot);
+    assert_eq!(report.recovered_epoch, 1);
+    assert_eq!(
+        report.replayed_records, 0,
+        "the drain-time snapshot covered the WAL"
+    );
+    let handle = exes_server::start_durable(
+        service_over(&f, Arc::clone(durable.store())),
+        quick_config(),
+        Arc::clone(&durable),
+    )
+    .expect("bind loopback");
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 503);
+    match handle.finish_recovery().unwrap() {
+        CacheLoad::Loaded(n) => assert!(n > 0, "the exported cache reloads"),
+        other => panic!("expected a warm cache import, got {other:?}"),
+    }
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let parsed = json::parse(&health.body).unwrap();
+    assert_eq!(parsed.get("epoch").unwrap().as_u64(), Some(1));
+
+    // The acceptance bar: the restarted server answers the repeat batch
+    // entirely from the imported cache — zero black-box probes.
+    let repeat = client.post("/explain", &body).unwrap();
+    assert_eq!(repeat.status, 200);
+    let parsed = json::parse(&repeat.body).unwrap();
+    assert_eq!(parsed.get("epoch").unwrap().as_u64(), Some(1));
+    let warm = wire::report_from_json(parsed.get("report").unwrap()).unwrap();
+    assert_eq!(warm.probes, 0, "warm restart must not probe: {warm:?}");
+    assert!(warm.cache_hits > 0);
+    // And the bytes agree with the first boot's answers. The rescore
+    // counters are zeroed too: the warm pass answers from the imported cache
+    // without re-running the ranker, so those legitimately read 0.
+    let all_counters = [
+        "\"probes\":",
+        "\"cache_hits\":",
+        "\"cache_misses\":",
+        "\"incremental_rescores\":",
+        "\"full_rescores\":",
+    ];
+    assert_eq!(
+        zero_counters(results_slice(&repeat.body), &all_counters),
+        zero_counters(results_slice(&first.body), &all_counters),
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
