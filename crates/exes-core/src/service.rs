@@ -377,6 +377,32 @@ impl ServiceReport {
             self.cache_hits as f64 / total
         }
     }
+
+    /// Folds another report into this one, producing the aggregate a routing
+    /// tier hands back when one client batch was answered by several workers.
+    ///
+    /// Every counter sums. `epoch` takes the **minimum** of the two — the
+    /// gated floor every contributing worker is guaranteed to have reached —
+    /// so a client that read `epoch` from a merged report can pass it back as
+    /// a read-your-writes gate and every shard will satisfy it. Fold starting
+    /// from a real per-worker report, not `ServiceReport::default()`, or the
+    /// default's epoch 0 wins the minimum.
+    pub fn merge(&mut self, other: &ServiceReport) {
+        self.epoch = self.epoch.min(other.epoch);
+        self.requests += other.requests;
+        self.groups += other.groups;
+        self.duplicate_requests += other.duplicate_requests;
+        self.failed_requests += other.failed_requests;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.probes += other.probes;
+        self.incremental_rescores += other.incremental_rescores;
+        self.full_fallback_rescores += other.full_fallback_rescores;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.budgeted_results += other.budgeted_results;
+    }
 }
 
 /// A batch explanation server over a live graph store and a registry of
@@ -1483,6 +1509,66 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(hits_only.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn merged_reports_sum_counters_and_gate_the_epoch_to_the_minimum() {
+        let mut merged = ServiceReport {
+            epoch: 7,
+            requests: 4,
+            groups: 2,
+            duplicate_requests: 1,
+            failed_requests: 0,
+            cache_hits: 10,
+            cache_misses: 5,
+            cache_evictions: 1,
+            probes: 5,
+            incremental_rescores: 3,
+            full_fallback_rescores: 2,
+            plan_hits: 4,
+            plan_misses: 1,
+            budgeted_results: 1,
+        };
+        let other = ServiceReport {
+            epoch: 6,
+            requests: 2,
+            groups: 1,
+            duplicate_requests: 0,
+            failed_requests: 2,
+            cache_hits: 4,
+            cache_misses: 6,
+            cache_evictions: 0,
+            probes: 6,
+            incremental_rescores: 1,
+            full_fallback_rescores: 5,
+            plan_hits: 0,
+            plan_misses: 2,
+            budgeted_results: 0,
+        };
+        merged.merge(&other);
+        // The epoch is a read-your-writes gate: a merged report promises only
+        // what every contributing worker has reached.
+        assert_eq!(merged.epoch, 6);
+        assert_eq!(merged.requests, 6);
+        assert_eq!(merged.groups, 3);
+        assert_eq!(merged.duplicate_requests, 1);
+        assert_eq!(merged.failed_requests, 2);
+        assert_eq!(merged.cache_hits, 14);
+        assert_eq!(merged.cache_misses, 11);
+        assert_eq!(merged.cache_evictions, 1);
+        assert_eq!(merged.probes, 11);
+        assert_eq!(merged.incremental_rescores, 4);
+        assert_eq!(merged.full_fallback_rescores, 7);
+        assert_eq!(merged.plan_hits, 4);
+        assert_eq!(merged.plan_misses, 3);
+        assert_eq!(merged.budgeted_results, 1);
+        assert_eq!(merged.hit_rate(), 14.0 / 25.0);
+        // Merging a single-worker report into itself twice is associative
+        // with the fold the router runs: min(epoch) never moves upward.
+        let mut again = merged;
+        again.merge(&merged);
+        assert_eq!(again.epoch, 6);
+        assert_eq!(again.requests, 12);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! # exes-router
+//!
+//! A front-tier routing process that scales the ExES serving stack *out*:
+//! one router in front of N independent `exes-server` workers, each holding
+//! its own probe cache and its own replica of the epoch-versioned graph.
+//!
+//! ## Why a router, and why this one
+//!
+//! A single worker's probe cache is the asset that makes serving cheap —
+//! but it is bounded. Under a subject-skewed workload whose hot working set
+//! exceeds one worker's cache, the LRU thrashes and the hit rate collapses.
+//! The router's answer is **cache partitioning**: `/explain` requests are
+//! sharded by `(model, subject)` over a consistent-hash ring
+//! ([`ring::HashRing`]), so each worker sees a *disjoint* slice of the hot
+//! set. N workers behind the router hold an N-times-larger aggregate cache
+//! with zero duplication — the same workload that thrashes one worker runs
+//! warm on the fleet.
+//!
+//! Writes go the other way: `POST /commit` lands on the router, whose
+//! [`sequencer::Sequencer`] assigns the batch the next epoch in a single
+//! monotone sequence and replicates it to **every** worker in order
+//! (deterministic state machine + same ordered inputs = same state, and the
+//! store's chained fingerprint proves it). Workers that miss a commit are
+//! caught up from a bounded replication log; workers whose fingerprint
+//! disagrees at an equal epoch have diverged and are quarantined.
+//!
+//! Read-your-writes closes the loop: a committing client sends its next
+//! explain with `X-Exes-Min-Epoch: <committed epoch>`, and the router holds
+//! or re-routes the shard until a worker serving at least that epoch
+//! answers — so a client never reads a fleet member that has not yet seen
+//! the client's own write.
+//!
+//! ## Byte equivalence
+//!
+//! Routing must be transparent: the results a client gets through the
+//! router are **byte-identical** to what a single worker would have
+//! produced (per-request explanation bytes are deterministic and
+//! independent of batch composition — established by the serving tiers
+//! below). The router never re-serializes worker results; [`proxy`] splices
+//! raw result slots back into request order and merges only the batch
+//! *reports* (counters sum, the epoch takes the gated minimum — see
+//! `exes_core::ServiceReport::merge`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod front;
+pub mod proxy;
+pub mod ring;
+pub mod sequencer;
+
+pub use backend::{Backend, BackendPool};
+pub use front::{start, RouterConfig, RouterHandle};
+pub use ring::HashRing;
+pub use sequencer::{CommitOutcome, Sequencer};

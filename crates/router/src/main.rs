@@ -1,0 +1,211 @@
+//! The `exes-router` binary: a sharded serving fleet behind one address.
+//!
+//! Two ways to get a fleet:
+//!
+//! ```text
+//! # Route across workers you already run:
+//! exes-router --port 7800 --workers 127.0.0.1:7878,127.0.0.1:7879
+//!
+//! # Or self-host: spawn N in-process workers over one synthetic dataset
+//! # (every worker starts from the identical epoch-0 graph — the replication
+//! # precondition) and route across them:
+//! exes-router --port 7800 --spawn 4 --people 600
+//! ```
+//!
+//! Flags (all optional unless noted):
+//!
+//! * `--port N`            router listen port (default 7800; 0 = ephemeral)
+//! * `--workers a,b,...`   comma-separated worker addresses to route across
+//! * `--spawn N`           self-host N in-process workers instead
+//!   (exactly one of `--workers` / `--spawn` is required)
+//! * `--people N`          synthetic dataset size for `--spawn` (default 400)
+//! * `--seed N`            dataset seed for `--spawn` (default 7)
+//! * `--k N`               top-k of the spawned workers' models (default 10)
+//! * `--cache-capacity N`  per-worker probe-cache entries for `--spawn`
+//!   (default: the engine default)
+//! * `--vnodes N`          ring virtual nodes per worker (default 64)
+//! * `--gate-wait-ms N`    read-your-writes hold before failover (default 2000)
+//! * `--health-interval-ms N`  prober sweep interval (default 150)
+//!
+//! Endpoints mirror a worker's (`/explain`, `/commit`, `/healthz`,
+//! `/metrics`) — clients need no changes beyond the optional
+//! `X-Exes-Min-Epoch` header.
+
+use exes_core::{Exes, ExesConfig, ExesService, ModelSpec, OutputMode, SeedPolicy};
+use exes_datasets::{DatasetConfig, SyntheticDataset};
+use exes_embedding::{EmbeddingConfig, SkillEmbedding};
+use exes_expert_search::{PropagationRanker, TfIdfRanker};
+use exes_graph::GraphView;
+use exes_linkpred::CommonNeighbors;
+use exes_router::RouterConfig;
+use exes_server::ServerConfig;
+use exes_team::GreedyCoverTeamFormer;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+struct Args {
+    port: u16,
+    workers: Vec<SocketAddr>,
+    spawn: usize,
+    people: usize,
+    seed: u64,
+    k: usize,
+    cache_capacity: Option<usize>,
+    vnodes: usize,
+    gate_wait_ms: u64,
+    health_interval_ms: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: 7800,
+        workers: Vec::new(),
+        spawn: 0,
+        people: 400,
+        seed: 7,
+        k: 10,
+        cache_capacity: None,
+        vnodes: 64,
+        gate_wait_ms: 2000,
+        health_interval_ms: 150,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |what: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{flag} needs a {what} argument"))
+        };
+        match flag.as_str() {
+            "--port" => args.port = value("port").parse().expect("--port: not a port"),
+            "--workers" => {
+                args.workers = value("addr list")
+                    .split(',')
+                    .map(|addr| addr.trim().parse().expect("--workers: bad address"))
+                    .collect()
+            }
+            "--spawn" => args.spawn = value("count").parse().expect("--spawn: not a count"),
+            "--people" => args.people = value("count").parse().expect("--people: not a count"),
+            "--seed" => args.seed = value("seed").parse().expect("--seed: not a number"),
+            "--k" => args.k = value("k").parse().expect("--k: not a number"),
+            "--cache-capacity" => {
+                args.cache_capacity = Some(
+                    value("count")
+                        .parse()
+                        .expect("--cache-capacity: not a count"),
+                )
+            }
+            "--vnodes" => args.vnodes = value("count").parse().expect("--vnodes: not a count"),
+            "--gate-wait-ms" => {
+                args.gate_wait_ms = value("ms").parse().expect("--gate-wait-ms: not ms")
+            }
+            "--health-interval-ms" => {
+                args.health_interval_ms = value("ms").parse().expect("--health-interval-ms: not ms")
+            }
+            other => panic!("unknown flag '{other}' (see crate docs for the flag list)"),
+        }
+    }
+    args
+}
+
+/// Builds one worker service over a shared dataset and starts it on an
+/// ephemeral port. Every spawned worker starts from the *identical* epoch-0
+/// graph — the precondition for ordered replication.
+fn spawn_worker(
+    ds: &SyntheticDataset,
+    embedding: &SkillEmbedding,
+    k: usize,
+    cache_capacity: Option<usize>,
+) -> SocketAddr {
+    let mut cfg = ExesConfig::fast()
+        .with_k(k)
+        .with_output_mode(OutputMode::SmoothRank);
+    if let Some(capacity) = cache_capacity {
+        cfg = cfg.with_probe_cache_capacity(capacity);
+    }
+    let exes = Exes::new(cfg, embedding.clone(), CommonNeighbors);
+    let mut service = ExesService::from_graph(&exes, ds.graph.clone());
+    service
+        .register("tfidf", ModelSpec::expert_ranker(TfIdfRanker::default(), k))
+        .expect("valid spec");
+    service
+        .register(
+            "propagation",
+            ModelSpec::expert_ranker(PropagationRanker::default(), k),
+        )
+        .expect("valid spec");
+    service
+        .register(
+            "team",
+            ModelSpec::team_former(
+                GreedyCoverTeamFormer::new(TfIdfRanker::default()),
+                TfIdfRanker::default(),
+                SeedPolicy::Unseeded,
+            ),
+        )
+        .expect("valid spec");
+    let handle = exes_server::start(service, ServerConfig::default()).expect("worker bind failed");
+    let addr = handle.addr();
+    // The worker serves for the process's life; the handle is forgotten
+    // rather than dropped so its threads keep running.
+    std::mem::forget(handle);
+    addr
+}
+
+fn main() {
+    let args = parse_args();
+    if args.workers.is_empty() == (args.spawn == 0) {
+        panic!("exactly one of --workers or --spawn is required");
+    }
+
+    let workers = if args.spawn > 0 {
+        eprintln!(
+            "generating a synthetic collaboration network ({} people) for {} workers...",
+            args.people, args.spawn
+        );
+        let base = DatasetConfig::github_sim();
+        let factor = args.people as f64 / base.num_people as f64;
+        let ds = SyntheticDataset::generate(&base.scaled(factor).with_seed(args.seed));
+        let embedding = SkillEmbedding::train(
+            ds.corpus.token_bags(),
+            ds.graph.vocab().len(),
+            &EmbeddingConfig {
+                dim: 16,
+                ..Default::default()
+            },
+        );
+        let workers: Vec<SocketAddr> = (0..args.spawn)
+            .map(|_| spawn_worker(&ds, &embedding, args.k, args.cache_capacity))
+            .collect();
+        eprintln!(
+            "spawned {} workers over {} people / {} edges: {:?}",
+            workers.len(),
+            ds.graph.num_people(),
+            ds.graph.num_edges(),
+            workers
+        );
+        workers
+    } else {
+        args.workers.clone()
+    };
+
+    let config = RouterConfig {
+        addr: format!("127.0.0.1:{}", args.port),
+        vnodes: args.vnodes,
+        gate_wait: Duration::from_millis(args.gate_wait_ms),
+        health_interval: Duration::from_millis(args.health_interval_ms),
+        ..Default::default()
+    };
+    let handle = exes_router::start(&workers, config).expect("router start failed");
+    eprintln!(
+        "exes-router listening on http://{} — {} workers, fleet epoch {}",
+        handle.addr(),
+        handle.worker_count(),
+        handle.committed_epoch()
+    );
+    eprintln!("try:  curl -s localhost:{}/healthz", handle.addr().port());
+
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,295 @@
+//! Raw-byte request splitting and response splicing.
+//!
+//! The router must not re-serialize what workers produced: the byte-
+//! equivalence contract (a routed `/explain` answers the same result bytes a
+//! single worker would) survives only if result slots travel **verbatim**.
+//! So instead of parsing worker responses into structs and printing them
+//! back, this module slices raw JSON:
+//!
+//! * [`object_value_span`] finds the raw text of one top-level key's value
+//!   inside a JSON object, by walking the object's token structure (strings
+//!   and escapes respected) without building a tree;
+//! * [`split_top_level`] cuts a raw JSON array into its element substrings;
+//! * [`assemble_response`] re-interleaves per-worker result slots back into
+//!   request order and merges the per-worker [`ServiceReport`]s with
+//!   [`ServiceReport::merge`] — counters sum, the epoch is the gated
+//!   minimum any contributing worker served.
+//!
+//! The slicing is sound for any JSON the workers emit because inside a JSON
+//! string every `"` is escaped — so tracking depth, in-string state and
+//! escapes is enough to find element boundaries.
+
+use exes_core::ServiceReport;
+use exes_server::json;
+use exes_server::wire;
+
+/// The raw span (as a subslice) of the value of top-level `key` in the JSON
+/// object `text`. `None` when `text` is not an object or lacks the key.
+pub fn object_value_span<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let bytes = text.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    loop {
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(b'}') | None => return None,
+            Some(b',') => {
+                i += 1;
+                continue;
+            }
+            Some(b'"') => {}
+            Some(_) => return None,
+        }
+        let (name, after_name) = raw_string(bytes, i)?;
+        i = skip_ws(bytes, after_name);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let end = value_end(bytes, i)?;
+        // Keys the workers emit never contain escapes, so comparing the raw
+        // quoted text against the plain key is exact.
+        if name == key.as_bytes() {
+            return Some(&text[i..end]);
+        }
+        i = end;
+    }
+}
+
+/// Splits a raw JSON array (`[...]`, surrounding whitespace allowed) into
+/// its top-level element substrings, each trimmed. `None` when `text` is
+/// not an array or is structurally broken.
+pub fn split_top_level(text: &str) -> Option<Vec<&str>> {
+    let bytes = text.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if bytes.get(i) != Some(&b'[') {
+        return None;
+    }
+    i += 1;
+    let mut out = Vec::new();
+    loop {
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(b']') => return Some(out),
+            None => return None,
+            _ => {}
+        }
+        let end = value_end(bytes, i)?;
+        out.push(text[i..end].trim());
+        i = skip_ws(bytes, end);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b']') => return Some(out),
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while matches!(bytes.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        i += 1;
+    }
+    i
+}
+
+/// The raw bytes of the string starting at `bytes[start] == b'"'` (content
+/// only, quotes stripped) and the index just past its closing quote.
+fn raw_string(bytes: &[u8], start: usize) -> Option<(&[u8], usize)> {
+    let mut i = start + 1;
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'\\' => i += 2,
+            b'"' => return Some((&bytes[start + 1..i], i + 1)),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// The index just past the JSON value starting at `bytes[start]`.
+fn value_end(bytes: &[u8], start: usize) -> Option<usize> {
+    match bytes.get(start)? {
+        b'"' => raw_string(bytes, start).map(|(_, end)| end),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut i = start;
+            while let Some(&b) = bytes.get(i) {
+                match b {
+                    b'"' => {
+                        let (_, end) = raw_string(bytes, i)?;
+                        i = end;
+                        continue;
+                    }
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(i + 1);
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            None
+        }
+        // Scalar: runs to the next structural delimiter.
+        _ => {
+            let mut i = start;
+            while let Some(&b) = bytes.get(i) {
+                if matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r') {
+                    break;
+                }
+                i += 1;
+            }
+            (i > start).then_some(i)
+        }
+    }
+}
+
+/// One worker's answer to one routed sub-batch, already sliced raw.
+pub struct ShardAnswer<'a> {
+    /// Original request indices this shard covered, in sub-batch order.
+    pub indices: &'a [usize],
+    /// Raw result-slot bytes, one per index, spliced verbatim from the
+    /// worker's `results` array.
+    pub slots: Vec<&'a str>,
+    /// The epoch the worker answered at.
+    pub epoch: u64,
+    /// The worker's batch report.
+    pub report: ServiceReport,
+}
+
+/// Slices one worker's `POST /explain` response body into a [`ShardAnswer`].
+/// `None` when the body does not have the worker response shape or the slot
+/// count disagrees with the sub-batch size.
+pub fn slice_worker_response<'a>(body: &'a str, indices: &'a [usize]) -> Option<ShardAnswer<'a>> {
+    let epoch = object_value_span(body, "epoch")?
+        .trim()
+        .parse::<u64>()
+        .ok()?;
+    let slots = split_top_level(object_value_span(body, "results")?)?;
+    if slots.len() != indices.len() {
+        return None;
+    }
+    let report = json::parse(object_value_span(body, "report")?).ok()?;
+    let report = wire::report_from_json(&report)?;
+    Some(ShardAnswer {
+        indices,
+        slots,
+        epoch,
+        report,
+    })
+}
+
+/// Re-assembles the routed response: slots back in request order (missing
+/// slots filled from `fill_error`), reports merged, epoch gated to the
+/// minimum any contributing worker served (`floor` — the router's committed
+/// epoch — when no worker contributed).
+pub fn assemble_response(
+    total: usize,
+    answers: &[ShardAnswer<'_>],
+    fill_error: &str,
+    floor: u64,
+) -> String {
+    let mut slots: Vec<&str> = vec![fill_error; total];
+    for answer in answers {
+        for (&index, &slot) in answer.indices.iter().zip(&answer.slots) {
+            slots[index] = slot;
+        }
+    }
+    let mut merged: Option<ServiceReport> = None;
+    for answer in answers {
+        match &mut merged {
+            Some(merged) => merged.merge(&answer.report),
+            None => merged = Some(answer.report),
+        }
+    }
+    let filled = total - answers.iter().map(|a| a.slots.len()).sum::<usize>();
+    let mut report = merged.unwrap_or(ServiceReport {
+        epoch: floor,
+        ..Default::default()
+    });
+    // Slots the fleet never answered are failures the client sees as error
+    // entries; the report must agree with the body it travels in.
+    report.failed_requests += filled;
+    let results = format!("[{}]", slots.join(","));
+    wire::explain_response_json(report.epoch, &results, &report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_slice_values_verbatim_including_nested_structure() {
+        let body = r#"{"epoch":7,"results":[{"a":"x,]}"},2,[3,4]],"report":{"epoch":7}}"#;
+        assert_eq!(object_value_span(body, "epoch"), Some("7"));
+        assert_eq!(
+            object_value_span(body, "results"),
+            Some(r#"[{"a":"x,]}"},2,[3,4]]"#)
+        );
+        assert_eq!(object_value_span(body, "report"), Some(r#"{"epoch":7}"#));
+        assert_eq!(object_value_span(body, "missing"), None);
+    }
+
+    #[test]
+    fn split_top_level_respects_strings_and_nesting() {
+        let slots = split_top_level(r#"[{"s":"a\",[b"},[1,{"x":2}],"c",4.5,null]"#).unwrap();
+        assert_eq!(
+            slots,
+            vec![
+                r#"{"s":"a\",[b"}"#,
+                r#"[1,{"x":2}]"#,
+                r#""c""#,
+                "4.5",
+                "null"
+            ]
+        );
+        assert_eq!(split_top_level("[]").unwrap(), Vec::<&str>::new());
+        assert_eq!(split_top_level(r#"{"not":"array"}"#), None);
+        assert_eq!(split_top_level("[1,2"), None);
+    }
+
+    #[test]
+    fn assembly_reorders_slots_and_merges_reports() {
+        let first = ShardAnswer {
+            indices: &[0, 2],
+            slots: vec!["{\"r\":1}", "{\"r\":3}"],
+            epoch: 5,
+            report: ServiceReport {
+                epoch: 5,
+                requests: 2,
+                cache_hits: 4,
+                ..Default::default()
+            },
+        };
+        let second = ShardAnswer {
+            indices: &[1],
+            slots: vec!["{\"r\":2}"],
+            epoch: 6,
+            report: ServiceReport {
+                epoch: 6,
+                requests: 1,
+                cache_misses: 1,
+                ..Default::default()
+            },
+        };
+        let body = assemble_response(4, &[first, second], "{\"error\":{}}", 5);
+        assert!(body.starts_with("{\"epoch\":5,"), "gated epoch: {body}");
+        assert!(
+            body.contains("\"results\":[{\"r\":1},{\"r\":2},{\"r\":3},{\"error\":{}}]"),
+            "slot order: {body}"
+        );
+        let parsed = json::parse(&body).unwrap();
+        let report = wire::report_from_json(parsed.get("report").unwrap()).unwrap();
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.cache_hits, 4);
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.failed_requests, 1, "unanswered slot is a failure");
+        assert_eq!(report.epoch, 5);
+    }
+}

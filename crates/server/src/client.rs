@@ -1,13 +1,23 @@
-//! A tiny blocking HTTP/1.1 client for loopback testing, benching and the
-//! examples.
+//! Blocking HTTP/1.1 clients for loopback testing, benching, the examples —
+//! and the router's backend connections.
 //!
-//! This is deliberately *not* a production client — no TLS, no redirects, no
-//! connection pooling — just enough to drive the server over a keep-alive
-//! socket and get structured responses back, without pulling a dependency
-//! into the offline build.
+//! Two layers:
+//!
+//! * [`HttpClient`] — one keep-alive connection: deliberately *not* a
+//!   production client (no TLS, no redirects), just enough to drive a server
+//!   over a socket and get structured responses back, without pulling a
+//!   dependency into the offline build;
+//! * [`ClientPool`] — a small per-backend pool of [`HttpClient`]s:
+//!   connections are checked out per request and returned on success, stale
+//!   keep-alive connections (closed server-side between requests) are retried
+//!   once on a fresh socket, and connects are bounded by a timeout. This is
+//!   what `exes-router` holds per worker, and what concurrent loopback tests
+//!   share instead of reconnecting serially.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// One parsed HTTP response.
 #[derive(Debug, Clone)]
@@ -40,19 +50,41 @@ pub struct HttpClient {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
     reconnect: bool,
+    connect_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
 }
 
 impl HttpClient {
-    /// Connects to `addr`.
+    /// Connects to `addr` with no timeouts (reads block until the server
+    /// answers — what tests want).
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, None, None)
+    }
+
+    /// Connects to `addr`, bounding the connect by `connect_timeout` and
+    /// every subsequent read/write by `io_timeout` (either may be `None` for
+    /// unbounded). The timeouts survive transparent reconnects — what a
+    /// router talking to a possibly-stuck worker needs.
+    pub fn connect_with(
+        addr: SocketAddr,
+        connect_timeout: Option<Duration>,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<Self> {
+        let stream = match connect_timeout {
+            Some(limit) => TcpStream::connect_timeout(&addr, limit)?,
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(io_timeout).ok();
+        stream.set_write_timeout(io_timeout).ok();
         let reader = BufReader::new(stream.try_clone()?);
         Ok(HttpClient {
             addr,
             stream,
             reader,
             reconnect: false,
+            connect_timeout,
+            io_timeout,
         })
     }
 
@@ -74,14 +106,30 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<HttpResponse> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`HttpClient::request`] with extra headers (e.g. the router's
+    /// `X-Exes-Min-Epoch` read-your-writes gate).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
         if self.reconnect {
-            *self = Self::connect(self.addr)?;
+            *self = Self::connect_with(self.addr, self.connect_timeout, self.io_timeout)?;
         }
         let body = body.unwrap_or("");
-        let raw = format!(
-            "{method} {path} HTTP/1.1\r\nHost: exes\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len()
-        );
+        let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: exes\r\n");
+        for (name, value) in headers {
+            raw.push_str(name);
+            raw.push_str(": ");
+            raw.push_str(value);
+            raw.push_str("\r\n");
+        }
+        raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
         self.stream.write_all(raw.as_bytes())?;
         self.stream.flush()?;
         self.read_response()
@@ -150,4 +198,129 @@ impl HttpClient {
             .is_some_and(|v| v.eq_ignore_ascii_case("close"));
         Ok(response)
     }
+}
+
+/// A small pool of keep-alive connections to one backend.
+///
+/// Checkout-per-request: [`ClientPool::request`] pops an idle connection (or
+/// dials a new one, bounded by the connect timeout), runs the request, and
+/// returns the connection to the pool on success — so concurrent callers
+/// reuse warm sockets instead of reconnecting serially, and at most
+/// `max_idle` idle connections are retained.
+///
+/// A *reused* connection may have been closed server-side since its last
+/// request (keep-alive idle timeout); that failure mode — an error before a
+/// single response byte — is retried exactly once on a freshly dialed
+/// connection. Fresh-connection failures are never retried: the server is
+/// actually unreachable, and hiding that from a router's health accounting
+/// would be worse than the error.
+pub struct ClientPool {
+    addr: SocketAddr,
+    connect_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
+    idle: Mutex<Vec<HttpClient>>,
+    max_idle: usize,
+}
+
+impl ClientPool {
+    /// A pool with no timeouts, retaining up to 4 idle connections.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_limits(addr, None, None, 4)
+    }
+
+    /// A pool with explicit connect/io timeouts and idle-retention bound.
+    pub fn with_limits(
+        addr: SocketAddr,
+        connect_timeout: Option<Duration>,
+        io_timeout: Option<Duration>,
+        max_idle: usize,
+    ) -> Self {
+        ClientPool {
+            addr,
+            connect_timeout,
+            io_timeout,
+            idle: Mutex::new(Vec::new()),
+            max_idle: max_idle.max(1),
+        }
+    }
+
+    /// The backend this pool dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Idle connections currently retained (a gauge for tests and metrics).
+    pub fn idle_connections(&self) -> usize {
+        self.idle.lock().expect("client pool poisoned").len()
+    }
+
+    /// `GET path` on a pooled connection.
+    pub fn get(&self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, &[], None)
+    }
+
+    /// `POST path` with a JSON body on a pooled connection.
+    pub fn post(&self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, &[], Some(body))
+    }
+
+    /// Runs one request on a pooled connection, returning the connection to
+    /// the pool afterwards. Stale reused connections are retried once on a
+    /// fresh socket (see the type docs for why only those).
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let reused = self.idle.lock().expect("client pool poisoned").pop();
+        let (mut client, was_reused) = match reused {
+            Some(client) => (client, true),
+            None => (self.dial()?, false),
+        };
+        match client.request_with_headers(method, path, headers, body) {
+            Ok(response) => {
+                self.park(client);
+                Ok(response)
+            }
+            Err(error) if was_reused && connection_died(&error) => {
+                // The pooled socket went stale between requests (keep-alive
+                // idle timeout, server restart): the write or the very first
+                // read hit a dead connection. One retry on a fresh socket is
+                // safe; other error kinds (a timeout mid-response, bad data)
+                // could mean the server already acted on the request, so they
+                // surface to the caller instead of being silently replayed.
+                let mut fresh = self.dial()?;
+                let response = fresh.request_with_headers(method, path, headers, body)?;
+                self.park(fresh);
+                Ok(response)
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    fn dial(&self) -> io::Result<HttpClient> {
+        HttpClient::connect_with(self.addr, self.connect_timeout, self.io_timeout)
+    }
+
+    fn park(&self, client: HttpClient) {
+        let mut idle = self.idle.lock().expect("client pool poisoned");
+        if idle.len() < self.max_idle {
+            idle.push(client);
+        }
+    }
+}
+
+/// True when the server can only have seen (at most) the request bytes — the
+/// socket died outright rather than misbehaving mid-response.
+fn connection_died(error: &io::Error) -> bool {
+    matches!(
+        error.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::NotConnected
+    )
 }

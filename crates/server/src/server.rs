@@ -625,13 +625,21 @@ where
     L: LinkPredictor + Clone + Sync,
 {
     if !inner.ready.load(Ordering::SeqCst) {
-        return (503, Vec::new(), "{\"status\":\"recovering\"}".to_string());
+        return (
+            503,
+            Vec::new(),
+            "{\"status\":\"recovering\",\"ready\":false}".to_string(),
+        );
     }
-    let body = format!(
-        "{{\"status\":\"ok\",\"epoch\":{},\"models\":{}}}",
-        inner.service.store().epoch(),
-        inner.service.registry().len()
-    );
+    // Epoch and fingerprint must come from the *same* snapshot: a commit
+    // racing this probe must not make a healthy replica look divergent.
+    let snapshot = inner.service.snapshot();
+    let body = wire::healthz_json(&wire::WorkerHealth {
+        ready: true,
+        epoch: snapshot.epoch(),
+        fingerprint: snapshot.graph().fingerprint(),
+        models: inner.service.registry().len(),
+    });
     (200, Vec::new(), body)
 }
 

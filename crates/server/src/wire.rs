@@ -435,6 +435,49 @@ pub fn report_from_json(value: &Json) -> Option<ServiceReport> {
     })
 }
 
+/// What one worker's `GET /healthz` declares about itself — enough for a
+/// routing tier to tell a healthy replica from a lagging, divergent or
+/// still-recovering one instead of silently serving stale answers from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerHealth {
+    /// False while the worker is still recovering (WAL replay, cache
+    /// import); a router must not route explains to a non-ready worker.
+    pub ready: bool,
+    /// The epoch the worker currently serves.
+    pub epoch: u64,
+    /// The store's **chained** content fingerprint at that epoch. Two
+    /// replicas that applied the same ordered epoch stream report the same
+    /// value; a mismatch at equal epochs is divergence.
+    pub fingerprint: u64,
+    /// Registered model count.
+    pub models: usize,
+}
+
+/// Serialises the `GET /healthz` body of a ready worker. The fingerprint
+/// travels as a fixed-width hex *string*: it is a full 64-bit value, and JSON
+/// consumers must not round it through a double.
+pub fn healthz_json(health: &WorkerHealth) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"ready\":{},\"epoch\":{},\"fingerprint\":\"{:016x}\",\"models\":{}}}",
+        health.ready, health.epoch, health.fingerprint, health.models
+    )
+}
+
+/// Parses a worker's `/healthz` body back into a [`WorkerHealth`]. A
+/// recovering worker's body (`{"status":"recovering",...}`) has no epoch or
+/// fingerprint and parses to `None`, as does anything malformed.
+pub fn healthz_from_json(value: &Json) -> Option<WorkerHealth> {
+    Some(WorkerHealth {
+        ready: value.get("ready").and_then(Json::as_bool)?,
+        epoch: value.get("epoch").and_then(Json::as_u64)?,
+        fingerprint: value
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())?,
+        models: value.get("models").and_then(Json::as_u64)? as usize,
+    })
+}
+
 /// Parses the body of a `POST /commit`: `{"ops":[{"op":…}, …]}`. Commits are
 /// transactional, so — unlike explain batches — any bad op fails the whole
 /// body.
@@ -677,6 +720,66 @@ mod tests {
         // Garbage does not parse as a report.
         assert_eq!(report_from_json(&json::parse("{}").unwrap()), None);
         assert_eq!(report_from_json(&json::parse("[1]").unwrap()), None);
+    }
+
+    #[test]
+    fn healthz_roundtrips_identity_and_rejects_recovering_bodies() {
+        let health = WorkerHealth {
+            ready: true,
+            epoch: 12,
+            // A fingerprint above 2^53: a double roundtrip would corrupt it,
+            // which is exactly why it travels as a hex string.
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            models: 3,
+        };
+        let text = healthz_json(&health);
+        assert_eq!(
+            text,
+            "{\"status\":\"ok\",\"ready\":true,\"epoch\":12,\
+             \"fingerprint\":\"deadbeefcafef00d\",\"models\":3}"
+        );
+        let back = healthz_from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, health);
+        // A recovering worker advertises no identity yet.
+        let recovering = json::parse("{\"status\":\"recovering\",\"ready\":false}").unwrap();
+        assert_eq!(healthz_from_json(&recovering), None);
+        assert_eq!(healthz_from_json(&json::parse("{}").unwrap()), None);
+        // A mangled fingerprint is a parse failure, not a zero.
+        let bad = json::parse("{\"ready\":true,\"epoch\":1,\"fingerprint\":\"xyz\",\"models\":1}")
+            .unwrap();
+        assert_eq!(healthz_from_json(&bad), None);
+    }
+
+    #[test]
+    fn merged_reports_travel_through_the_same_wire_codec() {
+        // The router aggregates per-worker reports with ServiceReport::merge
+        // and re-serialises with report_json — clients parse the result with
+        // the exact codec they already use for single-worker reports.
+        let worker_a = ServiceReport {
+            epoch: 5,
+            requests: 3,
+            groups: 1,
+            cache_hits: 9,
+            cache_misses: 1,
+            probes: 1,
+            ..Default::default()
+        };
+        let worker_b = ServiceReport {
+            epoch: 4,
+            requests: 2,
+            groups: 1,
+            cache_hits: 2,
+            cache_misses: 2,
+            probes: 2,
+            ..Default::default()
+        };
+        let mut merged = worker_a;
+        merged.merge(&worker_b);
+        let back = report_from_json(&json::parse(&report_json(&merged)).unwrap()).unwrap();
+        assert_eq!(back, merged);
+        assert_eq!(back.epoch, 4, "the merged epoch is the gated minimum");
+        assert_eq!(back.requests, 5);
+        assert_eq!(back.cache_hits, 11);
     }
 
     #[test]

@@ -301,6 +301,11 @@ fn commit_then_explain_serves_the_new_epoch() {
     let parsed = json::parse(&health.body).unwrap();
     assert_eq!(parsed.get("epoch").unwrap().as_u64(), Some(0));
     assert_eq!(parsed.get("models").unwrap().as_u64(), Some(2));
+    // The worker advertises its full identity: a router uses the chained
+    // fingerprint to tell replicas apart.
+    let identity = wire::healthz_from_json(&parsed).expect("ready workers advertise identity");
+    assert!(identity.ready);
+    assert_eq!(identity.fingerprint, f.ds.graph.fingerprint());
 
     // Cold pass on epoch 0.
     let body = six_kind_body(&f);
@@ -380,13 +385,11 @@ fn commit_then_explain_serves_the_new_epoch() {
     assert_eq!(bad.status, 409);
     assert!(bad.body.contains("commit_rejected"));
     let health = client.get("/healthz").unwrap();
-    assert_eq!(
-        json::parse(&health.body)
-            .unwrap()
-            .get("epoch")
-            .unwrap()
-            .as_u64(),
-        Some(1)
+    let after_identity = wire::healthz_from_json(&json::parse(&health.body).unwrap()).unwrap();
+    assert_eq!(after_identity.epoch, 1);
+    assert_ne!(
+        after_identity.fingerprint, identity.fingerprint,
+        "a committed epoch moves the chained fingerprint"
     );
     handle.shutdown();
 }
@@ -782,6 +785,51 @@ fn metrics_observe_served_traffic() {
 }
 
 #[test]
+fn client_pool_reuses_connections_across_concurrent_callers() {
+    let f = fixture();
+    let handle = start(&f, quick_config());
+    let pool = exes_server::client::ClientPool::with_limits(
+        handle.addr(),
+        Some(Duration::from_secs(2)),
+        Some(Duration::from_secs(30)),
+        4,
+    );
+    let body = six_kind_body(&f);
+
+    // 4 threads × 3 requests ride pooled keep-alive connections.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let (pool, body) = (&pool, &body);
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let response = pool.post("/explain", body).expect("pooled post");
+                    assert_eq!(response.status, 200);
+                }
+            });
+        }
+    });
+    let idle = pool.idle_connections();
+    assert!(
+        (1..=4).contains(&idle),
+        "the pool retains at most max_idle connections, got {idle}"
+    );
+
+    // The server accepted far fewer connections than it served requests:
+    // 13 HTTP requests (12 explains + this /metrics) over at most 5 sockets.
+    let metrics = pool.get("/metrics").expect("pooled metrics");
+    let parsed = json::parse(&metrics.body).unwrap();
+    let http = parsed.get("http").unwrap();
+    let connections = http.get("connections").unwrap().as_u64().unwrap();
+    let requests = http.get("requests").unwrap().as_u64().unwrap();
+    assert!(requests >= 13, "requests: {requests}");
+    assert!(
+        connections <= 5,
+        "pooled clients must reuse sockets (connections: {connections})"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn warm_restart_recovers_state_and_answers_repeat_batch_with_zero_probes() {
     let f = fixture();
     let dir = std::env::temp_dir().join(format!("exes-loopback-restart-{}", std::process::id()));
@@ -802,7 +850,15 @@ fn warm_restart_recovers_state_and_answers_repeat_batch_with_zero_probes() {
     // Until recovery is finished, the listener is up but not ready.
     let recovering = client.get("/healthz").unwrap();
     assert_eq!(recovering.status, 503);
-    assert_eq!(recovering.body, "{\"status\":\"recovering\"}");
+    assert_eq!(
+        recovering.body,
+        "{\"status\":\"recovering\",\"ready\":false}"
+    );
+    assert_eq!(
+        wire::healthz_from_json(&json::parse(&recovering.body).unwrap()),
+        None,
+        "a recovering worker advertises no identity a router could trust"
+    );
     assert!(!handle.is_ready());
     assert_eq!(handle.finish_recovery().unwrap(), CacheLoad::Missing);
     assert!(handle.is_ready());
